@@ -1,0 +1,188 @@
+//! BeatGAN (Zhou et al., IJCAI 2019) — reconstruction baseline (ii).
+//!
+//! An encoder–decoder reconstructs each window; a discriminator provides
+//! adversarial regularization so reconstructions stay on the data manifold.
+//! The anomaly score is the per-timestamp reconstruction error.
+
+use imdiff_data::{Detection, Detector, DetectorError, Mts};
+use imdiff_nn::layers::{Linear, Module};
+use imdiff_nn::ops::{bce_with_logits, mse};
+use imdiff_nn::optim::{Adam, Optimizer};
+use imdiff_nn::{backward, no_grad, Tensor};
+
+use crate::common::{
+    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PointScores,
+};
+
+const WINDOW: usize = 24;
+const LATENT: usize = 16;
+const HIDDEN: usize = 64;
+const TRAIN_STEPS: usize = 120;
+const BATCH: usize = 16;
+/// Weight of the adversarial feature-matching term in the generator loss.
+const ADV_WEIGHT: f32 = 0.05;
+
+struct AutoEncoder {
+    enc1: Linear,
+    enc2: Linear,
+    dec1: Linear,
+    dec2: Linear,
+}
+
+impl AutoEncoder {
+    fn forward(&self, flat: &Tensor) -> Tensor {
+        let z = self.enc2.forward(&self.enc1.forward(flat).relu()).tanh();
+        self.dec2.forward(&self.dec1.forward(&z).relu())
+    }
+}
+
+/// BeatGAN: adversarially regularized window autoencoder.
+pub struct BeatGan {
+    seed: u64,
+    state: Option<Fitted>,
+}
+
+struct Fitted {
+    norm: NormState,
+    ae: AutoEncoder,
+}
+
+impl BeatGan {
+    /// Creates the detector.
+    pub fn new(seed: u64) -> Self {
+        BeatGan { seed, state: None }
+    }
+}
+
+impl Detector for BeatGan {
+    fn name(&self) -> &'static str {
+        "BeatGAN"
+    }
+
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+        let (norm, train_n) = NormState::fit(train)?;
+        require_len(&train_n, WINDOW + 1)?;
+        let k = train_n.dim();
+        let flat_dim = WINDOW * k;
+        let mut rng = rng_for(self.seed, 0xbea7);
+
+        let ae = AutoEncoder {
+            enc1: Linear::new(&mut rng, flat_dim, HIDDEN),
+            enc2: Linear::new(&mut rng, HIDDEN, LATENT),
+            dec1: Linear::new(&mut rng, LATENT, HIDDEN),
+            dec2: Linear::new(&mut rng, HIDDEN, flat_dim),
+        };
+        // Discriminator: window -> real/fake logit.
+        let d1 = Linear::new(&mut rng, flat_dim, HIDDEN / 2);
+        let d2 = Linear::new(&mut rng, HIDDEN / 2, 1);
+
+        let mut g_params = ae.enc1.params();
+        g_params.extend(ae.enc2.params());
+        g_params.extend(ae.dec1.params());
+        g_params.extend(ae.dec2.params());
+        let mut d_params = d1.params();
+        d_params.extend(d2.params());
+        let mut g_opt = Adam::new(g_params, 2e-3);
+        let mut d_opt = Adam::new(d_params, 1e-3);
+
+        for _ in 0..TRAIN_STEPS {
+            let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
+            let x = batch_windows(&train_n, &starts, WINDOW).reshape(&[BATCH, WINDOW * k]);
+
+            // Discriminator step: real vs reconstructed.
+            let recon = no_grad(|| ae.forward(&x));
+            let real_logit = d2.forward(&d1.forward(&x).leaky_relu(0.2));
+            let fake_logit = d2.forward(&d1.forward(&recon).leaky_relu(0.2));
+            let ones = Tensor::ones(&[BATCH, 1]);
+            let zeros = Tensor::zeros(&[BATCH, 1]);
+            let d_loss = bce_with_logits(&real_logit, &ones)
+                .add(&bce_with_logits(&fake_logit, &zeros))
+                .scale(0.5);
+            backward(&d_loss);
+            d_opt.clip_grad_norm(1.0);
+            d_opt.step();
+            d_opt.zero_grad();
+
+            // Generator step: reconstruction + fooling the discriminator.
+            let recon_g = ae.forward(&x);
+            let fake_logit_g = d2.forward(&d1.forward(&recon_g).leaky_relu(0.2));
+            let g_loss = mse(&recon_g, &x)
+                .add(&bce_with_logits(&fake_logit_g, &ones).scale(ADV_WEIGHT));
+            backward(&g_loss);
+            g_opt.clip_grad_norm(1.0);
+            g_opt.step();
+            g_opt.zero_grad();
+            // The discriminator gradients accumulated during the generator
+            // pass must be discarded.
+            d_opt.zero_grad();
+        }
+
+        self.state = Some(Fitted { norm, ae });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.check_and_transform(test)?;
+        require_len(&test_n, WINDOW)?;
+        let k = test_n.dim();
+        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
+        let mut ps = PointScores::new(test_n.len());
+        for chunk in starts.chunks(32) {
+            let x = batch_windows(&test_n, chunk, WINDOW).reshape(&[chunk.len(), WINDOW * k]);
+            let recon = no_grad(|| st.ae.forward(&x));
+            let (xd, rd) = (x.data(), recon.data());
+            for (bi, &s) in chunk.iter().enumerate() {
+                for l in 0..WINDOW {
+                    let mut err = 0.0f64;
+                    for c in 0..k {
+                        let idx = bi * WINDOW * k + l * k + c;
+                        err += ((xd[idx] - rd[idx]) as f64).powi(2);
+                    }
+                    ps.add(s + l, err / k as f64);
+                }
+            }
+        }
+        Ok(Detection::from_scores(ps.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+
+    #[test]
+    fn reconstruction_error_flags_spikes() {
+        let len = 300;
+        let data: Vec<f32> = (0..len).map(|t| (t as f32 * 0.2).sin()).collect();
+        let train = Mts::new(data.clone(), len, 1);
+        let mut test = Mts::new(data, len, 1);
+        for l in 150..154 {
+            test.set(l, 0, 4.0);
+        }
+        let mut det = BeatGan::new(2);
+        det.fit(&train).unwrap();
+        let d = det.detect(&test).unwrap();
+        let anom: f64 = d.scores[150..154].iter().cloned().fold(0.0, f64::max);
+        let norm: f64 = d.scores[..140].iter().cloned().fold(0.0, f64::max);
+        assert!(anom > norm, "anomaly {anom} vs normal {norm}");
+    }
+
+    #[test]
+    fn runs_on_benchmark_shapes() {
+        let ds = generate(
+            Benchmark::Psm,
+            &SizeProfile {
+                train_len: 150,
+                test_len: 90,
+            },
+            6,
+        );
+        let mut det = BeatGan::new(1);
+        det.fit(&ds.train).unwrap();
+        let d = det.detect(&ds.test).unwrap();
+        assert_eq!(d.scores.len(), 90);
+        assert!(d.scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Shared plumbing for the neural baselines: normalization state, window
+//! batching, a generic training loop, and window-to-point score merging.
+
+use imdiff_data::{DetectorError, Mts, NormMethod, Normalizer};
+use imdiff_nn::optim::Optimizer;
+use imdiff_nn::rng::seeded;
+use imdiff_nn::{backward, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Normalization fitted at `fit` time and reused at `detect` time.
+pub(crate) struct NormState {
+    normalizer: Normalizer,
+    pub(crate) channels: usize,
+}
+
+impl NormState {
+    pub(crate) fn fit(train: &Mts) -> Result<(Self, Mts), DetectorError> {
+        if train.is_empty() || train.dim() == 0 {
+            return Err(DetectorError::InvalidTrainingData(
+                "empty training series".into(),
+            ));
+        }
+        let normalizer = Normalizer::fit(train, NormMethod::MinMax);
+        let train_n = normalizer.transform(train);
+        Ok((
+            NormState {
+                normalizer,
+                channels: train.dim(),
+            },
+            train_n,
+        ))
+    }
+
+    pub(crate) fn check_and_transform(&self, test: &Mts) -> Result<Mts, DetectorError> {
+        if test.dim() != self.channels {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.channels,
+                actual: test.dim(),
+            });
+        }
+        Ok(self.normalizer.transform(test))
+    }
+}
+
+/// Validates the series is long enough for windowed training.
+pub(crate) fn require_len(series: &Mts, min: usize) -> Result<(), DetectorError> {
+    if series.len() < min {
+        return Err(DetectorError::InvalidTrainingData(format!(
+            "series length {} below required {min}",
+            series.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Time-major `[B, W, K]` batch tensor from window start offsets.
+pub(crate) fn batch_windows(data: &Mts, starts: &[usize], w: usize) -> Tensor {
+    let k = data.dim();
+    let mut buf = Vec::with_capacity(starts.len() * w * k);
+    for &s in starts {
+        for l in 0..w {
+            buf.extend_from_slice(data.row(s + l));
+        }
+    }
+    Tensor::from_vec(buf, &[starts.len(), w, k]).expect("batch window shape")
+}
+
+/// Uniformly sampled window start offsets for training.
+pub(crate) fn sample_starts(rng: &mut StdRng, len: usize, w: usize, batch: usize) -> Vec<usize> {
+    assert!(len >= w, "series shorter than window");
+    (0..batch).map(|_| rng.gen_range(0..=len - w)).collect()
+}
+
+/// Generic training loop: `step_fn` builds the loss for each step; the
+/// loop backprops, clips and applies the optimizer.
+pub(crate) fn run_training<O: Optimizer>(
+    opt: &mut O,
+    steps: usize,
+    grad_clip: f32,
+    mut step_fn: impl FnMut(usize) -> Tensor,
+) -> Vec<f32> {
+    let mut losses = Vec::with_capacity(steps);
+    for s in 0..steps {
+        let loss = step_fn(s);
+        losses.push(loss.item());
+        backward(&loss);
+        opt.clip_grad_norm(grad_clip);
+        opt.step();
+        opt.zero_grad();
+    }
+    losses
+}
+
+/// Accumulates per-window, per-position errors back onto the timeline,
+/// averaging where windows overlap. `cell_err[b][l]` is the error window
+/// `b` assigns to its local position `l`.
+pub(crate) struct PointScores {
+    sum: Vec<f64>,
+    count: Vec<f64>,
+}
+
+impl PointScores {
+    pub(crate) fn new(len: usize) -> Self {
+        PointScores {
+            sum: vec![0.0; len],
+            count: vec![0.0; len],
+        }
+    }
+
+    pub(crate) fn add(&mut self, global_pos: usize, err: f64) {
+        self.sum[global_pos] += err;
+        self.count[global_pos] += 1.0;
+    }
+
+    /// Final per-point scores; uncovered points receive the mean score.
+    pub(crate) fn finish(self) -> Vec<f64> {
+        let covered: f64 = self.count.iter().filter(|&&c| c > 0.0).count() as f64;
+        let mean = if covered > 0.0 {
+            self.sum
+                .iter()
+                .zip(&self.count)
+                .filter(|(_, &c)| c > 0.0)
+                .map(|(&s, &c)| s / c)
+                .sum::<f64>()
+                / covered
+        } else {
+            0.0
+        };
+        self.sum
+            .iter()
+            .zip(&self.count)
+            .map(|(&s, &c)| if c > 0.0 { s / c } else { mean })
+            .collect()
+    }
+}
+
+/// Deterministic RNG derived from a detector seed and a role tag.
+pub(crate) fn rng_for(seed: u64, tag: u64) -> StdRng {
+    seeded(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag)
+}
+
+/// Non-overlapping coverage starts with an end-aligned tail window.
+pub(crate) fn coverage_starts(len: usize, w: usize, stride: usize) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut s = 0;
+    while s + w <= len {
+        starts.push(s);
+        s += stride;
+    }
+    if let Some(&last) = starts.last() {
+        if last + w < len {
+            starts.push(len - w);
+        }
+    }
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_scores_average_overlaps() {
+        let mut ps = PointScores::new(4);
+        ps.add(1, 2.0);
+        ps.add(1, 4.0);
+        ps.add(2, 6.0);
+        let out = ps.finish();
+        assert_eq!(out[1], 3.0);
+        assert_eq!(out[2], 6.0);
+        // Uncovered points get the mean of covered ones: (3 + 6) / 2.
+        assert_eq!(out[0], 4.5);
+        assert_eq!(out[3], 4.5);
+    }
+
+    #[test]
+    fn batch_windows_layout() {
+        let m = Mts::new((0..12).map(|v| v as f32).collect(), 6, 2);
+        let t = batch_windows(&m, &[0, 3], 2);
+        assert_eq!(t.dims(), &[2, 2, 2]);
+        let d = t.to_vec();
+        assert_eq!(&d[..4], &[0.0, 1.0, 2.0, 3.0]); // window at 0
+        assert_eq!(&d[4..], &[6.0, 7.0, 8.0, 9.0]); // window at 3
+    }
+
+    #[test]
+    fn coverage_tail_alignment() {
+        assert_eq!(coverage_starts(10, 4, 4), vec![0, 4, 6]);
+        assert_eq!(coverage_starts(8, 4, 4), vec![0, 4]);
+    }
+
+    #[test]
+    fn norm_state_roundtrip() {
+        let train = Mts::new(vec![0.0, 10.0, 1.0, 20.0], 2, 2);
+        let (ns, train_n) = NormState::fit(&train).unwrap();
+        assert_eq!(train_n.dim(), 2);
+        assert!(ns.check_and_transform(&Mts::zeros(3, 3)).is_err());
+        assert!(ns.check_and_transform(&Mts::zeros(3, 2)).is_ok());
+    }
+}

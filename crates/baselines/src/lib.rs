@@ -1,0 +1,79 @@
+//! `imdiff-baselines` — the ten MTS anomaly-detection baselines of the
+//! paper's offline evaluation (§5.1).
+//!
+//! Every baseline implements the shared [`imdiff_data::Detector`] trait so
+//! the evaluation harness can drive them interchangeably with ImDiffusion.
+//! Each follows the *method* of its original paper (forecasting vs
+//! reconstruction vs isolation, the model family, the scoring rule) at a
+//! reduced scale sized for single-core CPU runs; simplifications are noted
+//! per module and in DESIGN.md.
+//!
+//! | Detector | Family | Core model |
+//! |---|---|---|
+//! | [`IsolationForest`] | isolation | randomized isolation trees |
+//! | [`BeatGan`] | reconstruction | adversarially-regularized autoencoder |
+//! | [`LstmAd`] | forecasting | stacked LSTM next-step predictor |
+//! | [`InterFusion`] | reconstruction | hierarchical inter-metric + temporal VAE |
+//! | [`OmniAnomaly`] | reconstruction | GRU + VAE |
+//! | [`Gdn`] | forecasting | sensor-embedding graph attention |
+//! | [`MadGan`] | reconstruction | LSTM GAN with latent-search scoring |
+//! | [`MtadGat`] | hybrid | feature + temporal attention, joint objectives |
+//! | [`Mscred`] | reconstruction | signature correlation matrices + conv AE |
+//! | [`TranAd`] | reconstruction | two-phase adversarial transformer |
+
+mod beatgan;
+mod common;
+mod gdn;
+mod iforest;
+mod interfusion;
+mod lstm_ad;
+mod madgan;
+mod mscred;
+mod mtad_gat;
+mod omni;
+mod tranad;
+
+pub use beatgan::BeatGan;
+pub use gdn::Gdn;
+pub use iforest::IsolationForest;
+pub use interfusion::InterFusion;
+pub use lstm_ad::LstmAd;
+pub use madgan::MadGan;
+pub use mscred::Mscred;
+pub use mtad_gat::MtadGat;
+pub use omni::OmniAnomaly;
+pub use tranad::TranAd;
+
+use imdiff_data::Detector;
+
+/// Instantiates all ten baselines with a common seed, in the paper's table
+/// order.
+pub fn all_baselines(seed: u64) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(IsolationForest::new(seed)),
+        Box::new(BeatGan::new(seed)),
+        Box::new(LstmAd::new(seed)),
+        Box::new(InterFusion::new(seed)),
+        Box::new(OmniAnomaly::new(seed)),
+        Box::new(Gdn::new(seed)),
+        Box::new(MadGan::new(seed)),
+        Box::new(MtadGat::new(seed)),
+        Box::new(Mscred::new(seed)),
+        Box::new(TranAd::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_baselines() {
+        let bs = all_baselines(1);
+        assert_eq!(bs.len(), 10);
+        let mut names: Vec<_> = bs.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,243 @@
+//! MAD-GAN (Li et al., ICANN 2019) — reconstruction baseline (vii).
+//!
+//! An LSTM generator maps latent noise to windows; an LSTM discriminator
+//! separates real from generated windows. Anomalies are scored with the
+//! original paper's DR-score: a reconstruction term obtained by
+//! gradient-searching the latent space for the best-matching generation,
+//! combined with the discriminator's suspicion of the window.
+
+use imdiff_data::{Detection, Detector, DetectorError, Mts};
+use imdiff_nn::layers::{Gru, Linear, Module};
+use imdiff_nn::ops::{bce_with_logits, mse};
+use imdiff_nn::optim::{Adam, Optimizer};
+use imdiff_nn::rng::normal_vec;
+use imdiff_nn::{backward, no_grad, Tensor};
+
+use crate::common::{
+    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PointScores,
+};
+
+const WINDOW: usize = 16;
+const LATENT: usize = 8;
+const HIDDEN: usize = 32;
+const TRAIN_STEPS: usize = 120;
+const BATCH: usize = 12;
+/// Gradient steps of latent inversion per window batch at scoring time.
+const INVERSION_STEPS: usize = 12;
+/// Weight of the discriminator term in the DR-score.
+const DISC_WEIGHT: f64 = 0.3;
+
+struct Generator {
+    proj: Linear,
+    gru: Gru,
+    head: Linear,
+    k: usize,
+}
+
+impl Generator {
+    /// `[B, Z]` latent -> `[B, W, K]` window.
+    fn forward(&self, z: &Tensor) -> Tensor {
+        let b = z.dims()[0];
+        // Repeat the latent across time, then unroll the GRU.
+        let seq = Tensor::zeros(&[b, WINDOW, LATENT]).add(&z.reshape(&[b, 1, LATENT]));
+        let proj = self.proj.forward(&seq).relu();
+        let h = self.gru.forward_seq(&proj);
+        self.head.forward(&h)
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.proj.params();
+        p.extend(self.gru.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    fn out_dim(&self) -> usize {
+        self.k
+    }
+}
+
+struct Discriminator {
+    gru: Gru,
+    head: Linear,
+}
+
+impl Discriminator {
+    /// `[B, W, K]` -> `[B, 1]` real/fake logit.
+    fn forward(&self, x: &Tensor) -> Tensor {
+        self.head.forward(&self.gru.forward_last(x))
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.gru.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+/// MAD-GAN with gradient latent-inversion scoring.
+pub struct MadGan {
+    seed: u64,
+    state: Option<Fitted>,
+}
+
+struct Fitted {
+    norm: NormState,
+    gen: Generator,
+    disc: Discriminator,
+}
+
+impl MadGan {
+    /// Creates the detector.
+    pub fn new(seed: u64) -> Self {
+        MadGan { seed, state: None }
+    }
+}
+
+impl Detector for MadGan {
+    fn name(&self) -> &'static str {
+        "MAD-GAN"
+    }
+
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+        let (norm, train_n) = NormState::fit(train)?;
+        require_len(&train_n, WINDOW + 1)?;
+        let k = train_n.dim();
+        let mut rng = rng_for(self.seed, 0x6a2d);
+        let gen = Generator {
+            proj: Linear::new(&mut rng, LATENT, HIDDEN),
+            gru: Gru::new(&mut rng, HIDDEN, HIDDEN),
+            head: Linear::new(&mut rng, HIDDEN, k),
+            k,
+        };
+        let disc = Discriminator {
+            gru: Gru::new(&mut rng, k, HIDDEN),
+            head: Linear::new(&mut rng, HIDDEN, 1),
+        };
+        let mut g_opt = Adam::new(gen.params(), 2e-3);
+        let mut d_opt = Adam::new(disc.params(), 1e-3);
+        let ones = Tensor::ones(&[BATCH, 1]);
+        let zeros = Tensor::zeros(&[BATCH, 1]);
+
+        for _ in 0..TRAIN_STEPS {
+            // Discriminator update.
+            let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
+            let real = batch_windows(&train_n, &starts, WINDOW);
+            let z = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
+                .expect("z shape");
+            let fake = no_grad(|| gen.forward(&z));
+            let d_loss = bce_with_logits(&disc.forward(&real), &ones)
+                .add(&bce_with_logits(&disc.forward(&fake), &zeros))
+                .scale(0.5);
+            backward(&d_loss);
+            d_opt.clip_grad_norm(1.0);
+            d_opt.step();
+            d_opt.zero_grad();
+
+            // Generator update: fool the discriminator.
+            let z2 = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
+                .expect("z2 shape");
+            let fake2 = gen.forward(&z2);
+            let g_loss = bce_with_logits(&disc.forward(&fake2), &ones);
+            backward(&g_loss);
+            g_opt.clip_grad_norm(1.0);
+            g_opt.step();
+            g_opt.zero_grad();
+            d_opt.zero_grad();
+        }
+        self.state = Some(Fitted { norm, gen, disc });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.check_and_transform(test)?;
+        require_len(&test_n, WINDOW)?;
+        let k = st.gen.out_dim();
+        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
+        let mut ps = PointScores::new(test_n.len());
+
+        for chunk in starts.chunks(32) {
+            let x = batch_windows(&test_n, chunk, WINDOW);
+            let logits = no_grad(|| st.disc.forward(&x));
+
+            // MAD-GAN latent inversion: optimize z so G(z) reconstructs the
+            // windows; anomalous windows remain poorly reconstructible
+            // because the generator only models normal behaviour.
+            let z = Tensor::zeros(&[chunk.len(), LATENT]).into_param();
+            let mut z_opt = Adam::new(vec![z.clone()], 0.1);
+            for _ in 0..INVERSION_STEPS {
+                let recon = st.gen.forward(&z);
+                let loss = mse(&recon, &x);
+                backward(&loss);
+                z_opt.step();
+                z_opt.zero_grad();
+                // The generator's own accumulated gradients are discarded.
+                for p in st.gen.params() {
+                    p.zero_grad();
+                }
+            }
+            let recon = no_grad(|| st.gen.forward(&z));
+            let ld = logits.data();
+            let xd = x.data();
+            let rd = recon.data();
+            for (bi, &s) in chunk.iter().enumerate() {
+                // Discriminator suspicion: low logit = looks fake/anomalous.
+                let disc_score = 1.0 - 1.0 / (1.0 + (-ld[bi] as f64).exp());
+                for l in 0..WINDOW {
+                    let mut err = 0.0f64;
+                    for ch in 0..k {
+                        let idx = bi * WINDOW * k + l * k + ch;
+                        let d = (xd[idx] - rd[idx]) as f64;
+                        err += d * d;
+                    }
+                    ps.add(
+                        s + l,
+                        (1.0 - DISC_WEIGHT) * err / k as f64 + DISC_WEIGHT * disc_score,
+                    );
+                }
+            }
+        }
+        Ok(Detection::from_scores(ps.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+
+    #[test]
+    fn benchmark_shapes_and_finiteness() {
+        let ds = generate(
+            Benchmark::Smap,
+            &SizeProfile {
+                train_len: 150,
+                test_len: 80,
+            },
+            7,
+        );
+        let mut det = MadGan::new(3);
+        det.fit(&ds.train).unwrap();
+        let d = det.detect(&ds.test).unwrap();
+        assert_eq!(d.scores.len(), 80);
+        assert!(d.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn large_deviations_score_higher_than_normal() {
+        let len = 260;
+        let data: Vec<f32> = (0..len).map(|t| (t as f32 * 0.4).sin() * 0.3).collect();
+        let train = Mts::new(data.clone(), len, 1);
+        let mut test = Mts::new(data, len, 1);
+        for l in 120..140 {
+            test.set(l, 0, 6.0);
+        }
+        let mut det = MadGan::new(1);
+        det.fit(&train).unwrap();
+        let d = det.detect(&test).unwrap();
+        let anom: f64 = d.scores[122..138].iter().sum::<f64>() / 16.0;
+        let norm: f64 = d.scores[..100].iter().sum::<f64>() / 100.0;
+        assert!(anom > norm, "anomaly {anom} vs normal {norm}");
+    }
+}

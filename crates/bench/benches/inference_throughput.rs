@@ -1,0 +1,40 @@
+//! Criterion bench: ImDiffusion ensemble-inference throughput in
+//! points/second — the "Inference efficiency" column of Table 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiff_data::Detector;
+use imdiffusion::{ImDiffusionConfig, ImDiffusionDetector};
+
+fn bench_inference(c: &mut Criterion) {
+    let size = SizeProfile {
+        train_len: 300,
+        test_len: 96,
+    };
+    let mut group = c.benchmark_group("ensemble_inference");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Gcp, Benchmark::Smd] {
+        for (variant, ddim) in [("ddpm", None), ("ddim4", Some(4))] {
+            let ds = generate(benchmark, &size, 1);
+            let cfg = ImDiffusionConfig {
+                train_steps: 20, // the bench measures inference, not training
+                ddim_steps: ddim,
+                ..ImDiffusionConfig::quick()
+            };
+            let mut det = ImDiffusionDetector::new(cfg, 1);
+            det.fit(&ds.train).expect("fit");
+            group.throughput(Throughput::Elements(ds.test.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}_{variant}", ds.name)),
+                &ds,
+                |b, ds| {
+                    b.iter(|| det.detect(&ds.test).expect("detect"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches of the evaluation metrics and masking — these run on
+//! every harness cell, so their cost matters for the full suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imdiff_data::mask::MaskStrategy;
+use imdiff_diffusion::{BetaSchedule, NoiseSchedule};
+use imdiff_metrics::{average_detection_delay, best_f1_threshold, point, range_auc_pr};
+use imdiff_nn::rng::{normal_vec, seeded};
+use rand::Rng;
+
+fn synthetic_case(n: usize) -> (Vec<f64>, Vec<bool>) {
+    let mut rng = seeded(42);
+    let mut truth = vec![false; n];
+    let mut i = 50;
+    while i + 30 < n {
+        for t in truth.iter_mut().skip(i).take(20) {
+            *t = true;
+        }
+        i += 200;
+    }
+    let scores: Vec<f64> = truth
+        .iter()
+        .map(|&l| if l { 2.0 + rng.gen::<f64>() } else { rng.gen::<f64>() })
+        .collect();
+    (scores, truth)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (scores, truth) = synthetic_case(10_000);
+    let pred: Vec<bool> = scores.iter().map(|&s| s > 1.5).collect();
+    c.bench_function("pa_prf1_10k", |b| {
+        b.iter(|| point::pa_prf1(&pred, &truth));
+    });
+    c.bench_function("best_f1_threshold_10k", |b| {
+        b.iter(|| best_f1_threshold(&scores, &truth));
+    });
+    c.bench_function("range_auc_pr_10k", |b| {
+        b.iter(|| range_auc_pr(&scores, &truth, None));
+    });
+    c.bench_function("add_10k", |b| {
+        b.iter(|| average_detection_delay(&pred, &truth));
+    });
+}
+
+fn bench_masking_and_noise(c: &mut Criterion) {
+    c.bench_function("grating_masks_100x38", |b| {
+        let mut rng = seeded(1);
+        b.iter(|| MaskStrategy::default_grating().masks(&mut rng, 100, 38));
+    });
+    c.bench_function("random_masks_100x38", |b| {
+        let mut rng = seeded(2);
+        b.iter(|| (MaskStrategy::Random { p: 0.5 }).masks(&mut rng, 100, 38));
+    });
+    let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 50);
+    let mut rng = seeded(3);
+    let x0 = normal_vec(&mut rng, 100 * 38);
+    let eps = normal_vec(&mut rng, 100 * 38);
+    let mut out = vec![0.0f32; 100 * 38];
+    c.bench_function("q_sample_100x38", |b| {
+        b.iter(|| ns.q_sample_into(&x0, &eps, 25, &mut out));
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_masking_and_noise);
+criterion_main!(benches);

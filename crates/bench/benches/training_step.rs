@@ -1,0 +1,36 @@
+//! Criterion bench: cost of one ImDiffusion optimizer step (forward +
+//! backward + Adam) at the quick-profile model size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiff_diffusion::NoiseSchedule;
+use imdiffusion::{train, ImDiffusionConfig, ImTransformer};
+
+fn bench_training(c: &mut Criterion) {
+    let size = SizeProfile {
+        train_len: 200,
+        test_len: 50,
+    };
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for (label, k_bench) in [("K=19", Benchmark::Gcp), ("K=38", Benchmark::Smd)] {
+        let ds = generate(k_bench, &size, 1);
+        let cfg = ImDiffusionConfig {
+            train_steps: 1, // one optimizer step per iteration
+            ..ImDiffusionConfig::quick()
+        };
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let model = ImTransformer::new(&cfg, ds.train.dim(), 1);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ds, |b, ds| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                train(&model, &cfg, &schedule, &ds.train, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

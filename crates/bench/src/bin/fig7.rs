@@ -1,0 +1,63 @@
+//! Reproduces **Figure 7**: mean predicted (self-supervised) error of the
+//! imputation, forecasting and reconstruction approaches on every dataset,
+//! plus the cross-dataset average. Lower error = better series modelling.
+//! Reuses the ablation cell cache. Artifact: `results/fig7.csv`.
+
+use imdiff_bench::suite::run_ablation_suite;
+use imdiff_bench::table::{render, write_csv};
+use imdiff_bench::{cache, HarnessProfile};
+use imdiff_data::synthetic::Benchmark;
+use imdiffusion::AblationVariant;
+
+fn main() {
+    let profile = HarnessProfile::from_env();
+    let cells = run_ablation_suite(&profile);
+
+    let modes = [
+        ("Imputation", AblationVariant::Full),
+        ("Forecasting", AblationVariant::Forecasting),
+        ("Reconstruction", AblationVariant::Reconstruction),
+    ];
+    let mut headers: Vec<&str> = vec!["Approach"];
+    let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+    headers.extend(&names);
+    headers.push("Average");
+
+    let mut rows = Vec::new();
+    for (label, variant) in modes {
+        let mut row = vec![label.to_string()];
+        let (mut sum, mut n) = (0.0, 0.0);
+        for benchmark in Benchmark::all() {
+            // Overall predicted error = normal/abnormal means weighted by
+            // the dataset's anomaly rate.
+            let vals: Vec<f64> = cells
+                .iter()
+                .filter(|(k, _)| {
+                    k.detector == variant.name() && k.dataset == benchmark.name()
+                })
+                .map(|(_, m)| {
+                    let rate = benchmark.anomaly_rate();
+                    m.normal_err * (1.0 - rate) + m.abnormal_err * rate
+                })
+                .collect();
+            if vals.is_empty() {
+                row.push("-".into());
+            } else {
+                let v = vals.iter().sum::<f64>() / vals.len() as f64;
+                row.push(format!("{v:.4}"));
+                sum += v;
+                n += 1.0;
+            }
+        }
+        row.push(if n > 0.0 {
+            format!("{:.4}", sum / n)
+        } else {
+            "-".into()
+        });
+        rows.push(row);
+    }
+    println!("{}", render(&headers, &rows));
+    let csv = cache::results_dir().join("fig7.csv");
+    write_csv(&csv, &headers, &rows).expect("write fig7.csv");
+    eprintln!("wrote {}", csv.display());
+}

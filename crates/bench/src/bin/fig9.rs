@@ -1,0 +1,46 @@
+//! Reproduces **Figure 9**: predicted error on normal vs abnormal data for
+//! conditional and unconditional diffusion models, averaged over all
+//! datasets — the unconditional design should show the larger
+//! normal/abnormal gap. Reuses the ablation cache.
+//! Artifact: `results/fig9.csv`.
+
+use imdiff_bench::suite::run_ablation_suite;
+use imdiff_bench::table::{render, write_csv};
+use imdiff_bench::{cache, HarnessProfile};
+use imdiffusion::AblationVariant;
+
+fn main() {
+    let profile = HarnessProfile::from_env();
+    let cells = run_ablation_suite(&profile);
+
+    let mut rows = Vec::new();
+    for (label, variant) in [
+        ("Conditional", AblationVariant::Conditional),
+        ("Unconditional", AblationVariant::Full),
+    ] {
+        let vals: Vec<(f64, f64)> = cells
+            .iter()
+            .filter(|(k, _)| k.detector == variant.name())
+            .map(|(_, m)| (m.normal_err, m.abnormal_err))
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let n = vals.len() as f64;
+        let normal = vals.iter().map(|v| v.0).sum::<f64>() / n;
+        let abnormal = vals.iter().map(|v| v.1).sum::<f64>() / n;
+        let overall = (normal + abnormal) / 2.0;
+        rows.push(vec![
+            label.to_string(),
+            format!("{overall:.4}"),
+            format!("{normal:.4}"),
+            format!("{abnormal:.4}"),
+            format!("{:.4}", abnormal - normal),
+        ]);
+    }
+    let headers = ["Model", "Overall", "Normal", "Abnormal", "Difference"];
+    println!("{}", render(&headers, &rows));
+    let csv = cache::results_dir().join("fig9.csv");
+    write_csv(&csv, &headers, &rows).expect("write fig9.csv");
+    eprintln!("wrote {}", csv.display());
+}

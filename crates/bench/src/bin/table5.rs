@@ -1,0 +1,58 @@
+//! Reproduces **Table 5**: the ablation analysis (P/R/F1/R-AUC-PR/ADD of
+//! every design variant) per benchmark dataset. Cells are cached in
+//! `results/ablation_cells.csv`. Artifact: `results/table5.csv`.
+
+use imdiff_bench::suite::{aggregate, run_ablation_suite};
+use imdiff_bench::table::{f4, render, write_csv};
+use imdiff_bench::{cache, HarnessProfile};
+use imdiff_data::synthetic::Benchmark;
+use imdiffusion::AblationVariant;
+
+fn main() {
+    let profile = HarnessProfile::from_env();
+    eprintln!("Table 5: ablations on train/test length {}/{}",
+        profile.size.train_len, profile.size.test_len);
+    let cells = run_ablation_suite(&profile);
+    let agg = aggregate(&cells);
+
+    let mut csv_rows = Vec::new();
+    for benchmark in Benchmark::all() {
+        let ds = benchmark.name();
+        println!("\n=== {ds} ===");
+        let mut rows = Vec::new();
+        for variant in AblationVariant::all() {
+            if let Some(a) = agg.get(&(variant.name().to_string(), ds.to_string())) {
+                let (add, _) = a.add_mean_std();
+                rows.push(vec![
+                    variant.name().to_string(),
+                    f4(a.precision()),
+                    f4(a.recall()),
+                    f4(a.f1()),
+                    f4(a.r_auc_pr()),
+                    format!("{add:.1}"),
+                ]);
+                csv_rows.push(vec![
+                    ds.to_string(),
+                    variant.name().to_string(),
+                    f4(a.precision()),
+                    f4(a.recall()),
+                    f4(a.f1()),
+                    f4(a.r_auc_pr()),
+                    format!("{add:.1}"),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render(&["Method", "P", "R", "F1", "R-AUC-PR", "ADD"], &rows)
+        );
+    }
+    let csv = cache::results_dir().join("table5.csv");
+    write_csv(
+        &csv,
+        &["dataset", "method", "P", "R", "F1", "R-AUC-PR", "ADD"],
+        &csv_rows,
+    )
+    .expect("write table5.csv");
+    eprintln!("wrote {}", csv.display());
+}

@@ -1,0 +1,49 @@
+//! Reproduces **Table 6**: ablation metrics averaged over the six
+//! datasets. Reuses the Table 5 cell cache. Artifact: `results/table6.csv`.
+
+use imdiff_bench::suite::{aggregate, run_ablation_suite};
+use imdiff_bench::table::{f4, render, write_csv};
+use imdiff_bench::{cache, HarnessProfile};
+use imdiff_data::synthetic::Benchmark;
+use imdiffusion::AblationVariant;
+
+fn main() {
+    let profile = HarnessProfile::from_env();
+    let cells = run_ablation_suite(&profile);
+    let agg = aggregate(&cells);
+
+    let mut rows = Vec::new();
+    for variant in AblationVariant::all() {
+        let (mut p, mut r, mut f1, mut auc, mut add) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut n = 0.0;
+        for benchmark in Benchmark::all() {
+            if let Some(a) = agg.get(&(variant.name().to_string(), benchmark.name().to_string()))
+            {
+                p += a.precision();
+                r += a.recall();
+                f1 += a.f1();
+                auc += a.r_auc_pr();
+                add += a.add_mean_std().0;
+                n += 1.0;
+            }
+        }
+        if n > 0.0 {
+            rows.push(vec![
+                variant.name().to_string(),
+                f4(p / n),
+                f4(r / n),
+                f4(f1 / n),
+                f4(auc / n),
+                format!("{:.0}", add / n),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render(&["Method", "P", "R", "F1", "R-AUC-PR", "ADD"], &rows)
+    );
+    let csv = cache::results_dir().join("table6.csv");
+    write_csv(&csv, &["method", "P", "R", "F1", "R-AUC-PR", "ADD"], &rows)
+        .expect("write table6.csv");
+    eprintln!("wrote {}", csv.display());
+}

@@ -1,0 +1,154 @@
+//! CSV-backed cell cache so expensive (detector × dataset × run) cells are
+//! computed once and reused by every table binary.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Identifies one evaluation cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Detector (or ablation-variant) name.
+    pub detector: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Run index (doubles as the seed).
+    pub run: u64,
+}
+
+/// Metrics of one evaluation cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Point-adjusted precision.
+    pub precision: f64,
+    /// Point-adjusted recall.
+    pub recall: f64,
+    /// Point-adjusted F1.
+    pub f1: f64,
+    /// Range-aware AUC-PR.
+    pub r_auc_pr: f64,
+    /// Average detection delay (steps).
+    pub add: f64,
+    /// Mean imputation/prediction error on normal points (figure 7/9 data;
+    /// 0 for detectors where it is not meaningful).
+    pub normal_err: f64,
+    /// Mean error on anomalous points.
+    pub abnormal_err: f64,
+}
+
+const HEADER: &str = "detector,dataset,run,precision,recall,f1,r_auc_pr,add,normal_err,abnormal_err";
+
+/// Loads a cache CSV, returning an empty map when absent.
+pub fn load(path: &Path) -> HashMap<CellKey, CellMetrics> {
+    let mut out = HashMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 10 {
+            continue; // tolerate partial writes
+        }
+        let parse = |i: usize| fields[i].parse::<f64>().ok();
+        let (Some(p), Some(r), Some(f1), Some(auc), Some(add), Some(ne), Some(ae)) = (
+            parse(3),
+            parse(4),
+            parse(5),
+            parse(6),
+            parse(7),
+            parse(8),
+            parse(9),
+        ) else {
+            continue;
+        };
+        let Ok(run) = fields[2].parse() else { continue };
+        out.insert(
+            CellKey {
+                detector: fields[0].to_string(),
+                dataset: fields[1].to_string(),
+                run,
+            },
+            CellMetrics {
+                precision: p,
+                recall: r,
+                f1,
+                r_auc_pr: auc,
+                add,
+                normal_err: ne,
+                abnormal_err: ae,
+            },
+        );
+    }
+    out
+}
+
+/// Appends one cell to the cache CSV (creating it with a header).
+pub fn append(path: &Path, key: &CellKey, m: &CellMetrics) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let new = !path.exists();
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if new {
+        writeln!(f, "{HEADER}")?;
+    }
+    writeln!(
+        f,
+        "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.4},{:.8},{:.8}",
+        key.detector,
+        key.dataset,
+        key.run,
+        m.precision,
+        m.recall,
+        m.f1,
+        m.r_auc_pr,
+        m.add,
+        m.normal_err,
+        m.abnormal_err
+    )
+}
+
+/// The repository-level results directory.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var("IMDIFF_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join(format!("imdiff-cache-{}", std::process::id()));
+        let path = dir.join("cells.csv");
+        let key = CellKey {
+            detector: "X".into(),
+            dataset: "SMD".into(),
+            run: 3,
+        };
+        let m = CellMetrics {
+            precision: 0.9,
+            recall: 0.8,
+            f1: 0.85,
+            r_auc_pr: 0.3,
+            add: 12.5,
+            normal_err: 0.01,
+            abnormal_err: 0.5,
+        };
+        append(&path, &key, &m).unwrap();
+        let loaded = load(&path);
+        assert_eq!(loaded.len(), 1);
+        let got = loaded.get(&key).unwrap();
+        assert!((got.f1 - 0.85).abs() < 1e-9);
+        assert!((got.add - 12.5).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert!(load(Path::new("/nonexistent/x.csv")).is_empty());
+    }
+}

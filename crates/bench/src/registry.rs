@@ -1,0 +1,53 @@
+//! Detector construction by table name.
+
+use imdiff_baselines as bl;
+use imdiff_data::Detector;
+
+/// The eleven detectors of Table 2, in the paper's row order.
+pub const TABLE2_DETECTORS: [&str; 11] = [
+    "IForest",
+    "BeatGAN",
+    "LSTM-AD",
+    "InterFusion",
+    "OmniAnomaly",
+    "GDN",
+    "MAD-GAN",
+    "MTAD-GAT",
+    "MSCRED",
+    "TranAD",
+    "ImDiffusion",
+];
+
+/// Builds a *baseline* detector by its table name. `ImDiffusion` is not
+/// constructed here — the suite drives it through its concrete type to
+/// reach the ensemble traces.
+pub fn make_baseline(name: &str, seed: u64) -> Option<Box<dyn Detector>> {
+    Some(match name {
+        "IForest" => Box::new(bl::IsolationForest::new(seed)),
+        "BeatGAN" => Box::new(bl::BeatGan::new(seed)),
+        "LSTM-AD" => Box::new(bl::LstmAd::new(seed)),
+        "InterFusion" => Box::new(bl::InterFusion::new(seed)),
+        "OmniAnomaly" => Box::new(bl::OmniAnomaly::new(seed)),
+        "GDN" => Box::new(bl::Gdn::new(seed)),
+        "MAD-GAN" => Box::new(bl::MadGan::new(seed)),
+        "MTAD-GAT" => Box::new(bl::MtadGat::new(seed)),
+        "MSCRED" => Box::new(bl::Mscred::new(seed)),
+        "TranAD" => Box::new(bl::TranAd::new(seed)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_baselines() {
+        for name in TABLE2_DETECTORS.iter().filter(|&&n| n != "ImDiffusion") {
+            let det = make_baseline(name, 1).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(det.name(), *name);
+        }
+        assert!(make_baseline("ImDiffusion", 1).is_none());
+        assert!(make_baseline("nope", 1).is_none());
+    }
+}

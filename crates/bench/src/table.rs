@@ -1,0 +1,90 @@
+//! Plain-text table rendering and CSV export for the table binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a fixed-width table: a header row plus data rows.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: Vec<&str>| {
+        for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{c:<w$}", w = *w);
+        }
+        out.push('\n');
+    };
+    line(&mut out, headers.to_vec());
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(&mut out, sep.iter().map(String::as_str).collect());
+    for row in rows {
+        line(&mut out, row.iter().map(String::as_str).collect());
+    }
+    out
+}
+
+/// Writes a CSV artifact next to the printed table.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut text = headers.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    std::fs::write(path, text)
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats `mean±std` with whole-number rounding (Table 4 style).
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{:.0}±{:.0}", mean, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a     "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn render_checks_widths() {
+        render(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(0.5), "0.5000");
+        assert!(f4(0.12345).starts_with("0.123"));
+        assert_eq!(pm(103.6, 13.7), "104±14");
+    }
+}

@@ -1,0 +1,126 @@
+//! The ablation variants of §5.3 (Tables 5 and 6).
+
+use imdiff_data::mask::MaskStrategy;
+
+use crate::config::{ImDiffusionConfig, TaskMode};
+
+/// Every row of the paper's ablation tables, as a transformation of the
+/// full ImDiffusion configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblationVariant {
+    /// The full design (imputation + ensembling + unconditional + grating
+    /// masking + complete ImTransformer).
+    Full,
+    /// Forecasting task mode instead of imputation (§5.3.1).
+    Forecasting,
+    /// Reconstruction task mode instead of imputation (§5.3.1).
+    Reconstruction,
+    /// Final-step thresholding only, no vote over intermediate steps
+    /// (§5.3.2).
+    NonEnsemble,
+    /// Conditional diffusion: the observed region is fed as raw values
+    /// instead of forward noise (§5.3.3).
+    Conditional,
+    /// Random 50% masking instead of grating (§5.3.4).
+    RandomMask,
+    /// ImTransformer without the spatial transformer (§5.3.5).
+    NoSpatialTransformer,
+    /// ImTransformer without the temporal transformer (§5.3.5).
+    NoTemporalTransformer,
+}
+
+impl AblationVariant {
+    /// All variants in the paper's table order.
+    pub fn all() -> [AblationVariant; 8] {
+        [
+            AblationVariant::Full,
+            AblationVariant::Forecasting,
+            AblationVariant::Reconstruction,
+            AblationVariant::NonEnsemble,
+            AblationVariant::Conditional,
+            AblationVariant::RandomMask,
+            AblationVariant::NoSpatialTransformer,
+            AblationVariant::NoTemporalTransformer,
+        ]
+    }
+
+    /// Row label matching Table 5/6.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AblationVariant::Full => "ImDiffusion",
+            AblationVariant::Forecasting => "Forecasting",
+            AblationVariant::Reconstruction => "Reconstruction",
+            AblationVariant::NonEnsemble => "Non-ensemble",
+            AblationVariant::Conditional => "Conditional",
+            AblationVariant::RandomMask => "Random Mask",
+            AblationVariant::NoSpatialTransformer => "w/o spatial transformer",
+            AblationVariant::NoTemporalTransformer => "w/o temporal transformer",
+        }
+    }
+
+    /// Applies the variant to a base configuration.
+    pub fn apply(&self, base: &ImDiffusionConfig) -> ImDiffusionConfig {
+        let mut cfg = base.clone();
+        match self {
+            AblationVariant::Full => {}
+            AblationVariant::Forecasting => cfg.task = TaskMode::Forecasting,
+            AblationVariant::Reconstruction => cfg.task = TaskMode::Reconstruction,
+            AblationVariant::NonEnsemble => cfg.ensemble = false,
+            AblationVariant::Conditional => cfg.unconditional = false,
+            AblationVariant::RandomMask => cfg.mask = MaskStrategy::Random { p: 0.5 },
+            AblationVariant::NoSpatialTransformer => cfg.use_spatial = false,
+            AblationVariant::NoTemporalTransformer => cfg.use_temporal = false,
+        }
+        cfg
+    }
+
+    /// Whether the variant can reuse a model trained for [`Self::Full`]
+    /// (inference-only difference).
+    pub fn reuses_full_model(&self) -> bool {
+        matches!(self, AblationVariant::Full | AblationVariant::NonEnsemble)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_variants_with_unique_names() {
+        let names: Vec<_> = AblationVariant::all().iter().map(|v| v.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), 8);
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn apply_touches_exactly_the_right_knob() {
+        let base = ImDiffusionConfig::quick();
+        assert_eq!(
+            AblationVariant::Forecasting.apply(&base).task,
+            TaskMode::Forecasting
+        );
+        assert!(!AblationVariant::NonEnsemble.apply(&base).ensemble);
+        assert!(!AblationVariant::Conditional.apply(&base).unconditional);
+        assert!(matches!(
+            AblationVariant::RandomMask.apply(&base).mask,
+            MaskStrategy::Random { .. }
+        ));
+        assert!(!AblationVariant::NoSpatialTransformer.apply(&base).use_spatial);
+        assert!(!AblationVariant::NoTemporalTransformer.apply(&base).use_temporal);
+        // Full is the identity.
+        let full = AblationVariant::Full.apply(&base);
+        assert_eq!(full.task, base.task);
+        assert_eq!(full.ensemble, base.ensemble);
+    }
+
+    #[test]
+    fn model_reuse_flags() {
+        assert!(AblationVariant::Full.reuses_full_model());
+        assert!(AblationVariant::NonEnsemble.reuses_full_model());
+        assert!(!AblationVariant::Conditional.reuses_full_model());
+        assert!(!AblationVariant::RandomMask.reuses_full_model());
+    }
+}

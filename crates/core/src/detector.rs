@@ -1,0 +1,241 @@
+//! The end-to-end ImDiffusion detector.
+
+use imdiff_data::{Detection, Detector, DetectorError, Mts, NormMethod, Normalizer};
+use imdiff_diffusion::NoiseSchedule;
+
+use crate::config::ImDiffusionConfig;
+use crate::infer::{ensemble_infer, EnsembleOutput};
+use crate::model::ImTransformer;
+use crate::trainer::{train, TrainReport};
+
+/// ImDiffusion as a [`Detector`]: min-max normalization fitted on training
+/// data, a trained [`ImTransformer`] diffusion denoiser, and ensemble
+/// anomaly inference producing both continuous scores and native voted
+/// labels.
+pub struct ImDiffusionDetector {
+    cfg: ImDiffusionConfig,
+    seed: u64,
+    fitted: Option<Fitted>,
+    last_output: Option<EnsembleOutput>,
+    last_report: Option<TrainReport>,
+}
+
+struct Fitted {
+    model: ImTransformer,
+    schedule: NoiseSchedule,
+    normalizer: Normalizer,
+    channels: usize,
+}
+
+impl ImDiffusionDetector {
+    /// Creates an (unfitted) detector.
+    pub fn new(cfg: ImDiffusionConfig, seed: u64) -> Self {
+        cfg.validate();
+        ImDiffusionDetector {
+            cfg,
+            seed,
+            fitted: None,
+            last_output: None,
+            last_report: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ImDiffusionConfig {
+        &self.cfg
+    }
+
+    /// The ensemble trace of the most recent [`Detector::detect`] call
+    /// (used by the figure-reproduction binaries and examples).
+    pub fn last_output(&self) -> Option<&EnsembleOutput> {
+        self.last_output.as_ref()
+    }
+
+    /// The loss curve of the most recent [`Detector::fit`] call.
+    pub fn last_train_report(&self) -> Option<&TrainReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Internal access for checkpointing: the fitted model and normalizer.
+    pub(crate) fn fitted_parts(&self) -> Option<(&ImTransformer, &Normalizer)> {
+        self.fitted
+            .as_ref()
+            .map(|f| (&f.model, &f.normalizer))
+    }
+
+    /// Initialises an untrained skeleton with identity normalization —
+    /// used by checkpoint loading, which overwrites everything afterwards.
+    pub(crate) fn init_untrained(&mut self, channels: usize) {
+        assert!(channels >= 1, "need at least one channel");
+        let model = ImTransformer::new(&self.cfg, channels, self.seed);
+        let schedule = NoiseSchedule::new(self.cfg.schedule, self.cfg.diffusion_steps);
+        let normalizer = Normalizer::from_stats(
+            NormMethod::MinMax,
+            vec![0.0; channels],
+            vec![1.0; channels],
+        );
+        self.fitted = Some(Fitted {
+            model,
+            schedule,
+            normalizer,
+            channels,
+        });
+    }
+
+    /// Overwrites the fitted normalizer statistics (checkpoint loading).
+    pub(crate) fn set_normalizer_vectors(&mut self, offset: &[f32], scale: &[f32]) {
+        let fitted = self.fitted.as_mut().expect("init_untrained first");
+        fitted.normalizer =
+            Normalizer::from_stats(NormMethod::MinMax, offset.to_vec(), scale.to_vec());
+    }
+}
+
+impl Detector for ImDiffusionDetector {
+    fn name(&self) -> &'static str {
+        "ImDiffusion"
+    }
+
+    fn fit(&mut self, train_data: &Mts) -> Result<(), DetectorError> {
+        if train_data.len() < self.cfg.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "need at least {} steps, got {}",
+                self.cfg.window,
+                train_data.len()
+            )));
+        }
+        if train_data.dim() == 0 {
+            return Err(DetectorError::InvalidTrainingData(
+                "zero-dimensional series".into(),
+            ));
+        }
+        let normalizer = Normalizer::fit(train_data, NormMethod::MinMax);
+        let train_n = normalizer.transform(train_data);
+        let model = ImTransformer::new(&self.cfg, train_n.dim(), self.seed);
+        let schedule = NoiseSchedule::new(self.cfg.schedule, self.cfg.diffusion_steps);
+        let report = train(&model, &self.cfg, &schedule, &train_n, self.seed ^ 0xA5A5);
+        self.last_report = Some(report);
+        self.fitted = Some(Fitted {
+            model,
+            schedule,
+            normalizer,
+            channels: train_n.dim(),
+        });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        let fitted = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
+        if test.dim() != fitted.channels {
+            return Err(DetectorError::DimensionMismatch {
+                expected: fitted.channels,
+                actual: test.dim(),
+            });
+        }
+        if test.len() < self.cfg.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "test series shorter than window {}",
+                self.cfg.window
+            )));
+        }
+        let test_n = fitted.normalizer.transform(test);
+        let out = ensemble_infer(
+            &fitted.model,
+            &self.cfg,
+            &fitted.schedule,
+            &test_n,
+            self.seed ^ 0x5A5A,
+        );
+        let detection = Detection {
+            scores: out.scores.clone(),
+            labels: Some(out.labels.clone()),
+        };
+        self.last_output = Some(out);
+        Ok(detection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+
+    fn tiny_cfg() -> ImDiffusionConfig {
+        ImDiffusionConfig {
+            window: 16,
+            train_stride: 8,
+            hidden: 8,
+            heads: 2,
+            residual_blocks: 1,
+            diffusion_steps: 6,
+            train_steps: 15,
+            batch_size: 2,
+            vote_span: 6,
+            vote_every: 2,
+            ..ImDiffusionConfig::quick()
+        }
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 96,
+                test_len: 48,
+            },
+            21,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 21);
+        assert!(matches!(det.detect(&ds.test), Err(DetectorError::NotFitted)));
+        det.fit(&ds.train).unwrap();
+        let d = det.detect(&ds.test).unwrap();
+        assert_eq!(d.scores.len(), 48);
+        assert!(d.labels.is_some());
+        assert!(det.last_output().is_some());
+        assert!(det.last_train_report().is_some());
+    }
+
+    #[test]
+    fn rejects_short_training_data() {
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 1);
+        let err = det.fit(&Mts::zeros(4, 2)).unwrap_err();
+        assert!(matches!(err, DetectorError::InvalidTrainingData(_)));
+    }
+
+    #[test]
+    fn rejects_mismatched_test_channels() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            2,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 2);
+        det.fit(&ds.train).unwrap();
+        let bad = Mts::zeros(32, ds.train.dim() + 1);
+        assert!(matches!(
+            det.detect(&bad),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            8,
+        );
+        let run = || {
+            let mut det = ImDiffusionDetector::new(tiny_cfg(), 4);
+            det.fit(&ds.train).unwrap();
+            det.detect(&ds.test).unwrap().scores
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,582 @@
+//! Ensemble anomaly inference (§4.5, Algorithm 1, Eq. 12).
+
+use imdiff_data::Mts;
+use imdiff_diffusion::NoiseSchedule;
+use imdiff_nn::rng::{normal_vec, seeded};
+use imdiff_nn::{no_grad, Tensor};
+
+use crate::config::{ImDiffusionConfig, TaskMode};
+use crate::model::ImTransformer;
+use crate::trainer::{mask_channel_major, task_masks, window_channel_major};
+
+/// Per-denoising-step record of the ensemble (one entry per vote step).
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// Denoising step `t` (1-based; 1 is the final, fully denoised step).
+    pub t: usize,
+    /// Per-timestamp imputation error, averaged over channels after
+    /// per-channel robust rescaling (each channel's error is divided by its
+    /// median error at the final step so noisy channels cannot drown the
+    /// signal).
+    pub error: Vec<f64>,
+    /// The rescaled threshold τ_t of Eq. (12) applied at this step.
+    pub tau: f64,
+    /// The imputation-quality ratio `Σ E_base / Σ E_t` of Eq. (12).
+    pub ratio: f64,
+    /// The step-wise anomaly votes `Y_t` of Eq. (12).
+    pub labels: Vec<bool>,
+    /// The imputed series at this step, merged over windows and policies.
+    pub imputed: Mts,
+}
+
+/// The full output of ensemble inference over a test series.
+#[derive(Debug, Clone)]
+pub struct EnsembleOutput {
+    /// Continuous anomaly score per timestamp (quality-rescaled error,
+    /// averaged over the vote steps) — used for threshold-free metrics.
+    pub scores: Vec<f64>,
+    /// Vote counts `V_l = Σ_t y_{t,l}` (Algorithm 1, line 12).
+    pub votes: Vec<u32>,
+    /// Final labels `y_l = 1(V_l > ξ)` (Algorithm 1, line 13).
+    pub labels: Vec<bool>,
+    /// One trace per vote step, ordered from `t = T` down to `t = 1`.
+    pub steps: Vec<StepTrace>,
+    /// The final-step baseline threshold τ_T of Eq. (12).
+    pub tau_base: f64,
+    /// The vote threshold ξ actually applied.
+    pub vote_threshold: usize,
+    /// Per-cell (timestamp × channel, row-major `[L, K]`) imputation error
+    /// at the final denoising step, channel-scale normalized — the raw
+    /// material for per-channel anomaly attribution.
+    pub cell_error: Vec<f64>,
+    /// Channel count `K` of the analysed series.
+    pub channels: usize,
+}
+
+impl EnsembleOutput {
+    /// Re-runs the Eq. (12) thresholding and vote with a different baseline
+    /// threshold and vote threshold, without re-running the diffusion
+    /// chain. The paper's τ and ξ are dataset-dependent; this is how the
+    /// harness calibrates them cheaply.
+    pub fn revote(&self, tau_base: f64, xi: usize) -> Vec<bool> {
+        let len = self.scores.len();
+        let mut votes = vec![0u32; len];
+        for step in &self.steps {
+            let tau = step.ratio * tau_base;
+            for (v, &e) in votes.iter_mut().zip(&step.error) {
+                if e >= tau {
+                    *v += 1;
+                }
+            }
+        }
+        votes.iter().map(|&v| v as usize > xi).collect()
+    }
+
+    /// The per-timestamp error at the final (fully denoised) step.
+    pub fn final_step_error(&self) -> &[f64] {
+        &self
+            .steps
+            .last()
+            .expect("ensemble always has at least one step")
+            .error
+    }
+
+    /// Per-channel share of the imputation error at timestamp `l`
+    /// (non-negative, sums to 1) — anomaly attribution: which channels
+    /// drove the alarm.
+    pub fn channel_attribution(&self, l: usize) -> Vec<f64> {
+        let k = self.channels;
+        let row = &self.cell_error[l * k..(l + 1) * k];
+        let total: f64 = row.iter().sum();
+        if total <= 0.0 {
+            return vec![1.0 / k as f64; k];
+        }
+        row.iter().map(|&e| e / total).collect()
+    }
+
+    /// The `n` channels contributing most error at timestamp `l`, as
+    /// `(channel index, error share)` sorted descending.
+    pub fn top_channels(&self, l: usize, n: usize) -> Vec<(usize, f64)> {
+        let attr = self.channel_attribution(l);
+        let mut ranked: Vec<(usize, f64)> = attr.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite attribution"));
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+/// Window start offsets covering the whole series: stride `stride`, plus a
+/// tail window aligned to the end when the last stride leaves a remainder.
+fn coverage_starts(len: usize, window: usize, stride: usize) -> Vec<usize> {
+    assert!(len >= window, "series shorter than one window");
+    let mut starts = Vec::new();
+    let mut s = 0;
+    while s + window <= len {
+        starts.push(s);
+        s += stride;
+    }
+    if let Some(&last) = starts.last() {
+        if last + window < len {
+            starts.push(len - window);
+        }
+    }
+    starts
+}
+
+/// Runs Algorithm 1 over a (normalized) test series.
+///
+/// For each mask policy, all windows are batched into a single reverse
+/// diffusion chain: starting from Gaussian noise on the masked region, the
+/// model denoises step by step, conditioned on fresh forward noise drawn
+/// for the observed region (the unconditional design of §4.1; the
+/// conditional ablation feeds raw observed values instead). Imputation
+/// errors are recorded at every vote step, merged across the complementary
+/// policies, thresholded with Eq. (12) and aggregated by voting.
+pub fn ensemble_infer(
+    model: &ImTransformer,
+    cfg: &ImDiffusionConfig,
+    schedule: &NoiseSchedule,
+    test: &Mts,
+    seed: u64,
+) -> EnsembleOutput {
+    cfg.validate();
+    let (len, k, w) = (test.len(), test.dim(), cfg.window);
+    assert_eq!(k, model.channels(), "test data channel mismatch");
+    let stride = match cfg.task {
+        TaskMode::Forecasting => (w / 2).max(1),
+        _ => w,
+    };
+    let starts = coverage_starts(len, w, stride);
+    let nw = starts.len();
+    let cell = k * w;
+    let mut rng = seeded(seed ^ 0x1fe2_77ab);
+
+    let reverse_steps = cfg.reverse_steps(); // descending, ends at 1
+    let vote_steps = cfg.vote_steps_among(&reverse_steps);
+    let n_votes = vote_steps.len();
+
+    // Global accumulators over the full series, per vote step.
+    let mut err_sum = vec![vec![0.0f64; len * k]; n_votes];
+    let mut imp_sum = vec![vec![0.0f64; len * k]; n_votes];
+    let mut count = vec![0.0f64; len * k];
+
+    let policies = task_masks(cfg, &mut rng, w, k);
+    let x0_batch: Vec<f32> = starts
+        .iter()
+        .flat_map(|&s| window_channel_major(&test.slice_time(s, w)))
+        .collect();
+
+    for (pi, mask) in policies.iter().enumerate() {
+        let (obs, tgt) = mask_channel_major(mask);
+        // Initial noise on the masked region (X_T, Algorithm 1 line 2).
+        let mut x_cur = normal_vec(&mut rng, nw * cell);
+        let steps_vec = vec![0usize; nw]; // placeholder, overwritten per t
+        let policies_vec = vec![pi; nw];
+        let mut steps_buf = steps_vec;
+
+        for (step_idx, &t) in reverse_steps.iter().enumerate() {
+            let t_prev = reverse_steps.get(step_idx + 1).copied().unwrap_or(0);
+            // Fresh forward noise for the observed region (ε_t^{M1}).
+            let eps_ref = normal_vec(&mut rng, nw * cell);
+            let mut x_val = vec![0.0f32; nw * cell];
+            let mut x_ref = vec![0.0f32; nw * cell];
+            let sab = schedule.sqrt_alpha_bar(t);
+            let somab = schedule.sqrt_one_minus_alpha_bar(t);
+            for wi in 0..nw {
+                let base = wi * cell;
+                for j in 0..cell {
+                    if cfg.unconditional {
+                        // Observed cells follow their known forward
+                        // trajectory (ground truth + sampled noise); masked
+                        // cells carry the reverse-chain iterate. The noise
+                        // reference ε_t^{M1} is what makes the observed
+                        // part decodable (§4.1).
+                        let xt_obs = sab * x0_batch[base + j] + somab * eps_ref[base + j];
+                        x_val[base + j] =
+                            x_cur[base + j] * tgt[j] + xt_obs * obs[j];
+                        x_ref[base + j] = eps_ref[base + j] * obs[j];
+                    } else {
+                        x_val[base + j] = x_cur[base + j] * tgt[j];
+                        x_ref[base + j] = x0_batch[base + j] * obs[j];
+                    }
+                }
+            }
+            steps_buf.iter_mut().for_each(|s| *s = t);
+            let x_val_t = Tensor::from_vec(x_val, &[nw, k, w]).expect("x_val shape");
+            let x_ref_t = Tensor::from_vec(x_ref, &[nw, k, w]).expect("x_ref shape");
+            let eps_hat =
+                no_grad(|| model.forward(&x_val_t, &x_ref_t, &steps_buf, &policies_vec));
+
+            // Reverse transition (Algorithm 1 line 6 / Eq. 9) through the
+            // clamped-x̂0 parameterization: the x̂0 estimate is clipped to
+            // the (normalized) data range every step so imperfect noise
+            // predictions cannot compound into divergence — the standard
+            // DDPM sampling stabilizer.
+            let (clamp_lo, clamp_hi) = cfg.x0_clamp;
+            let mut x0_hat = {
+                let eps_hat_d = eps_hat.data();
+                schedule.predict_x0(&x_cur, &eps_hat_d, t)
+            };
+            for v in &mut x0_hat {
+                *v = v.clamp(clamp_lo, clamp_hi);
+            }
+            let x_prev = if cfg.ddim_steps.is_some() {
+                // Deterministic DDIM jump to the next visited step.
+                if t_prev == 0 {
+                    x0_hat.clone()
+                } else {
+                    schedule.ddim_step(&x_cur, &x0_hat, t, t_prev)
+                }
+            } else {
+                let z = normal_vec(&mut rng, nw * cell);
+                schedule.p_step_from_x0(&x_cur, &x0_hat, t, &z)
+            };
+
+            if let Some(vi) = vote_steps.iter().position(|&vs| vs == t) {
+                // Record the prediction error E_t on the masked region
+                // (Algorithm 1 line 7). The prediction read out at step t is
+                // the deterministic x̂_0 implied by ε̂ — the same information
+                // as X_{t-1} but without the freshly injected sampling
+                // noise, which keeps the error signal low-variance.
+                for (wi, &start) in starts.iter().enumerate() {
+                    let base = wi * cell;
+                    for c in 0..k {
+                        for tl in 0..w {
+                            let j = c * w + tl;
+                            if tgt[j] == 1.0 {
+                                let global = (start + tl) * k + c;
+                                let pred = x0_hat[base + j] as f64;
+                                let truth = x0_batch[base + j] as f64;
+                                err_sum[vi][global] += (truth - pred) * (truth - pred);
+                                imp_sum[vi][global] += pred;
+                                if vi == 0 {
+                                    count[global] += 1.0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            x_cur = x_prev;
+        }
+    }
+
+    // Normalise accumulators; fill cells never covered (e.g. the leading
+    // half-window in forecasting mode) with the observed value / mean error.
+    let covered: Vec<bool> = count.iter().map(|&c| c > 0.0).collect();
+    let mut per_step_cell_err: Vec<Vec<f64>> = Vec::with_capacity(n_votes);
+    for err_step in err_sum.iter().take(n_votes) {
+        let mut e = vec![0.0f64; len * k];
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        for j in 0..len * k {
+            if covered[j] {
+                e[j] = err_step[j] / count[j];
+                total += e[j];
+                n += 1;
+            }
+        }
+        let mean = if n > 0 { total / n as f64 } else { 0.0 };
+        for j in 0..len * k {
+            if !covered[j] {
+                e[j] = mean;
+            }
+        }
+        per_step_cell_err.push(e);
+    }
+
+    // Per-channel robust scale from the final step's errors: dividing each
+    // channel by its median error keeps intrinsically noisy channels from
+    // drowning the anomaly signal when averaging across channels.
+    let base_errs = &per_step_cell_err[per_step_cell_err.len() - 1];
+    let chan_scale: Vec<f64> = (0..k)
+        .map(|c| {
+            let mut col: Vec<f64> = (0..len).map(|l| base_errs[l * k + c]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+            col[col.len() / 2].max(1e-9)
+        })
+        .collect();
+
+    // Per-timestamp error (scaled mean over channels) and step sums for
+    // Eq. (12).
+    let per_step_ts_err: Vec<Vec<f64>> = per_step_cell_err
+        .iter()
+        .map(|e| {
+            (0..len)
+                .map(|l| {
+                    (0..k)
+                        .map(|c| e[l * k + c] / chan_scale[c])
+                        .sum::<f64>()
+                        / k as f64
+                })
+                .collect()
+        })
+        .collect();
+    let step_sums: Vec<f64> = per_step_ts_err
+        .iter()
+        .map(|e| e.iter().sum::<f64>().max(1e-12))
+        .collect();
+
+    // Eq. (12): the fully denoised step (t = 1, last entry) is the quality
+    // baseline; earlier steps get their threshold rescaled by relative
+    // imputation quality Σ E_base / Σ E_t.
+    let base_idx = n_votes - 1;
+    let tau_base =
+        imdiff_metrics::threshold_at_percentile(&per_step_ts_err[base_idx], cfg.tau_percentile);
+    let base_sum = step_sums[base_idx];
+
+    let mut votes = vec![0u32; len];
+    let mut steps_out = Vec::with_capacity(n_votes);
+    let mut scores = vec![0.0f64; len];
+    for vi in 0..n_votes {
+        // τ_t = (Σ E_base / Σ E_t) · τ_base (Eq. 12).
+        let ratio = base_sum / step_sums[vi];
+        let tau = ratio * tau_base;
+        let labels_t: Vec<bool> = per_step_ts_err[vi].iter().map(|&e| e >= tau).collect();
+        for (v, &lab) in votes.iter_mut().zip(&labels_t) {
+            if lab {
+                *v += 1;
+            }
+        }
+        for (s, &e) in scores.iter_mut().zip(&per_step_ts_err[vi]) {
+            *s += e * ratio / n_votes as f64;
+        }
+        // Merged imputed series at this step.
+        let mut imputed = test.clone();
+        for l in 0..len {
+            for c in 0..k {
+                let j = l * k + c;
+                if covered[j] {
+                    imputed.set(l, c, (imp_sum[vi][j] / count[j]) as f32);
+                }
+            }
+        }
+        steps_out.push(StepTrace {
+            t: vote_steps[vi],
+            error: per_step_ts_err[vi].clone(),
+            tau,
+            ratio,
+            labels: labels_t,
+            imputed,
+        });
+    }
+
+    // Light temporal smoothing of the continuous score: per-point
+    // imputation error is spiky inside long range anomalies, which biases
+    // range-aware metrics; a centered moving average (a quarter window)
+    // matches the smoothing every reconstruction baseline gets for free
+    // from overlapping-window averaging. Votes/labels are NOT smoothed.
+    let smooth_w = (w / 4).max(1);
+    let scores = {
+        let mut out = vec![0.0f64; len];
+        for (i, o) in out.iter_mut().enumerate() {
+            let lo = i.saturating_sub(smooth_w / 2);
+            let hi = (i + smooth_w / 2 + 1).min(len);
+            *o = scores[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        }
+        out
+    };
+
+    let xi = if cfg.ensemble {
+        cfg.vote_threshold()
+    } else {
+        0
+    };
+    let labels: Vec<bool> = votes.iter().map(|&v| v as usize > xi).collect();
+
+    // Normalized per-cell error at the final step, for attribution.
+    let cell_error: Vec<f64> = (0..len * k)
+        .map(|j| per_step_cell_err[base_idx][j] / chan_scale[j % k])
+        .collect();
+
+    EnsembleOutput {
+        scores,
+        votes,
+        labels,
+        steps: steps_out,
+        tau_base,
+        vote_threshold: xi,
+        cell_error,
+        channels: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+    use imdiff_data::{NormMethod, Normalizer};
+    use imdiff_diffusion::NoiseSchedule;
+
+    fn tiny_cfg() -> ImDiffusionConfig {
+        ImDiffusionConfig {
+            window: 16,
+            train_stride: 8,
+            hidden: 8,
+            heads: 2,
+            residual_blocks: 1,
+            diffusion_steps: 6,
+            train_steps: 10,
+            batch_size: 2,
+            vote_span: 6,
+            vote_every: 2,
+            ..ImDiffusionConfig::quick()
+        }
+    }
+
+    #[test]
+    fn coverage_starts_tile_and_tail() {
+        assert_eq!(coverage_starts(48, 16, 16), vec![0, 16, 32]);
+        assert_eq!(coverage_starts(50, 16, 16), vec![0, 16, 32, 34]);
+        assert_eq!(coverage_starts(16, 16, 16), vec![0]);
+    }
+
+    #[test]
+    fn ensemble_output_shapes_and_invariants() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 40,
+            },
+            2,
+        );
+        let norm = Normalizer::fit(&ds.train, NormMethod::MinMax);
+        let test_n = norm.transform(&ds.test);
+        let cfg = tiny_cfg();
+        let model = ImTransformer::new(&cfg, test_n.dim(), 1);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let out = ensemble_infer(&model, &cfg, &schedule, &test_n, 7);
+
+        assert_eq!(out.scores.len(), 40);
+        assert_eq!(out.votes.len(), 40);
+        assert_eq!(out.labels.len(), 40);
+        assert_eq!(out.steps.len(), cfg.vote_steps().len());
+        // Votes bounded by the number of vote steps.
+        let max_votes = out.steps.len() as u32;
+        assert!(out.votes.iter().all(|&v| v <= max_votes));
+        // Labels consistent with votes and ξ.
+        for (l, &v) in out.labels.iter().zip(&out.votes) {
+            assert_eq!(*l, v as usize > out.vote_threshold);
+        }
+        // Scores finite and non-negative.
+        assert!(out.scores.iter().all(|&s| s.is_finite() && s >= 0.0));
+        // Step traces ordered from high t to t = 1.
+        assert_eq!(out.steps.last().unwrap().t, 1);
+        for w in out.steps.windows(2) {
+            assert!(w[0].t > w[1].t);
+        }
+    }
+
+    #[test]
+    fn untrained_model_flags_nothing_everything_consistently() {
+        // Even untrained, inference must be deterministic per seed.
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            3,
+        );
+        let cfg = tiny_cfg();
+        let model = ImTransformer::new(&cfg, ds.test.dim(), 5);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let a = ensemble_infer(&model, &cfg, &schedule, &ds.test, 9);
+        let b = ensemble_infer(&model, &cfg, &schedule, &ds.test, 9);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn forecasting_mode_runs_with_half_stride() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 48,
+            },
+            4,
+        );
+        let cfg = ImDiffusionConfig {
+            task: TaskMode::Forecasting,
+            ..tiny_cfg()
+        };
+        let model = ImTransformer::new(&cfg, ds.test.dim(), 5);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let out = ensemble_infer(&model, &cfg, &schedule, &ds.test, 1);
+        assert_eq!(out.scores.len(), 48);
+    }
+
+    #[test]
+    fn ddim_sampling_runs_and_is_deterministic() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            6,
+        );
+        let cfg = ImDiffusionConfig {
+            ddim_steps: Some(3),
+            ..tiny_cfg()
+        };
+        let model = ImTransformer::new(&cfg, ds.test.dim(), 5);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let a = ensemble_infer(&model, &cfg, &schedule, &ds.test, 2);
+        let b = ensemble_infer(&model, &cfg, &schedule, &ds.test, 2);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.steps.last().unwrap().t, 1);
+        assert!(a.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn channel_attribution_sums_to_one_and_ranks() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            11,
+        );
+        let cfg = tiny_cfg();
+        let model = ImTransformer::new(&cfg, ds.test.dim(), 5);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let out = ensemble_infer(&model, &cfg, &schedule, &ds.test, 3);
+        let k = ds.test.dim();
+        for l in [0usize, 15, 31] {
+            let attr = out.channel_attribution(l);
+            assert_eq!(attr.len(), k);
+            let sum: f64 = attr.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+            assert!(attr.iter().all(|&a| a >= 0.0));
+        }
+        let top = out.top_channels(10, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn non_ensemble_uses_single_step() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            5,
+        );
+        let cfg = ImDiffusionConfig {
+            ensemble: false,
+            ..tiny_cfg()
+        };
+        let model = ImTransformer::new(&cfg, ds.test.dim(), 5);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let out = ensemble_infer(&model, &cfg, &schedule, &ds.test, 1);
+        assert_eq!(out.steps.len(), 1);
+        assert_eq!(out.steps[0].t, 1);
+        assert_eq!(out.vote_threshold, 0);
+    }
+}

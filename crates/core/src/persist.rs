@@ -1,0 +1,167 @@
+//! Checkpointing for trained ImDiffusion detectors.
+//!
+//! A checkpoint stores the ImTransformer weights plus the fitted
+//! normalization statistics, so a production deployment can train once and
+//! reload across process restarts (the §6 scenario). The configuration is
+//! *not* stored — reconstruct the detector with the same
+//! [`crate::ImDiffusionConfig`]; mismatches are caught by shape checks.
+
+use std::path::Path;
+
+use imdiff_data::DetectorError;
+use imdiff_nn::layers::Module;
+use imdiff_nn::serialize::{load_params_into, save_params};
+use imdiff_nn::Tensor;
+
+use crate::detector::ImDiffusionDetector;
+
+impl ImDiffusionDetector {
+    /// Saves the fitted model and normalizer to `path`.
+    ///
+    /// Returns [`DetectorError::NotFitted`] when called before
+    /// [`Detector::fit`].
+    pub fn save(&self, path: &Path) -> Result<(), DetectorError> {
+        let (model, normalizer) = self
+            .fitted_parts()
+            .ok_or(DetectorError::NotFitted)?;
+        let mut params = model.params();
+        let (offset, scale) = normalizer_vectors(normalizer);
+        params.push(Tensor::from_vec(offset.clone(), &[offset.len()]).expect("offset"));
+        params.push(Tensor::from_vec(scale.clone(), &[scale.len()]).expect("scale"));
+        save_params(path, &params).map_err(|e| {
+            DetectorError::InvalidTrainingData(format!("cannot write checkpoint: {e}"))
+        })
+    }
+
+    /// Restores a detector from a checkpoint written by [`Self::save`].
+    ///
+    /// `cfg` and `seed` must match the saving detector's configuration
+    /// (the architecture is rebuilt from them); `channels` is the channel
+    /// count of the training data. Shape mismatches surface as errors.
+    pub fn load(
+        cfg: crate::ImDiffusionConfig,
+        seed: u64,
+        channels: usize,
+        path: &Path,
+    ) -> Result<Self, DetectorError> {
+        let mut det = ImDiffusionDetector::new(cfg, seed);
+        // Build an architecture-matching skeleton by "fitting" statistics
+        // placeholders, then overwrite everything from the checkpoint.
+        det.init_untrained(channels);
+        let (model, _) = det.fitted_parts().expect("skeleton just initialised");
+        let mut params = model.params();
+        let offset = Tensor::zeros(&[channels]);
+        let scale = Tensor::ones(&[channels]);
+        params.push(offset.clone());
+        params.push(scale.clone());
+        load_params_into(path, &params).map_err(|e| {
+            DetectorError::InvalidTrainingData(format!("checkpoint mismatch: {e}"))
+        })?;
+        det.set_normalizer_vectors(&offset.to_vec(), &scale.to_vec());
+        Ok(det)
+    }
+}
+
+/// Extracts the normalizer's per-channel offset/scale.
+fn normalizer_vectors(norm: &imdiff_data::Normalizer) -> (Vec<f32>, Vec<f32>) {
+    norm.stats()
+}
+
+/// A `fit`-free smoke check used in tests: a checkpoint roundtrip must
+/// reproduce identical detections.
+#[cfg(test)]
+fn roundtrip_equivalent(
+    original: &mut ImDiffusionDetector,
+    restored: &mut ImDiffusionDetector,
+    test: &imdiff_data::Mts,
+) -> bool {
+    use imdiff_data::Detector;
+    let a = original.detect(test).expect("original detect");
+    let b = restored.detect(test).expect("restored detect");
+    a.scores == b.scores && a.labels == b.labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImDiffusionConfig;
+    use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+    use imdiff_data::Detector;
+
+    fn tiny_cfg() -> ImDiffusionConfig {
+        ImDiffusionConfig {
+            window: 16,
+            train_stride: 8,
+            hidden: 8,
+            heads: 2,
+            residual_blocks: 1,
+            diffusion_steps: 5,
+            train_steps: 10,
+            batch_size: 2,
+            vote_span: 5,
+            vote_every: 2,
+            ..ImDiffusionConfig::quick()
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("imdiffusion-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_requires_fit() {
+        let det = ImDiffusionDetector::new(tiny_cfg(), 1);
+        assert!(matches!(
+            det.save(&tmp("unfitted.ckpt")),
+            Err(DetectorError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_reproduces_detections() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            3,
+        );
+        let path = tmp("roundtrip.ckpt");
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 9);
+        det.fit(&ds.train).unwrap();
+        det.save(&path).unwrap();
+
+        let mut restored =
+            ImDiffusionDetector::load(tiny_cfg(), 9, ds.train.dim(), &path).unwrap();
+        assert!(roundtrip_equivalent(&mut det, &mut restored, &ds.test));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 32,
+            },
+            3,
+        );
+        let path = tmp("wrong-arch.ckpt");
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 9);
+        det.fit(&ds.train).unwrap();
+        det.save(&path).unwrap();
+
+        let bigger = ImDiffusionConfig {
+            hidden: 16,
+            ..tiny_cfg()
+        };
+        let err = match ImDiffusionDetector::load(bigger, 9, ds.train.dim(), &path) {
+            Ok(_) => panic!("mismatched architecture must not load"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, DetectorError::InvalidTrainingData(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,298 @@
+//! Online monitoring wrapper: ImDiffusion as a streaming detector.
+//!
+//! The production deployment of §6 scores latency telemetry arriving every
+//! 30 seconds. [`StreamingMonitor`] wraps a fitted [`ImDiffusionDetector`]
+//! with a rolling window: each arriving observation is buffered, and every
+//! `hop` arrivals the ensemble inference re-runs on the most recent window,
+//! emitting verdicts for the points that just became old enough to judge.
+
+use std::collections::VecDeque;
+
+use imdiff_data::{Detector, DetectorError, Mts};
+use imdiff_metrics::{pot_threshold, threshold_at_percentile};
+
+use crate::detector::ImDiffusionDetector;
+
+/// Maximum error-history length kept for dynamic thresholding.
+const HISTORY_CAP: usize = 4096;
+
+/// How the streaming monitor picks the Eq. (12) baseline threshold τ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdMode {
+    /// The detector's native per-window percentile rule (the paper's
+    /// offline behaviour).
+    Native,
+    /// Dynamic thresholding: τ is re-fitted over the *history* of
+    /// final-step errors with Peaks-Over-Threshold (Siffer et al.), the
+    /// "dynamic thresholding" future-work direction of §5.2.1. `risk` is
+    /// the target per-point false-alarm probability. Falls back to a high
+    /// percentile until enough history accumulates.
+    PotDynamic {
+        /// Target false-alarm probability per point (e.g. `1e-3`).
+        risk: f64,
+    },
+}
+
+/// Verdict for one streamed observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointVerdict {
+    /// Global index of the observation (0-based since monitor creation).
+    pub index: u64,
+    /// ImDiffusion's voted anomaly label.
+    pub anomalous: bool,
+    /// Continuous anomaly score (higher = more suspicious).
+    pub score: f64,
+    /// Number of ensemble votes received.
+    pub votes: u32,
+}
+
+/// A rolling-window online anomaly monitor.
+pub struct StreamingMonitor {
+    detector: ImDiffusionDetector,
+    buffer: VecDeque<Vec<f32>>,
+    window: usize,
+    hop: usize,
+    channels: usize,
+    seen: u64,
+    since_eval: usize,
+    threshold_mode: ThresholdMode,
+    /// Rolling history of final-step errors for dynamic thresholding.
+    error_history: VecDeque<f64>,
+}
+
+impl StreamingMonitor {
+    /// Wraps a **fitted** detector. `hop` controls how often inference
+    /// re-runs (1 = every point, `window` = non-overlapping batches);
+    /// smaller hops reduce detection delay at proportional compute cost.
+    pub fn new(
+        detector: ImDiffusionDetector,
+        channels: usize,
+        hop: usize,
+    ) -> Result<Self, DetectorError> {
+        if detector.last_train_report().is_none() {
+            return Err(DetectorError::NotFitted);
+        }
+        let window = detector.config().window;
+        if hop == 0 || hop > window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "hop must be in 1..={window}"
+            )));
+        }
+        Ok(StreamingMonitor {
+            detector,
+            buffer: VecDeque::with_capacity(window),
+            window,
+            hop,
+            channels,
+            seen: 0,
+            since_eval: 0,
+            threshold_mode: ThresholdMode::Native,
+            error_history: VecDeque::with_capacity(HISTORY_CAP),
+        })
+    }
+
+    /// Switches the thresholding rule (see [`ThresholdMode`]).
+    pub fn with_threshold_mode(mut self, mode: ThresholdMode) -> Self {
+        self.threshold_mode = mode;
+        self
+    }
+
+    /// Number of observations consumed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Feeds one observation. Returns verdicts for the `hop` newest points
+    /// whenever an evaluation triggers (the window must fill first, so the
+    /// earliest `window - hop` points are only judged once enough context
+    /// exists).
+    pub fn push(&mut self, row: &[f32]) -> Result<Vec<PointVerdict>, DetectorError> {
+        if row.len() != self.channels {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.channels,
+                actual: row.len(),
+            });
+        }
+        if self.buffer.len() == self.window {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(row.to_vec());
+        self.seen += 1;
+        self.since_eval += 1;
+        if self.buffer.len() < self.window || self.since_eval < self.hop {
+            return Ok(Vec::new());
+        }
+        self.since_eval = 0;
+
+        // Materialise the window and run the full ensemble inference on it.
+        let flat: Vec<f32> = self.buffer.iter().flatten().copied().collect();
+        let window_mts = Mts::new(flat, self.window, self.channels);
+        let detection = self.detector.detect(&window_mts)?;
+        let out = self
+            .detector
+            .last_output()
+            .expect("detect populates the ensemble output");
+
+        // Dynamic thresholding: re-vote against a τ fitted over the error
+        // history instead of the current window's own percentile, which is
+        // noisy at streaming window sizes.
+        let labels: Vec<bool> = match self.threshold_mode {
+            ThresholdMode::Native => detection.labels.clone().expect("native labels"),
+            ThresholdMode::PotDynamic { risk } => {
+                for &e in out.final_step_error() {
+                    if self.error_history.len() == HISTORY_CAP {
+                        self.error_history.pop_front();
+                    }
+                    self.error_history.push_back(e);
+                }
+                let history: Vec<f64> = self.error_history.iter().copied().collect();
+                let tau = if history.len() >= 100 {
+                    pot_threshold(&history, 95.0, risk)
+                        .map(|p| p.threshold)
+                        .unwrap_or_else(|| threshold_at_percentile(&history, 99.0))
+                } else {
+                    threshold_at_percentile(&history, 98.0)
+                };
+                out.revote(tau, out.vote_threshold)
+            }
+        };
+
+        // Emit the newest `hop` positions of the window.
+        let first_global = self.seen - self.hop as u64;
+        let verdicts = (0..self.hop)
+            .map(|i| {
+                let pos = self.window - self.hop + i;
+                PointVerdict {
+                    index: first_global + i as u64,
+                    anomalous: labels[pos],
+                    score: detection.scores[pos],
+                    votes: out.votes[pos],
+                }
+            })
+            .collect();
+        Ok(verdicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImDiffusionConfig;
+    use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+
+    fn tiny_cfg() -> ImDiffusionConfig {
+        ImDiffusionConfig {
+            window: 16,
+            train_stride: 8,
+            hidden: 8,
+            heads: 2,
+            residual_blocks: 1,
+            diffusion_steps: 5,
+            train_steps: 10,
+            batch_size: 2,
+            vote_span: 5,
+            vote_every: 2,
+            ..ImDiffusionConfig::quick()
+        }
+    }
+
+    fn fitted_monitor(hop: usize) -> (StreamingMonitor, imdiff_data::synthetic::LabeledDataset) {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 64,
+            },
+            4,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 4);
+        det.fit(&ds.train).unwrap();
+        let channels = ds.train.dim();
+        (StreamingMonitor::new(det, channels, hop).unwrap(), ds)
+    }
+
+    #[test]
+    fn unfitted_detector_rejected() {
+        let det = ImDiffusionDetector::new(tiny_cfg(), 1);
+        assert!(matches!(
+            StreamingMonitor::new(det, 3, 4),
+            Err(DetectorError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn verdicts_cover_stream_after_warmup() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        let mut judged = Vec::new();
+        for l in 0..ds.test.len() {
+            let vs = monitor.push(ds.test.row(l)).unwrap();
+            judged.extend(vs);
+        }
+        assert_eq!(monitor.seen(), ds.test.len() as u64);
+        assert!(!judged.is_empty());
+        // Indices are strictly increasing and contiguous per batch.
+        for pair in judged.windows(2) {
+            assert!(pair[1].index > pair[0].index);
+        }
+        // After warm-up (window=16), every hop-th batch emits 8 verdicts.
+        let expected = ((ds.test.len() - 16) / 8 + 1) * 8;
+        assert_eq!(judged.len(), expected);
+        assert!(judged.iter().all(|v| v.score.is_finite()));
+    }
+
+    #[test]
+    fn pot_dynamic_mode_emits_verdicts() {
+        let (monitor, ds) = fitted_monitor(8);
+        let mut monitor =
+            monitor.with_threshold_mode(ThresholdMode::PotDynamic { risk: 1e-3 });
+        let mut judged = 0usize;
+        for l in 0..ds.test.len() {
+            judged += monitor.push(ds.test.row(l)).unwrap().len();
+        }
+        assert!(judged > 0);
+    }
+
+    #[test]
+    fn lower_risk_flags_no_more_points() {
+        let run = |risk: f64| {
+            let (monitor, ds) = fitted_monitor(8);
+            let mut monitor =
+                monitor.with_threshold_mode(ThresholdMode::PotDynamic { risk });
+            let mut alarms = 0usize;
+            for l in 0..ds.test.len() {
+                alarms += monitor
+                    .push(ds.test.row(l))
+                    .unwrap()
+                    .iter()
+                    .filter(|v| v.anomalous)
+                    .count();
+            }
+            alarms
+        };
+        // A stricter risk level cannot produce more alarms.
+        assert!(run(1e-5) <= run(1e-1));
+    }
+
+    #[test]
+    fn wrong_width_row_rejected() {
+        let (mut monitor, _) = fitted_monitor(4);
+        let err = monitor.push(&[0.0]).unwrap_err();
+        assert!(matches!(err, DetectorError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_hop_rejected() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 16,
+            },
+            4,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 4);
+        det.fit(&ds.train).unwrap();
+        let k = ds.train.dim();
+        assert!(StreamingMonitor::new(det, k, 0).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! The shared detector interface driven by the evaluation harness.
+
+use std::fmt;
+
+use crate::Mts;
+
+/// Errors surfaced by detectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorError {
+    /// Training data was unusable (too short, wrong dimensionality, ...).
+    InvalidTrainingData(String),
+    /// `detect` was called before `fit`.
+    NotFitted,
+    /// The test series is incompatible with the fitted model.
+    DimensionMismatch {
+        /// Channel count seen during fit.
+        expected: usize,
+        /// Channel count of the offending series.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::InvalidTrainingData(msg) => {
+                write!(f, "invalid training data: {msg}")
+            }
+            DetectorError::NotFitted => write!(f, "detector used before fit()"),
+            DetectorError::DimensionMismatch { expected, actual } => {
+                write!(f, "series has {actual} channels, model expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
+/// The output of a detector on a test series.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Continuous anomaly score per timestamp — higher means more
+    /// anomalous. Always the same length as the test series.
+    pub scores: Vec<f64>,
+    /// Native thresholded labels, when the detector has its own decision
+    /// rule (ImDiffusion's ensemble voting, Eq. 12). `None` means the
+    /// harness should threshold `scores` itself (the paper grid-searches
+    /// thresholds for such baselines).
+    pub labels: Option<Vec<bool>>,
+}
+
+impl Detection {
+    /// A score-only detection.
+    pub fn from_scores(scores: Vec<f64>) -> Self {
+        Detection {
+            scores,
+            labels: None,
+        }
+    }
+}
+
+/// A multivariate time-series anomaly detector.
+///
+/// The lifecycle is `fit` on an (assumed mostly normal, unlabelled)
+/// training split followed by `detect` on a labelled test split. Detectors
+/// are seeded at construction; repeated fit/detect with the same seed must
+/// be deterministic.
+pub trait Detector {
+    /// Short identifier used in result tables (e.g. `"TranAD"`).
+    fn name(&self) -> &'static str;
+
+    /// Learns the normal behaviour of the series.
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError>;
+
+    /// Scores every timestamp of the test series.
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial detector used to exercise the trait object path.
+    struct MeanShift {
+        mean: Option<Vec<f32>>,
+    }
+
+    impl Detector for MeanShift {
+        fn name(&self) -> &'static str {
+            "MeanShift"
+        }
+
+        fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+            if train.is_empty() {
+                return Err(DetectorError::InvalidTrainingData("empty".into()));
+            }
+            let k = train.dim();
+            let mut mean = vec![0.0f32; k];
+            for l in 0..train.len() {
+                for (m, v) in mean.iter_mut().zip(train.row(l)) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= train.len() as f32;
+            }
+            self.mean = Some(mean);
+            Ok(())
+        }
+
+        fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+            let mean = self.mean.as_ref().ok_or(DetectorError::NotFitted)?;
+            if mean.len() != test.dim() {
+                return Err(DetectorError::DimensionMismatch {
+                    expected: mean.len(),
+                    actual: test.dim(),
+                });
+            }
+            let scores = (0..test.len())
+                .map(|l| {
+                    test.row(l)
+                        .iter()
+                        .zip(mean)
+                        .map(|(&v, &m)| ((v - m) as f64).powi(2))
+                        .sum::<f64>()
+                })
+                .collect();
+            Ok(Detection::from_scores(scores))
+        }
+    }
+
+    #[test]
+    fn trait_object_lifecycle() {
+        let mut d: Box<dyn Detector> = Box::new(MeanShift { mean: None });
+        assert_eq!(d.name(), "MeanShift");
+        assert!(matches!(
+            d.detect(&Mts::zeros(3, 2)),
+            Err(DetectorError::NotFitted)
+        ));
+        d.fit(&Mts::zeros(10, 2)).unwrap();
+        let det = d.detect(&Mts::new(vec![1.0; 6], 3, 2)).unwrap();
+        assert_eq!(det.scores.len(), 3);
+        assert!(det.labels.is_none());
+        assert!(det.scores.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut d = MeanShift { mean: None };
+        d.fit(&Mts::zeros(5, 2)).unwrap();
+        assert!(matches!(
+            d.detect(&Mts::zeros(5, 3)),
+            Err(DetectorError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DetectorError::NotFitted.to_string().contains("before fit"));
+    }
+}

@@ -1,0 +1,267 @@
+//! CSV import/export for real datasets.
+//!
+//! The synthetic generators stand in for the public benchmarks, but users
+//! who *do* have the real SMD/PSM/... files (or their own telemetry) can
+//! load them here: plain CSV, one row per timestamp, one column per
+//! channel, optional header, optional trailing label column.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::synthetic::LabeledDataset;
+use crate::Mts;
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Rows disagree on column count.
+    RaggedRows {
+        /// 1-based line number of the first bad row.
+        line: usize,
+        /// Expected width.
+        expected: usize,
+        /// Found width.
+        actual: usize,
+    },
+    /// The file contains no data rows.
+    Empty,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, column, text } => {
+                write!(f, "line {line}, column {column}: cannot parse {text:?}")
+            }
+            IoError::RaggedRows {
+                line,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "line {line}: expected {expected} columns, found {actual}"
+            ),
+            IoError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvOptions {
+    /// Skip the first line (header).
+    pub has_header: bool,
+    /// Treat the last column as a 0/1 anomaly label.
+    pub last_column_is_label: bool,
+}
+
+/// Parses CSV text into a series and optional labels.
+pub fn parse_csv(text: &str, opts: CsvOptions) -> Result<(Mts, Option<Vec<bool>>), IoError> {
+    let mut data: Vec<f32> = Vec::new();
+    let mut labels: Vec<bool> = Vec::new();
+    let mut width: Option<usize> = None;
+    let mut rows = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 && opts.has_header {
+            continue;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        match width {
+            None => width = Some(cells.len()),
+            Some(w) if w != cells.len() => {
+                return Err(IoError::RaggedRows {
+                    line: i + 1,
+                    expected: w,
+                    actual: cells.len(),
+                })
+            }
+            _ => {}
+        }
+        let value_cells = if opts.last_column_is_label {
+            &cells[..cells.len() - 1]
+        } else {
+            &cells[..]
+        };
+        for (c, cell) in value_cells.iter().enumerate() {
+            let v: f32 = cell.trim().parse().map_err(|_| IoError::Parse {
+                line: i + 1,
+                column: c,
+                text: cell.to_string(),
+            })?;
+            data.push(v);
+        }
+        if opts.last_column_is_label {
+            let cell = cells[cells.len() - 1].trim();
+            let v: f32 = cell.parse().map_err(|_| IoError::Parse {
+                line: i + 1,
+                column: cells.len() - 1,
+                text: cell.to_string(),
+            })?;
+            labels.push(v != 0.0);
+        }
+        rows += 1;
+    }
+    let Some(w) = width else {
+        return Err(IoError::Empty);
+    };
+    let k = if opts.last_column_is_label { w - 1 } else { w };
+    if k == 0 || rows == 0 {
+        return Err(IoError::Empty);
+    }
+    Ok((
+        Mts::new(data, rows, k),
+        opts.last_column_is_label.then_some(labels),
+    ))
+}
+
+/// Loads a series (and optional labels) from a CSV file.
+pub fn load_csv(path: &Path, opts: CsvOptions) -> Result<(Mts, Option<Vec<bool>>), IoError> {
+    parse_csv(&std::fs::read_to_string(path)?, opts)
+}
+
+/// Loads a train/test pair (classic benchmark layout: unlabeled train CSV
+/// plus test CSV with a trailing label column) into a [`LabeledDataset`].
+pub fn load_benchmark_csv(
+    name: &str,
+    train_path: &Path,
+    test_path: &Path,
+    has_header: bool,
+) -> Result<LabeledDataset, IoError> {
+    let (train, _) = load_csv(
+        train_path,
+        CsvOptions {
+            has_header,
+            last_column_is_label: false,
+        },
+    )?;
+    let (test, labels) = load_csv(
+        test_path,
+        CsvOptions {
+            has_header,
+            last_column_is_label: true,
+        },
+    )?;
+    Ok(LabeledDataset {
+        name: name.to_string(),
+        train,
+        test,
+        labels: labels.expect("label column requested"),
+    })
+}
+
+/// Serializes a series (and optional labels) back to CSV.
+pub fn to_csv(series: &Mts, labels: Option<&[bool]>) -> String {
+    let mut out = String::new();
+    for l in 0..series.len() {
+        let row: Vec<String> = series.row(l).iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(","));
+        if let Some(labs) = labels {
+            out.push(',');
+            out.push(if labs[l] { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_csv() {
+        let (m, labels) = parse_csv("1,2\n3,4\n5,6\n", CsvOptions::default()).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert!(labels.is_none());
+    }
+
+    #[test]
+    fn parses_header_and_labels() {
+        let text = "a,b,label\n1,2,0\n3,4,1\n";
+        let (m, labels) = parse_csv(
+            text,
+            CsvOptions {
+                has_header: true,
+                last_column_is_label: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.dim(), 2);
+        assert_eq!(labels.unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse_csv("1,2\n3\n", CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, IoError::RaggedRows { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_location() {
+        let err = parse_csv("1,x\n", CsvOptions::default()).unwrap_err();
+        match err {
+            IoError::Parse { line, column, text } => {
+                assert_eq!((line, column), (1, 1));
+                assert_eq!(text, "x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            parse_csv("", CsvOptions::default()),
+            Err(IoError::Empty)
+        ));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let m = Mts::new(vec![1.5, -2.0, 3.25, 4.0], 2, 2);
+        let labels = vec![true, false];
+        let text = to_csv(&m, Some(&labels));
+        let (back, back_labels) = parse_csv(
+            &text,
+            CsvOptions {
+                has_header: false,
+                last_column_is_label: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(back.values(), m.values());
+        assert_eq!(back_labels.unwrap(), labels);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let (m, _) = parse_csv("1,2\n\n3,4\n", CsvOptions::default()).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! `imdiff-data` — time-series containers, masking, synthetic benchmark
+//! generators and the shared [`Detector`] trait.
+//!
+//! This crate is the data layer of the ImDiffusion reproduction:
+//!
+//! * [`Mts`] — a dense multivariate time series `[L, K]` with per-channel
+//!   normalization and windowing;
+//! * [`mask`] — the grating and random masking strategies of §4.2;
+//! * [`synthetic`] — generators standing in for the six public benchmarks
+//!   (SMD, PSM, MSL, SMAP, SWaT, GCP) with a labelled anomaly taxonomy;
+//! * [`production`] — the email-delivery latency stream simulator used by
+//!   the Table 7 reproduction;
+//! * [`Detector`] — the interface every detector (ImDiffusion and all ten
+//!   baselines) implements so the evaluation harness can drive them
+//!   uniformly.
+
+mod detector;
+pub mod io;
+pub mod mask;
+mod mts;
+pub mod production;
+pub mod synthetic;
+
+pub use detector::{Detection, Detector, DetectorError};
+pub use mts::{Downsample, Mts, NormMethod, Normalizer};

@@ -1,0 +1,762 @@
+//! Synthetic stand-ins for the six public benchmark datasets.
+//!
+//! The real SMD / PSM / MSL / SMAP / SWaT / GCP datasets cannot be shipped
+//! with this reproduction, so each is replaced by a generator matching its
+//! headline statistics (channel count, anomaly rate) and qualitative
+//! character (see DESIGN.md, substitution 2). Every generator produces:
+//!
+//! * a **train** split — anomaly-free normal behaviour (the benchmarks'
+//!   training splits are unlabelled and treated as normal);
+//! * a **test** split — the same dynamics with labelled injected anomalies
+//!   drawn from a taxonomy of point, contextual and range anomalies.
+//!
+//! All randomness flows from the caller-provided seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Mts;
+
+/// The six benchmarks of the paper's offline evaluation (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Server Machine Dataset: 38 correlated server metrics.
+    Smd,
+    /// Pooled Server Metrics (eBay): 25 noisy application metrics.
+    Psm,
+    /// Mars Science Laboratory: 55 channels dominated by binary commands.
+    Msl,
+    /// Soil Moisture Active Passive satellite: 25 channels, mostly binary.
+    Smap,
+    /// Secure Water Treatment testbed: 51 slow sensor/actuator channels.
+    Swat,
+    /// Google Cloud Platform service metrics: 19 seasonal channels.
+    Gcp,
+}
+
+impl Benchmark {
+    /// All six benchmarks in the paper's table order.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::Smd,
+            Benchmark::Psm,
+            Benchmark::Swat,
+            Benchmark::Smap,
+            Benchmark::Msl,
+            Benchmark::Gcp,
+        ]
+    }
+
+    /// Table label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Smd => "SMD",
+            Benchmark::Psm => "PSM",
+            Benchmark::Msl => "MSL",
+            Benchmark::Smap => "SMAP",
+            Benchmark::Swat => "SWaT",
+            Benchmark::Gcp => "GCP",
+        }
+    }
+
+    /// Channel count matching the public dataset.
+    pub fn dim(&self) -> usize {
+        match self {
+            Benchmark::Smd => 38,
+            Benchmark::Psm => 25,
+            Benchmark::Msl => 55,
+            Benchmark::Smap => 25,
+            Benchmark::Swat => 51,
+            Benchmark::Gcp => 19,
+        }
+    }
+
+    /// Target fraction of anomalous test points (public dataset rates).
+    pub fn anomaly_rate(&self) -> f64 {
+        match self {
+            Benchmark::Smd => 0.05,
+            Benchmark::Psm => 0.22,
+            Benchmark::Msl => 0.10,
+            Benchmark::Smap => 0.13,
+            Benchmark::Swat => 0.12,
+            Benchmark::Gcp => 0.06,
+        }
+    }
+
+    fn profile(&self) -> Profile {
+        match self {
+            Benchmark::Smd => Profile {
+                binary_frac: 0.08,
+                latent_groups: 5,
+                latent_weight: 0.7,
+                season_weight: 0.5,
+                ar_sigma: 0.05,
+                base_period: 120.0,
+                slow: false,
+            },
+            Benchmark::Psm => Profile {
+                binary_frac: 0.0,
+                latent_groups: 4,
+                latent_weight: 0.5,
+                season_weight: 0.4,
+                ar_sigma: 0.12,
+                base_period: 90.0,
+                slow: false,
+            },
+            Benchmark::Msl => Profile {
+                binary_frac: 0.7,
+                latent_groups: 6,
+                latent_weight: 0.8,
+                season_weight: 0.3,
+                ar_sigma: 0.06,
+                base_period: 150.0,
+                slow: false,
+            },
+            Benchmark::Smap => Profile {
+                binary_frac: 0.8,
+                latent_groups: 4,
+                latent_weight: 0.8,
+                season_weight: 0.4,
+                ar_sigma: 0.05,
+                base_period: 100.0,
+                slow: false,
+            },
+            Benchmark::Swat => Profile {
+                binary_frac: 0.4,
+                latent_groups: 6,
+                latent_weight: 0.85,
+                season_weight: 0.6,
+                ar_sigma: 0.04,
+                base_period: 240.0,
+                slow: true,
+            },
+            Benchmark::Gcp => Profile {
+                binary_frac: 0.0,
+                latent_groups: 3,
+                latent_weight: 0.6,
+                season_weight: 0.7,
+                ar_sigma: 0.08,
+                base_period: 200.0,
+                slow: false,
+            },
+        }
+    }
+}
+
+/// Dataset-character knobs derived from each benchmark.
+struct Profile {
+    /// Fraction of binary (actuator/command) channels.
+    binary_frac: f64,
+    /// Number of shared latent drivers (cross-channel correlation).
+    latent_groups: usize,
+    /// Coupling strength between a channel and its latent driver.
+    latent_weight: f32,
+    /// Weight of the channel's own seasonal component.
+    season_weight: f32,
+    /// AR(1) innovation scale (observation noise level).
+    ar_sigma: f32,
+    /// Fundamental seasonal period in steps.
+    base_period: f32,
+    /// Slow first-order dynamics (SWaT tank levels).
+    slow: bool,
+}
+
+/// Lengths of the generated splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeProfile {
+    /// Training split length.
+    pub train_len: usize,
+    /// Test split length.
+    pub test_len: usize,
+}
+
+impl SizeProfile {
+    /// CPU-friendly default used by tests and the quick harness profile.
+    pub fn quick() -> Self {
+        SizeProfile {
+            train_len: 800,
+            test_len: 800,
+        }
+    }
+
+    /// Larger profile for the full harness runs.
+    pub fn paper() -> Self {
+        SizeProfile {
+            train_len: 2400,
+            test_len: 2400,
+        }
+    }
+
+    /// Reads `IMDIFF_PROFILE` (`quick` default, `paper` for the long runs).
+    pub fn from_env() -> Self {
+        match std::env::var("IMDIFF_PROFILE").as_deref() {
+            Ok("paper") => SizeProfile::paper(),
+            _ => SizeProfile::quick(),
+        }
+    }
+}
+
+/// A generated dataset: normal training split plus labelled test split.
+#[derive(Debug, Clone)]
+pub struct LabeledDataset {
+    /// Dataset name for tables.
+    pub name: String,
+    /// Anomaly-free training series.
+    pub train: Mts,
+    /// Test series containing injected anomalies.
+    pub test: Mts,
+    /// Ground-truth point labels for the test series (`true` = anomalous).
+    pub labels: Vec<bool>,
+}
+
+impl LabeledDataset {
+    /// Contiguous anomalous events as `(start, end_exclusive)` ranges.
+    pub fn events(&self) -> Vec<(usize, usize)> {
+        events_from_labels(&self.labels)
+    }
+
+    /// Fraction of anomalous test points.
+    pub fn anomaly_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&b| b).count() as f64 / self.labels.len() as f64
+    }
+}
+
+/// Extracts `(start, end_exclusive)` runs of `true` from a label vector.
+pub fn events_from_labels(labels: &[bool]) -> Vec<(usize, usize)> {
+    let mut events = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                events.push((s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        events.push((s, labels.len()));
+    }
+    events
+}
+
+/// Per-channel generator state.
+struct Channel {
+    binary: bool,
+    group: usize,
+    latent_w: f32,
+    season_w: f32,
+    period: f32,
+    phase: f32,
+    offset: f32,
+    ar_phi: f32,
+    ar_sigma: f32,
+    /// Binary channels switch when their drive crosses this threshold.
+    threshold: f32,
+    /// Running AR state.
+    ar_state: f32,
+    /// Slow-dynamics state (SWaT).
+    slow_state: f32,
+    slow: bool,
+}
+
+impl Channel {
+    fn sample(&mut self, t: usize, latents: &[f32], rng: &mut StdRng) -> f32 {
+        let season = (2.0 * std::f32::consts::PI * (t as f32 / self.period) + self.phase).sin()
+            + 0.35
+                * (4.0 * std::f32::consts::PI * (t as f32 / self.period) + 1.7 * self.phase).sin();
+        self.ar_state =
+            self.ar_phi * self.ar_state + imdiff_normal(rng) * self.ar_sigma;
+        let drive = self.latent_w * latents[self.group]
+            + self.season_w * season
+            + self.ar_state
+            + self.offset;
+        let value = if self.slow {
+            // First-order lag: v += 0.08 (drive - v), mimicking tank levels.
+            self.slow_state += 0.08 * (drive - self.slow_state);
+            self.slow_state
+        } else {
+            drive
+        };
+        if self.binary {
+            if value > self.threshold {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            value
+        }
+    }
+}
+
+/// Box–Muller normal draw (kept local so this crate does not depend on
+/// `imdiff-nn`).
+fn imdiff_normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Generates the synthetic stand-in for `benchmark`.
+///
+/// The same seed always produces the same dataset; different seeds produce
+/// statistically equivalent datasets (used for the paper's 6 independent
+/// runs).
+pub fn generate(benchmark: Benchmark, size: &SizeProfile, seed: u64) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ benchmark_seed_tag(benchmark));
+    let profile = benchmark.profile();
+    let dim = benchmark.dim();
+    let total = size.train_len + size.test_len;
+
+    // Build channels.
+    let mut channels: Vec<Channel> = (0..dim)
+        .map(|k| {
+            let binary = (k as f64 / dim as f64) < profile.binary_frac;
+            Channel {
+                binary,
+                group: rng.gen_range(0..profile.latent_groups),
+                latent_w: profile.latent_weight * rng.gen_range(0.6..1.2),
+                season_w: profile.season_weight * rng.gen_range(0.5..1.3),
+                period: profile.base_period * rng.gen_range(0.7..1.4),
+                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+                offset: rng.gen_range(-0.3..0.3),
+                ar_phi: rng.gen_range(0.75..0.95),
+                ar_sigma: profile.ar_sigma * rng.gen_range(0.6..1.5),
+                threshold: rng.gen_range(-0.2..0.4),
+                ar_state: 0.0,
+                slow_state: 0.0,
+                slow: profile.slow && !binary,
+            }
+        })
+        .collect();
+
+    // Latent drivers: smooth seasonal + slow random walk per group.
+    let mut latent_phase: Vec<f32> = (0..profile.latent_groups)
+        .map(|_| rng.gen_range(0.0..std::f32::consts::TAU))
+        .collect();
+    let latent_period: Vec<f32> = (0..profile.latent_groups)
+        .map(|_| profile.base_period * rng.gen_range(0.8..1.6))
+        .collect();
+    let mut latent_walk = vec![0.0f32; profile.latent_groups];
+
+    let mut raw = vec![0.0f32; total * dim];
+    for t in 0..total {
+        let latents: Vec<f32> = (0..profile.latent_groups)
+            .map(|g| {
+                latent_walk[g] = 0.995 * latent_walk[g] + 0.02 * imdiff_normal(&mut rng);
+                (2.0 * std::f32::consts::PI * t as f32 / latent_period[g] + latent_phase[g]).sin()
+                    + latent_walk[g]
+            })
+            .collect();
+        // Tiny phase jitter keeps latents from being perfectly periodic.
+        for p in &mut latent_phase {
+            *p += 0.0005 * imdiff_normal(&mut rng);
+        }
+        for (k, ch) in channels.iter_mut().enumerate() {
+            raw[t * dim + k] = ch.sample(t, &latents, &mut rng);
+        }
+    }
+
+    let train = Mts::new(raw[..size.train_len * dim].to_vec(), size.train_len, dim);
+    let mut test = Mts::new(raw[size.train_len * dim..].to_vec(), size.test_len, dim);
+    let labels = inject_anomalies(&mut test, benchmark.anomaly_rate(), &mut rng);
+
+    LabeledDataset {
+        name: benchmark.name().to_string(),
+        train,
+        test,
+        labels,
+    }
+}
+
+// Cheap per-benchmark seed decorrelation.
+fn benchmark_seed_tag(b: Benchmark) -> u64 {
+    match b {
+        Benchmark::Smd => 0x5_3d,
+        Benchmark::Psm => 0x9_47,
+        Benchmark::Msl => 0x3_71,
+        Benchmark::Smap => 0x7_13,
+        Benchmark::Swat => 0xb_29,
+        Benchmark::Gcp => 0xd_59,
+    }
+}
+
+/// The anomaly taxonomy injected into test splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnomalyKind {
+    /// Short extreme excursion on a few channels (point anomaly).
+    Spike,
+    /// Sustained mean shift on a channel subset (range anomaly).
+    LevelShift,
+    /// Sustained variance blow-up (range anomaly).
+    NoiseBurst,
+    /// Channels decouple from their latent driver: values stay in range
+    /// but cross-channel structure breaks (contextual anomaly).
+    CorrelationBreak,
+    /// Oscillation flattens out (stuck sensor).
+    Flatline,
+}
+
+/// Injects labelled anomaly events until `rate` of the points are
+/// anomalous. Returns the point labels.
+fn inject_anomalies(test: &mut Mts, rate: f64, rng: &mut StdRng) -> Vec<bool> {
+    let len = test.len();
+    let dim = test.dim();
+    let mut labels = vec![false; len];
+    let target = ((len as f64) * rate).round() as usize;
+    let mut marked = 0usize;
+    let kinds = [
+        AnomalyKind::Spike,
+        AnomalyKind::LevelShift,
+        AnomalyKind::NoiseBurst,
+        AnomalyKind::CorrelationBreak,
+        AnomalyKind::Flatline,
+    ];
+    let mut guard = 0usize;
+    while marked < target && guard < 10_000 {
+        guard += 1;
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let dur = match kind {
+            AnomalyKind::Spike => rng.gen_range(1..5),
+            AnomalyKind::LevelShift => rng.gen_range(20..61),
+            AnomalyKind::NoiseBurst => rng.gen_range(15..41),
+            AnomalyKind::CorrelationBreak => rng.gen_range(20..51),
+            AnomalyKind::Flatline => rng.gen_range(20..51),
+        };
+        if dur + 2 >= len {
+            continue;
+        }
+        let start = rng.gen_range(1..len - dur - 1);
+        // Keep a small clean margin around events so ADD is well defined.
+        let lo = start.saturating_sub(8);
+        let hi = (start + dur + 8).min(len);
+        if labels[lo..hi].iter().any(|&b| b) {
+            continue;
+        }
+        // Channel subset.
+        let n_aff = match kind {
+            AnomalyKind::Spike => rng.gen_range(1..=(dim / 4).max(1)),
+            _ => rng.gen_range((dim / 4).max(1)..=(dim / 2).max(1)),
+        };
+        let mut affected: Vec<usize> = (0..dim).collect();
+        // Partial Fisher–Yates for a random subset.
+        for i in 0..n_aff.min(dim) {
+            let j = rng.gen_range(i..dim);
+            affected.swap(i, j);
+        }
+        let affected = &affected[..n_aff.min(dim)];
+
+        for &k in affected {
+            // Channel scale estimate for sizing the perturbation.
+            let col: Vec<f32> = (start.saturating_sub(50)..start).map(|l| test.get(l, k)).collect();
+            let scale = if col.is_empty() {
+                1.0
+            } else {
+                let mean = col.iter().sum::<f32>() / col.len() as f32;
+                (col.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / col.len() as f32)
+                    .sqrt()
+                    .max(0.15)
+            };
+            match kind {
+                AnomalyKind::Spike => {
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    let mag = sign * scale * rng.gen_range(5.0..9.0);
+                    for l in start..start + dur {
+                        let v = test.get(l, k);
+                        test.set(l, k, v + mag);
+                    }
+                }
+                AnomalyKind::LevelShift => {
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    let mag = sign * scale * rng.gen_range(2.5..4.5);
+                    for l in start..start + dur {
+                        let v = test.get(l, k);
+                        test.set(l, k, v + mag);
+                    }
+                }
+                AnomalyKind::NoiseBurst => {
+                    for l in start..start + dur {
+                        let v = test.get(l, k);
+                        test.set(l, k, v + imdiff_normal(rng) * scale * 4.0);
+                    }
+                }
+                AnomalyKind::CorrelationBreak => {
+                    // Replace the segment with a reversed copy of an earlier
+                    // segment: marginally plausible, structurally wrong.
+                    let src = rng.gen_range(0..start.max(1));
+                    for (i, l) in (start..start + dur).enumerate() {
+                        let s = src + dur.saturating_sub(1) - i.min(dur - 1);
+                        if s < test.len() {
+                            let v = test.get(s, k);
+                            test.set(l, k, v);
+                        }
+                    }
+                }
+                AnomalyKind::Flatline => {
+                    let v0 = test.get(start, k);
+                    for l in start..start + dur {
+                        test.set(l, k, v0 + imdiff_normal(rng) * 0.01);
+                    }
+                }
+            }
+        }
+        for l in labels.iter_mut().skip(start).take(dur) {
+            *l = true;
+        }
+        marked += dur;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate() {
+        let size = SizeProfile {
+            train_len: 300,
+            test_len: 300,
+        };
+        for b in Benchmark::all() {
+            let ds = generate(b, &size, 1);
+            assert_eq!(ds.train.len(), 300);
+            assert_eq!(ds.test.len(), 300);
+            assert_eq!(ds.train.dim(), b.dim());
+            assert_eq!(ds.labels.len(), 300);
+            assert!(ds.train.values().iter().all(|v| v.is_finite()), "{}", b.name());
+            assert!(ds.test.values().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn anomaly_rate_near_target() {
+        let size = SizeProfile {
+            train_len: 200,
+            test_len: 1500,
+        };
+        for b in [Benchmark::Smd, Benchmark::Psm] {
+            let ds = generate(b, &size, 3);
+            let rate = ds.anomaly_rate();
+            let target = b.anomaly_rate();
+            assert!(
+                rate >= target * 0.6 && rate <= target * 1.6,
+                "{}: rate {rate} vs target {target}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let size = SizeProfile::quick();
+        let a = generate(Benchmark::Gcp, &size, 7);
+        let b = generate(Benchmark::Gcp, &size, 7);
+        assert_eq!(a.train.values(), b.train.values());
+        assert_eq!(a.test.values(), b.test.values());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let size = SizeProfile::quick();
+        let a = generate(Benchmark::Smd, &size, 1);
+        let b = generate(Benchmark::Smd, &size, 2);
+        assert_ne!(a.train.values(), b.train.values());
+    }
+
+    #[test]
+    fn binary_channels_are_binary() {
+        let size = SizeProfile::quick();
+        let ds = generate(Benchmark::Msl, &size, 5);
+        // MSL: first 70% of channels are binary.
+        let n_binary = (0.7 * 55.0) as usize;
+        for k in 0..n_binary.saturating_sub(1) {
+            let col = ds.train.column(k);
+            assert!(
+                col.iter().all(|&v| v == 0.0 || v == 1.0),
+                "channel {k} not binary"
+            );
+        }
+    }
+
+    #[test]
+    fn train_split_is_clean_and_test_has_events() {
+        let ds = generate(Benchmark::Smd, &SizeProfile::quick(), 9);
+        let events = ds.events();
+        assert!(!events.is_empty(), "no anomalies injected");
+        for (s, e) in &events {
+            assert!(e > s && *e <= ds.test.len());
+        }
+        // Events are separated (margin enforced by the injector).
+        for w in events.windows(2) {
+            assert!(w[1].0 > w[0].1, "events overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn events_from_labels_handles_boundaries() {
+        assert_eq!(events_from_labels(&[]), vec![]);
+        assert_eq!(events_from_labels(&[true, true]), vec![(0, 2)]);
+        assert_eq!(
+            events_from_labels(&[false, true, false, true]),
+            vec![(1, 2), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn swat_channels_have_slow_dynamics() {
+        // First-order lag means high lag-1 autocorrelation on the
+        // continuous SWaT channels compared to the noisy PSM ones.
+        let size = SizeProfile {
+            train_len: 600,
+            test_len: 100,
+        };
+        let autocorr = |ds: &LabeledDataset, k: usize| -> f64 {
+            let col = ds.train.column(k);
+            let n = col.len();
+            let mean: f64 = col.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..n {
+                let d = col[i] as f64 - mean;
+                den += d * d;
+                if i + 1 < n {
+                    num += d * (col[i + 1] as f64 - mean);
+                }
+            }
+            num / den.max(1e-12)
+        };
+        let swat = generate(Benchmark::Swat, &size, 2);
+        let psm = generate(Benchmark::Psm, &size, 2);
+        // Pick a continuous SWaT channel (the binary block comes first).
+        let k_swat = (0.4 * 51.0) as usize + 2;
+        let ac_swat = autocorr(&swat, k_swat);
+        let ac_psm = autocorr(&psm, 3);
+        assert!(
+            ac_swat > ac_psm,
+            "SWaT lag-1 autocorr {ac_swat:.3} not above PSM {ac_psm:.3}"
+        );
+        assert!(ac_swat > 0.9, "SWaT dynamics not slow: {ac_swat:.3}");
+    }
+
+    #[test]
+    fn smap_is_binary_dominated() {
+        let ds = generate(Benchmark::Smap, &SizeProfile::quick(), 7);
+        let binary_channels = (0..ds.train.dim())
+            .filter(|&k| {
+                ds.train
+                    .column(k)
+                    .iter()
+                    .all(|&v| v == 0.0 || v == 1.0)
+            })
+            .count();
+        assert!(
+            binary_channels as f64 >= 0.7 * ds.train.dim() as f64,
+            "only {binary_channels}/{} binary channels",
+            ds.train.dim()
+        );
+    }
+
+    #[test]
+    fn gcp_has_dominant_seasonality() {
+        // A seasonal channel's values correlate with themselves one period
+        // later far more than at half a period.
+        let size = SizeProfile {
+            train_len: 800,
+            test_len: 100,
+        };
+        let ds = generate(Benchmark::Gcp, &size, 3);
+        // Average over channels: correlation at lag=period vs lag=period/2
+        // using the latent base period (200 steps).
+        let corr_at = |col: &[f32], lag: usize| -> f64 {
+            let n = col.len() - lag;
+            let mean: f64 = col.iter().map(|&v| v as f64).sum::<f64>() / col.len() as f64;
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..n {
+                num += (col[i] as f64 - mean) * (col[i + lag] as f64 - mean);
+            }
+            for &v in col {
+                den += (v as f64 - mean).powi(2);
+            }
+            num / den.max(1e-12)
+        };
+        let mut better = 0;
+        for k in 0..ds.train.dim() {
+            let col = ds.train.column(k);
+            if corr_at(&col, 200) > corr_at(&col, 100) {
+                better += 1;
+            }
+        }
+        assert!(
+            better * 2 > ds.train.dim(),
+            "seasonality visible on only {better}/{} channels",
+            ds.train.dim()
+        );
+    }
+
+    #[test]
+    fn size_profile_from_env_defaults_to_quick() {
+        // The env var is unset in tests; the default must be quick.
+        if std::env::var("IMDIFF_PROFILE").is_err() {
+            assert_eq!(SizeProfile::from_env(), SizeProfile::quick());
+        }
+    }
+
+    #[test]
+    fn spikes_move_values_noticeably() {
+        // The anomalous region should contain larger deviations on average.
+        let ds = generate(Benchmark::Psm, &SizeProfile::quick(), 13);
+        let clean = generate_clean_copy(&ds);
+        let mut diff_anom = 0.0f64;
+        let mut n_anom = 0usize;
+        for l in 0..ds.test.len() {
+            if ds.labels[l] {
+                for k in 0..ds.test.dim() {
+                    diff_anom += (ds.test.get(l, k) - clean.get(l, k)).abs() as f64;
+                }
+                n_anom += 1;
+            }
+        }
+        assert!(n_anom > 0);
+        assert!(diff_anom / n_anom as f64 > 0.0);
+    }
+
+    // Re-generates the clean (pre-injection) test series for comparison by
+    // regenerating with the same seed and taking the raw tail. We approximate
+    // by comparing against the train statistics instead.
+    fn generate_clean_copy(ds: &LabeledDataset) -> Mts {
+        // The injector only adds on top of the raw signal; as a proxy for
+        // the clean signal use the test series itself where labels are
+        // false. For labelled points use the channel mean.
+        let mut clean = ds.test.clone();
+        let dim = ds.test.dim();
+        let mut means = vec![0.0f32; dim];
+        let mut n = 0usize;
+        for l in 0..ds.test.len() {
+            if !ds.labels[l] {
+                for (m, v) in means.iter_mut().zip(ds.test.row(l)) {
+                    *m += v;
+                }
+                n += 1;
+            }
+        }
+        for m in &mut means {
+            *m /= n.max(1) as f32;
+        }
+        for l in 0..ds.test.len() {
+            if ds.labels[l] {
+                for (k, &m) in means.iter().enumerate() {
+                    clean.set(l, k, m);
+                }
+            }
+        }
+        clean
+    }
+}

@@ -1,0 +1,22 @@
+//! `imdiff-diffusion` — denoising-diffusion (DDPM) machinery.
+//!
+//! Model-agnostic implementation of the forward noising process and the
+//! reverse (denoising) transition used by ImDiffusion (§3.3 of the paper):
+//!
+//! * β-schedules ([`BetaSchedule`]): linear, quadratic, cosine;
+//! * the closed-form forward sample `x_t = √ᾱ_t x_0 + √(1−ᾱ_t) ε`
+//!   ([`NoiseSchedule::q_sample`]);
+//! * the reverse posterior mean/variance of Eq. (5)
+//!   ([`NoiseSchedule::p_step`]);
+//! * the `x̂_0` estimate recovered from a predicted noise
+//!   ([`NoiseSchedule::predict_x0`]).
+//!
+//! Note on the paper's Eq. (3): the text writes
+//! `X_T = √ᾱ_T X_0 + (1 − ᾱ_T) ε`; the standard DDPM form (and the CSDI
+//! reference implementation the paper builds on) uses `√(1 − ᾱ_T)`. This
+//! crate uses the standard square-root form; DESIGN.md records the
+//! substitution.
+
+mod schedule;
+
+pub use schedule::{BetaSchedule, NoiseSchedule};

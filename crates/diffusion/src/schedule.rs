@@ -1,0 +1,473 @@
+//! Noise schedules and DDPM forward/reverse transitions.
+
+/// How the per-step noise level β_t is laid out over the T diffusion steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BetaSchedule {
+    /// β interpolates linearly from `start` to `end` (DDPM default).
+    Linear {
+        /// β at step 1.
+        start: f32,
+        /// β at step T.
+        end: f32,
+    },
+    /// √β interpolates linearly (the schedule CSDI uses for imputation).
+    Quadratic {
+        /// β at step 1.
+        start: f32,
+        /// β at step T.
+        end: f32,
+    },
+    /// Nichol & Dhariwal cosine schedule on ᾱ.
+    Cosine,
+}
+
+impl BetaSchedule {
+    /// The schedule ImDiffusion inherits from CSDI: quadratic between
+    /// 1e-4 and 0.5.
+    pub fn default_for_imputation() -> Self {
+        BetaSchedule::Quadratic {
+            start: 1e-4,
+            end: 0.5,
+        }
+    }
+
+    fn betas(&self, t: usize) -> Vec<f32> {
+        assert!(t >= 1, "schedule needs at least one step");
+        match *self {
+            BetaSchedule::Linear { start, end } => (0..t)
+                .map(|i| {
+                    if t == 1 {
+                        start
+                    } else {
+                        start + (end - start) * i as f32 / (t - 1) as f32
+                    }
+                })
+                .collect(),
+            BetaSchedule::Quadratic { start, end } => {
+                let (s, e) = (start.sqrt(), end.sqrt());
+                (0..t)
+                    .map(|i| {
+                        let v = if t == 1 {
+                            s
+                        } else {
+                            s + (e - s) * i as f32 / (t - 1) as f32
+                        };
+                        v * v
+                    })
+                    .collect()
+            }
+            BetaSchedule::Cosine => {
+                let s = 0.008f64;
+                let f = |i: f64| ((i / t as f64 + s) / (1.0 + s) * std::f64::consts::FRAC_PI_2)
+                    .cos()
+                    .powi(2);
+                (0..t)
+                    .map(|i| {
+                        let b = 1.0 - f((i + 1) as f64) / f(i as f64);
+                        (b.clamp(1e-8, 0.999)) as f32
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Precomputed DDPM coefficients for a fixed number of steps.
+///
+/// Step indices are 1-based in the paper's notation (`t ∈ 1..=T`); this
+/// struct accepts 1-based `t` everywhere and maps internally.
+#[derive(Debug, Clone)]
+pub struct NoiseSchedule {
+    betas: Vec<f32>,
+    alpha_bar: Vec<f32>,
+    sqrt_alpha_bar: Vec<f32>,
+    sqrt_one_minus_alpha_bar: Vec<f32>,
+    posterior_var: Vec<f32>,
+}
+
+impl NoiseSchedule {
+    /// Builds a schedule with `t_max` steps.
+    pub fn new(schedule: BetaSchedule, t_max: usize) -> Self {
+        let betas = schedule.betas(t_max);
+        let mut alpha_bar = Vec::with_capacity(t_max);
+        let mut acc = 1.0f64;
+        for &b in &betas {
+            acc *= 1.0 - b as f64;
+            alpha_bar.push(acc as f32);
+        }
+        let sqrt_alpha_bar: Vec<f32> = alpha_bar.iter().map(|a| a.sqrt()).collect();
+        let sqrt_one_minus_alpha_bar: Vec<f32> =
+            alpha_bar.iter().map(|a| (1.0 - a).sqrt()).collect();
+        // β̃_t = (1-ᾱ_{t-1})/(1-ᾱ_t) β_t for t>1, β_1 at t=1 (Eq. 5).
+        let posterior_var: Vec<f32> = (0..t_max)
+            .map(|i| {
+                if i == 0 {
+                    betas[0]
+                } else {
+                    (1.0 - alpha_bar[i - 1]) / (1.0 - alpha_bar[i]) * betas[i]
+                }
+            })
+            .collect();
+        NoiseSchedule {
+            betas,
+            alpha_bar,
+            sqrt_alpha_bar,
+            sqrt_one_minus_alpha_bar,
+            posterior_var,
+        }
+    }
+
+    /// Number of diffusion steps T.
+    pub fn t_max(&self) -> usize {
+        self.betas.len()
+    }
+
+    /// β_t (1-based `t`).
+    pub fn beta(&self, t: usize) -> f32 {
+        self.betas[self.ix(t)]
+    }
+
+    /// ᾱ_t (1-based `t`).
+    pub fn alpha_bar(&self, t: usize) -> f32 {
+        self.alpha_bar[self.ix(t)]
+    }
+
+    /// √ᾱ_t.
+    pub fn sqrt_alpha_bar(&self, t: usize) -> f32 {
+        self.sqrt_alpha_bar[self.ix(t)]
+    }
+
+    /// √(1−ᾱ_t).
+    pub fn sqrt_one_minus_alpha_bar(&self, t: usize) -> f32 {
+        self.sqrt_one_minus_alpha_bar[self.ix(t)]
+    }
+
+    /// Posterior variance β̃_t from Eq. (5).
+    pub fn posterior_variance(&self, t: usize) -> f32 {
+        self.posterior_var[self.ix(t)]
+    }
+
+    fn ix(&self, t: usize) -> usize {
+        assert!(
+            (1..=self.t_max()).contains(&t),
+            "step {t} out of range 1..={}",
+            self.t_max()
+        );
+        t - 1
+    }
+
+    /// Closed-form forward sample: `x_t = √ᾱ_t x0 + √(1−ᾱ_t) ε`.
+    pub fn q_sample(&self, x0: &[f32], eps: &[f32], t: usize) -> Vec<f32> {
+        assert_eq!(x0.len(), eps.len(), "q_sample length mismatch");
+        let a = self.sqrt_alpha_bar(t);
+        let b = self.sqrt_one_minus_alpha_bar(t);
+        x0.iter().zip(eps).map(|(&x, &e)| a * x + b * e).collect()
+    }
+
+    /// Writes the forward sample into `out` without allocating.
+    pub fn q_sample_into(&self, x0: &[f32], eps: &[f32], t: usize, out: &mut [f32]) {
+        assert_eq!(x0.len(), eps.len(), "q_sample length mismatch");
+        assert_eq!(x0.len(), out.len(), "q_sample output length mismatch");
+        let a = self.sqrt_alpha_bar(t);
+        let b = self.sqrt_one_minus_alpha_bar(t);
+        for ((o, &x), &e) in out.iter_mut().zip(x0).zip(eps) {
+            *o = a * x + b * e;
+        }
+    }
+
+    /// Reverse posterior mean of Eq. (5):
+    /// `μ = 1/√α̃_t (x_t − β_t/√(1−ᾱ_t) ε̂)`.
+    pub fn posterior_mean(&self, xt: &[f32], eps_hat: &[f32], t: usize) -> Vec<f32> {
+        assert_eq!(xt.len(), eps_hat.len(), "posterior_mean length mismatch");
+        let inv_sqrt_alpha = 1.0 / (1.0 - self.beta(t)).sqrt();
+        let coef = self.beta(t) / self.sqrt_one_minus_alpha_bar(t);
+        xt.iter()
+            .zip(eps_hat)
+            .map(|(&x, &e)| inv_sqrt_alpha * (x - coef * e))
+            .collect()
+    }
+
+    /// One reverse transition `x_{t-1} = μ_Θ + √β̃_t z` (Eq. 4/5/9).
+    ///
+    /// `noise` must be standard normal of matching length; pass zeros for
+    /// the deterministic final step (`t == 1` conventionally uses no noise).
+    pub fn p_step(&self, xt: &[f32], eps_hat: &[f32], t: usize, noise: &[f32]) -> Vec<f32> {
+        assert_eq!(xt.len(), noise.len(), "p_step noise length mismatch");
+        let mut mean = self.posterior_mean(xt, eps_hat, t);
+        if t > 1 {
+            let sigma = self.posterior_variance(t).sqrt();
+            for (m, &z) in mean.iter_mut().zip(noise) {
+                *m += sigma * z;
+            }
+        }
+        mean
+    }
+
+    /// Recovers the `x̂_0` implied by a noise prediction:
+    /// `x̂0 = (x_t − √(1−ᾱ_t) ε̂)/√ᾱ_t`.
+    pub fn predict_x0(&self, xt: &[f32], eps_hat: &[f32], t: usize) -> Vec<f32> {
+        assert_eq!(xt.len(), eps_hat.len(), "predict_x0 length mismatch");
+        let a = self.sqrt_alpha_bar(t);
+        let b = self.sqrt_one_minus_alpha_bar(t);
+        xt.iter()
+            .zip(eps_hat)
+            .map(|(&x, &e)| (x - b * e) / a)
+            .collect()
+    }
+
+    /// One deterministic DDIM transition (Song et al., η = 0) from step `t`
+    /// directly to step `t_prev` (`t_prev < t`; `t_prev = 0` returns the
+    /// `x̂_0` estimate itself):
+    ///
+    /// `x_{t'} = √ᾱ_{t'} x̂0 + √(1−ᾱ_{t'}) ε_implied`, where
+    /// `ε_implied = (x_t − √ᾱ_t x̂0)/√(1−ᾱ_t)`.
+    ///
+    /// Lets the reverse chain skip steps — the standard accelerated-sampling
+    /// extension for diffusion inference.
+    pub fn ddim_step(&self, xt: &[f32], x0_hat: &[f32], t: usize, t_prev: usize) -> Vec<f32> {
+        assert_eq!(xt.len(), x0_hat.len(), "ddim_step length mismatch");
+        assert!(t_prev < t, "ddim_step must move backwards (t_prev < t)");
+        let a_t = self.sqrt_alpha_bar(t);
+        let b_t = self.sqrt_one_minus_alpha_bar(t).max(1e-12);
+        if t_prev == 0 {
+            return x0_hat.to_vec();
+        }
+        let a_p = self.sqrt_alpha_bar(t_prev);
+        let b_p = self.sqrt_one_minus_alpha_bar(t_prev);
+        xt.iter()
+            .zip(x0_hat)
+            .map(|(&x, &x0)| {
+                let eps_implied = (x - a_t * x0) / b_t;
+                a_p * x0 + b_p * eps_implied
+            })
+            .collect()
+    }
+
+    /// One reverse transition parameterized by a (possibly clamped) `x̂_0`
+    /// estimate instead of `ε̂`:
+    ///
+    /// `μ = √ᾱ_{t-1} β_t/(1−ᾱ_t) · x̂0 + √α̃_t (1−ᾱ_{t-1})/(1−ᾱ_t) · x_t`.
+    ///
+    /// Clamping `x̂_0` to the data range before this step is the standard
+    /// DDPM stabilizer: it stops imperfect noise predictions from
+    /// compounding through the `1/√α̃_t` factors of the ε̂-form.
+    pub fn p_step_from_x0(
+        &self,
+        xt: &[f32],
+        x0_hat: &[f32],
+        t: usize,
+        noise: &[f32],
+    ) -> Vec<f32> {
+        assert_eq!(xt.len(), x0_hat.len(), "p_step_from_x0 length mismatch");
+        assert_eq!(xt.len(), noise.len(), "p_step_from_x0 noise length mismatch");
+        let beta = self.beta(t);
+        let ab_t = self.alpha_bar(t);
+        let ab_prev = if t > 1 { self.alpha_bar(t - 1) } else { 1.0 };
+        let coef_x0 = ab_prev.sqrt() * beta / (1.0 - ab_t);
+        let coef_xt = (1.0 - beta).sqrt() * (1.0 - ab_prev) / (1.0 - ab_t);
+        let sigma = if t > 1 {
+            self.posterior_variance(t).sqrt()
+        } else {
+            0.0
+        };
+        xt.iter()
+            .zip(x0_hat)
+            .zip(noise)
+            .map(|((&x, &x0), &z)| coef_x0 * x0 + coef_xt * x + sigma * z)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(t: usize) -> NoiseSchedule {
+        NoiseSchedule::new(
+            BetaSchedule::Linear {
+                start: 1e-4,
+                end: 0.02,
+            },
+            t,
+        )
+    }
+
+    #[test]
+    fn alpha_bar_is_decreasing() {
+        for sched in [
+            BetaSchedule::Linear {
+                start: 1e-4,
+                end: 0.02,
+            },
+            BetaSchedule::default_for_imputation(),
+            BetaSchedule::Cosine,
+        ] {
+            let ns = NoiseSchedule::new(sched, 50);
+            for t in 2..=50 {
+                assert!(
+                    ns.alpha_bar(t) < ns.alpha_bar(t - 1),
+                    "{sched:?} not decreasing at {t}"
+                );
+            }
+            assert!(ns.alpha_bar(1) < 1.0 && ns.alpha_bar(50) > 0.0);
+        }
+    }
+
+    #[test]
+    fn betas_within_unit_interval() {
+        for sched in [
+            BetaSchedule::Linear {
+                start: 1e-4,
+                end: 0.02,
+            },
+            BetaSchedule::default_for_imputation(),
+            BetaSchedule::Cosine,
+        ] {
+            let ns = NoiseSchedule::new(sched, 50);
+            for t in 1..=50 {
+                let b = ns.beta(t);
+                assert!(b > 0.0 && b < 1.0, "{sched:?} β_{t} = {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn q_sample_zero_noise_shrinks_signal() {
+        let ns = linear(50);
+        let x0 = vec![1.0f32; 4];
+        let eps = vec![0.0f32; 4];
+        let xt = ns.q_sample(&x0, &eps, 50);
+        assert!(xt.iter().all(|&v| v < 1.0 && v > 0.0));
+        assert!((xt[0] - ns.sqrt_alpha_bar(50)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_eps_roundtrips_x0() {
+        // If the model predicts the exact forward noise, predict_x0 recovers x0.
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 50);
+        let x0 = vec![0.3f32, -1.2, 2.0];
+        let eps = vec![0.5f32, -0.7, 0.1];
+        for t in [1usize, 10, 25, 50] {
+            let xt = ns.q_sample(&x0, &eps, t);
+            let rec = ns.predict_x0(&xt, &eps, t);
+            for (a, b) in rec.iter().zip(&x0) {
+                assert!((a - b).abs() < 1e-3, "t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_chain_with_perfect_eps_converges_to_x0() {
+        // Deterministic reverse chain (zero injected noise) from x_T built
+        // with known ε must land close to x0 when ε̂ tracks the true noise
+        // direction at every step.
+        let t_max = 50;
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), t_max);
+        let x0 = vec![0.8f32, -0.4];
+        let eps = vec![0.3f32, -0.9];
+        let mut x = ns.q_sample(&x0, &eps, t_max);
+        let zeros = vec![0.0f32; 2];
+        for t in (1..=t_max).rev() {
+            // The "true" ε at the current point: ε = (x_t - √ᾱ x0)/√(1-ᾱ).
+            let a = ns.sqrt_alpha_bar(t);
+            let b = ns.sqrt_one_minus_alpha_bar(t);
+            let eps_true: Vec<f32> = x.iter().zip(&x0).map(|(&xt, &x0v)| (xt - a * x0v) / b).collect();
+            x = ns.p_step(&x, &eps_true, t, &zeros);
+        }
+        for (a, b) in x.iter().zip(&x0) {
+            assert!((a - b).abs() < 5e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn posterior_variance_at_one_is_beta_one() {
+        let ns = linear(10);
+        assert!((ns.posterior_variance(1) - ns.beta(1)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn p_step_final_step_is_deterministic() {
+        let ns = linear(10);
+        let xt = vec![0.5f32];
+        let eps = vec![0.1f32];
+        let a = ns.p_step(&xt, &eps, 1, &[10.0]); // huge noise must be ignored
+        let b = ns.p_step(&xt, &eps, 1, &[0.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn step_zero_rejected() {
+        let ns = linear(10);
+        let _ = ns.beta(0);
+    }
+
+    #[test]
+    fn ddim_step_with_perfect_x0_is_consistent() {
+        // Jumping t -> t_prev with the exact x0 lands on the exact forward
+        // trajectory of the implied noise.
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 50);
+        let x0 = vec![0.4f32, -0.8];
+        let eps = vec![1.1f32, -0.2];
+        let x20 = ns.q_sample(&x0, &eps, 20);
+        let x5 = ns.ddim_step(&x20, &x0, 20, 5);
+        let expected = ns.q_sample(&x0, &eps, 5);
+        for (a, b) in x5.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ddim_to_zero_returns_x0() {
+        let ns = linear(10);
+        let x0 = vec![0.7f32];
+        let xt = ns.q_sample(&x0, &[0.3], 10);
+        assert_eq!(ns.ddim_step(&xt, &x0, 10, 0), x0);
+    }
+
+    #[test]
+    #[should_panic(expected = "move backwards")]
+    fn ddim_forward_rejected() {
+        let ns = linear(10);
+        let _ = ns.ddim_step(&[0.0], &[0.0], 3, 5);
+    }
+
+    #[test]
+    fn p_step_forms_agree_without_clamping() {
+        // The x̂0-parameterized posterior equals the ε̂-parameterized one
+        // when x̂0 = predict_x0(x_t, ε̂).
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 20);
+        let xt = vec![0.7f32, -0.3, 1.5];
+        let eps_hat = vec![0.2f32, -0.8, 0.4];
+        let z = vec![0.1f32, 0.5, -0.2];
+        for t in [2usize, 10, 20] {
+            let a = ns.p_step(&xt, &eps_hat, t, &z);
+            let x0 = ns.predict_x0(&xt, &eps_hat, t);
+            let b = ns.p_step_from_x0(&xt, &x0, t, &z);
+            for (u, v) in a.iter().zip(&b) {
+                assert!((u - v).abs() < 1e-3, "t={t}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn p_step_from_x0_final_step_returns_x0() {
+        let ns = linear(10);
+        let xt = vec![0.5f32];
+        let x0 = vec![0.3f32];
+        let out = ns.p_step_from_x0(&xt, &x0, 1, &[9.0]);
+        // At t=1, ᾱ_0 = 1 so μ = x̂0 (up to the tiny β contribution).
+        assert!((out[0] - 0.3).abs() < 0.05, "{}", out[0]);
+    }
+
+    #[test]
+    fn q_sample_into_matches_alloc() {
+        let ns = linear(10);
+        let x0 = vec![0.1f32, 0.2, 0.3];
+        let eps = vec![-1.0f32, 0.5, 2.0];
+        let alloc = ns.q_sample(&x0, &eps, 5);
+        let mut out = vec![0.0f32; 3];
+        ns.q_sample_into(&x0, &eps, 5, &mut out);
+        assert_eq!(alloc, out);
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-run aggregation helpers (the paper reports means over 6 runs and
+//! the standard deviation of F1).
+
+use crate::point::PrF1;
+
+/// Sample mean and (population) standard deviation.
+///
+/// Returns `(0, 0)` for an empty slice and `(x, 0)` for a single value.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Aggregated metrics over independent runs of one detector on one dataset.
+#[derive(Debug, Clone, Default)]
+pub struct RunAggregate {
+    precisions: Vec<f64>,
+    recalls: Vec<f64>,
+    f1s: Vec<f64>,
+    r_auc_prs: Vec<f64>,
+    adds: Vec<f64>,
+}
+
+impl RunAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one run.
+    pub fn push(&mut self, prf1: PrF1, r_auc_pr: f64, add: f64) {
+        self.precisions.push(prf1.precision);
+        self.recalls.push(prf1.recall);
+        self.f1s.push(prf1.f1);
+        self.r_auc_prs.push(r_auc_pr);
+        self.adds.push(add);
+    }
+
+    /// Number of recorded runs.
+    pub fn runs(&self) -> usize {
+        self.f1s.len()
+    }
+
+    /// Mean precision.
+    pub fn precision(&self) -> f64 {
+        mean_std(&self.precisions).0
+    }
+
+    /// Mean recall.
+    pub fn recall(&self) -> f64 {
+        mean_std(&self.recalls).0
+    }
+
+    /// Mean F1.
+    pub fn f1(&self) -> f64 {
+        mean_std(&self.f1s).0
+    }
+
+    /// Standard deviation of F1 across runs (the paper's F1-std column).
+    pub fn f1_std(&self) -> f64 {
+        mean_std(&self.f1s).1
+    }
+
+    /// Mean R-AUC-PR.
+    pub fn r_auc_pr(&self) -> f64 {
+        mean_std(&self.r_auc_prs).0
+    }
+
+    /// Mean and std of ADD (Table 4 reports `mean±std`).
+    pub fn add_mean_std(&self) -> (f64, f64) {
+        mean_std(&self.adds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[2.0]), (2.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn aggregate_accumulates() {
+        let mut agg = RunAggregate::new();
+        agg.push(
+            PrF1 {
+                precision: 0.9,
+                recall: 0.8,
+                f1: 0.85,
+            },
+            0.3,
+            10.0,
+        );
+        agg.push(
+            PrF1 {
+                precision: 0.7,
+                recall: 0.6,
+                f1: 0.65,
+            },
+            0.1,
+            20.0,
+        );
+        assert_eq!(agg.runs(), 2);
+        assert!((agg.precision() - 0.8).abs() < 1e-12);
+        assert!((agg.f1() - 0.75).abs() < 1e-12);
+        assert!((agg.f1_std() - 0.1).abs() < 1e-12);
+        assert!((agg.r_auc_pr() - 0.2).abs() < 1e-12);
+        let (am, astd) = agg.add_mean_std();
+        assert_eq!(am, 15.0);
+        assert_eq!(astd, 5.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Pointwise precision/recall/F1 and the point-adjustment protocol.
+
+/// Precision, recall and F1 score.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrF1 {
+    /// Precision TP / (TP + FP); 0 when no positives were predicted.
+    pub precision: f64,
+    /// Recall TP / (TP + FN); 0 when the ground truth has no positives.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+}
+
+impl PrF1 {
+    /// Computes P/R/F1 from confusion counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrF1 {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Pointwise confusion counts `(tp, fp, fn)`.
+///
+/// # Panics
+/// Panics if the two label vectors differ in length.
+pub fn confusion(pred: &[bool], truth: &[bool]) -> (usize, usize, usize) {
+    assert_eq!(pred.len(), truth.len(), "label length mismatch");
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    (tp, fp, fn_)
+}
+
+/// Applies the point-adjustment protocol (Xu et al. / OmniAnomaly):
+/// if any point inside a contiguous ground-truth anomaly segment is
+/// predicted anomalous, the entire segment counts as detected.
+///
+/// Returns the adjusted prediction vector. False positives outside true
+/// segments are untouched.
+pub fn point_adjust(pred: &[bool], truth: &[bool]) -> Vec<bool> {
+    assert_eq!(pred.len(), truth.len(), "label length mismatch");
+    let mut adjusted = pred.to_vec();
+    let mut i = 0;
+    while i < truth.len() {
+        if truth[i] {
+            let start = i;
+            while i < truth.len() && truth[i] {
+                i += 1;
+            }
+            let end = i;
+            if adjusted[start..end].iter().any(|&p| p) {
+                for a in &mut adjusted[start..end] {
+                    *a = true;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    adjusted
+}
+
+/// Point-adjusted precision/recall/F1 in one call.
+pub fn pa_prf1(pred: &[bool], truth: &[bool]) -> PrF1 {
+    let adjusted = point_adjust(pred, truth);
+    let (tp, fp, fn_) = confusion(&adjusted, truth);
+    PrF1::from_counts(tp, fp, fn_)
+}
+
+/// Raw (un-adjusted) precision/recall/F1.
+pub fn raw_prf1(pred: &[bool], truth: &[bool]) -> PrF1 {
+    let (tp, fp, fn_) = confusion(pred, truth);
+    PrF1::from_counts(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = vec![false, true, true, false];
+        let m = raw_prf1(&t, &t);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_prediction_zero_scores() {
+        let pred = vec![false; 4];
+        let truth = vec![false, true, true, false];
+        let m = raw_prf1(&pred, &truth);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn no_anomalies_no_recall_penalty() {
+        let pred = vec![true, false];
+        let truth = vec![false, false];
+        let m = raw_prf1(&pred, &truth);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn point_adjust_expands_partial_hits() {
+        let truth = vec![false, true, true, true, false, true];
+        let pred = vec![false, false, true, false, false, false];
+        let adj = point_adjust(&pred, &truth);
+        // First segment fully credited, second (index 5) untouched.
+        assert_eq!(adj, vec![false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn point_adjust_keeps_false_positives() {
+        let truth = vec![false, false, true];
+        let pred = vec![true, false, false];
+        let adj = point_adjust(&pred, &truth);
+        assert_eq!(adj, vec![true, false, false]);
+    }
+
+    #[test]
+    fn point_adjust_segment_at_end() {
+        let truth = vec![false, true, true];
+        let pred = vec![false, false, true];
+        assert_eq!(point_adjust(&pred, &truth), vec![false, true, true]);
+    }
+
+    #[test]
+    fn pa_beats_raw_on_partial_detection() {
+        let truth = vec![true; 10];
+        let mut pred = vec![false; 10];
+        pred[7] = true;
+        let raw = raw_prf1(&pred, &truth);
+        let pa = pa_prf1(&pred, &truth);
+        assert!(pa.f1 > raw.f1);
+        assert_eq!(pa.recall, 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let pred = vec![true, true, false, false];
+        let truth = vec![true, false, true, false];
+        assert_eq!(confusion(&pred, &truth), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = confusion(&[true], &[true, false]);
+    }
+}

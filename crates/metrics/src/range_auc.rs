@@ -1,0 +1,175 @@
+//! Range-aware AUC-PR with buffered labels (R-AUC-PR).
+//!
+//! Follows the construction of Paparrizos et al., "Volume Under the
+//! Surface" (VLDB 2022): point labels are replaced by a continuous label
+//! curve that keeps value 1 inside each anomaly range and decays smoothly
+//! to 0 over a buffer region of width `ℓ` on both sides. Precision and
+//! recall are then computed against the continuous labels for every
+//! threshold on the score series, and the PR curve is integrated.
+//!
+//! This rewards detections that land *near* a range anomaly (within the
+//! buffer) and removes the threshold-selection bias of plain F1, which is
+//! exactly why the paper reports it alongside F1.
+
+/// Builds the continuous buffered label curve.
+///
+/// `buffer` is the ramp width ℓ; inside anomalies the label is 1, within
+/// `ℓ` steps of an anomaly it decays with a half-cosine, elsewhere 0.
+pub fn buffered_labels(truth: &[bool], buffer: usize) -> Vec<f64> {
+    let n = truth.len();
+    let mut out = vec![0.0f64; n];
+    // Distance to the nearest anomalous point (two sweeps).
+    let mut dist = vec![usize::MAX; n];
+    let mut last: Option<usize> = None;
+    for i in 0..n {
+        if truth[i] {
+            dist[i] = 0;
+            last = Some(i);
+        } else if let Some(l) = last {
+            dist[i] = i - l;
+        }
+    }
+    last = None;
+    for i in (0..n).rev() {
+        if truth[i] {
+            last = Some(i);
+        } else if let Some(l) = last {
+            dist[i] = dist[i].min(l - i);
+        }
+    }
+    for i in 0..n {
+        out[i] = if dist[i] == 0 {
+            1.0
+        } else if buffer > 0 && dist[i] <= buffer {
+            // Half-cosine ramp from 1 at the boundary to 0 at distance ℓ.
+            0.5 * (1.0 + (std::f64::consts::PI * dist[i] as f64 / buffer as f64).cos())
+        } else {
+            0.0
+        };
+    }
+    out
+}
+
+/// Computes R-AUC-PR for a score series against point labels.
+///
+/// `buffer` defaults (when `None`) to half the average anomaly-range
+/// length, the slope heuristic of the original paper. Returns 0 when the
+/// ground truth contains no anomalies.
+pub fn range_auc_pr(scores: &[f64], truth: &[bool], buffer: Option<usize>) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "score/label length mismatch");
+    let n_pos = truth.iter().filter(|&&b| b).count();
+    if n_pos == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let buffer = buffer.unwrap_or_else(|| {
+        let events = crate::add::events(truth);
+        let avg: f64 = events.iter().map(|(s, e)| (e - s) as f64).sum::<f64>()
+            / events.len().max(1) as f64;
+        ((avg / 2.0).round() as usize).max(2)
+    });
+    let soft = buffered_labels(truth, buffer);
+    let total_soft: f64 = soft.iter().sum();
+
+    // Sort points by descending score and sweep thresholds.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut tp_soft = 0.0f64;
+    let mut n_pred = 0usize;
+    let mut curve: Vec<(f64, f64)> = Vec::with_capacity(scores.len() + 1);
+    curve.push((0.0, 1.0)); // (recall, precision) anchor
+    let mut i = 0usize;
+    while i < order.len() {
+        // Include all points tied at this score level at once.
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            tp_soft += soft[order[i]];
+            n_pred += 1;
+            i += 1;
+        }
+        let precision = tp_soft / n_pred as f64;
+        let recall = tp_soft / total_soft;
+        curve.push((recall, precision));
+    }
+    // Trapezoidal integration over recall.
+    let mut auc = 0.0f64;
+    for w in curve.windows(2) {
+        let (r0, p0) = w[0];
+        let (r1, p1) = w[1];
+        auc += (r1 - r0) * 0.5 * (p0 + p1);
+    }
+    auc.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_labels_ramp() {
+        let truth = vec![false, false, false, true, true, false, false, false];
+        let soft = buffered_labels(&truth, 2);
+        assert_eq!(soft[3], 1.0);
+        assert_eq!(soft[4], 1.0);
+        assert!(soft[5] > soft[6]);
+        assert_eq!(soft[0], 0.0);
+        assert!(soft[2] > 0.0 && soft[2] < 1.0);
+    }
+
+    #[test]
+    fn buffer_zero_is_hard_labels() {
+        let truth = vec![false, true, false];
+        let soft = buffered_labels(&truth, 0);
+        assert_eq!(soft, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn perfect_scores_high_auc() {
+        let truth: Vec<bool> = (0..100).map(|i| (40..60).contains(&i)).collect();
+        let scores: Vec<f64> = (0..100)
+            .map(|i| if (40..60).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
+        let auc = range_auc_pr(&scores, &truth, Some(5));
+        assert!(auc > 0.9, "auc {auc}");
+    }
+
+    #[test]
+    fn random_scores_low_auc() {
+        // A rare anomaly with uninformative scores gives AUC near the
+        // anomaly rate.
+        let truth: Vec<bool> = (0..1000).map(|i| (100..110).contains(&i)).collect();
+        let scores: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let auc = range_auc_pr(&scores, &truth, Some(5));
+        assert!(auc < 0.2, "auc {auc}");
+    }
+
+    #[test]
+    fn near_miss_gets_partial_credit() {
+        // Detector fires just before the anomaly: buffered labels credit it.
+        let truth: Vec<bool> = (0..60).map(|i| (30..40).contains(&i)).collect();
+        let mut early = vec![0.0f64; 60];
+        for s in early.iter_mut().take(30).skip(27) {
+            *s = 1.0; // fires at 27..30, just outside
+        }
+        let mut far = vec![0.0f64; 60];
+        for s in far.iter_mut().take(8).skip(5) {
+            *s = 1.0; // fires far away
+        }
+        let a_near = range_auc_pr(&early, &truth, Some(5));
+        let a_far = range_auc_pr(&far, &truth, Some(5));
+        assert!(a_near > a_far, "{a_near} vs {a_far}");
+    }
+
+    #[test]
+    fn no_anomalies_is_zero() {
+        assert_eq!(range_auc_pr(&[1.0, 2.0], &[false, false], None), 0.0);
+    }
+
+    #[test]
+    fn auto_buffer_runs() {
+        let truth: Vec<bool> = (0..50).map(|i| (10..20).contains(&i)).collect();
+        let scores: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let auc = range_auc_pr(&scores, &truth, None);
+        assert!((0.0..=1.0).contains(&auc));
+    }
+}

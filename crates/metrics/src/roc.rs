@@ -1,0 +1,83 @@
+//! Standard (point-wise) ROC-AUC, complementing the range-aware R-AUC-PR.
+
+/// Area under the ROC curve of `scores` against binary `truth`, computed
+/// via the Mann–Whitney U statistic with midrank tie handling.
+///
+/// Returns 0.5 when either class is empty (no information).
+pub fn roc_auc(scores: &[f64], truth: &[bool]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "score/label length mismatch");
+    let n_pos = truth.iter().filter(|&&b| b).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending (midranks for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &ix in &order[i..=j] {
+            ranks[ix] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(truth)
+        .filter(|(_, &t)| t)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let truth = vec![false, false, true, true];
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&scores, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let truth = vec![true, true, false, false];
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        assert!(roc_auc(&scores, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_are_chance() {
+        let truth = vec![true, false, true, false];
+        let scores = vec![1.0; 4];
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_is_half() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn tie_handling_midranks() {
+        // One tie between a positive and a negative: AUC = 0.5 for that
+        // pair, 1.0 for the others => (1 + 0.5 + 1 + 1) / 4 = 0.875.
+        let truth = vec![false, false, true, true];
+        let scores = vec![0.1, 0.5, 0.5, 0.9];
+        assert!((roc_auc(&scores, &truth) - 0.875).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Threshold selection over continuous anomaly scores.
+
+use crate::point::{pa_prf1, PrF1};
+
+/// The score value at percentile `q` (0–100) of `scores`.
+///
+/// Uses nearest-rank on a sorted copy. Non-finite scores are ignored.
+pub fn threshold_at_percentile(scores: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    let mut finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    if finite.is_empty() {
+        return 0.0;
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let rank = ((q / 100.0) * (finite.len() - 1) as f64).round() as usize;
+    finite[rank.min(finite.len() - 1)]
+}
+
+/// Grid-searches the threshold maximising point-adjusted F1.
+///
+/// Mirrors the protocol the paper applies to baselines whose original
+/// papers do not specify a threshold. Candidates are drawn from evenly
+/// spaced score quantiles. Returns `(threshold, metrics)` at the optimum.
+pub fn best_f1_threshold(scores: &[f64], truth: &[bool]) -> (f64, PrF1) {
+    assert_eq!(scores.len(), truth.len(), "score/label length mismatch");
+    let mut best = (f64::INFINITY, PrF1::default());
+    // 0 predicted positives is a valid (all-negative) baseline.
+    let candidates: Vec<f64> = (0..=200)
+        .map(|i| threshold_at_percentile(scores, 50.0 + 50.0 * i as f64 / 200.0))
+        .collect();
+    let mut last = f64::NAN;
+    for th in candidates {
+        if th == last {
+            continue; // Skip duplicate quantiles.
+        }
+        last = th;
+        let pred: Vec<bool> = scores.iter().map(|&s| s > th).collect();
+        let m = pa_prf1(&pred, truth);
+        if m.f1 > best.1.f1 {
+            best = (th, m);
+        }
+    }
+    best
+}
+
+/// Applies a fixed threshold, returning binary predictions.
+pub fn apply_threshold(scores: &[f64], th: f64) -> Vec<bool> {
+    scores.iter().map(|&s| s > th).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_bounds() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(threshold_at_percentile(&s, 0.0), 1.0);
+        assert_eq!(threshold_at_percentile(&s, 100.0), 5.0);
+        assert_eq!(threshold_at_percentile(&s, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_ignores_nan() {
+        let s = vec![1.0, f64::NAN, 3.0];
+        assert_eq!(threshold_at_percentile(&s, 100.0), 3.0);
+    }
+
+    #[test]
+    fn best_threshold_separable_scores() {
+        // Scores perfectly separate anomalies.
+        let truth: Vec<bool> = (0..100).map(|i| (40..50).contains(&i)).collect();
+        let scores: Vec<f64> = (0..100)
+            .map(|i| if (40..50).contains(&i) { 10.0 } else { 1.0 })
+            .collect();
+        let (th, m) = best_f1_threshold(&scores, &truth);
+        assert!((1.0..10.0).contains(&th));
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn best_threshold_handles_constant_scores() {
+        let truth = vec![false, true, false];
+        let scores = vec![1.0, 1.0, 1.0];
+        let (_, m) = best_f1_threshold(&scores, &truth);
+        // Constant scores can never separate anything: F1 is 0.
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn best_threshold_uses_point_adjustment() {
+        // One hit inside a long segment should yield F1 = 1 after PA.
+        let truth: Vec<bool> = (0..50).map(|i| (10..30).contains(&i)).collect();
+        let mut scores = vec![0.0f64; 50];
+        scores[15] = 5.0;
+        let (_, m) = best_f1_threshold(&scores, &truth);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn apply_threshold_is_strict() {
+        assert_eq!(apply_threshold(&[1.0, 2.0], 1.0), vec![false, true]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Weight initialisation schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng::normal_vec;
+use crate::Tensor;
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    Tensor::from_vec(data, &[fan_in, fan_out])
+        .expect("xavier_uniform internal shape")
+        .into_param()
+}
+
+/// Kaiming/He normal initialisation for arbitrary shapes, scaled by fan-in.
+pub fn kaiming_normal(rng: &mut StdRng, dims: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = normal_vec(rng, n).into_iter().map(|v| v * std).collect();
+    Tensor::from_vec(data, dims)
+        .expect("kaiming_normal internal shape")
+        .into_param()
+}
+
+/// Normal initialisation with explicit standard deviation.
+pub fn normal_init(rng: &mut StdRng, dims: &[usize], std: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = normal_vec(rng, n).into_iter().map(|v| v * std).collect();
+    Tensor::from_vec(data, dims)
+        .expect("normal_init internal shape")
+        .into_param()
+}
+
+/// Zero-initialised parameter (biases, final projections).
+pub fn zeros_init(dims: &[usize]) -> Tensor {
+    Tensor::zeros(dims).into_param()
+}
+
+/// One-initialised parameter (layer-norm gains).
+pub fn ones_init(dims: &[usize]) -> Tensor {
+    Tensor::ones(dims).into_param()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn xavier_bound_respected() {
+        let w = xavier_uniform(&mut seeded(1), 64, 64);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        assert!(w.requires_grad());
+    }
+
+    #[test]
+    fn kaiming_scale_plausible() {
+        let w = kaiming_normal(&mut seeded(2), &[256, 256], 256);
+        let var: f32 =
+            w.data().iter().map(|v| v * v).sum::<f32>() / w.numel() as f32;
+        let expected = 2.0 / 256.0;
+        assert!((var - expected).abs() < expected * 0.3, "var {var}");
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        assert!(zeros_init(&[3]).data().iter().all(|&v| v == 0.0));
+        assert!(ones_init(&[3]).data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! 1-D convolution layer.
+
+use rand::rngs::StdRng;
+
+use super::Module;
+use crate::init;
+use crate::Tensor;
+
+/// A 1-D convolution over `[B, C_in, L]` with stride 1.
+pub struct Conv1d {
+    weight: Tensor,
+    bias: Tensor,
+    pad: usize,
+}
+
+impl Conv1d {
+    /// Creates a convolution. `pad = kernel / 2` gives "same" length output
+    /// for odd kernels.
+    pub fn new(rng: &mut StdRng, c_in: usize, c_out: usize, kernel: usize, pad: usize) -> Self {
+        Conv1d {
+            weight: init::kaiming_normal(rng, &[c_out, c_in, kernel], c_in * kernel),
+            bias: init::zeros_init(&[c_out]),
+            pad,
+        }
+    }
+
+    /// Applies the convolution to `[B, C_in, L]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.conv1d(&self.weight, &self.bias, self.pad)
+    }
+}
+
+impl Module for Conv1d {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::Tensor;
+
+    #[test]
+    fn same_padding_preserves_length() {
+        let conv = Conv1d::new(&mut seeded(1), 2, 4, 3, 1);
+        let x = Tensor::randn(&mut seeded(2), &[1, 2, 10]);
+        assert_eq!(conv.forward(&x).dims(), &[1, 4, 10]);
+    }
+
+    #[test]
+    fn param_count() {
+        let conv = Conv1d::new(&mut seeded(1), 2, 4, 3, 1);
+        assert_eq!(conv.num_params(), 4 * 2 * 3 + 4);
+    }
+}

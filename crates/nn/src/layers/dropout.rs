@@ -1,0 +1,66 @@
+//! Inverted dropout.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Inverted dropout: zeroes activations with probability `p` during
+/// training and rescales survivors by `1/(1-p)` so inference needs no
+/// adjustment.
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout { p }
+    }
+
+    /// Applies dropout. When `training` is false (or `p == 0`) this is the
+    /// identity.
+    pub fn forward(&self, x: &Tensor, rng: &mut StdRng, training: bool) -> Tensor {
+        if !training || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask_t = Tensor::from_vec(mask, x.dims()).expect("dropout mask shape");
+        x.mul(&mask_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::Tensor;
+
+    #[test]
+    fn identity_when_eval() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, &mut seeded(1), false);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn preserves_expectation_in_training() {
+        let d = Dropout::new(0.3);
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x, &mut seeded(2), true);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.numel() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

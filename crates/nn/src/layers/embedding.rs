@@ -1,0 +1,63 @@
+//! Learned embedding table.
+
+use rand::rngs::StdRng;
+
+use super::Module;
+use crate::init;
+use crate::Tensor;
+
+/// A learned embedding table `[vocab, dim]` with index lookup.
+pub struct Embedding {
+    table: Tensor,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding with N(0, 0.02) initialisation.
+    pub fn new(rng: &mut StdRng, vocab: usize, dim: usize) -> Self {
+        Embedding {
+            table: init::normal_init(rng, &[vocab, dim], 0.02),
+            dim,
+        }
+    }
+
+    /// Looks up rows for `indices`, returning `[indices.len(), dim]`.
+    pub fn forward(&self, indices: &[usize]) -> Tensor {
+        self.table.embedding(indices)
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward;
+    use crate::rng::seeded;
+
+    #[test]
+    fn lookup_shape() {
+        let e = Embedding::new(&mut seeded(1), 10, 4);
+        assert_eq!(e.forward(&[0, 3, 9]).dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn gradient_reaches_table() {
+        let e = Embedding::new(&mut seeded(1), 5, 2);
+        let out = e.forward(&[1, 1]);
+        backward(&out.sum_all());
+        let g = e.params()[0].grad().unwrap();
+        // Row 1 accumulated twice, everything else zero.
+        assert_eq!(g[2], 2.0);
+        assert_eq!(g[0], 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Layer-normalisation module.
+
+use super::Module;
+use crate::init;
+use crate::Tensor;
+
+/// Layer normalisation over the last dimension with learned gain/offset.
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over a last dimension of size `d`.
+    pub fn new(d: usize) -> Self {
+        LayerNorm {
+            gamma: init::ones_init(&[d]),
+            beta: init::zeros_init(&[d]),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises `[.., d]` input.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn normalises_rows() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]).unwrap();
+        let y = ln.forward(&x).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn has_two_params() {
+        assert_eq!(LayerNorm::new(8).params().len(), 2);
+        assert_eq!(LayerNorm::new(8).num_params(), 16);
+    }
+}

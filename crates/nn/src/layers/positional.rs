@@ -1,0 +1,84 @@
+//! Sinusoidal position and diffusion-step embeddings.
+
+use crate::Tensor;
+
+/// Classic transformer sinusoidal positional encoding.
+///
+/// Returns a constant `[len, dim]` tensor (no gradients).
+pub fn sinusoidal_positions(len: usize, dim: usize) -> Tensor {
+    assert!(dim >= 2, "positional dim must be >= 2");
+    let mut data = vec![0.0f32; len * dim];
+    let half = dim / 2;
+    for pos in 0..len {
+        for i in 0..half {
+            let freq = (10_000.0f32).powf(-(i as f32) / half as f32);
+            let angle = pos as f32 * freq;
+            data[pos * dim + 2 * i] = angle.sin();
+            if 2 * i + 1 < dim {
+                data[pos * dim + 2 * i + 1] = angle.cos();
+            }
+        }
+    }
+    Tensor::from_vec(data, &[len, dim]).expect("sinusoidal shape")
+}
+
+/// DiffWave-style diffusion-step embedding for a batch of step indices.
+///
+/// Each step `t` maps to `[sin(t * 10^(-j*4/(half-1))), cos(...)]`,
+/// producing a `[steps.len(), dim]` constant tensor that an MLP then
+/// projects (see the ImTransformer diffusion embedding in the paper's
+/// Fig. 5).
+pub fn diffusion_step_embedding(steps: &[usize], dim: usize) -> Tensor {
+    assert!(dim >= 2 && dim.is_multiple_of(2), "step embedding dim must be even");
+    let half = dim / 2;
+    let mut data = vec![0.0f32; steps.len() * dim];
+    for (row, &t) in steps.iter().enumerate() {
+        for j in 0..half {
+            let exponent = if half > 1 {
+                j as f32 * 4.0 / (half as f32 - 1.0)
+            } else {
+                0.0
+            };
+            let freq = (10.0f32).powf(exponent);
+            let angle = t as f32 / freq;
+            data[row * dim + j] = angle.sin();
+            data[row * dim + half + j] = angle.cos();
+        }
+    }
+    Tensor::from_vec(data, &[steps.len(), dim]).expect("step embedding shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_have_unit_amplitude() {
+        let p = sinusoidal_positions(16, 8);
+        assert_eq!(p.dims(), &[16, 8]);
+        assert!(p.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn distinct_positions_distinct_codes() {
+        let p = sinusoidal_positions(4, 8);
+        let d = p.to_vec();
+        assert_ne!(&d[0..8], &d[8..16]);
+    }
+
+    #[test]
+    fn step_embedding_shape_and_determinism() {
+        let a = diffusion_step_embedding(&[0, 10, 49], 16);
+        let b = diffusion_step_embedding(&[0, 10, 49], 16);
+        assert_eq!(a.dims(), &[3, 16]);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn step_zero_is_sin0_cos0() {
+        let e = diffusion_step_embedding(&[0], 4);
+        let d = e.to_vec();
+        assert_eq!(&d[..2], &[0.0, 0.0]); // sines
+        assert_eq!(&d[2..], &[1.0, 1.0]); // cosines
+    }
+}

@@ -1,0 +1,179 @@
+//! 1-D convolution over `[batch, channels, length]` tensors.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// 1-D convolution with stride 1 and symmetric zero padding `pad`.
+    ///
+    /// * `self`: `[B, C_in, L]`
+    /// * `weight`: `[C_out, C_in, K]`
+    /// * `bias`: `[C_out]`
+    ///
+    /// Output: `[B, C_out, L + 2*pad - K + 1]`.
+    pub fn conv1d(&self, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+        let xd = self.dims();
+        let wd = weight.dims();
+        assert_eq!(xd.len(), 3, "conv1d input must be [B, C_in, L]");
+        assert_eq!(wd.len(), 3, "conv1d weight must be [C_out, C_in, K]");
+        assert_eq!(xd[1], wd[1], "conv1d channel mismatch");
+        let (b, cin, l) = (xd[0], xd[1], xd[2]);
+        let (cout, k) = (wd[0], wd[2]);
+        assert_eq!(bias.dims(), &[cout], "conv1d bias shape");
+        assert!(l + 2 * pad >= k, "conv1d kernel larger than padded input");
+        let lout = l + 2 * pad - k + 1;
+
+        let mut out = vec![0.0f32; b * cout * lout];
+        {
+            let x = self.data();
+            let w = weight.data();
+            let bv = bias.data();
+            for bi in 0..b {
+                for co in 0..cout {
+                    let out_base = (bi * cout + co) * lout;
+                    out[out_base..out_base + lout].fill(bv[co]);
+                    for ci in 0..cin {
+                        let x_base = (bi * cin + ci) * l;
+                        let w_base = (co * cin + ci) * k;
+                        for kk in 0..k {
+                            let wv = w[w_base + kk];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            // out[lo] += x[lo + kk - pad] * wv for valid range.
+                            let lo_start = pad.saturating_sub(kk);
+                            let lo_end = lout.min(l + pad - kk);
+                            for lo in lo_start..lo_end {
+                                out[out_base + lo] += x[x_base + lo + kk - pad] * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Tensor::from_op(
+            out,
+            Shape::new(&[b, cout, lout]),
+            vec![self.clone(), weight.clone(), bias.clone()],
+            Box::new(move |gout, parents| {
+                let (px, pw, pb) = (&parents[0], &parents[1], &parents[2]);
+                let mut gx = vec![0.0f32; px.numel()];
+                let mut gw = vec![0.0f32; pw.numel()];
+                let mut gb = vec![0.0f32; cout];
+                {
+                    let x = px.data();
+                    let w = pw.data();
+                    for bi in 0..b {
+                        for (co, gb_c) in gb.iter_mut().enumerate() {
+                            let out_base = (bi * cout + co) * lout;
+                            for lo in 0..lout {
+                                *gb_c += gout[out_base + lo];
+                            }
+                            for ci in 0..cin {
+                                let x_base = (bi * cin + ci) * l;
+                                let w_base = (co * cin + ci) * k;
+                                for kk in 0..k {
+                                    let lo_start = pad.saturating_sub(kk);
+                                    let lo_end = lout.min(l + pad - kk);
+                                    let wv = w[w_base + kk];
+                                    let mut gw_acc = 0.0f32;
+                                    for lo in lo_start..lo_end {
+                                        let go = gout[out_base + lo];
+                                        gx[x_base + lo + kk - pad] += go * wv;
+                                        gw_acc += go * x[x_base + lo + kk - pad];
+                                    }
+                                    gw[w_base + kk] += gw_acc;
+                                }
+                            }
+                        }
+                    }
+                }
+                px.accumulate_grad(&gx);
+                pw.accumulate_grad(&gw);
+                pb.accumulate_grad(&gb);
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::backward;
+    use crate::Tensor;
+
+    fn param(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::param_from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        // K=1 kernel with weight 1 reproduces the input.
+        let x = param(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = param(&[1.0], &[1, 1, 1]);
+        let b = param(&[0.0], &[1]);
+        let y = x.conv1d(&w, &b, 0);
+        assert_eq!(y.dims(), &[1, 1, 4]);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn conv1d_moving_sum_same_padding() {
+        let x = param(&[1.0, 2.0, 3.0], &[1, 1, 3]);
+        let w = param(&[1.0, 1.0, 1.0], &[1, 1, 3]);
+        let b = param(&[0.0], &[1]);
+        let y = x.conv1d(&w, &b, 1);
+        assert_eq!(y.dims(), &[1, 1, 3]);
+        assert_eq!(y.to_vec(), vec![3.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn conv1d_multi_channel() {
+        // Two input channels summed by a K=1 kernel with weights (1, 2).
+        let x = param(&[1.0, 2.0, 10.0, 20.0], &[1, 2, 2]);
+        let w = param(&[1.0, 2.0], &[1, 2, 1]);
+        let b = param(&[0.5], &[1]);
+        let y = x.conv1d(&w, &b, 0);
+        assert_eq!(y.to_vec(), vec![21.5, 42.5]);
+    }
+
+    #[test]
+    fn conv1d_bias_grad_counts_positions() {
+        let x = param(&[0.0; 8], &[2, 1, 4]);
+        let w = param(&[1.0, 1.0, 1.0], &[1, 1, 3]);
+        let b = param(&[0.0], &[1]);
+        let y = x.conv1d(&w, &b, 1);
+        backward(&y.sum_all());
+        // Every output position contributes 1 to the bias grad: 2 batches * 4.
+        assert_eq!(b.grad().unwrap(), vec![8.0]);
+    }
+
+    #[test]
+    fn conv1d_grad_numeric() {
+        let xs = [0.5f32, -1.0, 2.0, 0.3];
+        let ws = [0.7f32, -0.2, 1.1];
+        let x = param(&xs, &[1, 1, 4]);
+        let w = param(&ws, &[1, 1, 3]);
+        let b = param(&[0.1], &[1]);
+        let loss = x.conv1d(&w, &b, 1).square().sum_all();
+        backward(&loss);
+        let gx = x.grad().unwrap();
+        let f = |xv: &[f32]| {
+            Tensor::from_vec(xv.to_vec(), &[1, 1, 4])
+                .unwrap()
+                .conv1d(&w, &b, 1)
+                .square()
+                .sum_all()
+                .item()
+        };
+        let eps = 1e-2;
+        for i in 0..4 {
+            let mut p = xs;
+            p[i] += eps;
+            let mut m = xs;
+            m[i] -= eps;
+            let num = (f(&p) - f(&m)) / (2.0 * eps);
+            assert!((gx[i] - num).abs() < 2e-2, "i={i}: {} vs {num}", gx[i]);
+        }
+    }
+}

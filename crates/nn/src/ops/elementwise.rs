@@ -1,0 +1,253 @@
+//! Element-wise unary and (broadcasting) binary operations.
+
+use crate::shape::{for_each_broadcast3, Shape};
+use crate::tensor::Tensor;
+
+/// Local partial derivatives of a binary op, as `(∂out/∂a, ∂out/∂b)`
+/// evaluated at `(a, b)`.
+type Partials = fn(f32, f32) -> (f32, f32);
+
+fn binary_broadcast(a: &Tensor, b: &Tensor, fwd: fn(f32, f32) -> f32, partials: Partials) -> Tensor {
+    let out_shape = Shape::broadcast(a.shape(), b.shape());
+    let mut out = vec![0.0f32; out_shape.numel()];
+    {
+        let da = a.data();
+        let db = b.data();
+        for_each_broadcast3(&out_shape, a.shape(), b.shape(), |o, ia, ib| {
+            out[o] = fwd(da[ia], db[ib]);
+        });
+    }
+    let (sa, sb) = (a.shape().clone(), b.shape().clone());
+    let so = out_shape.clone();
+    Tensor::from_op(
+        out,
+        out_shape,
+        vec![a.clone(), b.clone()],
+        Box::new(move |gout, parents| {
+            let (pa, pb) = (&parents[0], &parents[1]);
+            let mut ga = vec![0.0f32; sa.numel()];
+            let mut gb = vec![0.0f32; sb.numel()];
+            {
+                let da = pa.data();
+                let db = pb.data();
+                for_each_broadcast3(&so, &sa, &sb, |o, ia, ib| {
+                    let (dda, ddb) = partials(da[ia], db[ib]);
+                    ga[ia] += dda * gout[o];
+                    gb[ib] += ddb * gout[o];
+                });
+            }
+            pa.accumulate_grad(&ga);
+            pb.accumulate_grad(&gb);
+        }),
+    )
+}
+
+fn unary(a: &Tensor, fwd: fn(f32) -> f32, dfdx: fn(f32, f32) -> f32) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|&x| fwd(x)).collect();
+    let saved_out = data.clone();
+    Tensor::from_op(
+        data,
+        a.shape().clone(),
+        vec![a.clone()],
+        Box::new(move |gout, parents| {
+            let p = &parents[0];
+            let din = p.data();
+            let g: Vec<f32> = gout
+                .iter()
+                .enumerate()
+                .map(|(i, &go)| dfdx(din[i], saved_out[i]) * go)
+                .collect();
+            drop(din);
+            p.accumulate_grad(&g);
+        }),
+    )
+}
+
+impl Tensor {
+    /// Element-wise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        binary_broadcast(self, other, |a, b| a + b, |_, _| (1.0, 1.0))
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        binary_broadcast(self, other, |a, b| a - b, |_, _| (1.0, -1.0))
+    }
+
+    /// Element-wise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        binary_broadcast(self, other, |a, b| a * b, |a, b| (b, a))
+    }
+
+    /// Element-wise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        binary_broadcast(self, other, |a, b| a / b, |a, b| (1.0 / b, -a / (b * b)))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Tensor {
+        unary(self, |x| -x, |_, _| -1.0)
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|&x| x * c).collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |gout, parents| {
+                let g: Vec<f32> = gout.iter().map(|&go| go * c).collect();
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|&x| x + c).collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |gout, parents| parents[0].accumulate_grad(gout)),
+        )
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Tensor {
+        unary(self, |x| x.exp(), |_, y| y)
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        unary(self, |x| x.ln(), |x, _| 1.0 / x)
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&self) -> Tensor {
+        unary(self, |x| x.sqrt(), |_, y| 0.5 / y)
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Tensor {
+        unary(self, |x| x * x, |x, _| 2.0 * x)
+    }
+
+    /// Element-wise absolute value (subgradient 0 at the kink).
+    pub fn abs(&self) -> Tensor {
+        unary(
+            self,
+            |x| x.abs(),
+            |x, _| {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward;
+
+    fn param(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::param_from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_div_forward() {
+        let a = param(&[1.0, 2.0, 3.0], &[3]);
+        let b = param(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).to_vec(), vec![3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).to_vec(), vec![4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).to_vec(), vec![4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_row_bias() {
+        let x = param(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = param(&[10.0, 20.0, 30.0], &[3]);
+        let y = x.add(&b);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let loss = y.sum_all();
+        backward(&loss);
+        // The bias gradient sums over the broadcast (row) axis.
+        assert_eq!(b.grad().unwrap(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(x.grad().unwrap(), vec![1.0; 6]);
+    }
+
+    #[test]
+    fn mul_gradients() {
+        let a = param(&[2.0, 3.0], &[2]);
+        let b = param(&[5.0, 7.0], &[2]);
+        let loss = a.mul(&b).sum_all();
+        backward(&loss);
+        assert_eq!(a.grad().unwrap(), vec![5.0, 7.0]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_gradients() {
+        let a = param(&[6.0], &[1]);
+        let b = param(&[3.0], &[1]);
+        let loss = a.div(&b).sum_all();
+        backward(&loss);
+        assert_eq!(a.grad().unwrap(), vec![1.0 / 3.0]);
+        assert_eq!(b.grad().unwrap(), vec![-6.0 / 9.0]);
+    }
+
+    #[test]
+    fn unary_grads() {
+        let x = param(&[0.5, 1.5], &[2]);
+        let loss = x.exp().sum_all();
+        backward(&loss);
+        let g = x.grad().unwrap();
+        assert!((g[0] - 0.5f32.exp()).abs() < 1e-6);
+        assert!((g[1] - 1.5f32.exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sqrt_square_roundtrip_grad() {
+        let x = param(&[4.0], &[1]);
+        let loss = x.sqrt().sum_all();
+        backward(&loss);
+        assert!((x.grad().unwrap()[0] - 0.25).abs() < 1e-6);
+
+        let y = param(&[3.0], &[1]);
+        let loss2 = y.square().sum_all();
+        backward(&loss2);
+        assert_eq!(y.grad().unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let x = param(&[1.0, -2.0], &[2]);
+        let y = x.scale(3.0).add_scalar(1.0);
+        assert_eq!(y.to_vec(), vec![4.0, -5.0]);
+        backward(&y.sum_all());
+        assert_eq!(x.grad().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn abs_subgradient() {
+        let x = param(&[-2.0, 0.0, 3.0], &[3]);
+        let loss = x.abs().sum_all();
+        backward(&loss);
+        assert_eq!(x.grad().unwrap(), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn ln_grad() {
+        let x = param(&[2.0], &[1]);
+        backward(&x.ln().sum_all());
+        assert!((x.grad().unwrap()[0] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,214 @@
+//! (Batched) matrix multiplication.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `out[m,n] (+)= a[m,k] @ b[k,n]` with optional accumulation.
+pub(crate) fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] @ b[n,k]^T`.
+pub(crate) fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out[k,n] += a[m,k]^T @ b[m,n]`.
+pub(crate) fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix multiplication with limited batching.
+    ///
+    /// Supported shapes (leading `B..` may be any number of batch dims):
+    /// * `[m, k] @ [k, n] -> [m, n]`
+    /// * `[B.., m, k] @ [k, n] -> [B.., m, n]` (shared right operand)
+    /// * `[B.., m, k] @ [B.., k, n] -> [B.., m, n]` (matching batches)
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (ad, bd) = (self.dims(), other.dims());
+        assert!(
+            ad.len() >= 2 && bd.len() >= 2,
+            "matmul requires >=2-D operands, got {} and {}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k) = (ad[ad.len() - 2], ad[ad.len() - 1]);
+        let (k2, n) = (bd[bd.len() - 2], bd[bd.len() - 1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let a_batch: usize = ad[..ad.len() - 2].iter().product();
+        let b_batch: usize = bd[..bd.len() - 2].iter().product();
+        let shared_rhs = bd.len() == 2;
+        assert!(
+            shared_rhs || ad[..ad.len() - 2] == bd[..bd.len() - 2],
+            "matmul batch dimensions mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let _ = b_batch;
+
+        let mut out_dims: Vec<usize> = ad[..ad.len() - 2].to_vec();
+        out_dims.push(m);
+        out_dims.push(n);
+        let out_shape = Shape::new(&out_dims);
+        let mut out = vec![0.0f32; out_shape.numel()];
+        {
+            let da = self.data();
+            let db = other.data();
+            for bi in 0..a_batch {
+                let a_sl = &da[bi * m * k..(bi + 1) * m * k];
+                let b_sl = if shared_rhs {
+                    &db[..]
+                } else {
+                    &db[bi * k * n..(bi + 1) * k * n]
+                };
+                mm_nn(a_sl, b_sl, m, k, n, &mut out[bi * m * n..(bi + 1) * m * n]);
+            }
+        }
+
+        Tensor::from_op(
+            out,
+            out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |gout, parents| {
+                let (pa, pb) = (&parents[0], &parents[1]);
+                let mut ga = vec![0.0f32; pa.numel()];
+                let mut gb = vec![0.0f32; pb.numel()];
+                {
+                    let da = pa.data();
+                    let db = pb.data();
+                    for bi in 0..a_batch {
+                        let g_sl = &gout[bi * m * n..(bi + 1) * m * n];
+                        let a_sl = &da[bi * m * k..(bi + 1) * m * k];
+                        let b_sl = if shared_rhs {
+                            &db[..]
+                        } else {
+                            &db[bi * k * n..(bi + 1) * k * n]
+                        };
+                        // dA = dC @ B^T
+                        mm_nt(g_sl, b_sl, m, n, k, &mut ga[bi * m * k..(bi + 1) * m * k]);
+                        // dB (+)= A^T @ dC
+                        let gb_sl = if shared_rhs {
+                            &mut gb[..]
+                        } else {
+                            &mut gb[bi * k * n..(bi + 1) * k * n]
+                        };
+                        mm_tn(a_sl, g_sl, m, k, n, gb_sl);
+                    }
+                }
+                pa.accumulate_grad(&ga);
+                pb.accumulate_grad(&gb);
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward;
+
+    fn param(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::param_from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_2d_forward() {
+        let a = param(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = param(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_2d_gradients() {
+        let a = param(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = param(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let loss = a.matmul(&b).sum_all();
+        backward(&loss);
+        // dA = 1 @ B^T: rows are [5+6, 7+8].
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        // dB = A^T @ 1: rows are [1+3, 2+4] stacked per column.
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_batched_shared_rhs() {
+        let a = param(&[1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let b = param(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(
+            c.to_vec(),
+            vec![1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]
+        );
+        backward(&c.sum_all());
+        // Shared RHS gradient accumulates over both batches:
+        // dB = sum_b A_b^T @ 1 = [[1+2,1+2],[1+2,1+2]]... compute: batch0 A=I => ones^T rows [1,1;1,1]; batch1 A=2I => [2,2;2,2]; total [3,3;3,3].
+        assert_eq!(b.grad().unwrap(), vec![3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_batched_matching() {
+        let a = param(&[1.0, 2.0, 3.0, 4.0], &[2, 1, 2]);
+        let b = param(&[1.0, 1.0, 2.0, 2.0], &[2, 2, 1]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 1, 1]);
+        assert_eq!(c.to_vec(), vec![3.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = param(&[0.0; 6], &[2, 3]);
+        let b = param(&[0.0; 4], &[2, 2]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,245 @@
+//! Softmax and fused layer normalization.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Numerically stable softmax over the last dimension.
+    pub fn softmax_last(&self) -> Tensor {
+        let dims = self.dims();
+        assert!(!dims.is_empty(), "softmax requires >=1-D");
+        let d = dims[dims.len() - 1];
+        let rows = self.numel() / d;
+        let mut out = vec![0.0f32; self.numel()];
+        {
+            let x = self.data();
+            for r in 0..rows {
+                let row = &x[r * d..(r + 1) * d];
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
+                    let e = (v - max).exp();
+                    *o = e;
+                    sum += e;
+                }
+                let inv = 1.0 / sum;
+                for o in &mut out[r * d..(r + 1) * d] {
+                    *o *= inv;
+                }
+            }
+        }
+        let saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |gout, parents| {
+                let mut g = vec![0.0f32; saved.len()];
+                for r in 0..rows {
+                    let y = &saved[r * d..(r + 1) * d];
+                    let go = &gout[r * d..(r + 1) * d];
+                    let dot: f32 = y.iter().zip(go).map(|(&yv, &gv)| yv * gv).sum();
+                    for ((gi, &yv), &gv) in g[r * d..(r + 1) * d].iter_mut().zip(y).zip(go) {
+                        *gi = yv * (gv - dot);
+                    }
+                }
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Fused layer normalization over the last dimension.
+    ///
+    /// `gamma` and `beta` must be 1-D of the last-dim size.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let dims = self.dims();
+        let d = dims[dims.len() - 1];
+        assert_eq!(gamma.dims(), &[d], "layer_norm gamma shape");
+        assert_eq!(beta.dims(), &[d], "layer_norm beta shape");
+        let rows = self.numel() / d;
+
+        let mut out = vec![0.0f32; self.numel()];
+        let mut xhat = vec![0.0f32; self.numel()];
+        let mut inv_std = vec![0.0f32; rows];
+        {
+            let x = self.data();
+            let g = gamma.data();
+            let b = beta.data();
+            for r in 0..rows {
+                let row = &x[r * d..(r + 1) * d];
+                let mean: f32 = row.iter().sum::<f32>() / d as f32;
+                let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                inv_std[r] = istd;
+                for i in 0..d {
+                    let h = (row[i] - mean) * istd;
+                    xhat[r * d + i] = h;
+                    out[r * d + i] = h * g[i] + b[i];
+                }
+            }
+        }
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |gout, parents| {
+                let (px, pg, pb) = (&parents[0], &parents[1], &parents[2]);
+                let mut gx = vec![0.0f32; px.numel()];
+                let mut gg = vec![0.0f32; d];
+                let mut gb = vec![0.0f32; d];
+                {
+                    let gamma_d = pg.data();
+                    for r in 0..rows {
+                        let go = &gout[r * d..(r + 1) * d];
+                        let xh = &xhat[r * d..(r + 1) * d];
+                        // Parameter gradients.
+                        for i in 0..d {
+                            gg[i] += go[i] * xh[i];
+                            gb[i] += go[i];
+                        }
+                        // Input gradient.
+                        let mut mean_dxhat = 0.0f32;
+                        let mut mean_dxhat_xhat = 0.0f32;
+                        for i in 0..d {
+                            let dxh = go[i] * gamma_d[i];
+                            mean_dxhat += dxh;
+                            mean_dxhat_xhat += dxh * xh[i];
+                        }
+                        mean_dxhat /= d as f32;
+                        mean_dxhat_xhat /= d as f32;
+                        let istd = inv_std[r];
+                        for i in 0..d {
+                            let dxh = go[i] * gamma_d[i];
+                            gx[r * d + i] = istd * (dxh - mean_dxhat - xh[i] * mean_dxhat_xhat);
+                        }
+                    }
+                }
+                px.accumulate_grad(&gx);
+                pg.accumulate_grad(&gg);
+                pb.accumulate_grad(&gb);
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::backward;
+    use crate::Tensor;
+
+    fn param(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::param_from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = param(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let y = x.softmax_last();
+        let d = y.to_vec();
+        let s0: f32 = d[..3].iter().sum();
+        let s1: f32 = d[3..].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((s1 - 1.0).abs() < 1e-6);
+        assert!(d[2] > d[1] && d[1] > d[0]);
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = param(&[1.0, 2.0, 3.0], &[3]).softmax_last().to_vec();
+        let b = param(&[101.0, 102.0, 103.0], &[3]).softmax_last().to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        // Because softmax output sums to 1, gradient of sum is 0.
+        let x = param(&[0.3, -0.7, 1.2], &[3]);
+        let y = x.softmax_last();
+        backward(&y.sum_all());
+        let g = x.grad().unwrap();
+        assert!(g.iter().all(|v| v.abs() < 1e-6), "{g:?}");
+    }
+
+    #[test]
+    fn softmax_grad_numeric() {
+        let v = [0.5f32, -1.0, 2.0];
+        let x = param(&v, &[3]);
+        // Loss = sum(softmax * w) with fixed weights.
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let loss = x.softmax_last().mul(&w).sum_all();
+        backward(&loss);
+        let g = x.grad().unwrap();
+        let f = |vs: &[f32]| {
+            Tensor::from_vec(vs.to_vec(), &[3])
+                .unwrap()
+                .softmax_last()
+                .mul(&w)
+                .sum_all()
+                .item()
+        };
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut vp = v;
+            vp[i] += eps;
+            let mut vm = v;
+            vm[i] -= eps;
+            let num = (f(&vp) - f(&vm)) / (2.0 * eps);
+            assert!((g[i] - num).abs() < 1e-2, "i={i}: {} vs {}", g[i], num);
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = param(&[1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let gamma = Tensor::ones(&[4]).into_param();
+        let beta = Tensor::zeros(&[4]).into_param();
+        let y = x.layer_norm(&gamma, &beta, 1e-5).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_grad_numeric() {
+        let v = [0.5f32, -1.0, 2.0, 0.1];
+        let x = param(&v, &[1, 4]);
+        let gamma = Tensor::param_from_vec(vec![1.5, 0.5, 1.0, 2.0], &[4]).unwrap();
+        let beta = Tensor::param_from_vec(vec![0.1, -0.1, 0.0, 0.2], &[4]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 1.0], &[1, 4]).unwrap();
+        let loss = x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all();
+        backward(&loss);
+        let g = x.grad().unwrap();
+        let f = |vs: &[f32]| {
+            Tensor::from_vec(vs.to_vec(), &[1, 4])
+                .unwrap()
+                .layer_norm(&gamma, &beta, 1e-5)
+                .mul(&w)
+                .sum_all()
+                .item()
+        };
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut vp = v;
+            vp[i] += eps;
+            let mut vm = v;
+            vm[i] -= eps;
+            let num = (f(&vp) - f(&vm)) / (2.0 * eps);
+            assert!((g[i] - num).abs() < 2e-2, "i={i}: {} vs {}", g[i], num);
+        }
+    }
+
+    #[test]
+    fn layer_norm_param_grads() {
+        let x = param(&[1.0, 3.0], &[1, 2]);
+        let gamma = Tensor::ones(&[2]).into_param();
+        let beta = Tensor::zeros(&[2]).into_param();
+        let y = x.layer_norm(&gamma, &beta, 1e-5);
+        backward(&y.sum_all());
+        // dL/dbeta = 1 per element; dL/dgamma = xhat which sums to ~0.
+        assert_eq!(beta.grad().unwrap(), vec![1.0, 1.0]);
+        let gg = gamma.grad().unwrap();
+        assert!((gg[0] + gg[1]).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,266 @@
+//! Shape manipulation: reshape, permute, transpose, concat, slice.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Copies `src` (with shape `dims`) into a permuted layout given by `perm`.
+fn permute_copy(src: &[f32], dims: &[usize], perm: &[usize]) -> Vec<f32> {
+    let ndim = dims.len();
+    let in_strides = Shape::new(dims).strides();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| dims[p]).collect();
+    let n: usize = out_dims.iter().product();
+    let mut out = vec![0.0f32; n];
+    let mut out_idx = vec![0usize; ndim];
+    for (o, slot) in out.iter_mut().enumerate() {
+        // Map the output multi-index back to an input linear offset.
+        let mut i_in = 0usize;
+        for (j, &oi) in out_idx.iter().enumerate() {
+            i_in += oi * in_strides[perm[j]];
+        }
+        *slot = src[i_in];
+        let _ = o;
+        for d in (0..ndim).rev() {
+            out_idx[d] += 1;
+            if out_idx[d] < out_dims[d] {
+                break;
+            }
+            out_idx[d] = 0;
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Reinterprets the tensor with a new shape of identical element count.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let new_shape = Shape::new(dims);
+        assert_eq!(
+            new_shape.numel(),
+            self.numel(),
+            "reshape from {} to {} changes element count",
+            self.shape(),
+            new_shape
+        );
+        Tensor::from_op(
+            self.to_vec(),
+            new_shape,
+            vec![self.clone()],
+            Box::new(move |gout, parents| parents[0].accumulate_grad(gout)),
+        )
+    }
+
+    /// Permutes dimensions: output dim `j` is input dim `perm[j]`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let dims = self.dims().to_vec();
+        assert_eq!(perm.len(), dims.len(), "permute rank mismatch");
+        let mut seen = vec![false; dims.len()];
+        for &p in perm {
+            assert!(p < dims.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_dims: Vec<usize> = perm.iter().map(|&p| dims[p]).collect();
+        let data = permute_copy(&self.data(), &dims, perm);
+        // The gradient flows back through the inverse permutation.
+        let mut inv = vec![0usize; perm.len()];
+        for (j, &p) in perm.iter().enumerate() {
+            inv[p] = j;
+        }
+        let out_dims_clone = out_dims.clone();
+        Tensor::from_op(
+            data,
+            Shape::new(&out_dims),
+            vec![self.clone()],
+            Box::new(move |gout, parents| {
+                let g = permute_copy(gout, &out_dims_clone, &inv);
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Swaps the last two dimensions.
+    pub fn transpose_last2(&self) -> Tensor {
+        let ndim = self.dims().len();
+        assert!(ndim >= 2, "transpose_last2 requires >=2-D");
+        let mut perm: Vec<usize> = (0..ndim).collect();
+        perm.swap(ndim - 2, ndim - 1);
+        self.permute(&perm)
+    }
+
+    /// Concatenates tensors along `axis`. All inputs must agree on every
+    /// other dimension.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let first_dims = tensors[0].dims().to_vec();
+        assert!(axis < first_dims.len(), "concat axis out of range");
+        let mut axis_total = 0usize;
+        for t in tensors {
+            let d = t.dims();
+            assert_eq!(d.len(), first_dims.len(), "concat rank mismatch");
+            for (i, (&a, &b)) in d.iter().zip(&first_dims).enumerate() {
+                assert!(i == axis || a == b, "concat non-axis dim mismatch");
+            }
+            axis_total += d[axis];
+        }
+        let mut out_dims = first_dims.clone();
+        out_dims[axis] = axis_total;
+        let out_shape = Shape::new(&out_dims);
+        let outer: usize = first_dims[..axis].iter().product();
+        let inner: usize = first_dims[axis + 1..].iter().product();
+
+        let mut out = vec![0.0f32; out_shape.numel()];
+        let axis_sizes: Vec<usize> = tensors.iter().map(|t| t.dims()[axis]).collect();
+        {
+            let mut offset = 0usize;
+            for (t, &sz) in tensors.iter().zip(&axis_sizes) {
+                let d = t.data();
+                for o in 0..outer {
+                    let src = &d[o * sz * inner..(o + 1) * sz * inner];
+                    let dst_base = (o * axis_total + offset) * inner;
+                    out[dst_base..dst_base + sz * inner].copy_from_slice(src);
+                }
+                offset += sz;
+            }
+        }
+        let parents: Vec<Tensor> = tensors.iter().map(|&t| t.clone()).collect();
+        Tensor::from_op(
+            out,
+            out_shape,
+            parents,
+            Box::new(move |gout, parents| {
+                let mut offset = 0usize;
+                for (p, &sz) in parents.iter().zip(&axis_sizes) {
+                    let mut g = vec![0.0f32; p.numel()];
+                    for o in 0..outer {
+                        let src_base = (o * axis_total + offset) * inner;
+                        g[o * sz * inner..(o + 1) * sz * inner]
+                            .copy_from_slice(&gout[src_base..src_base + sz * inner]);
+                    }
+                    p.accumulate_grad(&g);
+                    offset += sz;
+                }
+            }),
+        )
+    }
+
+    /// Slices `len` elements starting at `start` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        let dims = self.dims().to_vec();
+        assert!(axis < dims.len(), "slice axis out of range");
+        assert!(
+            start + len <= dims[axis],
+            "slice [{start}, {start}+{len}) exceeds axis size {}",
+            dims[axis]
+        );
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.clone();
+        out_dims[axis] = len;
+        let out_shape = Shape::new(&out_dims);
+        let mut out = vec![0.0f32; out_shape.numel()];
+        {
+            let d = self.data();
+            for o in 0..outer {
+                let src_base = (o * mid + start) * inner;
+                out[o * len * inner..(o + 1) * len * inner]
+                    .copy_from_slice(&d[src_base..src_base + len * inner]);
+            }
+        }
+        Tensor::from_op(
+            out,
+            out_shape,
+            vec![self.clone()],
+            Box::new(move |gout, parents| {
+                let p = &parents[0];
+                let mut g = vec![0.0f32; p.numel()];
+                for o in 0..outer {
+                    let dst_base = (o * mid + start) * inner;
+                    g[dst_base..dst_base + len * inner]
+                        .copy_from_slice(&gout[o * len * inner..(o + 1) * len * inner]);
+                }
+                p.accumulate_grad(&g);
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::backward;
+    use crate::Tensor;
+
+    fn param(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::param_from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let x = param(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = x.reshape(&[3, 2]);
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.to_vec(), x.to_vec());
+        backward(&y.sum_all());
+        assert_eq!(x.grad().unwrap(), vec![1.0; 6]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let x = param(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = x.transpose_last2();
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn permute_3d_and_grad() {
+        let x = param(&(0..24).map(|v| v as f32).collect::<Vec<_>>(), &[2, 3, 4]);
+        let y = x.permute(&[2, 0, 1]);
+        assert_eq!(y.dims(), &[4, 2, 3]);
+        // y[i,j,k] = x[j,k,i]
+        let yd = y.to_vec();
+        assert_eq!(yd[0], 0.0); // x[0,0,0]
+        assert_eq!(yd[8], 9.0); // y[1,0,2] = x[0,2,1] = 0*12 + 2*4 + 1
+        backward(&y.sum_all());
+        assert_eq!(x.grad().unwrap(), vec![1.0; 24]);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = param(&[1.0, 2.0], &[1, 2]);
+        let b = param(&[3.0, 4.0], &[1, 2]);
+        let c0 = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c0.dims(), &[2, 2]);
+        assert_eq!(c0.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let c1 = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c1.dims(), &[1, 4]);
+        assert_eq!(c1.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_grad_splits() {
+        let a = param(&[1.0, 2.0], &[2]);
+        let b = param(&[3.0], &[1]);
+        let c = Tensor::concat(&[&a, &b], 0);
+        backward(&c.mul(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap()).sum_all());
+        assert_eq!(a.grad().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(b.grad().unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn slice_middle_axis() {
+        let x = param(&(0..12).map(|v| v as f32).collect::<Vec<_>>(), &[2, 3, 2]);
+        let y = x.slice_axis(1, 1, 2);
+        assert_eq!(y.dims(), &[2, 2, 2]);
+        assert_eq!(y.to_vec(), vec![2.0, 3.0, 4.0, 5.0, 8.0, 9.0, 10.0, 11.0]);
+        backward(&y.sum_all());
+        let g = x.grad().unwrap();
+        assert_eq!(g, vec![0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds axis size")]
+    fn slice_out_of_range_panics() {
+        let x = param(&[0.0; 6], &[2, 3]);
+        let _ = x.slice_axis(1, 2, 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Stochastic gradient descent with classical momentum.
+
+use super::{clip_grads, Optimizer};
+use crate::Tensor;
+
+/// SGD with optional momentum: `v = m*v + g; p -= lr * v`.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| vec![0.0f32; p.numel()]).collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            let Some(g) = p.grad() else { continue };
+            let lr = self.lr;
+            let m = self.momentum;
+            p.update_data(|d| {
+                for ((dv, vv), gv) in d.iter_mut().zip(v.iter_mut()).zip(&g) {
+                    *vv = m * *vv + gv;
+                    *dv -= lr * *vv;
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn clip_grad_norm(&self, max_norm: f32) -> f32 {
+        clip_grads(&self.params, max_norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{backward, Tensor};
+
+    #[test]
+    fn converges_on_quadratic() {
+        let x = Tensor::param_from_vec(vec![5.0], &[1]).unwrap();
+        let mut opt = Sgd::new(vec![x.clone()], 0.1, 0.0);
+        for _ in 0..100 {
+            let loss = x.square().sum_all();
+            backward(&loss);
+            opt.step();
+            opt.zero_grad();
+        }
+        assert!(x.item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let runs = |momentum: f32| {
+            let x = Tensor::param_from_vec(vec![5.0], &[1]).unwrap();
+            let mut opt = Sgd::new(vec![x.clone()], 0.01, momentum);
+            for _ in 0..50 {
+                let loss = x.square().sum_all();
+                backward(&loss);
+                opt.step();
+                opt.zero_grad();
+            }
+            x.item().abs()
+        };
+        assert!(runs(0.9) < runs(0.0));
+    }
+
+    #[test]
+    fn skips_params_without_grads() {
+        let x = Tensor::param_from_vec(vec![1.0], &[1]).unwrap();
+        let mut opt = Sgd::new(vec![x.clone()], 0.5, 0.0);
+        opt.step(); // No gradient accumulated: parameter unchanged.
+        assert_eq!(x.item(), 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Model checkpointing: save/load parameter lists in a simple binary
+//! format.
+//!
+//! Every [`crate::layers::Module`] exposes its parameters in a stable
+//! order, so a checkpoint is just that ordered list of tensors. The format
+//! is self-describing enough to catch mismatches (magic, version, per-
+//! tensor shape) but deliberately minimal: little-endian `f32` throughout.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::{NnError, Result, Tensor};
+
+const MAGIC: &[u8; 4] = b"IMDF";
+const VERSION: u32 = 1;
+
+/// Serializes a parameter list to a writer.
+pub fn write_params(mut w: impl Write, params: &[Tensor]) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let dims = p.dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in p.data().iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Saves a parameter list to a file.
+pub fn save_params(path: &Path, params: &[Tensor]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut buf = Vec::new();
+    write_params(&mut buf, params)?;
+    fs::write(path, buf)
+}
+
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Loads a checkpoint *into* an existing parameter list (e.g. a freshly
+/// constructed model), verifying count and shapes.
+///
+/// Returns [`NnError::InvalidArgument`] on any mismatch — a checkpoint
+/// from a different architecture or configuration must never be silently
+/// truncated into a model.
+pub fn load_params_into(path: &Path, params: &[Tensor]) -> Result<()> {
+    let bytes = fs::read(path)
+        .map_err(|e| NnError::InvalidArgument(format!("cannot read {}: {e}", path.display())))?;
+    let mut r: &[u8] = &bytes;
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)
+        .map_err(|_| NnError::InvalidArgument("truncated checkpoint header".into()))?;
+    if &magic != MAGIC {
+        return Err(NnError::InvalidArgument("not an IMDF checkpoint".into()));
+    }
+    let version = read_u32(&mut r)
+        .map_err(|_| NnError::InvalidArgument("truncated checkpoint header".into()))?;
+    if version != VERSION {
+        return Err(NnError::InvalidArgument(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let count = read_u32(&mut r)
+        .map_err(|_| NnError::InvalidArgument("truncated checkpoint header".into()))? as usize;
+    if count != params.len() {
+        return Err(NnError::InvalidArgument(format!(
+            "checkpoint has {count} tensors, model expects {}",
+            params.len()
+        )));
+    }
+    for (i, p) in params.iter().enumerate() {
+        let ndim = read_u32(&mut r)
+            .map_err(|_| NnError::InvalidArgument(format!("truncated at tensor {i}")))?
+            as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_u32(&mut r).map_err(|_| {
+                NnError::InvalidArgument(format!("truncated at tensor {i} dims"))
+            })? as usize);
+        }
+        if dims != p.dims() {
+            return Err(NnError::InvalidArgument(format!(
+                "tensor {i}: checkpoint shape {dims:?} != model shape {:?}",
+                p.dims()
+            )));
+        }
+        let n: usize = dims.iter().product();
+        let mut data = vec![0.0f32; n];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)
+                .map_err(|_| NnError::InvalidArgument(format!("truncated at tensor {i} data")))?;
+            *v = f32::from_le_bytes(b);
+        }
+        p.set_data(&data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Module};
+    use crate::rng::seeded;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("imdf-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let l1 = Linear::new(&mut seeded(1), 4, 3);
+        let path = tmp("roundtrip.bin");
+        save_params(&path, &l1.params()).unwrap();
+
+        let l2 = Linear::new(&mut seeded(99), 4, 3);
+        assert_ne!(l1.params()[0].to_vec(), l2.params()[0].to_vec());
+        load_params_into(&path, &l2.params()).unwrap();
+        for (a, b) in l1.params().iter().zip(l2.params().iter()) {
+            assert_eq!(a.to_vec(), b.to_vec());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let l1 = Linear::new(&mut seeded(1), 4, 3);
+        let path = tmp("mismatch.bin");
+        save_params(&path, &l1.params()).unwrap();
+        let wrong = Linear::new(&mut seeded(2), 4, 5);
+        assert!(load_params_into(&path, &wrong.params()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let l1 = Linear::new(&mut seeded(1), 2, 2);
+        let path = tmp("count.bin");
+        save_params(&path, &l1.params()).unwrap();
+        let one = &l1.params()[..1];
+        assert!(load_params_into(&path, one).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let l = Linear::new(&mut seeded(1), 2, 2);
+        let err = load_params_into(&path, &l.params()).unwrap_err();
+        assert!(err.to_string().contains("IMDF"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,368 @@
+//! The [`Tensor`] type: dense `f32` data plus autodiff graph edges.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use crate::autodiff::is_grad_enabled;
+use crate::rng;
+use crate::shape::Shape;
+use crate::{NnError, Result};
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// The gradient function of a non-leaf node.
+///
+/// Receives the gradient flowing into the node and the node's parents, and
+/// is responsible for accumulating into each parent via
+/// [`Tensor::accumulate_grad`].
+pub(crate) type BackwardFn = Box<dyn Fn(&[f32], &[Tensor])>;
+
+pub(crate) struct Node {
+    id: u64,
+    shape: Shape,
+    data: RefCell<Vec<f32>>,
+    grad: RefCell<Option<Vec<f32>>>,
+    requires_grad: bool,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+/// A dense, row-major `f32` tensor participating in an autodiff graph.
+///
+/// `Tensor` is a cheap reference-counted handle: cloning shares the
+/// underlying storage and graph node. Tensors are single-threaded
+/// (`Rc`-based); train one model per thread.
+#[derive(Clone)]
+pub struct Tensor {
+    node: Rc<Node>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a leaf tensor from a data buffer and shape.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(NnError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self::leaf(data, shape, false))
+    }
+
+    /// Builds a trainable leaf (parameter) from a data buffer and shape.
+    pub fn param_from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let t = Self::from_vec(data, dims)?;
+        Ok(t.into_param())
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Self::leaf(vec![0.0; n], shape, false)
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Self::leaf(vec![value; n], shape, false)
+    }
+
+    /// A zero-dimensional scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::leaf(vec![value], Shape::scalar(), false)
+    }
+
+    /// Standard-normal random tensor using the supplied seeded RNG.
+    pub fn randn(rng: &mut StdRng, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = rng::normal_vec(rng, shape.numel());
+        Self::leaf(data, shape, false)
+    }
+
+    /// Uniform `[lo, hi)` random tensor using the supplied seeded RNG.
+    pub fn rand_uniform(rng: &mut StdRng, dims: &[usize], lo: f32, hi: f32) -> Self {
+        use rand::Rng;
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel())
+            .map(|_| rng.gen_range(lo..hi))
+            .collect();
+        Self::leaf(data, shape, false)
+    }
+
+    /// Marks this leaf as requiring gradients, returning it as a parameter.
+    ///
+    /// Panics when called on a non-leaf (op output) tensor.
+    pub fn into_param(self) -> Self {
+        assert!(
+            self.node.parents.is_empty(),
+            "into_param must be called on leaf tensors"
+        );
+        Tensor {
+            node: Rc::new(Node {
+                id: next_id(),
+                shape: self.node.shape.clone(),
+                data: RefCell::new(self.node.data.borrow().clone()),
+                grad: RefCell::new(None),
+                requires_grad: true,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    pub(crate) fn leaf(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Self {
+        debug_assert_eq!(data.len(), shape.numel());
+        Tensor {
+            node: Rc::new(Node {
+                id: next_id(),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// Creates an op-output node. When gradient tracking is disabled or no
+    /// parent requires gradients, the result is a detached leaf (no graph).
+    pub(crate) fn from_op(
+        data: Vec<f32>,
+        shape: Shape,
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Self {
+        let track = is_grad_enabled() && parents.iter().any(|p| p.requires_grad());
+        if !track {
+            return Self::leaf(data, shape, false);
+        }
+        debug_assert_eq!(data.len(), shape.numel());
+        Tensor {
+            node: Rc::new(Node {
+                id: next_id(),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad: true,
+                parents,
+                backward: Some(backward),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Unique node identifier (process-local, monotone).
+    pub fn id(&self) -> u64 {
+        self.node.id
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.node.shape
+    }
+
+    /// The tensor's dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.node.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.node.shape.numel()
+    }
+
+    /// Borrows the underlying data buffer.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.node.data.borrow()
+    }
+
+    /// Copies the underlying data out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.node.data.borrow().clone()
+    }
+
+    /// The value of a scalar (single-element) tensor.
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        let d = self.node.data.borrow();
+        assert_eq!(d.len(), 1, "item() requires a single-element tensor");
+        d[0]
+    }
+
+    /// Whether gradients are accumulated into this tensor.
+    pub fn requires_grad(&self) -> bool {
+        self.node.requires_grad
+    }
+
+    /// A copy of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Vec<f32>> {
+        self.node.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.node.grad.borrow_mut() = None;
+    }
+
+    /// Overwrites the data buffer in place (used by optimizers).
+    ///
+    /// Panics if the length differs from the tensor's element count.
+    pub fn set_data(&self, new: &[f32]) {
+        let mut d = self.node.data.borrow_mut();
+        assert_eq!(d.len(), new.len(), "set_data length mismatch");
+        d.copy_from_slice(new);
+    }
+
+    /// Applies `f` to the data buffer in place (used by optimizers).
+    pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
+        let mut d = self.node.data.borrow_mut();
+        f(&mut d);
+    }
+
+    /// Returns a detached copy: same values, fresh leaf, no graph history.
+    pub fn detach(&self) -> Self {
+        Self::leaf(self.to_vec(), self.node.shape.clone(), false)
+    }
+
+    /// Adds `g` into the tensor's gradient buffer.
+    pub(crate) fn accumulate_grad(&self, g: &[f32]) {
+        if !self.node.requires_grad {
+            return;
+        }
+        debug_assert_eq!(g.len(), self.numel(), "gradient length mismatch");
+        let mut slot = self.node.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(acc) => {
+                for (a, b) in acc.iter_mut().zip(g) {
+                    *a += b;
+                }
+            }
+            None => *slot = Some(g.to_vec()),
+        }
+    }
+
+    pub(crate) fn node(&self) -> &Node {
+        &self.node
+    }
+}
+
+impl Node {
+    pub(crate) fn grad_clone_or_zeros(&self) -> Vec<f32> {
+        self.grad
+            .borrow()
+            .clone()
+            .unwrap_or_else(|| vec![0.0; self.shape.numel()])
+    }
+
+    pub(crate) fn seed_grad_ones(&self) {
+        *self.grad.borrow_mut() = Some(vec![1.0; self.shape.numel()]);
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.node.data.borrow();
+        let preview: Vec<f32> = d.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(id={}, shape={}, requires_grad={}, data≈{:?}{})",
+            self.node.id,
+            self.node.shape,
+            self.node.requires_grad,
+            preview,
+            if d.len() > 8 { ", ..." } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn constructors_fill_values() {
+        assert_eq!(Tensor::zeros(&[3]).to_vec(), vec![0.0; 3]);
+        assert_eq!(Tensor::ones(&[2, 2]).to_vec(), vec![1.0; 4]);
+        assert_eq!(Tensor::full(&[2], 7.0).to_vec(), vec![7.0, 7.0]);
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(&mut seeded(1), &[16]);
+        let b = Tensor::randn(&mut seeded(1), &[16]);
+        let c = Tensor::randn(&mut seeded(2), &[16]);
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert_ne!(a.to_vec(), c.to_vec());
+    }
+
+    #[test]
+    fn params_accumulate_gradients() {
+        let p = Tensor::param_from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        p.accumulate_grad(&[0.5, 0.5]);
+        p.accumulate_grad(&[1.0, 2.0]);
+        assert_eq!(p.grad().unwrap(), vec![1.5, 2.5]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn detach_breaks_history_but_keeps_values() {
+        let p = Tensor::param_from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let d = p.detach();
+        assert_eq!(d.to_vec(), vec![1.0, 2.0]);
+        assert!(!d.requires_grad());
+    }
+
+    #[test]
+    fn set_and_update_data() {
+        let t = Tensor::zeros(&[2]);
+        t.set_data(&[1.0, 2.0]);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0]);
+        t.update_data(|d| d.iter_mut().for_each(|v| *v *= 2.0));
+        assert_eq!(t.to_vec(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = Tensor::rand_uniform(&mut seeded(7), &[100], -0.5, 0.5);
+        assert!(t.data().iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Exploring the design space: run every ablation variant of §5.3 on one
+//! dataset and compare.
+//!
+//! ```sh
+//! cargo run --release --example ablation
+//! ```
+
+use imdiffusion_repro::core::{AblationVariant, ImDiffusionConfig, ImDiffusionDetector};
+use imdiffusion_repro::data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiffusion_repro::data::Detector;
+use imdiffusion_repro::metrics::{average_detection_delay, best_f1_threshold};
+
+fn main() {
+    let size = SizeProfile {
+        train_len: 600,
+        test_len: 600,
+    };
+    let ds = generate(Benchmark::Psm, &size, 11);
+    println!("ablation study on {} ({} channels)\n", ds.name, ds.train.dim());
+    println!("{:<26} {:>6} {:>6} {:>8}", "variant", "F1", "ADD", "seconds");
+
+    for variant in AblationVariant::all() {
+        let cfg = variant.apply(&ImDiffusionConfig::quick());
+        let mut det = ImDiffusionDetector::new(cfg, 11);
+        let t0 = std::time::Instant::now();
+        det.fit(&ds.train).expect("fit");
+        let d = det.detect(&ds.test).expect("detect");
+        let secs = t0.elapsed().as_secs_f64();
+        let (th, m) = best_f1_threshold(&d.scores, &ds.labels);
+        let labels: Vec<bool> = d.scores.iter().map(|&s| s > th).collect();
+        let add = average_detection_delay(&labels, &ds.labels);
+        println!(
+            "{:<26} {:>6.3} {:>6.1} {:>8.1}",
+            variant.name(),
+            m.f1,
+            add,
+            secs
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Workspace facade crate for the ImDiffusion reproduction.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; it simply re-exports the member crates so examples can use
+//! a single dependency. Library users should depend on the individual
+//! crates (`imdiffusion`, `imdiff-data`, ...) directly.
+
+pub use imdiff_baselines as baselines;
+pub use imdiff_data as data;
+pub use imdiff_diffusion as diffusion;
+pub use imdiff_metrics as metrics;
+pub use imdiff_nn as nn;
+pub use imdiffusion as core;

@@ -1,0 +1,49 @@
+//! CSV I/O integration: exporting a synthetic dataset and loading it back
+//! through the benchmark-layout loader feeds the detectors identically.
+
+use imdiffusion_repro::baselines::IsolationForest;
+use imdiffusion_repro::data::io::{load_benchmark_csv, to_csv};
+use imdiffusion_repro::data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiffusion_repro::data::Detector;
+
+#[test]
+fn csv_roundtrip_preserves_detection_results() {
+    let ds = generate(
+        Benchmark::Gcp,
+        &SizeProfile {
+            train_len: 200,
+            test_len: 120,
+        },
+        31,
+    );
+
+    // Export in the classic benchmark layout.
+    let dir = std::env::temp_dir().join(format!("imdiff-csvio-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let train_path = dir.join("train.csv");
+    let test_path = dir.join("test.csv");
+    std::fs::write(&train_path, to_csv(&ds.train, None)).unwrap();
+    std::fs::write(&test_path, to_csv(&ds.test, Some(&ds.labels))).unwrap();
+
+    // Re-load and verify the dataset is identical.
+    let loaded = load_benchmark_csv("GCP-file", &train_path, &test_path, false).unwrap();
+    assert_eq!(loaded.train.len(), ds.train.len());
+    assert_eq!(loaded.train.dim(), ds.train.dim());
+    assert_eq!(loaded.labels, ds.labels);
+    for (a, b) in loaded.test.values().iter().zip(ds.test.values()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+
+    // A deterministic detector must score both identically.
+    let run = |train: &_, test: &_| {
+        let mut det = IsolationForest::new(5);
+        det.fit(train).unwrap();
+        det.detect(test).unwrap().scores
+    };
+    let original = run(&ds.train, &ds.test);
+    let reloaded = run(&loaded.train, &loaded.test);
+    for (a, b) in original.iter().zip(&reloaded) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

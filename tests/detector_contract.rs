@@ -1,0 +1,117 @@
+//! Contract tests: every detector in the workspace (the ten baselines and
+//! ImDiffusion) must honour the `Detector` trait's lifecycle semantics.
+
+use imdiffusion_repro::baselines::all_baselines;
+use imdiffusion_repro::core::{ImDiffusionConfig, ImDiffusionDetector};
+use imdiffusion_repro::data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiffusion_repro::data::{Detector, DetectorError, Mts};
+
+fn tiny_imdiffusion(seed: u64) -> ImDiffusionDetector {
+    ImDiffusionDetector::new(
+        ImDiffusionConfig {
+            window: 16,
+            train_stride: 8,
+            hidden: 8,
+            heads: 2,
+            residual_blocks: 1,
+            diffusion_steps: 5,
+            train_steps: 8,
+            batch_size: 2,
+            vote_span: 5,
+            vote_every: 2,
+            ..ImDiffusionConfig::quick()
+        },
+        seed,
+    )
+}
+
+fn all_detectors(seed: u64) -> Vec<Box<dyn Detector>> {
+    let mut v = all_baselines(seed);
+    v.push(Box::new(tiny_imdiffusion(seed)));
+    v
+}
+
+fn small_dataset() -> imdiffusion_repro::data::synthetic::LabeledDataset {
+    generate(
+        Benchmark::Gcp,
+        &SizeProfile {
+            train_len: 120,
+            test_len: 80,
+        },
+        5,
+    )
+}
+
+#[test]
+fn detect_before_fit_is_an_error() {
+    let ds = small_dataset();
+    for mut det in all_detectors(1) {
+        let err = det.detect(&ds.test).expect_err(det.name());
+        assert!(
+            matches!(err, DetectorError::NotFitted),
+            "{} returned {err:?}",
+            det.name()
+        );
+    }
+}
+
+#[test]
+fn scores_cover_every_timestamp_and_are_finite() {
+    let ds = small_dataset();
+    for mut det in all_detectors(2) {
+        det.fit(&ds.train).unwrap_or_else(|e| panic!("{} fit: {e}", det.name()));
+        let d = det
+            .detect(&ds.test)
+            .unwrap_or_else(|e| panic!("{} detect: {e}", det.name()));
+        assert_eq!(d.scores.len(), ds.test.len(), "{}", det.name());
+        assert!(
+            d.scores.iter().all(|s| s.is_finite()),
+            "{} produced non-finite scores",
+            det.name()
+        );
+        if let Some(labels) = &d.labels {
+            assert_eq!(labels.len(), ds.test.len(), "{}", det.name());
+        }
+    }
+}
+
+#[test]
+fn channel_mismatch_is_an_error() {
+    let ds = small_dataset();
+    let wrong = Mts::zeros(80, ds.train.dim() + 1);
+    for mut det in all_detectors(3) {
+        det.fit(&ds.train).unwrap();
+        let err = det.detect(&wrong).expect_err(det.name());
+        assert!(
+            matches!(err, DetectorError::DimensionMismatch { .. }),
+            "{} returned {err:?}",
+            det.name()
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_scores() {
+    let ds = small_dataset();
+    for (a, b) in all_detectors(4).into_iter().zip(all_detectors(4)) {
+        let mut a = a;
+        let mut b = b;
+        a.fit(&ds.train).unwrap();
+        b.fit(&ds.train).unwrap();
+        let da = a.detect(&ds.test).unwrap();
+        let db = b.detect(&ds.test).unwrap();
+        assert_eq!(da.scores, db.scores, "{} is nondeterministic", a.name());
+    }
+}
+
+#[test]
+fn empty_training_data_is_rejected() {
+    for mut det in all_detectors(5) {
+        let err = det.fit(&Mts::zeros(0, 3)).expect_err(det.name());
+        assert!(
+            matches!(err, DetectorError::InvalidTrainingData(_)),
+            "{} returned {err:?}",
+            det.name()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on the evaluation metrics (proptest).
+
+use imdiffusion_repro::metrics::{
+    average_detection_delay, best_f1_threshold, point, range_auc_pr, threshold_at_percentile,
+};
+use proptest::prelude::*;
+
+fn labels_strategy(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(proptest::bool::weighted(0.15), n)
+}
+
+fn scores_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn point_adjustment_never_hurts(
+        pred in labels_strategy(200),
+        truth in labels_strategy(200),
+    ) {
+        let raw = point::raw_prf1(&pred, &truth);
+        let pa = point::pa_prf1(&pred, &truth);
+        // PA only flips negatives inside detected true segments to
+        // positives, which can only increase recall; F1 must not decrease.
+        prop_assert!(pa.recall >= raw.recall - 1e-12);
+        prop_assert!(pa.f1 >= raw.f1 - 1e-12);
+    }
+
+    #[test]
+    fn pa_is_idempotent(
+        pred in labels_strategy(150),
+        truth in labels_strategy(150),
+    ) {
+        let once = point::point_adjust(&pred, &truth);
+        let twice = point::point_adjust(&once, &truth);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn metric_ranges(
+        pred in labels_strategy(150),
+        truth in labels_strategy(150),
+        scores in scores_strategy(150),
+    ) {
+        let m = point::pa_prf1(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        let auc = range_auc_pr(&scores, &truth, None);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let add = average_detection_delay(&pred, &truth);
+        prop_assert!(add >= 0.0);
+    }
+
+    #[test]
+    fn best_threshold_is_at_least_as_good_as_any_percentile(
+        scores in scores_strategy(200),
+        truth in labels_strategy(200),
+        q in 50.0f64..100.0,
+    ) {
+        let (_, best) = best_f1_threshold(&scores, &truth);
+        let th = threshold_at_percentile(&scores, q);
+        let pred: Vec<bool> = scores.iter().map(|&s| s > th).collect();
+        let m = point::pa_prf1(&pred, &truth);
+        prop_assert!(best.f1 >= m.f1 - 1e-9,
+            "best {} < percentile {} at q={q}", best.f1, m.f1);
+    }
+
+    #[test]
+    fn perfect_detector_has_perfect_metrics(truth in labels_strategy(120)) {
+        prop_assume!(truth.iter().any(|&b| b));
+        let m = point::pa_prf1(&truth, &truth);
+        prop_assert_eq!(m.f1, 1.0);
+        prop_assert_eq!(average_detection_delay(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone(scores in scores_strategy(100), a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(threshold_at_percentile(&scores, lo) <= threshold_at_percentile(&scores, hi));
+    }
+
+    #[test]
+    fn add_bounded_by_detection_window(truth in labels_strategy(200)) {
+        // With an all-negative prediction every event is penalized by at
+        // most twice its own duration.
+        let pred = vec![false; truth.len()];
+        let add = average_detection_delay(&pred, &truth);
+        let max_dur = {
+            let mut max = 0usize;
+            let mut cur = 0usize;
+            for &l in &truth {
+                if l { cur += 1; max = max.max(cur); } else { cur = 0; }
+            }
+            max
+        };
+        prop_assert!(add <= 2.0 * max_dur as f64 + 1e-9);
+    }
+}

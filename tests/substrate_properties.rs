@@ -1,0 +1,113 @@
+//! Property-based tests on the substrates: autodiff gradients, diffusion
+//! schedule identities and masking invariants.
+
+use imdiffusion_repro::data::mask::MaskStrategy;
+use imdiffusion_repro::diffusion::{BetaSchedule, NoiseSchedule};
+use imdiffusion_repro::nn::{backward, rng::seeded, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gradient check: d(sum(f(x)))/dx matches central differences for a
+    /// composite expression through several ops.
+    #[test]
+    fn composite_gradient_matches_numeric(
+        vals in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let f = |v: &[f32], grad: bool| -> (f32, Option<Vec<f32>>) {
+            let x = if grad {
+                Tensor::param_from_vec(v.to_vec(), &[2, 2]).unwrap()
+            } else {
+                Tensor::from_vec(v.to_vec(), &[2, 2]).unwrap()
+            };
+            let w = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25], &[2, 2]).unwrap();
+            // y = sum(sigmoid(x @ w) * x)
+            let y = x.matmul(&w).sigmoid().mul(&x).sum_all();
+            let out = y.item();
+            if grad {
+                backward(&y);
+                (out, x.grad())
+            } else {
+                (out, None)
+            }
+        };
+        let (_, g) = f(&vals, true);
+        let g = g.expect("gradient");
+        let eps = 1e-2f32;
+        for i in 0..4 {
+            let mut p = vals.clone();
+            p[i] += eps;
+            let mut m = vals.clone();
+            m[i] -= eps;
+            let num = (f(&p, false).0 - f(&m, false).0) / (2.0 * eps);
+            prop_assert!((g[i] - num).abs() < 0.05,
+                "index {i}: analytic {} vs numeric {}", g[i], num);
+        }
+    }
+
+    /// q_sample is linear: scaling x0 and ε scales the sample.
+    #[test]
+    fn q_sample_linearity(
+        x0 in proptest::collection::vec(-3.0f32..3.0, 6),
+        eps in proptest::collection::vec(-3.0f32..3.0, 6),
+        t in 1usize..=20,
+        c in 0.5f32..2.0,
+    ) {
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 20);
+        let base = ns.q_sample(&x0, &eps, t);
+        let x0s: Vec<f32> = x0.iter().map(|v| v * c).collect();
+        let epss: Vec<f32> = eps.iter().map(|v| v * c).collect();
+        let scaled = ns.q_sample(&x0s, &epss, t);
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a * c - b).abs() < 1e-3);
+        }
+    }
+
+    /// predict_x0 inverts q_sample exactly (up to float error).
+    #[test]
+    fn predict_x0_inverts_q_sample(
+        x0 in proptest::collection::vec(-3.0f32..3.0, 5),
+        eps in proptest::collection::vec(-3.0f32..3.0, 5),
+        t in 1usize..=20,
+    ) {
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 20);
+        let xt = ns.q_sample(&x0, &eps, t);
+        let rec = ns.predict_x0(&xt, &eps, t);
+        for (a, b) in rec.iter().zip(&x0) {
+            prop_assert!((a - b).abs() < 2e-2, "{a} vs {b} at t={t}");
+        }
+    }
+
+    /// Complementary masks partition every cell, for both strategies and
+    /// arbitrary window geometry.
+    #[test]
+    fn mask_pairs_partition(
+        len in 4usize..120,
+        dim in 1usize..12,
+        seed in 0u64..1000,
+        random in proptest::bool::ANY,
+    ) {
+        let strategy = if random {
+            MaskStrategy::Random { p: 0.5 }
+        } else {
+            MaskStrategy::default_grating()
+        };
+        let [m0, m1] = strategy.masks(&mut seeded(seed), len, dim);
+        for l in 0..len {
+            for k in 0..dim {
+                prop_assert!(m0.observed(l, k) != m1.observed(l, k));
+            }
+        }
+        prop_assert_eq!(m0.masked_count() + m1.masked_count(), len * dim);
+    }
+
+    /// Posterior variance is positive and below β_t for t > 1.
+    #[test]
+    fn posterior_variance_bounds(t in 2usize..=50) {
+        let ns = NoiseSchedule::new(BetaSchedule::default_for_imputation(), 50);
+        let pv = ns.posterior_variance(t);
+        prop_assert!(pv > 0.0);
+        prop_assert!(pv <= ns.beta(t) + 1e-9);
+    }
+}
