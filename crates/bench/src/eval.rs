@@ -127,6 +127,7 @@ mod tests {
             vote_threshold: 0,
             cell_error: error.clone(),
             channels: 1,
+            missing_cells: 0,
         };
         let m = evaluate_ensemble(&out, &toy_dataset(labels));
         assert_eq!(m.f1, 1.0, "calibration failed: {m:?}");

@@ -158,6 +158,7 @@ fn non_ensemble_view(out: &imdiffusion::EnsembleOutput) -> imdiffusion::Ensemble
         vote_threshold: 0,
         cell_error: out.cell_error.clone(),
         channels: out.channels,
+        missing_cells: out.missing_cells,
     }
 }
 

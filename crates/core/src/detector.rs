@@ -4,7 +4,7 @@ use imdiff_data::{Detection, Detector, DetectorError, Mts, NormMethod, Normalize
 use imdiff_diffusion::NoiseSchedule;
 
 use crate::config::ImDiffusionConfig;
-use crate::infer::{ensemble_infer, EnsembleOutput};
+use crate::infer::{ensemble_infer_masked, EnsembleOutput};
 use crate::model::ImTransformer;
 use crate::trainer::{train, TrainReport};
 
@@ -88,6 +88,74 @@ impl ImDiffusionDetector {
         fitted.normalizer =
             Normalizer::from_stats(NormMethod::MinMax, offset.to_vec(), scale.to_vec());
     }
+
+    /// Whether the detector holds a usable model — via [`Detector::fit`]
+    /// **or** a checkpoint restore (which never populates a train report).
+    pub fn is_fitted(&self) -> bool {
+        self.fitted.is_some()
+    }
+
+    /// [`Detector::detect`] with an explicit missing-cell mask (row-major
+    /// `[L, K]`, `true` = value absent/unreliable). Missing cells are
+    /// imputed natively by the diffusion model — they are forced to be
+    /// targets under both grating policies — and excluded from the error
+    /// signal. NaN is accepted *only* in declared-missing cells; any other
+    /// non-finite value is rejected with [`DetectorError::NonFiniteInput`]
+    /// before it can reach (and poison) the inference chain.
+    pub fn detect_with_missing(
+        &mut self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Detection, DetectorError> {
+        let fitted = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
+        if test.dim() != fitted.channels {
+            return Err(DetectorError::DimensionMismatch {
+                expected: fitted.channels,
+                actual: test.dim(),
+            });
+        }
+        if test.len() < self.cfg.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "test series shorter than window {}",
+                self.cfg.window
+            )));
+        }
+        if let Some(m) = missing {
+            if m.len() != test.len() * test.dim() {
+                return Err(DetectorError::InvalidTrainingData(format!(
+                    "missing mask has {} cells, series has {}",
+                    m.len(),
+                    test.len() * test.dim()
+                )));
+            }
+        }
+        let declared = |l: usize, c: usize| missing.is_some_and(|m| m[l * test.dim() + c]);
+        for l in 0..test.len() {
+            for c in 0..test.dim() {
+                if !test.get(l, c).is_finite() && !declared(l, c) {
+                    return Err(DetectorError::NonFiniteInput {
+                        index: l,
+                        channel: c,
+                    });
+                }
+            }
+        }
+        let test_n = fitted.normalizer.transform(test);
+        let out = ensemble_infer_masked(
+            &fitted.model,
+            &self.cfg,
+            &fitted.schedule,
+            &test_n,
+            missing,
+            self.seed ^ 0x5A5A,
+        );
+        let detection = Detection {
+            scores: out.scores.clone(),
+            labels: Some(out.labels.clone()),
+        };
+        self.last_output = Some(out);
+        Ok(detection)
+    }
 }
 
 impl Detector for ImDiffusionDetector {
@@ -108,6 +176,18 @@ impl Detector for ImDiffusionDetector {
                 "zero-dimensional series".into(),
             ));
         }
+        // Finiteness boundary: a NaN/∞ in training data would silently
+        // corrupt the normalizer statistics and every gradient after it.
+        for l in 0..train_data.len() {
+            for c in 0..train_data.dim() {
+                if !train_data.get(l, c).is_finite() {
+                    return Err(DetectorError::NonFiniteInput {
+                        index: l,
+                        channel: c,
+                    });
+                }
+            }
+        }
         let normalizer = Normalizer::fit(train_data, NormMethod::MinMax);
         let train_n = normalizer.transform(train_data);
         let model = ImTransformer::new(&self.cfg, train_n.dim(), self.seed);
@@ -124,33 +204,7 @@ impl Detector for ImDiffusionDetector {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let fitted = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
-        if test.dim() != fitted.channels {
-            return Err(DetectorError::DimensionMismatch {
-                expected: fitted.channels,
-                actual: test.dim(),
-            });
-        }
-        if test.len() < self.cfg.window {
-            return Err(DetectorError::InvalidTrainingData(format!(
-                "test series shorter than window {}",
-                self.cfg.window
-            )));
-        }
-        let test_n = fitted.normalizer.transform(test);
-        let out = ensemble_infer(
-            &fitted.model,
-            &self.cfg,
-            &fitted.schedule,
-            &test_n,
-            self.seed ^ 0x5A5A,
-        );
-        let detection = Detection {
-            scores: out.scores.clone(),
-            labels: Some(out.labels.clone()),
-        };
-        self.last_output = Some(out);
-        Ok(detection)
+        self.detect_with_missing(test, None)
     }
 }
 

@@ -51,6 +51,12 @@ pub struct EnsembleOutput {
     pub cell_error: Vec<f64>,
     /// Channel count `K` of the analysed series.
     pub channels: usize,
+    /// Number of input cells treated as *missing* (declared via the
+    /// missing mask or undeclared non-finite): they were forced to be
+    /// imputation targets under every policy, contributed no error signal,
+    /// and their values in the [`StepTrace::imputed`] series are pure
+    /// model imputations.
+    pub missing_cells: usize,
 }
 
 impl EnsembleOutput {
@@ -95,11 +101,12 @@ impl EnsembleOutput {
     }
 
     /// The `n` channels contributing most error at timestamp `l`, as
-    /// `(channel index, error share)` sorted descending.
+    /// `(channel index, error share)` sorted descending. NaN-tolerant:
+    /// `total_cmp` ordering, so corrupt attributions cannot panic the sort.
     pub fn top_channels(&self, l: usize, n: usize) -> Vec<(usize, f64)> {
         let attr = self.channel_attribution(l);
         let mut ranked: Vec<(usize, f64)> = attr.into_iter().enumerate().collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite attribution"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(n);
         ranked
     }
@@ -139,9 +146,71 @@ pub fn ensemble_infer(
     test: &Mts,
     seed: u64,
 ) -> EnsembleOutput {
+    ensemble_infer_masked(model, cfg, schedule, test, None, seed)
+}
+
+/// [`ensemble_infer`] with an explicit *missing-cell* mask: `missing` is
+/// row-major `[L, K]`, `true` marking cells whose values are unreliable or
+/// absent (lost samples, offline sensors, gap-bridged rows).
+///
+/// Missing cells are folded into the grating mask: they are forced to be
+/// imputation targets under **both** complementary policies, so the
+/// diffusion model imputes them natively from the surviving context — the
+/// §4.1/§4.2 semantics extended to genuinely absent data. Because a
+/// missing cell has no ground truth, it contributes no imputation error
+/// (it receives the step's neutral mean error, like uncovered cells) but
+/// its imputed value *is* recorded, turning the detector into an online
+/// repair mechanism. Undeclared non-finite values in `test` are folded
+/// into the missing set defensively so the chain arithmetic stays finite.
+pub fn ensemble_infer_masked(
+    model: &ImTransformer,
+    cfg: &ImDiffusionConfig,
+    schedule: &NoiseSchedule,
+    test: &Mts,
+    missing: Option<&[bool]>,
+    seed: u64,
+) -> EnsembleOutput {
     cfg.validate();
     let (len, k, w) = (test.len(), test.dim(), cfg.window);
     assert_eq!(k, model.channels(), "test data channel mismatch");
+
+    // Resolve the effective missing set (declared ∪ non-finite).
+    let mut missing_bits = vec![false; len * k];
+    if let Some(m) = missing {
+        assert_eq!(m.len(), len * k, "missing mask length mismatch");
+        missing_bits.copy_from_slice(m);
+    }
+    for l in 0..len {
+        for c in 0..k {
+            if !test.get(l, c).is_finite() {
+                missing_bits[l * k + c] = true;
+            }
+        }
+    }
+    let missing_cells = missing_bits.iter().filter(|&&b| b).count();
+
+    // Sanitized series: missing cells forward-filled with the channel's
+    // last trusted value (0.0 before any), so the masked-region arithmetic
+    // (`x · tgt`) never multiplies NaN and the reverse chain stays finite.
+    // The fill is a *placeholder*, not a prediction — these cells are
+    // always imputation targets, so the model never conditions on it.
+    let test = {
+        let mut t = test.clone();
+        if missing_cells > 0 {
+            let mut last = vec![0.0f32; k];
+            for l in 0..len {
+                for c in 0..k {
+                    if missing_bits[l * k + c] {
+                        t.set(l, c, last[c]);
+                    } else {
+                        last[c] = t.get(l, c);
+                    }
+                }
+            }
+        }
+        t
+    };
+    let test = &test;
     let stride = match cfg.task {
         TaskMode::Forecasting => (w / 2).max(1),
         _ => w,
@@ -155,15 +224,32 @@ pub fn ensemble_infer(
     let vote_steps = cfg.vote_steps_among(&reverse_steps);
     let n_votes = vote_steps.len();
 
-    // Global accumulators over the full series, per vote step.
+    // Global accumulators over the full series, per vote step. Error and
+    // imputation coverage are tracked separately: missing cells are
+    // imputed (imp_count > 0) but never scored (count stays 0).
     let mut err_sum = vec![vec![0.0f64; len * k]; n_votes];
     let mut imp_sum = vec![vec![0.0f64; len * k]; n_votes];
     let mut count = vec![0.0f64; len * k];
+    let mut imp_count = vec![0.0f64; len * k];
 
     let policies = task_masks(cfg, &mut rng, w, k);
     let x0_batch: Vec<f32> = starts
         .iter()
         .flat_map(|&s| window_channel_major(&test.slice_time(s, w)))
+        .collect();
+    // Per-window missing flags in channel-major layout (`c * w + t`),
+    // matching the policy masks.
+    let win_missing: Vec<Vec<bool>> = starts
+        .iter()
+        .map(|&s| {
+            let mut m = vec![false; cell];
+            for c in 0..k {
+                for tl in 0..w {
+                    m[c * w + tl] = missing_bits[(s + tl) * k + c];
+                }
+            }
+            m
+        })
         .collect();
 
     for (pi, mask) in policies.iter().enumerate() {
@@ -182,9 +268,13 @@ pub fn ensemble_infer(
             let mut x_ref = vec![0.0f32; nw * cell];
             let sab = schedule.sqrt_alpha_bar(t);
             let somab = schedule.sqrt_one_minus_alpha_bar(t);
-            for wi in 0..nw {
+            for (wi, wm) in win_missing.iter().enumerate() {
                 let base = wi * cell;
                 for j in 0..cell {
+                    // Missing cells are imputation targets under every
+                    // policy: the model must never condition on their
+                    // placeholder values.
+                    let (o, g) = if wm[j] { (0.0, 1.0) } else { (obs[j], tgt[j]) };
                     if cfg.unconditional {
                         // Observed cells follow their known forward
                         // trajectory (ground truth + sampled noise); masked
@@ -192,12 +282,11 @@ pub fn ensemble_infer(
                         // reference ε_t^{M1} is what makes the observed
                         // part decodable (§4.1).
                         let xt_obs = sab * x0_batch[base + j] + somab * eps_ref[base + j];
-                        x_val[base + j] =
-                            x_cur[base + j] * tgt[j] + xt_obs * obs[j];
-                        x_ref[base + j] = eps_ref[base + j] * obs[j];
+                        x_val[base + j] = x_cur[base + j] * g + xt_obs * o;
+                        x_ref[base + j] = eps_ref[base + j] * o;
                     } else {
-                        x_val[base + j] = x_cur[base + j] * tgt[j];
-                        x_ref[base + j] = x0_batch[base + j] * obs[j];
+                        x_val[base + j] = x_cur[base + j] * g;
+                        x_ref[base + j] = x0_batch[base + j] * o;
                     }
                 }
             }
@@ -240,17 +329,26 @@ pub fn ensemble_infer(
                 // noise, which keeps the error signal low-variance.
                 for (wi, &start) in starts.iter().enumerate() {
                     let base = wi * cell;
+                    let wm = &win_missing[wi];
                     for c in 0..k {
                         for tl in 0..w {
                             let j = c * w + tl;
-                            if tgt[j] == 1.0 {
+                            let miss = wm[j];
+                            if miss || tgt[j] == 1.0 {
                                 let global = (start + tl) * k + c;
                                 let pred = x0_hat[base + j] as f64;
-                                let truth = x0_batch[base + j] as f64;
-                                err_sum[vi][global] += (truth - pred) * (truth - pred);
                                 imp_sum[vi][global] += pred;
                                 if vi == 0 {
-                                    count[global] += 1.0;
+                                    imp_count[global] += 1.0;
+                                }
+                                // Missing cells have no ground truth: they
+                                // are imputed but never scored.
+                                if !miss {
+                                    let truth = x0_batch[base + j] as f64;
+                                    err_sum[vi][global] += (truth - pred) * (truth - pred);
+                                    if vi == 0 {
+                                        count[global] += 1.0;
+                                    }
                                 }
                             }
                         }
@@ -292,7 +390,7 @@ pub fn ensemble_infer(
     let chan_scale: Vec<f64> = (0..k)
         .map(|c| {
             let mut col: Vec<f64> = (0..len).map(|l| base_errs[l * k + c]).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+            col.sort_by(|a, b| a.total_cmp(b));
             col[col.len() / 2].max(1e-9)
         })
         .collect();
@@ -341,13 +439,14 @@ pub fn ensemble_infer(
         for (s, &e) in scores.iter_mut().zip(&per_step_ts_err[vi]) {
             *s += e * ratio / n_votes as f64;
         }
-        // Merged imputed series at this step.
+        // Merged imputed series at this step (covers missing cells too —
+        // the stream-repair output).
         let mut imputed = test.clone();
         for l in 0..len {
             for c in 0..k {
                 let j = l * k + c;
-                if covered[j] {
-                    imputed.set(l, c, (imp_sum[vi][j] / count[j]) as f32);
+                if imp_count[j] > 0.0 {
+                    imputed.set(l, c, (imp_sum[vi][j] / imp_count[j]) as f32);
                 }
             }
         }
@@ -398,6 +497,7 @@ pub fn ensemble_infer(
         vote_threshold: xi,
         cell_error,
         channels: k,
+        missing_cells,
     }
 }
 
@@ -466,6 +566,58 @@ mod tests {
         for w in out.steps.windows(2) {
             assert!(w[0].t > w[1].t);
         }
+    }
+
+    #[test]
+    fn masked_inference_imputes_missing_cells_and_stays_finite() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 40,
+            },
+            11,
+        );
+        let norm = Normalizer::fit(&ds.train, NormMethod::MinMax);
+        let mut test_n = norm.transform(&ds.test);
+        let k = test_n.dim();
+        // Declare a scatter of missing cells and overwrite them with NaN —
+        // masked inference must treat NaN-in-declared-cells as imputable,
+        // not as poison.
+        let mut missing = vec![false; test_n.len() * k];
+        for l in (3..test_n.len()).step_by(7) {
+            let c = l % k;
+            missing[l * k + c] = true;
+            test_n.set(l, c, f32::NAN);
+        }
+        let declared = missing.iter().filter(|&&m| m).count();
+        assert!(declared > 0);
+
+        let cfg = tiny_cfg();
+        let model = ImTransformer::new(&cfg, k, 1);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let out =
+            ensemble_infer_masked(&model, &cfg, &schedule, &test_n, Some(&missing), 7);
+
+        assert_eq!(out.missing_cells, declared);
+        // Every score stays finite even though the input held NaN cells.
+        assert!(out.scores.iter().all(|&s| s.is_finite() && s >= 0.0));
+        assert!(out.cell_error.iter().all(|e| e.is_finite()));
+        // The imputed series carries a real (finite) model value in every
+        // cell, including the missing ones — it doubles as stream repair.
+        for step in &out.steps {
+            for l in 0..step.imputed.len() {
+                for c in 0..step.imputed.dim() {
+                    assert!(step.imputed.get(l, c).is_finite());
+                }
+            }
+        }
+        // Without a mask the same NaN-laden series is sanitized internally
+        // too (undeclared non-finite is caught one layer up, in the
+        // detector): the masked path must not be the only NaN-safe one.
+        let unmasked = ensemble_infer_masked(&model, &cfg, &schedule, &test_n, None, 7);
+        assert_eq!(unmasked.missing_cells, declared);
+        assert!(unmasked.scores.iter().all(|&s| s.is_finite()));
     }
 
     #[test]

@@ -49,9 +49,11 @@ mod trainer;
 pub use ablation::AblationVariant;
 pub use config::{ImDiffusionConfig, TaskMode};
 pub use detector::ImDiffusionDetector;
-pub use infer::{EnsembleOutput, StepTrace};
+pub use infer::{ensemble_infer_masked, EnsembleOutput, StepTrace};
 pub use model::ImTransformer;
-pub use streaming::{PointVerdict, StreamingMonitor, ThresholdMode};
+pub use streaming::{
+    HealthState, MonitorHealth, PointVerdict, StreamingMonitor, ThresholdMode,
+};
 pub use trainer::{train, TrainReport};
 
 /// Test-only re-export of the raw inference entry point (used by the

@@ -1,12 +1,20 @@
-//! Checkpointing for trained ImDiffusion detectors.
+//! Checkpointing for trained ImDiffusion detectors and live monitors.
 //!
-//! A checkpoint stores the ImTransformer weights plus the fitted
+//! A detector checkpoint stores the ImTransformer weights plus the fitted
 //! normalization statistics, so a production deployment can train once and
 //! reload across process restarts (the §6 scenario). The configuration is
 //! *not* stored — reconstruct the detector with the same
 //! [`crate::ImDiffusionConfig`]; mismatches are caught by shape checks.
+//!
+//! A *monitor* checkpoint ([`StreamingMonitor::checkpoint`]) additionally
+//! persists the full streaming state — window buffer, missing flags,
+//! error/fallback histories, health state and fault counters — in a
+//! sidecar file, so a restarted serving process resumes mid-stream and
+//! produces byte-identical subsequent verdicts (inference is reseeded per
+//! call, so the buffered window fully determines the output).
 
-use std::path::Path;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 
 use imdiff_data::DetectorError;
 use imdiff_nn::layers::Module;
@@ -14,6 +22,7 @@ use imdiff_nn::serialize::{load_params_into, save_params};
 use imdiff_nn::Tensor;
 
 use crate::detector::ImDiffusionDetector;
+use crate::streaming::{ChannelStats, HealthState, StreamingMonitor, ThresholdMode};
 
 impl ImDiffusionDetector {
     /// Saves the fitted model and normalizer to `path`.
@@ -66,6 +75,301 @@ impl ImDiffusionDetector {
 fn normalizer_vectors(norm: &imdiff_data::Normalizer) -> (Vec<f32>, Vec<f32>) {
     norm.stats()
 }
+
+// ---------------------------------------------------------------------------
+// Streaming-state checkpointing
+// ---------------------------------------------------------------------------
+
+const STREAM_MAGIC: &[u8; 4] = b"IMSM";
+const STREAM_VERSION: u32 = 1;
+
+/// The sidecar path holding streaming state for a detector checkpoint at
+/// `path` (`<path>.stream`).
+fn stream_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".stream");
+    PathBuf::from(os)
+}
+
+fn werr(e: std::io::Error) -> DetectorError {
+    DetectorError::InvalidTrainingData(format!("cannot write stream checkpoint: {e}"))
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DetectorError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DetectorError::InvalidTrainingData(
+                "truncated stream checkpoint".into(),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DetectorError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DetectorError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DetectorError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, DetectorError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DetectorError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl StreamingMonitor {
+    /// Checkpoints the monitor: model weights + normalizer at `path`
+    /// (readable by [`ImDiffusionDetector::load`]) and the complete
+    /// streaming state — buffer, missing flags, histories, health state,
+    /// counters, thresholds — at `<path>.stream`.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), DetectorError> {
+        self.detector.save(path)?;
+
+        let mut b: Vec<u8> = Vec::new();
+        b.extend_from_slice(STREAM_MAGIC);
+        b.extend_from_slice(&STREAM_VERSION.to_le_bytes());
+        b.extend_from_slice(&(self.window as u32).to_le_bytes());
+        b.extend_from_slice(&(self.hop as u32).to_le_bytes());
+        b.extend_from_slice(&(self.channels as u32).to_le_bytes());
+        match self.threshold_mode {
+            ThresholdMode::Native => {
+                b.push(0);
+                b.extend_from_slice(&0.0f64.to_le_bytes());
+            }
+            ThresholdMode::PotDynamic { risk } => {
+                b.push(1);
+                b.extend_from_slice(&risk.to_le_bytes());
+            }
+        }
+        b.extend_from_slice(&self.seen.to_le_bytes());
+        b.extend_from_slice(&(self.since_eval as u32).to_le_bytes());
+        b.push(match self.health {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Warming => 2,
+        });
+        b.extend_from_slice(&(self.pending_gap as u32).to_le_bytes());
+        b.extend_from_slice(&(self.max_bridge as u32).to_le_bytes());
+        for counter in [
+            self.rows_rejected,
+            self.cells_imputed,
+            self.gaps_bridged,
+            self.rows_bridged,
+            self.rewarms,
+            self.degraded_evals,
+            self.recoveries,
+        ] {
+            b.extend_from_slice(&counter.to_le_bytes());
+        }
+        match self.fallback_tau {
+            Some(tau) => {
+                b.push(1);
+                b.extend_from_slice(&tau.to_le_bytes());
+            }
+            None => {
+                b.push(0);
+                b.extend_from_slice(&0.0f64.to_le_bytes());
+            }
+        }
+        let reason = self.last_degraded_reason.as_deref().unwrap_or("");
+        b.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+        b.extend_from_slice(reason.as_bytes());
+
+        b.extend_from_slice(&(self.buffer.len() as u32).to_le_bytes());
+        for (row, miss) in self.buffer.iter().zip(&self.missing) {
+            for &v in row {
+                b.extend_from_slice(&v.to_le_bytes());
+            }
+            for &m in miss {
+                b.push(u8::from(m));
+            }
+        }
+        b.extend_from_slice(&(self.error_history.len() as u32).to_le_bytes());
+        for &e in &self.error_history {
+            b.extend_from_slice(&e.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.fallback_history.len() as u32).to_le_bytes());
+        for &s in &self.fallback_history {
+            b.extend_from_slice(&s.to_le_bytes());
+        }
+        for st in &self.fallback_stats {
+            b.extend_from_slice(&st.count.to_le_bytes());
+            b.extend_from_slice(&st.mean.to_le_bytes());
+            b.extend_from_slice(&st.m2.to_le_bytes());
+        }
+
+        std::fs::write(stream_path(path), b).map_err(werr)
+    }
+
+    /// Restores a monitor from a checkpoint written by
+    /// [`Self::checkpoint`]. `cfg` and `seed` must match the saving
+    /// detector (as for [`ImDiffusionDetector::load`]); everything else —
+    /// channel count, hop, buffer, histories, health, counters — comes
+    /// from the checkpoint. Subsequent verdicts are identical to the ones
+    /// the saved monitor would have produced.
+    pub fn restore(
+        cfg: crate::ImDiffusionConfig,
+        seed: u64,
+        path: &Path,
+    ) -> Result<StreamingMonitor, DetectorError> {
+        let bytes = std::fs::read(stream_path(path)).map_err(|e| {
+            DetectorError::InvalidTrainingData(format!(
+                "cannot read stream checkpoint: {e}"
+            ))
+        })?;
+        let mut r = Reader {
+            buf: &bytes,
+            pos: 0,
+        };
+        if r.take(4)? != STREAM_MAGIC {
+            return Err(DetectorError::InvalidTrainingData(
+                "not an IMSM stream checkpoint".into(),
+            ));
+        }
+        let version = r.u32()?;
+        if version != STREAM_VERSION {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "unsupported stream checkpoint version {version}"
+            )));
+        }
+        let window = r.u32()? as usize;
+        let hop = r.u32()? as usize;
+        let channels = r.u32()? as usize;
+        if window != cfg.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "checkpoint window {window} != config window {}",
+                cfg.window
+            )));
+        }
+        let threshold_mode = match r.u8()? {
+            0 => {
+                r.f64()?;
+                ThresholdMode::Native
+            }
+            1 => ThresholdMode::PotDynamic { risk: r.f64()? },
+            t => {
+                return Err(DetectorError::InvalidTrainingData(format!(
+                    "unknown threshold mode tag {t}"
+                )))
+            }
+        };
+        let seen = r.u64()?;
+        let since_eval = r.u32()? as usize;
+        let health = match r.u8()? {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            2 => HealthState::Warming,
+            t => {
+                return Err(DetectorError::InvalidTrainingData(format!(
+                    "unknown health state tag {t}"
+                )))
+            }
+        };
+        let pending_gap = r.u32()? as usize;
+        let max_bridge = r.u32()? as usize;
+        let rows_rejected = r.u64()?;
+        let cells_imputed = r.u64()?;
+        let gaps_bridged = r.u64()?;
+        let rows_bridged = r.u64()?;
+        let rewarms = r.u64()?;
+        let degraded_evals = r.u64()?;
+        let recoveries = r.u64()?;
+        let fallback_tau = {
+            let has = r.u8()? == 1;
+            let tau = r.f64()?;
+            has.then_some(tau)
+        };
+        let reason_len = r.u32()? as usize;
+        let reason = String::from_utf8(r.take(reason_len)?.to_vec()).map_err(|_| {
+            DetectorError::InvalidTrainingData("corrupt degraded-reason string".into())
+        })?;
+        let last_degraded_reason = (!reason.is_empty()).then_some(reason);
+
+        let n_rows = r.u32()? as usize;
+        if n_rows > window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "checkpoint buffer has {n_rows} rows, window is {window}"
+            )));
+        }
+        let mut buffer = VecDeque::with_capacity(window);
+        let mut missing = VecDeque::with_capacity(window);
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(channels);
+            for _ in 0..channels {
+                row.push(r.f32()?);
+            }
+            let mut miss = Vec::with_capacity(channels);
+            for _ in 0..channels {
+                miss.push(r.u8()? == 1);
+            }
+            buffer.push_back(row);
+            missing.push_back(miss);
+        }
+        let n_err = r.u32()? as usize;
+        let mut error_history = VecDeque::with_capacity(HISTORY_LIMIT);
+        for _ in 0..n_err {
+            error_history.push_back(r.f64()?);
+        }
+        let n_fb = r.u32()? as usize;
+        let mut fallback_history = VecDeque::with_capacity(HISTORY_LIMIT);
+        for _ in 0..n_fb {
+            fallback_history.push_back(r.f64()?);
+        }
+        let mut fallback_stats = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            fallback_stats.push(ChannelStats {
+                count: r.u64()?,
+                mean: r.f64()?,
+                m2: r.f64()?,
+            });
+        }
+
+        let detector = ImDiffusionDetector::load(cfg, seed, channels, path)?;
+        let mut monitor = StreamingMonitor::new(detector, channels, hop)?;
+        monitor.buffer = buffer;
+        monitor.missing = missing;
+        monitor.seen = seen;
+        monitor.since_eval = since_eval;
+        monitor.threshold_mode = threshold_mode;
+        monitor.error_history = error_history;
+        monitor.health = health;
+        monitor.pending_gap = pending_gap;
+        monitor.max_bridge = max_bridge;
+        monitor.fallback_stats = fallback_stats;
+        monitor.fallback_history = fallback_history;
+        monitor.fallback_tau = fallback_tau;
+        monitor.last_degraded_reason = last_degraded_reason;
+        monitor.rows_rejected = rows_rejected;
+        monitor.cells_imputed = cells_imputed;
+        monitor.gaps_bridged = gaps_bridged;
+        monitor.rows_bridged = rows_bridged;
+        monitor.rewarms = rewarms;
+        monitor.degraded_evals = degraded_evals;
+        monitor.recoveries = recoveries;
+        Ok(monitor)
+    }
+}
+
+/// Cap used when pre-sizing restored history buffers (matches the
+/// streaming module's history cap; an over-long checkpoint is still
+/// accepted — the rolling logic trims it on the next push).
+const HISTORY_LIMIT: usize = 4096;
 
 /// A `fit`-free smoke check used in tests: a checkpoint roundtrip must
 /// reproduce identical detections.
@@ -136,6 +440,73 @@ mod tests {
             ImDiffusionDetector::load(tiny_cfg(), 9, ds.train.dim(), &path).unwrap();
         assert!(roundtrip_equivalent(&mut det, &mut restored, &ds.test));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn monitor_checkpoint_restores_identical_verdicts() {
+        use crate::streaming::StreamingMonitor;
+
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 64,
+            },
+            5,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 5);
+        det.fit(&ds.train).unwrap();
+        let k = ds.train.dim();
+        let mut monitor = StreamingMonitor::new(det, k, 8).unwrap();
+
+        // Stream half the data (with a NaN cell to exercise the missing
+        // path), then kill the process at an arbitrary mid-stream point.
+        for l in 0..30 {
+            let mut row = ds.test.row(l).to_vec();
+            if l == 10 {
+                row[0] = f32::NAN;
+            }
+            monitor.push(&row).unwrap();
+        }
+        let path = tmp("monitor.ckpt");
+        monitor.checkpoint(&path).unwrap();
+        let mut restored = StreamingMonitor::restore(tiny_cfg(), 5, &path).unwrap();
+        assert_eq!(restored.seen(), monitor.seen());
+        assert_eq!(restored.health(), monitor.health());
+
+        // The restored monitor must produce byte-identical verdicts for
+        // the rest of the stream.
+        for l in 30..ds.test.len() {
+            let a = monitor.push(ds.test.row(l)).unwrap();
+            let b = restored.push(ds.test.row(l)).unwrap();
+            assert_eq!(a, b, "diverged at row {l}");
+        }
+        assert_eq!(restored.health(), monitor.health());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("ckpt.stream")).ok();
+    }
+
+    #[test]
+    fn monitor_restore_rejects_missing_or_garbage_state() {
+        use crate::streaming::StreamingMonitor;
+
+        let path = tmp("missing-monitor.ckpt");
+        assert!(matches!(
+            StreamingMonitor::restore(tiny_cfg(), 5, &path),
+            Err(DetectorError::InvalidTrainingData(_))
+        ));
+        let stream = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".stream");
+            std::path::PathBuf::from(os)
+        };
+        std::fs::write(&stream, b"garbage").unwrap();
+        let err = match StreamingMonitor::restore(tiny_cfg(), 5, &path) {
+            Ok(_) => panic!("garbage stream state must not restore"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("stream checkpoint"));
+        std::fs::remove_file(&stream).ok();
     }
 
     #[test]

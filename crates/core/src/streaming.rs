@@ -5,16 +5,55 @@
 //! with a rolling window: each arriving observation is buffered, and every
 //! `hop` arrivals the ensemble inference re-runs on the most recent window,
 //! emitting verdicts for the points that just became old enough to judge.
+//!
+//! # Fault tolerance
+//!
+//! Real telemetry is not clean, so the monitor is built to *degrade*, not
+//! die:
+//!
+//! * **Missing cells** — NaN entries in a pushed row are accepted as
+//!   "value absent": they are folded into the grating mask so the
+//!   diffusion model imputes them natively (§4.1/§4.2 semantics extended
+//!   to genuinely lost data). Any other non-finite value is rejected with
+//!   a typed error at the ingestion boundary.
+//! * **Gaps** — the transport tells the monitor about dropped rows via
+//!   [`StreamingMonitor::notify_gap`]. Short gaps are bridged on the next
+//!   arrival by linear interpolation, with every bridged cell marked
+//!   missing so the model treats the interpolation as a placeholder, not
+//!   an observation. Long gaps flush the buffer and re-warm.
+//! * **Degraded mode** — when ensemble inference fails or produces
+//!   non-finite scores, the monitor falls back to a cheap per-channel
+//!   z-score detector (running Welford statistics) thresholded at the
+//!   last threshold calibrated while healthy, and keeps emitting verdicts
+//!   flagged [`PointVerdict::degraded`]. The next successful inference
+//!   recovers automatically.
+//!
+//! The `Healthy → Degraded → Warming` state machine and all fault
+//! counters are exposed via [`StreamingMonitor::health`], and the entire
+//! mutable state checkpoints/restores across process restarts (see
+//! `StreamingMonitor::checkpoint` in the persistence module).
 
 use std::collections::VecDeque;
 
-use imdiff_data::{Detector, DetectorError, Mts};
+use imdiff_data::{DetectorError, Mts};
 use imdiff_metrics::{pot_threshold, threshold_at_percentile};
 
 use crate::detector::ImDiffusionDetector;
 
 /// Maximum error-history length kept for dynamic thresholding.
 const HISTORY_CAP: usize = 4096;
+
+/// Minimum healthy-score history before the z-score fallback trusts its
+/// own calibrated threshold.
+const FALLBACK_MIN_HISTORY: usize = 32;
+
+/// Minimum per-channel sample count before z-scores are considered
+/// meaningful.
+const FALLBACK_MIN_COUNT: u64 = 8;
+
+/// Fraction of window cells that may be missing before the monitor skips
+/// full inference for that evaluation (too little context to impute).
+const MAX_MISSING_FRACTION: f64 = 0.5;
 
 /// How the streaming monitor picks the Eq. (12) baseline threshold τ.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,43 +72,140 @@ pub enum ThresholdMode {
     },
 }
 
+/// Health of the streaming monitor's inference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Full ensemble inference is producing trusted verdicts.
+    Healthy,
+    /// Inference failed or was untrustworthy at the last evaluation;
+    /// verdicts come from the z-score fallback detector.
+    Degraded,
+    /// The window buffer is (re)filling — after construction, a restore,
+    /// or a long gap — and no evaluation has succeeded yet.
+    Warming,
+}
+
+/// Operational report: current state plus monotonic fault counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorHealth {
+    /// Current position in the health state machine.
+    pub state: HealthState,
+    /// Observations consumed (including bridged rows and rows lost to
+    /// long gaps, which consume stream indices without being judged).
+    pub rows_seen: u64,
+    /// Rows rejected at the ingestion boundary (undeclared ±∞).
+    pub rows_rejected: u64,
+    /// Cells accepted as missing and handed to native imputation.
+    pub cells_imputed: u64,
+    /// Gap events bridged by interpolation.
+    pub gaps_bridged: u64,
+    /// Synthetic rows inserted by gap bridging.
+    pub rows_bridged: u64,
+    /// Long gaps that flushed the buffer and forced a re-warm.
+    pub rewarms: u64,
+    /// Evaluations served by the z-score fallback.
+    pub degraded_evals: u64,
+    /// Degraded → Healthy transitions.
+    pub recoveries: u64,
+}
+
 /// Verdict for one streamed observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointVerdict {
     /// Global index of the observation (0-based since monitor creation).
     pub index: u64,
-    /// ImDiffusion's voted anomaly label.
+    /// ImDiffusion's voted anomaly label (or the fallback detector's
+    /// threshold decision when `degraded`).
     pub anomalous: bool,
     /// Continuous anomaly score (higher = more suspicious).
     pub score: f64,
-    /// Number of ensemble votes received.
+    /// Number of ensemble votes received (0 in degraded mode).
     pub votes: u32,
+    /// `true` when this verdict came from the z-score fallback rather
+    /// than full ensemble inference.
+    pub degraded: bool,
+}
+
+/// Running per-channel mean/variance (Welford) for the fallback detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ChannelStats {
+    pub(crate) count: u64,
+    pub(crate) mean: f64,
+    pub(crate) m2: f64,
+}
+
+impl ChannelStats {
+    fn new() -> Self {
+        ChannelStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    fn update(&mut self, v: f64) {
+        self.count += 1;
+        let d = v - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (v - self.mean);
+    }
+
+    fn z(&self, v: f64) -> Option<f64> {
+        if self.count < FALLBACK_MIN_COUNT {
+            return None;
+        }
+        let var = self.m2 / (self.count - 1) as f64;
+        Some((v - self.mean) / var.sqrt().max(1e-9))
+    }
 }
 
 /// A rolling-window online anomaly monitor.
 pub struct StreamingMonitor {
-    detector: ImDiffusionDetector,
-    buffer: VecDeque<Vec<f32>>,
-    window: usize,
-    hop: usize,
-    channels: usize,
-    seen: u64,
-    since_eval: usize,
-    threshold_mode: ThresholdMode,
+    pub(crate) detector: ImDiffusionDetector,
+    pub(crate) buffer: VecDeque<Vec<f32>>,
+    /// Per-row missing flags, parallel to `buffer`.
+    pub(crate) missing: VecDeque<Vec<bool>>,
+    pub(crate) window: usize,
+    pub(crate) hop: usize,
+    pub(crate) channels: usize,
+    pub(crate) seen: u64,
+    pub(crate) since_eval: usize,
+    pub(crate) threshold_mode: ThresholdMode,
     /// Rolling history of final-step errors for dynamic thresholding.
-    error_history: VecDeque<f64>,
+    pub(crate) error_history: VecDeque<f64>,
+    pub(crate) health: HealthState,
+    /// Gap length reported by `notify_gap`, applied on the next push.
+    pub(crate) pending_gap: usize,
+    /// Largest gap bridged by interpolation; longer gaps re-warm.
+    pub(crate) max_bridge: usize,
+    /// Per-channel running statistics for the z-score fallback.
+    pub(crate) fallback_stats: Vec<ChannelStats>,
+    /// Rolling history of fallback scores (threshold calibration).
+    pub(crate) fallback_history: VecDeque<f64>,
+    /// Fallback threshold last calibrated while Healthy.
+    pub(crate) fallback_tau: Option<f64>,
+    /// Why the most recent evaluation degraded, for operators.
+    pub(crate) last_degraded_reason: Option<String>,
+    pub(crate) rows_rejected: u64,
+    pub(crate) cells_imputed: u64,
+    pub(crate) gaps_bridged: u64,
+    pub(crate) rows_bridged: u64,
+    pub(crate) rewarms: u64,
+    pub(crate) degraded_evals: u64,
+    pub(crate) recoveries: u64,
 }
 
 impl StreamingMonitor {
-    /// Wraps a **fitted** detector. `hop` controls how often inference
-    /// re-runs (1 = every point, `window` = non-overlapping batches);
-    /// smaller hops reduce detection delay at proportional compute cost.
+    /// Wraps a **fitted** detector (trained in-process or restored from a
+    /// checkpoint). `hop` controls how often inference re-runs (1 = every
+    /// point, `window` = non-overlapping batches); smaller hops reduce
+    /// detection delay at proportional compute cost.
     pub fn new(
         detector: ImDiffusionDetector,
         channels: usize,
         hop: usize,
     ) -> Result<Self, DetectorError> {
-        if detector.last_train_report().is_none() {
+        if !detector.is_fitted() {
             return Err(DetectorError::NotFitted);
         }
         let window = detector.config().window;
@@ -81,6 +217,7 @@ impl StreamingMonitor {
         Ok(StreamingMonitor {
             detector,
             buffer: VecDeque::with_capacity(window),
+            missing: VecDeque::with_capacity(window),
             window,
             hop,
             channels,
@@ -88,6 +225,20 @@ impl StreamingMonitor {
             since_eval: 0,
             threshold_mode: ThresholdMode::Native,
             error_history: VecDeque::with_capacity(HISTORY_CAP),
+            health: HealthState::Warming,
+            pending_gap: 0,
+            max_bridge: (window / 4).max(1),
+            fallback_stats: vec![ChannelStats::new(); channels],
+            fallback_history: VecDeque::with_capacity(HISTORY_CAP),
+            fallback_tau: None,
+            last_degraded_reason: None,
+            rows_rejected: 0,
+            cells_imputed: 0,
+            gaps_bridged: 0,
+            rows_bridged: 0,
+            rewarms: 0,
+            degraded_evals: 0,
+            recoveries: 0,
         })
     }
 
@@ -97,15 +248,57 @@ impl StreamingMonitor {
         self
     }
 
+    /// Sets the longest gap (in rows) bridged by interpolation; longer
+    /// gaps flush the buffer and re-warm. Defaults to a quarter window.
+    pub fn with_max_bridge(mut self, rows: usize) -> Self {
+        self.max_bridge = rows;
+        self
+    }
+
     /// Number of observations consumed so far.
     pub fn seen(&self) -> u64 {
         self.seen
+    }
+
+    /// The current health report (state machine position + counters).
+    pub fn health(&self) -> MonitorHealth {
+        MonitorHealth {
+            state: self.health,
+            rows_seen: self.seen,
+            rows_rejected: self.rows_rejected,
+            cells_imputed: self.cells_imputed,
+            gaps_bridged: self.gaps_bridged,
+            rows_bridged: self.rows_bridged,
+            rewarms: self.rewarms,
+            degraded_evals: self.degraded_evals,
+            recoveries: self.recoveries,
+        }
+    }
+
+    /// Why the monitor last entered degraded mode (operator diagnostics);
+    /// cleared on recovery.
+    pub fn last_degraded_reason(&self) -> Option<&str> {
+        self.last_degraded_reason.as_deref()
+    }
+
+    /// Tells the monitor that `missed` consecutive rows were lost by the
+    /// transport *before* the next pushed row. Short gaps
+    /// (≤ `max_bridge`) are bridged on the next arrival by linear
+    /// interpolation, with every bridged cell marked missing so inference
+    /// treats it as absent data; longer gaps flush the buffer and re-warm
+    /// (stale context must not be stitched to post-gap data).
+    pub fn notify_gap(&mut self, missed: usize) {
+        self.pending_gap += missed;
     }
 
     /// Feeds one observation. Returns verdicts for the `hop` newest points
     /// whenever an evaluation triggers (the window must fill first, so the
     /// earliest `window - hop` points are only judged once enough context
     /// exists).
+    ///
+    /// NaN entries mean "value missing — impute it". Any other non-finite
+    /// entry rejects the whole row with [`DetectorError::NonFiniteInput`]
+    /// (the row is not buffered; the stream position does not advance).
     pub fn push(&mut self, row: &[f32]) -> Result<Vec<PointVerdict>, DetectorError> {
         if row.len() != self.channels {
             return Err(DetectorError::DimensionMismatch {
@@ -113,32 +306,172 @@ impl StreamingMonitor {
                 actual: row.len(),
             });
         }
+        // Ingestion boundary: NaN = declared missing; ±∞ = corrupt.
+        let miss: Vec<bool> = row.iter().map(|v| v.is_nan()).collect();
+        if let Some(c) = row.iter().position(|v| v.is_infinite()) {
+            self.rows_rejected += 1;
+            return Err(DetectorError::NonFiniteInput {
+                index: self.seen as usize,
+                channel: c,
+            });
+        }
+
+        let mut verdicts = Vec::new();
+        if self.pending_gap > 0 {
+            let gap = self.pending_gap;
+            self.pending_gap = 0;
+            if gap <= self.max_bridge && !self.buffer.is_empty() {
+                // Bridge: straight line from the last buffered row to the
+                // arriving one, every cell marked missing (the model must
+                // treat the interpolation as a placeholder, not data).
+                let last = self.buffer.back().cloned().expect("buffer non-empty");
+                self.gaps_bridged += 1;
+                for g in 0..gap {
+                    let frac = (g + 1) as f32 / (gap + 1) as f32;
+                    let synth: Vec<f32> = last
+                        .iter()
+                        .zip(row)
+                        .map(|(&a, &b)| {
+                            let b = if b.is_nan() { a } else { b };
+                            a + (b - a) * frac
+                        })
+                        .collect();
+                    self.rows_bridged += 1;
+                    verdicts.extend(self.ingest(synth, vec![true; self.channels])?);
+                }
+            } else {
+                // Too long to interpolate honestly: drop the stale
+                // context and re-warm. The lost rows still consume
+                // stream indices so verdict indices match the source.
+                self.buffer.clear();
+                self.missing.clear();
+                self.seen += gap as u64;
+                self.since_eval = 0;
+                self.rewarms += 1;
+                self.health = HealthState::Warming;
+            }
+        }
+
+        verdicts.extend(self.ingest(row.to_vec(), miss)?);
+        Ok(verdicts)
+    }
+
+    /// Buffers one (possibly partially missing) row and evaluates when due.
+    fn ingest(
+        &mut self,
+        mut row: Vec<f32>,
+        miss: Vec<bool>,
+    ) -> Result<Vec<PointVerdict>, DetectorError> {
+        // Update fallback statistics and score *before* folding this row
+        // in, so a wildly anomalous row cannot vouch for itself.
+        let score = self.fallback_score(&row, &miss);
+        if self.fallback_history.len() == HISTORY_CAP {
+            self.fallback_history.pop_front();
+        }
+        self.fallback_history.push_back(score);
+        for c in 0..self.channels {
+            if !miss[c] && row[c].is_finite() {
+                self.fallback_stats[c].update(row[c] as f64);
+            }
+        }
+
+        let n_missing = miss.iter().filter(|&&m| m).count();
+        self.cells_imputed += n_missing as u64;
+        // Keep the buffered values finite: the stored value of a missing
+        // cell is irrelevant to inference (it is always an imputation
+        // target) but NaN must not leak into interpolation or snapshots.
+        for c in 0..self.channels {
+            if miss[c] {
+                row[c] = self
+                    .buffer
+                    .back()
+                    .map(|prev| prev[c])
+                    .filter(|v| v.is_finite())
+                    .unwrap_or(0.0);
+            }
+        }
+
         if self.buffer.len() == self.window {
             self.buffer.pop_front();
+            self.missing.pop_front();
         }
-        self.buffer.push_back(row.to_vec());
+        self.buffer.push_back(row);
+        self.missing.push_back(miss);
         self.seen += 1;
         self.since_eval += 1;
         if self.buffer.len() < self.window || self.since_eval < self.hop {
             return Ok(Vec::new());
         }
         self.since_eval = 0;
+        self.evaluate()
+    }
 
-        // Materialise the window and run the full ensemble inference on it.
+    /// Runs one evaluation over the buffered window, degrading to the
+    /// z-score fallback when full inference cannot be trusted.
+    fn evaluate(&mut self) -> Result<Vec<PointVerdict>, DetectorError> {
         let flat: Vec<f32> = self.buffer.iter().flatten().copied().collect();
+        let miss_flat: Vec<bool> = self.missing.iter().flatten().copied().collect();
+        let n_missing = miss_flat.iter().filter(|&&m| m).count();
         let window_mts = Mts::new(flat, self.window, self.channels);
-        let detection = self.detector.detect(&window_mts)?;
-        let out = self
+
+        // Skip inference outright when the window is mostly holes — an
+        // imputation model conditioned on almost nothing hallucinates.
+        let attempt = if (n_missing as f64)
+            <= MAX_MISSING_FRACTION * (self.window * self.channels) as f64
+        {
+            match self.detector.detect_with_missing(&window_mts, Some(&miss_flat)) {
+                Ok(d) if d.scores.iter().all(|s| s.is_finite()) => Some(d),
+                Ok(_) => {
+                    self.last_degraded_reason =
+                        Some("inference produced non-finite scores".into());
+                    None
+                }
+                Err(e) => {
+                    self.last_degraded_reason = Some(format!("inference error: {e}"));
+                    None
+                }
+            }
+        } else {
+            self.last_degraded_reason = Some(format!(
+                "window too sparse for inference: {n_missing}/{} cells missing",
+                self.window * self.channels
+            ));
+            None
+        };
+
+        let first_global = self.seen - self.hop as u64;
+        let Some(detection) = attempt else {
+            return Ok(self.degraded_verdicts(first_global));
+        };
+
+        // The two historical panic paths of this function, now typed: a
+        // detector that returned Ok must have populated the ensemble
+        // output and native labels — anything else is a broken invariant
+        // the caller can handle, not an abort.
+        let votes: Vec<u32> = self
             .detector
             .last_output()
-            .expect("detect populates the ensemble output");
+            .ok_or_else(|| {
+                DetectorError::Internal(
+                    "detect did not populate the ensemble output".into(),
+                )
+            })?
+            .votes
+            .clone();
 
         // Dynamic thresholding: re-vote against a τ fitted over the error
         // history instead of the current window's own percentile, which is
         // noisy at streaming window sizes.
         let labels: Vec<bool> = match self.threshold_mode {
-            ThresholdMode::Native => detection.labels.clone().expect("native labels"),
+            ThresholdMode::Native => detection.labels.clone().ok_or_else(|| {
+                DetectorError::Internal("native detection carried no labels".into())
+            })?,
             ThresholdMode::PotDynamic { risk } => {
+                let out = self.detector.last_output().ok_or_else(|| {
+                    DetectorError::Internal(
+                        "detect did not populate the ensemble output".into(),
+                    )
+                })?;
                 for &e in out.final_step_error() {
                     if self.error_history.len() == HISTORY_CAP {
                         self.error_history.pop_front();
@@ -157,8 +490,20 @@ impl StreamingMonitor {
             }
         };
 
+        // Successful full inference: (re)calibrate the fallback threshold
+        // while the ensemble vouches for the stream, and recover if we
+        // were degraded.
+        if self.health == HealthState::Degraded {
+            self.recoveries += 1;
+        }
+        self.health = HealthState::Healthy;
+        self.last_degraded_reason = None;
+        if self.fallback_history.len() >= FALLBACK_MIN_HISTORY {
+            let hist: Vec<f64> = self.fallback_history.iter().copied().collect();
+            self.fallback_tau = Some(threshold_at_percentile(&hist, 99.0));
+        }
+
         // Emit the newest `hop` positions of the window.
-        let first_global = self.seen - self.hop as u64;
         let verdicts = (0..self.hop)
             .map(|i| {
                 let pos = self.window - self.hop + i;
@@ -166,11 +511,63 @@ impl StreamingMonitor {
                     index: first_global + i as u64,
                     anomalous: labels[pos],
                     score: detection.scores[pos],
-                    votes: out.votes[pos],
+                    votes: votes[pos],
+                    degraded: false,
                 }
             })
             .collect();
         Ok(verdicts)
+    }
+
+    /// Verdicts for the newest `hop` rows from the z-score fallback, using
+    /// the last threshold calibrated while healthy.
+    fn degraded_verdicts(&mut self, first_global: u64) -> Vec<PointVerdict> {
+        self.degraded_evals += 1;
+        self.health = HealthState::Degraded;
+        let tau = self.fallback_tau.unwrap_or_else(|| {
+            if self.fallback_history.len() >= FALLBACK_MIN_HISTORY {
+                let hist: Vec<f64> = self.fallback_history.iter().copied().collect();
+                threshold_at_percentile(&hist, 99.0)
+            } else {
+                f64::INFINITY // no calibration yet: never alarm blindly
+            }
+        });
+        (0..self.hop)
+            .map(|i| {
+                let pos = self.window - self.hop + i;
+                let row = &self.buffer[pos];
+                let miss = &self.missing[pos];
+                let score = self.fallback_score(row, miss);
+                PointVerdict {
+                    index: first_global + i as u64,
+                    anomalous: score > tau,
+                    score,
+                    votes: 0,
+                    degraded: true,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean squared z-score over trusted channels — the cheap fallback
+    /// anomaly score. Always finite; 0.0 until statistics accumulate.
+    fn fallback_score(&self, row: &[f32], miss: &[bool]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.channels {
+            if miss[c] || !row[c].is_finite() {
+                continue;
+            }
+            if let Some(z) = self.fallback_stats[c].z(row[c] as f64) {
+                sum += z * z;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 }
 
@@ -178,7 +575,9 @@ impl StreamingMonitor {
 mod tests {
     use super::*;
     use crate::ImDiffusionConfig;
+    use imdiff_data::faults::{Fault, FaultInjector};
     use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+    use imdiff_data::Detector;
 
     fn tiny_cfg() -> ImDiffusionConfig {
         ImDiffusionConfig {
@@ -238,6 +637,8 @@ mod tests {
         let expected = ((ds.test.len() - 16) / 8 + 1) * 8;
         assert_eq!(judged.len(), expected);
         assert!(judged.iter().all(|v| v.score.is_finite()));
+        assert!(judged.iter().all(|v| !v.degraded));
+        assert_eq!(monitor.health().state, HealthState::Healthy);
     }
 
     #[test]
@@ -294,5 +695,172 @@ mod tests {
         det.fit(&ds.train).unwrap();
         let k = ds.train.dim();
         assert!(StreamingMonitor::new(det, k, 0).is_err());
+    }
+
+    #[test]
+    fn nan_cells_are_imputed_not_fatal() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        let mut judged = 0usize;
+        for l in 0..ds.test.len() {
+            let mut row = ds.test.row(l).to_vec();
+            if l % 5 == 0 {
+                let c = l % row.len();
+                row[c] = f32::NAN;
+            }
+            judged += monitor.push(&row).unwrap().len();
+        }
+        assert!(judged > 0);
+        let health = monitor.health();
+        assert!(health.cells_imputed > 0);
+        assert_eq!(health.rows_seen, ds.test.len() as u64);
+    }
+
+    #[test]
+    fn infinite_value_rejected_at_boundary() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        let mut row = ds.test.row(0).to_vec();
+        row[1] = f32::INFINITY;
+        let err = monitor.push(&row).unwrap_err();
+        assert!(matches!(
+            err,
+            DetectorError::NonFiniteInput { channel: 1, .. }
+        ));
+        // The rejected row did not advance the stream.
+        assert_eq!(monitor.seen(), 0);
+        assert_eq!(monitor.health().rows_rejected, 1);
+    }
+
+    #[test]
+    fn short_gap_is_bridged() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        for l in 0..20 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        monitor.notify_gap(2); // ≤ max_bridge (window/4 = 4)
+        monitor.push(ds.test.row(22)).unwrap();
+        let health = monitor.health();
+        assert_eq!(health.gaps_bridged, 1);
+        assert_eq!(health.rows_bridged, 2);
+        // Bridged rows consume stream indices: 20 pushed + 2 bridged + 1.
+        assert_eq!(health.rows_seen, 23);
+        assert_eq!(health.rewarms, 0);
+    }
+
+    #[test]
+    fn long_gap_rewarms() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        for l in 0..20 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        monitor.notify_gap(10); // > max_bridge
+        let vs = monitor.push(ds.test.row(30)).unwrap();
+        assert!(vs.is_empty()); // buffer flushed, must re-warm
+        let health = monitor.health();
+        assert_eq!(health.rewarms, 1);
+        assert_eq!(health.state, HealthState::Warming);
+        // Lost rows still consume indices.
+        assert_eq!(health.rows_seen, 31);
+        // After a full window of new data the monitor recovers to healthy.
+        let mut judged = 0usize;
+        for l in 31..ds.test.len() {
+            judged += monitor.push(ds.test.row(l)).unwrap().len();
+        }
+        assert!(judged > 0);
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn sparse_window_degrades_and_recovers() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        let k = ds.test.dim();
+        // Healthy warm-up.
+        for l in 0..24 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+        // Blind the stream: > 50% missing cells in the window.
+        let mut degraded_seen = 0usize;
+        for _ in 24..40 {
+            let vs = monitor.push(&vec![f32::NAN; k]).unwrap();
+            degraded_seen += vs.iter().filter(|v| v.degraded).count();
+        }
+        assert!(degraded_seen > 0);
+        assert_eq!(monitor.health().state, HealthState::Degraded);
+        assert!(monitor.health().degraded_evals > 0);
+        assert!(monitor.last_degraded_reason().is_some());
+        // Clean data returns: the monitor recovers automatically.
+        for l in 40..ds.test.len() {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        let health = monitor.health();
+        assert_eq!(health.state, HealthState::Healthy);
+        assert!(health.recoveries >= 1);
+        assert!(monitor.last_degraded_reason().is_none());
+    }
+
+    #[test]
+    fn degraded_verdicts_are_finite_and_flagged() {
+        let (mut monitor, ds) = fitted_monitor(4);
+        let k = ds.test.dim();
+        for l in 0..32 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        let mut degraded = Vec::new();
+        for _ in 0..16 {
+            degraded.extend(monitor.push(&vec![f32::NAN; k]).unwrap());
+        }
+        let flagged: Vec<_> = degraded.iter().filter(|v| v.degraded).collect();
+        assert!(!flagged.is_empty());
+        assert!(flagged.iter().all(|v| v.score.is_finite()));
+        assert!(flagged.iter().all(|v| v.votes == 0));
+    }
+
+    #[test]
+    fn fault_injected_stream_runs_end_to_end() {
+        // The acceptance scenario: NaN cells + a dropped-row gap + one
+        // stuck channel, seeded, with zero panics, verdicts for every
+        // judged point, and ≥1 Degraded→Healthy recovery.
+        let (mut monitor, ds) = fitted_monitor(4);
+        let k = ds.test.dim();
+        let corrupted = FaultInjector::new(17)
+            .with(Fault::NanCells { rate: 0.05 })
+            .with(Fault::Gap { start: 30, len: 3 })
+            .with(Fault::StuckChannel {
+                channel: 1,
+                start: 40,
+                len: 10,
+            })
+            .corrupt(&ds.test);
+
+        // Force at least one degraded evaluation mid-stream by blinding
+        // a stretch of rows beyond the sparsity cutoff.
+        let mut judged = Vec::new();
+        let mut pending_gap = 0usize;
+        for (l, item) in corrupted.rows.iter().enumerate() {
+            match item {
+                None => pending_gap += 1,
+                Some(row) => {
+                    if pending_gap > 0 {
+                        monitor.notify_gap(pending_gap);
+                        pending_gap = 0;
+                    }
+                    let row = if (20..29).contains(&l) {
+                        vec![f32::NAN; k]
+                    } else {
+                        row.clone()
+                    };
+                    judged.extend(monitor.push(&row).unwrap());
+                }
+            }
+        }
+        assert!(!judged.is_empty());
+        assert!(judged.iter().all(|v| v.score.is_finite()));
+        let health = monitor.health();
+        assert_eq!(health.rows_seen, ds.test.len() as u64);
+        assert!(health.cells_imputed > 0);
+        assert!(health.gaps_bridged >= 1);
+        assert!(health.degraded_evals >= 1);
+        assert!(health.recoveries >= 1, "health: {health:?}");
+        assert_eq!(health.state, HealthState::Healthy);
     }
 }

@@ -5,7 +5,12 @@ use std::fmt;
 use crate::Mts;
 
 /// Errors surfaced by detectors.
+///
+/// Marked `#[non_exhaustive]`: downstream code must keep a wildcard arm so
+/// new failure modes (the streaming robustness work keeps adding them) are
+/// not breaking changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DetectorError {
     /// Training data was unusable (too short, wrong dimensionality, ...).
     InvalidTrainingData(String),
@@ -18,6 +23,20 @@ pub enum DetectorError {
         /// Channel count of the offending series.
         actual: usize,
     },
+    /// Input contained NaN/±∞ values that were not declared missing. The
+    /// streaming monitor accepts NaN as "missing, please impute"; anything
+    /// else non-finite is a corrupt reading the caller must handle.
+    NonFiniteInput {
+        /// Row index of the first offending value (stream-global for
+        /// streaming ingestion, series-local for batch detection).
+        index: usize,
+        /// Channel of the first offending value.
+        channel: usize,
+    },
+    /// An internal invariant failed during inference. Replaces what used
+    /// to be panics inside the streaming path; carries a description of
+    /// the broken invariant.
+    Internal(String),
 }
 
 impl fmt::Display for DetectorError {
@@ -30,6 +49,14 @@ impl fmt::Display for DetectorError {
             DetectorError::DimensionMismatch { expected, actual } => {
                 write!(f, "series has {actual} channels, model expects {expected}")
             }
+            DetectorError::NonFiniteInput { index, channel } => {
+                write!(
+                    f,
+                    "non-finite value at row {index}, channel {channel} \
+                     (use NaN only for declared-missing cells)"
+                )
+            }
+            DetectorError::Internal(msg) => write!(f, "internal detector error: {msg}"),
         }
     }
 }

@@ -1,0 +1,407 @@
+//! Seeded, composable fault injection for streaming robustness tests.
+//!
+//! Production telemetry is not clean: collectors drop samples, sensors
+//! freeze or go offline, serialization bugs produce NaNs, and transient
+//! glitches spike individual readings. [`FaultInjector`] corrupts a clean
+//! [`Mts`] stream with a configurable combination of these faults and
+//! emits a ground-truth [`FaultRecord`] log, so tests can verify both that
+//! the monitor survives the corruption *and* that its degraded-mode
+//! accounting matches what was actually injected.
+//!
+//! All randomized faults draw from a single seeded RNG: the same injector
+//! configuration and seed always produce the same corrupted stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Mts;
+
+/// One configured fault. Row/channel ranges outside the stream are
+/// clamped, so arbitrary (e.g. property-test generated) parameters are
+/// safe to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Every delivered cell independently becomes NaN with probability
+    /// `rate` — lost samples inside an otherwise delivered row.
+    NanCells {
+        /// Per-cell corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Rows `start..start + len` are never delivered (a collector outage:
+    /// the consumer observes a gap in the sequence, not a row of NaNs).
+    Gap {
+        /// First dropped row.
+        start: usize,
+        /// Number of consecutive dropped rows.
+        len: usize,
+    },
+    /// Channel `channel` freezes: rows `start..start + len` repeat the
+    /// last pre-fault value (a stuck sensor still reporting).
+    StuckChannel {
+        /// The frozen channel.
+        channel: usize,
+        /// First affected row.
+        start: usize,
+        /// Number of affected rows.
+        len: usize,
+    },
+    /// Every delivered cell independently gets `magnitude` added (sign
+    /// alternating at random) with probability `rate` — transient
+    /// electrical/serialization glitches.
+    Spikes {
+        /// Per-cell spike probability in `[0, 1]`.
+        rate: f64,
+        /// Absolute size of the additive spike.
+        magnitude: f32,
+    },
+    /// Channel `channel` goes fully offline for rows
+    /// `start..start + len`: those cells are delivered as NaN.
+    ChannelDropout {
+        /// The offline channel.
+        channel: usize,
+        /// First affected row.
+        start: usize,
+        /// Number of affected rows.
+        len: usize,
+    },
+}
+
+/// The concrete corruption applied to one cell or row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEffect {
+    /// A cell was replaced with NaN.
+    NanCell,
+    /// A whole row was dropped from the stream.
+    DroppedRow,
+    /// A cell was overwritten with the channel's frozen value.
+    StuckValue,
+    /// A cell had spike noise added.
+    Spike,
+}
+
+/// Ground-truth log entry: what the injector did at `(index, channel)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Row index in the *clean* stream.
+    pub index: usize,
+    /// Affected channel; `None` for whole-row effects.
+    pub channel: Option<usize>,
+    /// The corruption applied.
+    pub effect: FaultEffect,
+}
+
+/// The corrupted stream: one entry per clean row, `None` where the row was
+/// dropped, plus the ground-truth fault log.
+#[derive(Debug, Clone)]
+pub struct CorruptedStream {
+    /// Delivered rows in order; `None` marks a dropped row (the consumer
+    /// skips it — there is no placeholder on the wire).
+    pub rows: Vec<Option<Vec<f32>>>,
+    /// Everything the injector did, in row order.
+    pub log: Vec<FaultRecord>,
+}
+
+impl CorruptedStream {
+    /// Number of rows actually delivered.
+    pub fn delivered(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of delivered cells that are NaN.
+    pub fn nan_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .flatten()
+            .flat_map(|row| row.iter())
+            .filter(|v| v.is_nan())
+            .count()
+    }
+}
+
+/// A seeded, composable stream corruptor. Faults are applied in the order
+/// added; value faults (stuck, spikes, NaN, dropout) act on the row
+/// contents, then gaps remove rows entirely.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    faults: Vec<Fault>,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// A corruptor with no faults configured (identity until [`Self::with`]
+    /// adds some).
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            faults: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Adds one fault (builder-style; faults compose).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Applies every configured fault to `clean`, returning the corrupted
+    /// stream and the ground-truth log. Deterministic in (faults, seed).
+    pub fn corrupt(&self, clean: &Mts) -> CorruptedStream {
+        let (len, k) = (clean.len(), clean.dim());
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xfa17_0b5e);
+        let mut values: Vec<Vec<f32>> = (0..len).map(|l| clean.row(l).to_vec()).collect();
+        let mut dropped = vec![false; len];
+        let mut log = Vec::new();
+
+        for fault in &self.faults {
+            match *fault {
+                Fault::NanCells { rate } => {
+                    for (l, row) in values.iter_mut().enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                                *v = f32::NAN;
+                                log.push(FaultRecord {
+                                    index: l,
+                                    channel: Some(c),
+                                    effect: FaultEffect::NanCell,
+                                });
+                            }
+                        }
+                    }
+                }
+                Fault::Gap { start, len: glen } => {
+                    let end = start.saturating_add(glen).min(len);
+                    for (l, d) in dropped.iter_mut().enumerate().take(end).skip(start) {
+                        if !*d {
+                            *d = true;
+                            log.push(FaultRecord {
+                                index: l,
+                                channel: None,
+                                effect: FaultEffect::DroppedRow,
+                            });
+                        }
+                    }
+                }
+                Fault::StuckChannel {
+                    channel,
+                    start,
+                    len: slen,
+                } => {
+                    if channel >= k || start >= len {
+                        continue;
+                    }
+                    let frozen = if start == 0 {
+                        values[0][channel]
+                    } else {
+                        values[start - 1][channel]
+                    };
+                    let end = start.saturating_add(slen).min(len);
+                    for (l, row) in values.iter_mut().enumerate().take(end).skip(start) {
+                        row[channel] = frozen;
+                        log.push(FaultRecord {
+                            index: l,
+                            channel: Some(channel),
+                            effect: FaultEffect::StuckValue,
+                        });
+                    }
+                }
+                Fault::Spikes { rate, magnitude } => {
+                    for (l, row) in values.iter_mut().enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                                *v += sign * magnitude;
+                                log.push(FaultRecord {
+                                    index: l,
+                                    channel: Some(c),
+                                    effect: FaultEffect::Spike,
+                                });
+                            }
+                        }
+                    }
+                }
+                Fault::ChannelDropout {
+                    channel,
+                    start,
+                    len: dlen,
+                } => {
+                    if channel >= k {
+                        continue;
+                    }
+                    let end = start.saturating_add(dlen).min(len);
+                    for (l, row) in values.iter_mut().enumerate().take(end).skip(start) {
+                        row[channel] = f32::NAN;
+                        log.push(FaultRecord {
+                            index: l,
+                            channel: Some(channel),
+                            effect: FaultEffect::NanCell,
+                        });
+                    }
+                }
+            }
+        }
+
+        let rows = values
+            .into_iter()
+            .zip(&dropped)
+            .map(|(row, &d)| if d { None } else { Some(row) })
+            .collect();
+        CorruptedStream { rows, log }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(len: usize, k: usize) -> Mts {
+        let values = (0..len * k).map(|i| i as f32 * 0.01).collect();
+        Mts::new(values, len, k)
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let clean = ramp(20, 3);
+        let out = FaultInjector::new(7).corrupt(&clean);
+        assert_eq!(out.delivered(), 20);
+        assert!(out.log.is_empty());
+        for (l, row) in out.rows.iter().enumerate() {
+            assert_eq!(row.as_deref(), Some(clean.row(l)));
+        }
+    }
+
+    /// Bit-exact row comparison (`==` on f32 treats NaN ≠ NaN).
+    fn row_bits(s: &CorruptedStream) -> Vec<Option<Vec<u32>>> {
+        s.rows
+            .iter()
+            .map(|r| r.as_ref().map(|row| row.iter().map(|v| v.to_bits()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let clean = ramp(64, 4);
+        let build = |seed| {
+            FaultInjector::new(seed)
+                .with(Fault::NanCells { rate: 0.05 })
+                .with(Fault::Spikes {
+                    rate: 0.02,
+                    magnitude: 3.0,
+                })
+                .corrupt(&clean)
+        };
+        let (a, b) = (build(3), build(3));
+        assert_eq!(row_bits(&a), row_bits(&b));
+        assert_eq!(a.log, b.log);
+        // A different seed corrupts different cells.
+        let c = build(4);
+        assert_ne!(a.log, c.log);
+    }
+
+    #[test]
+    fn gap_drops_rows_and_logs_them() {
+        let clean = ramp(30, 2);
+        let out = FaultInjector::new(1)
+            .with(Fault::Gap { start: 10, len: 5 })
+            .corrupt(&clean);
+        assert_eq!(out.delivered(), 25);
+        for l in 10..15 {
+            assert!(out.rows[l].is_none());
+        }
+        let drops: Vec<usize> = out
+            .log
+            .iter()
+            .filter(|r| r.effect == FaultEffect::DroppedRow)
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(drops, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn gap_clamped_to_stream_end() {
+        let clean = ramp(10, 2);
+        let out = FaultInjector::new(1)
+            .with(Fault::Gap { start: 8, len: 100 })
+            .corrupt(&clean);
+        assert_eq!(out.delivered(), 8);
+    }
+
+    #[test]
+    fn stuck_channel_freezes_last_good_value() {
+        let clean = ramp(20, 3);
+        let out = FaultInjector::new(1)
+            .with(Fault::StuckChannel {
+                channel: 1,
+                start: 5,
+                len: 4,
+            })
+            .corrupt(&clean);
+        let frozen = clean.get(4, 1);
+        for l in 5..9 {
+            assert_eq!(out.rows[l].as_ref().unwrap()[1], frozen);
+            // Other channels untouched.
+            assert_eq!(out.rows[l].as_ref().unwrap()[0], clean.get(l, 0));
+        }
+        assert_eq!(out.rows[9].as_ref().unwrap()[1], clean.get(9, 1));
+    }
+
+    #[test]
+    fn channel_dropout_yields_nan_cells() {
+        let clean = ramp(16, 2);
+        let out = FaultInjector::new(1)
+            .with(Fault::ChannelDropout {
+                channel: 0,
+                start: 2,
+                len: 6,
+            })
+            .corrupt(&clean);
+        assert_eq!(out.nan_cells(), 6);
+        for l in 2..8 {
+            assert!(out.rows[l].as_ref().unwrap()[0].is_nan());
+            assert!(out.rows[l].as_ref().unwrap()[1].is_finite());
+        }
+    }
+
+    #[test]
+    fn out_of_range_channel_ignored() {
+        let clean = ramp(8, 2);
+        let out = FaultInjector::new(1)
+            .with(Fault::StuckChannel {
+                channel: 9,
+                start: 0,
+                len: 4,
+            })
+            .with(Fault::ChannelDropout {
+                channel: 5,
+                start: 0,
+                len: 4,
+            })
+            .corrupt(&clean);
+        assert!(out.log.is_empty());
+        assert_eq!(out.nan_cells(), 0);
+    }
+
+    #[test]
+    fn faults_compose() {
+        let clean = ramp(40, 3);
+        let out = FaultInjector::new(11)
+            .with(Fault::NanCells { rate: 0.1 })
+            .with(Fault::Gap { start: 20, len: 3 })
+            .with(Fault::StuckChannel {
+                channel: 2,
+                start: 30,
+                len: 5,
+            })
+            .corrupt(&clean);
+        assert_eq!(out.rows.len(), 40);
+        assert_eq!(out.delivered(), 37);
+        let effects: std::collections::HashSet<_> =
+            out.log.iter().map(|r| r.effect).collect();
+        assert!(effects.contains(&FaultEffect::DroppedRow));
+        assert!(effects.contains(&FaultEffect::StuckValue));
+    }
+}

@@ -15,6 +15,7 @@
 //!   uniformly.
 
 mod detector;
+pub mod faults;
 pub mod io;
 pub mod mask;
 mod mts;

@@ -152,7 +152,7 @@ impl Mts {
                 let v = match method {
                     Downsample::Mean => block.iter().sum::<f32>() / factor as f32,
                     Downsample::Median => {
-                        block.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                        block.sort_by(|a, b| a.total_cmp(b));
                         block[factor / 2]
                     }
                 };

@@ -15,7 +15,7 @@ fn test_cfg() -> ImDiffusionConfig {
         heads: 2,
         residual_blocks: 1,
         diffusion_steps: 12,
-        train_steps: 80,
+        train_steps: 140,
         batch_size: 4,
         vote_span: 8,
         vote_every: 2,
