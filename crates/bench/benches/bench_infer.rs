@@ -1,0 +1,59 @@
+//! End-to-end ensemble-inference benchmark at fixed thread counts.
+//!
+//! Runs the full `detect` pipeline (windowing, masked imputation through
+//! the diffusion ensemble, voting) once pinned to a single worker and
+//! once at the host's full width, so the JSON report captures the
+//! window-parallel speedup on multi-core hosts:
+//!
+//!     cargo bench --bench bench_infer -- --save-json BENCH_infer.json
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiff_data::Detector;
+use imdiff_nn::pool;
+use imdiffusion::{ImDiffusionConfig, ImDiffusionDetector};
+
+fn bench_infer(c: &mut Criterion) {
+    let size = SizeProfile {
+        train_len: 300,
+        test_len: 192,
+    };
+    let mut group = c.benchmark_group("ensemble_infer");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Gcp, Benchmark::Smd] {
+        let ds = generate(benchmark, &size, 1);
+        let cfg = ImDiffusionConfig {
+            train_steps: 20, // the bench measures inference, not training
+            ddim_steps: Some(4),
+            ..ImDiffusionConfig::quick()
+        };
+        let mut det = ImDiffusionDetector::new(cfg, 1);
+        det.fit(&ds.train).expect("fit");
+        group.throughput(Throughput::Elements(ds.test.len() as u64));
+
+        group.record_threads(1);
+        group.bench_with_input(
+            BenchmarkId::new(&ds.name, "t1"),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    pool::with_threads(1, || black_box(det.detect(&ds.test).expect("detect")))
+                })
+            },
+        );
+
+        let width = pool::max_threads();
+        if width > 1 {
+            group.record_threads(width);
+            group.bench_with_input(
+                BenchmarkId::new(&ds.name, format!("t{width}")),
+                &ds,
+                |b, ds| b.iter(|| black_box(det.detect(&ds.test).expect("detect"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer);
+criterion_main!(benches);

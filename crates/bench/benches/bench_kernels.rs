@@ -1,0 +1,141 @@
+//! Kernel-level benchmarks for the parallel compute substrate.
+//!
+//! Compares the cache-blocked `mm_nn` against a naive reference kernel
+//! (a transcription of the pre-blocking implementation, including its
+//! zero-skip branch) at matched shapes, and times the conv1d and
+//! multi-head-attention forward paths. Every record carries a FLOP count
+//! so `--save-json BENCH_nn.json` yields GFLOP/s trajectories.
+//!
+//!     cargo bench --bench bench_kernels -- --save-json BENCH_nn.json
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use imdiff_nn::layers::MultiHeadAttention;
+use imdiff_nn::ops::mm_nn;
+use imdiff_nn::pool;
+use imdiff_nn::rng::seeded;
+use imdiff_nn::Tensor;
+use rand::Rng;
+
+/// The pre-blocking matmul kernel, kept verbatim as the perf baseline:
+/// row-major triple loop with a per-element skip of zero lhs entries.
+fn mm_nn_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+fn filled(len: usize, rng: &mut impl Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded(7);
+    let mut group = c.benchmark_group("mm_nn");
+    group.sample_size(20);
+    group.record_threads(1);
+    for dim in [32usize, 64, 128] {
+        let (m, k, n) = (dim, dim, dim);
+        let a = filled(m * k, &mut rng);
+        let b = filled(k * n, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        group.throughput(Throughput::Flops((2 * m * k * n) as u64));
+        group.bench_function(format!("{m}x{k}x{n}/naive/t1"), |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                mm_nn_naive(&a, &b, m, k, n, &mut out);
+                black_box(out[0])
+            })
+        });
+        group.bench_function(format!("{m}x{k}x{n}/blocked/t1"), |bch| {
+            bch.iter(|| {
+                pool::with_threads(1, || {
+                    out.fill(0.0);
+                    mm_nn(&a, &b, m, k, n, &mut out);
+                    black_box(out[0])
+                })
+            })
+        });
+    }
+    // Same blocked kernel at the host's full width, for multi-core hosts.
+    let width = pool::max_threads();
+    if width > 1 {
+        group.record_threads(width);
+        let dim = 128usize;
+        let a = filled(dim * dim, &mut rng);
+        let b = filled(dim * dim, &mut rng);
+        let mut out = vec![0.0f32; dim * dim];
+        group.throughput(Throughput::Flops((2 * dim * dim * dim) as u64));
+        group.bench_function(format!("{dim}x{dim}x{dim}/blocked/t{width}"), |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                mm_nn(&a, &b, dim, dim, dim, &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = seeded(11);
+    let mut group = c.benchmark_group("conv1d");
+    group.sample_size(20);
+    let (b, cin, cout, l, k) = (4usize, 16usize, 16usize, 96usize, 3usize);
+    let lout = l + 2 - k + 1;
+    let x = Tensor::from_vec(filled(b * cin * l, &mut rng), &[b, cin, l]).unwrap();
+    let w = Tensor::from_vec(filled(cout * cin * k, &mut rng), &[cout, cin, k]).unwrap();
+    let bias = Tensor::from_vec(filled(cout, &mut rng), &[cout]).unwrap();
+    group.throughput(Throughput::Flops((2 * b * cout * cin * k * lout) as u64));
+    group.record_threads(1);
+    group.bench_function(format!("{b}x{cin}x{l}/k{k}/t1"), |bch| {
+        bch.iter(|| pool::with_threads(1, || black_box(x.conv1d(&w, &bias, 1).to_vec()[0])))
+    });
+    let width = pool::max_threads();
+    if width > 1 {
+        group.record_threads(width);
+        group.bench_function(format!("{b}x{cin}x{l}/k{k}/t{width}"), |bch| {
+            bch.iter(|| black_box(x.conv1d(&w, &bias, 1).to_vec()[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = seeded(13);
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(20);
+    let (batch, seq, d_model, heads) = (4usize, 64usize, 64usize, 4usize);
+    let attn = MultiHeadAttention::new(&mut rng, d_model, heads);
+    let x = Tensor::from_vec(filled(batch * seq * d_model, &mut rng), &[batch, seq, d_model])
+        .unwrap();
+    // Dominant cost: QKV/out projections (4 * 2*B*S*D^2) plus the two
+    // batched head matmuls (2 * 2*B*S^2*D).
+    let flops = (8 * batch * seq * d_model * d_model + 4 * batch * seq * seq * d_model) as u64;
+    group.throughput(Throughput::Flops(flops));
+    group.record_threads(1);
+    group.bench_function(format!("fwd/{batch}x{seq}x{d_model}/h{heads}/t1"), |bch| {
+        bch.iter(|| pool::with_threads(1, || black_box(attn.forward(&x).to_vec()[0])))
+    });
+    let width = pool::max_threads();
+    if width > 1 {
+        group.record_threads(width);
+        group.bench_function(
+            format!("fwd/{batch}x{seq}x{d_model}/h{heads}/t{width}"),
+            |bch| bch.iter(|| black_box(attn.forward(&x).to_vec()[0])),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_attention);
+criterion_main!(benches);

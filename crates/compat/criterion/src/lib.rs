@@ -6,17 +6,81 @@
 //! timed batches, reporting the mean time per iteration. No statistical
 //! analysis, HTML reports or outlier detection — just honest timings that
 //! run anywhere, including this network-isolated build environment.
+//!
+//! # Extensions beyond the upstream API
+//!
+//! * `--save-json <path>` — every measurement is also appended to a
+//!   machine-readable JSON report written when the run finishes (see
+//!   [`finalize`]). This is how the workspace's `BENCH_*.json` perf
+//!   trajectory files are produced.
+//! * a positional argument filters benchmarks by substring match on the
+//!   id (upstream criterion behaves the same way), so CI can run a single
+//!   smoke shape: `cargo bench --bench bench_kernels -- mm_nn/64`.
+//! * [`Throughput::Flops`] — floating-point work per iteration; reported
+//!   as GFLOP/s and carried into the JSON.
+//! * [`BenchmarkGroup::record_threads`] — annotates subsequent records
+//!   with the worker-thread count they ran at, for perf trajectories that
+//!   sweep parallelism.
 
 use std::fmt::{self, Display};
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished measurement, destined for the JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+    threads: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+/// CLI options recognised by the shim.
+#[derive(Debug, Default)]
+struct CliArgs {
+    filter: Option<String>,
+    save_json: Option<String>,
+}
+
+fn cli_args() -> &'static CliArgs {
+    static ARGS: OnceLock<CliArgs> = OnceLock::new();
+    ARGS.get_or_init(|| {
+        let mut parsed = CliArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--save-json" {
+                parsed.save_json = args.next();
+            } else if a.starts_with('-') {
+                // Unknown flags (e.g. the `--bench` cargo appends) are
+                // accepted and ignored, like upstream criterion.
+            } else if parsed.filter.is_none() {
+                parsed.filter = Some(a);
+            }
+        }
+        parsed
+    })
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    &RECORDS
+}
+
+fn matches_filter(id: &str) -> bool {
+    cli_args().filter.as_deref().is_none_or(|f| id.contains(f))
+}
 
 /// Measurement driver passed to bench closures.
 pub struct Bencher {
     iters_hint: u64,
     /// Mean per-iteration time of the last `iter` call.
     last_mean: Option<Duration>,
+    /// Iterations actually timed by the last `iter` call.
+    last_iters: u64,
 }
 
 impl Bencher {
@@ -24,6 +88,7 @@ impl Bencher {
         Bencher {
             iters_hint,
             last_mean: None,
+            last_iters: 0,
         }
     }
 
@@ -41,17 +106,20 @@ impl Bencher {
             iters += 1;
         }
         self.last_mean = Some(total / iters as u32);
+        self.last_iters = iters;
     }
 }
 
-/// Throughput annotation for a benchmark (elements or bytes per
-/// iteration); reported alongside the timing.
+/// Throughput annotation for a benchmark; reported alongside the timing.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     /// Elements processed per iteration.
     Elements(u64),
     /// Bytes processed per iteration.
     Bytes(u64),
+    /// Floating-point operations per iteration (shim extension; reported
+    /// as GFLOP/s).
+    Flops(u64),
 }
 
 /// Identifier of one benchmark within a group.
@@ -82,7 +150,13 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
-fn report(name: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+fn report(
+    name: &str,
+    mean: Option<Duration>,
+    iters: u64,
+    threads: Option<usize>,
+    throughput: Option<Throughput>,
+) {
     let Some(mean) = mean else {
         println!("{name:<40} (no measurement)");
         return;
@@ -94,9 +168,76 @@ fn report(name: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
         Some(Throughput::Bytes(n)) if !mean.is_zero() => {
             format!("  {:>12.1} B/s", n as f64 / mean.as_secs_f64())
         }
+        Some(Throughput::Flops(n)) if !mean.is_zero() => {
+            format!("  {:>9.3} GFLOP/s", n as f64 / mean.as_secs_f64() / 1e9)
+        }
         _ => String::new(),
     };
     println!("{name:<40} {:>12.3?}/iter{rate}", mean);
+    records().lock().unwrap().push(Record {
+        id: name.to_string(),
+        ns_per_iter: mean.as_nanos() as f64,
+        iters,
+        threads,
+        throughput,
+    });
+}
+
+/// JSON string escaping for benchmark ids (quotes and backslashes only —
+/// ids are ASCII identifiers in practice).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the JSON report if `--save-json <path>` was given. Called by
+/// `criterion_main!` after every group has run; safe to call directly.
+pub fn finalize() {
+    let Some(path) = cli_args().save_json.as_deref() else {
+        return;
+    };
+    let recs = records().lock().unwrap();
+    let mut out = String::from("{\n  \"schema\": \"imdiff-bench-v1\",\n  \"benchmarks\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        let mut fields = vec![
+            format!("\"id\": \"{}\"", json_escape(&r.id)),
+            format!("\"ns_per_iter\": {:.1}", r.ns_per_iter),
+            format!("\"iters\": {}", r.iters),
+        ];
+        if let Some(t) = r.threads {
+            fields.push(format!("\"threads\": {t}"));
+        }
+        let secs = r.ns_per_iter / 1e9;
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                fields.push(format!("\"elements_per_iter\": {n}"));
+                if secs > 0.0 {
+                    fields.push(format!("\"elements_per_sec\": {:.1}", n as f64 / secs));
+                }
+            }
+            Some(Throughput::Bytes(n)) => {
+                fields.push(format!("\"bytes_per_iter\": {n}"));
+                if secs > 0.0 {
+                    fields.push(format!("\"bytes_per_sec\": {:.1}", n as f64 / secs));
+                }
+            }
+            Some(Throughput::Flops(n)) => {
+                fields.push(format!("\"flops_per_iter\": {n}"));
+                if secs > 0.0 {
+                    fields.push(format!("\"gflops_per_sec\": {:.4}", n as f64 / secs / 1e9));
+                }
+            }
+            None => {}
+        }
+        out.push_str("    {");
+        out.push_str(&fields.join(", "));
+        out.push('}');
+        out.push_str(if i + 1 < recs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("wrote {} benchmark records to {path}", recs.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }
 
 /// A named group of related benchmarks.
@@ -104,6 +245,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
     _criterion: &'a mut Criterion,
 }
 
@@ -120,14 +262,25 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Annotates subsequent records with the worker-thread count they run
+    /// at (shim extension; lands in the JSON `threads` field).
+    pub fn record_threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Runs one benchmark with an input value.
     pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
+        let full = format!("{}/{}", self.name, id);
+        if !matches_filter(&full) {
+            return self;
+        }
         let mut b = Bencher::new(self.sample_size);
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), b.last_mean, self.throughput);
+        report(&full, b.last_mean, b.last_iters, self.threads, self.throughput);
         self
     }
 
@@ -136,9 +289,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        let full = format!("{}/{}", self.name, id);
+        if !matches_filter(&full) {
+            return self;
+        }
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), b.last_mean, self.throughput);
+        report(&full, b.last_mean, b.last_iters, self.threads, self.throughput);
         self
     }
 
@@ -156,9 +313,12 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if !matches_filter(name) {
+            return self;
+        }
         let mut b = Bencher::new(10);
         f(&mut b);
-        report(name, b.last_mean, None);
+        report(name, b.last_mean, b.last_iters, None, None);
         self
     }
 
@@ -168,11 +328,12 @@ impl Criterion {
             name: name.into(),
             sample_size: 10,
             throughput: None,
+            threads: None,
             _criterion: self,
         }
     }
 
-    /// Compatibility no-op (the real crate parses CLI args here).
+    /// Compatibility no-op (CLI args are parsed lazily by the shim).
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -192,12 +353,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the given groups.
+/// Generates `main` running the given groups, then writing the JSON
+/// report when `--save-json` was requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -211,6 +374,7 @@ mod tests {
         let mut group = c.benchmark_group("grouped");
         group.sample_size(3);
         group.throughput(Throughput::Elements(4));
+        group.record_threads(1);
         group.bench_with_input(BenchmarkId::from_parameter("x"), &4u64, |b, &n| {
             b.iter(|| (0..n).sum::<u64>())
         });
@@ -229,5 +393,21 @@ mod tests {
         let mut b = Bencher::new(5);
         b.iter(|| std::hint::black_box(42));
         assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn records_accumulate_and_json_escapes() {
+        report(
+            "json/\"quoted\"",
+            Some(Duration::from_nanos(1500)),
+            7,
+            Some(2),
+            Some(Throughput::Flops(3000)),
+        );
+        let recs = records().lock().unwrap();
+        let r = recs.iter().find(|r| r.id.starts_with("json/")).unwrap();
+        assert_eq!(r.iters, 7);
+        assert_eq!(r.threads, Some(2));
+        assert_eq!(json_escape(&r.id), "json/\\\"quoted\\\"");
     }
 }

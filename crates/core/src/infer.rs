@@ -2,12 +2,55 @@
 
 use imdiff_data::Mts;
 use imdiff_diffusion::NoiseSchedule;
-use imdiff_nn::rng::{normal_vec, seeded};
+use imdiff_nn::layers::Module;
+use imdiff_nn::pool;
+use imdiff_nn::rng::{normal, seeded};
 use imdiff_nn::{no_grad, Tensor};
+use rand::rngs::StdRng;
 
 use crate::config::{ImDiffusionConfig, TaskMode};
 use crate::model::ImTransformer;
 use crate::trainer::{mask_channel_major, task_masks, window_channel_major};
+
+/// Windows batched per chain task. Fixed — never derived from the thread
+/// count — so the partition of windows into denoising chains (and with it
+/// every f32/f64 accumulation order) is identical at any parallelism.
+const GROUP_WINDOWS: usize = 8;
+
+/// Per-window RNG stream: the seed is mixed with the window index by a
+/// golden-ratio multiply, then expanded through `seed_from_u64`'s
+/// SplitMix64. Each window owns its noise stream, so a window's chain is
+/// reproducible no matter which worker (or group) executes it.
+fn window_rng(seed: u64, wi: usize) -> StdRng {
+    seeded(seed ^ (wi as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Rebuilds the denoiser from a parameter snapshot. `Tensor` is
+/// `Rc`-based (thread-local); workers get their own model built from the
+/// plain-`f32` snapshot, which *is* `Send`.
+fn model_from_snapshot(
+    cfg: &ImDiffusionConfig,
+    k: usize,
+    snapshot: &[Vec<f32>],
+) -> ImTransformer {
+    let model = ImTransformer::new(cfg, k, 0);
+    let params = model.params();
+    assert_eq!(params.len(), snapshot.len(), "snapshot arity mismatch");
+    for (p, s) in params.iter().zip(snapshot) {
+        p.set_data(s);
+    }
+    model
+}
+
+/// Per-group accumulators in window-local, channel-major layout
+/// (`wl * K * W + c * W + t`): squared imputation error and imputed-value
+/// sums per vote step, plus the coverage counters.
+struct GroupAccum {
+    err: Vec<Vec<f64>>,
+    imp: Vec<Vec<f64>>,
+    cnt: Vec<f64>,
+    imp_cnt: Vec<f64>,
+}
 
 /// Per-denoising-step record of the ensemble (one entry per vote step).
 #[derive(Debug, Clone)]
@@ -218,21 +261,18 @@ pub fn ensemble_infer_masked(
     let starts = coverage_starts(len, w, stride);
     let nw = starts.len();
     let cell = k * w;
-    let mut rng = seeded(seed ^ 0x1fe2_77ab);
 
     let reverse_steps = cfg.reverse_steps(); // descending, ends at 1
     let vote_steps = cfg.vote_steps_among(&reverse_steps);
     let n_votes = vote_steps.len();
 
-    // Global accumulators over the full series, per vote step. Error and
-    // imputation coverage are tracked separately: missing cells are
-    // imputed (imp_count > 0) but never scored (count stays 0).
-    let mut err_sum = vec![vec![0.0f64; len * k]; n_votes];
-    let mut imp_sum = vec![vec![0.0f64; len * k]; n_votes];
-    let mut count = vec![0.0f64; len * k];
-    let mut imp_count = vec![0.0f64; len * k];
+    // Mask policies draw from their own stream so window RNG derivation
+    // stays independent of how many masks the task mode samples.
+    let mut mask_rng = seeded(seed ^ 0x1fe2_77ab);
+    let policies = task_masks(cfg, &mut mask_rng, w, k);
+    let policy_masks: Vec<(Vec<f32>, Vec<f32>)> =
+        policies.iter().map(mask_channel_major).collect();
 
-    let policies = task_masks(cfg, &mut rng, w, k);
     let x0_batch: Vec<f32> = starts
         .iter()
         .flat_map(|&s| window_channel_major(&test.slice_time(s, w)))
@@ -252,110 +292,190 @@ pub fn ensemble_infer_masked(
         })
         .collect();
 
-    for (pi, mask) in policies.iter().enumerate() {
-        let (obs, tgt) = mask_channel_major(mask);
-        // Initial noise on the masked region (X_T, Algorithm 1 line 2).
-        let mut x_cur = normal_vec(&mut rng, nw * cell);
-        let steps_vec = vec![0usize; nw]; // placeholder, overwritten per t
-        let policies_vec = vec![pi; nw];
-        let mut steps_buf = steps_vec;
+    // ------------------------------------------------------------------
+    // Window-parallel denoising. Windows are partitioned into fixed-size
+    // groups; each group runs the full reverse chain for every policy as
+    // one self-contained task (its windows batched into one model
+    // forward). Each window draws every noise sample from its own
+    // [`window_rng`] stream, so a group's output depends only on which
+    // windows it holds — and the grouping is fixed — making scores and
+    // votes bit-identical at any thread count.
+    // ------------------------------------------------------------------
+    let n_groups = nw.div_ceil(GROUP_WINDOWS);
+    let run_group = |model: &ImTransformer, g: usize| -> GroupAccum {
+        let gs = g * GROUP_WINDOWS;
+        let ge = ((g + 1) * GROUP_WINDOWS).min(nw);
+        let gw = ge - gs;
+        let gcell = gw * cell;
+        let x0 = &x0_batch[gs * cell..ge * cell];
+        let wmiss = &win_missing[gs..ge];
+        let mut rngs: Vec<StdRng> = (gs..ge).map(|wi| window_rng(seed, wi)).collect();
+        // Draws `cell` variates per window, each from that window's own
+        // stream, in fixed window order.
+        let draw = |rngs: &mut [StdRng]| -> Vec<f32> {
+            let mut buf = vec![0.0f32; gcell];
+            for (wl, r) in rngs.iter_mut().enumerate() {
+                for v in &mut buf[wl * cell..(wl + 1) * cell] {
+                    *v = normal(r);
+                }
+            }
+            buf
+        };
+        let mut acc = GroupAccum {
+            err: vec![vec![0.0f64; gcell]; n_votes],
+            imp: vec![vec![0.0f64; gcell]; n_votes],
+            cnt: vec![0.0f64; gcell],
+            imp_cnt: vec![0.0f64; gcell],
+        };
 
-        for (step_idx, &t) in reverse_steps.iter().enumerate() {
-            let t_prev = reverse_steps.get(step_idx + 1).copied().unwrap_or(0);
-            // Fresh forward noise for the observed region (ε_t^{M1}).
-            let eps_ref = normal_vec(&mut rng, nw * cell);
-            let mut x_val = vec![0.0f32; nw * cell];
-            let mut x_ref = vec![0.0f32; nw * cell];
-            let sab = schedule.sqrt_alpha_bar(t);
-            let somab = schedule.sqrt_one_minus_alpha_bar(t);
-            for (wi, wm) in win_missing.iter().enumerate() {
-                let base = wi * cell;
-                for j in 0..cell {
-                    // Missing cells are imputation targets under every
-                    // policy: the model must never condition on their
-                    // placeholder values.
-                    let (o, g) = if wm[j] { (0.0, 1.0) } else { (obs[j], tgt[j]) };
-                    if cfg.unconditional {
-                        // Observed cells follow their known forward
-                        // trajectory (ground truth + sampled noise); masked
-                        // cells carry the reverse-chain iterate. The noise
-                        // reference ε_t^{M1} is what makes the observed
-                        // part decodable (§4.1).
-                        let xt_obs = sab * x0_batch[base + j] + somab * eps_ref[base + j];
-                        x_val[base + j] = x_cur[base + j] * g + xt_obs * o;
-                        x_ref[base + j] = eps_ref[base + j] * o;
-                    } else {
-                        x_val[base + j] = x_cur[base + j] * g;
-                        x_ref[base + j] = x0_batch[base + j] * o;
+        for (pi, (obs, tgt)) in policy_masks.iter().enumerate() {
+            // Initial noise on the masked region (X_T, Algorithm 1 line 2).
+            let mut x_cur = draw(&mut rngs);
+            let policies_vec = vec![pi; gw];
+            let mut steps_buf = vec![0usize; gw];
+
+            for (step_idx, &t) in reverse_steps.iter().enumerate() {
+                let t_prev = reverse_steps.get(step_idx + 1).copied().unwrap_or(0);
+                // Fresh forward noise for the observed region (ε_t^{M1}).
+                let eps_ref = draw(&mut rngs);
+                let mut x_val = vec![0.0f32; gcell];
+                let mut x_ref = vec![0.0f32; gcell];
+                let sab = schedule.sqrt_alpha_bar(t);
+                let somab = schedule.sqrt_one_minus_alpha_bar(t);
+                for (wl, wm) in wmiss.iter().enumerate() {
+                    let base = wl * cell;
+                    for j in 0..cell {
+                        // Missing cells are imputation targets under every
+                        // policy: the model must never condition on their
+                        // placeholder values.
+                        let (o, gt) = if wm[j] { (0.0, 1.0) } else { (obs[j], tgt[j]) };
+                        if cfg.unconditional {
+                            // Observed cells follow their known forward
+                            // trajectory (ground truth + sampled noise);
+                            // masked cells carry the reverse-chain iterate.
+                            // The noise reference ε_t^{M1} is what makes the
+                            // observed part decodable (§4.1).
+                            let xt_obs = sab * x0[base + j] + somab * eps_ref[base + j];
+                            x_val[base + j] = x_cur[base + j] * gt + xt_obs * o;
+                            x_ref[base + j] = eps_ref[base + j] * o;
+                        } else {
+                            x_val[base + j] = x_cur[base + j] * gt;
+                            x_ref[base + j] = x0[base + j] * o;
+                        }
                     }
                 }
-            }
-            steps_buf.iter_mut().for_each(|s| *s = t);
-            let x_val_t = Tensor::from_vec(x_val, &[nw, k, w]).expect("x_val shape");
-            let x_ref_t = Tensor::from_vec(x_ref, &[nw, k, w]).expect("x_ref shape");
-            let eps_hat =
-                no_grad(|| model.forward(&x_val_t, &x_ref_t, &steps_buf, &policies_vec));
+                steps_buf.iter_mut().for_each(|s| *s = t);
+                let x_val_t = Tensor::from_vec(x_val, &[gw, k, w]).expect("x_val shape");
+                let x_ref_t = Tensor::from_vec(x_ref, &[gw, k, w]).expect("x_ref shape");
+                let eps_hat =
+                    no_grad(|| model.forward(&x_val_t, &x_ref_t, &steps_buf, &policies_vec));
 
-            // Reverse transition (Algorithm 1 line 6 / Eq. 9) through the
-            // clamped-x̂0 parameterization: the x̂0 estimate is clipped to
-            // the (normalized) data range every step so imperfect noise
-            // predictions cannot compound into divergence — the standard
-            // DDPM sampling stabilizer.
-            let (clamp_lo, clamp_hi) = cfg.x0_clamp;
-            let mut x0_hat = {
-                let eps_hat_d = eps_hat.data();
-                schedule.predict_x0(&x_cur, &eps_hat_d, t)
-            };
-            for v in &mut x0_hat {
-                *v = v.clamp(clamp_lo, clamp_hi);
-            }
-            let x_prev = if cfg.ddim_steps.is_some() {
-                // Deterministic DDIM jump to the next visited step.
-                if t_prev == 0 {
-                    x0_hat.clone()
-                } else {
-                    schedule.ddim_step(&x_cur, &x0_hat, t, t_prev)
+                // Reverse transition (Algorithm 1 line 6 / Eq. 9) through
+                // the clamped-x̂0 parameterization: the x̂0 estimate is
+                // clipped to the (normalized) data range every step so
+                // imperfect noise predictions cannot compound into
+                // divergence — the standard DDPM sampling stabilizer.
+                let (clamp_lo, clamp_hi) = cfg.x0_clamp;
+                let mut x0_hat = {
+                    let eps_hat_d = eps_hat.data();
+                    schedule.predict_x0(&x_cur, &eps_hat_d, t)
+                };
+                for v in &mut x0_hat {
+                    *v = v.clamp(clamp_lo, clamp_hi);
                 }
-            } else {
-                let z = normal_vec(&mut rng, nw * cell);
-                schedule.p_step_from_x0(&x_cur, &x0_hat, t, &z)
-            };
+                let x_prev = if cfg.ddim_steps.is_some() {
+                    // Deterministic DDIM jump to the next visited step.
+                    if t_prev == 0 {
+                        x0_hat.clone()
+                    } else {
+                        schedule.ddim_step(&x_cur, &x0_hat, t, t_prev)
+                    }
+                } else {
+                    let z = draw(&mut rngs);
+                    schedule.p_step_from_x0(&x_cur, &x0_hat, t, &z)
+                };
 
-            if let Some(vi) = vote_steps.iter().position(|&vs| vs == t) {
-                // Record the prediction error E_t on the masked region
-                // (Algorithm 1 line 7). The prediction read out at step t is
-                // the deterministic x̂_0 implied by ε̂ — the same information
-                // as X_{t-1} but without the freshly injected sampling
-                // noise, which keeps the error signal low-variance.
-                for (wi, &start) in starts.iter().enumerate() {
-                    let base = wi * cell;
-                    let wm = &win_missing[wi];
-                    for c in 0..k {
-                        for tl in 0..w {
-                            let j = c * w + tl;
+                if let Some(vi) = vote_steps.iter().position(|&vs| vs == t) {
+                    // Record the prediction error E_t on the masked region
+                    // (Algorithm 1 line 7). The prediction read out at step
+                    // t is the deterministic x̂_0 implied by ε̂ — the same
+                    // information as X_{t-1} but without the freshly
+                    // injected sampling noise, which keeps the error signal
+                    // low-variance.
+                    for (wl, wm) in wmiss.iter().enumerate() {
+                        let base = wl * cell;
+                        for j in 0..cell {
                             let miss = wm[j];
                             if miss || tgt[j] == 1.0 {
-                                let global = (start + tl) * k + c;
-                                let pred = x0_hat[base + j] as f64;
-                                imp_sum[vi][global] += pred;
+                                let lj = base + j;
+                                let pred = x0_hat[lj] as f64;
+                                acc.imp[vi][lj] += pred;
                                 if vi == 0 {
-                                    imp_count[global] += 1.0;
+                                    acc.imp_cnt[lj] += 1.0;
                                 }
                                 // Missing cells have no ground truth: they
                                 // are imputed but never scored.
                                 if !miss {
-                                    let truth = x0_batch[base + j] as f64;
-                                    err_sum[vi][global] += (truth - pred) * (truth - pred);
+                                    let truth = x0[lj] as f64;
+                                    acc.err[vi][lj] += (truth - pred) * (truth - pred);
                                     if vi == 0 {
-                                        count[global] += 1.0;
+                                        acc.cnt[lj] += 1.0;
                                     }
                                 }
                             }
                         }
                     }
                 }
+                x_cur = x_prev;
             }
-            x_cur = x_prev;
+        }
+        acc
+    };
+
+    // Run the groups: in parallel chunks when the pool has width to spend
+    // (each worker rebuilds the model from a plain-f32 snapshot, since
+    // tensors are thread-local), serially on the caller's model otherwise.
+    // Chunking only changes which worker runs a group, never its result.
+    let width = pool::max_threads().min(n_groups);
+    let group_outs: Vec<GroupAccum> = if width > 1 {
+        let snapshot: Vec<Vec<f32>> = model.params().iter().map(|p| p.to_vec()).collect();
+        let chunk = n_groups.div_ceil(width);
+        let per_chunk = pool::parallel_map(width, 1, |ci| {
+            let local = model_from_snapshot(cfg, k, &snapshot);
+            (ci * chunk..((ci + 1) * chunk).min(n_groups))
+                .map(|g| run_group(&local, g))
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    } else {
+        (0..n_groups).map(|g| run_group(model, g)).collect()
+    };
+
+    // Merge group accumulators into the global per-step sums, in fixed
+    // group order (overlapping tail windows make this order-sensitive in
+    // the last f64 bit). Error and imputation coverage are tracked
+    // separately: missing cells are imputed (imp_count > 0) but never
+    // scored (count stays 0).
+    let mut err_sum = vec![vec![0.0f64; len * k]; n_votes];
+    let mut imp_sum = vec![vec![0.0f64; len * k]; n_votes];
+    let mut count = vec![0.0f64; len * k];
+    let mut imp_count = vec![0.0f64; len * k];
+    for (g, acc) in group_outs.iter().enumerate() {
+        let gs = g * GROUP_WINDOWS;
+        for (wl, &start) in starts[gs..].iter().take(GROUP_WINDOWS).enumerate() {
+            let base = wl * cell;
+            for c in 0..k {
+                for tl in 0..w {
+                    let lj = base + c * w + tl;
+                    let global = (start + tl) * k + c;
+                    for vi in 0..n_votes {
+                        err_sum[vi][global] += acc.err[vi][lj];
+                        imp_sum[vi][global] += acc.imp[vi][lj];
+                    }
+                    count[global] += acc.cnt[lj];
+                    imp_count[global] += acc.imp_cnt[lj];
+                }
+            }
         }
     }
 

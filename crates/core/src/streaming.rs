@@ -37,6 +37,7 @@ use std::collections::VecDeque;
 
 use imdiff_data::{DetectorError, Mts};
 use imdiff_metrics::{pot_threshold, threshold_at_percentile};
+use imdiff_nn::pool;
 
 use crate::detector::ImDiffusionDetector;
 
@@ -416,10 +417,24 @@ impl StreamingMonitor {
 
         // Skip inference outright when the window is mostly holes — an
         // imputation model conditioned on almost nothing hallucinates.
+        // Production-path pool width: one worker per inference window
+        // (threads = min(cores, windows)), so a monitor sharing its host
+        // with the ingestion pipeline never fans out wider than the work
+        // it actually has. The rolling buffer is one detector window deep
+        // today, which pins evaluation to a single core — deliberately
+        // conservative; the serial kernel speedups still apply, and any
+        // future multi-window buffer parallelises automatically.
+        let inference_windows = self
+            .window
+            .div_ceil(self.detector.config().window.max(1))
+            .max(1);
+        let pool_width = pool::max_threads().min(inference_windows);
         let attempt = if (n_missing as f64)
             <= MAX_MISSING_FRACTION * (self.window * self.channels) as f64
         {
-            match self.detector.detect_with_missing(&window_mts, Some(&miss_flat)) {
+            match pool::with_threads(pool_width, || {
+                self.detector.detect_with_missing(&window_mts, Some(&miss_flat))
+            }) {
                 Ok(d) if d.scores.iter().all(|s| s.is_finite()) => Some(d),
                 Ok(_) => {
                     self.last_degraded_reason =

@@ -40,6 +40,7 @@ pub mod init;
 pub mod layers;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 pub mod serialize;
 mod shape;

@@ -1,5 +1,6 @@
 //! 1-D convolution over `[batch, channels, length]` tensors.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -25,31 +26,35 @@ impl Tensor {
 
         let mut out = vec![0.0f32; b * cout * lout];
         {
-            let x = self.data();
-            let w = weight.data();
-            let bv = bias.data();
-            for bi in 0..b {
-                for co in 0..cout {
-                    let out_base = (bi * cout + co) * lout;
-                    out[out_base..out_base + lout].fill(bv[co]);
+            let x_ref = self.data();
+            let w_ref = weight.data();
+            let bv_ref = bias.data();
+            let (x, w, bv): (&[f32], &[f32], &[f32]) = (&x_ref, &w_ref, &bv_ref);
+            // One work unit per (batch, output-channel) pair — the
+            // pool splits output channels across workers; the dense inner
+            // loop keeps IEEE special values (no zero-weight skip).
+            let flops_per_unit = 2 * cin * k * lout;
+            let grain = (1usize << 19).div_ceil(flops_per_unit.max(1)).max(1);
+            pool::parallel_slices_mut(&mut out, lout, grain, |u0, run| {
+                for (off, orow) in run.chunks_mut(lout).enumerate() {
+                    let unit = u0 + off;
+                    let (bi, co) = (unit / cout, unit % cout);
+                    orow.fill(bv[co]);
                     for ci in 0..cin {
                         let x_base = (bi * cin + ci) * l;
                         let w_base = (co * cin + ci) * k;
                         for kk in 0..k {
                             let wv = w[w_base + kk];
-                            if wv == 0.0 {
-                                continue;
-                            }
                             // out[lo] += x[lo + kk - pad] * wv for valid range.
                             let lo_start = pad.saturating_sub(kk);
                             let lo_end = lout.min(l + pad - kk);
-                            for lo in lo_start..lo_end {
-                                out[out_base + lo] += x[x_base + lo + kk - pad] * wv;
+                            for (lo, o) in orow[lo_start..lo_end].iter_mut().enumerate() {
+                                *o += x[x_base + lo_start + lo + kk - pad] * wv;
                             }
                         }
                     }
                 }
-            }
+            });
         }
 
         Tensor::from_op(

@@ -1,62 +1,142 @@
-//! (Batched) matrix multiplication.
+//! (Batched) matrix multiplication on cache-blocked, register-tiled
+//! kernels.
+//!
+//! All three kernel shapes (`NN`, `NT`, `TN`) reduce to one blocked
+//! `C += A @ B` kernel: the transposed operand is *packed* — transposed
+//! into a row-major panel — once per call, so the inner loops always
+//! stream both operands with unit stride. The inner kernel processes
+//! [`MR`] rows of `A` against a [`KC`]-deep panel of `B`, amortising each
+//! load of a `B` row across `MR` output rows; there is **no** zero-skip
+//! branch, so IEEE special values propagate exactly (`0.0 * NaN = NaN`).
+//!
+//! Large calls are split across the worker pool by output rows (or by
+//! batch for batched operands). Every output element is always computed
+//! by exactly one worker with the same loop order, so results are
+//! bit-identical at any thread count.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-/// `out[m,n] (+)= a[m,k] @ b[k,n]` with optional accumulation.
-pub(crate) fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// Depth of the `k`-panel kept hot in cache between row tiles.
+const KC: usize = 256;
+/// Rows of `A` processed together by the register tile.
+const MR: usize = 4;
+/// Minimum FLOPs handed to one worker before splitting is worthwhile
+/// (spawning a scoped thread costs tens of microseconds).
+const MIN_PAR_FLOPS: usize = 1 << 19;
+
+/// Row-grain (in units of one output row) that keeps each worker above
+/// [`MIN_PAR_FLOPS`].
+fn row_grain(k: usize, n: usize) -> usize {
+    MIN_PAR_FLOPS
+        .div_ceil((2 * k * n).max(1))
+        .max(MR)
+}
+
+/// Serial blocked kernel: `out[m,n] += a[m,k] @ b[k,n]`.
+///
+/// Loop order is fixed (`k`-panel → row tile → panel row → column), so a
+/// given output element sees the same addition order no matter how the
+/// caller shards rows across workers.
+fn mm_nn_block(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let mut i = 0;
+        // Register tile: MR rows of A share every loaded row of B.
+        while i + MR <= m {
+            let rows = &mut out[i * n..(i + MR) * n];
+            let (o0, rest) = rows.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for p in 0..kb {
+                let brow = &b[(k0 + p) * n..(k0 + p) * n + n];
+                let a0 = a[i * k + k0 + p];
+                let a1 = a[(i + 1) * k + k0 + p];
+                let a2 = a[(i + 2) * k + k0 + p];
+                let a3 = a[(i + 3) * k + k0 + p];
+                for (j, &bv) in brow.iter().enumerate() {
+                    o0[j] += a0 * bv;
+                    o1[j] += a1 * bv;
+                    o2[j] += a2 * bv;
+                    o3[j] += a3 * bv;
+                }
             }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            i += MR;
         }
+        // Remainder rows: same (panel row → column) order as the tile.
+        while i < m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for p in 0..kb {
+                let brow = &b[(k0 + p) * n..(k0 + p) * n + n];
+                let av = a[i * k + k0 + p];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+            i += 1;
+        }
+        k0 += kb;
     }
 }
 
-/// `out[m,n] += a[m,k] @ b[n,k]^T`.
-pub(crate) fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// Packs `src` (`rows × cols`, row-major) into its transpose
+/// (`cols × rows`, row-major), tiled for cache-friendly strides.
+pub fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    debug_assert_eq!(src.len(), rows * cols);
+    const TILE: usize = 32;
+    let mut dst = vec![0.0f32; src.len()];
+    let mut r0 = 0;
+    while r0 < rows {
+        let rb = TILE.min(rows - r0);
+        let mut c0 = 0;
+        while c0 < cols {
+            let cb = TILE.min(cols - c0);
+            for r in r0..r0 + rb {
+                for c in c0..c0 + cb {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 += cb;
+        }
+        r0 += TILE;
+    }
+    dst
+}
+
+/// `out[m,n] += a[m,k] @ b[k,n]`, split across the worker pool by output
+/// rows. IEEE-faithful: every `a` element multiplies every `b` element it
+/// mathematically touches, so NaN/inf in either operand propagate.
+pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    pool::parallel_slices_mut(out, n, row_grain(k, n), |r0, rows| {
+        let mrows = rows.len() / n;
+        mm_nn_block(&a[r0 * k..(r0 + mrows) * k], b, mrows, k, n, rows);
+    });
+}
+
+/// `out[m,n] += a[m,k] @ b[n,k]^T`: packs `b`'s transpose once, then runs
+/// the blocked `NN` kernel.
+pub fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            out[i * n + j] += acc;
-        }
-    }
+    let bt = pack_transpose(b, n, k); // [k, n]
+    mm_nn(a, &bt, m, k, n, out);
 }
 
-/// `out[k,n] += a[m,k]^T @ b[m,n]`.
-pub(crate) fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// `out[k,n] += a[m,k]^T @ b[m,n]`: packs `a`'s transpose once, then runs
+/// the blocked `NN` kernel.
+pub fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let b_row = &b[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    let at = pack_transpose(a, m, k); // [k, m]
+    mm_nn(&at, b, k, m, n, out);
 }
 
 impl Tensor {
@@ -66,6 +146,11 @@ impl Tensor {
     /// * `[m, k] @ [k, n] -> [m, n]`
     /// * `[B.., m, k] @ [k, n] -> [B.., m, n]` (shared right operand)
     /// * `[B.., m, k] @ [B.., k, n] -> [B.., m, n]` (matching batches)
+    ///
+    /// A shared right operand folds the batch into the row dimension (one
+    /// big row-parallel GEMM); matching batches are split across the
+    /// worker pool per batch (this is how attention heads parallelise —
+    /// the head axis lives in the batch dimension).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (ad, bd) = (self.dims(), other.dims());
         assert!(
@@ -83,7 +168,6 @@ impl Tensor {
             other.shape()
         );
         let a_batch: usize = ad[..ad.len() - 2].iter().product();
-        let b_batch: usize = bd[..bd.len() - 2].iter().product();
         let shared_rhs = bd.len() == 2;
         assert!(
             shared_rhs || ad[..ad.len() - 2] == bd[..bd.len() - 2],
@@ -91,7 +175,6 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let _ = b_batch;
 
         let mut out_dims: Vec<usize> = ad[..ad.len() - 2].to_vec();
         out_dims.push(m);
@@ -99,16 +182,32 @@ impl Tensor {
         let out_shape = Shape::new(&out_dims);
         let mut out = vec![0.0f32; out_shape.numel()];
         {
-            let da = self.data();
-            let db = other.data();
-            for bi in 0..a_batch {
-                let a_sl = &da[bi * m * k..(bi + 1) * m * k];
-                let b_sl = if shared_rhs {
-                    &db[..]
-                } else {
-                    &db[bi * k * n..(bi + 1) * k * n]
-                };
-                mm_nn(a_sl, b_sl, m, k, n, &mut out[bi * m * n..(bi + 1) * m * n]);
+            let da_ref = self.data();
+            let db_ref = other.data();
+            // Plain slices: the RefCell guards are not Sync, but the
+            // borrowed data is, and the guards outlive the scoped workers.
+            let (da, db): (&[f32], &[f32]) = (&da_ref, &db_ref);
+            if shared_rhs {
+                // The batch folds into the row dimension: one GEMM,
+                // row-parallel.
+                mm_nn(da, db, a_batch * m, k, n, &mut out);
+            } else {
+                // Matching batches: shard per batch; each batch runs the
+                // serial blocked kernel on its own output block.
+                let grain = MIN_PAR_FLOPS.div_ceil((2 * m * k * n).max(1)).max(1);
+                pool::parallel_slices_mut(&mut out, m * n, grain, |b0, blocks| {
+                    for (off, ob) in blocks.chunks_mut(m * n).enumerate() {
+                        let bi = b0 + off;
+                        mm_nn_block(
+                            &da[bi * m * k..(bi + 1) * m * k],
+                            &db[bi * k * n..(bi + 1) * k * n],
+                            m,
+                            k,
+                            n,
+                            ob,
+                        );
+                    }
+                });
             }
         }
 
@@ -121,25 +220,49 @@ impl Tensor {
                 let mut ga = vec![0.0f32; pa.numel()];
                 let mut gb = vec![0.0f32; pb.numel()];
                 {
-                    let da = pa.data();
-                    let db = pb.data();
-                    for bi in 0..a_batch {
-                        let g_sl = &gout[bi * m * n..(bi + 1) * m * n];
-                        let a_sl = &da[bi * m * k..(bi + 1) * m * k];
-                        let b_sl = if shared_rhs {
-                            &db[..]
-                        } else {
-                            &db[bi * k * n..(bi + 1) * k * n]
-                        };
-                        // dA = dC @ B^T
-                        mm_nt(g_sl, b_sl, m, n, k, &mut ga[bi * m * k..(bi + 1) * m * k]);
-                        // dB (+)= A^T @ dC
-                        let gb_sl = if shared_rhs {
-                            &mut gb[..]
-                        } else {
-                            &mut gb[bi * k * n..(bi + 1) * k * n]
-                        };
-                        mm_tn(a_sl, g_sl, m, k, n, gb_sl);
+                    let da_ref = pa.data();
+                    let db_ref = pb.data();
+                    let (da, db): (&[f32], &[f32]) = (&da_ref, &db_ref);
+                    if shared_rhs {
+                        // dA = dC @ B^T over the folded batch·m rows: pack
+                        // the shared panel B^T once for the whole call.
+                        mm_nt(gout, db, a_batch * m, n, k, &mut ga);
+                        // dB = A^T @ dC accumulated over every batch; the
+                        // fold makes it one [k, batch·m] @ [batch·m, n].
+                        mm_tn(da, gout, a_batch * m, k, n, &mut gb);
+                    } else {
+                        let grain =
+                            MIN_PAR_FLOPS.div_ceil((2 * m * k * n).max(1)).max(1);
+                        pool::parallel_slices_mut(&mut ga, m * k, grain, |b0, blocks| {
+                            for (off, gab) in blocks.chunks_mut(m * k).enumerate() {
+                                let bi = b0 + off;
+                                let bt =
+                                    pack_transpose(&db[bi * k * n..(bi + 1) * k * n], k, n);
+                                mm_nn_block(
+                                    &gout[bi * m * n..(bi + 1) * m * n],
+                                    &bt,
+                                    m,
+                                    n,
+                                    k,
+                                    gab,
+                                );
+                            }
+                        });
+                        pool::parallel_slices_mut(&mut gb, k * n, grain, |b0, blocks| {
+                            for (off, gbb) in blocks.chunks_mut(k * n).enumerate() {
+                                let bi = b0 + off;
+                                let at =
+                                    pack_transpose(&da[bi * m * k..(bi + 1) * m * k], m, k);
+                                mm_nn_block(
+                                    &at,
+                                    &gout[bi * m * n..(bi + 1) * m * n],
+                                    k,
+                                    m,
+                                    n,
+                                    gbb,
+                                );
+                            }
+                        });
                     }
                 }
                 pa.accumulate_grad(&ga);
@@ -153,6 +276,7 @@ impl Tensor {
 mod tests {
     use super::*;
     use crate::backward;
+    use crate::pool::with_threads;
 
     fn param(v: &[f32], dims: &[usize]) -> Tensor {
         Tensor::param_from_vec(v.to_vec(), dims).unwrap()
@@ -210,5 +334,93 @@ mod tests {
         let a = param(&[0.0; 6], &[2, 3]);
         let b = param(&[0.0; 4], &[2, 2]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // Regression: the old kernel skipped a-elements equal to 0.0,
+        // silently dropping NaN/inf contributions from b. IEEE requires
+        // 0.0 * NaN = NaN and 0.0 * inf = NaN.
+        let a = param(&[0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let b = param(&[f32::NAN, 1.0, 3.0, 4.0], &[2, 2]);
+        let c = a.matmul(&b).to_vec();
+        // Row 0 multiplies the NaN by 0.0 — must stay NaN, not 0.
+        assert!(c[0].is_nan(), "0*NaN swallowed: {:?}", c);
+        assert!(c[2].is_nan());
+        assert_eq!(c[3], 1.0 * 1.0 + 2.0 * 4.0);
+
+        let binf = param(&[f32::INFINITY, 1.0, 3.0, 4.0], &[2, 2]);
+        let cinf = a.matmul(&binf).to_vec();
+        assert!(cinf[0].is_nan(), "0*inf swallowed: {:?}", cinf);
+    }
+
+    #[test]
+    fn nan_propagates_through_backward_kernels() {
+        // mm_nt / mm_tn (the packed backward kernels) must be equally
+        // IEEE-faithful: zero gradient rows cannot swallow NaN operands.
+        let mut out = [0.0f32; 4];
+        mm_nt(&[0.0, 0.0], &[f32::NAN, 1.0, 2.0, 3.0], 1, 2, 2, &mut out[..2]);
+        assert!(out[0].is_nan());
+        let mut out2 = [0.0f32; 4];
+        mm_tn(&[0.0, 0.0], &[f32::NAN, 1.0], 1, 2, 2, &mut out2);
+        assert!(out2[0].is_nan() && out2[2].is_nan());
+    }
+
+    #[test]
+    fn pack_transpose_round_trips() {
+        let src: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let t = pack_transpose(&src, 3, 4);
+        assert_eq!(t.len(), 12);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(t[c * 3 + r], src[r * 4 + c]);
+            }
+        }
+        assert_eq!(pack_transpose(&t, 4, 3), src);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_on_odd_shapes() {
+        // Shapes chosen to exercise the KC remainder, the MR remainder
+        // and both at once.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 3, 7), (9, 300, 11), (4, 256, 8)] {
+            let a: Vec<f32> = (0..m * k).map(|v| ((v % 13) as f32) - 6.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|v| ((v % 7) as f32) * 0.5 - 1.5).collect();
+            let mut reference = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[i * k + p] * b[p * n + j];
+                    }
+                    reference[i * n + j] = acc;
+                }
+            }
+            let mut got = vec![0.0f32; m * n];
+            mm_nn(&a, &b, m, k, n, &mut got);
+            for (g, r) in got.iter().zip(&reference) {
+                assert!((g - r).abs() <= 1e-3 * r.abs().max(1.0), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_bit_identical_across_thread_counts() {
+        let (m, k, n) = (37, 65, 29);
+        let a: Vec<f32> = (0..m * k).map(|v| (v as f32).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v as f32).cos()).collect();
+        let reference = with_threads(1, || {
+            let mut o = vec![0.0f32; m * n];
+            mm_nn(&a, &b, m, k, n, &mut o);
+            o
+        });
+        for t in [2usize, 3, 8] {
+            let got = with_threads(t, || {
+                let mut o = vec![0.0f32; m * n];
+                mm_nn(&a, &b, m, k, n, &mut o);
+                o
+            });
+            assert_eq!(got, reference, "threads={t}");
+        }
     }
 }

@@ -15,3 +15,4 @@ mod reduce;
 mod shape_ops;
 
 pub use loss::{bce_with_logits, kl_standard_normal, masked_mse, mse};
+pub use matmul::{mm_nn, mm_nt, mm_tn, pack_transpose};

@@ -1,0 +1,271 @@
+//! Scoped worker pool: the workspace's only source of data parallelism.
+//!
+//! Built on `std::thread::scope` alone (the workspace builds `--offline`;
+//! no rayon). Every parallel primitive here partitions its work into
+//! contiguous runs that are **independent of the thread count**: a worker
+//! only changes *which* runs it executes, never how a run is computed or
+//! in what order per-element arithmetic happens inside one run. Combined
+//! with deterministic merges at the call sites, this is what makes every
+//! result in the workspace bit-identical at 1, 2 or N threads.
+//!
+//! # Thread-count resolution
+//!
+//! [`max_threads`] resolves, in priority order:
+//!
+//! 1. a scoped override installed by [`with_threads`] (used by tests and
+//!    by callers that know their own width, e.g. the streaming monitor),
+//! 2. the `IMDIFF_THREADS` environment variable (`0` or unparsable values
+//!    fall through),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Granularity
+//!
+//! Spawning an OS thread costs tens of microseconds, so every primitive
+//! takes a `grain`: the minimum number of work units per worker. Work
+//! smaller than two grains runs inline on the caller's thread — the
+//! single-core and tiny-shape paths never pay a spawn.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 means "no override".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Upper bound on worker threads for the current scope.
+///
+/// Never returns 0. See the module docs for the resolution order.
+pub fn max_threads() -> usize {
+    let ov = THREAD_OVERRIDE.with(|c| c.get());
+    if ov > 0 {
+        return ov;
+    }
+    if let Ok(v) = std::env::var("IMDIFF_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the pool's thread count capped at `n` (min 1).
+///
+/// The override is scoped to the current thread and restored on exit
+/// (including on panic), so nested overrides compose and tests can pin
+/// the width without touching the process environment. Note that worker
+/// threads spawned *inside* `f` do not inherit the override — parallel
+/// primitives resolve their width once, on the calling thread, before
+/// spawning, so this is invisible in practice.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.get());
+    let _restore = Restore(prev);
+    THREAD_OVERRIDE.with(|c| c.set(n.max(1)));
+    f()
+}
+
+/// Splits `0..n` into at most `workers` contiguous ranges of at least
+/// `grain` items each (the last range takes the remainder).
+fn split_ranges(n: usize, grain: usize, workers: usize) -> Vec<Range<usize>> {
+    let grain = grain.max(1);
+    let workers = workers.max(1).min(n.div_ceil(grain)).max(1);
+    let per = n.div_ceil(workers);
+    let mut out = Vec::with_capacity(workers);
+    let mut s = 0;
+    while s < n {
+        let e = (s + per).min(n);
+        out.push(s..e);
+        s = e;
+    }
+    out
+}
+
+/// Parallel for over the index range `0..n`: calls `f` once per contiguous
+/// sub-range, on up to [`max_threads`] workers, with at least `grain`
+/// indices per worker. `f(range)` must only touch state owned by (or
+/// sharded by) its range. Runs inline when one worker suffices.
+pub fn parallel_for<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let budget = max_threads();
+    let ranges = split_ranges(n, grain, budget);
+    if ranges.len() == 1 {
+        f(0..n);
+        return;
+    }
+    // Each worker inherits an equal share of the remaining thread budget,
+    // so nested primitives (e.g. matmul inside a window-parallel chain)
+    // can still fan out when workers outnumber work, but the total never
+    // exceeds the budget.
+    let inner = (budget / ranges.len()).max(1);
+    std::thread::scope(|s| {
+        let f = &f;
+        for r in &ranges[1..] {
+            let r = r.clone();
+            s.spawn(move || with_threads(inner, || f(r)));
+        }
+        with_threads(inner, || f(ranges[0].clone()));
+    });
+}
+
+/// Parallel map over `0..n`: like [`parallel_for`] but each index produces
+/// a value, returned in index order. The per-index closure runs exactly
+/// once per index regardless of thread count.
+pub fn parallel_map<R, F>(n: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let slots = &mut out[..];
+        parallel_slices_mut(slots, 1, grain, |start, run| {
+            for (off, slot) in run.iter_mut().enumerate() {
+                *slot = Some(f(start + off));
+            }
+        });
+    }
+    out.into_iter()
+        .map(|s| s.expect("parallel_map filled every slot"))
+        .collect()
+}
+
+/// Splits `data` — conceptually `data.len() / unit` fixed-size units —
+/// into one contiguous run per worker (aligned to unit boundaries) and
+/// calls `f(first_unit_index, run)` for each run in parallel. `grain` is
+/// the minimum number of units per worker.
+///
+/// This is the mutation-side primitive: matmul shards output rows
+/// (`unit = n`), batched ops shard per-batch blocks (`unit = m * n`),
+/// convolution shards output channels (`unit = l_out`). The runs are
+/// disjoint `&mut` slices, so no synchronisation is needed and the
+/// arithmetic inside each unit is identical at any thread count.
+pub fn parallel_slices_mut<T, F>(data: &mut [T], unit: usize, grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "unit must be positive");
+    debug_assert_eq!(data.len() % unit, 0, "data not a whole number of units");
+    let units = data.len() / unit;
+    if units == 0 {
+        return;
+    }
+    let budget = max_threads();
+    let ranges = split_ranges(units, grain, budget);
+    if ranges.len() == 1 {
+        f(0, data);
+        return;
+    }
+    let inner = (budget / ranges.len()).max(1);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let mut consumed = 0usize;
+        let mut first = true;
+        let mut head: Option<&mut [T]> = None;
+        for r in &ranges {
+            let len = (r.end - r.start) * unit;
+            let (run, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let start = consumed;
+            consumed += r.end - r.start;
+            if first {
+                head = Some(run);
+                first = false;
+            } else {
+                s.spawn(move || with_threads(inner, || f(start, run)));
+            }
+        }
+        if let Some(run) = head {
+            with_threads(inner, || f(0, run));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = max_threads();
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 3);
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for (n, grain, workers) in [(10, 1, 3), (7, 2, 8), (1, 5, 4), (100, 7, 5)] {
+            let rs = split_ranges(n, grain, workers);
+            assert_eq!(rs[0].start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            for r in &rs[..rs.len() - 1] {
+                assert!(r.end - r.start >= grain.min(n));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            parallel_for(97, 1, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = with_threads(4, || parallel_map(33, 1, |i| i * i));
+        assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_slices_mut_partitions_disjointly() {
+        let mut data = vec![0usize; 12 * 5];
+        with_threads(4, || {
+            parallel_slices_mut(&mut data, 5, 1, |start, run| {
+                for (off, v) in run.iter_mut().enumerate() {
+                    *v = (start * 5 + off) + 1;
+                }
+            });
+        });
+        assert_eq!(data, (1..=60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let reference: Vec<usize> = (0..50).map(|i| i * 3 + 1).collect();
+        for t in [1, 2, 5, 16] {
+            let got = with_threads(t, || parallel_map(50, 2, |i| i * 3 + 1));
+            assert_eq!(got, reference, "threads={t}");
+        }
+    }
+}

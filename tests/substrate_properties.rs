@@ -1,5 +1,6 @@
 //! Property-based tests on the substrates: autodiff gradients, diffusion
-//! schedule identities and masking invariants.
+//! schedule identities, masking invariants, and bit-exact determinism of
+//! the parallel compute substrate across thread counts.
 
 use imdiffusion_repro::data::mask::MaskStrategy;
 use imdiffusion_repro::diffusion::{BetaSchedule, NoiseSchedule};
@@ -109,5 +110,137 @@ proptest! {
         let pv = ns.posterior_variance(t);
         prop_assert!(pv > 0.0);
         prop_assert!(pv <= ns.beta(t) + 1e-9);
+    }
+}
+
+/// Bit-exact determinism of the worker pool: every kernel and the full
+/// ensemble-inference pipeline must produce identical bits at 1, 2 and N
+/// threads. The pool partitions work into runs whose internal arithmetic
+/// order never depends on the thread count; these tests are the contract
+/// that keeps that property from regressing.
+mod thread_determinism {
+    use imdiffusion_repro::core::{ImDiffusionConfig, ImDiffusionDetector};
+    use imdiffusion_repro::data::synthetic::{generate, Benchmark, SizeProfile};
+    use imdiffusion_repro::data::Detector;
+    use imdiffusion_repro::nn::layers::MultiHeadAttention;
+    use imdiffusion_repro::nn::{backward, pool, rng::seeded, Tensor};
+    use rand::Rng;
+
+    const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+    fn filled(len: usize, rng: &mut impl Rng) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Runs `f` once per thread count and asserts every run reproduces the
+    /// first run's bit patterns exactly.
+    fn assert_invariant(label: &str, f: impl Fn() -> Vec<Vec<f32>>) {
+        let reference: Vec<Vec<u32>> = pool::with_threads(THREAD_COUNTS[0], &f)
+            .iter()
+            .map(|v| bits(v))
+            .collect();
+        for &t in &THREAD_COUNTS[1..] {
+            let got: Vec<Vec<u32>> = pool::with_threads(t, &f).iter().map(|v| bits(v)).collect();
+            assert_eq!(got, reference, "{label}: bits differ at {t} threads");
+        }
+    }
+
+    #[test]
+    fn matmul_forward_backward_thread_invariant() {
+        let mut rng = seeded(41);
+        // Batched lhs with a shared rhs, the transformer's hot shape; odd
+        // dims to exercise the blocked kernel's remainder paths.
+        let a_data = filled(3 * 17 * 29, &mut rng);
+        let b_data = filled(29 * 13, &mut rng);
+        assert_invariant("matmul", || {
+            let a = Tensor::param_from_vec(a_data.clone(), &[3, 17, 29]).unwrap();
+            let b = Tensor::param_from_vec(b_data.clone(), &[29, 13]).unwrap();
+            let y = a.matmul(&b);
+            backward(&y.square().sum_all());
+            vec![y.to_vec(), a.grad().unwrap(), b.grad().unwrap()]
+        });
+    }
+
+    #[test]
+    fn conv_forward_backward_thread_invariant() {
+        let mut rng = seeded(43);
+        let x_data = filled(2 * 6 * 31, &mut rng);
+        let w_data = filled(8 * 6 * 3, &mut rng);
+        let b_data = filled(8, &mut rng);
+        assert_invariant("conv1d", || {
+            let x = Tensor::param_from_vec(x_data.clone(), &[2, 6, 31]).unwrap();
+            let w = Tensor::param_from_vec(w_data.clone(), &[8, 6, 3]).unwrap();
+            let b = Tensor::param_from_vec(b_data.clone(), &[8]).unwrap();
+            let y = x.conv1d(&w, &b, 1);
+            backward(&y.square().sum_all());
+            vec![y.to_vec(), x.grad().unwrap(), w.grad().unwrap(), b.grad().unwrap()]
+        });
+    }
+
+    #[test]
+    fn attention_forward_backward_thread_invariant() {
+        let mut rng = seeded(47);
+        let x_data = filled(2 * 12 * 16, &mut rng);
+        assert_invariant("attention", || {
+            let attn = MultiHeadAttention::new(&mut seeded(5), 16, 4);
+            let x = Tensor::param_from_vec(x_data.clone(), &[2, 12, 16]).unwrap();
+            let y = attn.forward(&x);
+            backward(&y.square().sum_all());
+            vec![y.to_vec(), x.grad().unwrap()]
+        });
+    }
+
+    /// One fitted detector, detection run at 1/2/4 threads: identical
+    /// scores (bit-for-bit) and identical verdicts.
+    #[test]
+    fn ensemble_inference_thread_invariant() {
+        let size = SizeProfile {
+            train_len: 160,
+            test_len: 64,
+        };
+        let ds = generate(Benchmark::Gcp, &size, 3);
+        let cfg = ImDiffusionConfig {
+            train_steps: 8,
+            ddim_steps: Some(4),
+            ..ImDiffusionConfig::quick()
+        };
+        let mut det = ImDiffusionDetector::new(cfg, 9);
+        pool::with_threads(1, || det.fit(&ds.train).expect("fit"));
+
+        let reference = pool::with_threads(1, || det.detect(&ds.test).expect("detect"));
+        let ref_bits: Vec<u64> = reference.scores.iter().map(|s| s.to_bits()).collect();
+        for t in [2usize, 4] {
+            let got = pool::with_threads(t, || det.detect(&ds.test).expect("detect"));
+            let got_bits: Vec<u64> = got.scores.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(got_bits, ref_bits, "scores differ at {t} threads");
+            assert_eq!(got.labels, reference.labels, "labels differ at {t} threads");
+        }
+    }
+
+    /// `IMDIFF_THREADS=1` and an unset variable resolve to different pool
+    /// widths yet must agree bit-for-bit, because every result is
+    /// thread-count invariant by construction. (Mutating the process
+    /// environment is safe here precisely because no outcome in this
+    /// binary depends on the resolved width.)
+    #[test]
+    fn env_override_does_not_change_results() {
+        let mut rng = seeded(53);
+        let a = filled(5 * 23, &mut rng);
+        let b = filled(23 * 19, &mut rng);
+        let run = || {
+            let at = Tensor::from_vec(a.clone(), &[5, 23]).unwrap();
+            let bt = Tensor::from_vec(b.clone(), &[23, 19]).unwrap();
+            at.matmul(&bt).to_vec()
+        };
+        std::env::remove_var("IMDIFF_THREADS");
+        let unset = bits(&run());
+        std::env::set_var("IMDIFF_THREADS", "1");
+        let pinned = bits(&run());
+        std::env::remove_var("IMDIFF_THREADS");
+        assert_eq!(pinned, unset);
     }
 }
