@@ -25,7 +25,7 @@ fn bench_training(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                train(&model, &cfg, &schedule, &ds.train, seed)
+                train(&model, &cfg, &schedule, &ds.train, seed).expect("train step")
             });
         });
     }

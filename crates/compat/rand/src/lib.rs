@@ -25,6 +25,25 @@ pub mod rngs {
 use rngs::StdRng;
 
 impl StdRng {
+    /// Exports the full 256-bit generator state, so a consumer can
+    /// checkpoint its exact stream position and later resume it with
+    /// [`StdRng::from_state`] (the training-resume path).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position previously
+    /// exported by [`StdRng::state`]. An all-zero state (never produced
+    /// by a healthy generator) is nudged like [`SeedableRng::from_seed`].
+    pub fn from_state(state: [u64; 4]) -> Self {
+        if state == [0; 4] {
+            return StdRng {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            };
+        }
+        StdRng { s: state }
+    }
+
     fn next_raw(&mut self) -> u64 {
         // xoshiro256++ (Blackman & Vigna, public domain reference).
         let s = &mut self.s;
@@ -278,6 +297,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..37 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -84,6 +84,43 @@ pub struct ImDiffusionConfig {
     pub ddim_steps: Option<usize>,
 }
 
+/// Thresholds and policy for the training divergence sentinels — the
+/// training-side counterpart of the streaming fault model. A sentinel
+/// trip rolls the trainer back to its last good checkpoint, scales the
+/// learning rate down by [`SentinelConfig::lr_backoff`], and records a
+/// [`crate::TrainIncident`]; the poisoned update never reaches the
+/// optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelConfig {
+    /// Trip the explosion sentinel when the pre-clip gradient norm
+    /// exceeds this multiple of its running median.
+    pub grad_factor: f32,
+    /// Number of recent pre-clip norms the running median is taken over.
+    pub grad_median_window: usize,
+    /// Steps of norm history required before the explosion sentinel arms
+    /// (early training has volatile norms and no meaningful median).
+    pub grad_warmup: usize,
+    /// Maximum *consecutive* rollback-and-retry attempts (the counter
+    /// re-arms whenever a finite update lands). Exhausting the budget is
+    /// the loss-plateau-at-NaN condition: training aborts with a typed
+    /// error instead of looping forever.
+    pub max_retries: u32,
+    /// Multiplier applied to the learning-rate scale on every rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            grad_factor: 16.0,
+            grad_median_window: 64,
+            grad_warmup: 8,
+            max_retries: 4,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 impl ImDiffusionConfig {
     /// The paper's Table 1 hyper-parameters.
     pub fn paper() -> Self {

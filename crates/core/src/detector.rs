@@ -6,7 +6,7 @@ use imdiff_diffusion::NoiseSchedule;
 use crate::config::ImDiffusionConfig;
 use crate::infer::{ensemble_infer_masked, EnsembleOutput};
 use crate::model::ImTransformer;
-use crate::trainer::{train, TrainReport};
+use crate::trainer::{Trainer, TrainerOptions, TrainReport};
 
 /// ImDiffusion as a [`Detector`]: min-max normalization fitted on training
 /// data, a trained [`ImTransformer`] diffusion denoiser, and ensemble
@@ -95,6 +95,74 @@ impl ImDiffusionDetector {
         self.fitted.is_some()
     }
 
+    /// [`Detector::fit`] driven by a configurable [`Trainer`]: with a
+    /// [`TrainerOptions::checkpoint_path`], training state is persisted
+    /// periodically and — when the path already holds an `IMTS` file from
+    /// an interrupted run — resumed from it, producing the same fitted
+    /// model as an uninterrupted fit. A crash loses at most one
+    /// checkpoint interval of work.
+    pub fn fit_resumable(
+        &mut self,
+        train_data: &Mts,
+        opts: TrainerOptions,
+    ) -> Result<(), DetectorError> {
+        self.fit_with(train_data, &Trainer::new(opts))
+    }
+
+    fn fit_with(
+        &mut self,
+        train_data: &Mts,
+        trainer: &Trainer,
+    ) -> Result<(), DetectorError> {
+        if train_data.len() < self.cfg.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "need at least {} steps, got {}",
+                self.cfg.window,
+                train_data.len()
+            )));
+        }
+        if train_data.dim() == 0 {
+            return Err(DetectorError::InvalidTrainingData(
+                "zero-dimensional series".into(),
+            ));
+        }
+        // Finiteness boundary: a NaN/∞ in training data would silently
+        // corrupt the normalizer statistics and every gradient after it.
+        for l in 0..train_data.len() {
+            for c in 0..train_data.dim() {
+                if !train_data.get(l, c).is_finite() {
+                    return Err(DetectorError::NonFiniteInput {
+                        index: l,
+                        channel: c,
+                    });
+                }
+            }
+        }
+        let normalizer = Normalizer::fit(train_data, NormMethod::MinMax);
+        let train_n = normalizer.transform(train_data);
+        let model = ImTransformer::new(&self.cfg, train_n.dim(), self.seed);
+        let schedule = NoiseSchedule::new(self.cfg.schedule, self.cfg.diffusion_steps);
+        let seed = self.seed ^ 0xA5A5;
+        let resume = trainer
+            .options()
+            .checkpoint_path
+            .as_ref()
+            .is_some_and(|p| p.exists());
+        let report = if resume {
+            trainer.resume(&model, &self.cfg, &schedule, &train_n, seed)?
+        } else {
+            trainer.run(&model, &self.cfg, &schedule, &train_n, seed)?
+        };
+        self.last_report = Some(report);
+        self.fitted = Some(Fitted {
+            model,
+            schedule,
+            normalizer,
+            channels: train_n.dim(),
+        });
+        Ok(())
+    }
+
     /// [`Detector::detect`] with an explicit missing-cell mask (row-major
     /// `[L, K]`, `true` = value absent/unreliable). Missing cells are
     /// imputed natively by the diffusion model — they are forced to be
@@ -164,43 +232,7 @@ impl Detector for ImDiffusionDetector {
     }
 
     fn fit(&mut self, train_data: &Mts) -> Result<(), DetectorError> {
-        if train_data.len() < self.cfg.window {
-            return Err(DetectorError::InvalidTrainingData(format!(
-                "need at least {} steps, got {}",
-                self.cfg.window,
-                train_data.len()
-            )));
-        }
-        if train_data.dim() == 0 {
-            return Err(DetectorError::InvalidTrainingData(
-                "zero-dimensional series".into(),
-            ));
-        }
-        // Finiteness boundary: a NaN/∞ in training data would silently
-        // corrupt the normalizer statistics and every gradient after it.
-        for l in 0..train_data.len() {
-            for c in 0..train_data.dim() {
-                if !train_data.get(l, c).is_finite() {
-                    return Err(DetectorError::NonFiniteInput {
-                        index: l,
-                        channel: c,
-                    });
-                }
-            }
-        }
-        let normalizer = Normalizer::fit(train_data, NormMethod::MinMax);
-        let train_n = normalizer.transform(train_data);
-        let model = ImTransformer::new(&self.cfg, train_n.dim(), self.seed);
-        let schedule = NoiseSchedule::new(self.cfg.schedule, self.cfg.diffusion_steps);
-        let report = train(&model, &self.cfg, &schedule, &train_n, self.seed ^ 0xA5A5);
-        self.last_report = Some(report);
-        self.fitted = Some(Fitted {
-            model,
-            schedule,
-            normalizer,
-            channels: train_n.dim(),
-        });
-        Ok(())
+        self.fit_with(train_data, &Trainer::default())
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {

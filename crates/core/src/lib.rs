@@ -47,14 +47,17 @@ mod streaming;
 mod trainer;
 
 pub use ablation::AblationVariant;
-pub use config::{ImDiffusionConfig, TaskMode};
+pub use config::{ImDiffusionConfig, SentinelConfig, TaskMode};
 pub use detector::ImDiffusionDetector;
 pub use infer::{ensemble_infer_masked, EnsembleOutput, StepTrace};
 pub use model::ImTransformer;
 pub use streaming::{
     HealthState, MonitorHealth, PointVerdict, StreamingMonitor, ThresholdMode,
 };
-pub use trainer::{train, TrainReport};
+pub use trainer::{
+    train, train_resume, IncidentKind, TrainIncident, TrainReport, Trainer,
+    TrainerOptions,
+};
 
 /// Test-only re-export of the raw inference entry point (used by the
 /// diagnostic probes in the bench crate).

@@ -12,20 +12,39 @@
 //! sidecar file, so a restarted serving process resumes mid-stream and
 //! produces byte-identical subsequent verdicts (inference is reseeded per
 //! call, so the buffered window fully determines the output).
+//!
+//! Both artifacts are written atomically (temp file + rename) and carry a
+//! CRC32 of the payload since format v2, so a mid-write crash or bit rot
+//! surfaces as [`DetectorError::CorruptCheckpoint`] — never as silently
+//! altered weights or monitor state. Version-1 files (pre-CRC) still load.
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 use imdiff_data::DetectorError;
 use imdiff_nn::layers::Module;
-use imdiff_nn::serialize::{load_params_into, save_params};
-use imdiff_nn::Tensor;
+use imdiff_nn::serialize::{atomic_write, crc32, load_params_into, save_params};
+use imdiff_nn::{NnError, Tensor};
 
 use crate::detector::ImDiffusionDetector;
-use crate::streaming::{ChannelStats, HealthState, StreamingMonitor, ThresholdMode};
+use crate::streaming::{
+    ChannelStats, HealthState, StreamingMonitor, ThresholdMode, HISTORY_CAP,
+};
+
+/// Maps an [`NnError`] from the weight-file layer onto the detector error
+/// taxonomy: I/O stays I/O, damage stays damage, and everything else is an
+/// architecture/config mismatch.
+fn map_nn(e: NnError) -> DetectorError {
+    match e {
+        NnError::Io(msg) => DetectorError::Io(msg),
+        NnError::Corrupt(msg) => DetectorError::CorruptCheckpoint(msg),
+        other => DetectorError::InvalidTrainingData(format!("checkpoint mismatch: {other}")),
+    }
+}
 
 impl ImDiffusionDetector {
-    /// Saves the fitted model and normalizer to `path`.
+    /// Saves the fitted model and normalizer to `path` (IMDF v2: CRC32
+    /// integrity header, atomic write).
     ///
     /// Returns [`DetectorError::NotFitted`] when called before
     /// [`Detector::fit`].
@@ -37,16 +56,17 @@ impl ImDiffusionDetector {
         let (offset, scale) = normalizer_vectors(normalizer);
         params.push(Tensor::from_vec(offset.clone(), &[offset.len()]).expect("offset"));
         params.push(Tensor::from_vec(scale.clone(), &[scale.len()]).expect("scale"));
-        save_params(path, &params).map_err(|e| {
-            DetectorError::InvalidTrainingData(format!("cannot write checkpoint: {e}"))
-        })
+        save_params(path, &params)
+            .map_err(|e| DetectorError::Io(format!("cannot write checkpoint: {e}")))
     }
 
     /// Restores a detector from a checkpoint written by [`Self::save`].
     ///
     /// `cfg` and `seed` must match the saving detector's configuration
     /// (the architecture is rebuilt from them); `channels` is the channel
-    /// count of the training data. Shape mismatches surface as errors.
+    /// count of the training data. Shape mismatches surface as
+    /// [`DetectorError::InvalidTrainingData`], damaged files as
+    /// [`DetectorError::CorruptCheckpoint`].
     pub fn load(
         cfg: crate::ImDiffusionConfig,
         seed: u64,
@@ -63,9 +83,7 @@ impl ImDiffusionDetector {
         let scale = Tensor::ones(&[channels]);
         params.push(offset.clone());
         params.push(scale.clone());
-        load_params_into(path, &params).map_err(|e| {
-            DetectorError::InvalidTrainingData(format!("checkpoint mismatch: {e}"))
-        })?;
+        load_params_into(path, &params).map_err(map_nn)?;
         det.set_normalizer_vectors(&offset.to_vec(), &scale.to_vec());
         Ok(det)
     }
@@ -81,7 +99,7 @@ fn normalizer_vectors(norm: &imdiff_data::Normalizer) -> (Vec<f32>, Vec<f32>) {
 // ---------------------------------------------------------------------------
 
 const STREAM_MAGIC: &[u8; 4] = b"IMSM";
-const STREAM_VERSION: u32 = 1;
+const STREAM_VERSION: u32 = 2;
 
 /// The sidecar path holding streaming state for a detector checkpoint at
 /// `path` (`<path>.stream`).
@@ -91,20 +109,28 @@ fn stream_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-fn werr(e: std::io::Error) -> DetectorError {
-    DetectorError::InvalidTrainingData(format!("cannot write stream checkpoint: {e}"))
-}
-
-struct Reader<'a> {
+/// Little-endian cursor over a checkpoint byte buffer. Shared by the
+/// stream-state reader here and the training-state reader in `trainer.rs`;
+/// running off the end is a corruption, not a panic.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DetectorError> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// The unread remainder (for whole-payload CRC checks).
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DetectorError> {
         if self.pos + n > self.buf.len() {
-            return Err(DetectorError::InvalidTrainingData(
-                "truncated stream checkpoint".into(),
+            return Err(DetectorError::CorruptCheckpoint(
+                "truncated checkpoint".into(),
             ));
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -112,38 +138,33 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DetectorError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DetectorError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, DetectorError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DetectorError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, DetectorError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DetectorError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f32(&mut self) -> Result<f32, DetectorError> {
+    pub(crate) fn f32(&mut self) -> Result<f32, DetectorError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Result<f64, DetectorError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, DetectorError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
 impl StreamingMonitor {
-    /// Checkpoints the monitor: model weights + normalizer at `path`
-    /// (readable by [`ImDiffusionDetector::load`]) and the complete
-    /// streaming state — buffer, missing flags, histories, health state,
-    /// counters, thresholds — at `<path>.stream`.
-    pub fn checkpoint(&self, path: &Path) -> Result<(), DetectorError> {
-        self.detector.save(path)?;
-
+    /// Serializes the streaming state (everything after the format
+    /// header) — the v2 payload, identical to the v1 body so old readers'
+    /// field layout is preserved.
+    fn encode_stream_payload(&self) -> Vec<u8> {
         let mut b: Vec<u8> = Vec::new();
-        b.extend_from_slice(STREAM_MAGIC);
-        b.extend_from_slice(&STREAM_VERSION.to_le_bytes());
         b.extend_from_slice(&(self.window as u32).to_le_bytes());
         b.extend_from_slice(&(self.hop as u32).to_le_bytes());
         b.extend_from_slice(&(self.channels as u32).to_le_bytes());
@@ -213,8 +234,25 @@ impl StreamingMonitor {
             b.extend_from_slice(&st.mean.to_le_bytes());
             b.extend_from_slice(&st.m2.to_le_bytes());
         }
+        b
+    }
 
-        std::fs::write(stream_path(path), b).map_err(werr)
+    /// Checkpoints the monitor: model weights + normalizer at `path`
+    /// (readable by [`ImDiffusionDetector::load`]) and the complete
+    /// streaming state — buffer, missing flags, histories, health state,
+    /// counters, thresholds — at `<path>.stream` (IMSM v2: CRC32 header,
+    /// atomic write).
+    pub fn checkpoint(&self, path: &Path) -> Result<(), DetectorError> {
+        self.detector.save(path)?;
+
+        let payload = self.encode_stream_payload();
+        let mut b: Vec<u8> = Vec::with_capacity(payload.len() + 12);
+        b.extend_from_slice(STREAM_MAGIC);
+        b.extend_from_slice(&STREAM_VERSION.to_le_bytes());
+        b.extend_from_slice(&crc32(&payload).to_le_bytes());
+        b.extend_from_slice(&payload);
+        atomic_write(&stream_path(path), &b)
+            .map_err(|e| DetectorError::Io(format!("cannot write stream checkpoint: {e}")))
     }
 
     /// Restores a monitor from a checkpoint written by
@@ -222,31 +260,40 @@ impl StreamingMonitor {
     /// detector (as for [`ImDiffusionDetector::load`]); everything else —
     /// channel count, hop, buffer, histories, health, counters — comes
     /// from the checkpoint. Subsequent verdicts are identical to the ones
-    /// the saved monitor would have produced.
+    /// the saved monitor would have produced. Reads both v2 (CRC-checked)
+    /// and legacy v1 sidecars.
     pub fn restore(
         cfg: crate::ImDiffusionConfig,
         seed: u64,
         path: &Path,
     ) -> Result<StreamingMonitor, DetectorError> {
         let bytes = std::fs::read(stream_path(path)).map_err(|e| {
-            DetectorError::InvalidTrainingData(format!(
-                "cannot read stream checkpoint: {e}"
-            ))
+            DetectorError::Io(format!("cannot read stream checkpoint: {e}"))
         })?;
-        let mut r = Reader {
-            buf: &bytes,
-            pos: 0,
-        };
+        let mut r = Reader::new(&bytes);
         if r.take(4)? != STREAM_MAGIC {
-            return Err(DetectorError::InvalidTrainingData(
+            return Err(DetectorError::CorruptCheckpoint(
                 "not an IMSM stream checkpoint".into(),
             ));
         }
         let version = r.u32()?;
-        if version != STREAM_VERSION {
-            return Err(DetectorError::InvalidTrainingData(format!(
-                "unsupported stream checkpoint version {version}"
-            )));
+        match version {
+            1 => {}
+            2 => {
+                let stored = r.u32()?;
+                let actual = crc32(r.rest());
+                if stored != actual {
+                    return Err(DetectorError::CorruptCheckpoint(format!(
+                        "stream checkpoint CRC mismatch: header {stored:#010x}, \
+                         payload {actual:#010x}"
+                    )));
+                }
+            }
+            v => {
+                return Err(DetectorError::CorruptCheckpoint(format!(
+                    "unsupported stream checkpoint version {v}"
+                )))
+            }
         }
         let window = r.u32()? as usize;
         let hop = r.u32()? as usize;
@@ -264,7 +311,7 @@ impl StreamingMonitor {
             }
             1 => ThresholdMode::PotDynamic { risk: r.f64()? },
             t => {
-                return Err(DetectorError::InvalidTrainingData(format!(
+                return Err(DetectorError::CorruptCheckpoint(format!(
                     "unknown threshold mode tag {t}"
                 )))
             }
@@ -276,7 +323,7 @@ impl StreamingMonitor {
             1 => HealthState::Degraded,
             2 => HealthState::Warming,
             t => {
-                return Err(DetectorError::InvalidTrainingData(format!(
+                return Err(DetectorError::CorruptCheckpoint(format!(
                     "unknown health state tag {t}"
                 )))
             }
@@ -297,13 +344,13 @@ impl StreamingMonitor {
         };
         let reason_len = r.u32()? as usize;
         let reason = String::from_utf8(r.take(reason_len)?.to_vec()).map_err(|_| {
-            DetectorError::InvalidTrainingData("corrupt degraded-reason string".into())
+            DetectorError::CorruptCheckpoint("corrupt degraded-reason string".into())
         })?;
         let last_degraded_reason = (!reason.is_empty()).then_some(reason);
 
         let n_rows = r.u32()? as usize;
         if n_rows > window {
-            return Err(DetectorError::InvalidTrainingData(format!(
+            return Err(DetectorError::CorruptCheckpoint(format!(
                 "checkpoint buffer has {n_rows} rows, window is {window}"
             )));
         }
@@ -322,12 +369,12 @@ impl StreamingMonitor {
             missing.push_back(miss);
         }
         let n_err = r.u32()? as usize;
-        let mut error_history = VecDeque::with_capacity(HISTORY_LIMIT);
+        let mut error_history = VecDeque::with_capacity(HISTORY_CAP);
         for _ in 0..n_err {
             error_history.push_back(r.f64()?);
         }
         let n_fb = r.u32()? as usize;
-        let mut fallback_history = VecDeque::with_capacity(HISTORY_LIMIT);
+        let mut fallback_history = VecDeque::with_capacity(HISTORY_CAP);
         for _ in 0..n_fb {
             fallback_history.push_back(r.f64()?);
         }
@@ -365,11 +412,6 @@ impl StreamingMonitor {
         Ok(monitor)
     }
 }
-
-/// Cap used when pre-sizing restored history buffers (matches the
-/// streaming module's history cap; an over-long checkpoint is still
-/// accepted — the rolling logic trims it on the next push).
-const HISTORY_LIMIT: usize = 4096;
 
 /// A `fit`-free smoke check used in tests: a checkpoint roundtrip must
 /// reproduce identical detections.
@@ -487,24 +529,62 @@ mod tests {
     }
 
     #[test]
+    fn v1_stream_sidecars_still_restore() {
+        use crate::streaming::StreamingMonitor;
+
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 48,
+            },
+            7,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 7);
+        det.fit(&ds.train).unwrap();
+        let k = ds.train.dim();
+        let mut monitor = StreamingMonitor::new(det, k, 8).unwrap();
+        for l in 0..24 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        let path = tmp("v1-monitor.ckpt");
+        monitor.checkpoint(&path).unwrap();
+
+        // Rewrite the sidecar in the legacy v1 layout: magic + version,
+        // no CRC, same payload.
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(STREAM_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&monitor.encode_stream_payload());
+        std::fs::write(stream_path(&path), v1).unwrap();
+
+        let mut restored = StreamingMonitor::restore(tiny_cfg(), 7, &path).unwrap();
+        assert_eq!(restored.seen(), monitor.seen());
+        for l in 24..ds.test.len() {
+            let a = monitor.push(ds.test.row(l)).unwrap();
+            let b = restored.push(ds.test.row(l)).unwrap();
+            assert_eq!(a, b, "diverged at row {l}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(stream_path(&path)).ok();
+    }
+
+    #[test]
     fn monitor_restore_rejects_missing_or_garbage_state() {
         use crate::streaming::StreamingMonitor;
 
         let path = tmp("missing-monitor.ckpt");
         assert!(matches!(
             StreamingMonitor::restore(tiny_cfg(), 5, &path),
-            Err(DetectorError::InvalidTrainingData(_))
+            Err(DetectorError::Io(_))
         ));
-        let stream = {
-            let mut os = path.as_os_str().to_owned();
-            os.push(".stream");
-            std::path::PathBuf::from(os)
-        };
+        let stream = stream_path(&path);
         std::fs::write(&stream, b"garbage").unwrap();
         let err = match StreamingMonitor::restore(tiny_cfg(), 5, &path) {
             Ok(_) => panic!("garbage stream state must not restore"),
             Err(e) => e,
         };
+        assert!(matches!(err, DetectorError::CorruptCheckpoint(_)));
         assert!(err.to_string().contains("stream checkpoint"));
         std::fs::remove_file(&stream).ok();
     }

@@ -41,8 +41,10 @@ use imdiff_nn::pool;
 
 use crate::detector::ImDiffusionDetector;
 
-/// Maximum error-history length kept for dynamic thresholding.
-const HISTORY_CAP: usize = 4096;
+/// Maximum error-history length kept for dynamic thresholding. Shared
+/// with the checkpoint reader in `persist.rs` so the restore pre-sizing
+/// can never drift from the live rolling cap.
+pub(crate) const HISTORY_CAP: usize = 4096;
 
 /// Minimum healthy-score history before the z-score fallback trusts its
 /// own calibrated threshold.

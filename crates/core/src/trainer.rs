@@ -1,24 +1,92 @@
-//! The ImDiffusion training loop (§4.3, Fig. 4, Eq. 11).
+//! The ImDiffusion training loop (§4.3, Fig. 4, Eq. 11), hardened for
+//! production runs: step checkpoints, crash-safe resume, and divergence
+//! sentinels.
+//!
+//! [`Trainer`] wraps the DDPM objective loop with three guarantees:
+//!
+//! 1. **Resumability** — every [`TrainerOptions::checkpoint_every`] steps
+//!    the complete training state (model parameters, Adam moments and step
+//!    count, exact RNG stream position, loss curve, sentinel state) is
+//!    snapshotted, and optionally persisted to an `IMTS` file. A run
+//!    interrupted at any point and resumed via [`Trainer::resume`]
+//!    produces **bit-identical** final weights and loss curve to an
+//!    uninterrupted run with the same options.
+//! 2. **Divergence sentinels** — a non-finite loss, a pre-clip gradient
+//!    norm far above its running median, or non-finite gradients trip a
+//!    sentinel *before* the poisoned update reaches [`Adam::step`]. The
+//!    trainer rolls back to the last good snapshot, scales the learning
+//!    rate down, re-derives the RNG stream (so the doomed batch
+//!    composition is not replayed verbatim) and retries, recording the
+//!    event in [`TrainReport::incidents`]. Retries are bounded; a loss
+//!    pinned at NaN through the whole budget aborts with a typed error.
+//! 3. **Determinism** — every recovery action is a pure function of the
+//!    snapshot state and the retry index, so the sentinel machinery never
+//!    breaks run-to-run or interrupt-resume reproducibility.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 
 use imdiff_data::mask::{Mask, MaskStrategy};
-use imdiff_data::Mts;
+use imdiff_data::{DetectorError, Mts};
 use imdiff_diffusion::NoiseSchedule;
 use imdiff_nn::layers::Module;
 use imdiff_nn::ops::masked_mse;
-use imdiff_nn::optim::{Adam, Optimizer};
+use imdiff_nn::optim::{Adam, AdamState, Optimizer};
 use imdiff_nn::rng::{normal_vec, seeded};
+use imdiff_nn::serialize::{atomic_write, crc32};
 use imdiff_nn::{backward, Tensor};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::config::{ImDiffusionConfig, TaskMode};
+use crate::config::{ImDiffusionConfig, SentinelConfig, TaskMode};
 use crate::model::ImTransformer;
+use crate::persist::Reader;
+
+const TRAIN_MAGIC: &[u8; 4] = b"IMTS";
+const TRAIN_VERSION: u32 = 1;
+
+/// Why a divergence sentinel tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IncidentKind {
+    /// The training loss was NaN or ±∞ before the backward pass.
+    NonFiniteLoss,
+    /// The pre-clip gradient norm was non-finite or exceeded
+    /// [`SentinelConfig::grad_factor`] times its running median.
+    GradExplosion {
+        /// Pre-clip global gradient norm at the tripping step.
+        norm: f32,
+        /// Running median the norm was compared against.
+        median: f32,
+    },
+    /// The retry budget was exhausted without producing a finite step —
+    /// the loss-plateau-at-NaN condition. Training aborts after logging
+    /// this incident.
+    NanPlateau,
+}
+
+/// One sentinel trip, as recorded in [`TrainReport::incidents`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainIncident {
+    /// Optimizer-step index at which the sentinel tripped.
+    pub step: usize,
+    /// Consecutive-failure count at this trip (1-based; re-arms after
+    /// every successful step).
+    pub retry: u32,
+    /// Learning-rate scale in effect *after* the backoff for this trip.
+    pub lr_scale: f32,
+    /// What tripped.
+    pub kind: IncidentKind,
+}
 
 /// Summary of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Loss after every optimizer step.
     pub losses: Vec<f32>,
+    /// Sentinel trips, in order. Empty for a healthy run.
+    pub incidents: Vec<TrainIncident>,
+    /// Step the run was resumed from, when it continued a checkpoint.
+    pub resumed_at: Option<usize>,
 }
 
 impl TrainReport {
@@ -30,6 +98,606 @@ impl TrainReport {
         let tail = &self.losses[self.losses.len() - (self.losses.len() / 4).max(1)..];
         tail.iter().sum::<f32>() / tail.len() as f32
     }
+}
+
+/// Options governing checkpointing, interruption and sentinels.
+#[derive(Debug, Clone)]
+pub struct TrainerOptions {
+    /// Snapshot (and, with a path, persist) the training state every this
+    /// many optimizer steps. Also the rollback anchor cadence; `0`
+    /// disables both and sentinels roll back to the run start.
+    pub checkpoint_every: usize,
+    /// Where to persist the `IMTS` training-state file. `None` keeps
+    /// snapshots in memory only (rollback still works; resume does not).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Halt cleanly before executing this (0-based, global) step index —
+    /// the cooperative-shutdown hook, and the crash simulator in the
+    /// resume-equivalence tests.
+    pub stop_after: Option<usize>,
+    /// Divergence-sentinel thresholds and retry policy.
+    pub sentinel: SentinelConfig,
+}
+
+impl Default for TrainerOptions {
+    fn default() -> Self {
+        TrainerOptions {
+            checkpoint_every: 32,
+            checkpoint_path: None,
+            stop_after: None,
+            sentinel: SentinelConfig::default(),
+        }
+    }
+}
+
+/// The resilient training driver. See the module docs for the guarantees.
+#[derive(Debug, Clone, Default)]
+pub struct Trainer {
+    opts: TrainerOptions,
+}
+
+/// Mutable per-run state outside the model/optimizer.
+struct LiveState {
+    rng: StdRng,
+    lr_scale: f32,
+    /// Consecutive sentinel failures (re-armed by any finite update) —
+    /// the abort budget.
+    retries: u32,
+    /// Total sentinel trips over the whole run — monotonic, never reset.
+    /// Keys the RNG fork on rollback: a strictly increasing trip index
+    /// guarantees every retry explores a fresh batch stream, so a
+    /// (succeed-then-fail) cycle inside one checkpoint interval cannot
+    /// replay itself forever.
+    trips: u64,
+    losses: Vec<f32>,
+    grad_norms: VecDeque<f32>,
+    incidents: Vec<TrainIncident>,
+}
+
+/// A complete copy of the training state at one step boundary — the
+/// rollback anchor, and the payload of the on-disk `IMTS` checkpoint.
+struct Snapshot {
+    step: usize,
+    rng_state: [u64; 4],
+    lr_scale: f32,
+    retries: u32,
+    trips: u64,
+    params: Vec<Vec<f32>>,
+    adam: AdamState,
+    losses: Vec<f32>,
+    grad_norms: Vec<f32>,
+}
+
+impl Snapshot {
+    fn capture(step: usize, params: &[Tensor], opt: &Adam, st: &LiveState) -> Self {
+        Snapshot {
+            step,
+            rng_state: st.rng.state(),
+            lr_scale: st.lr_scale,
+            retries: st.retries,
+            trips: st.trips,
+            params: params.iter().map(|p| p.to_vec()).collect(),
+            adam: opt.export_state(),
+            losses: st.losses.clone(),
+            grad_norms: st.grad_norms.iter().copied().collect(),
+        }
+    }
+}
+
+/// Median of a non-empty slice (deterministic; even counts average the
+/// two middle elements).
+fn median(xs: &VecDeque<f32>) -> f32 {
+    let mut v: Vec<f32> = xs.iter().copied().collect();
+    v.sort_by(f32::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Deterministic re-derivation of the RNG stream after the `trip`-th
+/// sentinel trip of the run, rolling back to the snapshot whose stream
+/// position is `state`. Trip 0 (plain restore) is the exact saved
+/// position; each trip forks a fresh stream so a batch composition that
+/// keeps producing NaN is not replayed verbatim. Keying by the monotonic
+/// run-wide trip count (not the consecutive-retry counter, which re-arms
+/// on success) makes the forks non-repeating: a deterministic
+/// succeed-then-fail cycle inside one checkpoint interval would otherwise
+/// re-derive the same stream forever.
+fn retry_rng(state: [u64; 4], trip: u64) -> StdRng {
+    if trip == 0 {
+        return StdRng::from_state(state);
+    }
+    let h = state[0]
+        ^ state[1].rotate_left(17)
+        ^ state[2].rotate_left(31)
+        ^ state[3].rotate_left(47);
+    seeded(h ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trip))
+}
+
+impl Trainer {
+    /// Creates a trainer with the given options.
+    pub fn new(opts: TrainerOptions) -> Self {
+        Trainer { opts }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &TrainerOptions {
+        &self.opts
+    }
+
+    /// Trains from scratch. See [`train`] for the objective; this adds
+    /// checkpointing and sentinels per the options.
+    pub fn run(
+        &self,
+        model: &ImTransformer,
+        cfg: &ImDiffusionConfig,
+        schedule: &NoiseSchedule,
+        train_data: &Mts,
+        seed: u64,
+    ) -> Result<TrainReport, DetectorError> {
+        self.execute(model, cfg, schedule, train_data, seed, None)
+    }
+
+    /// Continues an interrupted run from the `IMTS` checkpoint at
+    /// [`TrainerOptions::checkpoint_path`]. `model`, `cfg`, `seed` and
+    /// `train_data` must match the original run; the result is then
+    /// bit-identical to never having been interrupted.
+    pub fn resume(
+        &self,
+        model: &ImTransformer,
+        cfg: &ImDiffusionConfig,
+        schedule: &NoiseSchedule,
+        train_data: &Mts,
+        seed: u64,
+    ) -> Result<TrainReport, DetectorError> {
+        let path = self.opts.checkpoint_path.as_deref().ok_or_else(|| {
+            DetectorError::Io("resume requires TrainerOptions::checkpoint_path".into())
+        })?;
+        let snap = read_train_state(path, cfg, train_data.dim())?;
+        self.execute(model, cfg, schedule, train_data, seed, Some(snap))
+    }
+
+    fn execute(
+        &self,
+        model: &ImTransformer,
+        cfg: &ImDiffusionConfig,
+        schedule: &NoiseSchedule,
+        train_data: &Mts,
+        seed: u64,
+        restored: Option<Snapshot>,
+    ) -> Result<TrainReport, DetectorError> {
+        cfg.validate();
+        if train_data.dim() != model.channels() {
+            return Err(DetectorError::DimensionMismatch {
+                expected: model.channels(),
+                actual: train_data.dim(),
+            });
+        }
+        let l = cfg.window;
+        let k = train_data.dim();
+        if train_data.len() < l {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "training series shorter than one window ({} < {l})",
+                train_data.len()
+            )));
+        }
+        let windows: Vec<Vec<f32>> = train_data
+            .windows(l, cfg.train_stride)
+            .iter()
+            .map(window_channel_major)
+            .collect();
+        let mut rng = seeded(seed ^ 0x7241_1e5a);
+        let params = model.params();
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+
+        // Grating masks are deterministic; compute once and reuse. (On
+        // resume this is replayed identically before the RNG position is
+        // overwritten from the checkpoint.)
+        let static_masks = match (cfg.task, cfg.mask) {
+            (TaskMode::Imputation, MaskStrategy::Random { .. }) => None,
+            _ => Some(task_masks(cfg, &mut rng, l, k)),
+        };
+
+        let mut st = LiveState {
+            rng,
+            lr_scale: 1.0,
+            retries: 0,
+            trips: 0,
+            losses: Vec::with_capacity(cfg.train_steps),
+            grad_norms: VecDeque::new(),
+            incidents: Vec::new(),
+        };
+        let mut resumed_at = None;
+        let start_step = match restored {
+            Some(snap) => {
+                restore_into(&snap, &params, &mut opt, &mut st)?;
+                resumed_at = Some(snap.step);
+                snap.step
+            }
+            None => 0,
+        };
+        let mut snap = Snapshot::capture(start_step, &params, &opt, &st);
+
+        let sentinel = self.opts.sentinel.clone();
+        let b = cfg.batch_size;
+        let cell = k * l;
+        let mut step = start_step;
+        while step < cfg.train_steps {
+            if self.opts.stop_after.is_some_and(|stop| step >= stop) {
+                break;
+            }
+            // Cosine decay from lr to lr/10 stabilises the small-batch
+            // regime; the sentinel backoff scales on top.
+            let progress = step as f32 / cfg.train_steps.max(1) as f32;
+            let lr_now = cfg.lr
+                * (0.55 + 0.45 * (std::f32::consts::PI * progress).cos())
+                * st.lr_scale;
+            opt.set_lr(lr_now);
+            let mut x_val = vec![0.0f32; b * cell];
+            let mut x_ref = vec![0.0f32; b * cell];
+            let mut tgt_mask = vec![0.0f32; b * cell];
+            let mut eps_all = vec![0.0f32; b * cell];
+            let mut steps = Vec::with_capacity(b);
+            let mut policies = Vec::with_capacity(b);
+
+            for i in 0..b {
+                let w = &windows[st.rng.gen_range(0..windows.len())];
+                let fresh;
+                let masks: &Vec<Mask> = match &static_masks {
+                    Some(m) => m,
+                    None => {
+                        fresh = task_masks(cfg, &mut st.rng, l, k);
+                        &fresh
+                    }
+                };
+                let p = st.rng.gen_range(0..masks.len());
+                let (obs, tgt) = mask_channel_major(&masks[p]);
+                let t = st.rng.gen_range(1..=cfg.diffusion_steps);
+                let eps = normal_vec(&mut st.rng, cell);
+                let mut xt = vec![0.0f32; cell];
+                schedule.q_sample_into(w, &eps, t, &mut xt);
+                let base = i * cell;
+                for j in 0..cell {
+                    // Unconditional (§4.1): the whole window is corrupted;
+                    // the observed region is visible only in noised form,
+                    // with its ground-truth forward noise ε_t^{M1} as the
+                    // reference that lets the model "subtract the noise" —
+                    // an indirect hint that never reveals raw values.
+                    // Conditional: the observed region is fed clean and
+                    // the masked region noised.
+                    if cfg.unconditional {
+                        x_val[base + j] = xt[j];
+                        x_ref[base + j] = eps[j] * obs[j];
+                    } else {
+                        x_val[base + j] = xt[j] * tgt[j];
+                        x_ref[base + j] = w[j] * obs[j];
+                    }
+                    tgt_mask[base + j] = tgt[j];
+                    eps_all[base + j] = eps[j];
+                }
+                steps.push(t);
+                policies.push(p);
+            }
+
+            let x_val_t = Tensor::from_vec(x_val, &[b, k, l]).expect("x_val shape");
+            let x_ref_t = Tensor::from_vec(x_ref, &[b, k, l]).expect("x_ref shape");
+            let tgt_t = Tensor::from_vec(tgt_mask, &[b, k, l]).expect("mask shape");
+            let eps_t = Tensor::from_vec(eps_all, &[b, k, l]).expect("eps shape");
+
+            let eps_hat = model.forward(&x_val_t, &x_ref_t, &steps, &policies);
+            let loss = masked_mse(&eps_hat, &eps_t, &tgt_t);
+            let loss_val = loss.item();
+            if !loss_val.is_finite() {
+                trip(
+                    IncidentKind::NonFiniteLoss,
+                    step,
+                    &sentinel,
+                    &mut st,
+                    &snap,
+                    &params,
+                    &mut opt,
+                )?;
+                step = snap.step;
+                continue;
+            }
+            backward(&loss);
+            let pre_clip = opt.clip_grad_norm(cfg.grad_clip);
+            let armed = st.grad_norms.len() >= sentinel.grad_warmup.max(1);
+            let med = if st.grad_norms.is_empty() {
+                0.0
+            } else {
+                median(&st.grad_norms)
+            };
+            if !pre_clip.is_finite() || (armed && pre_clip > sentinel.grad_factor * med) {
+                trip(
+                    IncidentKind::GradExplosion {
+                        norm: pre_clip,
+                        median: med,
+                    },
+                    step,
+                    &sentinel,
+                    &mut st,
+                    &snap,
+                    &params,
+                    &mut opt,
+                )?;
+                step = snap.step;
+                continue;
+            }
+            opt.step();
+            opt.zero_grad();
+            st.losses.push(loss_val);
+            // A finite update landed: the divergence was transient, so the
+            // consecutive-failure budget re-arms.
+            st.retries = 0;
+            if st.grad_norms.len() == sentinel.grad_median_window.max(1) {
+                st.grad_norms.pop_front();
+            }
+            st.grad_norms.push_back(pre_clip);
+            step += 1;
+
+            let every = self.opts.checkpoint_every;
+            if every > 0 && step.is_multiple_of(every) && step < cfg.train_steps {
+                snap = Snapshot::capture(step, &params, &opt, &st);
+                if let Some(path) = &self.opts.checkpoint_path {
+                    write_train_state(path, &snap, &st.incidents, cfg, k)?;
+                }
+            }
+        }
+
+        Ok(TrainReport {
+            losses: st.losses,
+            incidents: st.incidents,
+            resumed_at,
+        })
+    }
+}
+
+/// Handles one sentinel trip: log the incident, enforce the retry budget,
+/// back the learning rate off, and roll model/optimizer/RNG back to the
+/// snapshot. Errors with [`DetectorError::Internal`] when the budget is
+/// exhausted (the NaN-plateau abort).
+fn trip(
+    kind: IncidentKind,
+    step: usize,
+    sentinel: &SentinelConfig,
+    st: &mut LiveState,
+    snap: &Snapshot,
+    params: &[Tensor],
+    opt: &mut Adam,
+) -> Result<(), DetectorError> {
+    st.retries += 1;
+    st.trips += 1;
+    st.lr_scale *= sentinel.lr_backoff;
+    st.incidents.push(TrainIncident {
+        step,
+        retry: st.retries,
+        lr_scale: st.lr_scale,
+        kind,
+    });
+    if st.retries > sentinel.max_retries {
+        st.incidents.push(TrainIncident {
+            step,
+            retry: st.retries,
+            lr_scale: st.lr_scale,
+            kind: IncidentKind::NanPlateau,
+        });
+        return Err(DetectorError::Internal(format!(
+            "training diverged at step {step}: {} rollbacks exhausted without a \
+             finite update",
+            sentinel.max_retries
+        )));
+    }
+    for (p, data) in params.iter().zip(&snap.params) {
+        p.set_data(data);
+    }
+    opt.import_state(snap.adam.clone())
+        .expect("snapshot taken from these parameters");
+    opt.zero_grad();
+    st.losses.truncate(snap.losses.len());
+    st.grad_norms = snap.grad_norms.iter().copied().collect();
+    st.rng = retry_rng(snap.rng_state, st.trips);
+    Ok(())
+}
+
+/// Applies a restored snapshot to a freshly constructed model/optimizer.
+fn restore_into(
+    snap: &Snapshot,
+    params: &[Tensor],
+    opt: &mut Adam,
+    st: &mut LiveState,
+) -> Result<(), DetectorError> {
+    if snap.params.len() != params.len()
+        || snap
+            .params
+            .iter()
+            .zip(params)
+            .any(|(s, p)| s.len() != p.numel())
+    {
+        return Err(DetectorError::InvalidTrainingData(
+            "training checkpoint does not match the model architecture".into(),
+        ));
+    }
+    for (p, data) in params.iter().zip(&snap.params) {
+        p.set_data(data);
+    }
+    opt.import_state(snap.adam.clone()).map_err(|e| {
+        DetectorError::InvalidTrainingData(format!("optimizer state mismatch: {e}"))
+    })?;
+    st.rng = StdRng::from_state(snap.rng_state);
+    st.lr_scale = snap.lr_scale;
+    st.retries = snap.retries;
+    st.trips = snap.trips;
+    st.losses = snap.losses.clone();
+    st.grad_norms = snap.grad_norms.iter().copied().collect();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// IMTS on-disk format
+// ---------------------------------------------------------------------------
+
+fn write_train_state(
+    path: &Path,
+    snap: &Snapshot,
+    incidents: &[TrainIncident],
+    cfg: &ImDiffusionConfig,
+    channels: usize,
+) -> Result<(), DetectorError> {
+    let mut p: Vec<u8> = Vec::new();
+    p.extend_from_slice(&(cfg.window as u32).to_le_bytes());
+    p.extend_from_slice(&(channels as u32).to_le_bytes());
+    p.extend_from_slice(&(cfg.train_steps as u64).to_le_bytes());
+    p.extend_from_slice(&(snap.step as u64).to_le_bytes());
+    for w in snap.rng_state {
+        p.extend_from_slice(&w.to_le_bytes());
+    }
+    p.extend_from_slice(&snap.lr_scale.to_le_bytes());
+    p.extend_from_slice(&snap.retries.to_le_bytes());
+    p.extend_from_slice(&snap.trips.to_le_bytes());
+    p.extend_from_slice(&snap.adam.t.to_le_bytes());
+    p.extend_from_slice(&(snap.params.len() as u32).to_le_bytes());
+    for ((w, m), v) in snap.params.iter().zip(&snap.adam.m).zip(&snap.adam.v) {
+        p.extend_from_slice(&(w.len() as u32).to_le_bytes());
+        for &x in w.iter().chain(m).chain(v) {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    p.extend_from_slice(&(snap.losses.len() as u32).to_le_bytes());
+    for &x in &snap.losses {
+        p.extend_from_slice(&x.to_le_bytes());
+    }
+    p.extend_from_slice(&(snap.grad_norms.len() as u32).to_le_bytes());
+    for &x in &snap.grad_norms {
+        p.extend_from_slice(&x.to_le_bytes());
+    }
+    p.extend_from_slice(&(incidents.len() as u32).to_le_bytes());
+    for inc in incidents {
+        p.extend_from_slice(&(inc.step as u64).to_le_bytes());
+        p.extend_from_slice(&inc.retry.to_le_bytes());
+        p.extend_from_slice(&inc.lr_scale.to_le_bytes());
+        let (tag, norm, med) = match inc.kind {
+            IncidentKind::NonFiniteLoss => (0u8, 0.0, 0.0),
+            IncidentKind::GradExplosion { norm, median } => (1, norm, median),
+            IncidentKind::NanPlateau => (2, 0.0, 0.0),
+        };
+        p.push(tag);
+        p.extend_from_slice(&norm.to_le_bytes());
+        p.extend_from_slice(&med.to_le_bytes());
+    }
+
+    let mut b: Vec<u8> = Vec::with_capacity(p.len() + 12);
+    b.extend_from_slice(TRAIN_MAGIC);
+    b.extend_from_slice(&TRAIN_VERSION.to_le_bytes());
+    b.extend_from_slice(&crc32(&p).to_le_bytes());
+    b.extend_from_slice(&p);
+    atomic_write(path, &b)
+        .map_err(|e| DetectorError::Io(format!("cannot write training checkpoint: {e}")))
+}
+
+/// Reads and validates an `IMTS` file into a resume snapshot.
+fn read_train_state(
+    path: &Path,
+    cfg: &ImDiffusionConfig,
+    channels: usize,
+) -> Result<Snapshot, DetectorError> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        DetectorError::Io(format!(
+            "cannot read training checkpoint {}: {e}",
+            path.display()
+        ))
+    })?;
+    let mut r = Reader::new(&bytes);
+    if r.take(4)? != TRAIN_MAGIC {
+        return Err(DetectorError::CorruptCheckpoint(
+            "not an IMTS training checkpoint".into(),
+        ));
+    }
+    let version = r.u32()?;
+    if version != TRAIN_VERSION {
+        return Err(DetectorError::CorruptCheckpoint(format!(
+            "unsupported training checkpoint version {version}"
+        )));
+    }
+    let stored = r.u32()?;
+    let actual = crc32(r.rest());
+    if stored != actual {
+        return Err(DetectorError::CorruptCheckpoint(format!(
+            "training checkpoint CRC mismatch: header {stored:#010x}, payload {actual:#010x}"
+        )));
+    }
+    let window = r.u32()? as usize;
+    let k = r.u32()? as usize;
+    let train_steps = r.u64()? as usize;
+    if window != cfg.window || k != channels || train_steps != cfg.train_steps {
+        return Err(DetectorError::InvalidTrainingData(format!(
+            "training checkpoint was written for window={window}, channels={k}, \
+             train_steps={train_steps}; current run has window={}, channels={channels}, \
+             train_steps={}",
+            cfg.window, cfg.train_steps
+        )));
+    }
+    let step = r.u64()? as usize;
+    let mut rng_state = [0u64; 4];
+    for w in &mut rng_state {
+        *w = r.u64()?;
+    }
+    let lr_scale = r.f32()?;
+    let retries = r.u32()?;
+    let trips = r.u64()?;
+    let t = r.u64()?;
+    let n_params = r.u32()? as usize;
+    let mut params = Vec::with_capacity(n_params);
+    let mut m = Vec::with_capacity(n_params);
+    let mut v = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        let len = r.u32()? as usize;
+        let read_vec = |r: &mut Reader| -> Result<Vec<f32>, DetectorError> {
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(r.f32()?);
+            }
+            Ok(out)
+        };
+        params.push(read_vec(&mut r)?);
+        m.push(read_vec(&mut r)?);
+        v.push(read_vec(&mut r)?);
+    }
+    let n_losses = r.u32()? as usize;
+    let mut losses = Vec::with_capacity(n_losses.min(1 << 20));
+    for _ in 0..n_losses {
+        losses.push(r.f32()?);
+    }
+    let n_norms = r.u32()? as usize;
+    let mut grad_norms = Vec::with_capacity(n_norms.min(1 << 20));
+    for _ in 0..n_norms {
+        grad_norms.push(r.f32()?);
+    }
+    // Incidents are validated (they are inside the CRC boundary) but a
+    // resumed run re-accumulates only future ones; past incidents live in
+    // the checkpoint for post-mortems.
+    let n_inc = r.u32()? as usize;
+    for _ in 0..n_inc {
+        r.u64()?;
+        r.u32()?;
+        r.f32()?;
+        r.u8()?;
+        r.f32()?;
+        r.f32()?;
+    }
+    Ok(Snapshot {
+        step,
+        rng_state,
+        lr_scale,
+        retries,
+        trips,
+        params,
+        adam: AdamState { m, v, t },
+        losses,
+        grad_norms,
+    })
 }
 
 /// The mask policies used by a task mode for an `[l, k]` window.
@@ -84,109 +752,34 @@ pub(crate) fn mask_channel_major(mask: &Mask) -> (Vec<f32>, Vec<f32>) {
 /// objective of Eq. (11): the noise-prediction error on the masked region,
 /// conditioned on the unmasked-region reference and the policy index.
 ///
-/// Deterministic for a fixed `(model seed, seed)` pair.
+/// Deterministic for a fixed `(model seed, seed)` pair. This is
+/// [`Trainer::run`] with default options (in-memory snapshots for sentinel
+/// rollback, nothing persisted).
 pub fn train(
     model: &ImTransformer,
     cfg: &ImDiffusionConfig,
     schedule: &NoiseSchedule,
     train_data: &Mts,
     seed: u64,
-) -> TrainReport {
-    cfg.validate();
-    assert_eq!(
-        train_data.dim(),
-        model.channels(),
-        "training data channel mismatch"
-    );
-    let l = cfg.window;
-    let k = train_data.dim();
-    assert!(
-        train_data.len() >= l,
-        "training series shorter than one window"
-    );
-    let windows: Vec<Vec<f32>> = train_data
-        .windows(l, cfg.train_stride)
-        .iter()
-        .map(window_channel_major)
-        .collect();
-    let mut rng = seeded(seed ^ 0x7241_1e5a);
-    let mut opt = Adam::new(model.params(), cfg.lr);
-    let mut losses = Vec::with_capacity(cfg.train_steps);
+) -> Result<TrainReport, DetectorError> {
+    Trainer::default().run(model, cfg, schedule, train_data, seed)
+}
 
-    // Grating masks are deterministic; compute once and reuse.
-    let static_masks = match (cfg.task, cfg.mask) {
-        (TaskMode::Imputation, MaskStrategy::Random { .. }) => None,
-        _ => Some(task_masks(cfg, &mut rng, l, k)),
-    };
-
-    let b = cfg.batch_size;
-    let cell = k * l;
-    for step in 0..cfg.train_steps {
-        // Cosine decay from lr to lr/10 stabilises the small-batch regime.
-        let progress = step as f32 / cfg.train_steps.max(1) as f32;
-        let lr_now = cfg.lr
-            * (0.55 + 0.45 * (std::f32::consts::PI * progress).cos());
-        opt.set_lr(lr_now);
-        let mut x_val = vec![0.0f32; b * cell];
-        let mut x_ref = vec![0.0f32; b * cell];
-        let mut tgt_mask = vec![0.0f32; b * cell];
-        let mut eps_all = vec![0.0f32; b * cell];
-        let mut steps = Vec::with_capacity(b);
-        let mut policies = Vec::with_capacity(b);
-
-        for i in 0..b {
-            let w = &windows[rng.gen_range(0..windows.len())];
-            let fresh;
-            let masks: &Vec<Mask> = match &static_masks {
-                Some(m) => m,
-                None => {
-                    fresh = task_masks(cfg, &mut rng, l, k);
-                    &fresh
-                }
-            };
-            let p = rng.gen_range(0..masks.len());
-            let (obs, tgt) = mask_channel_major(&masks[p]);
-            let t = rng.gen_range(1..=cfg.diffusion_steps);
-            let eps = normal_vec(&mut rng, cell);
-            let mut xt = vec![0.0f32; cell];
-            schedule.q_sample_into(w, &eps, t, &mut xt);
-            let base = i * cell;
-            for j in 0..cell {
-                // Unconditional (§4.1): the whole window is corrupted; the
-                // observed region is visible only in noised form, with its
-                // ground-truth forward noise ε_t^{M1} as the reference that
-                // lets the model "subtract the noise" — an indirect hint
-                // that never reveals raw values. Conditional: the observed
-                // region is fed clean and the masked region noised.
-                if cfg.unconditional {
-                    x_val[base + j] = xt[j];
-                    x_ref[base + j] = eps[j] * obs[j];
-                } else {
-                    x_val[base + j] = xt[j] * tgt[j];
-                    x_ref[base + j] = w[j] * obs[j];
-                }
-                tgt_mask[base + j] = tgt[j];
-                eps_all[base + j] = eps[j];
-            }
-            steps.push(t);
-            policies.push(p);
-        }
-
-        let x_val_t = Tensor::from_vec(x_val, &[b, k, l]).expect("x_val shape");
-        let x_ref_t = Tensor::from_vec(x_ref, &[b, k, l]).expect("x_ref shape");
-        let tgt_t = Tensor::from_vec(tgt_mask, &[b, k, l]).expect("mask shape");
-        let eps_t = Tensor::from_vec(eps_all, &[b, k, l]).expect("eps shape");
-
-        let eps_hat = model.forward(&x_val_t, &x_ref_t, &steps, &policies);
-        let loss = masked_mse(&eps_hat, &eps_t, &tgt_t);
-        losses.push(loss.item());
-        backward(&loss);
-        opt.clip_grad_norm(cfg.grad_clip);
-        opt.step();
-        opt.zero_grad();
-    }
-
-    TrainReport { losses }
+/// Continues an interrupted run from the `IMTS` checkpoint at `path`; see
+/// [`Trainer::resume`].
+pub fn train_resume(
+    model: &ImTransformer,
+    cfg: &ImDiffusionConfig,
+    schedule: &NoiseSchedule,
+    train_data: &Mts,
+    seed: u64,
+    path: &Path,
+) -> Result<TrainReport, DetectorError> {
+    Trainer::new(TrainerOptions {
+        checkpoint_path: Some(path.to_path_buf()),
+        ..TrainerOptions::default()
+    })
+    .resume(model, cfg, schedule, train_data, seed)
 }
 
 #[cfg(test)]
@@ -265,8 +858,9 @@ mod tests {
         };
         let model = ImTransformer::new(&cfg, train_n.dim(), 3);
         let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
-        let report = train(&model, &cfg, &schedule, &train_n, 11);
+        let report = train(&model, &cfg, &schedule, &train_n, 11).unwrap();
         assert_eq!(report.losses.len(), 40);
+        assert!(report.incidents.is_empty(), "{:?}", report.incidents);
         let head: f32 = report.losses[..8].iter().sum::<f32>() / 8.0;
         let tail = report.final_loss();
         assert!(tail.is_finite());
@@ -294,7 +888,7 @@ mod tests {
                 ..tiny_cfg()
             };
             let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
-            train(&model, &cfg, &schedule, &ds.train, 7).losses
+            train(&model, &cfg, &schedule, &ds.train, 7).unwrap().losses
         };
         let uncond = run(true);
         let cond = run(false);
@@ -319,7 +913,7 @@ mod tests {
         };
         let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
         let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
-        let report = train(&model, &cfg, &schedule, &ds.train, 7);
+        let report = train(&model, &cfg, &schedule, &ds.train, 7).unwrap();
         assert_eq!(report.losses.len(), cfg.train_steps);
         assert!(report.final_loss().is_finite());
     }
@@ -338,19 +932,94 @@ mod tests {
         let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
         let run = |seed| {
             let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
-            train(&model, &cfg, &schedule, &ds.train, seed).losses
+            train(&model, &cfg, &schedule, &ds.train, seed).unwrap().losses
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
     }
 
     #[test]
-    #[should_panic(expected = "shorter than one window")]
     fn rejects_short_series() {
         let cfg = tiny_cfg();
         let model = ImTransformer::new(&cfg, 2, 1);
         let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
         let short = Mts::zeros(8, 2);
-        let _ = train(&model, &cfg, &schedule, &short, 1);
+        let err = train(&model, &cfg, &schedule, &short, 1).unwrap_err();
+        assert!(matches!(err, DetectorError::InvalidTrainingData(_)));
+        assert!(err.to_string().contains("shorter than one window"));
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let cfg = tiny_cfg();
+        let model = ImTransformer::new(&cfg, 3, 1);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let wrong = Mts::zeros(32, 2);
+        assert!(matches!(
+            train(&model, &cfg, &schedule, &wrong, 1),
+            Err(DetectorError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn stop_after_halts_cleanly() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 16,
+            },
+            5,
+        );
+        let cfg = tiny_cfg();
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
+        let trainer = Trainer::new(TrainerOptions {
+            stop_after: Some(7),
+            ..TrainerOptions::default()
+        });
+        let report = trainer
+            .run(&model, &cfg, &schedule, &ds.train, 3)
+            .unwrap();
+        assert_eq!(report.losses.len(), 7);
+    }
+
+    #[test]
+    fn retry_rng_forks_deterministically() {
+        let state = seeded(3).state();
+        let a: Vec<u64> = {
+            let mut r = retry_rng(state, 1);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = retry_rng(state, 1);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = retry_rng(state, 2);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let plain: Vec<u64> = {
+            let mut r = retry_rng(state, 0);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, plain);
+        assert_eq!(plain, {
+            let mut r = StdRng::from_state(state);
+            (0..8).map(|_| r.gen::<u64>()).collect::<Vec<u64>>()
+        });
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        let odd: VecDeque<f32> = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(median(&odd), 2.0);
+        let even: VecDeque<f32> = [4.0, 1.0, 3.0, 2.0].into_iter().collect();
+        assert_eq!(median(&even), 2.5);
     }
 }

@@ -37,6 +37,14 @@ pub enum DetectorError {
     /// to be panics inside the streaming path; carries a description of
     /// the broken invariant.
     Internal(String),
+    /// The filesystem failed while reading or writing a checkpoint
+    /// (missing file, permissions, disk full). The persisted artifact, if
+    /// any, is intact — atomic writes never leave half-written files.
+    Io(String),
+    /// A checkpoint file exists but its contents are damaged: bad magic,
+    /// truncation, or a CRC32 mismatch. Damaged state is never loaded as
+    /// weights or monitor state; delete the file and retrain/re-warm.
+    CorruptCheckpoint(String),
 }
 
 impl fmt::Display for DetectorError {
@@ -57,6 +65,10 @@ impl fmt::Display for DetectorError {
                 )
             }
             DetectorError::Internal(msg) => write!(f, "internal detector error: {msg}"),
+            DetectorError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            DetectorError::CorruptCheckpoint(msg) => {
+                write!(f, "corrupt checkpoint: {msg}")
+            }
         }
     }
 }

@@ -18,6 +18,11 @@ pub enum NnError {
     },
     /// A dimension or hyper-parameter was invalid (zero sizes, bad axis...).
     InvalidArgument(String),
+    /// The filesystem failed while reading or writing a checkpoint.
+    Io(String),
+    /// A checkpoint file exists but its contents are damaged — bad magic,
+    /// truncated payload, or a CRC mismatch. Never loaded as weights.
+    Corrupt(String),
 }
 
 impl fmt::Display for NnError {
@@ -28,6 +33,8 @@ impl fmt::Display for NnError {
                 "buffer length {actual} does not match shape (expected {expected} elements)"
             ),
             NnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NnError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            NnError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
     }
 }

@@ -1,7 +1,22 @@
 //! Adam optimizer (Kingma & Ba) with optional decoupled weight decay.
 
 use super::{clip_grads, Optimizer};
-use crate::Tensor;
+use crate::{NnError, Tensor};
+
+/// A point-in-time copy of Adam's internal state — first/second moment
+/// vectors and the bias-correction step count — so a training checkpoint
+/// can freeze the optimizer exactly and a resumed run continues
+/// bit-identically (the moments, not just the weights, shape every
+/// subsequent update).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// First-moment estimates, one vector per parameter.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment estimates, one vector per parameter.
+    pub v: Vec<Vec<f32>>,
+    /// Number of [`Optimizer::step`] calls applied so far.
+    pub t: u64,
+}
 
 /// Adam with bias correction and AdamW-style decoupled weight decay.
 pub struct Adam {
@@ -49,6 +64,40 @@ impl Adam {
     /// Updates the learning rate (for schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Exports the optimizer's moments and step count for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+        }
+    }
+
+    /// Restores state previously exported by [`Self::export_state`].
+    ///
+    /// The moment vectors must match the managed parameters one-to-one;
+    /// a mismatch (checkpoint from a different architecture) is rejected
+    /// without touching the current state.
+    pub fn import_state(&mut self, state: AdamState) -> Result<(), NnError> {
+        let shapes_ok = state.m.len() == self.params.len()
+            && state.v.len() == self.params.len()
+            && self
+                .params
+                .iter()
+                .zip(&state.m)
+                .zip(&state.v)
+                .all(|((p, m), v)| m.len() == p.numel() && v.len() == p.numel());
+        if !shapes_ok {
+            return Err(NnError::InvalidArgument(
+                "optimizer state does not match managed parameters".into(),
+            ));
+        }
+        self.m = state.m;
+        self.v = state.v;
+        self.t = state.t;
+        Ok(())
     }
 }
 
@@ -114,6 +163,51 @@ mod tests {
             opt.zero_grad();
         }
         assert!(x.item() < 1.0);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_identically() {
+        let run = |split_at: Option<usize>| {
+            let x = Tensor::param_from_vec(vec![3.0, -4.0], &[2]).unwrap();
+            let mut opt = Adam::new(vec![x.clone()], 0.1);
+            let mut saved = None;
+            for i in 0..50 {
+                if split_at == Some(i) {
+                    saved = Some((x.to_vec(), opt.export_state()));
+                }
+                let loss = x.square().sum_all();
+                backward(&loss);
+                opt.step();
+                opt.zero_grad();
+            }
+            if let Some((data, state)) = saved {
+                // Restart from the snapshot and replay the remaining steps.
+                let y = Tensor::param_from_vec(data, &[2]).unwrap();
+                let mut opt2 = Adam::new(vec![y.clone()], 0.1);
+                opt2.import_state(state).unwrap();
+                for _ in split_at.unwrap()..50 {
+                    let loss = y.square().sum_all();
+                    backward(&loss);
+                    opt2.step();
+                    opt2.zero_grad();
+                }
+                return y.to_vec();
+            }
+            x.to_vec()
+        };
+        assert_eq!(run(None), run(Some(17)));
+    }
+
+    #[test]
+    fn import_rejects_mismatched_state() {
+        let x = Tensor::param_from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let mut opt = Adam::new(vec![x], 0.1);
+        let bad = AdamState {
+            m: vec![vec![0.0; 3]],
+            v: vec![vec![0.0; 3]],
+            t: 1,
+        };
+        assert!(opt.import_state(bad).is_err());
     }
 
     #[test]

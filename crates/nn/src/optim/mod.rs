@@ -3,7 +3,7 @@
 mod adam;
 mod sgd;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use sgd::Sgd;
 
 use crate::Tensor;

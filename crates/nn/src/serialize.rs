@@ -5,6 +5,14 @@
 //! order, so a checkpoint is just that ordered list of tensors. The format
 //! is self-describing enough to catch mismatches (magic, version, per-
 //! tensor shape) but deliberately minimal: little-endian `f32` throughout.
+//!
+//! Version 2 adds an integrity boundary: a CRC32 of the payload sits in
+//! the header and is verified before any byte is interpreted, so a
+//! truncated or bit-rotted file surfaces as [`NnError::Corrupt`] instead
+//! of loading as garbage weights. Version 1 files (no CRC) are still
+//! readable. All writers in this module go through [`atomic_write`] —
+//! temp file plus atomic rename — so a crash mid-write leaves either the
+//! old checkpoint or none, never a half-written one.
 
 use std::fs;
 use std::io::{Read, Write};
@@ -13,34 +21,91 @@ use std::path::Path;
 use crate::{NnError, Result, Tensor};
 
 const MAGIC: &[u8; 4] = b"IMDF";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// Serializes a parameter list to a writer.
-pub fn write_params(mut w: impl Write, params: &[Tensor]) -> std::io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
-    for p in params {
-        let dims = p.dims();
-        w.write_all(&(dims.len() as u32).to_le_bytes())?;
-        for &d in dims {
-            w.write_all(&(d as u32).to_le_bytes())?;
+/// CRC32 (IEEE 802.3, polynomial `0xEDB88320`) lookup table, built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
         }
-        for &v in p.data().iter() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        table[i] = c;
+        i += 1;
     }
-    Ok(())
+    table
+};
+
+/// CRC32 (IEEE) of a byte slice — the integrity check used by every
+/// checkpoint format in the workspace (IMDF v2, IMSM v2, IMTS).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
 }
 
-/// Saves a parameter list to a file.
-pub fn save_params(path: &Path, params: &[Tensor]) -> std::io::Result<()> {
+/// Writes `bytes` to `path` atomically: the payload goes to a sibling
+/// temp file which is then renamed over the target, so readers never see
+/// a partially written checkpoint. Creates parent directories as needed.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir)?;
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
     }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Serializes a parameter list (payload only — no header) into `buf`.
+fn write_payload(buf: &mut Vec<u8>, params: &[Tensor]) {
+    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        let dims = p.dims();
+        buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &d in dims {
+            buf.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for &v in p.data().iter() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Serializes a parameter list to a writer in the v2 (CRC-checked)
+/// format.
+pub fn write_params(mut w: impl Write, params: &[Tensor]) -> std::io::Result<()> {
+    let mut payload = Vec::new();
+    write_payload(&mut payload, params);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Saves a parameter list to a file (v2 format, atomic write).
+pub fn save_params(path: &Path, params: &[Tensor]) -> std::io::Result<()> {
     let mut buf = Vec::new();
     write_params(&mut buf, params)?;
-    fs::write(path, buf)
+    atomic_write(path, &buf)
 }
 
 fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
@@ -50,30 +115,45 @@ fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
 }
 
 /// Loads a checkpoint *into* an existing parameter list (e.g. a freshly
-/// constructed model), verifying count and shapes.
+/// constructed model), verifying integrity, count and shapes.
 ///
-/// Returns [`NnError::InvalidArgument`] on any mismatch — a checkpoint
-/// from a different architecture or configuration must never be silently
-/// truncated into a model.
+/// Error taxonomy: [`NnError::Io`] when the file cannot be read,
+/// [`NnError::Corrupt`] when it is damaged (bad magic, CRC mismatch,
+/// truncation), and [`NnError::InvalidArgument`] when it is intact but
+/// belongs to a different architecture — a checkpoint must never be
+/// silently truncated into a model.
 pub fn load_params_into(path: &Path, params: &[Tensor]) -> Result<()> {
     let bytes = fs::read(path)
-        .map_err(|e| NnError::InvalidArgument(format!("cannot read {}: {e}", path.display())))?;
+        .map_err(|e| NnError::Io(format!("cannot read {}: {e}", path.display())))?;
     let mut r: &[u8] = &bytes;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)
-        .map_err(|_| NnError::InvalidArgument("truncated checkpoint header".into()))?;
+        .map_err(|_| NnError::Corrupt("truncated checkpoint header".into()))?;
     if &magic != MAGIC {
-        return Err(NnError::InvalidArgument("not an IMDF checkpoint".into()));
+        return Err(NnError::Corrupt("not an IMDF checkpoint".into()));
     }
     let version = read_u32(&mut r)
-        .map_err(|_| NnError::InvalidArgument("truncated checkpoint header".into()))?;
-    if version != VERSION {
-        return Err(NnError::InvalidArgument(format!(
-            "unsupported checkpoint version {version}"
-        )));
+        .map_err(|_| NnError::Corrupt("truncated checkpoint header".into()))?;
+    match version {
+        1 => {}
+        2 => {
+            let stored = read_u32(&mut r)
+                .map_err(|_| NnError::Corrupt("truncated checkpoint header".into()))?;
+            let actual = crc32(r);
+            if stored != actual {
+                return Err(NnError::Corrupt(format!(
+                    "CRC mismatch: header {stored:#010x}, payload {actual:#010x}"
+                )));
+            }
+        }
+        v => {
+            return Err(NnError::InvalidArgument(format!(
+                "unsupported checkpoint version {v}"
+            )))
+        }
     }
     let count = read_u32(&mut r)
-        .map_err(|_| NnError::InvalidArgument("truncated checkpoint header".into()))? as usize;
+        .map_err(|_| NnError::Corrupt("truncated checkpoint header".into()))? as usize;
     if count != params.len() {
         return Err(NnError::InvalidArgument(format!(
             "checkpoint has {count} tensors, model expects {}",
@@ -82,13 +162,15 @@ pub fn load_params_into(path: &Path, params: &[Tensor]) -> Result<()> {
     }
     for (i, p) in params.iter().enumerate() {
         let ndim = read_u32(&mut r)
-            .map_err(|_| NnError::InvalidArgument(format!("truncated at tensor {i}")))?
+            .map_err(|_| NnError::Corrupt(format!("truncated at tensor {i}")))?
             as usize;
         let mut dims = Vec::with_capacity(ndim);
         for _ in 0..ndim {
-            dims.push(read_u32(&mut r).map_err(|_| {
-                NnError::InvalidArgument(format!("truncated at tensor {i} dims"))
-            })? as usize);
+            dims.push(
+                read_u32(&mut r)
+                    .map_err(|_| NnError::Corrupt(format!("truncated at tensor {i} dims")))?
+                    as usize,
+            );
         }
         if dims != p.dims() {
             return Err(NnError::InvalidArgument(format!(
@@ -101,7 +183,7 @@ pub fn load_params_into(path: &Path, params: &[Tensor]) -> Result<()> {
         for v in &mut data {
             let mut b = [0u8; 4];
             r.read_exact(&mut b)
-                .map_err(|_| NnError::InvalidArgument(format!("truncated at tensor {i} data")))?;
+                .map_err(|_| NnError::Corrupt(format!("truncated at tensor {i} data")))?;
             *v = f32::from_le_bytes(b);
         }
         p.set_data(&data);
@@ -117,6 +199,22 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("imdf-{}-{name}", std::process::id()))
+    }
+
+    /// Writes the pre-CRC v1 layout, as older deployments produced it.
+    fn save_params_v1(path: &Path, params: &[Tensor]) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        write_payload(&mut buf, params);
+        std::fs::write(path, buf).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -135,12 +233,66 @@ mod tests {
     }
 
     #[test]
+    fn v1_checkpoints_still_load() {
+        let l1 = Linear::new(&mut seeded(1), 4, 3);
+        let path = tmp("v1.bin");
+        save_params_v1(&path, &l1.params());
+        let l2 = Linear::new(&mut seeded(99), 4, 3);
+        load_params_into(&path, &l2.params()).unwrap();
+        assert_eq!(l1.params()[0].to_vec(), l2.params()[0].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt_not_weights() {
+        let l1 = Linear::new(&mut seeded(1), 4, 3);
+        let path = tmp("bitflip.bin");
+        save_params(&path, &l1.params()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = bytes.len() - 5; // inside tensor data
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        let l2 = Linear::new(&mut seeded(99), 4, 3);
+        assert!(matches!(
+            load_params_into(&path, &l2.params()),
+            Err(NnError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let l1 = Linear::new(&mut seeded(1), 4, 3);
+        let path = tmp("trunc.bin");
+        save_params(&path, &l1.params()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(
+            load_params_into(&path, &l1.params()),
+            Err(NnError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let l = Linear::new(&mut seeded(1), 2, 2);
+        assert!(matches!(
+            load_params_into(&tmp("does-not-exist.bin"), &l.params()),
+            Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
     fn shape_mismatch_rejected() {
         let l1 = Linear::new(&mut seeded(1), 4, 3);
         let path = tmp("mismatch.bin");
         save_params(&path, &l1.params()).unwrap();
         let wrong = Linear::new(&mut seeded(2), 4, 5);
-        assert!(load_params_into(&path, &wrong.params()).is_err());
+        assert!(matches!(
+            load_params_into(&path, &wrong.params()),
+            Err(NnError::InvalidArgument(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -150,7 +302,10 @@ mod tests {
         let path = tmp("count.bin");
         save_params(&path, &l1.params()).unwrap();
         let one = &l1.params()[..1];
-        assert!(load_params_into(&path, one).is_err());
+        assert!(matches!(
+            load_params_into(&path, one),
+            Err(NnError::InvalidArgument(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -162,5 +317,19 @@ mod tests {
         let err = load_params_into(&path, &l.params()).unwrap_err();
         assert!(err.to_string().contains("IMDF"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("imdf-atomic-{}", std::process::id()));
+        let path = dir.join("nested/out.bin");
+        atomic_write(&path, b"payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        let left: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(left.len(), 1, "temp files left behind: {left:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
