@@ -10,10 +10,17 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
 use imdiff_data::Detector;
-use imdiff_nn::pool;
+use imdiff_nn::{obs, pool};
 use imdiffusion::{ImDiffusionConfig, ImDiffusionDetector};
 
+/// With `IMDIFF_OBS=1`, the harness writes a span/counter snapshot next
+/// to the `--save-json` report (as `<stem>.obs.json`).
+fn obs_summary() -> Option<String> {
+    obs::enabled().then(obs::snapshot_json)
+}
+
 fn bench_infer(c: &mut Criterion) {
+    criterion::set_span_summary(obs_summary);
     let size = SizeProfile {
         train_len: 300,
         test_len: 192,

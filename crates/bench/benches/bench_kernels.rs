@@ -38,7 +38,14 @@ fn filled(len: usize, rng: &mut impl Rng) -> Vec<f32> {
     (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
+/// With `IMDIFF_OBS=1`, the harness writes a span/counter snapshot next
+/// to the `--save-json` report (as `<stem>.obs.json`).
+fn obs_summary() -> Option<String> {
+    imdiff_nn::obs::enabled().then(imdiff_nn::obs::snapshot_json)
+}
+
 fn bench_matmul(c: &mut Criterion) {
+    criterion::set_span_summary(obs_summary);
     let mut rng = seeded(7);
     let mut group = c.benchmark_group("mm_nn");
     group.sample_size(20);

@@ -21,6 +21,10 @@
 //! * [`BenchmarkGroup::record_threads`] — annotates subsequent records
 //!   with the worker-thread count they ran at, for perf trajectories that
 //!   sweep parallelism.
+//! * [`set_span_summary`] — benches can register a provider (typically
+//!   backed by `imdiff_nn::obs`) whose output [`finalize`] writes next to
+//!   the `--save-json` report as `<stem>.obs.json`, so span summaries
+//!   land beside the `BENCH_*.json` timings.
 
 use std::fmt::{self, Display};
 use std::io::Write as _;
@@ -68,6 +72,25 @@ fn cli_args() -> &'static CliArgs {
 fn records() -> &'static Mutex<Vec<Record>> {
     static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
     &RECORDS
+}
+
+/// Provider of an observability span summary, registered by benches.
+static SPAN_SUMMARY: OnceLock<fn() -> Option<String>> = OnceLock::new();
+
+/// Registers a span-summary provider (shim extension). When `--save-json
+/// <path>` is active and the provider returns `Some(text)`, [`finalize`]
+/// writes `text` to `<path minus .json>.obs.json` next to the benchmark
+/// report. A provider returning `None` (e.g. observability disabled)
+/// writes nothing. First registration wins; later calls are no-ops.
+pub fn set_span_summary(provider: fn() -> Option<String>) {
+    let _ = SPAN_SUMMARY.set(provider);
+}
+
+/// The sibling path the span summary is written to: `BENCH_nn.json` →
+/// `BENCH_nn.obs.json`.
+fn span_summary_path(save_json: &str) -> String {
+    let stem = save_json.strip_suffix(".json").unwrap_or(save_json);
+    format!("{stem}.obs.json")
 }
 
 fn matches_filter(id: &str) -> bool {
@@ -238,6 +261,15 @@ pub fn finalize() {
         Ok(()) => println!("wrote {} benchmark records to {path}", recs.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
+    if let Some(summary) = SPAN_SUMMARY.get().and_then(|provider| provider()) {
+        let obs_path = span_summary_path(path);
+        match std::fs::File::create(&obs_path)
+            .and_then(|mut f| f.write_all(summary.as_bytes()))
+        {
+            Ok(()) => println!("wrote span summary to {obs_path}"),
+            Err(e) => eprintln!("failed to write {obs_path}: {e}"),
+        }
+    }
 }
 
 /// A named group of related benchmarks.
@@ -393,6 +425,12 @@ mod tests {
         let mut b = Bencher::new(5);
         b.iter(|| std::hint::black_box(42));
         assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn span_summary_path_replaces_json_suffix() {
+        assert_eq!(span_summary_path("BENCH_nn.json"), "BENCH_nn.obs.json");
+        assert_eq!(span_summary_path("perf/report"), "perf/report.obs.json");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use imdiff_data::Mts;
 use imdiff_diffusion::NoiseSchedule;
 use imdiff_nn::layers::Module;
+use imdiff_nn::obs;
 use imdiff_nn::pool;
 use imdiff_nn::rng::{normal, seeded};
 use imdiff_nn::{no_grad, Tensor};
@@ -213,6 +214,7 @@ pub fn ensemble_infer_masked(
     missing: Option<&[bool]>,
     seed: u64,
 ) -> EnsembleOutput {
+    let _ens = obs::span("infer.ensemble");
     cfg.validate();
     let (len, k, w) = (test.len(), test.dim(), cfg.window);
     assert_eq!(k, model.channels(), "test data channel mismatch");
@@ -302,10 +304,17 @@ pub fn ensemble_infer_masked(
     // votes bit-identical at any thread count.
     // ------------------------------------------------------------------
     let n_groups = nw.div_ceil(GROUP_WINDOWS);
+    if obs::enabled() {
+        obs::counter("infer.runs", 1);
+        obs::counter("infer.windows", nw as u64);
+        obs::counter("infer.window_groups", n_groups as u64);
+    }
     let run_group = |model: &ImTransformer, g: usize| -> GroupAccum {
+        let _grp = obs::span("infer.group");
         let gs = g * GROUP_WINDOWS;
         let ge = ((g + 1) * GROUP_WINDOWS).min(nw);
         let gw = ge - gs;
+        obs::histogram("infer.group_windows", gw as f64);
         let gcell = gw * cell;
         let x0 = &x0_batch[gs * cell..ge * cell];
         let wmiss = &win_missing[gs..ge];
@@ -335,6 +344,7 @@ pub fn ensemble_infer_masked(
             let mut steps_buf = vec![0usize; gw];
 
             for (step_idx, &t) in reverse_steps.iter().enumerate() {
+                let _den = obs::span("infer.denoise_step");
                 let t_prev = reverse_steps.get(step_idx + 1).copied().unwrap_or(0);
                 // Fresh forward noise for the observed region (ε_t^{M1}).
                 let eps_ref = draw(&mut rngs);

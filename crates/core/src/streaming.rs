@@ -37,6 +37,7 @@ use std::collections::VecDeque;
 
 use imdiff_data::{DetectorError, Mts};
 use imdiff_metrics::{pot_threshold, threshold_at_percentile};
+use imdiff_nn::obs;
 use imdiff_nn::pool;
 
 use crate::detector::ImDiffusionDetector;
@@ -313,6 +314,7 @@ impl StreamingMonitor {
         let miss: Vec<bool> = row.iter().map(|v| v.is_nan()).collect();
         if let Some(c) = row.iter().position(|v| v.is_infinite()) {
             self.rows_rejected += 1;
+            obs::counter("stream.rows_rejected", 1);
             return Err(DetectorError::NonFiniteInput {
                 index: self.seen as usize,
                 channel: c,
@@ -329,6 +331,7 @@ impl StreamingMonitor {
                 // treat the interpolation as a placeholder, not data).
                 let last = self.buffer.back().cloned().expect("buffer non-empty");
                 self.gaps_bridged += 1;
+                obs::counter("stream.gaps_bridged", 1);
                 for g in 0..gap {
                     let frac = (g + 1) as f32 / (gap + 1) as f32;
                     let synth: Vec<f32> = last
@@ -340,6 +343,7 @@ impl StreamingMonitor {
                         })
                         .collect();
                     self.rows_bridged += 1;
+                    obs::counter("stream.rows_bridged", 1);
                     verdicts.extend(self.ingest(synth, vec![true; self.channels])?);
                 }
             } else {
@@ -351,7 +355,8 @@ impl StreamingMonitor {
                 self.seen += gap as u64;
                 self.since_eval = 0;
                 self.rewarms += 1;
-                self.health = HealthState::Warming;
+                obs::counter("stream.rewarms", 1);
+                self.set_health(HealthState::Warming);
             }
         }
 
@@ -380,6 +385,9 @@ impl StreamingMonitor {
 
         let n_missing = miss.iter().filter(|&&m| m).count();
         self.cells_imputed += n_missing as u64;
+        if n_missing > 0 {
+            obs::counter("stream.cells_imputed", n_missing as u64);
+        }
         // Keep the buffered values finite: the stored value of a missing
         // cell is irrelevant to inference (it is always an imputation
         // target) but NaN must not leak into interpolation or snapshots.
@@ -409,9 +417,26 @@ impl StreamingMonitor {
         self.evaluate()
     }
 
+    /// Moves the monitor to `to`, recording an observability counter per
+    /// actual state transition (surfaced alongside [`MonitorHealth`]).
+    fn set_health(&mut self, to: HealthState) {
+        if self.health != to {
+            obs::counter(
+                match to {
+                    HealthState::Healthy => "stream.to_healthy",
+                    HealthState::Degraded => "stream.to_degraded",
+                    HealthState::Warming => "stream.to_warming",
+                },
+                1,
+            );
+        }
+        self.health = to;
+    }
+
     /// Runs one evaluation over the buffered window, degrading to the
     /// z-score fallback when full inference cannot be trusted.
     fn evaluate(&mut self) -> Result<Vec<PointVerdict>, DetectorError> {
+        let _eval = obs::span("stream.evaluate");
         let flat: Vec<f32> = self.buffer.iter().flatten().copied().collect();
         let miss_flat: Vec<bool> = self.missing.iter().flatten().copied().collect();
         let n_missing = miss_flat.iter().filter(|&&m| m).count();
@@ -512,8 +537,9 @@ impl StreamingMonitor {
         // were degraded.
         if self.health == HealthState::Degraded {
             self.recoveries += 1;
+            obs::counter("stream.recoveries", 1);
         }
-        self.health = HealthState::Healthy;
+        self.set_health(HealthState::Healthy);
         self.last_degraded_reason = None;
         if self.fallback_history.len() >= FALLBACK_MIN_HISTORY {
             let hist: Vec<f64> = self.fallback_history.iter().copied().collect();
@@ -540,7 +566,8 @@ impl StreamingMonitor {
     /// the last threshold calibrated while healthy.
     fn degraded_verdicts(&mut self, first_global: u64) -> Vec<PointVerdict> {
         self.degraded_evals += 1;
-        self.health = HealthState::Degraded;
+        obs::counter("stream.degraded_evals", 1);
+        self.set_health(HealthState::Degraded);
         let tau = self.fallback_tau.unwrap_or_else(|| {
             if self.fallback_history.len() >= FALLBACK_MIN_HISTORY {
                 let hist: Vec<f64> = self.fallback_history.iter().copied().collect();

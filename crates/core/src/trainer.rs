@@ -30,6 +30,7 @@ use imdiff_data::mask::{Mask, MaskStrategy};
 use imdiff_data::{DetectorError, Mts};
 use imdiff_diffusion::NoiseSchedule;
 use imdiff_nn::layers::Module;
+use imdiff_nn::obs;
 use imdiff_nn::ops::masked_mse;
 use imdiff_nn::optim::{Adam, AdamState, Optimizer};
 use imdiff_nn::rng::{normal_vec, seeded};
@@ -268,6 +269,7 @@ impl Trainer {
         seed: u64,
         restored: Option<Snapshot>,
     ) -> Result<TrainReport, DetectorError> {
+        let _run = obs::span("trainer.run");
         cfg.validate();
         if train_data.dim() != model.channels() {
             return Err(DetectorError::DimensionMismatch {
@@ -328,6 +330,7 @@ impl Trainer {
             if self.opts.stop_after.is_some_and(|stop| step >= stop) {
                 break;
             }
+            let _step_span = obs::span("trainer.step");
             // Cosine decay from lr to lr/10 stabilises the small-batch
             // regime; the sentinel backoff scales on top.
             let progress = step as f32 / cfg.train_steps.max(1) as f32;
@@ -389,6 +392,7 @@ impl Trainer {
             let eps_hat = model.forward(&x_val_t, &x_ref_t, &steps, &policies);
             let loss = masked_mse(&eps_hat, &eps_t, &tgt_t);
             let loss_val = loss.item();
+            obs::histogram("trainer.loss", loss_val as f64);
             if !loss_val.is_finite() {
                 trip(
                     IncidentKind::NonFiniteLoss,
@@ -404,6 +408,7 @@ impl Trainer {
             }
             backward(&loss);
             let pre_clip = opt.clip_grad_norm(cfg.grad_clip);
+            obs::histogram("trainer.grad_norm", pre_clip as f64);
             let armed = st.grad_norms.len() >= sentinel.grad_warmup.max(1);
             let med = if st.grad_norms.is_empty() {
                 0.0
@@ -436,12 +441,15 @@ impl Trainer {
                 st.grad_norms.pop_front();
             }
             st.grad_norms.push_back(pre_clip);
+            obs::counter("trainer.steps", 1);
             step += 1;
 
             let every = self.opts.checkpoint_every;
             if every > 0 && step.is_multiple_of(every) && step < cfg.train_steps {
                 snap = Snapshot::capture(step, &params, &opt, &st);
                 if let Some(path) = &self.opts.checkpoint_path {
+                    let _ckpt = obs::span("trainer.checkpoint_write");
+                    obs::counter("trainer.checkpoints", 1);
                     write_train_state(path, &snap, &st.incidents, cfg, k)?;
                 }
             }
@@ -470,6 +478,7 @@ fn trip(
 ) -> Result<(), DetectorError> {
     st.retries += 1;
     st.trips += 1;
+    obs::counter("trainer.sentinel_trips", 1);
     st.lr_scale *= sentinel.lr_backoff;
     st.incidents.push(TrainIncident {
         step,

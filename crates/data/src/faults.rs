@@ -250,7 +250,40 @@ impl FaultInjector {
             .zip(&dropped)
             .map(|(row, &d)| if d { None } else { Some(row) })
             .collect();
+        record_fault_counters(&log);
         CorruptedStream { rows, log }
+    }
+}
+
+/// Mirrors the ground-truth fault log into observability counters, one per
+/// [`FaultEffect`], so corruption volume shows up next to the streaming
+/// monitor's degraded-mode counters. Observational only — the log itself
+/// is untouched.
+fn record_fault_counters(log: &[FaultRecord]) {
+    if !imdiff_nn::obs::enabled() || log.is_empty() {
+        return;
+    }
+    let mut nan = 0u64;
+    let mut dropped = 0u64;
+    let mut stuck = 0u64;
+    let mut spikes = 0u64;
+    for r in log {
+        match r.effect {
+            FaultEffect::NanCell => nan += 1,
+            FaultEffect::DroppedRow => dropped += 1,
+            FaultEffect::StuckValue => stuck += 1,
+            FaultEffect::Spike => spikes += 1,
+        }
+    }
+    for (name, v) in [
+        ("faults.nan_cells", nan),
+        ("faults.rows_dropped", dropped),
+        ("faults.stuck_cells", stuck),
+        ("faults.spike_cells", spikes),
+    ] {
+        if v > 0 {
+            imdiff_nn::obs::counter(name, v);
+        }
     }
 }
 

@@ -49,7 +49,10 @@ pub fn pot_threshold(scores: &[f64], init_quantile: f64, risk: f64) -> Option<Po
     if n_t < 4 {
         return None;
     }
-    let n = scores.len() as f64;
+    // Finite sample count: `t0` and the exceedances are computed over
+    // finite scores only, so NaN-polluted series must not inflate `n`
+    // and bias `tail_prob` below.
+    let n = scores.iter().filter(|s| s.is_finite()).count() as f64;
     let mean = exceed.iter().sum::<f64>() / n_t as f64;
     let var = exceed
         .iter()
@@ -121,6 +124,23 @@ mod tests {
             "threshold {} vs expected {expected}",
             pot.threshold
         );
+    }
+
+    #[test]
+    fn nan_pollution_does_not_bias_tail_prob() {
+        // Injected NaNs (what the fault injector produces) must leave the
+        // fit bit-identical: t0 and the exceedances already ignore them,
+        // and the sample count now does too.
+        let scores = exponential_scores(5000);
+        let clean = pot_threshold(&scores, 98.0, 1e-3).expect("clean fit");
+        let mut polluted = scores.clone();
+        polluted.extend(std::iter::repeat_n(f64::NAN, 2500));
+        polluted.push(f64::INFINITY);
+        let noisy = pot_threshold(&polluted, 98.0, 1e-3).expect("polluted fit");
+        assert_eq!(clean.t0.to_bits(), noisy.t0.to_bits());
+        assert_eq!(clean.shape.to_bits(), noisy.shape.to_bits());
+        assert_eq!(clean.scale.to_bits(), noisy.scale.to_bits());
+        assert_eq!(clean.threshold.to_bits(), noisy.threshold.to_bits());
     }
 
     #[test]

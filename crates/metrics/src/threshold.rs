@@ -4,7 +4,13 @@ use crate::point::{pa_prf1, PrF1};
 
 /// The score value at percentile `q` (0–100) of `scores`.
 ///
-/// Uses nearest-rank on a sorted copy. Non-finite scores are ignored.
+/// Convention: the sorted finite scores are indexed at
+/// `round(q/100 · (n − 1))` — the nearest *position* on the 0–100 scale
+/// stretched over the sample (NumPy's `interpolation="nearest"`), **not**
+/// classic nearest-rank `⌈q/100 · n⌉`. So `q = 0` is the minimum,
+/// `q = 100` the maximum, and with two samples the upper one is selected
+/// from `q = 50` upward (half rounds away from zero). Non-finite scores
+/// are ignored; an all-non-finite (or empty) input returns 0.0.
 pub fn threshold_at_percentile(scores: &[f64], q: f64) -> f64 {
     assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
     let mut finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
@@ -23,10 +29,20 @@ pub fn threshold_at_percentile(scores: &[f64], q: f64) -> f64 {
 /// spaced score quantiles. Returns `(threshold, metrics)` at the optimum.
 pub fn best_f1_threshold(scores: &[f64], truth: &[bool]) -> (f64, PrF1) {
     assert_eq!(scores.len(), truth.len(), "score/label length mismatch");
-    let mut best = (f64::INFINITY, PrF1::default());
-    // 0 predicted positives is a valid (all-negative) baseline.
+    // When no candidate beats F1 = 0 (0 predicted positives is a valid
+    // all-negative baseline), fall back to the max finite score — a usable
+    // "alarm on nothing seen so far" threshold — never ±∞.
+    let fallback = scores
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let fallback = if fallback.is_finite() { fallback } else { 0.0 };
+    let mut best = (fallback, PrF1::default());
+    // Candidates span the full 0–100 quantile range: an optimal cut below
+    // the median (e.g. when anomalies are the majority) is reachable.
     let candidates: Vec<f64> = (0..=200)
-        .map(|i| threshold_at_percentile(scores, 50.0 + 50.0 * i as f64 / 200.0))
+        .map(|i| threshold_at_percentile(scores, 100.0 * i as f64 / 200.0))
         .collect();
     let mut last = f64::NAN;
     for th in candidates {
@@ -67,6 +83,33 @@ mod tests {
     }
 
     #[test]
+    fn percentile_single_sample_any_quantile() {
+        let s = vec![7.0];
+        for q in [0.0, 37.3, 50.0, 100.0] {
+            assert_eq!(threshold_at_percentile(&s, q), 7.0);
+        }
+    }
+
+    #[test]
+    fn percentile_two_samples_pins_rounding_convention() {
+        // index = round(q/100 · 1): below q = 50 the lower sample, from
+        // q = 50 (half rounds away from zero) the upper one.
+        let s = vec![1.0, 2.0];
+        assert_eq!(threshold_at_percentile(&s, 0.0), 1.0);
+        assert_eq!(threshold_at_percentile(&s, 49.9), 1.0);
+        assert_eq!(threshold_at_percentile(&s, 50.0), 2.0);
+        assert_eq!(threshold_at_percentile(&s, 100.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_duplicated_values() {
+        let s = vec![2.0, 2.0, 2.0];
+        for q in [0.0, 33.0, 66.0, 100.0] {
+            assert_eq!(threshold_at_percentile(&s, q), 2.0);
+        }
+    }
+
+    #[test]
     fn best_threshold_separable_scores() {
         // Scores perfectly separate anomalies.
         let truth: Vec<bool> = (0..100).map(|i| (40..50).contains(&i)).collect();
@@ -82,9 +125,36 @@ mod tests {
     fn best_threshold_handles_constant_scores() {
         let truth = vec![false, true, false];
         let scores = vec![1.0, 1.0, 1.0];
-        let (_, m) = best_f1_threshold(&scores, &truth);
-        // Constant scores can never separate anything: F1 is 0.
+        let (th, m) = best_f1_threshold(&scores, &truth);
+        // Constant scores can never separate anything: F1 is 0, and the
+        // returned threshold is the (finite) max score, not ∞.
         assert_eq!(m.f1, 0.0);
+        assert_eq!(th, 1.0);
+    }
+
+    #[test]
+    fn best_threshold_reaches_optimum_below_median() {
+        // Anomalies are the majority, so the optimal cut (between 1.0 and
+        // 10.0) sits at the 20th percentile — below the median, which the
+        // old 50–100 candidate grid could never reach.
+        let truth: Vec<bool> = (0..100).map(|i| i < 80).collect();
+        let scores: Vec<f64> = (0..100)
+            .map(|i| if i < 80 { 10.0 } else { 1.0 })
+            .collect();
+        let (th, m) = best_f1_threshold(&scores, &truth);
+        assert_eq!(m.f1, 1.0, "optimum below the median must be reachable");
+        assert!((1.0..10.0).contains(&th), "threshold {th}");
+    }
+
+    #[test]
+    fn best_threshold_never_returns_infinity() {
+        // No threshold beats F1 = 0 here (no true anomalies): fall back to
+        // the max finite score instead of ∞.
+        let truth = vec![false; 4];
+        let scores = vec![3.0, 1.0, f64::NAN, 2.0];
+        let (th, m) = best_f1_threshold(&scores, &truth);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(th, 3.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod autodiff;
 mod error;
 pub mod init;
 pub mod layers;
+pub mod obs;
 pub mod ops;
 pub mod optim;
 pub mod pool;

@@ -115,6 +115,13 @@ pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    // mm_nt / mm_tn delegate here after packing, so this one dispatch
+    // point covers every kernel invocation exactly once.
+    let _kernel = crate::obs::span("nn.matmul");
+    if crate::obs::enabled() {
+        crate::obs::counter("nn.matmul.calls", 1);
+        crate::obs::histogram("nn.matmul.flops", 2.0 * m as f64 * k as f64 * n as f64);
+    }
     pool::parallel_slices_mut(out, n, row_grain(k, n), |r0, rows| {
         let mrows = rows.len() / n;
         mm_nn_block(&a[r0 * k..(r0 + mrows) * k], b, mrows, k, n, rows);

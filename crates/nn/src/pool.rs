@@ -103,7 +103,9 @@ where
     }
     let budget = max_threads();
     let ranges = split_ranges(n, grain, budget);
+    record_dispatch(&ranges);
     if ranges.len() == 1 {
+        let _busy = crate::obs::span("pool.worker");
         f(0..n);
         return;
     }
@@ -116,9 +118,17 @@ where
         let f = &f;
         for r in &ranges[1..] {
             let r = r.clone();
-            s.spawn(move || with_threads(inner, || f(r)));
+            s.spawn(move || {
+                with_threads(inner, || {
+                    let _busy = crate::obs::span("pool.worker");
+                    f(r)
+                })
+            });
         }
-        with_threads(inner, || f(ranges[0].clone()));
+        with_threads(inner, || {
+            let _busy = crate::obs::span("pool.worker");
+            f(ranges[0].clone())
+        });
     });
 }
 
@@ -167,7 +177,9 @@ where
     }
     let budget = max_threads();
     let ranges = split_ranges(units, grain, budget);
+    record_dispatch(&ranges);
     if ranges.len() == 1 {
+        let _busy = crate::obs::span("pool.worker");
         f(0, data);
         return;
     }
@@ -188,13 +200,39 @@ where
                 head = Some(run);
                 first = false;
             } else {
-                s.spawn(move || with_threads(inner, || f(start, run)));
+                s.spawn(move || {
+                    with_threads(inner, || {
+                        let _busy = crate::obs::span("pool.worker");
+                        f(start, run)
+                    })
+                });
             }
         }
         if let Some(run) = head {
-            with_threads(inner, || f(0, run));
+            with_threads(inner, || {
+                let _busy = crate::obs::span("pool.worker");
+                f(0, run)
+            });
         }
     });
+}
+
+/// Records dispatch telemetry for one parallel call: how many tasks were
+/// produced and the size of each grain (in work units). Purely
+/// observational — the partition in `ranges` is already fixed and is
+/// never influenced by whether observability is enabled.
+fn record_dispatch(ranges: &[Range<usize>]) {
+    if !crate::obs::enabled() {
+        return;
+    }
+    crate::obs::counter("pool.dispatches", 1);
+    crate::obs::counter("pool.tasks", ranges.len() as u64);
+    if ranges.len() == 1 {
+        crate::obs::counter("pool.inline_runs", 1);
+    }
+    for r in ranges {
+        crate::obs::histogram("pool.grain_units", (r.end - r.start) as f64);
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! Property-based tests on the evaluation metrics (proptest).
 
 use imdiffusion_repro::metrics::{
-    average_detection_delay, best_f1_threshold, point, range_auc_pr, threshold_at_percentile,
+    average_detection_delay, best_f1_threshold, point, pot_threshold, range_auc_pr,
+    threshold_at_percentile,
 };
 use proptest::prelude::*;
 
@@ -59,7 +60,7 @@ proptest! {
     fn best_threshold_is_at_least_as_good_as_any_percentile(
         scores in scores_strategy(200),
         truth in labels_strategy(200),
-        q in 50.0f64..100.0,
+        q in 0.0f64..100.0,
     ) {
         let (_, best) = best_f1_threshold(&scores, &truth);
         let th = threshold_at_percentile(&scores, q);
@@ -81,6 +82,81 @@ proptest! {
     fn percentile_is_monotone(scores in scores_strategy(100), a in 0.0f64..100.0, b in 0.0f64..100.0) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(threshold_at_percentile(&scores, lo) <= threshold_at_percentile(&scores, hi));
+    }
+
+    #[test]
+    fn constant_scores_never_yield_infinite_thresholds(
+        v in -5.0f64..5.0,
+        truth in labels_strategy(120),
+    ) {
+        let scores = vec![v; truth.len()];
+        let (th, m) = best_f1_threshold(&scores, &truth);
+        // A constant series separates nothing: F1 is 0 and the fallback
+        // threshold is the (finite) constant itself, never ±∞.
+        prop_assert_eq!(m.f1, 0.0);
+        prop_assert_eq!(th, v);
+        prop_assert_eq!(threshold_at_percentile(&scores, 50.0), v);
+        // Zero exceedances above any quantile: POT must decline to fit.
+        prop_assert!(pot_threshold(&scores, 98.0, 1e-3).is_none());
+    }
+
+    #[test]
+    fn all_anomalous_truth_is_fully_detectable(scores in scores_strategy(120)) {
+        // At least two distinct scores, so some threshold predicts a
+        // non-empty positive set.
+        prop_assume!(scores.iter().any(|&s| s != scores[0]));
+        let truth = vec![true; scores.len()];
+        // One true segment spans the series: any hit point-adjusts to
+        // full recall at precision 1.
+        let (_, m) = best_f1_threshold(&scores, &truth);
+        prop_assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn nan_heavy_series_stay_finite_and_unbiased(
+        scores in scores_strategy(150),
+        nan_mask in proptest::collection::vec(proptest::bool::weighted(0.4), 150),
+        truth in labels_strategy(150),
+    ) {
+        let mixed: Vec<f64> = scores
+            .iter()
+            .zip(&nan_mask)
+            .map(|(&s, &m)| if m { f64::NAN } else { s })
+            .collect();
+        prop_assume!(mixed.iter().any(|s| s.is_finite()));
+        let (th, _) = best_f1_threshold(&mixed, &truth);
+        prop_assert!(th.is_finite());
+        prop_assert!(threshold_at_percentile(&mixed, 99.0).is_finite());
+        // The POT fit must be bit-identical whether the NaNs are present
+        // or pre-filtered (both paths see the same finite sample).
+        let finite: Vec<f64> = mixed.iter().copied().filter(|s| s.is_finite()).collect();
+        match (pot_threshold(&finite, 90.0, 1e-2), pot_threshold(&mixed, 90.0, 1e-2)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+                prop_assert_eq!(a.t0.to_bits(), b.t0.to_bits());
+            }
+            (a, b) => prop_assert!(false, "NaN pollution changed the POT fit: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn best_f1_invariant_under_affine_rescaling(
+        raw in proptest::collection::vec(0usize..1000, 120),
+        truth in labels_strategy(120),
+        a in 0.5f64..4.0,
+        b in -5.0f64..5.0,
+    ) {
+        // Scores on a 0.01 grid keep inter-score gaps far above f64
+        // rounding error, so the scaled comparisons decide identically.
+        let scores: Vec<f64> = raw.iter().map(|&r| r as f64 / 100.0).collect();
+        let scaled: Vec<f64> = scores.iter().map(|&s| a * s + b).collect();
+        let (_, m0) = best_f1_threshold(&scores, &truth);
+        let (_, m1) = best_f1_threshold(&scaled, &truth);
+        // A positive affine map preserves score order, hence the
+        // reachable prediction sets and the optimal F1.
+        prop_assert!((m0.f1 - m1.f1).abs() < 1e-12,
+            "affine rescaling changed best F1: {} vs {}", m0.f1, m1.f1);
     }
 
     #[test]

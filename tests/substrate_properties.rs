@@ -221,6 +221,56 @@ mod thread_determinism {
         }
     }
 
+    /// Observability may only *observe*: with spans/counters enabled, the
+    /// detector must reproduce the disabled-path scores and verdicts
+    /// bit-for-bit at every thread count (spans must not perturb RNG
+    /// streams or merge order), while the snapshot actually captures the
+    /// inference and pool spans.
+    #[test]
+    fn observability_does_not_perturb_inference() {
+        use imdiffusion_repro::nn::obs;
+
+        let size = SizeProfile {
+            train_len: 160,
+            test_len: 64,
+        };
+        let ds = generate(Benchmark::Gcp, &size, 3);
+        let cfg = ImDiffusionConfig {
+            train_steps: 8,
+            ddim_steps: Some(4),
+            ..ImDiffusionConfig::quick()
+        };
+        let mut det = ImDiffusionDetector::new(cfg, 9);
+        pool::with_threads(1, || det.fit(&ds.train).expect("fit"));
+
+        obs::set_enabled(false);
+        let reference = pool::with_threads(1, || det.detect(&ds.test).expect("detect"));
+        let ref_bits: Vec<u64> = reference.scores.iter().map(|s| s.to_bits()).collect();
+
+        obs::set_enabled(true);
+        obs::reset();
+        for t in [1usize, 2, 4] {
+            let got = pool::with_threads(t, || det.detect(&ds.test).expect("detect"));
+            let got_bits: Vec<u64> = got.scores.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(got_bits, ref_bits, "obs-enabled scores differ at {t} threads");
+            assert_eq!(
+                got.labels, reference.labels,
+                "obs-enabled labels differ at {t} threads"
+            );
+        }
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        for name in ["infer.ensemble", "infer.group", "infer.denoise_step", "pool.worker"] {
+            let s = snap.span(name).unwrap_or_else(|| panic!("span {name} missing"));
+            assert!(s.count > 0, "span {name} recorded no calls");
+            assert!(s.total_ns >= s.self_ns, "span {name}: self > total");
+        }
+        // `>=`: other tests in this binary may also run inference while
+        // the toggle is on — their counts land in the same registry.
+        assert!(snap.counter("infer.runs").unwrap_or(0) >= 3);
+        assert!(snap.counter("nn.matmul.calls").unwrap_or(0) > 0);
+    }
+
     /// `IMDIFF_THREADS=1` and an unset variable resolve to different pool
     /// widths yet must agree bit-for-bit, because every result is
     /// thread-count invariant by construction. (Mutating the process

@@ -254,6 +254,40 @@ fn all_nan_data_aborts_with_typed_error() {
     assert!(err.to_string().contains("diverged"));
 }
 
+/// Observability enabled vs disabled must leave the training trajectory
+/// bit-identical: the spans/histograms never touch the RNG stream, the
+/// batch composition, or the update arithmetic. Also checks the snapshot
+/// captured the trainer's spans with consistent total/self durations.
+#[test]
+fn observability_does_not_perturb_training() {
+    use imdiffusion_repro::nn::obs;
+
+    let cfg = tiny_cfg();
+    obs::set_enabled(false);
+    let (ref_losses, ref_params) = uninterrupted(&cfg, 5);
+
+    obs::set_enabled(true);
+    obs::reset();
+    let (losses, params) = uninterrupted(&cfg, 5);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    assert_eq!(losses, ref_losses, "obs-enabled losses diverged");
+    assert_eq!(params, ref_params, "obs-enabled weights diverged");
+
+    let run = snap.span("trainer.run").expect("trainer.run span");
+    assert!(run.count >= 1);
+    let step = snap.span("trainer.step").expect("trainer.step span");
+    assert!(step.count >= cfg.train_steps as u64);
+    assert!(step.total_ns >= step.self_ns);
+    // `>=`: other tests in this binary may train concurrently while the
+    // toggle is on — their steps land in the same registry.
+    assert!(snap.counter("trainer.steps").unwrap_or(0) >= cfg.train_steps as u64);
+    let loss_hist = snap.histogram("trainer.loss").expect("trainer.loss histogram");
+    assert!(loss_hist.count >= cfg.train_steps as u64);
+    assert!(snap.histogram("trainer.grad_norm").is_some());
+}
+
 // ---------------------------------------------------------------------------
 // Corruption properties: no damaged checkpoint ever loads
 // ---------------------------------------------------------------------------
