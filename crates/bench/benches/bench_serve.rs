@@ -1,0 +1,142 @@
+//! Criterion bench for the serving layer: p50/p99 request latency as a
+//! function of the pipelined batch size. Each iteration sends B score
+//! requests back-to-back on one connection and waits for all B replies,
+//! so with `max_batch = B` the shard coalesces them into one ensemble
+//! call — `elements_per_sec` (requests/s) rising with B is micro-batching
+//! paying for itself versus the batch=1 baseline.
+//!
+//! ```sh
+//! cargo bench -p imdiff-bench --bench bench_serve -- --save-json BENCH_serve.json
+//! ```
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiff_data::Detector;
+use imdiff_serve::wire::Request;
+use imdiff_serve::{ServeClient, ServeConfig, Server, TenantSpec};
+use imdiffusion::{ImDiffusionConfig, ImDiffusionDetector};
+
+fn bench_cfg() -> ImDiffusionConfig {
+    ImDiffusionConfig {
+        window: 16,
+        train_stride: 8,
+        hidden: 8,
+        heads: 2,
+        residual_blocks: 1,
+        diffusion_steps: 5,
+        train_steps: 10,
+        batch_size: 2,
+        vote_span: 5,
+        vote_every: 2,
+        ..ImDiffusionConfig::quick()
+    }
+}
+
+const HOP: usize = 4;
+
+fn bench_request_latency(c: &mut Criterion) {
+    let profile = SizeProfile {
+        train_len: 80,
+        test_len: 64,
+    };
+    let ds = generate(Benchmark::Gcp, &profile, 4);
+    let mut det = ImDiffusionDetector::new(bench_cfg(), 4);
+    det.fit(&ds.train).expect("fit");
+    let dir = std::env::temp_dir().join(format!("imdiff-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let checkpoint = dir.join("tenant.imdf");
+    det.save(&checkpoint).expect("save");
+
+    let mut group = c.benchmark_group("serve_score");
+    group.sample_size(20);
+    for batch in [1usize, 2, 4, 8] {
+        let server = Server::start(
+            ServeConfig {
+                shards: 1,
+                max_batch: batch,
+                // Flush on count, not deadline: each iteration pipelines
+                // exactly `batch` requests, so the coalesced size is B.
+                max_wait: Duration::from_millis(50),
+                max_queue: 256,
+                shed_after: Duration::from_secs(3600),
+                deadline: Duration::from_secs(3600),
+                reload_poll: None,
+                ..ServeConfig::default()
+            },
+            vec![TenantSpec {
+                id: "bench".into(),
+                checkpoint: checkpoint.clone(),
+                cfg: bench_cfg(),
+                seed: 4,
+                channels: ds.train.dim(),
+                hop: HOP,
+            }],
+        )
+        .expect("server start");
+        let mut client = ServeClient::connect(server.addr()).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut cursor = 0usize;
+        let next_rows = |cursor: &mut usize| -> Vec<Vec<f32>> {
+            (0..HOP)
+                .map(|_| {
+                    let row = ds.test.row(*cursor % ds.test.len()).to_vec();
+                    *cursor += 1;
+                    row
+                })
+                .collect()
+        };
+        // Fill the monitor's window buffer so every timed request costs
+        // one steady-state ensemble evaluation.
+        for _ in 0..8 {
+            client
+                .score("bench", 0, next_rows(&mut cursor))
+                .expect("warmup");
+        }
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("batch{batch}")),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    for _ in 0..batch {
+                        client
+                            .send_score("bench", 0, next_rows(&mut cursor))
+                            .expect("send");
+                    }
+                    for _ in 0..batch {
+                        client.recv_scored().expect("scored");
+                    }
+                });
+            },
+        );
+        drop(client);
+        server.drain();
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let rows: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 8]).collect();
+    let req = Request::Score {
+        tenant: "bench".into(),
+        gap_before: 0,
+        rows,
+    };
+    let frame = req.to_bytes();
+    let mut group = c.benchmark_group("serve_wire");
+    group.sample_size(1000);
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_decode_4x8", |b| {
+        b.iter(|| {
+            let bytes = req.to_bytes();
+            Request::from_bytes(&bytes).expect("decode")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_latency, bench_wire_codec);
+criterion_main!(benches);

@@ -41,6 +41,12 @@ struct Record {
     iters: u64,
     threads: Option<usize>,
     throughput: Option<Throughput>,
+    /// Median and 99th-percentile single-iteration times (shim
+    /// extension) — tail latency matters for serving benchmarks, where
+    /// the mean hides queueing spikes. `None` when too few iterations
+    /// ran to make a tail meaningful.
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
 }
 
 /// CLI options recognised by the shim.
@@ -104,6 +110,10 @@ pub struct Bencher {
     last_mean: Option<Duration>,
     /// Iterations actually timed by the last `iter` call.
     last_iters: u64,
+    /// Median single-iteration time of the last `iter` call.
+    last_p50: Option<Duration>,
+    /// 99th-percentile single-iteration time of the last `iter` call.
+    last_p99: Option<Duration>,
 }
 
 impl Bencher {
@@ -112,24 +122,41 @@ impl Bencher {
             iters_hint,
             last_mean: None,
             last_iters: 0,
+            last_p50: None,
+            last_p99: None,
         }
     }
 
-    /// Times `routine`, running it enough times to smooth noise.
+    /// Times `routine`, running it enough times to smooth noise. Each
+    /// iteration is timed individually so the report can carry p50/p99
+    /// alongside the mean (the quantiles serving benches care about).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: one untimed call (fills caches, triggers lazy init).
         black_box(routine());
         let mut total = Duration::ZERO;
-        let mut iters = 0u64;
+        let mut samples: Vec<Duration> = Vec::new();
         let budget = Duration::from_millis(300);
-        while iters < self.iters_hint || (total < budget && iters < 10_000) {
+        while (samples.len() as u64) < self.iters_hint
+            || (total < budget && samples.len() < 10_000)
+        {
             let t0 = Instant::now();
             black_box(routine());
-            total += t0.elapsed();
-            iters += 1;
+            let dt = t0.elapsed();
+            total += dt;
+            samples.push(dt);
         }
+        let iters = samples.len() as u64;
         self.last_mean = Some(total / iters as u32);
         self.last_iters = iters;
+        samples.sort_unstable();
+        // NumPy-"nearest" rank, matching the workspace's threshold
+        // convention: index = round(q * (n - 1)).
+        let quantile = |q: f64| -> Duration {
+            let idx = (q * (samples.len() - 1) as f64).round() as usize;
+            samples[idx]
+        };
+        self.last_p50 = Some(quantile(0.50));
+        self.last_p99 = (samples.len() >= 10).then(|| quantile(0.99));
     }
 }
 
@@ -175,11 +202,11 @@ impl fmt::Display for BenchmarkId {
 
 fn report(
     name: &str,
-    mean: Option<Duration>,
-    iters: u64,
+    b: &Bencher,
     threads: Option<usize>,
     throughput: Option<Throughput>,
 ) {
+    let (mean, iters) = (b.last_mean, b.last_iters);
     let Some(mean) = mean else {
         println!("{name:<40} (no measurement)");
         return;
@@ -203,6 +230,8 @@ fn report(
         iters,
         threads,
         throughput,
+        p50_ns: b.last_p50.map(|d| d.as_nanos() as f64),
+        p99_ns: b.last_p99.map(|d| d.as_nanos() as f64),
     });
 }
 
@@ -228,6 +257,12 @@ pub fn finalize() {
         ];
         if let Some(t) = r.threads {
             fields.push(format!("\"threads\": {t}"));
+        }
+        if let Some(p50) = r.p50_ns {
+            fields.push(format!("\"p50_ns\": {p50:.1}"));
+        }
+        if let Some(p99) = r.p99_ns {
+            fields.push(format!("\"p99_ns\": {p99:.1}"));
         }
         let secs = r.ns_per_iter / 1e9;
         match r.throughput {
@@ -312,7 +347,7 @@ impl BenchmarkGroup<'_> {
         }
         let mut b = Bencher::new(self.sample_size);
         f(&mut b, input);
-        report(&full, b.last_mean, b.last_iters, self.threads, self.throughput);
+        report(&full, &b, self.threads, self.throughput);
         self
     }
 
@@ -327,7 +362,7 @@ impl BenchmarkGroup<'_> {
         }
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        report(&full, b.last_mean, b.last_iters, self.threads, self.throughput);
+        report(&full, &b, self.threads, self.throughput);
         self
     }
 
@@ -350,7 +385,7 @@ impl Criterion {
         }
         let mut b = Bencher::new(10);
         f(&mut b);
-        report(name, b.last_mean, b.last_iters, None, None);
+        report(name, &b, None, None);
         self
     }
 
@@ -435,17 +470,14 @@ mod tests {
 
     #[test]
     fn records_accumulate_and_json_escapes() {
-        report(
-            "json/\"quoted\"",
-            Some(Duration::from_nanos(1500)),
-            7,
-            Some(2),
-            Some(Throughput::Flops(3000)),
-        );
+        let mut b = Bencher::new(7);
+        b.iter(|| std::hint::black_box(1 + 1));
+        report("json/\"quoted\"", &b, Some(2), Some(Throughput::Flops(3000)));
         let recs = records().lock().unwrap();
         let r = recs.iter().find(|r| r.id.starts_with("json/")).unwrap();
-        assert_eq!(r.iters, 7);
+        assert!(r.iters >= 7);
         assert_eq!(r.threads, Some(2));
+        assert!(r.p50_ns.is_some());
         assert_eq!(json_escape(&r.id), "json/\\\"quoted\\\"");
     }
 }

@@ -2,9 +2,10 @@
 
 use imdiff_data::{Detection, Detector, DetectorError, Mts, NormMethod, Normalizer};
 use imdiff_diffusion::NoiseSchedule;
+use imdiff_nn::layers::Module;
 
 use crate::config::ImDiffusionConfig;
-use crate::infer::{ensemble_infer_masked, EnsembleOutput};
+use crate::infer::{ensemble_infer_masked, ensemble_infer_windows, EnsembleOutput};
 use crate::model::ImTransformer;
 use crate::trainer::{Trainer, TrainerOptions, TrainReport};
 
@@ -93,6 +94,11 @@ impl ImDiffusionDetector {
     /// **or** a checkpoint restore (which never populates a train report).
     pub fn is_fitted(&self) -> bool {
         self.fitted.is_some()
+    }
+
+    /// Channel count of the fitted model (`None` before fit/restore).
+    pub fn channels(&self) -> Option<usize> {
+        self.fitted.as_ref().map(|f| f.channels)
     }
 
     /// [`Detector::fit`] driven by a configurable [`Trainer`]: with a
@@ -223,6 +229,145 @@ impl ImDiffusionDetector {
         };
         self.last_output = Some(out);
         Ok(detection)
+    }
+
+    /// Scores a batch of independent single-window requests in one
+    /// ensemble pass — the serving layer's micro-batching hook. Each
+    /// window must be exactly `cfg.window` rows; its optional mask is
+    /// row-major `[W, K]`. Validation matches [`Self::detect_with_missing`]
+    /// (NaN accepted only in declared-missing cells), and the results are
+    /// bit-identical to scoring each window alone: both paths reach
+    /// [`ensemble_infer_windows`]'s arithmetic with the same per-window
+    /// RNG stream and the same inference seed.
+    ///
+    /// `&self`, not `&mut self`: batched scoring never touches the
+    /// `last_output` trace, so concurrent read-only sharing is safe.
+    pub fn detect_windows(
+        &self,
+        windows: &[(&Mts, Option<&[bool]>)],
+    ) -> Result<Vec<EnsembleOutput>, DetectorError> {
+        let fitted = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
+        let w = self.cfg.window;
+        for (series, missing) in windows {
+            if series.dim() != fitted.channels {
+                return Err(DetectorError::DimensionMismatch {
+                    expected: fitted.channels,
+                    actual: series.dim(),
+                });
+            }
+            if series.len() != w {
+                return Err(DetectorError::InvalidTrainingData(format!(
+                    "batched request must be exactly one window ({} rows), got {}",
+                    w,
+                    series.len()
+                )));
+            }
+            if let Some(m) = missing {
+                if m.len() != w * series.dim() {
+                    return Err(DetectorError::InvalidTrainingData(format!(
+                        "missing mask has {} cells, window has {}",
+                        m.len(),
+                        w * series.dim()
+                    )));
+                }
+            }
+            let declared =
+                |l: usize, c: usize| missing.is_some_and(|m| m[l * series.dim() + c]);
+            for l in 0..series.len() {
+                for c in 0..series.dim() {
+                    if !series.get(l, c).is_finite() && !declared(l, c) {
+                        return Err(DetectorError::NonFiniteInput {
+                            index: l,
+                            channel: c,
+                        });
+                    }
+                }
+            }
+        }
+        let normed: Vec<Mts> = windows
+            .iter()
+            .map(|(series, _)| fitted.normalizer.transform(series))
+            .collect();
+        let reqs: Vec<(&Mts, Option<&[bool]>)> = normed
+            .iter()
+            .zip(windows)
+            .map(|(n, (_, missing))| (n, *missing))
+            .collect();
+        Ok(ensemble_infer_windows(
+            &fitted.model,
+            &self.cfg,
+            &fitted.schedule,
+            &reqs,
+            self.seed ^ 0x5A5A,
+        ))
+    }
+
+    /// Extracts a [`DetectorSpec`] — a `Send`-safe, plain-data snapshot of
+    /// the fitted state — or `None` before fit/restore.
+    pub fn to_spec(&self) -> Option<DetectorSpec> {
+        self.fitted.as_ref().map(|f| {
+            let (offset, scale) = f.normalizer.stats();
+            DetectorSpec {
+                cfg: self.cfg.clone(),
+                seed: self.seed,
+                channels: f.channels,
+                params: f.model.params().iter().map(|p| p.to_vec()).collect(),
+                norm_offset: offset,
+                norm_scale: scale,
+            }
+        })
+    }
+}
+
+/// A `Send`-safe, plain-data snapshot of a fitted [`ImDiffusionDetector`].
+///
+/// `Tensor` is `Rc`-based (thread-local), so a fitted detector cannot
+/// cross threads. A spec can: it carries the configuration, seed,
+/// normalizer statistics and a flat `f32` parameter snapshot, and
+/// [`DetectorSpec::build`] reconstructs an identical detector on the
+/// receiving thread. This is how the serving layer ships freshly loaded
+/// checkpoints from a watcher thread into the shard that owns the
+/// monitor.
+#[derive(Debug, Clone)]
+pub struct DetectorSpec {
+    cfg: ImDiffusionConfig,
+    seed: u64,
+    channels: usize,
+    params: Vec<Vec<f32>>,
+    norm_offset: Vec<f32>,
+    norm_scale: Vec<f32>,
+}
+
+impl DetectorSpec {
+    /// Rebuilds the detector this spec was extracted from. The rebuilt
+    /// model's parameters are bit-identical to the source's, so detection
+    /// results are too.
+    pub fn build(&self) -> ImDiffusionDetector {
+        let mut det = ImDiffusionDetector::new(self.cfg.clone(), self.seed);
+        det.init_untrained(self.channels);
+        det.set_normalizer_vectors(&self.norm_offset, &self.norm_scale);
+        let fitted = det.fitted.as_mut().expect("just initialised");
+        let params = fitted.model.params();
+        assert_eq!(params.len(), self.params.len(), "spec arity mismatch");
+        for (p, s) in params.iter().zip(&self.params) {
+            p.set_data(s);
+        }
+        det
+    }
+
+    /// The configuration carried by the spec.
+    pub fn config(&self) -> &ImDiffusionConfig {
+        &self.cfg
+    }
+
+    /// Channel count of the fitted model.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The construction seed carried by the spec.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 

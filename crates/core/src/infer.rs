@@ -29,7 +29,7 @@ fn window_rng(seed: u64, wi: usize) -> StdRng {
 /// Rebuilds the denoiser from a parameter snapshot. `Tensor` is
 /// `Rc`-based (thread-local); workers get their own model built from the
 /// plain-`f32` snapshot, which *is* `Send`.
-fn model_from_snapshot(
+pub(crate) fn model_from_snapshot(
     cfg: &ImDiffusionConfig,
     k: usize,
     snapshot: &[Vec<f32>],
@@ -51,6 +51,245 @@ struct GroupAccum {
     imp: Vec<Vec<f64>>,
     cnt: Vec<f64>,
     imp_cnt: Vec<f64>,
+}
+
+/// Read-only context shared by every denoising-chain task: the run's
+/// configuration, schedule and mask policies plus the step plan. The
+/// chain body lives here so the coverage path ([`ensemble_infer_masked`])
+/// and the request-batching path ([`ensemble_infer_windows`]) execute the
+/// *same* arithmetic — they differ only in which windows they feed and
+/// which RNG stream each window owns.
+struct ChainCtx<'a> {
+    cfg: &'a ImDiffusionConfig,
+    schedule: &'a NoiseSchedule,
+    policy_masks: &'a [(Vec<f32>, Vec<f32>)],
+    reverse_steps: &'a [usize],
+    vote_steps: &'a [usize],
+    k: usize,
+    w: usize,
+}
+
+impl ChainCtx<'_> {
+    /// Runs the full reverse chain for one group of windows under every
+    /// mask policy, the windows batched into one model forward per step.
+    /// `x0` is the group's channel-major window data, `wmiss` its
+    /// per-window missing flags, and `rngs[wl]` the noise stream window
+    /// `wl` draws *all* its variates from — a group's output depends only
+    /// on its windows and their streams, never on grouping or threads.
+    fn run_chain(
+        &self,
+        model: &ImTransformer,
+        x0: &[f32],
+        wmiss: &[Vec<bool>],
+        mut rngs: Vec<StdRng>,
+    ) -> GroupAccum {
+        let _grp = obs::span("infer.group");
+        let (cfg, schedule) = (self.cfg, self.schedule);
+        let (k, w) = (self.k, self.w);
+        let cell = k * w;
+        let gw = wmiss.len();
+        debug_assert_eq!(x0.len(), gw * cell);
+        debug_assert_eq!(rngs.len(), gw);
+        obs::histogram("infer.group_windows", gw as f64);
+        let gcell = gw * cell;
+        let n_votes = self.vote_steps.len();
+        // Draws `cell` variates per window, each from that window's own
+        // stream, in fixed window order.
+        let draw = |rngs: &mut [StdRng]| -> Vec<f32> {
+            let mut buf = vec![0.0f32; gcell];
+            for (wl, r) in rngs.iter_mut().enumerate() {
+                for v in &mut buf[wl * cell..(wl + 1) * cell] {
+                    *v = normal(r);
+                }
+            }
+            buf
+        };
+        let mut acc = GroupAccum {
+            err: vec![vec![0.0f64; gcell]; n_votes],
+            imp: vec![vec![0.0f64; gcell]; n_votes],
+            cnt: vec![0.0f64; gcell],
+            imp_cnt: vec![0.0f64; gcell],
+        };
+
+        for (pi, (obs, tgt)) in self.policy_masks.iter().enumerate() {
+            // Initial noise on the masked region (X_T, Algorithm 1 line 2).
+            let mut x_cur = draw(&mut rngs);
+            let policies_vec = vec![pi; gw];
+            let mut steps_buf = vec![0usize; gw];
+
+            for (step_idx, &t) in self.reverse_steps.iter().enumerate() {
+                let _den = obs::span("infer.denoise_step");
+                let t_prev = self.reverse_steps.get(step_idx + 1).copied().unwrap_or(0);
+                // Fresh forward noise for the observed region (ε_t^{M1}).
+                let eps_ref = draw(&mut rngs);
+                let mut x_val = vec![0.0f32; gcell];
+                let mut x_ref = vec![0.0f32; gcell];
+                let sab = schedule.sqrt_alpha_bar(t);
+                let somab = schedule.sqrt_one_minus_alpha_bar(t);
+                for (wl, wm) in wmiss.iter().enumerate() {
+                    let base = wl * cell;
+                    for j in 0..cell {
+                        // Missing cells are imputation targets under every
+                        // policy: the model must never condition on their
+                        // placeholder values.
+                        let (o, gt) = if wm[j] { (0.0, 1.0) } else { (obs[j], tgt[j]) };
+                        if cfg.unconditional {
+                            // Observed cells follow their known forward
+                            // trajectory (ground truth + sampled noise);
+                            // masked cells carry the reverse-chain iterate.
+                            // The noise reference ε_t^{M1} is what makes the
+                            // observed part decodable (§4.1).
+                            let xt_obs = sab * x0[base + j] + somab * eps_ref[base + j];
+                            x_val[base + j] = x_cur[base + j] * gt + xt_obs * o;
+                            x_ref[base + j] = eps_ref[base + j] * o;
+                        } else {
+                            x_val[base + j] = x_cur[base + j] * gt;
+                            x_ref[base + j] = x0[base + j] * o;
+                        }
+                    }
+                }
+                steps_buf.iter_mut().for_each(|s| *s = t);
+                let x_val_t = Tensor::from_vec(x_val, &[gw, k, w]).expect("x_val shape");
+                let x_ref_t = Tensor::from_vec(x_ref, &[gw, k, w]).expect("x_ref shape");
+                let eps_hat =
+                    no_grad(|| model.forward(&x_val_t, &x_ref_t, &steps_buf, &policies_vec));
+
+                // Reverse transition (Algorithm 1 line 6 / Eq. 9) through
+                // the clamped-x̂0 parameterization: the x̂0 estimate is
+                // clipped to the (normalized) data range every step so
+                // imperfect noise predictions cannot compound into
+                // divergence — the standard DDPM sampling stabilizer.
+                let (clamp_lo, clamp_hi) = cfg.x0_clamp;
+                let mut x0_hat = {
+                    let eps_hat_d = eps_hat.data();
+                    schedule.predict_x0(&x_cur, &eps_hat_d, t)
+                };
+                for v in &mut x0_hat {
+                    *v = v.clamp(clamp_lo, clamp_hi);
+                }
+                let x_prev = if cfg.ddim_steps.is_some() {
+                    // Deterministic DDIM jump to the next visited step.
+                    if t_prev == 0 {
+                        x0_hat.clone()
+                    } else {
+                        schedule.ddim_step(&x_cur, &x0_hat, t, t_prev)
+                    }
+                } else {
+                    let z = draw(&mut rngs);
+                    schedule.p_step_from_x0(&x_cur, &x0_hat, t, &z)
+                };
+
+                if let Some(vi) = self.vote_steps.iter().position(|&vs| vs == t) {
+                    // Record the prediction error E_t on the masked region
+                    // (Algorithm 1 line 7). The prediction read out at step
+                    // t is the deterministic x̂_0 implied by ε̂ — the same
+                    // information as X_{t-1} but without the freshly
+                    // injected sampling noise, which keeps the error signal
+                    // low-variance.
+                    for (wl, wm) in wmiss.iter().enumerate() {
+                        let base = wl * cell;
+                        for j in 0..cell {
+                            let miss = wm[j];
+                            if miss || tgt[j] == 1.0 {
+                                let lj = base + j;
+                                let pred = x0_hat[lj] as f64;
+                                acc.imp[vi][lj] += pred;
+                                if vi == 0 {
+                                    acc.imp_cnt[lj] += 1.0;
+                                }
+                                // Missing cells have no ground truth: they
+                                // are imputed but never scored.
+                                if !miss {
+                                    let truth = x0[lj] as f64;
+                                    acc.err[vi][lj] += (truth - pred) * (truth - pred);
+                                    if vi == 0 {
+                                        acc.cnt[lj] += 1.0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                x_cur = x_prev;
+            }
+        }
+        acc
+    }
+}
+
+/// Runs `n_groups` chain tasks: in parallel chunks when the pool has
+/// width to spend (each worker rebuilds the model from a plain-`f32`
+/// snapshot, since tensors are thread-local), serially on the caller's
+/// model otherwise. Chunking only changes which worker runs a group,
+/// never its result.
+fn run_groups<F>(
+    model: &ImTransformer,
+    cfg: &ImDiffusionConfig,
+    k: usize,
+    n_groups: usize,
+    run_group: F,
+) -> Vec<GroupAccum>
+where
+    F: Fn(&ImTransformer, usize) -> GroupAccum + Sync,
+{
+    let width = pool::max_threads().min(n_groups);
+    if width > 1 {
+        let snapshot: Vec<Vec<f32>> = model.params().iter().map(|p| p.to_vec()).collect();
+        let chunk = n_groups.div_ceil(width);
+        let per_chunk = pool::parallel_map(width, 1, |ci| {
+            let local = model_from_snapshot(cfg, k, &snapshot);
+            (ci * chunk..((ci + 1) * chunk).min(n_groups))
+                .map(|g| run_group(&local, g))
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    } else {
+        (0..n_groups).map(|g| run_group(model, g)).collect()
+    }
+}
+
+/// Series-level accumulators in row-major `[L, K]` layout, folded from
+/// window-local group accumulators in fixed window order (overlapping
+/// tail windows make the f64 addition order-sensitive in the last bit).
+/// Error and imputation coverage are tracked separately: missing cells
+/// are imputed (`imp_count > 0`) but never scored (`count` stays 0).
+struct SeriesAccum {
+    err_sum: Vec<Vec<f64>>,
+    imp_sum: Vec<Vec<f64>>,
+    count: Vec<f64>,
+    imp_count: Vec<f64>,
+}
+
+impl SeriesAccum {
+    fn zeros(n_votes: usize, cells: usize) -> Self {
+        SeriesAccum {
+            err_sum: vec![vec![0.0f64; cells]; n_votes],
+            imp_sum: vec![vec![0.0f64; cells]; n_votes],
+            count: vec![0.0f64; cells],
+            imp_count: vec![0.0f64; cells],
+        }
+    }
+
+    /// Folds window `wl` of a group accumulator into the series sums at
+    /// window start `start` (channel-major window-local layout
+    /// `c * w + t` → row-major global `(start + t) * k + c`).
+    fn merge_window(&mut self, acc: &GroupAccum, wl: usize, start: usize, k: usize, w: usize) {
+        let cell = k * w;
+        let base = wl * cell;
+        let n_votes = self.err_sum.len();
+        for c in 0..k {
+            for tl in 0..w {
+                let lj = base + c * w + tl;
+                let global = (start + tl) * k + c;
+                for vi in 0..n_votes {
+                    self.err_sum[vi][global] += acc.err[vi][lj];
+                    self.imp_sum[vi][global] += acc.imp[vi][lj];
+                }
+                self.count[global] += acc.cnt[lj];
+                self.imp_count[global] += acc.imp_cnt[lj];
+            }
+        }
+    }
 }
 
 /// Per-denoising-step record of the ensemble (one entry per vote step).
@@ -156,6 +395,45 @@ impl EnsembleOutput {
     }
 }
 
+/// Resolves the effective missing set (declared ∪ non-finite) and
+/// sanitizes the series: missing cells are forward-filled with the
+/// channel's last trusted value (0.0 before any), so the masked-region
+/// arithmetic (`x · tgt`) never multiplies NaN and the reverse chain
+/// stays finite. The fill is a *placeholder*, not a prediction — these
+/// cells are always imputation targets, so the model never conditions on
+/// them. Returns the sanitized series, the row-major missing bitmap and
+/// the missing-cell count.
+fn sanitize_missing(test: &Mts, missing: Option<&[bool]>) -> (Mts, Vec<bool>, usize) {
+    let (len, k) = (test.len(), test.dim());
+    let mut missing_bits = vec![false; len * k];
+    if let Some(m) = missing {
+        assert_eq!(m.len(), len * k, "missing mask length mismatch");
+        missing_bits.copy_from_slice(m);
+    }
+    for l in 0..len {
+        for c in 0..k {
+            if !test.get(l, c).is_finite() {
+                missing_bits[l * k + c] = true;
+            }
+        }
+    }
+    let missing_cells = missing_bits.iter().filter(|&&b| b).count();
+    let mut t = test.clone();
+    if missing_cells > 0 {
+        let mut last = vec![0.0f32; k];
+        for l in 0..len {
+            for c in 0..k {
+                if missing_bits[l * k + c] {
+                    t.set(l, c, last[c]);
+                } else {
+                    last[c] = t.get(l, c);
+                }
+            }
+        }
+    }
+    (t, missing_bits, missing_cells)
+}
+
 /// Window start offsets covering the whole series: stride `stride`, plus a
 /// tail window aligned to the end when the last stride leaves a remainder.
 fn coverage_starts(len: usize, window: usize, stride: usize) -> Vec<usize> {
@@ -219,42 +497,7 @@ pub fn ensemble_infer_masked(
     let (len, k, w) = (test.len(), test.dim(), cfg.window);
     assert_eq!(k, model.channels(), "test data channel mismatch");
 
-    // Resolve the effective missing set (declared ∪ non-finite).
-    let mut missing_bits = vec![false; len * k];
-    if let Some(m) = missing {
-        assert_eq!(m.len(), len * k, "missing mask length mismatch");
-        missing_bits.copy_from_slice(m);
-    }
-    for l in 0..len {
-        for c in 0..k {
-            if !test.get(l, c).is_finite() {
-                missing_bits[l * k + c] = true;
-            }
-        }
-    }
-    let missing_cells = missing_bits.iter().filter(|&&b| b).count();
-
-    // Sanitized series: missing cells forward-filled with the channel's
-    // last trusted value (0.0 before any), so the masked-region arithmetic
-    // (`x · tgt`) never multiplies NaN and the reverse chain stays finite.
-    // The fill is a *placeholder*, not a prediction — these cells are
-    // always imputation targets, so the model never conditions on it.
-    let test = {
-        let mut t = test.clone();
-        if missing_cells > 0 {
-            let mut last = vec![0.0f32; k];
-            for l in 0..len {
-                for c in 0..k {
-                    if missing_bits[l * k + c] {
-                        t.set(l, c, last[c]);
-                    } else {
-                        last[c] = t.get(l, c);
-                    }
-                }
-            }
-        }
-        t
-    };
+    let (test, missing_bits, missing_cells) = sanitize_missing(test, missing);
     let test = &test;
     let stride = match cfg.task {
         TaskMode::Forecasting => (w / 2).max(1),
@@ -303,6 +546,15 @@ pub fn ensemble_infer_masked(
     // windows it holds — and the grouping is fixed — making scores and
     // votes bit-identical at any thread count.
     // ------------------------------------------------------------------
+    let ctx = ChainCtx {
+        cfg,
+        schedule,
+        policy_masks: &policy_masks,
+        reverse_steps: &reverse_steps,
+        vote_steps: &vote_steps,
+        k,
+        w,
+    };
     let n_groups = nw.div_ceil(GROUP_WINDOWS);
     if obs::enabled() {
         obs::counter("infer.runs", 1);
@@ -310,190 +562,45 @@ pub fn ensemble_infer_masked(
         obs::counter("infer.window_groups", n_groups as u64);
     }
     let run_group = |model: &ImTransformer, g: usize| -> GroupAccum {
-        let _grp = obs::span("infer.group");
         let gs = g * GROUP_WINDOWS;
         let ge = ((g + 1) * GROUP_WINDOWS).min(nw);
-        let gw = ge - gs;
-        obs::histogram("infer.group_windows", gw as f64);
-        let gcell = gw * cell;
-        let x0 = &x0_batch[gs * cell..ge * cell];
-        let wmiss = &win_missing[gs..ge];
-        let mut rngs: Vec<StdRng> = (gs..ge).map(|wi| window_rng(seed, wi)).collect();
-        // Draws `cell` variates per window, each from that window's own
-        // stream, in fixed window order.
-        let draw = |rngs: &mut [StdRng]| -> Vec<f32> {
-            let mut buf = vec![0.0f32; gcell];
-            for (wl, r) in rngs.iter_mut().enumerate() {
-                for v in &mut buf[wl * cell..(wl + 1) * cell] {
-                    *v = normal(r);
-                }
-            }
-            buf
-        };
-        let mut acc = GroupAccum {
-            err: vec![vec![0.0f64; gcell]; n_votes],
-            imp: vec![vec![0.0f64; gcell]; n_votes],
-            cnt: vec![0.0f64; gcell],
-            imp_cnt: vec![0.0f64; gcell],
-        };
-
-        for (pi, (obs, tgt)) in policy_masks.iter().enumerate() {
-            // Initial noise on the masked region (X_T, Algorithm 1 line 2).
-            let mut x_cur = draw(&mut rngs);
-            let policies_vec = vec![pi; gw];
-            let mut steps_buf = vec![0usize; gw];
-
-            for (step_idx, &t) in reverse_steps.iter().enumerate() {
-                let _den = obs::span("infer.denoise_step");
-                let t_prev = reverse_steps.get(step_idx + 1).copied().unwrap_or(0);
-                // Fresh forward noise for the observed region (ε_t^{M1}).
-                let eps_ref = draw(&mut rngs);
-                let mut x_val = vec![0.0f32; gcell];
-                let mut x_ref = vec![0.0f32; gcell];
-                let sab = schedule.sqrt_alpha_bar(t);
-                let somab = schedule.sqrt_one_minus_alpha_bar(t);
-                for (wl, wm) in wmiss.iter().enumerate() {
-                    let base = wl * cell;
-                    for j in 0..cell {
-                        // Missing cells are imputation targets under every
-                        // policy: the model must never condition on their
-                        // placeholder values.
-                        let (o, gt) = if wm[j] { (0.0, 1.0) } else { (obs[j], tgt[j]) };
-                        if cfg.unconditional {
-                            // Observed cells follow their known forward
-                            // trajectory (ground truth + sampled noise);
-                            // masked cells carry the reverse-chain iterate.
-                            // The noise reference ε_t^{M1} is what makes the
-                            // observed part decodable (§4.1).
-                            let xt_obs = sab * x0[base + j] + somab * eps_ref[base + j];
-                            x_val[base + j] = x_cur[base + j] * gt + xt_obs * o;
-                            x_ref[base + j] = eps_ref[base + j] * o;
-                        } else {
-                            x_val[base + j] = x_cur[base + j] * gt;
-                            x_ref[base + j] = x0[base + j] * o;
-                        }
-                    }
-                }
-                steps_buf.iter_mut().for_each(|s| *s = t);
-                let x_val_t = Tensor::from_vec(x_val, &[gw, k, w]).expect("x_val shape");
-                let x_ref_t = Tensor::from_vec(x_ref, &[gw, k, w]).expect("x_ref shape");
-                let eps_hat =
-                    no_grad(|| model.forward(&x_val_t, &x_ref_t, &steps_buf, &policies_vec));
-
-                // Reverse transition (Algorithm 1 line 6 / Eq. 9) through
-                // the clamped-x̂0 parameterization: the x̂0 estimate is
-                // clipped to the (normalized) data range every step so
-                // imperfect noise predictions cannot compound into
-                // divergence — the standard DDPM sampling stabilizer.
-                let (clamp_lo, clamp_hi) = cfg.x0_clamp;
-                let mut x0_hat = {
-                    let eps_hat_d = eps_hat.data();
-                    schedule.predict_x0(&x_cur, &eps_hat_d, t)
-                };
-                for v in &mut x0_hat {
-                    *v = v.clamp(clamp_lo, clamp_hi);
-                }
-                let x_prev = if cfg.ddim_steps.is_some() {
-                    // Deterministic DDIM jump to the next visited step.
-                    if t_prev == 0 {
-                        x0_hat.clone()
-                    } else {
-                        schedule.ddim_step(&x_cur, &x0_hat, t, t_prev)
-                    }
-                } else {
-                    let z = draw(&mut rngs);
-                    schedule.p_step_from_x0(&x_cur, &x0_hat, t, &z)
-                };
-
-                if let Some(vi) = vote_steps.iter().position(|&vs| vs == t) {
-                    // Record the prediction error E_t on the masked region
-                    // (Algorithm 1 line 7). The prediction read out at step
-                    // t is the deterministic x̂_0 implied by ε̂ — the same
-                    // information as X_{t-1} but without the freshly
-                    // injected sampling noise, which keeps the error signal
-                    // low-variance.
-                    for (wl, wm) in wmiss.iter().enumerate() {
-                        let base = wl * cell;
-                        for j in 0..cell {
-                            let miss = wm[j];
-                            if miss || tgt[j] == 1.0 {
-                                let lj = base + j;
-                                let pred = x0_hat[lj] as f64;
-                                acc.imp[vi][lj] += pred;
-                                if vi == 0 {
-                                    acc.imp_cnt[lj] += 1.0;
-                                }
-                                // Missing cells have no ground truth: they
-                                // are imputed but never scored.
-                                if !miss {
-                                    let truth = x0[lj] as f64;
-                                    acc.err[vi][lj] += (truth - pred) * (truth - pred);
-                                    if vi == 0 {
-                                        acc.cnt[lj] += 1.0;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                x_cur = x_prev;
-            }
-        }
-        acc
+        let rngs: Vec<StdRng> = (gs..ge).map(|wi| window_rng(seed, wi)).collect();
+        ctx.run_chain(model, &x0_batch[gs * cell..ge * cell], &win_missing[gs..ge], rngs)
     };
+    let group_outs = run_groups(model, cfg, k, n_groups, run_group);
 
-    // Run the groups: in parallel chunks when the pool has width to spend
-    // (each worker rebuilds the model from a plain-f32 snapshot, since
-    // tensors are thread-local), serially on the caller's model otherwise.
-    // Chunking only changes which worker runs a group, never its result.
-    let width = pool::max_threads().min(n_groups);
-    let group_outs: Vec<GroupAccum> = if width > 1 {
-        let snapshot: Vec<Vec<f32>> = model.params().iter().map(|p| p.to_vec()).collect();
-        let chunk = n_groups.div_ceil(width);
-        let per_chunk = pool::parallel_map(width, 1, |ci| {
-            let local = model_from_snapshot(cfg, k, &snapshot);
-            (ci * chunk..((ci + 1) * chunk).min(n_groups))
-                .map(|g| run_group(&local, g))
-                .collect::<Vec<_>>()
-        });
-        per_chunk.into_iter().flatten().collect()
-    } else {
-        (0..n_groups).map(|g| run_group(model, g)).collect()
-    };
-
-    // Merge group accumulators into the global per-step sums, in fixed
-    // group order (overlapping tail windows make this order-sensitive in
-    // the last f64 bit). Error and imputation coverage are tracked
-    // separately: missing cells are imputed (imp_count > 0) but never
-    // scored (count stays 0).
-    let mut err_sum = vec![vec![0.0f64; len * k]; n_votes];
-    let mut imp_sum = vec![vec![0.0f64; len * k]; n_votes];
-    let mut count = vec![0.0f64; len * k];
-    let mut imp_count = vec![0.0f64; len * k];
-    for (g, acc) in group_outs.iter().enumerate() {
+    let mut acc = SeriesAccum::zeros(n_votes, len * k);
+    for (g, ga) in group_outs.iter().enumerate() {
         let gs = g * GROUP_WINDOWS;
         for (wl, &start) in starts[gs..].iter().take(GROUP_WINDOWS).enumerate() {
-            let base = wl * cell;
-            for c in 0..k {
-                for tl in 0..w {
-                    let lj = base + c * w + tl;
-                    let global = (start + tl) * k + c;
-                    for vi in 0..n_votes {
-                        err_sum[vi][global] += acc.err[vi][lj];
-                        imp_sum[vi][global] += acc.imp[vi][lj];
-                    }
-                    count[global] += acc.cnt[lj];
-                    imp_count[global] += acc.imp_cnt[lj];
-                }
-            }
+            acc.merge_window(ga, wl, start, k, w);
         }
     }
+    finalize(cfg, test, &vote_steps, &acc, missing_cells)
+}
+
+/// Turns merged series accumulators into the final [`EnsembleOutput`]:
+/// coverage-normalised per-step cell errors, per-channel robust rescale,
+/// Eq. (12) thresholds and votes, score smoothing and attribution. All
+/// statistics are local to the series the accumulators describe — this
+/// is what makes per-window finalisation in [`ensemble_infer_windows`]
+/// bit-identical to a standalone single-window run.
+fn finalize(
+    cfg: &ImDiffusionConfig,
+    test: &Mts,
+    vote_steps: &[usize],
+    acc: &SeriesAccum,
+    missing_cells: usize,
+) -> EnsembleOutput {
+    let (len, k, w) = (test.len(), test.dim(), cfg.window);
+    let n_votes = vote_steps.len();
+    let (count, imp_count) = (&acc.count, &acc.imp_count);
 
     // Normalise accumulators; fill cells never covered (e.g. the leading
     // half-window in forecasting mode) with the observed value / mean error.
     let covered: Vec<bool> = count.iter().map(|&c| c > 0.0).collect();
     let mut per_step_cell_err: Vec<Vec<f64>> = Vec::with_capacity(n_votes);
-    for err_step in err_sum.iter().take(n_votes) {
+    for err_step in acc.err_sum.iter().take(n_votes) {
         let mut e = vec![0.0f64; len * k];
         let mut total = 0.0f64;
         let mut n = 0usize;
@@ -576,7 +683,7 @@ pub fn ensemble_infer_masked(
             for c in 0..k {
                 let j = l * k + c;
                 if imp_count[j] > 0.0 {
-                    imputed.set(l, c, (imp_sum[vi][j] / imp_count[j]) as f32);
+                    imputed.set(l, c, (acc.imp_sum[vi][j] / imp_count[j]) as f32);
                 }
             }
         }
@@ -629,6 +736,111 @@ pub fn ensemble_infer_masked(
         channels: k,
         missing_cells,
     }
+}
+
+/// Scores a batch of *independent* single-window series in one pass —
+/// the serving layer's micro-batching entry point.
+///
+/// Each element of `windows` is one `cfg.window`-row series with an
+/// optional row-major `[W, K]` missing mask, exactly what a standalone
+/// [`ensemble_infer_masked`] call would receive. The outputs are
+/// **bit-identical** to those standalone calls: every window draws its
+/// noise from `window_rng(seed, 0)` — the stream a single-window series
+/// (which has exactly one window, index 0) owns — the mask policies
+/// derive from `seed` alone, and all post-chain statistics (channel
+/// scales, the τ percentile, Eq. 12 ratios, score smoothing) are
+/// computed per window by [`finalize`]. Batching only changes how many
+/// windows share one model forward; the blocked kernels accumulate each
+/// output element in a batch-size-independent order, so no bit changes.
+pub fn ensemble_infer_windows(
+    model: &ImTransformer,
+    cfg: &ImDiffusionConfig,
+    schedule: &NoiseSchedule,
+    windows: &[(&Mts, Option<&[bool]>)],
+    seed: u64,
+) -> Vec<EnsembleOutput> {
+    let _ens = obs::span("infer.ensemble_windows");
+    cfg.validate();
+    let (k, w) = (model.channels(), cfg.window);
+    let nw = windows.len();
+    if nw == 0 {
+        return Vec::new();
+    }
+    let cell = k * w;
+
+    // Sanitize every window independently (missing ∪ non-finite,
+    // forward-filled placeholders), as the standalone path would.
+    let sanitized: Vec<(Mts, Vec<bool>, usize)> = windows
+        .iter()
+        .map(|(series, missing)| {
+            assert_eq!(series.len(), w, "each batched series must be exactly one window");
+            assert_eq!(series.dim(), k, "batched window channel mismatch");
+            sanitize_missing(series, *missing)
+        })
+        .collect();
+
+    let reverse_steps = cfg.reverse_steps();
+    let vote_steps = cfg.vote_steps_among(&reverse_steps);
+    let n_votes = vote_steps.len();
+    let mut mask_rng = seeded(seed ^ 0x1fe2_77ab);
+    let policies = task_masks(cfg, &mut mask_rng, w, k);
+    let policy_masks: Vec<(Vec<f32>, Vec<f32>)> =
+        policies.iter().map(mask_channel_major).collect();
+
+    let x0_batch: Vec<f32> = sanitized
+        .iter()
+        .flat_map(|(t, _, _)| window_channel_major(t))
+        .collect();
+    let win_missing: Vec<Vec<bool>> = sanitized
+        .iter()
+        .map(|(_, bits, _)| {
+            let mut m = vec![false; cell];
+            for c in 0..k {
+                for tl in 0..w {
+                    m[c * w + tl] = bits[tl * k + c];
+                }
+            }
+            m
+        })
+        .collect();
+
+    let ctx = ChainCtx {
+        cfg,
+        schedule,
+        policy_masks: &policy_masks,
+        reverse_steps: &reverse_steps,
+        vote_steps: &vote_steps,
+        k,
+        w,
+    };
+    let n_groups = nw.div_ceil(GROUP_WINDOWS);
+    if obs::enabled() {
+        obs::counter("infer.batched_runs", 1);
+        obs::counter("infer.windows", nw as u64);
+        obs::counter("infer.window_groups", n_groups as u64);
+    }
+    let run_group = |model: &ImTransformer, g: usize| -> GroupAccum {
+        let gs = g * GROUP_WINDOWS;
+        let ge = ((g + 1) * GROUP_WINDOWS).min(nw);
+        // Every window replays the noise stream of a standalone
+        // single-window call: window index 0, not its batch position.
+        let rngs: Vec<StdRng> = (gs..ge).map(|_| window_rng(seed, 0)).collect();
+        ctx.run_chain(model, &x0_batch[gs * cell..ge * cell], &win_missing[gs..ge], rngs)
+    };
+    let group_outs = run_groups(model, cfg, k, n_groups, run_group);
+
+    // Per-window finalisation: each window is its own one-window series,
+    // so its statistics never see a neighbour's errors.
+    sanitized
+        .iter()
+        .enumerate()
+        .map(|(wi, (test, _, missing_cells))| {
+            let ga = &group_outs[wi / GROUP_WINDOWS];
+            let mut acc = SeriesAccum::zeros(n_votes, cell);
+            acc.merge_window(ga, wi % GROUP_WINDOWS, 0, k, w);
+            finalize(cfg, test, &vote_steps, &acc, *missing_cells)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -838,6 +1050,65 @@ mod tests {
         let top = out.top_channels(10, 3);
         assert_eq!(top.len(), 3);
         assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn batched_windows_bit_identical_to_standalone_calls() {
+        // The serving micro-batcher rests on this: a batch of independent
+        // single-window requests scored in one pass must reproduce the
+        // standalone per-window results bit for bit, at any pool width.
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 80,
+            },
+            13,
+        );
+        let norm = Normalizer::fit(&ds.train, NormMethod::MinMax);
+        let test_n = norm.transform(&ds.test);
+        let cfg = tiny_cfg();
+        let (w, k) = (cfg.window, test_n.dim());
+        let model = ImTransformer::new(&cfg, k, 1);
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+
+        // Five windows, one with declared-missing NaN cells.
+        let mut wins: Vec<Mts> = (0..5).map(|i| test_n.slice_time(i * w / 2, w)).collect();
+        let mut missing3 = vec![false; w * k];
+        for t in (2..w).step_by(5) {
+            missing3[t * k + t % k] = true;
+            wins[3].set(t, t % k, f32::NAN);
+        }
+        let reqs: Vec<(&Mts, Option<&[bool]>)> = wins
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m, (i == 3).then_some(missing3.as_slice())))
+            .collect();
+
+        let solo: Vec<EnsembleOutput> = reqs
+            .iter()
+            .map(|(m, miss)| ensemble_infer_masked(&model, &cfg, &schedule, m, *miss, 21))
+            .collect();
+        for width in [1usize, 4] {
+            let batched = imdiff_nn::pool::with_threads(width, || {
+                ensemble_infer_windows(&model, &cfg, &schedule, &reqs, 21)
+            });
+            assert_eq!(batched.len(), solo.len());
+            for (b, s) in batched.iter().zip(&solo) {
+                assert_eq!(b.scores, s.scores, "scores differ at width {width}");
+                assert_eq!(b.votes, s.votes);
+                assert_eq!(b.labels, s.labels);
+                assert_eq!(b.tau_base.to_bits(), s.tau_base.to_bits());
+                assert_eq!(b.cell_error, s.cell_error);
+                assert_eq!(b.missing_cells, s.missing_cells);
+                for (bs, ss) in b.steps.iter().zip(&s.steps) {
+                    assert_eq!(bs.t, ss.t);
+                    assert_eq!(bs.error, ss.error);
+                    assert_eq!(bs.labels, ss.labels);
+                    assert_eq!(bs.tau.to_bits(), ss.tau.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

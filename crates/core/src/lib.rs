@@ -48,11 +48,12 @@ mod trainer;
 
 pub use ablation::AblationVariant;
 pub use config::{ImDiffusionConfig, SentinelConfig, TaskMode};
-pub use detector::ImDiffusionDetector;
-pub use infer::{ensemble_infer_masked, EnsembleOutput, StepTrace};
+pub use detector::{DetectorSpec, ImDiffusionDetector};
+pub use infer::{ensemble_infer_masked, ensemble_infer_windows, EnsembleOutput, StepTrace};
 pub use model::ImTransformer;
 pub use streaming::{
-    HealthState, MonitorHealth, PointVerdict, StreamingMonitor, ThresholdMode,
+    BatchItem, BatchReply, HealthState, MonitorHealth, PointVerdict, StreamingMonitor,
+    ThresholdMode,
 };
 pub use trainer::{
     train, train_resume, IncidentKind, TrainIncident, TrainReport, Trainer,

@@ -41,6 +41,7 @@ use imdiff_nn::obs;
 use imdiff_nn::pool;
 
 use crate::detector::ImDiffusionDetector;
+use crate::infer::EnsembleOutput;
 
 /// Maximum error-history length kept for dynamic thresholding. Shared
 /// with the checkpoint reader in `persist.rs` so the restore pre-sizing
@@ -128,6 +129,54 @@ pub struct PointVerdict {
     /// `true` when this verdict came from the z-score fallback rather
     /// than full ensemble inference.
     pub degraded: bool,
+}
+
+/// One client score request inside a [`StreamingMonitor::push_batch`]
+/// call: `gap_before` rows were lost by the transport immediately before
+/// `rows` (the wire protocol's declared-gap field).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Consecutive rows dropped before this request (0 = none); applied
+    /// exactly like [`StreamingMonitor::notify_gap`].
+    pub gap_before: usize,
+    /// The observed rows, in stream order. NaN cells = declared missing.
+    pub rows: Vec<Vec<f32>>,
+    /// Load-shed marker: the rows still advance the stream and feed the
+    /// fallback statistics, but any evaluation they trigger is served by
+    /// the degraded path instead of ensemble inference.
+    pub shed: bool,
+}
+
+/// Outcome of one [`BatchItem`]: the verdicts its rows earned, plus the
+/// error that voided the rest of the request, if any. Verdicts earned
+/// before the error are kept — they were computed from valid rows.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Verdicts triggered while processing this item's rows.
+    pub verdicts: Vec<PointVerdict>,
+    /// Why processing stopped early (`None` = the whole item ingested).
+    pub error: Option<DetectorError>,
+}
+
+/// A due evaluation captured at trigger time (see
+/// [`StreamingMonitor::prepare_eval`] for the fidelity argument).
+struct EvalRequest {
+    /// Snapshot of the buffered window.
+    window_data: Mts,
+    /// Row-major missing flags for the snapshot.
+    miss_flat: Vec<bool>,
+    /// Global index of the first point this evaluation judges.
+    first_global: u64,
+    /// Fallback scores of the newest `hop` rows, captured before later
+    /// arrivals could mutate the Welford statistics.
+    fallback_scores: Vec<f64>,
+    /// The fallback threshold the history supported at trigger time
+    /// (`None` while the history is too short to calibrate).
+    prepared_tau: Option<f64>,
+    /// Set when inference must be skipped (sparse window / load shed).
+    skip_reason: Option<String>,
+    /// Index of the [`BatchItem`] that triggered this evaluation.
+    item: usize,
 }
 
 /// Running per-channel mean/variance (Welford) for the fallback detector.
@@ -264,6 +313,65 @@ impl StreamingMonitor {
         self.seen
     }
 
+    /// The evaluation window length, in rows.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Rows between evaluations (see [`Self::new`]).
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Channel count of the monitored stream.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The active thresholding rule.
+    pub fn threshold_mode(&self) -> ThresholdMode {
+        self.threshold_mode
+    }
+
+    /// Read-only access to the wrapped detector (spec extraction, health
+    /// endpoints). Scoring through the monitor never needs `&mut` access
+    /// to the detector — see [`ImDiffusionDetector::detect_windows`].
+    pub fn detector(&self) -> &ImDiffusionDetector {
+        &self.detector
+    }
+
+    /// Atomically replaces the wrapped detector with a freshly loaded one
+    /// (hot checkpoint reload), preserving *all* stream state: the rolling
+    /// buffer, fallback statistics, thresholds, health machine and
+    /// counters. The stream does not re-warm — the next evaluation simply
+    /// scores through the new weights. The replacement must be fitted and
+    /// match the monitor's window/channel geometry.
+    pub fn swap_detector(
+        &mut self,
+        replacement: ImDiffusionDetector,
+    ) -> Result<(), DetectorError> {
+        if !replacement.is_fitted() {
+            return Err(DetectorError::NotFitted);
+        }
+        if replacement.config().window != self.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "replacement detector window {} != monitor window {}",
+                replacement.config().window, self.window
+            )));
+        }
+        if let Some(k) = replacement.channels() {
+            if k != self.channels {
+                return Err(DetectorError::DimensionMismatch {
+                    expected: self.channels,
+                    actual: k,
+                });
+            }
+        }
+        self.detector = replacement;
+        obs::counter("stream.detector_swaps", 1);
+        Ok(())
+    }
+
     /// The current health report (state machine position + counters).
     pub fn health(&self) -> MonitorHealth {
         MonitorHealth {
@@ -304,6 +412,121 @@ impl StreamingMonitor {
     /// entry rejects the whole row with [`DetectorError::NonFiniteInput`]
     /// (the row is not buffered; the stream position does not advance).
     pub fn push(&mut self, row: &[f32]) -> Result<Vec<PointVerdict>, DetectorError> {
+        let mut due = Vec::new();
+        self.absorb(row, 0, false, &mut due)?;
+        let mut verdicts = Vec::new();
+        for req in due {
+            let _eval = obs::span("stream.evaluate");
+            let out = self.run_eval_inference(&req);
+            verdicts.extend(self.complete_eval(req, out));
+        }
+        Ok(verdicts)
+    }
+
+    /// Feeds a pre-assembled batch of score requests, coalescing every
+    /// evaluation they trigger into (at most) one batched ensemble pass —
+    /// the serving layer's micro-batching entry point.
+    ///
+    /// Each item is processed exactly as the equivalent
+    /// [`Self::notify_gap`] + [`Self::push`]-per-row sequence would be, and
+    /// the verdicts are **bit-identical** to that sequence: evaluations are
+    /// *prepared* in stream order (window snapshot plus all
+    /// order-sensitive fallback statistics captured at trigger time),
+    /// scored together through the window-batched ensemble (whose
+    /// arithmetic is batch-size-invariant), and *completed* in stream
+    /// order so threshold recalibration and the health state machine see
+    /// the same history either way. The only divergence is cost: one
+    /// model forward per window group instead of one per evaluation.
+    ///
+    /// An item that fails validation (wrong width, undeclared ±∞) reports
+    /// the error in its reply, keeps any verdicts its earlier rows
+    /// already earned, and does not disturb later items — requests from
+    /// different clients must not poison each other.
+    pub fn push_batch(&mut self, items: &[BatchItem]) -> Vec<BatchReply> {
+        let _span = obs::span("stream.push_batch");
+        let mut replies: Vec<BatchReply> = items
+            .iter()
+            .map(|_| BatchReply {
+                verdicts: Vec::new(),
+                error: None,
+            })
+            .collect();
+        let mut due: Vec<EvalRequest> = Vec::new();
+        for (ii, item) in items.iter().enumerate() {
+            if item.gap_before > 0 {
+                self.notify_gap(item.gap_before);
+            }
+            for row in &item.rows {
+                // A long gap re-warms the monitor, which moves the health
+                // state machine — complete the evaluations prepared so far
+                // first, so the machine sees transitions in stream order.
+                if self.gap_would_rewarm() && !due.is_empty() {
+                    self.flush_due(&mut due, &mut replies);
+                }
+                if let Err(e) = self.absorb(row, ii, item.shed, &mut due) {
+                    replies[ii].error = Some(e);
+                    break; // rest of this request is void; next item continues
+                }
+            }
+        }
+        self.flush_due(&mut due, &mut replies);
+        replies
+    }
+
+    /// Whether applying the pending gap on the next arrival would flush
+    /// the buffer and re-warm (mirrors the branch in [`Self::absorb`]).
+    fn gap_would_rewarm(&self) -> bool {
+        self.pending_gap > 0 && (self.pending_gap > self.max_bridge || self.buffer.is_empty())
+    }
+
+    /// Scores and completes every prepared evaluation, in order. All
+    /// non-shed, non-skipped windows share one [`detect_windows`] call —
+    /// this is where batching pays.
+    ///
+    /// [`detect_windows`]: ImDiffusionDetector::detect_windows
+    fn flush_due(&mut self, due: &mut Vec<EvalRequest>, replies: &mut [BatchReply]) {
+        if due.is_empty() {
+            return;
+        }
+        let reqs: Vec<(&Mts, Option<&[bool]>)> = due
+            .iter()
+            .filter(|r| r.skip_reason.is_none())
+            .map(|r| (&r.window_data, Some(r.miss_flat.as_slice())))
+            .collect();
+        obs::histogram("stream.batch_evals", reqs.len() as f64);
+        let mut outs: VecDeque<Result<EnsembleOutput, String>> = if reqs.is_empty() {
+            VecDeque::new()
+        } else {
+            match self.detector.detect_windows(&reqs) {
+                Ok(v) => v.into_iter().map(Ok).collect(),
+                Err(e) => (0..reqs.len())
+                    .map(|_| Err(format!("inference error: {e}")))
+                    .collect(),
+            }
+        };
+        for req in due.drain(..) {
+            let item = req.item;
+            let out = match &req.skip_reason {
+                Some(reason) => Err(reason.clone()),
+                None => outs.pop_front().expect("one output per scored request"),
+            };
+            let verdicts = self.complete_eval(req, out);
+            replies[item].verdicts.extend(verdicts);
+        }
+    }
+
+    /// Validates one arriving row, applies any pending gap, buffers the
+    /// row, and records an [`EvalRequest`] in `due` for every evaluation
+    /// that becomes due (gap bridging can trigger several). `item` tags
+    /// the requests for batched completion; `shed` forces their verdicts
+    /// onto the degraded path without ensemble inference.
+    fn absorb(
+        &mut self,
+        row: &[f32],
+        item: usize,
+        shed: bool,
+        due: &mut Vec<EvalRequest>,
+    ) -> Result<(), DetectorError> {
         if row.len() != self.channels {
             return Err(DetectorError::DimensionMismatch {
                 expected: self.channels,
@@ -321,7 +544,6 @@ impl StreamingMonitor {
             });
         }
 
-        let mut verdicts = Vec::new();
         if self.pending_gap > 0 {
             let gap = self.pending_gap;
             self.pending_gap = 0;
@@ -344,7 +566,9 @@ impl StreamingMonitor {
                         .collect();
                     self.rows_bridged += 1;
                     obs::counter("stream.rows_bridged", 1);
-                    verdicts.extend(self.ingest(synth, vec![true; self.channels])?);
+                    if self.ingest_row(synth, vec![true; self.channels]) {
+                        due.push(self.prepare_eval(item, shed));
+                    }
                 }
             } else {
                 // Too long to interpolate honestly: drop the stale
@@ -360,16 +584,15 @@ impl StreamingMonitor {
             }
         }
 
-        verdicts.extend(self.ingest(row.to_vec(), miss)?);
-        Ok(verdicts)
+        if self.ingest_row(row.to_vec(), miss) {
+            due.push(self.prepare_eval(item, shed));
+        }
+        Ok(())
     }
 
-    /// Buffers one (possibly partially missing) row and evaluates when due.
-    fn ingest(
-        &mut self,
-        mut row: Vec<f32>,
-        miss: Vec<bool>,
-    ) -> Result<Vec<PointVerdict>, DetectorError> {
+    /// Buffers one (possibly partially missing) row; returns whether an
+    /// evaluation is now due.
+    fn ingest_row(&mut self, mut row: Vec<f32>, miss: Vec<bool>) -> bool {
         // Update fallback statistics and score *before* folding this row
         // in, so a wildly anomalous row cannot vouch for itself.
         let score = self.fallback_score(&row, &miss);
@@ -411,10 +634,10 @@ impl StreamingMonitor {
         self.seen += 1;
         self.since_eval += 1;
         if self.buffer.len() < self.window || self.since_eval < self.hop {
-            return Ok(Vec::new());
+            return false;
         }
         self.since_eval = 0;
-        self.evaluate()
+        true
     }
 
     /// Moves the monitor to `to`, recording an observability counter per
@@ -433,87 +656,112 @@ impl StreamingMonitor {
         self.health = to;
     }
 
-    /// Runs one evaluation over the buffered window, degrading to the
-    /// z-score fallback when full inference cannot be trusted.
-    fn evaluate(&mut self) -> Result<Vec<PointVerdict>, DetectorError> {
-        let _eval = obs::span("stream.evaluate");
+    /// Snapshots everything one due evaluation needs, *at trigger time*.
+    ///
+    /// This is the heart of batched/sequential bit-fidelity: a deferred
+    /// evaluation must see exactly the state an immediate one would, but
+    /// later rows in the same batch keep mutating the fallback statistics
+    /// and rolling histories. So the window contents, the newest-hop
+    /// fallback scores, and the fallback-threshold percentile are all
+    /// captured here; only the state written by evaluation *completions*
+    /// (`fallback_tau`, `error_history`, the health machine) is resolved
+    /// later, in completion order — matching the sequential interleaving.
+    fn prepare_eval(&mut self, item: usize, shed: bool) -> EvalRequest {
         let flat: Vec<f32> = self.buffer.iter().flatten().copied().collect();
         let miss_flat: Vec<bool> = self.missing.iter().flatten().copied().collect();
         let n_missing = miss_flat.iter().filter(|&&m| m).count();
-        let window_mts = Mts::new(flat, self.window, self.channels);
-
+        let fallback_scores: Vec<f64> = (0..self.hop)
+            .map(|i| {
+                let pos = self.window - self.hop + i;
+                self.fallback_score(&self.buffer[pos], &self.missing[pos])
+            })
+            .collect();
+        let prepared_tau = (self.fallback_history.len() >= FALLBACK_MIN_HISTORY).then(|| {
+            let hist: Vec<f64> = self.fallback_history.iter().copied().collect();
+            threshold_at_percentile(&hist, 99.0)
+        });
         // Skip inference outright when the window is mostly holes — an
-        // imputation model conditioned on almost nothing hallucinates.
+        // imputation model conditioned on almost nothing hallucinates —
+        // or when the serving layer sheds this evaluation under load.
+        let skip_reason = if shed {
+            Some("load shed: queue latency over budget".to_string())
+        } else if (n_missing as f64) > MAX_MISSING_FRACTION * (self.window * self.channels) as f64
+        {
+            Some(format!(
+                "window too sparse for inference: {n_missing}/{} cells missing",
+                self.window * self.channels
+            ))
+        } else {
+            None
+        };
+        EvalRequest {
+            window_data: Mts::new(flat, self.window, self.channels),
+            miss_flat,
+            first_global: self.seen - self.hop as u64,
+            fallback_scores,
+            prepared_tau,
+            skip_reason,
+            item,
+        }
+    }
+
+    /// Scores one prepared evaluation through the ensemble. `&self`: the
+    /// detector is only read, so the serving layer can run this while
+    /// sharing the monitor for health inspection. Returns the degrade
+    /// reason instead of an output when inference must not be trusted.
+    fn run_eval_inference(&self, req: &EvalRequest) -> Result<EnsembleOutput, String> {
+        if let Some(reason) = &req.skip_reason {
+            return Err(reason.clone());
+        }
         // Production-path pool width: one worker per inference window
         // (threads = min(cores, windows)), so a monitor sharing its host
         // with the ingestion pipeline never fans out wider than the work
         // it actually has. The rolling buffer is one detector window deep
         // today, which pins evaluation to a single core — deliberately
-        // conservative; the serial kernel speedups still apply, and any
-        // future multi-window buffer parallelises automatically.
+        // conservative; the serial kernel speedups still apply, and the
+        // batched serving path widens with its own batch size instead.
         let inference_windows = self
             .window
             .div_ceil(self.detector.config().window.max(1))
             .max(1);
         let pool_width = pool::max_threads().min(inference_windows);
-        let attempt = if (n_missing as f64)
-            <= MAX_MISSING_FRACTION * (self.window * self.channels) as f64
-        {
-            match pool::with_threads(pool_width, || {
-                self.detector.detect_with_missing(&window_mts, Some(&miss_flat))
-            }) {
-                Ok(d) if d.scores.iter().all(|s| s.is_finite()) => Some(d),
-                Ok(_) => {
-                    self.last_degraded_reason =
-                        Some("inference produced non-finite scores".into());
-                    None
-                }
-                Err(e) => {
-                    self.last_degraded_reason = Some(format!("inference error: {e}"));
-                    None
-                }
+        match pool::with_threads(pool_width, || {
+            self.detector
+                .detect_windows(&[(&req.window_data, Some(req.miss_flat.as_slice()))])
+        }) {
+            Ok(mut outs) => Ok(outs.remove(0)),
+            Err(e) => Err(format!("inference error: {e}")),
+        }
+    }
+
+    /// Applies one evaluation's outcome to the monitor — threshold
+    /// recalibration, health transitions, fault counters — and emits the
+    /// verdicts for its newest `hop` points. Completions must run in
+    /// stream order; see [`Self::prepare_eval`].
+    fn complete_eval(
+        &mut self,
+        req: EvalRequest,
+        out: Result<EnsembleOutput, String>,
+    ) -> Vec<PointVerdict> {
+        let out = match out {
+            Ok(o) if o.scores.iter().all(|s| s.is_finite()) => o,
+            Ok(_) => {
+                self.last_degraded_reason =
+                    Some("inference produced non-finite scores".into());
+                return self.degraded_verdicts(&req);
             }
-        } else {
-            self.last_degraded_reason = Some(format!(
-                "window too sparse for inference: {n_missing}/{} cells missing",
-                self.window * self.channels
-            ));
-            None
+            Err(reason) => {
+                self.last_degraded_reason = Some(reason);
+                return self.degraded_verdicts(&req);
+            }
         };
-
-        let first_global = self.seen - self.hop as u64;
-        let Some(detection) = attempt else {
-            return Ok(self.degraded_verdicts(first_global));
-        };
-
-        // The two historical panic paths of this function, now typed: a
-        // detector that returned Ok must have populated the ensemble
-        // output and native labels — anything else is a broken invariant
-        // the caller can handle, not an abort.
-        let votes: Vec<u32> = self
-            .detector
-            .last_output()
-            .ok_or_else(|| {
-                DetectorError::Internal(
-                    "detect did not populate the ensemble output".into(),
-                )
-            })?
-            .votes
-            .clone();
 
         // Dynamic thresholding: re-vote against a τ fitted over the error
         // history instead of the current window's own percentile, which is
         // noisy at streaming window sizes.
         let labels: Vec<bool> = match self.threshold_mode {
-            ThresholdMode::Native => detection.labels.clone().ok_or_else(|| {
-                DetectorError::Internal("native detection carried no labels".into())
-            })?,
+            ThresholdMode::Native => out.labels.clone(),
             ThresholdMode::PotDynamic { risk } => {
-                let out = self.detector.last_output().ok_or_else(|| {
-                    DetectorError::Internal(
-                        "detect did not populate the ensemble output".into(),
-                    )
-                })?;
                 for &e in out.final_step_error() {
                     if self.error_history.len() == HISTORY_CAP {
                         self.error_history.pop_front();
@@ -541,54 +789,47 @@ impl StreamingMonitor {
         }
         self.set_health(HealthState::Healthy);
         self.last_degraded_reason = None;
-        if self.fallback_history.len() >= FALLBACK_MIN_HISTORY {
-            let hist: Vec<f64> = self.fallback_history.iter().copied().collect();
-            self.fallback_tau = Some(threshold_at_percentile(&hist, 99.0));
+        if let Some(tau) = req.prepared_tau {
+            self.fallback_tau = Some(tau);
         }
 
         // Emit the newest `hop` positions of the window.
-        let verdicts = (0..self.hop)
-            .map(|i| {
-                let pos = self.window - self.hop + i;
-                PointVerdict {
-                    index: first_global + i as u64,
-                    anomalous: labels[pos],
-                    score: detection.scores[pos],
-                    votes: votes[pos],
-                    degraded: false,
-                }
-            })
-            .collect();
-        Ok(verdicts)
-    }
-
-    /// Verdicts for the newest `hop` rows from the z-score fallback, using
-    /// the last threshold calibrated while healthy.
-    fn degraded_verdicts(&mut self, first_global: u64) -> Vec<PointVerdict> {
-        self.degraded_evals += 1;
-        obs::counter("stream.degraded_evals", 1);
-        self.set_health(HealthState::Degraded);
-        let tau = self.fallback_tau.unwrap_or_else(|| {
-            if self.fallback_history.len() >= FALLBACK_MIN_HISTORY {
-                let hist: Vec<f64> = self.fallback_history.iter().copied().collect();
-                threshold_at_percentile(&hist, 99.0)
-            } else {
-                f64::INFINITY // no calibration yet: never alarm blindly
-            }
-        });
         (0..self.hop)
             .map(|i| {
                 let pos = self.window - self.hop + i;
-                let row = &self.buffer[pos];
-                let miss = &self.missing[pos];
-                let score = self.fallback_score(row, miss);
                 PointVerdict {
-                    index: first_global + i as u64,
-                    anomalous: score > tau,
-                    score,
-                    votes: 0,
-                    degraded: true,
+                    index: req.first_global + i as u64,
+                    anomalous: labels[pos],
+                    score: out.scores[pos],
+                    votes: out.votes[pos],
+                    degraded: false,
                 }
+            })
+            .collect()
+    }
+
+    /// Verdicts for the newest `hop` rows from the z-score fallback, using
+    /// the last threshold calibrated while healthy (resolved *now*, in
+    /// completion order, so an earlier evaluation in the same batch that
+    /// just recalibrated is honoured — exactly as sequential pushes would).
+    fn degraded_verdicts(&mut self, req: &EvalRequest) -> Vec<PointVerdict> {
+        self.degraded_evals += 1;
+        obs::counter("stream.degraded_evals", 1);
+        self.set_health(HealthState::Degraded);
+        // No calibration yet (both None): infinite τ — never alarm blindly.
+        let tau = self
+            .fallback_tau
+            .or(req.prepared_tau)
+            .unwrap_or(f64::INFINITY);
+        req.fallback_scores
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| PointVerdict {
+                index: req.first_global + i as u64,
+                anomalous: score > tau,
+                score,
+                votes: 0,
+                degraded: true,
             })
             .collect()
     }
@@ -857,6 +1098,151 @@ mod tests {
         assert!(!flagged.is_empty());
         assert!(flagged.iter().all(|v| v.score.is_finite()));
         assert!(flagged.iter().all(|v| v.votes == 0));
+    }
+
+    #[test]
+    fn push_batch_bit_identical_to_sequential_pushes() {
+        // The serving layer's correctness contract: a batch of chunked
+        // requests (gaps, NaN cells, uneven sizes) scores bit-identically
+        // to the equivalent notify_gap + push-per-row sequence.
+        let cfg = imdiff_data::replay::ReplayConfig {
+            chunk_rows: 5,
+            jitter: true,
+            gap_rate: 0.15,
+            max_gap: 3,
+            nan_rate: 0.03,
+        };
+        let (mut seq, ds) = fitted_monitor(4);
+        let chunks = imdiff_data::replay::replay_chunks(&ds.test, &cfg, 99);
+
+        let mut sequential = Vec::new();
+        for c in &chunks {
+            if c.gap_before > 0 {
+                seq.notify_gap(c.gap_before);
+            }
+            for row in &c.rows {
+                sequential.extend(seq.push(row).unwrap());
+            }
+        }
+
+        let (mut bat, _) = fitted_monitor(4);
+        let items: Vec<BatchItem> = chunks
+            .iter()
+            .map(|c| BatchItem {
+                gap_before: c.gap_before,
+                rows: c.rows.clone(),
+                shed: false,
+            })
+            .collect();
+        let replies = bat.push_batch(&items);
+        assert!(replies.iter().all(|r| r.error.is_none()));
+        let batched: Vec<PointVerdict> =
+            replies.into_iter().flat_map(|r| r.verdicts).collect();
+
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.index, s.index);
+            assert_eq!(b.anomalous, s.anomalous);
+            assert_eq!(b.score.to_bits(), s.score.to_bits(), "at index {}", b.index);
+            assert_eq!(b.votes, s.votes);
+            assert_eq!(b.degraded, s.degraded);
+        }
+        // Monitor state converged identically too.
+        assert_eq!(bat.health(), seq.health());
+        assert_eq!(bat.seen(), seq.seen());
+    }
+
+    #[test]
+    fn shed_items_degrade_without_inference() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        // Warm up healthy first.
+        let warm: Vec<Vec<f32>> = (0..16).map(|l| ds.test.row(l).to_vec()).collect();
+        monitor.push_batch(&[BatchItem {
+            gap_before: 0,
+            rows: warm,
+            shed: false,
+        }]);
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+        let before = monitor.health().degraded_evals;
+        // A shed request still gets verdicts, but from the fallback.
+        let rows: Vec<Vec<f32>> = (16..24).map(|l| ds.test.row(l).to_vec()).collect();
+        let replies = monitor.push_batch(&[BatchItem {
+            gap_before: 0,
+            rows,
+            shed: true,
+        }]);
+        assert!(replies[0].error.is_none());
+        assert!(!replies[0].verdicts.is_empty());
+        assert!(replies[0].verdicts.iter().all(|v| v.degraded && v.votes == 0));
+        assert!(monitor.health().degraded_evals > before);
+        assert!(monitor
+            .last_degraded_reason()
+            .is_some_and(|r| r.contains("load shed")));
+        // Healthy traffic recovers the monitor.
+        let rows: Vec<Vec<f32>> = (24..40).map(|l| ds.test.row(l).to_vec()).collect();
+        monitor.push_batch(&[BatchItem {
+            gap_before: 0,
+            rows,
+            shed: false,
+        }]);
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn bad_row_voids_item_but_not_batch() {
+        let (mut monitor, ds) = fitted_monitor(4);
+        let mut poisoned: Vec<Vec<f32>> = (0..4).map(|l| ds.test.row(l).to_vec()).collect();
+        poisoned[2][1] = f32::INFINITY;
+        let clean: Vec<Vec<f32>> = (4..24).map(|l| ds.test.row(l).to_vec()).collect();
+        let replies = monitor.push_batch(&[
+            BatchItem {
+                gap_before: 0,
+                rows: poisoned,
+                shed: false,
+            },
+            BatchItem {
+                gap_before: 0,
+                rows: clean,
+                shed: false,
+            },
+        ]);
+        assert!(matches!(
+            replies[0].error,
+            Some(DetectorError::NonFiniteInput { channel: 1, .. })
+        ));
+        // The later item was processed normally.
+        assert!(replies[1].error.is_none());
+        assert!(!replies[1].verdicts.is_empty());
+        assert_eq!(monitor.health().rows_rejected, 1);
+    }
+
+    #[test]
+    fn swap_detector_preserves_stream_state() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        for l in 0..24 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        let seen = monitor.seen();
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+
+        // Unfitted replacements and geometry mismatches are rejected.
+        assert!(matches!(
+            monitor.swap_detector(ImDiffusionDetector::new(tiny_cfg(), 9)),
+            Err(DetectorError::NotFitted)
+        ));
+
+        // A freshly trained replacement swaps in without re-warming.
+        let mut det2 = ImDiffusionDetector::new(tiny_cfg(), 77);
+        det2.fit(&ds.train).unwrap();
+        monitor.swap_detector(det2).unwrap();
+        assert_eq!(monitor.seen(), seen);
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+        let mut judged = 0usize;
+        for l in 24..ds.test.len() {
+            judged += monitor.push(ds.test.row(l)).unwrap().len();
+        }
+        assert!(judged > 0);
+        assert_eq!(monitor.health().state, HealthState::Healthy);
     }
 
     #[test]

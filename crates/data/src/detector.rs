@@ -45,6 +45,23 @@ pub enum DetectorError {
     /// truncation, or a CRC32 mismatch. Damaged state is never loaded as
     /// weights or monitor state; delete the file and retrain/re-warm.
     CorruptCheckpoint(String),
+    /// A scoring request missed its deadline before a detector could
+    /// serve it (serving-layer admission control). The request was
+    /// dropped without touching detector state; re-submit or widen the
+    /// deadline.
+    Timeout {
+        /// How long the request waited before being abandoned.
+        waited_ms: u64,
+    },
+    /// The serving layer's bounded request queue was full and the
+    /// request was refused at admission — explicit backpressure, not a
+    /// silent drop. Retry with backoff.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queued: usize,
+        /// The configured queue capacity that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for DetectorError {
@@ -68,6 +85,15 @@ impl fmt::Display for DetectorError {
             DetectorError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
             DetectorError::CorruptCheckpoint(msg) => {
                 write!(f, "corrupt checkpoint: {msg}")
+            }
+            DetectorError::Timeout { waited_ms } => {
+                write!(f, "request timed out after {waited_ms} ms in queue")
+            }
+            DetectorError::Overloaded { queued, limit } => {
+                write!(
+                    f,
+                    "request queue full ({queued}/{limit}); retry with backoff"
+                )
             }
         }
     }

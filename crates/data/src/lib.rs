@@ -10,6 +10,9 @@
 //!   (SMD, PSM, MSL, SMAP, SWaT, GCP) with a labelled anomaly taxonomy;
 //! * [`production`] — the email-delivery latency stream simulator used by
 //!   the Table 7 reproduction;
+//! * [`replay`] — a deterministic client-side stream feeder that cuts a
+//!   series into score-request chunks (gaps, NaN cells, jittered sizes)
+//!   for driving the serving layer in tests and benches;
 //! * [`Detector`] — the interface every detector (ImDiffusion and all ten
 //!   baselines) implements so the evaluation harness can drive them
 //!   uniformly.
@@ -20,6 +23,7 @@ pub mod io;
 pub mod mask;
 mod mts;
 pub mod production;
+pub mod replay;
 pub mod synthetic;
 
 pub use detector::{Detection, Detector, DetectorError};

@@ -1,0 +1,189 @@
+//! Replayable client-side stream feeder.
+//!
+//! The serving layer (`imdiff-serve`) speaks in *score requests*: chunks
+//! of consecutive rows for one tenant, optionally preceded by a declared
+//! transport gap. This module turns any [`Mts`] into a deterministic,
+//! seeded sequence of such chunks so tests, examples and benches can
+//! drive a server (or a bare [`StreamingMonitor`][sm]) with realistic
+//! request traffic — variable chunk sizes, dropped-row gaps and missing
+//! (NaN) cells — and replay the exact same traffic again for
+//! bit-identical comparisons.
+//!
+//! [sm]: https://docs.rs/imdiffusion
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Mts;
+
+/// One score request's worth of traffic: `gap_before` rows were lost by
+/// the (simulated) transport immediately before `rows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayChunk {
+    /// Consecutive rows dropped before this chunk (0 = none).
+    pub gap_before: usize,
+    /// The observed rows, in stream order. Cells may be NaN (= declared
+    /// missing) when [`ReplayConfig::nan_rate`] is non-zero.
+    pub rows: Vec<Vec<f32>>,
+}
+
+/// Shape of the replayed traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Mean rows per chunk; actual sizes are drawn uniformly from
+    /// `1..=2*chunk_rows - 1` (so the mean holds) unless `jitter` is off.
+    pub chunk_rows: usize,
+    /// Randomise chunk sizes (`false` = every chunk is `chunk_rows`).
+    pub jitter: bool,
+    /// Probability that a chunk boundary drops rows (a transport gap).
+    pub gap_rate: f64,
+    /// Longest gap, in rows.
+    pub max_gap: usize,
+    /// Per-cell probability of replacing a value with NaN ("missing").
+    pub nan_rate: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            chunk_rows: 4,
+            jitter: true,
+            gap_rate: 0.0,
+            max_gap: 3,
+            nan_rate: 0.0,
+        }
+    }
+}
+
+/// Cuts `series` into a deterministic chunk sequence (seeded): the same
+/// `(series, cfg, seed)` always yields the same chunks, so a run can be
+/// replayed bit-identically against a server and a local monitor.
+///
+/// Rows consumed by a gap are *dropped* — they appear in no chunk, and
+/// the following chunk's `gap_before` reports how many were lost, exactly
+/// what a client would pass to `notify_gap`/the wire protocol. Stream
+/// order is preserved: concatenating `gap_before` phantom rows plus
+/// `rows` across all chunks reconstructs the original series positions.
+pub fn replay_chunks(series: &Mts, cfg: &ReplayConfig, seed: u64) -> Vec<ReplayChunk> {
+    assert!(cfg.chunk_rows >= 1, "chunk_rows must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_FEED_CAFE_0001);
+    let mut chunks = Vec::new();
+    let mut l = 0usize;
+    while l < series.len() {
+        // A gap swallows rows *before* the next observed chunk.
+        let gap = if cfg.gap_rate > 0.0
+            && !chunks.is_empty()
+            && rng.gen::<f64>() < cfg.gap_rate
+        {
+            let g = rng.gen_range(1..=cfg.max_gap.max(1));
+            g.min(series.len() - l - 1) // keep at least one observed row
+        } else {
+            0
+        };
+        l += gap;
+        let take = if cfg.jitter {
+            rng.gen_range(1..=(2 * cfg.chunk_rows).saturating_sub(1).max(1))
+        } else {
+            cfg.chunk_rows
+        }
+        .min(series.len() - l);
+        let mut rows = Vec::with_capacity(take);
+        for r in 0..take {
+            let mut row = series.row(l + r).to_vec();
+            if cfg.nan_rate > 0.0 {
+                for v in &mut row {
+                    if rng.gen::<f64>() < cfg.nan_rate {
+                        *v = f32::NAN;
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        l += take;
+        chunks.push(ReplayChunk {
+            gap_before: gap,
+            rows,
+        });
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Mts {
+        Mts::new((0..60).map(|i| i as f32).collect(), 20, 3)
+    }
+
+    #[test]
+    fn chunks_cover_stream_in_order() {
+        let cfg = ReplayConfig::default();
+        let chunks = replay_chunks(&series(), &cfg, 7);
+        let mut pos = 0usize;
+        for c in &chunks {
+            assert!(!c.rows.is_empty());
+            pos += c.gap_before;
+            for row in &c.rows {
+                assert_eq!(row, series().row(pos));
+                pos += 1;
+            }
+        }
+        assert_eq!(pos, 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ReplayConfig {
+            gap_rate: 0.3,
+            nan_rate: 0.1,
+            ..Default::default()
+        };
+        let a = replay_chunks(&series(), &cfg, 11);
+        let b = replay_chunks(&series(), &cfg, 11);
+        // NaN != NaN, so compare the bit patterns.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.gap_before, y.gap_before);
+            assert_eq!(x.rows.len(), y.rows.len());
+            for (rx, ry) in x.rows.iter().zip(&y.rows) {
+                let bx: Vec<u32> = rx.iter().map(|v| v.to_bits()).collect();
+                let by: Vec<u32> = ry.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bx, by);
+            }
+        }
+        assert_ne!(
+            replay_chunks(&series(), &cfg, 12).len(),
+            0,
+            "different seed still produces chunks"
+        );
+    }
+
+    #[test]
+    fn fixed_chunks_without_jitter() {
+        let cfg = ReplayConfig {
+            chunk_rows: 5,
+            jitter: false,
+            ..Default::default()
+        };
+        let chunks = replay_chunks(&series(), &cfg, 1);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.rows.len() == 5 && c.gap_before == 0));
+    }
+
+    #[test]
+    fn gaps_consume_rows_but_preserve_order() {
+        let cfg = ReplayConfig {
+            chunk_rows: 3,
+            jitter: false,
+            gap_rate: 1.0,
+            max_gap: 2,
+            ..Default::default()
+        };
+        let chunks = replay_chunks(&series(), &cfg, 3);
+        let observed: usize = chunks.iter().map(|c| c.rows.len()).sum();
+        let dropped: usize = chunks.iter().map(|c| c.gap_before).sum();
+        assert_eq!(observed + dropped, 20);
+        assert!(dropped > 0);
+    }
+}

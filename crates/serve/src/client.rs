@@ -1,0 +1,209 @@
+//! Blocking client for the serving wire protocol.
+//!
+//! The server answers every connection **in request order**, so a client
+//! may pipeline: stack several [`ServeClient::send_score`] calls (letting
+//! the server coalesce them into one ensemble batch), then collect the
+//! replies with [`ServeClient::recv_scored`]. The convenience methods
+//! ([`ServeClient::score`], [`ServeClient::health`], ...) are strict
+//! request/reply pairs and must not be interleaved with unread pipelined
+//! replies.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{
+    read_response, write_frame, ErrorCode, Request, Response, TenantHealth, WireError,
+    WireVerdict,
+};
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server closed the connection.
+    Closed,
+    /// The server refused or failed the request (typed).
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response kind that does not match the
+    /// request (protocol misuse, e.g. interleaved pipelining).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(msg) => write!(f, "unexpected response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Verdicts for one score request, all produced by a single model
+/// generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    /// Model generation that served the request.
+    pub generation: u64,
+    /// Per-point verdicts, in stream order (may be empty when the rows
+    /// did not complete an evaluation hop).
+    pub verdicts: Vec<WireVerdict>,
+}
+
+/// One connection to an `imdiff-serve` server.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError::Wire(WireError::Io(e.to_string())))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Caps how long a blocking read waits for a response.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Wire(WireError::Io(e.to_string())))
+    }
+
+    /// Sends one raw request frame without waiting for the reply.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, req.kind(), &req.encode_payload())?;
+        Ok(())
+    }
+
+    /// Reads the next response frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_response(&mut self.stream) {
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) => Err(ClientError::Closed),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Pipelined scoring: sends the request and returns immediately.
+    /// Collect each reply later with [`ServeClient::recv_scored`], in
+    /// send order.
+    pub fn send_score(
+        &mut self,
+        tenant: &str,
+        gap_before: u32,
+        rows: Vec<Vec<f32>>,
+    ) -> Result<(), ClientError> {
+        self.send(&Request::Score {
+            tenant: tenant.into(),
+            gap_before,
+            rows,
+        })
+    }
+
+    /// Reads one pipelined score reply.
+    pub fn recv_scored(&mut self) -> Result<Scored, ClientError> {
+        match self.recv()? {
+            Response::Verdicts {
+                generation,
+                verdicts,
+            } => Ok(Scored {
+                generation,
+                verdicts,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted verdicts, got kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Scores one chunk of rows and waits for the verdicts.
+    pub fn score(
+        &mut self,
+        tenant: &str,
+        gap_before: u32,
+        rows: Vec<Vec<f32>>,
+    ) -> Result<Scored, ClientError> {
+        self.send_score(tenant, gap_before, rows)?;
+        self.recv_scored()
+    }
+
+    /// Fetches every tenant's health report (sorted by id).
+    pub fn health(&mut self) -> Result<Vec<TenantHealth>, ClientError> {
+        self.send(&Request::Health)?;
+        match self.recv()? {
+            Response::Health { tenants } => Ok(tenants),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted health report, got kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetches the server's observability snapshot (imdiff-obs-v1 JSON).
+    pub fn obs_snapshot(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::ObsSnapshot)?;
+        match self.recv()? {
+            Response::ObsJson { json } => Ok(json),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted obs snapshot, got kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Forces a checkpoint reload check for `tenant`. `Ok` means the new
+    /// weights were validated and handed to the owning shard; the swap
+    /// lands between batches (watch the generation in the health report).
+    pub fn reload(&mut self, tenant: &str) -> Result<(), ClientError> {
+        self.send(&Request::Reload {
+            tenant: tenant.into(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Asks the server to drain gracefully.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Drain)?;
+        self.expect_ok()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        self.expect_ok()
+    }
+
+    fn expect_ok(&mut self) -> Result<(), ClientError> {
+        match self.recv()? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted ack, got kind {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `imdiff-serve` — a zero-external-dependency serving layer for fitted
+//! ImDiffusion detectors.
+//!
+//! The crate turns the offline pipeline into an online, multi-tenant
+//! anomaly-detection service built entirely on `std::net` and the
+//! workspace's own threading ([`imdiff_nn::pool`]) and telemetry
+//! ([`imdiff_nn::obs`]):
+//!
+//! * **[`wire`]** — a versioned, CRC-framed binary protocol (framing in
+//!   the spirit of the IMDF checkpoint format): score requests carry raw
+//!   `f32` rows with NaN-declared missing cells; responses carry typed
+//!   verdicts, health reports, observability snapshots or typed errors.
+//! * **[`server`]** — the [`server::Server`]: a tenant registry mapping
+//!   stream ids to [`imdiffusion::StreamingMonitor`]s loaded from IMDF
+//!   checkpoints, shard worker threads that **micro-batch** concurrent
+//!   requests per tenant into single ensemble calls (bit-identical to
+//!   sequential scoring), admission control with explicit backpressure
+//!   (overload refusals, queue deadlines, load-shedding to the degraded
+//!   path), and a checkpoint **watcher** that hot-swaps newly written
+//!   weights between batches while in-flight requests finish on the old
+//!   generation.
+//! * **[`client`]** — a blocking [`client::ServeClient`] with pipelining
+//!   support, used by the integration tests, the `serve_demo` example and
+//!   the serve benchmarks.
+//!
+//! See DESIGN.md §"Serving layer" for the wire format tables and the
+//! batching / backpressure state machine.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, Scored, ServeClient};
+pub use server::{ServeConfig, ServeError, Server, TenantSpec};
+pub use wire::{
+    ErrorCode, Request, Response, TenantHealth, WireError, WireHealthState, WireVerdict,
+};

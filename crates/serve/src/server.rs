@@ -1,0 +1,895 @@
+//! The multi-tenant scoring server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept loop                 shard workers (own the monitors)
+//!  client ──► connection reader ──┐     ┌───────────────────────────────┐
+//!  client ──► connection reader ──┼──►  │ shard 0: tenants {a, c, ...}  │
+//!              │        ▲         │     │ shard 1: tenants {b, d, ...}  │
+//!              ▼        │ replies └──►  └───────────────────────────────┘
+//!            connection writer                 ▲ swap commands
+//!                                        checkpoint watcher
+//! ```
+//!
+//! [`imdiffusion::StreamingMonitor`] holds `Rc`-based tensors and is not
+//! `Send`, so every monitor is **created and mutated on exactly one shard
+//! thread**. Everything that crosses threads is plain data: score jobs
+//! (rows + a reply channel), [`DetectorSpec`] weight snapshots for hot
+//! reloads, and atomically-updated health/generation counters.
+//!
+//! # Batching and fidelity
+//!
+//! A shard coalesces up to `max_batch` queued requests **for one tenant**
+//! into a single [`StreamingMonitor::push_batch`] call, waiting at most
+//! `max_wait` for the batch to fill. `push_batch` is bit-identical to the
+//! equivalent sequence of sequential pushes (enforced by the core test
+//! suite), so batching changes throughput, never verdicts.
+//!
+//! # Admission control
+//!
+//! * queue full → immediate [`ErrorCode::Overloaded`]; rows not ingested.
+//! * queued longer than `deadline` → [`ErrorCode::Timeout`]; rows not
+//!   ingested. In both cases a pipelining client that moves on without
+//!   resending must declare the dropped rows via `gap_before`.
+//! * queued longer than `shed_after` (but within the deadline) → the
+//!   request is *load-shed*: rows are ingested and verdicts returned, but
+//!   any evaluation runs on the z-score fallback (flagged `degraded`)
+//!   instead of paying for ensemble inference.
+//!
+//! # Hot reload
+//!
+//! The watcher polls each tenant's checkpoint file; when its (mtime, len)
+//! stamp changes, the new weights are loaded and validated *off* the shard
+//! thread, converted to a [`DetectorSpec`], and handed to the owning shard,
+//! which swaps them in **between batches** and bumps the tenant's
+//! generation. In-flight batches finish on the old weights; every response
+//! reports the single generation that produced all of its verdicts. A
+//! corrupt or mismatched checkpoint is counted and skipped — serving
+//! continues on the previous generation.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use imdiff_data::DetectorError;
+use imdiff_nn::obs;
+use imdiffusion::{
+    BatchItem, DetectorSpec, HealthState, ImDiffusionConfig, ImDiffusionDetector,
+    MonitorHealth, StreamingMonitor,
+};
+
+use crate::wire::{
+    self, ErrorCode, Request, Response, TenantHealth, WireError, WireHealthState,
+    WireVerdict,
+};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// One stream to serve: where its fitted checkpoint lives and how to
+/// rebuild the detector around it (the IMDF format stores weights only;
+/// the architecture comes from `cfg`/`seed`, as for
+/// [`ImDiffusionDetector::load`]).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Stream id used on the wire.
+    pub id: String,
+    /// Path of the IMDF checkpoint (also the hot-reload watch target).
+    pub checkpoint: PathBuf,
+    /// Detector configuration matching the checkpoint.
+    pub cfg: ImDiffusionConfig,
+    /// Detector seed matching the checkpoint.
+    pub seed: u64,
+    /// Channel count of the stream.
+    pub channels: usize,
+    /// Evaluation hop of the monitor (rows between evaluations).
+    pub hop: usize,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Shard worker threads; tenants are partitioned round-robin.
+    pub shards: usize,
+    /// Most queued requests coalesced into one `push_batch` call.
+    pub max_batch: usize,
+    /// Longest a shard waits for a batch to fill before flushing.
+    pub max_wait: Duration,
+    /// Global queued-request cap; beyond it requests are refused with
+    /// [`ErrorCode::Overloaded`].
+    pub max_queue: usize,
+    /// Queue-latency budget; requests that waited longer are load-shed to
+    /// the degraded scoring path.
+    pub shed_after: Duration,
+    /// Queue deadline; requests that waited longer are refused with
+    /// [`ErrorCode::Timeout`] without being ingested.
+    pub deadline: Duration,
+    /// Checkpoint poll interval for hot reload; `None` disables the
+    /// watcher (wire `Reload` requests still work).
+    pub reload_poll: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(4),
+            max_queue: 64,
+            shed_after: Duration::from_millis(250),
+            deadline: Duration::from_secs(2),
+            reload_poll: Some(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// Server lifecycle failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(String),
+    /// A tenant's checkpoint could not be loaded at startup.
+    Tenant {
+        /// Which tenant failed.
+        id: String,
+        /// Why.
+        source: DetectorError,
+    },
+    /// The tenant roster was invalid (duplicate ids, empty).
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "server I/O error: {msg}"),
+            ServeError::Tenant { id, source } => {
+                write!(f, "tenant {id:?} failed to load: {source}")
+            }
+            ServeError::Config(msg) => write!(f, "invalid server config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+/// (mtime, len) stamp of a checkpoint file, used to detect rewrites.
+type FileStamp = (Option<SystemTime>, u64);
+
+fn stamp(path: &std::path::Path) -> Option<FileStamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok(), meta.len()))
+}
+
+/// Cross-thread view of one tenant. The monitor itself lives on the
+/// owning shard thread; this is everything other threads may read.
+struct TenantShared {
+    spec: TenantSpec,
+    shard: usize,
+    /// Bumps on every successful hot swap. Generation 1 is the initial
+    /// checkpoint.
+    generation: AtomicU64,
+    /// Score requests currently queued for this tenant.
+    queue_depth: AtomicU32,
+    /// Health snapshot refreshed by the shard after every batch.
+    health: Mutex<MonitorHealth>,
+    /// Last checkpoint stamp examined by reload (watcher or manual), so
+    /// one rewrite triggers exactly one reload attempt.
+    reload_stamp: Mutex<Option<FileStamp>>,
+}
+
+/// A queued scoring request.
+struct ScoreJob {
+    tenant: usize,
+    item: BatchItem,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Out-of-band command applied by a shard between batches.
+enum ShardCmd {
+    /// Swap in reloaded weights for a tenant this shard owns.
+    Swap { tenant: usize, spec: DetectorSpec },
+}
+
+#[derive(Default)]
+struct ShardQueue {
+    jobs: VecDeque<ScoreJob>,
+    cmds: Vec<ShardCmd>,
+}
+
+#[derive(Default)]
+struct Shard {
+    q: Mutex<ShardQueue>,
+    cv: Condvar,
+}
+
+struct ServerInner {
+    cfg: ServeConfig,
+    tenants: Vec<Arc<TenantShared>>,
+    shards: Vec<Shard>,
+    /// Global queued-job count for admission control.
+    queued: AtomicUsize,
+    draining: AtomicBool,
+}
+
+impl ServerInner {
+    fn tenant_index(&self, id: &str) -> Option<usize> {
+        self.tenants.iter().position(|t| t.spec.id == id)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            let _g = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+            shard.cv.notify_all();
+        }
+    }
+
+    fn health_report(&self) -> Response {
+        let mut tenants: Vec<TenantHealth> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let h = *t.health.lock().unwrap_or_else(|e| e.into_inner());
+                TenantHealth {
+                    id: t.spec.id.clone(),
+                    state: match h.state {
+                        HealthState::Healthy => WireHealthState::Healthy,
+                        HealthState::Degraded => WireHealthState::Degraded,
+                        HealthState::Warming => WireHealthState::Warming,
+                    },
+                    generation: t.generation.load(Ordering::SeqCst),
+                    rows_seen: h.rows_seen,
+                    rows_rejected: h.rows_rejected,
+                    degraded_evals: h.degraded_evals,
+                    rewarms: h.rewarms,
+                    recoveries: h.recoveries,
+                    queue_depth: t.queue_depth.load(Ordering::SeqCst),
+                }
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.id.cmp(&b.id));
+        Response::Health { tenants }
+    }
+
+    /// Loads `tenant`'s checkpoint and hands the weights to its shard.
+    /// Validation (CRC, shapes) happens here, off the shard thread: a bad
+    /// file never interrupts serving.
+    fn reload_tenant(&self, tenant: usize, new_stamp: Option<FileStamp>) -> Result<(), String> {
+        let t = &self.tenants[tenant];
+        {
+            let mut guard = t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner());
+            *guard = new_stamp.or_else(|| stamp(&t.spec.checkpoint));
+        }
+        let det = ImDiffusionDetector::load(
+            t.spec.cfg.clone(),
+            t.spec.seed,
+            t.spec.channels,
+            &t.spec.checkpoint,
+        )
+        .map_err(|e| {
+            obs::counter("serve.reload_errors", 1);
+            format!("cannot reload {}: {e}", t.spec.id)
+        })?;
+        let spec = det
+            .to_spec()
+            .ok_or_else(|| format!("reloaded detector for {} is unfitted", t.spec.id))?;
+        let shard = &self.shards[t.shard];
+        {
+            let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+            // One pending swap per tenant is enough; newest wins.
+            q.cmds
+                .retain(|ShardCmd::Swap { tenant: i, .. }| *i != tenant);
+            q.cmds.push(ShardCmd::Swap { tenant, spec });
+        }
+        shard.cv.notify_all();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------------
+
+/// Loads the monitors this shard owns, then serves its queue until the
+/// server drains. `ready` reports startup success or the first load error.
+fn shard_main(
+    inner: Arc<ServerInner>,
+    shard_idx: usize,
+    ready: mpsc::Sender<Result<(), ServeError>>,
+) {
+    let mut monitors: Vec<Option<StreamingMonitor>> = Vec::new();
+    for t in &inner.tenants {
+        if t.shard != shard_idx {
+            monitors.push(None);
+            continue;
+        }
+        let built = ImDiffusionDetector::load(
+            t.spec.cfg.clone(),
+            t.spec.seed,
+            t.spec.channels,
+            &t.spec.checkpoint,
+        )
+        .and_then(|det| StreamingMonitor::new(det, t.spec.channels, t.spec.hop));
+        match built {
+            Ok(monitor) => {
+                *t.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
+                monitors.push(Some(monitor));
+            }
+            Err(source) => {
+                let _ = ready.send(Err(ServeError::Tenant {
+                    id: t.spec.id.clone(),
+                    source,
+                }));
+                return;
+            }
+        }
+    }
+    let _ = ready.send(Ok(()));
+    drop(ready);
+
+    let shard = &inner.shards[shard_idx];
+    loop {
+        match next_work(&inner, shard) {
+            Work::Exit => return,
+            // Reloads apply strictly between batches: a batch never
+            // observes two generations.
+            Work::Cmds(cmds) => {
+                for cmd in cmds {
+                    apply_cmd(&inner, &mut monitors, cmd);
+                }
+            }
+            Work::Batch { tenant, jobs } => {
+                run_batch(&inner, &mut monitors, tenant, jobs);
+            }
+        }
+    }
+}
+
+/// What a shard found on its queue.
+enum Work {
+    /// Draining and nothing left to do.
+    Exit,
+    /// Pending swap commands (always delivered before the next batch).
+    Cmds(Vec<ShardCmd>),
+    /// A coalesced batch of score jobs for one tenant, oldest first.
+    Batch {
+        tenant: usize,
+        jobs: Vec<ScoreJob>,
+    },
+}
+
+/// Blocks until the shard has commands, a flushable batch, or is fully
+/// drained. A batch flushes when `max_batch` jobs for the head tenant are
+/// queued, the oldest has waited `max_wait`, or the server is draining.
+fn next_work(inner: &ServerInner, shard: &Shard) -> Work {
+    let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if !q.cmds.is_empty() {
+            return Work::Cmds(std::mem::take(&mut q.cmds));
+        }
+        let draining = inner.draining.load(Ordering::SeqCst);
+        match q.jobs.front() {
+            None if draining => return Work::Exit,
+            None => {
+                let (guard, _) = shard
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            Some(head) => {
+                let tenant = head.tenant;
+                let age = head.enqueued.elapsed();
+                let pending = q.jobs.iter().filter(|j| j.tenant == tenant).count();
+                if pending < inner.cfg.max_batch && age < inner.cfg.max_wait && !draining
+                {
+                    // Wait out the batching window (or a wake-up).
+                    let (guard, _) = shard
+                        .cv
+                        .wait_timeout(q, inner.cfg.max_wait - age)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                    continue;
+                }
+                let mut jobs = Vec::with_capacity(pending.min(inner.cfg.max_batch));
+                let mut kept = VecDeque::with_capacity(q.jobs.len());
+                for job in q.jobs.drain(..) {
+                    if job.tenant == tenant && jobs.len() < inner.cfg.max_batch {
+                        jobs.push(job);
+                    } else {
+                        kept.push_back(job);
+                    }
+                }
+                q.jobs = kept;
+                return Work::Batch { tenant, jobs };
+            }
+        }
+    }
+}
+
+/// Applies dequeue-time admission control, runs one coalesced
+/// `push_batch`, and answers every job.
+fn run_batch(
+    inner: &ServerInner,
+    monitors: &mut [Option<StreamingMonitor>],
+    tenant: usize,
+    jobs: Vec<ScoreJob>,
+) {
+    inner.queued.fetch_sub(jobs.len(), Ordering::SeqCst);
+    let shared = &inner.tenants[tenant];
+    shared
+        .queue_depth
+        .fetch_sub(jobs.len() as u32, Ordering::SeqCst);
+
+    // Expired jobs are refused un-ingested; over-budget jobs are shed to
+    // the degraded path but still ingested and answered.
+    let mut senders = Vec::with_capacity(jobs.len());
+    let mut items = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let waited = job.enqueued.elapsed();
+        obs::histogram("serve.queue_wait_s", waited.as_secs_f64());
+        if waited > inner.cfg.deadline {
+            obs::counter("serve.timeouts", 1);
+            let _ = job.reply.send(Response::Error {
+                code: ErrorCode::Timeout,
+                message: DetectorError::Timeout {
+                    waited_ms: waited.as_millis() as u64,
+                }
+                .to_string(),
+            });
+            continue;
+        }
+        let mut item = job.item;
+        if waited > inner.cfg.shed_after {
+            obs::counter("serve.shed", 1);
+            item.shed = true;
+        }
+        items.push(item);
+        senders.push(job.reply);
+    }
+    if senders.is_empty() {
+        return;
+    }
+
+    let generation = shared.generation.load(Ordering::SeqCst);
+    let monitor = monitors[tenant].as_mut().expect("shard owns this tenant");
+    let replies = {
+        let _span = obs::span("serve.batch");
+        monitor.push_batch(&items)
+    };
+    obs::counter("serve.batches", 1);
+    obs::counter("serve.batch_items", items.len() as u64);
+    obs::histogram("serve.batch_size", items.len() as f64);
+    *shared.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
+
+    for (sender, reply) in senders.into_iter().zip(replies) {
+        let resp = match reply.error {
+            Some(e) => Response::Error {
+                code: match e {
+                    DetectorError::DimensionMismatch { .. }
+                    | DetectorError::NonFiniteInput { .. }
+                    | DetectorError::InvalidTrainingData(_) => ErrorCode::BadRequest,
+                    _ => ErrorCode::Internal,
+                },
+                message: e.to_string(),
+            },
+            None => Response::Verdicts {
+                generation,
+                verdicts: reply
+                    .verdicts
+                    .iter()
+                    .map(|v| WireVerdict {
+                        index: v.index,
+                        score: v.score,
+                        votes: v.votes,
+                        anomalous: v.anomalous,
+                        degraded: v.degraded,
+                    })
+                    .collect(),
+            },
+        };
+        let _ = sender.send(resp);
+    }
+}
+
+fn apply_cmd(
+    inner: &ServerInner,
+    monitors: &mut [Option<StreamingMonitor>],
+    cmd: ShardCmd,
+) {
+    match cmd {
+        ShardCmd::Swap { tenant, spec } => {
+            let shared = &inner.tenants[tenant];
+            let monitor = monitors[tenant].as_mut().expect("shard owns this tenant");
+            match monitor.swap_detector(spec.build()) {
+                Ok(()) => {
+                    shared.generation.fetch_add(1, Ordering::SeqCst);
+                    obs::counter("serve.reloads", 1);
+                }
+                Err(_) => obs::counter("serve.reload_errors", 1),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Serves one connection. Requests pipeline: the reader dispatches each
+/// frame immediately and queues a one-shot reply receiver; the writer
+/// sends responses back **in request order**, so a client may stack many
+/// score requests (filling server-side batches) and read replies later.
+fn connection_main(inner: Arc<ServerInner>, stream: TcpStream) {
+    obs::counter("serve.connections", 1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+
+    let (pending_tx, pending_rx) = mpsc::channel::<mpsc::Receiver<Response>>();
+    let reply_budget = inner.cfg.deadline * 2 + Duration::from_secs(5);
+    let writer = std::thread::spawn(move || {
+        let mut w = std::io::BufWriter::new(write_half);
+        while let Ok(rx) = pending_rx.recv() {
+            let resp = rx.recv_timeout(reply_budget).unwrap_or(Response::Error {
+                code: ErrorCode::Internal,
+                message: "reply lost: worker gave no response in time".into(),
+            });
+            if wire::write_frame(&mut w, resp.kind(), &resp.encode_payload()).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = stream;
+    loop {
+        let req = match wire::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean close
+            Err(WireError::Idle) => {
+                if inner.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(err) => {
+                // The stream is unreliable past a framing error: answer
+                // (best effort) and close.
+                let (tx, rx) = mpsc::channel();
+                let _ = tx.send(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                });
+                let _ = pending_tx.send(rx);
+                break;
+            }
+        };
+        obs::counter("serve.requests", 1);
+        let (tx, rx) = mpsc::channel();
+        dispatch(&inner, req, &tx);
+        if pending_tx.send(rx).is_err() {
+            break; // writer died (peer went away)
+        }
+    }
+    drop(pending_tx);
+    let _ = writer.join();
+}
+
+/// Routes one request. Inline requests answer into `tx` immediately; the
+/// score path clones `tx` into a queued job and the shard answers later.
+fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>) {
+    let inline = |resp: Response| {
+        let _ = tx.send(resp);
+    };
+    match req {
+        Request::Ping => inline(Response::Ok),
+        Request::Health => inline(inner.health_report()),
+        Request::ObsSnapshot => inline(Response::ObsJson {
+            json: obs::snapshot_json(),
+        }),
+        Request::Drain => {
+            inner.begin_drain();
+            inline(Response::Ok)
+        }
+        Request::Reload { tenant } => match inner.tenant_index(&tenant) {
+            None => inline(Response::Error {
+                code: ErrorCode::UnknownTenant,
+                message: format!("no tenant {tenant:?}"),
+            }),
+            Some(idx) => match inner.reload_tenant(idx, None) {
+                Ok(()) => inline(Response::Ok),
+                Err(msg) => inline(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: msg,
+                }),
+            },
+        },
+        Request::Score {
+            tenant,
+            gap_before,
+            rows,
+        } => {
+            obs::counter("serve.score_requests", 1);
+            let Some(idx) = inner.tenant_index(&tenant) else {
+                return inline(Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    message: format!("no tenant {tenant:?}"),
+                });
+            };
+            let shared = &inner.tenants[idx];
+            let channels = shared.spec.channels;
+            if let Some(bad) = rows.iter().find(|r| r.len() != channels) {
+                return inline(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "row has {} channels, tenant {tenant:?} expects {channels}",
+                        bad.len()
+                    ),
+                });
+            }
+            // Admission control, cheapest checks first.
+            if inner.draining.load(Ordering::SeqCst) {
+                return inline(Response::Error {
+                    code: ErrorCode::Draining,
+                    message: "server is draining; no new scoring work".into(),
+                });
+            }
+            let queued = inner.queued.fetch_add(1, Ordering::SeqCst);
+            if queued >= inner.cfg.max_queue {
+                inner.queued.fetch_sub(1, Ordering::SeqCst);
+                obs::counter("serve.overloaded", 1);
+                return inline(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: DetectorError::Overloaded {
+                        queued,
+                        limit: inner.cfg.max_queue,
+                    }
+                    .to_string(),
+                });
+            }
+            let job = ScoreJob {
+                tenant: idx,
+                item: BatchItem {
+                    gap_before: gap_before as usize,
+                    rows,
+                    shed: false,
+                },
+                enqueued: Instant::now(),
+                reply: tx.clone(),
+            };
+            shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+            let shard = &inner.shards[shared.shard];
+            {
+                let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+                q.jobs.push_back(job);
+            }
+            shard.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watcher
+// ---------------------------------------------------------------------------
+
+fn watcher_main(inner: Arc<ServerInner>, poll: Duration) {
+    let mut last_scan = Instant::now();
+    loop {
+        if inner.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20).min(poll));
+        if last_scan.elapsed() < poll {
+            continue;
+        }
+        last_scan = Instant::now();
+        for idx in 0..inner.tenants.len() {
+            let t = &inner.tenants[idx];
+            let now = stamp(&t.spec.checkpoint);
+            let changed = {
+                let guard = t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner());
+                now.is_some() && *guard != now
+            };
+            if changed {
+                // Errors are counted inside reload_tenant; the stamp is
+                // recorded either way so one bad rewrite is not retried
+                // in a loop.
+                let _ = inner.reload_tenant(idx, now);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
+// ---------------------------------------------------------------------------
+
+/// A running server. Dropping the handle without calling
+/// [`Server::drain`] leaves detached threads running until process exit;
+/// call `drain` for an orderly stop.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, loads every tenant and starts serving. Returns once all
+    /// shards report their monitors loaded; any load failure aborts
+    /// startup with the underlying error.
+    pub fn start(cfg: ServeConfig, tenants: Vec<TenantSpec>) -> Result<Server, ServeError> {
+        if tenants.is_empty() {
+            return Err(ServeError::Config("no tenants to serve".into()));
+        }
+        {
+            let mut ids: Vec<&str> = tenants.iter().map(|t| t.id.as_str()).collect();
+            ids.sort_unstable();
+            if ids.windows(2).any(|w| w[0] == w[1]) {
+                return Err(ServeError::Config("duplicate tenant ids".into()));
+            }
+        }
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+
+        let n_shards = cfg.shards.max(1).min(tenants.len());
+        let shared: Vec<Arc<TenantShared>> = tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let initial_stamp = stamp(&spec.checkpoint);
+                Arc::new(TenantShared {
+                    spec,
+                    shard: i % n_shards,
+                    generation: AtomicU64::new(1),
+                    queue_depth: AtomicU32::new(0),
+                    health: Mutex::new(MonitorHealth {
+                        state: HealthState::Warming,
+                        rows_seen: 0,
+                        rows_rejected: 0,
+                        cells_imputed: 0,
+                        gaps_bridged: 0,
+                        rows_bridged: 0,
+                        rewarms: 0,
+                        degraded_evals: 0,
+                        recoveries: 0,
+                    }),
+                    reload_stamp: Mutex::new(initial_stamp),
+                })
+            })
+            .collect();
+        let inner = Arc::new(ServerInner {
+            cfg,
+            tenants: shared,
+            shards: (0..n_shards).map(|_| Shard::default()).collect(),
+            queued: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        });
+
+        // Shards load their monitors on their own threads (tensors are
+        // not Send); wait for all of them before accepting traffic.
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut shard_threads = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let inner = Arc::clone(&inner);
+            let tx = ready_tx.clone();
+            shard_threads.push(std::thread::spawn(move || shard_main(inner, s, tx)));
+        }
+        drop(ready_tx);
+        let mut startup_err = None;
+        for _ in 0..n_shards {
+            match ready_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    startup_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    startup_err.get_or_insert(ServeError::Io(
+                        "a shard died during startup".into(),
+                    ));
+                }
+            }
+        }
+        if let Some(e) = startup_err {
+            inner.begin_drain();
+            for t in shard_threads {
+                let _ = t.join();
+            }
+            return Err(e);
+        }
+
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let inner = Arc::clone(&inner);
+                    let handle =
+                        std::thread::spawn(move || connection_main(inner, stream));
+                    connections
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            })
+        };
+        let watcher = inner.cfg.reload_poll.map(|poll| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || watcher_main(inner, poll))
+        });
+
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            shard_threads,
+            watcher,
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current model generation of `tenant`, if registered.
+    pub fn generation(&self, tenant: &str) -> Option<u64> {
+        self.inner
+            .tenant_index(tenant)
+            .map(|i| self.inner.tenants[i].generation.load(Ordering::SeqCst))
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new scoring work, flush
+    /// every queued request, join all threads. Queued requests still get
+    /// real replies — drain never silently drops work.
+    pub fn drain(mut self) {
+        self.inner.begin_drain();
+        // Unblock the acceptor's blocking accept with a throwaway
+        // connection; it checks the drain flag first thing.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles = std::mem::take(
+            &mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        for t in std::mem::take(&mut self.shard_threads) {
+            let _ = t.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+    }
+}

@@ -1,0 +1,950 @@
+//! Length-prefixed binary wire protocol of the serving layer.
+//!
+//! Every message — request or response — travels in one *frame*:
+//!
+//! | bytes     | field                                                |
+//! |-----------|------------------------------------------------------|
+//! | `0..2`    | magic `b"IW"`                                        |
+//! | `2`       | protocol version (currently [`WIRE_VERSION`])        |
+//! | `3`       | message kind (see [`kind`])                          |
+//! | `4..8`    | payload length, `u32` little-endian                  |
+//! | `8..12`   | CRC32 of `version ‖ kind ‖ payload`, little-endian   |
+//! | `12..`    | payload                                              |
+//!
+//! The CRC covers the version and kind bytes as well as the payload, so
+//! *any* single corrupted byte outside the magic and length fields is
+//! caught as [`WireError::CrcMismatch`]; corrupted magic surfaces as
+//! [`WireError::BadMagic`] and corrupted lengths as truncation, trailing
+//! bytes or a CRC mismatch. Decoding never panics on hostile input — the
+//! `serve_protocol` property suite flips every byte to enforce this.
+//!
+//! Payload layouts are fixed little-endian structs (no self-describing
+//! envelope); see the `encode_payload`/`decode` pairs on [`Request`] and
+//! [`Response`]. NaN cells inside a score request declare missing values,
+//! exactly as in [`imdiffusion::StreamingMonitor::push_batch`].
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use imdiff_nn::serialize::crc32;
+
+/// Current protocol version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame magic: "Imdiffusion Wire".
+pub const MAGIC: [u8; 2] = *b"IW";
+
+/// Hard cap on payload size (16 MiB): a corrupted or hostile length field
+/// can never force a large allocation.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Frame header size in bytes (magic + version + kind + len + crc).
+pub const HEADER_LEN: usize = 12;
+
+/// Message kind bytes. Requests are `< 128`, responses `>= 128`.
+pub mod kind {
+    /// Score a chunk of rows for one tenant.
+    pub const SCORE: u8 = 1;
+    /// Report every tenant's health and model generation.
+    pub const HEALTH: u8 = 2;
+    /// Export the server's observability snapshot (imdiff-obs-v1 JSON).
+    pub const OBS_SNAPSHOT: u8 = 3;
+    /// Force a checkpoint reload check for one tenant.
+    pub const RELOAD: u8 = 4;
+    /// Begin a graceful drain: finish queued work, stop accepting new.
+    pub const DRAIN: u8 = 5;
+    /// Liveness probe.
+    pub const PING: u8 = 6;
+
+    /// Per-point verdicts for a score request.
+    pub const VERDICTS: u8 = 128;
+    /// Typed refusal or failure.
+    pub const ERROR: u8 = 129;
+    /// Health report for all tenants.
+    pub const HEALTH_REPORT: u8 = 130;
+    /// Observability snapshot JSON.
+    pub const OBS_JSON: u8 = 131;
+    /// Bare acknowledgement.
+    pub const OK: u8 = 132;
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong while framing or parsing a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Underlying transport failure.
+    Io(String),
+    /// The two magic bytes were wrong.
+    BadMagic([u8; 2]),
+    /// The version byte named a protocol we do not speak.
+    UnsupportedVersion(u8),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// The buffer or stream ended before the declared frame did.
+    Truncated,
+    /// Bytes remained after the declared frame (buffer decode only).
+    TrailingBytes(usize),
+    /// The payload checksum did not match the header.
+    CrcMismatch {
+        /// Checksum stored in the frame header.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        actual: u32,
+    },
+    /// The kind byte is not a known message type.
+    UnknownKind(u8),
+    /// The frame was intact but its payload did not parse.
+    Malformed(String),
+    /// No frame arrived before the socket read timeout (only reported
+    /// when *zero* bytes of the next frame had been read — a timeout
+    /// mid-frame is an [`WireError::Io`] error).
+    Idle,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(msg) => write!(f, "wire I/O error: {msg}"),
+            WireError::BadMagic(m) => {
+                write!(f, "bad frame magic {:#04x}{:#04x}", m[0], m[1])
+            }
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v}")
+            }
+            WireError::TooLarge(n) => {
+                write!(f, "declared payload of {n} bytes exceeds the {MAX_PAYLOAD} cap")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the frame")
+            }
+            WireError::CrcMismatch { stored, actual } => write!(
+                f,
+                "frame CRC mismatch: header {stored:#010x}, payload {actual:#010x}"
+            ),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            WireError::Idle => write!(f, "no frame before read timeout"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Message types
+// ---------------------------------------------------------------------------
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Score `rows` (rectangular, NaN = declared missing) for `tenant`,
+    /// after `gap_before` rows lost by the transport.
+    Score {
+        /// Stream id the rows belong to.
+        tenant: String,
+        /// Rows dropped immediately before this chunk.
+        gap_before: u32,
+        /// Observed rows in stream order; all rows share one length.
+        rows: Vec<Vec<f32>>,
+    },
+    /// Ask for every tenant's health report.
+    Health,
+    /// Ask for the observability snapshot.
+    ObsSnapshot,
+    /// Force a checkpoint reload check for `tenant`.
+    Reload {
+        /// Stream id whose checkpoint should be re-examined.
+        tenant: String,
+    },
+    /// Begin a graceful drain.
+    Drain,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Machine-readable refusal/failure category (the `code` byte of an
+/// error response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Admission control rejected the request: queue full. Retry with
+    /// backoff; the rows were **not** ingested.
+    Overloaded = 1,
+    /// The request exceeded its queueing deadline before a worker picked
+    /// it up. The rows were **not** ingested.
+    Timeout = 2,
+    /// No tenant with the given id is registered.
+    UnknownTenant = 3,
+    /// The request itself was invalid (wrong channel count, non-finite
+    /// values outside declared-missing, empty rows, ...).
+    BadRequest = 4,
+    /// The server is draining and accepts no new scoring work.
+    Draining = 5,
+    /// Unexpected server-side failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::Timeout,
+            3 => ErrorCode::UnknownTenant,
+            4 => ErrorCode::BadRequest,
+            5 => ErrorCode::Draining,
+            6 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One scored observation as it travels over the wire (mirrors
+/// [`imdiffusion::PointVerdict`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireVerdict {
+    /// Global stream index of the observation.
+    pub index: u64,
+    /// Continuous anomaly score.
+    pub score: f64,
+    /// Ensemble votes received (0 when degraded).
+    pub votes: u32,
+    /// Voted anomaly label.
+    pub anomalous: bool,
+    /// Served by the z-score fallback rather than full inference.
+    pub degraded: bool,
+}
+
+/// Health state byte on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireHealthState {
+    /// Full ensemble inference.
+    Healthy = 0,
+    /// Fallback verdicts.
+    Degraded = 1,
+    /// Buffer (re)filling.
+    Warming = 2,
+}
+
+impl WireHealthState {
+    fn from_u8(b: u8) -> Option<WireHealthState> {
+        Some(match b {
+            0 => WireHealthState::Healthy,
+            1 => WireHealthState::Degraded,
+            2 => WireHealthState::Warming,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-tenant entry of a health report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantHealth {
+    /// Stream id.
+    pub id: String,
+    /// Current health state.
+    pub state: WireHealthState,
+    /// Model generation (bumps on every successful hot reload).
+    pub generation: u64,
+    /// Observations consumed.
+    pub rows_seen: u64,
+    /// Rows rejected at ingestion.
+    pub rows_rejected: u64,
+    /// Evaluations served by the fallback.
+    pub degraded_evals: u64,
+    /// Long gaps that forced a re-warm.
+    pub rewarms: u64,
+    /// Degraded → Healthy transitions.
+    pub recoveries: u64,
+    /// Score requests currently queued for this tenant.
+    pub queue_depth: u32,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Verdicts earned by a score request. `generation` is the model
+    /// generation that produced **all** of them — one batch never mixes
+    /// generations.
+    Verdicts {
+        /// Model generation at evaluation time.
+        generation: u64,
+        /// Per-point verdicts, in stream order.
+        verdicts: Vec<WireVerdict>,
+    },
+    /// Typed refusal or failure.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Health report for all tenants, sorted by id.
+    Health {
+        /// One entry per registered tenant.
+        tenants: Vec<TenantHealth>,
+    },
+    /// Observability snapshot (imdiff-obs-v1 JSON document).
+    ObsJson {
+        /// The snapshot text.
+        json: String,
+    },
+    /// Bare acknowledgement.
+    Ok,
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn frame_crc(version: u8, kind: u8, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(payload.len() + 2);
+    covered.push(version);
+    covered.push(kind);
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Assembles a complete frame for `kind` around `payload`.
+pub fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() as u64 <= MAX_PAYLOAD as u64, "payload over cap");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(WIRE_VERSION, kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses one frame from `buf`, requiring the buffer to contain exactly
+/// one frame. Returns the kind byte and the payload slice.
+pub fn parse_frame(buf: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[0..2] != MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    let version = buf[2];
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = buf[3];
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::TooLarge(len));
+    }
+    let stored = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let end = HEADER_LEN + len as usize;
+    if buf.len() < end {
+        return Err(WireError::Truncated);
+    }
+    if buf.len() > end {
+        return Err(WireError::TrailingBytes(buf.len() - end));
+    }
+    let payload = &buf[HEADER_LEN..end];
+    let actual = frame_crc(version, kind, payload);
+    if stored != actual {
+        return Err(WireError::CrcMismatch { stored, actual });
+    }
+    Ok((kind, payload))
+}
+
+/// Reads one frame from `r`. `Ok(None)` means the peer closed the
+/// connection cleanly (EOF before any byte of a frame);
+/// [`WireError::Idle`] means a read timeout fired before any byte
+/// arrived — the connection is still healthy.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(WireError::Idle)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    let version = header[2];
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = header[3];
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::TooLarge(len));
+    }
+    let stored = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.to_string())
+        }
+    })?;
+    let actual = frame_crc(version, kind, &payload);
+    if stored != actual {
+        return Err(WireError::CrcMismatch { stored, actual });
+    }
+    Ok(Some((kind, payload)))
+}
+
+/// Writes a complete frame to `w`.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&frame_bytes(kind, payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Payload cursor
+// ---------------------------------------------------------------------------
+
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Cur<'a> {
+        Cur { b, i: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .i
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| WireError::Malformed("payload ended early".into()))?;
+        let s = &self.b[self.i..end];
+        self.i = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A `u16` length-prefixed UTF-8 string (tenant ids).
+    fn short_str(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// A `u32` length-prefixed UTF-8 string (messages, JSON).
+    fn long_str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} unexpected bytes after payload",
+                self.b.len() - self.i
+            )))
+        }
+    }
+}
+
+fn put_short_str(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string too long for u16 prefix");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_long_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// The kind byte of this request.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Score { .. } => kind::SCORE,
+            Request::Health => kind::HEALTH,
+            Request::ObsSnapshot => kind::OBS_SNAPSHOT,
+            Request::Reload { .. } => kind::RELOAD,
+            Request::Drain => kind::DRAIN,
+            Request::Ping => kind::PING,
+        }
+    }
+
+    /// Encodes the payload (without the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Score {
+                tenant,
+                gap_before,
+                rows,
+            } => {
+                put_short_str(&mut out, tenant);
+                out.extend_from_slice(&gap_before.to_le_bytes());
+                let channels = rows.first().map_or(0, Vec::len);
+                assert!(
+                    rows.iter().all(|r| r.len() == channels),
+                    "score rows must be rectangular"
+                );
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(channels as u32).to_le_bytes());
+                for row in rows {
+                    for v in row {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            Request::Reload { tenant } => put_short_str(&mut out, tenant),
+            Request::Health | Request::ObsSnapshot | Request::Drain | Request::Ping => {}
+        }
+        out
+    }
+
+    /// Serializes the request as one complete frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame_bytes(self.kind(), &self.encode_payload())
+    }
+
+    /// Parses a request from an exact frame buffer.
+    pub fn from_bytes(buf: &[u8]) -> Result<Request, WireError> {
+        let (kind, payload) = parse_frame(buf)?;
+        Request::decode(kind, payload)
+    }
+
+    /// Decodes a request payload for `kind`.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cur::new(payload);
+        let req = match kind_byte {
+            kind::SCORE => {
+                let tenant = c.short_str()?;
+                let gap_before = c.u32()?;
+                let n_rows = c.u32()? as usize;
+                let channels = c.u32()? as usize;
+                let cells = n_rows
+                    .checked_mul(channels)
+                    .filter(|&n| n * 4 == payload.len() - c.i)
+                    .ok_or_else(|| {
+                        WireError::Malformed("row grid does not match payload size".into())
+                    })?;
+                let _ = cells;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let mut row = Vec::with_capacity(channels);
+                    for _ in 0..channels {
+                        row.push(c.f32()?);
+                    }
+                    rows.push(row);
+                }
+                Request::Score {
+                    tenant,
+                    gap_before,
+                    rows,
+                }
+            }
+            kind::HEALTH => Request::Health,
+            kind::OBS_SNAPSHOT => Request::ObsSnapshot,
+            kind::RELOAD => Request::Reload {
+                tenant: c.short_str()?,
+            },
+            kind::DRAIN => Request::Drain,
+            kind::PING => Request::Ping,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+impl Response {
+    /// The kind byte of this response.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Response::Verdicts { .. } => kind::VERDICTS,
+            Response::Error { .. } => kind::ERROR,
+            Response::Health { .. } => kind::HEALTH_REPORT,
+            Response::ObsJson { .. } => kind::OBS_JSON,
+            Response::Ok => kind::OK,
+        }
+    }
+
+    /// Encodes the payload (without the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Verdicts {
+                generation,
+                verdicts,
+            } => {
+                out.extend_from_slice(&generation.to_le_bytes());
+                out.extend_from_slice(&(verdicts.len() as u32).to_le_bytes());
+                for v in verdicts {
+                    out.extend_from_slice(&v.index.to_le_bytes());
+                    out.extend_from_slice(&v.score.to_le_bytes());
+                    out.extend_from_slice(&v.votes.to_le_bytes());
+                    out.push(u8::from(v.anomalous) | (u8::from(v.degraded) << 1));
+                }
+            }
+            Response::Error { code, message } => {
+                out.push(*code as u8);
+                put_long_str(&mut out, message);
+            }
+            Response::Health { tenants } => {
+                out.extend_from_slice(&(tenants.len() as u32).to_le_bytes());
+                for t in tenants {
+                    put_short_str(&mut out, &t.id);
+                    out.push(t.state as u8);
+                    out.extend_from_slice(&t.generation.to_le_bytes());
+                    out.extend_from_slice(&t.rows_seen.to_le_bytes());
+                    out.extend_from_slice(&t.rows_rejected.to_le_bytes());
+                    out.extend_from_slice(&t.degraded_evals.to_le_bytes());
+                    out.extend_from_slice(&t.rewarms.to_le_bytes());
+                    out.extend_from_slice(&t.recoveries.to_le_bytes());
+                    out.extend_from_slice(&t.queue_depth.to_le_bytes());
+                }
+            }
+            Response::ObsJson { json } => put_long_str(&mut out, json),
+            Response::Ok => {}
+        }
+        out
+    }
+
+    /// Serializes the response as one complete frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame_bytes(self.kind(), &self.encode_payload())
+    }
+
+    /// Parses a response from an exact frame buffer.
+    pub fn from_bytes(buf: &[u8]) -> Result<Response, WireError> {
+        let (kind, payload) = parse_frame(buf)?;
+        Response::decode(kind, payload)
+    }
+
+    /// Decodes a response payload for `kind`.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cur::new(payload);
+        let resp = match kind_byte {
+            kind::VERDICTS => {
+                let generation = c.u64()?;
+                let n = c.u32()? as usize;
+                // 8 + 8 + 4 + 1 bytes per verdict: reject absurd counts
+                // before allocating.
+                if n.checked_mul(21) != Some(payload.len().saturating_sub(12)) {
+                    return Err(WireError::Malformed(
+                        "verdict count does not match payload size".into(),
+                    ));
+                }
+                let mut verdicts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let index = c.u64()?;
+                    let score = c.f64()?;
+                    let votes = c.u32()?;
+                    let flags = c.u8()?;
+                    if flags & !0b11 != 0 {
+                        return Err(WireError::Malformed(format!(
+                            "unknown verdict flags {flags:#04x}"
+                        )));
+                    }
+                    verdicts.push(WireVerdict {
+                        index,
+                        score,
+                        votes,
+                        anomalous: flags & 0b01 != 0,
+                        degraded: flags & 0b10 != 0,
+                    });
+                }
+                Response::Verdicts {
+                    generation,
+                    verdicts,
+                }
+            }
+            kind::ERROR => {
+                let code_byte = c.u8()?;
+                let code = ErrorCode::from_u8(code_byte).ok_or_else(|| {
+                    WireError::Malformed(format!("unknown error code {code_byte}"))
+                })?;
+                Response::Error {
+                    code,
+                    message: c.long_str()?,
+                }
+            }
+            kind::HEALTH_REPORT => {
+                let n = c.u32()? as usize;
+                // Each entry is at least 46 bytes (empty id).
+                if n.checked_mul(46).is_none_or(|min| min > payload.len()) {
+                    return Err(WireError::Malformed(
+                        "tenant count does not fit payload".into(),
+                    ));
+                }
+                let mut tenants = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.short_str()?;
+                    let state_byte = c.u8()?;
+                    let state = WireHealthState::from_u8(state_byte).ok_or_else(|| {
+                        WireError::Malformed(format!("unknown health state {state_byte}"))
+                    })?;
+                    tenants.push(TenantHealth {
+                        id,
+                        state,
+                        generation: c.u64()?,
+                        rows_seen: c.u64()?,
+                        rows_rejected: c.u64()?,
+                        degraded_evals: c.u64()?,
+                        rewarms: c.u64()?,
+                        recoveries: c.u64()?,
+                        queue_depth: c.u32()?,
+                    });
+                }
+                Response::Health { tenants }
+            }
+            kind::OBS_JSON => Response::ObsJson {
+                json: c.long_str()?,
+            },
+            kind::OK => Response::Ok,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Reads one request frame from `r` (server side).
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some((kind, payload)) => Request::decode(kind, &payload).map(Some),
+    }
+}
+
+/// Reads one response frame from `r` (client side).
+pub fn read_response<R: Read>(r: &mut R) -> Result<Option<Response>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some((kind, payload)) => Response::decode(kind, &payload).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Score {
+                tenant: "smd-1".into(),
+                gap_before: 3,
+                rows: vec![vec![1.0, f32::NAN, -2.5], vec![0.0, 4.25, 1e-3]],
+            },
+            Request::Score {
+                tenant: "".into(),
+                gap_before: 0,
+                rows: vec![],
+            },
+            Request::Health,
+            Request::ObsSnapshot,
+            Request::Reload { tenant: "gcp-θ".into() },
+            Request::Drain,
+            Request::Ping,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Verdicts {
+                generation: 7,
+                verdicts: vec![
+                    WireVerdict {
+                        index: 41,
+                        score: 0.75,
+                        votes: 3,
+                        anomalous: true,
+                        degraded: false,
+                    },
+                    WireVerdict {
+                        index: 42,
+                        score: f64::INFINITY,
+                        votes: 0,
+                        anomalous: false,
+                        degraded: true,
+                    },
+                ],
+            },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "request queue full (64/64); retry with backoff".into(),
+            },
+            Response::Health {
+                tenants: vec![TenantHealth {
+                    id: "smd-1".into(),
+                    state: WireHealthState::Healthy,
+                    generation: 2,
+                    rows_seen: 1000,
+                    rows_rejected: 1,
+                    degraded_evals: 3,
+                    rewarms: 0,
+                    recoveries: 3,
+                    queue_depth: 5,
+                }],
+            },
+            Response::ObsJson {
+                json: "{\"schema\": \"imdiff-obs-v1\"}".into(),
+            },
+            Response::Ok,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let bytes = req.to_bytes();
+            let back = Request::from_bytes(&bytes).expect("decode");
+            // NaN cells break PartialEq; compare via bit patterns.
+            match (&req, &back) {
+                (
+                    Request::Score { rows: a, .. },
+                    Request::Score {
+                        tenant,
+                        gap_before,
+                        rows: b,
+                    },
+                ) => {
+                    if let Request::Score {
+                        tenant: ta,
+                        gap_before: ga,
+                        ..
+                    } = &req
+                    {
+                        assert_eq!(ta, tenant);
+                        assert_eq!(ga, gap_before);
+                    }
+                    assert_eq!(a.len(), b.len());
+                    for (ra, rb) in a.iter().zip(b) {
+                        let ba: Vec<u32> = ra.iter().map(|v| v.to_bits()).collect();
+                        let bb: Vec<u32> = rb.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(ba, bb);
+                    }
+                }
+                _ => assert_eq!(req, back),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let bytes = resp.to_bytes();
+            assert_eq!(Response::from_bytes(&bytes).expect("decode"), resp);
+        }
+    }
+
+    #[test]
+    fn stream_read_matches_buffer_decode() {
+        let mut wire = Vec::new();
+        for req in sample_requests() {
+            wire.extend_from_slice(&req.to_bytes());
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut seen = 0;
+        while let Some(req) = read_request(&mut cursor).expect("read") {
+            let _ = req;
+            seen += 1;
+        }
+        assert_eq!(seen, sample_requests().len());
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_rejected() {
+        let bytes = Request::Ping.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Request::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            Request::from_bytes(&extended),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn kind_byte_corruption_caught_by_crc() {
+        // Ping and Health both carry empty payloads, so without the kind
+        // byte under the CRC a one-byte flip would silently turn one into
+        // the other.
+        let mut bytes = Request::Ping.to_bytes();
+        bytes[3] = kind::HEALTH;
+        assert!(matches!(
+            Request::from_bytes(&bytes),
+            Err(WireError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_field_rejected_before_allocation() {
+        let mut bytes = Request::Ping.to_bytes();
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::from_bytes(&bytes), Err(WireError::TooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let frame = frame_bytes(99, b"");
+        assert_eq!(Request::from_bytes(&frame), Err(WireError::UnknownKind(99)));
+        let frame = frame_bytes(200, b"");
+        assert_eq!(Response::from_bytes(&frame), Err(WireError::UnknownKind(200)));
+    }
+}
