@@ -122,6 +122,8 @@ fn bench_wire_codec(c: &mut Criterion) {
     let rows: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 8]).collect();
     let req = Request::Score {
         tenant: "bench".into(),
+        seq: 1,
+        start_row: 0,
         gap_before: 0,
         rows,
     };

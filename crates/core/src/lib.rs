@@ -51,6 +51,7 @@ pub use config::{ImDiffusionConfig, SentinelConfig, TaskMode};
 pub use detector::{DetectorSpec, ImDiffusionDetector};
 pub use infer::{ensemble_infer_masked, ensemble_infer_windows, EnsembleOutput, StepTrace};
 pub use model::ImTransformer;
+pub use persist::stream_path;
 pub use streaming::{
     BatchItem, BatchReply, HealthState, MonitorHealth, PointVerdict, StreamingMonitor,
     ThresholdMode,

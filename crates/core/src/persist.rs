@@ -102,8 +102,10 @@ const STREAM_MAGIC: &[u8; 4] = b"IMSM";
 const STREAM_VERSION: u32 = 2;
 
 /// The sidecar path holding streaming state for a detector checkpoint at
-/// `path` (`<path>.stream`).
-fn stream_path(path: &Path) -> PathBuf {
+/// `path` (`<path>.stream`). Public so supervisors and fault-injection
+/// harnesses can archive, inspect or (deliberately) damage the sidecar
+/// without re-deriving the naming convention.
+pub fn stream_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_owned();
     os.push(".stream");
     PathBuf::from(os)
@@ -244,7 +246,17 @@ impl StreamingMonitor {
     /// atomic write).
     pub fn checkpoint(&self, path: &Path) -> Result<(), DetectorError> {
         self.detector.save(path)?;
+        self.checkpoint_stream(path)
+    }
 
+    /// Writes **only** the IMSM streaming-state sidecar at
+    /// `<path>.stream`, leaving the weight file untouched. This is the
+    /// periodic-snapshot path of the serving layer: weights change only on
+    /// hot reload (and the checkpoint file on disk is already the source
+    /// of those weights), while the stream state advances with every row —
+    /// so the cadenced write covers just the cheap, frequently-changing
+    /// half. Atomic (temp file + rename), CRC-protected (IMSM v2).
+    pub fn checkpoint_stream(&self, path: &Path) -> Result<(), DetectorError> {
         let payload = self.encode_stream_payload();
         let mut b: Vec<u8> = Vec::with_capacity(payload.len() + 12);
         b.extend_from_slice(STREAM_MAGIC);
@@ -526,6 +538,134 @@ mod tests {
         assert_eq!(restored.health(), monitor.health());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(path.with_extension("ckpt.stream")).ok();
+    }
+
+    /// Failover can land while a tenant is Degraded. The restored monitor
+    /// must come back *in* Degraded — with the z-score fallback
+    /// statistics, calibrated fallback threshold and health counters
+    /// intact — not silently reset to Warming (which would drop verdicts
+    /// for a full window and erase the fault history operators alarm on).
+    #[test]
+    fn restore_mid_stream_preserves_degraded_state() {
+        use crate::streaming::StreamingMonitor;
+
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 64,
+            },
+            11,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 11);
+        det.fit(&ds.train).unwrap();
+        let k = ds.train.dim();
+        let mut monitor = StreamingMonitor::new(det, k, 8).unwrap();
+
+        // Healthy warm-up, then blind the stream (majority-missing
+        // windows) until the health machine degrades.
+        for l in 0..24 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+        for _ in 24..40 {
+            monitor.push(&vec![f32::NAN; k]).unwrap();
+        }
+        let before = monitor.health();
+        assert_eq!(before.state, HealthState::Degraded);
+        assert!(before.degraded_evals > 0);
+
+        let path = tmp("degraded-monitor.ckpt");
+        monitor.checkpoint(&path).unwrap();
+        let mut restored = StreamingMonitor::restore(tiny_cfg(), 11, &path).unwrap();
+
+        let after = restored.health();
+        assert_eq!(after.state, HealthState::Degraded, "restore reset health");
+        assert_eq!(after.degraded_evals, before.degraded_evals);
+        assert_eq!(after.rows_seen, before.rows_seen);
+        assert_eq!(after.cells_imputed, before.cells_imputed);
+        assert_eq!(after.recoveries, before.recoveries);
+        assert_eq!(
+            restored.last_degraded_reason(),
+            monitor.last_degraded_reason(),
+            "degraded reason lost"
+        );
+
+        // Still blind: both monitors must keep serving through the
+        // fallback path with bit-identical scores (same Welford stats and
+        // calibrated tau survived the roundtrip).
+        for _ in 0..16 {
+            let a = monitor.push(&vec![f32::NAN; k]).unwrap();
+            let b = restored.push(&vec![f32::NAN; k]).unwrap();
+            assert_eq!(a, b, "fallback verdicts diverged after restore");
+            assert!(a.iter().all(|v| v.degraded));
+        }
+        assert_eq!(restored.health().state, HealthState::Degraded);
+
+        // Clean data returns: both recover in lockstep (counters advanced
+        // from the restored values, not from zero).
+        for l in 40..ds.test.len() {
+            let a = monitor.push(ds.test.row(l)).unwrap();
+            let b = restored.push(ds.test.row(l)).unwrap();
+            assert_eq!(a, b, "diverged at recovery row {l}");
+        }
+        assert_eq!(restored.health(), monitor.health());
+        assert!(restored.health().recoveries > before.recoveries);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(stream_path(&path)).ok();
+    }
+
+    /// The serving layer's periodic snapshots rewrite only the sidecar;
+    /// the cadence trigger is pure policy and never persisted.
+    #[test]
+    fn sidecar_only_checkpoint_and_cadence() {
+        use crate::streaming::StreamingMonitor;
+
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 48,
+            },
+            13,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 13);
+        det.fit(&ds.train).unwrap();
+        let k = ds.train.dim();
+        let mut monitor = StreamingMonitor::new(det, k, 8).unwrap();
+        monitor.set_snapshot_cadence(Some(10));
+
+        let path = tmp("cadence-monitor.ckpt");
+        monitor.checkpoint(&path).unwrap();
+        monitor.mark_snapshotted();
+        let weight_bytes = std::fs::read(&path).unwrap();
+
+        assert!(!monitor.snapshot_due());
+        for l in 0..24 {
+            monitor.push(ds.test.row(l)).unwrap();
+            if monitor.snapshot_due() {
+                monitor.checkpoint_stream(&path).unwrap();
+                monitor.mark_snapshotted();
+            }
+        }
+        // 24 rows at a cadence of 10 → at least two sidecar rewrites, and
+        // the trigger re-arms after each one.
+        assert!(!monitor.snapshot_due());
+
+        // The weight file was never rewritten by the cadenced snapshots.
+        assert_eq!(std::fs::read(&path).unwrap(), weight_bytes);
+
+        // The sidecar alone restores the advanced stream position.
+        let mut restored = StreamingMonitor::restore(tiny_cfg(), 13, &path).unwrap();
+        assert_eq!(restored.seen(), monitor.seen());
+        assert!(!restored.snapshot_due(), "cadence must not persist");
+        for l in 24..ds.test.len() {
+            let a = monitor.push(ds.test.row(l)).unwrap();
+            let b = restored.push(ds.test.row(l)).unwrap();
+            assert_eq!(a, b, "diverged at row {l}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(stream_path(&path)).ok();
     }
 
     #[test]

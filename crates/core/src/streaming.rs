@@ -246,6 +246,12 @@ pub struct StreamingMonitor {
     pub(crate) rewarms: u64,
     pub(crate) degraded_evals: u64,
     pub(crate) recoveries: u64,
+    /// Rows between automatic sidecar snapshots (`None` = caller-driven
+    /// only). Serving policy, not stream state: never persisted.
+    pub(crate) snapshot_every: Option<u64>,
+    /// `seen` at the last snapshot, so [`Self::snapshot_due`] measures
+    /// progress since the sidecar was last written.
+    pub(crate) rows_at_snapshot: u64,
 }
 
 impl StreamingMonitor {
@@ -292,6 +298,8 @@ impl StreamingMonitor {
             rewarms: 0,
             degraded_evals: 0,
             recoveries: 0,
+            snapshot_every: None,
+            rows_at_snapshot: 0,
         })
     }
 
@@ -306,6 +314,31 @@ impl StreamingMonitor {
     pub fn with_max_bridge(mut self, rows: usize) -> Self {
         self.max_bridge = rows;
         self
+    }
+
+    /// Arms the snapshot cadence: after every `rows` consumed
+    /// observations, [`Self::snapshot_due`] turns true until the caller
+    /// writes the sidecar and calls [`Self::mark_snapshotted`]. Cadence is
+    /// serving policy, not stream state — it is never persisted, and a
+    /// restored monitor starts with the cadence its host configures.
+    pub fn set_snapshot_cadence(&mut self, rows: Option<u64>) {
+        self.snapshot_every = rows.filter(|&r| r > 0);
+        self.rows_at_snapshot = self.seen;
+    }
+
+    /// Whether enough rows arrived since the last snapshot that the
+    /// sidecar should be rewritten (see [`Self::set_snapshot_cadence`]).
+    pub fn snapshot_due(&self) -> bool {
+        match self.snapshot_every {
+            Some(every) => self.seen.saturating_sub(self.rows_at_snapshot) >= every,
+            None => false,
+        }
+    }
+
+    /// Records that the sidecar now reflects the current stream position;
+    /// resets the [`Self::snapshot_due`] trigger.
+    pub fn mark_snapshotted(&mut self) {
+        self.rows_at_snapshot = self.seen;
     }
 
     /// Number of observations consumed so far.

@@ -99,6 +99,25 @@ impl fmt::Display for DetectorError {
     }
 }
 
+impl DetectorError {
+    /// Whether retrying the exact same request can succeed.
+    ///
+    /// Retryable errors are *transient refusals*: the request never
+    /// touched detector state ([`DetectorError::Timeout`],
+    /// [`DetectorError::Overloaded`]) and the condition clears on its own.
+    /// Everything else is either a caller bug (bad input, wrong shape), a
+    /// lifecycle error, or damaged persistent state
+    /// ([`DetectorError::CorruptCheckpoint`]) — resending the identical
+    /// request deterministically fails again, so clients must not burn
+    /// backoff budget on it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DetectorError::Timeout { .. } | DetectorError::Overloaded { .. }
+        )
+    }
+}
+
 impl std::error::Error for DetectorError {}
 
 /// The output of a detector on a test series.
@@ -225,5 +244,62 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(DetectorError::NotFitted.to_string().contains("before fit"));
+    }
+
+    /// Every variant has an explicit retryability classification; the
+    /// match is exhaustive on today's variants so adding one forces a
+    /// decision here.
+    #[test]
+    fn retryable_classification_covers_every_variant() {
+        let cases = [
+            (DetectorError::InvalidTrainingData("x".into()), false),
+            (DetectorError::NotFitted, false),
+            (
+                DetectorError::DimensionMismatch {
+                    expected: 2,
+                    actual: 3,
+                },
+                false,
+            ),
+            (
+                DetectorError::NonFiniteInput {
+                    index: 0,
+                    channel: 1,
+                },
+                false,
+            ),
+            (DetectorError::Internal("x".into()), false),
+            (DetectorError::Io("x".into()), false),
+            (DetectorError::CorruptCheckpoint("x".into()), false),
+            (DetectorError::Timeout { waited_ms: 100 }, true),
+            (
+                DetectorError::Overloaded {
+                    queued: 64,
+                    limit: 64,
+                },
+                true,
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(
+                err.is_retryable(),
+                want,
+                "wrong retryability for {err:?}"
+            );
+            // Deliberately no wildcard arm: adding a DetectorError
+            // variant fails this match until the variant is classified
+            // (and the `cases` table above is extended).
+            match &err {
+                DetectorError::InvalidTrainingData(_)
+                | DetectorError::NotFitted
+                | DetectorError::DimensionMismatch { .. }
+                | DetectorError::NonFiniteInput { .. }
+                | DetectorError::Internal(_)
+                | DetectorError::Io(_)
+                | DetectorError::CorruptCheckpoint(_)
+                | DetectorError::Timeout { .. }
+                | DetectorError::Overloaded { .. } => {}
+            }
+        }
     }
 }

@@ -20,18 +20,35 @@
 //!   weights between batches while in-flight requests finish on the old
 //!   generation.
 //! * **[`client`]** — a blocking [`client::ServeClient`] with pipelining
-//!   support, used by the integration tests, the `serve_demo` example and
-//!   the serve benchmarks.
+//!   support, plus the fault-tolerant [`client::ResilientClient`]
+//!   (sequence ids, bounded backoff with seeded jitter,
+//!   reconnect-and-replay of the unanswered tail).
+//! * **[`router`] / [`supervisor`]** — the replicated tier: a
+//!   [`supervisor::Replicated`] handle spawns N replica servers, places
+//!   tenants by consistent hashing, fronts them with a forwarding router,
+//!   and heals replica death by fence-then-adopt failover from each
+//!   tenant's IMSM sidecar.
+//! * **[`chaos`]** — a deterministic fault-injection harness: a seeded
+//!   plan of kills, partitions, duplicates, truncations and sidecar
+//!   corruption driven through the real wire protocol, asserting typed
+//!   errors (never hangs) and bit-identical post-failover verdicts.
 //!
 //! See DESIGN.md §"Serving layer" for the wire format tables and the
-//! batching / backpressure state machine.
+//! batching / backpressure state machine, and §"Failure model" for the
+//! replication and failover contract.
 
+pub mod chaos;
 pub mod client;
+pub mod router;
 pub mod server;
+pub mod supervisor;
 pub mod wire;
 
-pub use client::{ClientError, Scored, ServeClient};
+pub use chaos::{ChaosEvent, ChaosPlan, ChaosReport};
+pub use client::{Backoff, ClientError, ResilientClient, RetryPolicy, Scored, ServeClient};
+pub use router::{Ring, RouterConfig};
 pub use server::{ServeConfig, ServeError, Server, TenantSpec};
+pub use supervisor::Replicated;
 pub use wire::{
     ErrorCode, Request, Response, TenantHealth, WireError, WireHealthState, WireVerdict,
 };

@@ -1,0 +1,627 @@
+//! Tenant-routing front door for a replicated serving tier.
+//!
+//! The router owns the only address clients see. Behind it sit N replica
+//! servers (spawned by the [supervisor](crate::supervisor)); each tenant
+//! is *placed* on exactly one replica by consistent hashing over a ring
+//! of virtual nodes, and the router forwards scoring/reload/snapshot
+//! frames to the owner, preserving per-connection request order end to
+//! end. Control requests that do not belong to a tenant (`Ping`,
+//! `ObsSnapshot`, `Drain`) answer locally; `Health` fans out to every
+//! live replica and merges the per-tenant reports.
+//!
+//! # Failure semantics
+//!
+//! A replica connection that dies mid-flight fails every request queued
+//! on it with a typed [`ErrorCode::Unavailable`] whose message says the
+//! request *may or may not have been applied* — the honest answer, and
+//! safe to act on because replays are deduplicated by sequence id
+//! server-side. Requests routed to a replica already marked dead are
+//! refused the same way without ever touching the network. Nothing
+//! hangs: upstream readers poll with a short timeout and abandon ship as
+//! soon as the replica is declared dead or the router drains.
+//!
+//! Placement is [FNV-1a](https://en.wikipedia.org/wiki/FNV_hash) over
+//! `"replica-{i}-vn{v}"` ring points — a stable, seedless hash, so every
+//! process (router, supervisor, chaos harness, a rebooted router)
+//! computes the identical ring. `std`'s `RandomState` is banned here: a
+//! randomized hash would re-place every tenant on restart and defeat
+//! sidecar-based resumption.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use imdiff_nn::obs;
+
+use crate::server::{ServeConfig, ServeError};
+use crate::wire::{self, ErrorCode, Request, Response, TenantHealth, WireError};
+use crate::ServeClient;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Configuration for the replicated tier (router + supervisor).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Client-facing listen address (`127.0.0.1:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Number of replica servers to spawn.
+    pub replicas: usize,
+    /// Virtual nodes per replica on the placement ring. More nodes
+    /// spread tenants more evenly; 32 is plenty for single-digit
+    /// replica counts.
+    pub vnodes: usize,
+    /// How often the supervisor pings each replica.
+    pub heartbeat_every: Duration,
+    /// Read deadline on each heartbeat exchange.
+    pub heartbeat_timeout: Duration,
+    /// Consecutive missed heartbeats before a replica is declared dead
+    /// and failed over.
+    pub heartbeat_misses: u32,
+    /// Idle-connection budget for the router's client connections
+    /// (`None` = never close a silent client).
+    pub idle_timeout: Option<Duration>,
+    /// Template for each replica's [`ServeConfig`]; `addr` is overridden
+    /// with an ephemeral port per replica.
+    pub replica: ServeConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            vnodes: 32,
+            heartbeat_every: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_millis(250),
+            heartbeat_misses: 3,
+            idle_timeout: None,
+            replica: ServeConfig::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consistent hashing
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, 64-bit. Stable across processes and releases by
+/// construction — the placement ring must never depend on a randomized
+/// hasher.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A consistent-hash ring of virtual nodes over `replicas` replicas.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, replica)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Builds the ring: `vnodes` points per replica at
+    /// `fnv1a("replica-{i}-vn{v}")`.
+    pub fn new(replicas: usize, vnodes: usize) -> Ring {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(replicas * vnodes);
+        for i in 0..replicas {
+            for v in 0..vnodes {
+                points.push((fnv1a(format!("replica-{i}-vn{v}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// Owner of `tenant` among the replicas still marked alive: the
+    /// first live ring point at or after the tenant's hash, wrapping.
+    /// `None` when every replica is dead. Dead replicas' tenants thus
+    /// fail over to the *next* point on the ring, while tenants on
+    /// surviving replicas never move — the property that bounds failover
+    /// blast radius.
+    pub fn place(&self, tenant: &str, alive: &[bool]) -> Option<usize> {
+        if !alive.iter().any(|a| *a) {
+            return None;
+        }
+        let h = fnv1a(tenant.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        for k in 0..n {
+            let (_, r) = self.points[(start + k) % n];
+            if alive[r] {
+                return Some(r);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+/// State shared between the router's connection threads and the
+/// supervisor (which flips `alive` and rewrites `assignment` during
+/// failover).
+pub(crate) struct RouterShared {
+    pub(crate) cfg: RouterConfig,
+    /// Tenant ids, index-aligned with `assignment`.
+    pub(crate) tenant_ids: Vec<String>,
+    /// Listen address of each replica.
+    pub(crate) replica_addrs: Vec<SocketAddr>,
+    /// Liveness per replica; cleared by the supervisor on failover.
+    pub(crate) alive: Vec<AtomicBool>,
+    /// Current owner replica per tenant. `usize::MAX` = unplaced (all
+    /// replicas dead); requests answer `Unavailable`.
+    pub(crate) assignment: RwLock<Vec<usize>>,
+    pub(crate) draining: AtomicBool,
+}
+
+impl RouterShared {
+    fn tenant_index(&self, id: &str) -> Option<usize> {
+        self.tenant_ids.iter().position(|t| t == id)
+    }
+
+    pub(crate) fn live_count(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Upstream (router -> replica) connections
+// ---------------------------------------------------------------------------
+
+/// One forwarding connection from a client connection to one replica.
+/// Replies come back in request order, so a FIFO of reply senders is the
+/// whole correlation state. The reader thread owns the receive half; on
+/// any loss it marks the upstream dead *then* drains the FIFO under the
+/// same lock that guards enqueueing — a new request can never slip into
+/// a queue that is being failed, so none is silently dropped.
+struct Upstream {
+    writer: TcpStream,
+    pending: Arc<Mutex<VecDeque<mpsc::Sender<Response>>>>,
+    dead: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Upstream {
+    fn connect(
+        shared: &Arc<RouterShared>,
+        replica: usize,
+    ) -> Result<Upstream, WireError> {
+        let stream = TcpStream::connect_timeout(
+            &shared.replica_addrs[replica],
+            Duration::from_secs(2),
+        )
+        .map_err(|e| WireError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let writer = stream.try_clone().map_err(|e| WireError::Io(e.to_string()))?;
+        let pending: Arc<Mutex<VecDeque<mpsc::Sender<Response>>>> = Arc::default();
+        let dead = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let shared = Arc::clone(shared);
+            let pending = Arc::clone(&pending);
+            let dead = Arc::clone(&dead);
+            let mut stream = stream;
+            std::thread::spawn(move || {
+                loop {
+                    match wire::read_response(&mut stream) {
+                        Ok(Some(resp)) => {
+                            let tx = pending
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .pop_front();
+                            if let Some(tx) = tx {
+                                let _ = tx.send(resp);
+                            }
+                        }
+                        Ok(None) => break, // replica closed
+                        Err(WireError::Idle) => {
+                            if shared.draining.load(Ordering::SeqCst)
+                                || !shared.alive[replica].load(Ordering::SeqCst)
+                            {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Fail everything still queued, atomically with refusing
+                // new entries.
+                let drained: Vec<_> = {
+                    let mut q = pending.lock().unwrap_or_else(|e| e.into_inner());
+                    dead.store(true, Ordering::SeqCst);
+                    q.drain(..).collect()
+                };
+                for tx in drained {
+                    let _ = tx.send(Response::Error {
+                        code: ErrorCode::Unavailable,
+                        message: "replica connection lost; request may or may not \
+                                  have been applied — retry with the same sequence id"
+                            .into(),
+                    });
+                }
+            })
+        };
+        Ok(Upstream {
+            writer,
+            pending,
+            dead,
+            reader: Some(reader),
+        })
+    }
+
+    /// Forwards one request, registering `tx` for its reply.
+    fn forward(&mut self, req: &Request, tx: mpsc::Sender<Response>) -> ForwardOutcome {
+        {
+            let mut q = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if self.dead.load(Ordering::SeqCst) {
+                return ForwardOutcome::NotEnqueued;
+            }
+            q.push_back(tx);
+        }
+        // A write failure after enqueueing is fine: the socket is broken,
+        // so the reader is about to drain the queue with typed errors.
+        if wire::write_frame(&mut self.writer, req.kind(), &req.encode_payload()).is_ok() {
+            ForwardOutcome::Sent
+        } else {
+            ForwardOutcome::EnqueuedButBroken
+        }
+    }
+}
+
+/// What became of a forwarded request's reply sender.
+enum ForwardOutcome {
+    /// Request on the wire; the reader will answer `tx`.
+    Sent,
+    /// Upstream was already dead; `tx` was never enqueued — safe to
+    /// retry on a fresh connection.
+    NotEnqueued,
+    /// The write failed after enqueueing; the reader's drain will answer
+    /// `tx` with a typed error. Do NOT retry — that would double-answer.
+    EnqueuedButBroken,
+}
+
+impl Drop for Upstream {
+    fn drop(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+        if let Some(r) = self.reader.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing connections
+// ---------------------------------------------------------------------------
+
+/// Serves one client connection on the router. Mirrors the replica
+/// server's design: the reader dispatches each frame and queues a
+/// one-shot reply receiver; a writer thread sends replies back in strict
+/// request order.
+fn router_connection_main(shared: Arc<RouterShared>, stream: TcpStream) {
+    obs::counter("serve.router.connections", 1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+
+    let (pending_tx, pending_rx) = mpsc::channel::<mpsc::Receiver<Response>>();
+    let reply_budget = shared.cfg.replica.deadline * 2 + Duration::from_secs(5);
+    let writer = std::thread::spawn(move || {
+        let mut w = std::io::BufWriter::new(write_half);
+        while let Ok(rx) = pending_rx.recv() {
+            let resp = rx.recv_timeout(reply_budget).unwrap_or(Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "reply lost in the routing tier; request may or may not \
+                          have been applied — retry with the same sequence id"
+                    .into(),
+            });
+            if wire::write_frame(&mut w, resp.kind(), &resp.encode_payload()).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Upstreams are lazily dialed per replica and retired when they die
+    // or when the replica is declared dead.
+    let mut upstreams: Vec<Option<Upstream>> = Vec::new();
+    upstreams.resize_with(shared.replica_addrs.len(), || None);
+
+    let mut reader = stream;
+    let mut last_frame = Instant::now();
+    loop {
+        let req = match wire::read_request(&mut reader) {
+            Ok(Some(req)) => {
+                last_frame = Instant::now();
+                req
+            }
+            Ok(None) => break,
+            Err(WireError::Idle) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Some(budget) = shared.cfg.idle_timeout {
+                    if last_frame.elapsed() >= budget {
+                        obs::counter("serve.idle_closed", 1);
+                        break;
+                    }
+                }
+                continue;
+            }
+            Err(err) => {
+                let (tx, rx) = mpsc::channel();
+                let _ = tx.send(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                });
+                let _ = pending_tx.send(rx);
+                break;
+            }
+        };
+        obs::counter("serve.router.requests", 1);
+        let (tx, rx) = mpsc::channel();
+        route(&shared, &mut upstreams, req, &tx);
+        if pending_tx.send(rx).is_err() {
+            break;
+        }
+    }
+    drop(pending_tx);
+    let _ = writer.join();
+}
+
+/// Dispatches one client request: answer locally, fan out, or forward to
+/// the tenant's owner replica.
+fn route(
+    shared: &Arc<RouterShared>,
+    upstreams: &mut [Option<Upstream>],
+    req: Request,
+    tx: &mpsc::Sender<Response>,
+) {
+    let inline = |resp: Response| {
+        let _ = tx.send(resp);
+    };
+    let tenant_of = |req: &Request| -> Option<String> {
+        match req {
+            Request::Score { tenant, .. }
+            | Request::Reload { tenant }
+            | Request::Snapshot { tenant } => Some(tenant.clone()),
+            _ => None,
+        }
+    };
+    match &req {
+        Request::Ping => inline(Response::Ok),
+        Request::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            inline(Response::Ok)
+        }
+        Request::ObsSnapshot => inline(Response::ObsJson {
+            json: obs::snapshot_json(),
+        }),
+        Request::Adopt { .. } => inline(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "Adopt is an internal supervisor operation".into(),
+        }),
+        Request::Health => inline(merged_health(shared)),
+        _ => {
+            let Some(tenant) = tenant_of(&req) else {
+                return inline(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "request kind not routable".into(),
+                });
+            };
+            let Some(idx) = shared.tenant_index(&tenant) else {
+                return inline(Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    message: format!("no tenant {tenant:?}"),
+                });
+            };
+            let owner = shared.assignment.read().unwrap_or_else(|e| e.into_inner())[idx];
+            if owner == usize::MAX || !shared.alive[owner].load(Ordering::SeqCst) {
+                return inline(Response::Error {
+                    code: ErrorCode::Unavailable,
+                    message: format!("tenant {tenant:?}: failover in progress"),
+                });
+            }
+            forward_to(shared, upstreams, owner, &req, tx);
+        }
+    }
+}
+
+/// Forwards `req` to `replica` over this connection's upstream, dialing
+/// or re-dialing it as needed. At most one re-dial per request: a second
+/// failure means the replica is really gone and the client gets the
+/// typed `Unavailable` now rather than a blocking retry loop inside the
+/// router.
+fn forward_to(
+    shared: &Arc<RouterShared>,
+    upstreams: &mut [Option<Upstream>],
+    replica: usize,
+    req: &Request,
+    tx: &mpsc::Sender<Response>,
+) {
+    for _attempt in 0..2 {
+        if upstreams[replica]
+            .as_ref()
+            .map(|u| u.dead.load(Ordering::SeqCst))
+            .unwrap_or(true)
+        {
+            upstreams[replica] = None;
+            match Upstream::connect(shared, replica) {
+                Ok(u) => upstreams[replica] = Some(u),
+                Err(_) => continue,
+            }
+        }
+        let up = upstreams[replica].as_mut().expect("just ensured");
+        match up.forward(req, tx.clone()) {
+            ForwardOutcome::Sent => return,
+            ForwardOutcome::EnqueuedButBroken => return, // reader answers tx
+            ForwardOutcome::NotEnqueued => upstreams[replica] = None,
+        }
+    }
+    let _ = tx.send(Response::Error {
+        code: ErrorCode::Unavailable,
+        message: "replica unreachable; request was not sent — safe to retry".into(),
+    });
+}
+
+/// Fans `Health` out to every live replica and merges the reports,
+/// sorted by tenant id. Replicas that fail to answer are skipped — their
+/// tenants are mid-failover and will reappear once adopted.
+fn merged_health(shared: &Arc<RouterShared>) -> Response {
+    let mut tenants: Vec<TenantHealth> = Vec::new();
+    for (i, addr) in shared.replica_addrs.iter().enumerate() {
+        if !shared.alive[i].load(Ordering::SeqCst) {
+            continue;
+        }
+        let report = (|| -> Result<Vec<TenantHealth>, crate::ClientError> {
+            let mut c = ServeClient::connect(addr)?;
+            c.set_timeout(Some(Duration::from_secs(2)))?;
+            c.health()
+        })();
+        if let Ok(mut r) = report {
+            tenants.append(&mut r);
+        }
+    }
+    tenants.sort_by(|a, b| a.id.cmp(&b.id));
+    tenants.dedup_by(|a, b| a.id == b.id);
+    Response::Health { tenants }
+}
+
+// ---------------------------------------------------------------------------
+// Router lifecycle
+// ---------------------------------------------------------------------------
+
+/// The router's accept loop + handle. Owned by the supervisor's
+/// [`Replicated`](crate::supervisor::Replicated) tier.
+pub(crate) struct RouterHandle {
+    pub(crate) shared: Arc<RouterShared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RouterHandle {
+    /// Binds the client-facing listener and starts accepting.
+    pub(crate) fn start(shared: Arc<RouterShared>) -> Result<RouterHandle, ServeError> {
+        let listener = TcpListener::bind(&shared.cfg.addr)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    let handle =
+                        std::thread::spawn(move || router_connection_main(shared, stream));
+                    connections
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            })
+        };
+        Ok(RouterHandle {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins every connection thread. The draining
+    /// flag must already be set (the supervisor does).
+    pub(crate) fn stop(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles = std::mem::take(
+            &mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference vectors — these must never change, or restarted
+        // routers would re-place every tenant.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"replica-0-vn0"), fnv1a(b"replica-0-vn0"));
+        assert_ne!(fnv1a(b"replica-0-vn0"), fnv1a(b"replica-1-vn0"));
+    }
+
+    #[test]
+    fn placement_is_stable_and_minimal() {
+        let ring = Ring::new(3, 32);
+        let tenants: Vec<String> = (0..50).map(|i| format!("tenant-{i}")).collect();
+        let all = vec![true, true, true];
+        let before: Vec<_> = tenants.iter().map(|t| ring.place(t, &all)).collect();
+        // Deterministic: same ring, same answer.
+        let again: Vec<_> = tenants.iter().map(|t| ring.place(t, &all)).collect();
+        assert_eq!(before, again);
+        // All three replicas get work (32 vnodes spread 50 tenants).
+        for r in 0..3 {
+            assert!(before.contains(&Some(r)), "replica {r} unused");
+        }
+        // Kill replica 1: its tenants move, everyone else stays put.
+        let alive = vec![true, false, true];
+        for (t, owner) in tenants.iter().zip(&before) {
+            let now = ring.place(t, &alive);
+            match owner {
+                Some(1) => assert!(matches!(now, Some(0) | Some(2))),
+                other => assert_eq!(&now, other, "tenant {t} moved needlessly"),
+            }
+        }
+        // All dead: nowhere to place.
+        assert_eq!(ring.place("tenant-0", &[false, false, false]), None);
+    }
+
+    #[test]
+    fn ring_skips_dead_replicas_consistently() {
+        let ring = Ring::new(4, 16);
+        let alive = vec![false, true, false, true];
+        for i in 0..100 {
+            let t = format!("t{i}");
+            let placed = ring.place(&t, &alive).unwrap();
+            assert!(placed == 1 || placed == 3);
+        }
+    }
+}

@@ -116,6 +116,20 @@ pub struct ServeConfig {
     /// Checkpoint poll interval for hot reload; `None` disables the
     /// watcher (wire `Reload` requests still work).
     pub reload_poll: Option<Duration>,
+    /// Closes a connection whose peer has been silent this long (no
+    /// complete frame). `None` lets a connected-but-silent client pin its
+    /// reader thread forever — fine for trusted loopback tests, wrong for
+    /// anything reachable by a stalled or half-open peer.
+    pub idle_timeout: Option<Duration>,
+    /// Rows between automatic IMSM sidecar snapshots per tenant; `None`
+    /// disables cadenced snapshots (explicit `Snapshot` requests still
+    /// work). Snapshots bound how much stream progress a failover can
+    /// lose.
+    pub snapshot_every: Option<u64>,
+    /// Per-tenant reply-cache capacity for sequence-id deduplication: a
+    /// replayed request whose reply was already evicted is answered with
+    /// a typed [`ErrorCode::Unavailable`] instead of being re-ingested.
+    pub replay_cache: usize,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +143,9 @@ impl Default for ServeConfig {
             shed_after: Duration::from_millis(250),
             deadline: Duration::from_secs(2),
             reload_poll: Some(Duration::from_millis(200)),
+            idle_timeout: None,
+            snapshot_every: None,
+            replay_cache: 32,
         }
     }
 }
@@ -180,6 +197,11 @@ fn stamp(path: &std::path::Path) -> Option<FileStamp> {
 struct TenantShared {
     spec: TenantSpec,
     shard: usize,
+    /// Whether this replica currently serves the tenant. Every replica
+    /// registers the full roster, but only its placed subset is active;
+    /// failover activates more via `Adopt`. Never cleared — placement
+    /// only grows on a replica.
+    active: AtomicBool,
     /// Bumps on every successful hot swap. Generation 1 is the initial
     /// checkpoint.
     generation: AtomicU64,
@@ -195,6 +217,10 @@ struct TenantShared {
 /// A queued scoring request.
 struct ScoreJob {
     tenant: usize,
+    /// Idempotency sequence id (0 = unsequenced, no dedup).
+    seq: u64,
+    /// Stream-position guard (`u64::MAX` = unchecked).
+    start_row: u64,
     item: BatchItem,
     enqueued: Instant,
     reply: mpsc::Sender<Response>,
@@ -202,8 +228,39 @@ struct ScoreJob {
 
 /// Out-of-band command applied by a shard between batches.
 enum ShardCmd {
-    /// Swap in reloaded weights for a tenant this shard owns.
-    Swap { tenant: usize, spec: DetectorSpec },
+    /// Swap in reloaded weights for a tenant this shard owns. Boxed:
+    /// specs embed full weight tensors and would dominate the enum size.
+    Swap {
+        tenant: usize,
+        spec: Box<DetectorSpec>,
+    },
+    /// Activate a tenant (failover adoption): restore from the IMSM
+    /// sidecar when present, fresh-load otherwise. Monitors hold
+    /// non-`Send` tensors, so creation must happen on the shard thread.
+    Adopt {
+        tenant: usize,
+        reply: mpsc::Sender<Response>,
+    },
+    /// Write the tenant's IMSM sidecar now (deterministic recovery
+    /// point).
+    Snapshot {
+        tenant: usize,
+        reply: mpsc::Sender<Response>,
+    },
+}
+
+/// Per-tenant sequence-id bookkeeping for idempotent replay. Lives on the
+/// owning shard — the serialization point for the tenant's stream — so
+/// dedup decisions and ingestion are atomic with respect to each other.
+/// State is per replica session: after failover the adopter starts fresh
+/// and the authoritative stream position is the health report's
+/// `rows_seen`.
+#[derive(Default)]
+struct SeqState {
+    /// Highest sequence id whose rows were ingested.
+    applied: u64,
+    /// Recent (seq, reply) pairs for answering replays bit-identically.
+    cache: VecDeque<(u64, Response)>,
 }
 
 #[derive(Default)]
@@ -225,6 +282,15 @@ struct ServerInner {
     /// Global queued-job count for admission control.
     queued: AtomicUsize,
     draining: AtomicBool,
+    /// Abrupt-death flag ([`Server::kill`]): shards exit *dropping*
+    /// queued work instead of flushing it — a crash, not a drain.
+    killed: AtomicBool,
+    /// Partition flag ([`Server::isolate`]): the process keeps running
+    /// but every connection is severed and new ones are refused.
+    isolated: AtomicBool,
+    /// Clones of accepted connection streams, so kill/isolate can sever
+    /// them from outside the connection threads.
+    conn_streams: Mutex<Vec<TcpStream>>,
 }
 
 impl ServerInner {
@@ -244,6 +310,7 @@ impl ServerInner {
         let mut tenants: Vec<TenantHealth> = self
             .tenants
             .iter()
+            .filter(|t| t.active.load(Ordering::SeqCst))
             .map(|t| {
                 let h = *t.health.lock().unwrap_or_else(|e| e.into_inner());
                 TenantHealth {
@@ -272,6 +339,12 @@ impl ServerInner {
     /// file never interrupts serving.
     fn reload_tenant(&self, tenant: usize, new_stamp: Option<FileStamp>) -> Result<(), String> {
         let t = &self.tenants[tenant];
+        if !t.active.load(Ordering::SeqCst) {
+            return Err(format!(
+                "tenant {} is not placed on this replica",
+                t.spec.id
+            ));
+        }
         {
             let mut guard = t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner());
             *guard = new_stamp.or_else(|| stamp(&t.spec.checkpoint));
@@ -293,9 +366,13 @@ impl ServerInner {
         {
             let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
             // One pending swap per tenant is enough; newest wins.
-            q.cmds
-                .retain(|ShardCmd::Swap { tenant: i, .. }| *i != tenant);
-            q.cmds.push(ShardCmd::Swap { tenant, spec });
+            q.cmds.retain(
+                |cmd| !matches!(cmd, ShardCmd::Swap { tenant: i, .. } if *i == tenant),
+            );
+            q.cmds.push(ShardCmd::Swap {
+                tenant,
+                spec: Box::new(spec),
+            });
         }
         shard.cv.notify_all();
         Ok(())
@@ -306,6 +383,52 @@ impl ServerInner {
 // Shard worker
 // ---------------------------------------------------------------------------
 
+/// Builds the serving monitor for one tenant: restore from the IMSM
+/// sidecar when one exists (failover adoption, replica restart) so the
+/// verdict stream resumes without re-warming; fall back to a fresh
+/// (warming) load when the sidecar is absent. A *damaged* sidecar is a
+/// typed, counted event — [`DetectorError::CorruptCheckpoint`] — that
+/// degrades to a fresh load rather than refusing the tenant: losing warm
+/// state is recoverable, losing the tenant is not. Weight-file failures
+/// still propagate.
+fn load_monitor(
+    spec: &TenantSpec,
+    snapshot_every: Option<u64>,
+) -> Result<StreamingMonitor, DetectorError> {
+    let t0 = Instant::now();
+    let mut monitor = match StreamingMonitor::restore(
+        spec.cfg.clone(),
+        spec.seed,
+        &spec.checkpoint,
+    ) {
+        Ok(m) => {
+            obs::counter("serve.failover.sidecar_restores", 1);
+            obs::histogram(
+                "serve.failover.sidecar_restore_ms",
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            m
+        }
+        Err(e) => {
+            if !matches!(e, DetectorError::Io(_)) {
+                // Sidecar present but unusable (CRC mismatch, bad tag,
+                // geometry drift): surface the typed corruption, then
+                // re-warm from weights alone.
+                obs::counter("serve.failover.sidecar_corrupt", 1);
+            }
+            ImDiffusionDetector::load(
+                spec.cfg.clone(),
+                spec.seed,
+                spec.channels,
+                &spec.checkpoint,
+            )
+            .and_then(|det| StreamingMonitor::new(det, spec.channels, spec.hop))?
+        }
+    };
+    monitor.set_snapshot_cadence(snapshot_every);
+    Ok(monitor)
+}
+
 /// Loads the monitors this shard owns, then serves its queue until the
 /// server drains. `ready` reports startup success or the first load error.
 fn shard_main(
@@ -314,19 +437,14 @@ fn shard_main(
     ready: mpsc::Sender<Result<(), ServeError>>,
 ) {
     let mut monitors: Vec<Option<StreamingMonitor>> = Vec::new();
+    let mut seqs: Vec<SeqState> = Vec::new();
     for t in &inner.tenants {
-        if t.shard != shard_idx {
+        seqs.push(SeqState::default());
+        if t.shard != shard_idx || !t.active.load(Ordering::SeqCst) {
             monitors.push(None);
             continue;
         }
-        let built = ImDiffusionDetector::load(
-            t.spec.cfg.clone(),
-            t.spec.seed,
-            t.spec.channels,
-            &t.spec.checkpoint,
-        )
-        .and_then(|det| StreamingMonitor::new(det, t.spec.channels, t.spec.hop));
-        match built {
+        match load_monitor(&t.spec, inner.cfg.snapshot_every) {
             Ok(monitor) => {
                 *t.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
                 monitors.push(Some(monitor));
@@ -351,11 +469,11 @@ fn shard_main(
             // observes two generations.
             Work::Cmds(cmds) => {
                 for cmd in cmds {
-                    apply_cmd(&inner, &mut monitors, cmd);
+                    apply_cmd(&inner, &mut monitors, &mut seqs, cmd);
                 }
             }
             Work::Batch { tenant, jobs } => {
-                run_batch(&inner, &mut monitors, tenant, jobs);
+                run_batch(&inner, &mut monitors, &mut seqs, tenant, jobs);
             }
         }
     }
@@ -380,6 +498,12 @@ enum Work {
 fn next_work(inner: &ServerInner, shard: &Shard) -> Work {
     let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
     loop {
+        if inner.killed.load(Ordering::SeqCst) {
+            // Abrupt death: queued jobs are *dropped*, not flushed. Their
+            // reply senders fall out of scope, which the transport layer
+            // surfaces as a typed connection loss upstream.
+            return Work::Exit;
+        }
         if !q.cmds.is_empty() {
             return Work::Cmds(std::mem::take(&mut q.cmds));
         }
@@ -423,11 +547,12 @@ fn next_work(inner: &ServerInner, shard: &Shard) -> Work {
     }
 }
 
-/// Applies dequeue-time admission control, runs one coalesced
-/// `push_batch`, and answers every job.
+/// Applies dequeue-time admission control and sequence-id deduplication,
+/// runs one coalesced `push_batch`, and answers every job.
 fn run_batch(
     inner: &ServerInner,
     monitors: &mut [Option<StreamingMonitor>],
+    seqs: &mut [SeqState],
     tenant: usize,
     jobs: Vec<ScoreJob>,
 ) {
@@ -438,14 +563,45 @@ fn run_batch(
         .fetch_sub(jobs.len() as u32, Ordering::SeqCst);
 
     // Expired jobs are refused un-ingested; over-budget jobs are shed to
-    // the degraded path but still ingested and answered.
+    // the degraded path but still ingested and answered. Sequenced jobs
+    // whose id was already applied are answered from the reply cache
+    // without re-ingesting (idempotent replay); a duplicate of a request
+    // *in this very batch* is deferred and answered from the cache once
+    // the original's reply lands there.
     let mut senders = Vec::with_capacity(jobs.len());
+    let mut admitted_seqs = Vec::with_capacity(jobs.len());
+    let mut admitted_starts = Vec::with_capacity(jobs.len());
     let mut items = Vec::with_capacity(jobs.len());
+    let mut deferred_dups: Vec<(u64, mpsc::Sender<Response>)> = Vec::new();
     for job in jobs {
+        if job.seq != 0 && job.seq <= seqs[tenant].applied {
+            obs::counter("serve.failover.replay_hits", 1);
+            let cached = seqs[tenant]
+                .cache
+                .iter()
+                .find(|(s, _)| *s == job.seq)
+                .map(|(_, resp)| resp.clone());
+            let _ = job.reply.send(cached.unwrap_or_else(|| Response::Error {
+                code: ErrorCode::Unavailable,
+                message: format!(
+                    "sequence id {} was already applied but its reply left the \
+                     cache; resync from the health report's rows_seen",
+                    job.seq
+                ),
+            }));
+            continue;
+        }
+        if job.seq != 0 && admitted_seqs.contains(&job.seq) {
+            obs::counter("serve.failover.replay_hits", 1);
+            deferred_dups.push((job.seq, job.reply));
+            continue;
+        }
         let waited = job.enqueued.elapsed();
         obs::histogram("serve.queue_wait_s", waited.as_secs_f64());
         if waited > inner.cfg.deadline {
             obs::counter("serve.timeouts", 1);
+            // Not ingested and not applied: a retry with the same
+            // sequence id is admitted as new work.
             let _ = job.reply.send(Response::Error {
                 code: ErrorCode::Timeout,
                 message: DetectorError::Timeout {
@@ -461,14 +617,74 @@ fn run_batch(
             item.shed = true;
         }
         items.push(item);
+        admitted_seqs.push(job.seq);
+        admitted_starts.push(job.start_row);
         senders.push(job.reply);
     }
+
+    let monitor = monitors[tenant].as_mut().expect("shard owns this tenant");
+
+    // Stream-position guard: a guarded chunk must start exactly where
+    // the monitor is once its predecessors in this batch have landed.
+    // After a failover the restored monitor sits at the snapshot
+    // position while the client may be ahead — without this check its
+    // rows would be silently ingested at the wrong offset, corrupting
+    // the stream instead of failing it. Refused jobs do not spend their
+    // sequence id, so the client's resync-and-resend is admitted fresh.
+    if admitted_starts.iter().any(|&s| s != u64::MAX) {
+        let mut expected = monitor.seen();
+        // `None` = keep; `Some(at)` = refuse, stream was at `at`.
+        let mut refuse: Vec<Option<u64>> = vec![None; items.len()];
+        for (i, item) in items.iter().enumerate() {
+            if admitted_starts[i] != u64::MAX && admitted_starts[i] != expected {
+                refuse[i] = Some(expected);
+                obs::counter("serve.failover.position_refusals", 1);
+                continue;
+            }
+            // Bridged gap rows advance the stream position too; a gap
+            // large enough to re-warm resets the buffer but still
+            // advances `seen`, so this prediction holds either way.
+            expected += item.gap_before as u64 + item.rows.len() as u64;
+        }
+        if refuse.iter().any(Option::is_some) {
+            let mut kept_items = Vec::with_capacity(items.len());
+            let mut kept_seqs = Vec::with_capacity(items.len());
+            let mut kept_senders = Vec::with_capacity(items.len());
+            for (i, (item, (seq, sender))) in items
+                .into_iter()
+                .zip(admitted_seqs.into_iter().zip(senders))
+                .enumerate()
+            {
+                match refuse[i] {
+                    None => {
+                        kept_items.push(item);
+                        kept_seqs.push(seq);
+                        kept_senders.push(sender);
+                    }
+                    Some(at) => {
+                        let _ = sender.send(Response::Error {
+                            code: ErrorCode::Unavailable,
+                            message: format!(
+                                "stream position mismatch for {}: request claims \
+                                 row {}, stream is at {at}; resync from the \
+                                 health report's rows_seen and re-send",
+                                shared.spec.id, admitted_starts[i]
+                            ),
+                        });
+                    }
+                }
+            }
+            items = kept_items;
+            admitted_seqs = kept_seqs;
+            senders = kept_senders;
+        }
+    }
     if senders.is_empty() {
+        answer_deferred(&seqs[tenant], deferred_dups);
         return;
     }
 
     let generation = shared.generation.load(Ordering::SeqCst);
-    let monitor = monitors[tenant].as_mut().expect("shard owns this tenant");
     let replies = {
         let _span = obs::span("serve.batch");
         monitor.push_batch(&items)
@@ -478,7 +694,7 @@ fn run_batch(
     obs::histogram("serve.batch_size", items.len() as f64);
     *shared.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
 
-    for (sender, reply) in senders.into_iter().zip(replies) {
+    for ((sender, reply), seq) in senders.into_iter().zip(replies).zip(admitted_seqs) {
         let resp = match reply.error {
             Some(e) => Response::Error {
                 code: match e {
@@ -504,25 +720,140 @@ fn run_batch(
                     .collect(),
             },
         };
+        if seq != 0 {
+            // The rows are ingested either way (push_batch answered), so
+            // the id is spent: record it and cache the reply verbatim.
+            let st = &mut seqs[tenant];
+            st.applied = st.applied.max(seq);
+            st.cache.push_back((seq, resp.clone()));
+            while st.cache.len() > inner.cfg.replay_cache {
+                st.cache.pop_front();
+            }
+        }
         let _ = sender.send(resp);
+    }
+    answer_deferred(&seqs[tenant], deferred_dups);
+
+    // Cadenced sidecar snapshot: bounded failover loss. Runs after the
+    // batch so the sidecar always captures a between-batches state.
+    if monitor.snapshot_due() {
+        let t0 = Instant::now();
+        match monitor.checkpoint_stream(&shared.spec.checkpoint) {
+            Ok(()) => {
+                monitor.mark_snapshotted();
+                obs::counter("serve.failover.sidecar_writes", 1);
+                obs::histogram(
+                    "serve.failover.sidecar_write_ms",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+            }
+            Err(_) => obs::counter("serve.failover.sidecar_write_errors", 1),
+        }
+    }
+}
+
+/// Answers same-batch duplicates from the reply cache once (if) their
+/// original's reply landed there. An original refused by admission or
+/// the position guard never reaches the cache, so its duplicates get the
+/// same effective outcome: a typed error telling the client to resync.
+fn answer_deferred(st: &SeqState, deferred: Vec<(u64, mpsc::Sender<Response>)>) {
+    for (seq, sender) in deferred {
+        let cached = st
+            .cache
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, resp)| resp.clone());
+        let _ = sender.send(cached.unwrap_or_else(|| Response::Error {
+            code: ErrorCode::Unavailable,
+            message: format!(
+                "duplicate of in-flight sequence id {seq} could not be answered \
+                 from the reply cache"
+            ),
+        }));
     }
 }
 
 fn apply_cmd(
     inner: &ServerInner,
     monitors: &mut [Option<StreamingMonitor>],
+    seqs: &mut [SeqState],
     cmd: ShardCmd,
 ) {
     match cmd {
         ShardCmd::Swap { tenant, spec } => {
             let shared = &inner.tenants[tenant];
-            let monitor = monitors[tenant].as_mut().expect("shard owns this tenant");
+            let Some(monitor) = monitors[tenant].as_mut() else {
+                // The tenant was never activated here (or a reload raced
+                // adoption): count and skip, never panic the shard.
+                obs::counter("serve.reload_errors", 1);
+                return;
+            };
             match monitor.swap_detector(spec.build()) {
                 Ok(()) => {
                     shared.generation.fetch_add(1, Ordering::SeqCst);
                     obs::counter("serve.reloads", 1);
                 }
                 Err(_) => obs::counter("serve.reload_errors", 1),
+            }
+        }
+        ShardCmd::Adopt { tenant, reply } => {
+            let shared = &inner.tenants[tenant];
+            if monitors[tenant].is_some() {
+                let _ = reply.send(Response::Ok); // idempotent
+                return;
+            }
+            match load_monitor(&shared.spec, inner.cfg.snapshot_every) {
+                Ok(monitor) => {
+                    *shared.health.lock().unwrap_or_else(|e| e.into_inner()) =
+                        monitor.health();
+                    *shared
+                        .reload_stamp
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) =
+                        stamp(&shared.spec.checkpoint);
+                    monitors[tenant] = Some(monitor);
+                    seqs[tenant] = SeqState::default();
+                    shared.active.store(true, Ordering::SeqCst);
+                    obs::counter("serve.failover.adoptions", 1);
+                    let _ = reply.send(Response::Ok);
+                }
+                Err(e) => {
+                    let _ = reply.send(Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("adoption of {} failed: {e}", shared.spec.id),
+                    });
+                }
+            }
+        }
+        ShardCmd::Snapshot { tenant, reply } => {
+            let shared = &inner.tenants[tenant];
+            let Some(monitor) = monitors[tenant].as_mut() else {
+                let _ = reply.send(Response::Error {
+                    code: ErrorCode::Unavailable,
+                    message: format!(
+                        "tenant {} is not active on this replica",
+                        shared.spec.id
+                    ),
+                });
+                return;
+            };
+            let t0 = Instant::now();
+            match monitor.checkpoint_stream(&shared.spec.checkpoint) {
+                Ok(()) => {
+                    monitor.mark_snapshotted();
+                    obs::counter("serve.failover.sidecar_writes", 1);
+                    obs::histogram(
+                        "serve.failover.sidecar_write_ms",
+                        t0.elapsed().as_secs_f64() * 1e3,
+                    );
+                    let _ = reply.send(Response::Ok);
+                }
+                Err(e) => {
+                    let _ = reply.send(Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("snapshot of {} failed: {e}", shared.spec.id),
+                    });
+                }
             }
         }
     }
@@ -538,6 +869,7 @@ fn apply_cmd(
 /// score requests (filling server-side batches) and read replies later.
 fn connection_main(inner: Arc<ServerInner>, stream: TcpStream) {
     obs::counter("serve.connections", 1);
+    let peer = stream.peer_addr().ok();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let Ok(write_half) = stream.try_clone() else {
@@ -560,13 +892,28 @@ fn connection_main(inner: Arc<ServerInner>, stream: TcpStream) {
     });
 
     let mut reader = stream;
+    let mut last_frame = Instant::now();
     loop {
         let req = match wire::read_request(&mut reader) {
-            Ok(Some(req)) => req,
+            Ok(Some(req)) => {
+                last_frame = Instant::now();
+                req
+            }
             Ok(None) => break, // clean close
             Err(WireError::Idle) => {
-                if inner.draining.load(Ordering::SeqCst) {
+                if inner.draining.load(Ordering::SeqCst)
+                    || inner.killed.load(Ordering::SeqCst)
+                {
                     break;
+                }
+                // A connected-but-silent peer must not pin this thread
+                // forever: past the configured idle budget the connection
+                // is closed (the peer sees EOF and reconnects).
+                if let Some(budget) = inner.cfg.idle_timeout {
+                    if last_frame.elapsed() >= budget {
+                        obs::counter("serve.idle_closed", 1);
+                        break;
+                    }
                 }
                 continue;
             }
@@ -591,6 +938,19 @@ fn connection_main(inner: Arc<ServerInner>, stream: TcpStream) {
     }
     drop(pending_tx);
     let _ = writer.join();
+    // A clone of this stream sits in `conn_streams` (so kill/isolate can
+    // sever it); dropping our descriptors alone would leave the socket
+    // open through that clone and the peer would never see EOF. Shutdown
+    // acts on the socket itself, across every clone.
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+    inner
+        .conn_streams
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|s| match s.peer_addr() {
+            Ok(a) => Some(a) != peer,
+            Err(_) => false, // already dead — drop it too
+        });
 }
 
 /// Routes one request. Inline requests answer into `tx` immediately; the
@@ -622,8 +982,59 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
                 }),
             },
         },
+        Request::Adopt { tenant } => match inner.tenant_index(&tenant) {
+            None => inline(Response::Error {
+                code: ErrorCode::UnknownTenant,
+                message: format!("no tenant {tenant:?}"),
+            }),
+            Some(idx) => {
+                let shared = &inner.tenants[idx];
+                if shared.active.load(Ordering::SeqCst) {
+                    return inline(Response::Ok); // idempotent
+                }
+                // Monitor creation must happen on the owning shard
+                // thread; the shard answers through `tx` when done.
+                let shard = &inner.shards[shared.shard];
+                {
+                    let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+                    q.cmds.push(ShardCmd::Adopt {
+                        tenant: idx,
+                        reply: tx.clone(),
+                    });
+                }
+                shard.cv.notify_all();
+            }
+        },
+        Request::Snapshot { tenant } => match inner.tenant_index(&tenant) {
+            None => inline(Response::Error {
+                code: ErrorCode::UnknownTenant,
+                message: format!("no tenant {tenant:?}"),
+            }),
+            Some(idx) => {
+                let shared = &inner.tenants[idx];
+                if !shared.active.load(Ordering::SeqCst) {
+                    return inline(Response::Error {
+                        code: ErrorCode::Unavailable,
+                        message: format!(
+                            "tenant {tenant:?} is not placed on this replica"
+                        ),
+                    });
+                }
+                let shard = &inner.shards[shared.shard];
+                {
+                    let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+                    q.cmds.push(ShardCmd::Snapshot {
+                        tenant: idx,
+                        reply: tx.clone(),
+                    });
+                }
+                shard.cv.notify_all();
+            }
+        },
         Request::Score {
             tenant,
+            seq,
+            start_row,
             gap_before,
             rows,
         } => {
@@ -635,6 +1046,12 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
                 });
             };
             let shared = &inner.tenants[idx];
+            if !shared.active.load(Ordering::SeqCst) {
+                return inline(Response::Error {
+                    code: ErrorCode::Unavailable,
+                    message: format!("tenant {tenant:?} is not placed on this replica"),
+                });
+            }
             let channels = shared.spec.channels;
             if let Some(bad) = rows.iter().find(|r| r.len() != channels) {
                 return inline(Response::Error {
@@ -667,6 +1084,8 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
             }
             let job = ScoreJob {
                 tenant: idx,
+                seq,
+                start_row,
                 item: BatchItem {
                     gap_before: gap_before as usize,
                     rows,
@@ -703,6 +1122,9 @@ fn watcher_main(inner: Arc<ServerInner>, poll: Duration) {
         last_scan = Instant::now();
         for idx in 0..inner.tenants.len() {
             let t = &inner.tenants[idx];
+            if !t.active.load(Ordering::SeqCst) {
+                continue;
+            }
             let now = stamp(&t.spec.checkpoint);
             let changed = {
                 let guard = t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner());
@@ -739,8 +1161,30 @@ impl Server {
     /// shards report their monitors loaded; any load failure aborts
     /// startup with the underlying error.
     pub fn start(cfg: ServeConfig, tenants: Vec<TenantSpec>) -> Result<Server, ServeError> {
+        let all = vec![true; tenants.len()];
+        Server::start_placed(cfg, tenants, &all)
+    }
+
+    /// Starts a **replica**: the full tenant roster is registered (so
+    /// failover can adopt any of it later) but only the tenants marked in
+    /// `active` are loaded and served. Requests for registered-but-
+    /// inactive tenants are refused with a typed
+    /// [`ErrorCode::Unavailable`]. Tenants whose IMSM sidecar exists next
+    /// to the checkpoint resume mid-stream instead of re-warming.
+    pub fn start_placed(
+        cfg: ServeConfig,
+        tenants: Vec<TenantSpec>,
+        active: &[bool],
+    ) -> Result<Server, ServeError> {
         if tenants.is_empty() {
             return Err(ServeError::Config("no tenants to serve".into()));
+        }
+        if active.len() != tenants.len() {
+            return Err(ServeError::Config(format!(
+                "active mask has {} entries for {} tenants",
+                active.len(),
+                tenants.len()
+            )));
         }
         {
             let mut ids: Vec<&str> = tenants.iter().map(|t| t.id.as_str()).collect();
@@ -764,6 +1208,7 @@ impl Server {
                 Arc::new(TenantShared {
                     spec,
                     shard: i % n_shards,
+                    active: AtomicBool::new(active[i]),
                     generation: AtomicU64::new(1),
                     queue_depth: AtomicU32::new(0),
                     health: Mutex::new(MonitorHealth {
@@ -787,6 +1232,9 @@ impl Server {
             shards: (0..n_shards).map(|_| Shard::default()).collect(),
             queued: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            isolated: AtomicBool::new(false),
+            conn_streams: Mutex::new(Vec::new()),
         });
 
         // Shards load their monitors on their own threads (tensors are
@@ -827,10 +1275,29 @@ impl Server {
             let connections = Arc::clone(&connections);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
-                    if inner.draining.load(Ordering::SeqCst) {
+                    // Kill/drain are checked before the partition flag so
+                    // the shutdown nudge-connect always terminates the
+                    // acceptor, even on an isolated replica.
+                    if inner.killed.load(Ordering::SeqCst)
+                        || inner.draining.load(Ordering::SeqCst)
+                    {
                         return;
                     }
                     let Ok(stream) = stream else { continue };
+                    if inner.isolated.load(Ordering::SeqCst) {
+                        // Partitioned: the process is alive but the
+                        // network "loses" it — accept then drop, so peers
+                        // see an immediate EOF rather than a served reply.
+                        drop(stream);
+                        continue;
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        inner
+                            .conn_streams
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(clone);
+                    }
                     let inner = Arc::clone(&inner);
                     let handle =
                         std::thread::spawn(move || connection_main(inner, stream));
@@ -890,6 +1357,62 @@ impl Server {
         }
         if let Some(w) = self.watcher.take() {
             let _ = w.join();
+        }
+    }
+
+    /// Abrupt crash, for failover drills: queued work is **dropped** (the
+    /// opposite of [`Server::drain`]), every open connection is severed
+    /// mid-flight and the listener stops. Peers see EOF or a connection
+    /// reset, never a reply. Shards, the acceptor and the watcher are
+    /// joined so the process owns no background work afterwards;
+    /// connection threads are left to die on their broken sockets, which
+    /// is what a real crash looks like to the remote end.
+    pub fn kill(mut self) {
+        self.inner.killed.store(true, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.cv.notify_all();
+        }
+        let streams = std::mem::take(
+            &mut *self
+                .inner
+                .conn_streams
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for s in streams {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the acceptor; it checks the kill flag first thing.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for t in std::mem::take(&mut self.shard_threads) {
+            let _ = t.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+    }
+
+    /// Network partition, for failover drills: the replica keeps running
+    /// (shards, watcher, cadenced snapshots) but every open connection is
+    /// severed and new connections are accepted then immediately dropped.
+    /// From the router's side this is indistinguishable from a crash —
+    /// heartbeats connect and see EOF — which is exactly the ambiguity a
+    /// supervisor must fence before re-placing tenants.
+    pub fn isolate(&self) {
+        self.inner.isolated.store(true, Ordering::SeqCst);
+        let streams = std::mem::take(
+            &mut *self
+                .inner
+                .conn_streams
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for s in streams {
+            let _ = s.shutdown(std::net::Shutdown::Both);
         }
     }
 }

@@ -1,0 +1,311 @@
+//! Supervisor for a replicated serving tier: spawns the replicas,
+//! monitors them with heartbeats, and on death re-places the victims'
+//! tenants on survivors.
+//!
+//! # Failover protocol
+//!
+//! 1. **Detect** — a heartbeat thread pings every live replica each
+//!    `heartbeat_every`; a ping that cannot connect, times out
+//!    (`heartbeat_timeout`) or reads EOF is a *miss*
+//!    (`serve.failover.heartbeat_misses`). `heartbeat_misses`
+//!    consecutive misses declare the replica dead.
+//! 2. **Fence** — the replica's process handle is killed *before* any
+//!    tenant moves. A partitioned-but-alive replica looks identical to a
+//!    crashed one from out here; killing it first guarantees at most one
+//!    replica ever writes a tenant's IMSM sidecar, so adoption can trust
+//!    the file.
+//! 3. **Re-place** — each of the victim's tenants is re-placed by the
+//!    same consistent-hash ring, skipping dead replicas, and adopted via
+//!    an `Adopt` frame. The adopter loads the tenant's IMSM sidecar and
+//!    resumes the verdict stream at the snapshotted position —
+//!    bit-identical to an uninterrupted run — or re-warms from scratch
+//!    if the sidecar is missing or corrupt (counted, never fatal).
+//! 4. **Expose** — only after an adoption acks does the router's
+//!    assignment table flip; in the window between death and adoption,
+//!    clients get typed `Unavailable` errors, never hangs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use imdiff_nn::obs;
+
+use crate::router::{Ring, RouterConfig, RouterHandle, RouterShared};
+use crate::server::{ServeConfig, ServeError, Server, TenantSpec};
+use crate::ServeClient;
+
+/// A running replicated tier: router + N replicas + heartbeat
+/// supervision. Clients connect to [`Replicated::addr`] and never learn
+/// replica addresses.
+pub struct Replicated {
+    shared: Arc<RouterShared>,
+    ring: Ring,
+    tenant_ids: Vec<String>,
+    servers: Arc<Mutex<Vec<Option<Server>>>>,
+    router: Option<RouterHandle>,
+    heartbeat: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Replicated {
+    /// Spawns `cfg.replicas` replica servers (each registered with the
+    /// full tenant roster, each actively serving its ring-assigned
+    /// subset), the client-facing router, and the heartbeat supervisor.
+    pub fn start(
+        cfg: RouterConfig,
+        tenants: Vec<TenantSpec>,
+    ) -> Result<Replicated, ServeError> {
+        if cfg.replicas == 0 {
+            return Err(ServeError::Config("need at least one replica".into()));
+        }
+        if tenants.is_empty() {
+            return Err(ServeError::Config("no tenants to serve".into()));
+        }
+        let ring = Ring::new(cfg.replicas, cfg.vnodes);
+        let tenant_ids: Vec<String> = tenants.iter().map(|t| t.id.clone()).collect();
+        let all_alive = vec![true; cfg.replicas];
+        let assignment: Vec<usize> = tenant_ids
+            .iter()
+            .map(|t| ring.place(t, &all_alive).expect("at least one replica"))
+            .collect();
+
+        let mut servers: Vec<Option<Server>> = Vec::with_capacity(cfg.replicas);
+        let mut replica_addrs = Vec::with_capacity(cfg.replicas);
+        for r in 0..cfg.replicas {
+            let mask: Vec<bool> = assignment.iter().map(|&o| o == r).collect();
+            let mut replica_cfg: ServeConfig = cfg.replica.clone();
+            replica_cfg.addr = "127.0.0.1:0".into();
+            match Server::start_placed(replica_cfg, tenants.clone(), &mask) {
+                Ok(s) => {
+                    replica_addrs.push(s.addr());
+                    servers.push(Some(s));
+                }
+                Err(e) => {
+                    for s in servers.into_iter().flatten() {
+                        s.drain();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        let shared = Arc::new(RouterShared {
+            tenant_ids: tenant_ids.clone(),
+            replica_addrs,
+            alive: (0..cfg.replicas).map(|_| AtomicBool::new(true)).collect(),
+            assignment: RwLock::new(assignment),
+            draining: AtomicBool::new(false),
+            cfg,
+        });
+        let router = RouterHandle::start(Arc::clone(&shared))?;
+        let servers = Arc::new(Mutex::new(servers));
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = {
+            let shared = Arc::clone(&shared);
+            let servers = Arc::clone(&servers);
+            let stop = Arc::clone(&stop);
+            let ring = ring.clone();
+            std::thread::spawn(move || heartbeat_main(shared, servers, ring, stop))
+        };
+
+        Ok(Replicated {
+            shared,
+            ring,
+            tenant_ids,
+            servers,
+            router: Some(router),
+            heartbeat: Some(heartbeat),
+            stop,
+        })
+    }
+
+    /// The client-facing address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.router.as_ref().expect("router runs until shutdown").addr()
+    }
+
+    /// Which replica currently owns `tenant` (`None` while unplaced
+    /// mid-failover or unknown).
+    pub fn replica_of(&self, tenant: &str) -> Option<usize> {
+        let idx = self.tenant_ids.iter().position(|t| t == tenant)?;
+        let owner = self.shared.assignment.read().unwrap_or_else(|e| e.into_inner())[idx];
+        (owner != usize::MAX).then_some(owner)
+    }
+
+    /// Whether replica `r` is still considered live.
+    pub fn is_alive(&self, r: usize) -> bool {
+        self.shared.alive[r].load(Ordering::SeqCst)
+    }
+
+    /// Replicas still considered live.
+    pub fn live_replicas(&self) -> usize {
+        self.shared.live_count()
+    }
+
+    /// Chaos hook: crash replica `r` abruptly (queued work dropped,
+    /// connections severed). The supervisor is *not* told — it must
+    /// notice via missed heartbeats and run the failover protocol, which
+    /// is the point of the drill.
+    pub fn kill_replica(&self, r: usize) {
+        let taken = self.servers.lock().unwrap_or_else(|e| e.into_inner())[r].take();
+        if let Some(s) = taken {
+            s.kill();
+        }
+    }
+
+    /// Chaos hook: partition replica `r` — the process keeps running but
+    /// the network drops it. Detected and fenced exactly like a crash.
+    pub fn isolate_replica(&self, r: usize) {
+        let guard = self.servers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(s) = guard[r].as_ref() {
+            s.isolate();
+        }
+    }
+
+    /// The consistent-hash ring (for tests asserting placement).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Orderly shutdown: stop supervision, drain the router, then drain
+    /// every surviving replica (flushing their queued work).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(r) = self.router.take() {
+            r.stop();
+        }
+        let servers = std::mem::take(
+            &mut *self.servers.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for s in servers.into_iter().flatten() {
+            s.drain();
+        }
+    }
+}
+
+/// One heartbeat exchange: connect, ping, expect `Ok` — all within
+/// `timeout`. Any failure (refused, EOF from an isolated replica's
+/// accept-then-drop, timeout, garbage) is a miss.
+fn ping_replica(addr: &std::net::SocketAddr, timeout: Duration) -> bool {
+    let Ok(stream) = std::net::TcpStream::connect_timeout(addr, timeout) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    let mut stream = stream;
+    use crate::wire::{self, Request, Response};
+    let req = Request::Ping;
+    if wire::write_frame(&mut stream, req.kind(), &req.encode_payload()).is_err() {
+        return false;
+    }
+    matches!(wire::read_response(&mut stream), Ok(Some(Response::Ok)))
+}
+
+fn heartbeat_main(
+    shared: Arc<RouterShared>,
+    servers: Arc<Mutex<Vec<Option<Server>>>>,
+    ring: Ring,
+    stop: Arc<AtomicBool>,
+) {
+    let n = shared.replica_addrs.len();
+    let mut misses = vec![0u32; n];
+    while !stop.load(Ordering::SeqCst) {
+        for (r, missed) in misses.iter_mut().enumerate() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if !shared.alive[r].load(Ordering::SeqCst) {
+                continue;
+            }
+            if ping_replica(&shared.replica_addrs[r], shared.cfg.heartbeat_timeout) {
+                *missed = 0;
+            } else {
+                *missed += 1;
+                obs::counter("serve.failover.heartbeat_misses", 1);
+                if *missed >= shared.cfg.heartbeat_misses {
+                    failover(&shared, &servers, &ring, r);
+                }
+            }
+        }
+        // Sleep in short slices so shutdown never waits a full period.
+        let mut left = shared.cfg.heartbeat_every;
+        while !left.is_zero() && !stop.load(Ordering::SeqCst) {
+            let nap = left.min(Duration::from_millis(25));
+            std::thread::sleep(nap);
+            left = left.saturating_sub(nap);
+        }
+    }
+}
+
+/// The fence-then-re-place half of the failover protocol (detection
+/// lives in [`heartbeat_main`]).
+fn failover(
+    shared: &Arc<RouterShared>,
+    servers: &Arc<Mutex<Vec<Option<Server>>>>,
+    ring: &Ring,
+    dead: usize,
+) {
+    obs::counter("serve.failover.failovers", 1);
+    // Fence first: a partitioned replica might still be running (and
+    // snapshotting); kill it so the adopter is the sidecar's sole owner.
+    let taken = servers.lock().unwrap_or_else(|e| e.into_inner())[dead].take();
+    if let Some(s) = taken {
+        s.kill();
+    }
+    shared.alive[dead].store(false, Ordering::SeqCst);
+
+    let alive_now: Vec<bool> = shared
+        .alive
+        .iter()
+        .map(|a| a.load(Ordering::SeqCst))
+        .collect();
+    let victims: Vec<usize> = {
+        let a = shared.assignment.read().unwrap_or_else(|e| e.into_inner());
+        (0..a.len()).filter(|&i| a[i] == dead).collect()
+    };
+    for idx in victims {
+        let tenant = &shared.tenant_ids[idx];
+        let target = ring.place(tenant, &alive_now);
+        let adopted = match target {
+            Some(nr) => adopt_tenant(&shared.replica_addrs[nr], tenant).then_some(nr),
+            None => None,
+        };
+        let mut a = shared.assignment.write().unwrap_or_else(|e| e.into_inner());
+        match adopted {
+            // Flip only after the adopter acked: requests in the window
+            // get a typed Unavailable, and never reach a replica that
+            // has not restored the tenant yet.
+            Some(nr) => a[idx] = nr,
+            None => {
+                obs::counter("serve.failover.adoption_errors", 1);
+                a[idx] = usize::MAX;
+            }
+        }
+    }
+}
+
+/// Sends `Adopt` to the chosen survivor, with a few in-place retries —
+/// the adopter may be busy restoring other tenants from the same
+/// failover. The deadline is generous because a restore legitimately
+/// takes a while; failure here strands the tenant (unplaced, typed
+/// `Unavailable`) rather than guessing.
+fn adopt_tenant(addr: &std::net::SocketAddr, tenant: &str) -> bool {
+    for _ in 0..3 {
+        let ok = (|| -> Result<(), crate::ClientError> {
+            let mut c = ServeClient::connect(addr)?;
+            c.set_timeout(Some(Duration::from_secs(30)))?;
+            c.adopt(tenant)
+        })();
+        if ok.is_ok() {
+            return true;
+        }
+    }
+    false
+}

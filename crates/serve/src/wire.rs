@@ -28,8 +28,11 @@ use std::io::{Read, Write};
 
 use imdiff_nn::serialize::crc32;
 
-/// Current protocol version byte.
-pub const WIRE_VERSION: u8 = 1;
+/// Current protocol version byte. v2 added the idempotency sequence id on
+/// score requests and the replication control kinds
+/// ([`kind::ADOPT`]/[`kind::SNAPSHOT`]); v1 peers are refused with
+/// [`WireError::UnsupportedVersion`] rather than mis-parsed.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame magic: "Imdiffusion Wire".
 pub const MAGIC: [u8; 2] = *b"IW";
@@ -55,6 +58,11 @@ pub mod kind {
     pub const DRAIN: u8 = 5;
     /// Liveness probe.
     pub const PING: u8 = 6;
+    /// Activate one tenant on a replica, restoring its streaming state
+    /// from the IMSM sidecar when one exists (failover adoption).
+    pub const ADOPT: u8 = 7;
+    /// Force an immediate IMSM sidecar write for one tenant.
+    pub const SNAPSHOT: u8 = 8;
 
     /// Per-point verdicts for a score request.
     pub const VERDICTS: u8 = 128;
@@ -146,6 +154,20 @@ pub enum Request {
     Score {
         /// Stream id the rows belong to.
         tenant: String,
+        /// Per-tenant idempotency sequence id. `0` opts out of
+        /// deduplication; non-zero ids must be assigned monotonically by
+        /// a single writer per tenant. A replayed id is answered from the
+        /// server's reply cache without re-ingesting the rows, making
+        /// reconnect-and-replay after a transport loss safe.
+        seq: u64,
+        /// Stream-position guard: the global row index this chunk starts
+        /// at, or [`u64::MAX`] to skip the check. When set, the server
+        /// refuses the chunk with a typed `Unavailable` unless its
+        /// monitor is at exactly this position — so a client whose
+        /// stream state raced a failover (the replica restored from an
+        /// older snapshot) gets an explicit "resync" signal instead of
+        /// silently feeding rows into the wrong position.
+        start_row: u64,
         /// Rows dropped immediately before this chunk.
         gap_before: u32,
         /// Observed rows in stream order; all rows share one length.
@@ -164,6 +186,21 @@ pub enum Request {
     Drain,
     /// Liveness probe.
     Ping,
+    /// Activate `tenant` on this replica (failover adoption): restore its
+    /// streaming state from the IMSM sidecar when present, fall back to a
+    /// fresh (re-warming) load when the sidecar is absent or damaged.
+    /// Internal supervisor→replica traffic — routers refuse it from
+    /// external clients.
+    Adopt {
+        /// Stream id to activate.
+        tenant: String,
+    },
+    /// Force an immediate IMSM sidecar write for `tenant`, giving callers
+    /// a deterministic recovery point.
+    Snapshot {
+        /// Stream id to snapshot.
+        tenant: String,
+    },
 }
 
 /// Machine-readable refusal/failure category (the `code` byte of an
@@ -186,6 +223,10 @@ pub enum ErrorCode {
     Draining = 5,
     /// Unexpected server-side failure.
     Internal = 6,
+    /// The replica holding this tenant is unreachable or mid-failover.
+    /// The request may or may not have been applied — retry with the same
+    /// sequence id so the reply cache deduplicates it.
+    Unavailable = 7,
 }
 
 impl ErrorCode {
@@ -197,8 +238,22 @@ impl ErrorCode {
             4 => ErrorCode::BadRequest,
             5 => ErrorCode::Draining,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Unavailable,
             _ => return None,
         })
+    }
+
+    /// Whether retrying the same request (same sequence id) can succeed.
+    /// Mirrors [`imdiff_data::DetectorError::is_retryable`]: transient
+    /// refusals ([`ErrorCode::Overloaded`], [`ErrorCode::Timeout`]) and
+    /// replica loss ([`ErrorCode::Unavailable`], which clears once
+    /// failover re-places the tenant) are retryable; caller bugs, unknown
+    /// tenants, drains and internal failures are not.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::Timeout | ErrorCode::Unavailable
+        )
     }
 }
 
@@ -518,6 +573,8 @@ impl Request {
             Request::Reload { .. } => kind::RELOAD,
             Request::Drain => kind::DRAIN,
             Request::Ping => kind::PING,
+            Request::Adopt { .. } => kind::ADOPT,
+            Request::Snapshot { .. } => kind::SNAPSHOT,
         }
     }
 
@@ -527,10 +584,14 @@ impl Request {
         match self {
             Request::Score {
                 tenant,
+                seq,
+                start_row,
                 gap_before,
                 rows,
             } => {
                 put_short_str(&mut out, tenant);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
                 out.extend_from_slice(&gap_before.to_le_bytes());
                 let channels = rows.first().map_or(0, Vec::len);
                 assert!(
@@ -545,7 +606,9 @@ impl Request {
                     }
                 }
             }
-            Request::Reload { tenant } => put_short_str(&mut out, tenant),
+            Request::Reload { tenant }
+            | Request::Adopt { tenant }
+            | Request::Snapshot { tenant } => put_short_str(&mut out, tenant),
             Request::Health | Request::ObsSnapshot | Request::Drain | Request::Ping => {}
         }
         out
@@ -568,6 +631,8 @@ impl Request {
         let req = match kind_byte {
             kind::SCORE => {
                 let tenant = c.short_str()?;
+                let seq = c.u64()?;
+                let start_row = c.u64()?;
                 let gap_before = c.u32()?;
                 let n_rows = c.u32()? as usize;
                 let channels = c.u32()? as usize;
@@ -588,6 +653,8 @@ impl Request {
                 }
                 Request::Score {
                     tenant,
+                    seq,
+                    start_row,
                     gap_before,
                     rows,
                 }
@@ -599,6 +666,12 @@ impl Request {
             },
             kind::DRAIN => Request::Drain,
             kind::PING => Request::Ping,
+            kind::ADOPT => Request::Adopt {
+                tenant: c.short_str()?,
+            },
+            kind::SNAPSHOT => Request::Snapshot {
+                tenant: c.short_str()?,
+            },
             other => return Err(WireError::UnknownKind(other)),
         };
         c.finish()?;
@@ -786,11 +859,15 @@ mod tests {
         vec![
             Request::Score {
                 tenant: "smd-1".into(),
+                seq: 42,
+                start_row: 1024,
                 gap_before: 3,
                 rows: vec![vec![1.0, f32::NAN, -2.5], vec![0.0, 4.25, 1e-3]],
             },
             Request::Score {
                 tenant: "".into(),
+                seq: 0,
+                start_row: u64::MAX,
                 gap_before: 0,
                 rows: vec![],
             },
@@ -799,6 +876,12 @@ mod tests {
             Request::Reload { tenant: "gcp-θ".into() },
             Request::Drain,
             Request::Ping,
+            Request::Adopt {
+                tenant: "smd-1".into(),
+            },
+            Request::Snapshot {
+                tenant: "gcp-θ".into(),
+            },
         ]
     }
 
@@ -826,6 +909,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "request queue full (64/64); retry with backoff".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "replica lost; failover in progress".into(),
             },
             Response::Health {
                 tenants: vec![TenantHealth {
@@ -858,17 +945,23 @@ mod tests {
                     Request::Score { rows: a, .. },
                     Request::Score {
                         tenant,
+                        seq,
+                        start_row,
                         gap_before,
                         rows: b,
                     },
                 ) => {
                     if let Request::Score {
                         tenant: ta,
+                        seq: sa,
+                        start_row: ra,
                         gap_before: ga,
                         ..
                     } = &req
                     {
                         assert_eq!(ta, tenant);
+                        assert_eq!(sa, seq);
+                        assert_eq!(ra, start_row);
                         assert_eq!(ga, gap_before);
                     }
                     assert_eq!(a.len(), b.len());
@@ -938,6 +1031,33 @@ mod tests {
         let mut bytes = Request::Ping.to_bytes();
         bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(Request::from_bytes(&bytes), Err(WireError::TooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn v1_frames_refused_not_misparsed() {
+        // The version byte precedes the CRC check, so a v1 peer gets a
+        // typed version error instead of a confusing checksum failure.
+        let mut bytes = Request::Ping.to_bytes();
+        bytes[2] = 1;
+        assert_eq!(
+            Request::from_bytes(&bytes),
+            Err(WireError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
+    fn error_code_retryability() {
+        for (code, want) in [
+            (ErrorCode::Overloaded, true),
+            (ErrorCode::Timeout, true),
+            (ErrorCode::Unavailable, true),
+            (ErrorCode::UnknownTenant, false),
+            (ErrorCode::BadRequest, false),
+            (ErrorCode::Draining, false),
+            (ErrorCode::Internal, false),
+        ] {
+            assert_eq!(code.is_retryable(), want, "wrong retryability for {code:?}");
+        }
     }
 
     #[test]

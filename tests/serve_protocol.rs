@@ -34,6 +34,10 @@ fn arb_score(seed: u64) -> Request {
         .collect();
     Request::Score {
         tenant,
+        // seq 0 (dedup opt-out) and start_row u64::MAX (position-check
+        // opt-out) are the sentinel values — keep them common.
+        seq: if rng.gen_bool(0.3) { 0 } else { rng.gen() },
+        start_row: if rng.gen_bool(0.3) { u64::MAX } else { rng.gen() },
         gap_before: rng.gen_range(0..100),
         rows,
     }
@@ -57,12 +61,13 @@ fn arb_response(seed: u64) -> Response {
                 .collect(),
         },
         1 => Response::Error {
-            code: match rng.gen_range(0..6u32) {
+            code: match rng.gen_range(0..7u32) {
                 0 => ErrorCode::Overloaded,
                 1 => ErrorCode::Timeout,
                 2 => ErrorCode::UnknownTenant,
                 3 => ErrorCode::BadRequest,
                 4 => ErrorCode::Draining,
+                5 => ErrorCode::Unavailable,
                 _ => ErrorCode::Internal,
             },
             message: format!("error #{}", rng.gen::<u32>()),
@@ -99,16 +104,22 @@ fn score_eq(a: &Request, b: &Request) -> bool {
         (
             Request::Score {
                 tenant: ta,
+                seq: sa,
+                start_row: pa,
                 gap_before: ga,
                 rows: ra,
             },
             Request::Score {
                 tenant: tb,
+                seq: sb,
+                start_row: pb,
                 gap_before: gb,
                 rows: rb,
             },
         ) => {
             ta == tb
+                && sa == sb
+                && pa == pb
                 && ga == gb
                 && ra.len() == rb.len()
                 && ra.iter().zip(rb).all(|(x, y)| {
