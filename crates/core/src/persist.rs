@@ -648,11 +648,17 @@ mod tests {
                 monitor.mark_snapshotted();
             }
         }
-        // 24 rows at a cadence of 10 → at least two sidecar rewrites, and
-        // the trigger re-arms after each one.
+        // 24 rows at a cadence of 10 → sidecar rewrites at rows 10 and
+        // 20, and the trigger re-arms after each one (4 < 10 ⇒ not due).
         assert!(!monitor.snapshot_due());
 
-        // The weight file was never rewritten by the cadenced snapshots.
+        // Drain-time flush, as a serving host would do on shutdown: the
+        // cadenced snapshots cover only up to row 20, so an explicit
+        // final write captures rows 21..24.
+        monitor.checkpoint_stream(&path).unwrap();
+        monitor.mark_snapshotted();
+
+        // The weight file was never rewritten by any sidecar snapshot.
         assert_eq!(std::fs::read(&path).unwrap(), weight_bytes);
 
         // The sidecar alone restores the advanced stream position.

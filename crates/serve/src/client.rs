@@ -395,7 +395,12 @@ impl Backoff {
 /// are acknowledgements: the request was **not** applied, the reply said
 /// so, and it is removed from the replay tail. [`ResilientClient::score`]
 /// retries the retryable ones with a fresh sequence id; pipelined callers
-/// get the typed error and decide themselves.
+/// get the typed error and decide themselves. The one exception is
+/// [`ErrorCode::Interrupted`] — "may or may not have been applied" — which
+/// is treated like a transport loss: the request stays in the tail and is
+/// replayed under its **original** sequence id, so the server's dedup
+/// resolves the ambiguity instead of a fresh-seq resend ingesting the
+/// rows twice.
 pub struct ResilientClient {
     addr: String,
     policy: RetryPolicy,
@@ -508,12 +513,18 @@ impl ResilientClient {
         self.unacked.push_back(req.clone());
         let mut backoff = Backoff::new(self.policy);
         loop {
-            let sent = match self.ensure_conn() {
-                Ok(conn) => conn.send(&req).map(|_| true),
-                Err(e) => Err(e),
+            // On a live connection the older tail is already on the wire,
+            // so only the new request needs sending. On a fresh one the
+            // WHOLE tail must go out in order — sending just the new
+            // request would leave the server answering it first while
+            // recv_scored still matches replies FIFO against the older
+            // requests, misattributing every verdict that follows.
+            let sent = match self.conn.as_mut() {
+                Some(conn) => conn.send(&req),
+                None => self.reconnect_and_replay(),
             };
             match sent {
-                Ok(_) => return Ok(seq),
+                Ok(()) => return Ok(seq),
                 Err(e) if e.is_retryable() => {
                     self.conn = None;
                     match backoff.next_delay() {
@@ -537,10 +548,18 @@ impl ResilientClient {
     }
 
     /// Reads the oldest unanswered request's reply, transparently
-    /// reconnecting and replaying the tail on transport loss. A typed
-    /// server error acknowledges (and removes) the request; transport
-    /// errors are only surfaced once the retry budget is spent, with the
-    /// tail kept so a later call can still replay it.
+    /// reconnecting and replaying the tail on transport loss or on a
+    /// typed [`ErrorCode::Interrupted`] ("may or may not have been
+    /// applied") — both are resolved by re-sending the **same** sequence
+    /// ids, which the server deduplicates.
+    ///
+    /// Every return — verdicts or error — resolves exactly one request
+    /// (the oldest), which leaves the replay tail. Surfacing a final
+    /// error while *keeping* its request queued would skew the FIFO reply
+    /// correlation by one for every later call, so once the retry budget
+    /// is spent the oldest request is abandoned and the error is its
+    /// outcome; the caller resyncs from the health report's `rows_seen`.
+    /// Younger pipelined requests stay queued and replay as usual.
     pub fn recv_scored(&mut self) -> Result<Scored, ClientError> {
         if self.unacked.is_empty() {
             return Err(ClientError::Unexpected(
@@ -549,11 +568,39 @@ impl ResilientClient {
         }
         let mut backoff = Backoff::new(self.policy);
         loop {
-            let got = match self.ensure_conn() {
-                Ok(conn) => conn.recv(),
-                Err(e) => Err(e),
+            // A fresh connection carries none of the tail yet: replay it
+            // first or the recv below would wait on requests the server
+            // never saw.
+            let got = if let Some(conn) = self.conn.as_mut() {
+                conn.recv()
+            } else {
+                match self.reconnect_and_replay() {
+                    Ok(()) => self.conn.as_mut().expect("just replayed").recv(),
+                    Err(e) => Err(e),
+                }
             };
             match got {
+                Ok(Response::Error { code, message }) if code.may_be_applied() => {
+                    // Not an acknowledgement: the routing tier lost track
+                    // of the request mid-flight. Replay the tail under
+                    // the same sequence ids; the replica's dedup turns an
+                    // already-applied original into a cached reply
+                    // instead of a second ingestion. The rest of the old
+                    // connection's replies die with it — their requests
+                    // are replayed too, keeping FIFO order intact.
+                    self.conn = None;
+                    match backoff.next_delay() {
+                        Some(d) => {
+                            if !d.is_zero() {
+                                std::thread::sleep(d);
+                            }
+                        }
+                        None => {
+                            self.unacked.pop_front();
+                            return Err(ClientError::Server { code, message });
+                        }
+                    }
+                }
                 Ok(resp) => {
                     self.unacked.pop_front();
                     return match resp {
@@ -573,29 +620,36 @@ impl ResilientClient {
                         ))),
                     };
                 }
-                Err(e) if e.is_retryable() => match backoff.next_delay() {
-                    Some(d) => {
-                        if !d.is_zero() {
-                            std::thread::sleep(d);
-                        }
-                        if let Err(re) = self.reconnect_and_replay() {
-                            if !re.is_retryable() {
-                                return Err(re);
+                Err(e) if e.is_retryable() => {
+                    self.conn = None;
+                    match backoff.next_delay() {
+                        Some(d) => {
+                            if !d.is_zero() {
+                                std::thread::sleep(d);
                             }
-                            self.conn = None;
+                        }
+                        None => {
+                            self.unacked.pop_front();
+                            return Err(e);
                         }
                     }
-                    None => return Err(e),
-                },
-                Err(e) => return Err(e),
+                }
+                Err(e) => {
+                    self.unacked.pop_front();
+                    return Err(e);
+                }
             }
         }
     }
 
-    /// Strict request/reply scoring. Transport losses replay the same
-    /// sequence id (deduplicated server-side); retryable server refusals
-    /// re-submit the rows under a fresh sequence id, since the refusal
-    /// proved the original was never applied.
+    /// Strict request/reply scoring. Transport losses and typed
+    /// `Interrupted` errors replay the same sequence id (deduplicated
+    /// server-side); retryable server *refusals* re-submit the rows under
+    /// a fresh sequence id, which is safe exactly because a refusal
+    /// proves the original was never applied. An `Interrupted` that
+    /// outlives the whole retry budget is returned as-is — the rows may
+    /// already be ingested, so re-submitting them blindly could double
+    /// the stream; resync from the health report's `rows_seen` first.
     pub fn score(
         &mut self,
         tenant: &str,
@@ -625,7 +679,14 @@ impl ResilientClient {
             self.send_score_at(tenant, start_row, gap_before, rows.clone())?;
             match self.recv_scored() {
                 Ok(s) => return Ok(s),
-                Err(ClientError::Server { code, message }) if code.is_retryable() => {
+                // Fresh-seq resubmission is reserved for refusals whose
+                // code guarantees the rows were NOT ingested. A
+                // may-be-applied error must never take this branch: the
+                // fresh id would bypass the server's dedup and a request
+                // that actually landed would ingest its rows twice.
+                Err(ClientError::Server { code, message })
+                    if code.is_retryable() && !code.may_be_applied() =>
+                {
                     match backoff.next_delay() {
                         Some(d) => {
                             if !d.is_zero() {

@@ -12,20 +12,29 @@
 //! # Failure semantics
 //!
 //! A replica connection that dies mid-flight fails every request queued
-//! on it with a typed [`ErrorCode::Unavailable`] whose message says the
-//! request *may or may not have been applied* — the honest answer, and
-//! safe to act on because replays are deduplicated by sequence id
-//! server-side. Requests routed to a replica already marked dead are
-//! refused the same way without ever touching the network. Nothing
-//! hangs: upstream readers poll with a short timeout and abandon ship as
-//! soon as the replica is declared dead or the router drains.
+//! on it with a typed [`ErrorCode::Interrupted`]: the request *may or
+//! may not have been applied* — the honest answer, and safe to act on
+//! because a same-sequence-id replay is deduplicated server-side (a
+//! fresh id would not be, which is why this case gets its own code).
+//! Requests routed to a replica already marked dead are refused with
+//! [`ErrorCode::Unavailable`] *before* being sent — provably not
+//! applied, safe to retry under any id. Nothing hangs: upstream readers
+//! poll with a short timeout and abandon ship as soon as the replica is
+//! declared dead or the router drains.
 //!
-//! Placement is [FNV-1a](https://en.wikipedia.org/wiki/FNV_hash) over
-//! `"replica-{i}-vn{v}"` ring points — a stable, seedless hash, so every
-//! process (router, supervisor, chaos harness, a rebooted router)
-//! computes the identical ring. `std`'s `RandomState` is banned here: a
-//! randomized hash would re-place every tenant on restart and defeat
-//! sidecar-based resumption.
+//! Control asymmetry: `Adopt` (activate a tenant) and `Drain` (shut the
+//! tier's front door) are supervisor/operator operations; honoring them
+//! from an arbitrary client would let one misbehaving peer re-place or
+//! take down every tenant, so the router refuses both.
+//!
+//! Placement is [FNV-1a](https://en.wikipedia.org/wiki/FNV_hash) plus a
+//! SplitMix64 avalanche pass over `"replica-{i}-vn{v}"` ring points — a
+//! stable, seedless hash, so every process (router, supervisor, chaos
+//! harness, a rebooted router) computes the identical ring. `std`'s
+//! `RandomState` is banned here: a randomized hash would re-place every
+//! tenant on restart and defeat sidecar-based resumption. The avalanche
+//! pass matters because raw FNV-1a clusters short sequential keys (see
+//! [`place_hash`]).
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +111,22 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// SplitMix64-style finalizer applied on top of [`fnv1a`] for ring
+/// placement. Raw FNV-1a diffuses short, nearly identical keys poorly —
+/// sequential tenant ids like `tenant-0..tenant-49` land in a couple of
+/// tight clusters on the ring, starving whole replicas no matter how
+/// many virtual nodes exist. The avalanche pass spreads those clusters
+/// uniformly while staying just as stable and seedless.
+fn place_hash(bytes: &[u8]) -> u64 {
+    let mut h = fnv1a(bytes);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
 /// A consistent-hash ring of virtual nodes over `replicas` replicas.
 #[derive(Debug, Clone)]
 pub struct Ring {
@@ -117,7 +142,7 @@ impl Ring {
         let mut points = Vec::with_capacity(replicas * vnodes);
         for i in 0..replicas {
             for v in 0..vnodes {
-                points.push((fnv1a(format!("replica-{i}-vn{v}").as_bytes()), i));
+                points.push((place_hash(format!("replica-{i}-vn{v}").as_bytes()), i));
             }
         }
         points.sort_unstable();
@@ -134,7 +159,7 @@ impl Ring {
         if !alive.iter().any(|a| *a) {
             return None;
         }
-        let h = fnv1a(tenant.as_bytes());
+        let h = place_hash(tenant.as_bytes());
         let start = self.points.partition_point(|&(p, _)| p < h);
         let n = self.points.len();
         for k in 0..n {
@@ -250,7 +275,7 @@ impl Upstream {
                 };
                 for tx in drained {
                     let _ = tx.send(Response::Error {
-                        code: ErrorCode::Unavailable,
+                        code: ErrorCode::Interrupted,
                         message: "replica connection lost; request may or may not \
                                   have been applied — retry with the same sequence id"
                             .into(),
@@ -328,7 +353,7 @@ fn router_connection_main(shared: Arc<RouterShared>, stream: TcpStream) {
         let mut w = std::io::BufWriter::new(write_half);
         while let Ok(rx) = pending_rx.recv() {
             let resp = rx.recv_timeout(reply_budget).unwrap_or(Response::Error {
-                code: ErrorCode::Unavailable,
+                code: ErrorCode::Interrupted,
                 message: "reply lost in the routing tier; request may or may not \
                           have been applied — retry with the same sequence id"
                     .into(),
@@ -407,10 +432,16 @@ fn route(
     };
     match &req {
         Request::Ping => inline(Response::Ok),
-        Request::Drain => {
-            shared.draining.store(true, Ordering::SeqCst);
-            inline(Response::Ok)
-        }
+        // Draining shuts the whole tier's front door for every tenant —
+        // an operator decision (`Replicated::shutdown`), not something
+        // any connected client may trigger. Honoring it here would let a
+        // single misbehaving client take down serving for everyone.
+        Request::Drain => inline(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "Drain is an operator operation; the router does not \
+                      accept it from clients"
+                .into(),
+        }),
         Request::ObsSnapshot => inline(Response::ObsJson {
             json: obs::snapshot_json(),
         }),
@@ -586,6 +617,10 @@ mod tests {
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"replica-0-vn0"), fnv1a(b"replica-0-vn0"));
         assert_ne!(fnv1a(b"replica-0-vn0"), fnv1a(b"replica-1-vn0"));
+        // The finalized placement hash is pinned too — it is what the
+        // ring actually sorts on.
+        assert_eq!(place_hash(b""), 0xf52a_15e9_a9b5_e89b);
+        assert_eq!(place_hash(b"a"), 0x02c0_bdbf_4814_20f8);
     }
 
     #[test]
@@ -612,6 +647,39 @@ mod tests {
         }
         // All dead: nowhere to place.
         assert_eq!(ring.place("tenant-0", &[false, false, false]), None);
+    }
+
+    /// `Drain` and `Adopt` are operator/supervisor operations: a client
+    /// sending either gets a typed refusal and the tier-wide state is
+    /// untouched — one misbehaving client must not shut the front door
+    /// for every tenant.
+    #[test]
+    fn router_refuses_drain_and_adopt_from_clients() {
+        let shared = Arc::new(RouterShared {
+            cfg: RouterConfig::default(),
+            tenant_ids: vec!["t0".into()],
+            replica_addrs: Vec::new(),
+            alive: Vec::new(),
+            assignment: RwLock::new(vec![usize::MAX]),
+            draining: AtomicBool::new(false),
+        });
+        let mut upstreams: Vec<Option<Upstream>> = Vec::new();
+        for req in [Request::Drain, Request::Adopt { tenant: "t0".into() }] {
+            let (tx, rx) = mpsc::channel();
+            route(&shared, &mut upstreams, req, &tx);
+            match rx.recv().expect("refusal answered inline") {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+                other => panic!("privileged request was honored: {other:?}"),
+            }
+        }
+        assert!(
+            !shared.draining.load(Ordering::SeqCst),
+            "a client Drain flipped the tier-wide draining flag"
+        );
+        // Harmless control requests still answer.
+        let (tx, rx) = mpsc::channel();
+        route(&shared, &mut upstreams, Request::Ping, &tx);
+        assert_eq!(rx.recv().expect("ping answered"), Response::Ok);
     }
 
     #[test]

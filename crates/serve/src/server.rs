@@ -128,7 +128,8 @@ pub struct ServeConfig {
     pub snapshot_every: Option<u64>,
     /// Per-tenant reply-cache capacity for sequence-id deduplication: a
     /// replayed request whose reply was already evicted is answered with
-    /// a typed [`ErrorCode::Unavailable`] instead of being re-ingested.
+    /// a typed [`ErrorCode::Interrupted`] (resync, do not re-submit
+    /// fresh) instead of being re-ingested.
     pub replay_cache: usize,
 }
 
@@ -249,18 +250,58 @@ enum ShardCmd {
     },
 }
 
+/// Ids tracked individually above [`SeqState::floor`] before the floor is
+/// forced up. Bounds memory; must comfortably exceed any client's
+/// pipelining depth so a *refused* id (a gap among the applied ones) is
+/// still readmittable when its prompt retry arrives.
+const SEQ_TRACK_WINDOW: usize = 1024;
+
 /// Per-tenant sequence-id bookkeeping for idempotent replay. Lives on the
 /// owning shard — the serialization point for the tenant's stream — so
 /// dedup decisions and ingestion are atomic with respect to each other.
 /// State is per replica session: after failover the adopter starts fresh
 /// and the authoritative stream position is the health report's
 /// `rows_seen`.
+///
+/// Applied ids are tracked **exactly** (contiguous floor + out-of-order
+/// set), not as a running max: a refusal (deadline expiry, position
+/// guard) deliberately does not spend its id, and with a max a refused
+/// id below a later-applied one would be misread as "already applied"
+/// on retry instead of being admitted as new work.
 #[derive(Default)]
 struct SeqState {
-    /// Highest sequence id whose rows were ingested.
-    applied: u64,
+    /// Every id `<= floor` is treated as spent. Advanced by contiguous
+    /// application, or forced up when `applied` outgrows
+    /// [`SEQ_TRACK_WINDOW`] (an abandoned gap that old stops being
+    /// readmittable — it answers as a stale replay instead, which is
+    /// safe: stale replays never ingest).
+    floor: u64,
+    /// Applied ids above `floor` (gaps below a refused id keep ids
+    /// non-contiguous).
+    applied: std::collections::BTreeSet<u64>,
     /// Recent (seq, reply) pairs for answering replays bit-identically.
     cache: VecDeque<(u64, Response)>,
+}
+
+impl SeqState {
+    /// Were `seq`'s rows ingested in this replica session?
+    fn is_applied(&self, seq: u64) -> bool {
+        seq <= self.floor || self.applied.contains(&seq)
+    }
+
+    /// Records an ingested id, advancing the contiguous floor and
+    /// bounding the out-of-order set.
+    fn note_applied(&mut self, seq: u64) {
+        self.applied.insert(seq);
+        while self.applied.remove(&(self.floor + 1)) {
+            self.floor += 1;
+        }
+        while self.applied.len() > SEQ_TRACK_WINDOW {
+            let oldest = *self.applied.iter().next().expect("non-empty");
+            self.applied.remove(&oldest);
+            self.floor = self.floor.max(oldest);
+        }
+    }
 }
 
 #[derive(Default)]
@@ -574,15 +615,19 @@ fn run_batch(
     let mut items = Vec::with_capacity(jobs.len());
     let mut deferred_dups: Vec<(u64, mpsc::Sender<Response>)> = Vec::new();
     for job in jobs {
-        if job.seq != 0 && job.seq <= seqs[tenant].applied {
+        if job.seq != 0 && seqs[tenant].is_applied(job.seq) {
             obs::counter("serve.failover.replay_hits", 1);
             let cached = seqs[tenant]
                 .cache
                 .iter()
                 .find(|(s, _)| *s == job.seq)
                 .map(|(_, resp)| resp.clone());
+            // `Interrupted`, not `Unavailable`: the rows WERE ingested,
+            // so the client must not re-submit them under a fresh id —
+            // only resync. (A same-id retry just gets this answer again,
+            // bounded by the client's budget.)
             let _ = job.reply.send(cached.unwrap_or_else(|| Response::Error {
-                code: ErrorCode::Unavailable,
+                code: ErrorCode::Interrupted,
                 message: format!(
                     "sequence id {} was already applied but its reply left the \
                      cache; resync from the health report's rows_seen",
@@ -724,7 +769,7 @@ fn run_batch(
             // The rows are ingested either way (push_batch answered), so
             // the id is spent: record it and cache the reply verbatim.
             let st = &mut seqs[tenant];
-            st.applied = st.applied.max(seq);
+            st.note_applied(seq);
             st.cache.push_back((seq, resp.clone()));
             while st.cache.len() > inner.cfg.replay_cache {
                 st.cache.pop_front();
@@ -754,8 +799,11 @@ fn run_batch(
 
 /// Answers same-batch duplicates from the reply cache once (if) their
 /// original's reply landed there. An original refused by admission or
-/// the position guard never reaches the cache, so its duplicates get the
-/// same effective outcome: a typed error telling the client to resync.
+/// the position guard never reaches the cache, so its duplicates get a
+/// typed error instead — `Interrupted`, because from here the refused
+/// and the applied-then-evicted cases are indistinguishable, and a
+/// same-sequence-id retry is the one response that is correct for both
+/// (admitted fresh if refused, answered by dedup if applied).
 fn answer_deferred(st: &SeqState, deferred: Vec<(u64, mpsc::Sender<Response>)>) {
     for (seq, sender) in deferred {
         let cached = st
@@ -764,7 +812,7 @@ fn answer_deferred(st: &SeqState, deferred: Vec<(u64, mpsc::Sender<Response>)>) 
             .find(|(s, _)| *s == seq)
             .map(|(_, resp)| resp.clone());
         let _ = sender.send(cached.unwrap_or_else(|| Response::Error {
-            code: ErrorCode::Unavailable,
+            code: ErrorCode::Interrupted,
             message: format!(
                 "duplicate of in-flight sequence id {seq} could not be answered \
                  from the reply cache"

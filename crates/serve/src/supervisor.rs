@@ -8,15 +8,24 @@
 //!    `heartbeat_every`; a ping that cannot connect, times out
 //!    (`heartbeat_timeout`) or reads EOF is a *miss*
 //!    (`serve.failover.heartbeat_misses`). `heartbeat_misses`
-//!    consecutive misses declare the replica dead.
-//! 2. **Fence** — the replica's process handle is killed *before* any
-//!    tenant moves. A partitioned-but-alive replica looks identical to a
-//!    crashed one from out here; killing it first guarantees at most one
-//!    replica ever writes a tenant's IMSM sidecar, so adoption can trust
-//!    the file.
-//! 3. **Re-place** — each of the victim's tenants is re-placed by the
-//!    same consistent-hash ring, skipping dead replicas, and adopted via
-//!    an `Adopt` frame. The adopter loads the tenant's IMSM sidecar and
+//!    consecutive misses declare the replica dead: its liveness flag
+//!    flips immediately (so the router fails its requests fast) and the
+//!    replica is handed to a dedicated **failover worker** thread.
+//!    Detection never blocks on recovery — while the worker is adopting
+//!    one replica's tenants (up to tens of seconds each), heartbeats to
+//!    every other replica continue, so a concurrent second failure is
+//!    detected at heartbeat cadence, not after the first recovery ends.
+//! 2. **Fence** — on the worker, the replica's process handle is killed
+//!    *before* any tenant moves. A partitioned-but-alive replica looks
+//!    identical to a crashed one from out here; killing it first
+//!    guarantees at most one replica ever writes a tenant's IMSM
+//!    sidecar, so adoption can trust the file. The single worker also
+//!    serializes concurrent failovers, so two re-placements can never
+//!    race each other into adopting one tenant twice.
+//! 3. **Re-place** — each of the victim's tenants (plus any tenant left
+//!    stranded by an earlier failed adoption) is re-placed by the same
+//!    consistent-hash ring, skipping dead replicas, and adopted via an
+//!    `Adopt` frame. The adopter loads the tenant's IMSM sidecar and
 //!    resumes the verdict stream at the snapshotted position —
 //!    bit-identical to an uninterrupted run — or re-warms from scratch
 //!    if the sidecar is missing or corrupt (counted, never fatal).
@@ -25,7 +34,7 @@
 //!    clients get typed `Unavailable` errors, never hangs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -45,6 +54,10 @@ pub struct Replicated {
     servers: Arc<Mutex<Vec<Option<Server>>>>,
     router: Option<RouterHandle>,
     heartbeat: Option<JoinHandle<()>>,
+    /// Feeds dead-replica indices to the failover worker. Dropped (after
+    /// the heartbeat thread joins) to let the worker exit.
+    failover_tx: Option<mpsc::Sender<usize>>,
+    failover_worker: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -101,12 +114,23 @@ impl Replicated {
         let router = RouterHandle::start(Arc::clone(&shared))?;
         let servers = Arc::new(Mutex::new(servers));
         let stop = Arc::new(AtomicBool::new(false));
-        let heartbeat = {
+        let (failover_tx, failover_rx) = mpsc::channel::<usize>();
+        let failover_worker = {
             let shared = Arc::clone(&shared);
             let servers = Arc::clone(&servers);
             let stop = Arc::clone(&stop);
             let ring = ring.clone();
-            std::thread::spawn(move || heartbeat_main(shared, servers, ring, stop))
+            std::thread::spawn(move || {
+                while let Ok(dead) = failover_rx.recv() {
+                    failover(&shared, &servers, &ring, &stop, dead);
+                }
+            })
+        };
+        let heartbeat = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let tx = failover_tx.clone();
+            std::thread::spawn(move || heartbeat_main(shared, tx, stop))
         };
 
         Ok(Replicated {
@@ -116,6 +140,8 @@ impl Replicated {
             servers,
             router: Some(router),
             heartbeat: Some(heartbeat),
+            failover_tx: Some(failover_tx),
+            failover_worker: Some(failover_worker),
             stop,
         })
     }
@@ -175,6 +201,13 @@ impl Replicated {
         if let Some(h) = self.heartbeat.take() {
             let _ = h.join();
         }
+        // The heartbeat's sender clone is gone; dropping ours closes the
+        // channel, so the worker exits once its current (stop-gated)
+        // failover finishes.
+        drop(self.failover_tx.take());
+        if let Some(h) = self.failover_worker.take() {
+            let _ = h.join();
+        }
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(r) = self.router.take() {
             r.stop();
@@ -208,10 +241,14 @@ fn ping_replica(addr: &std::net::SocketAddr, timeout: Duration) -> bool {
     matches!(wire::read_response(&mut stream), Ok(Some(Response::Ok)))
 }
 
+/// Detection only: pings live replicas and, on `heartbeat_misses`
+/// consecutive misses, flips the replica's liveness flag (requests start
+/// failing fast immediately) and hands it to the failover worker. The
+/// potentially slow fence/adopt work never runs here, so one replica's
+/// recovery cannot blind the supervisor to a second failure.
 fn heartbeat_main(
     shared: Arc<RouterShared>,
-    servers: Arc<Mutex<Vec<Option<Server>>>>,
-    ring: Ring,
+    failover_tx: mpsc::Sender<usize>,
     stop: Arc<AtomicBool>,
 ) {
     let n = shared.replica_addrs.len();
@@ -229,8 +266,12 @@ fn heartbeat_main(
             } else {
                 *missed += 1;
                 obs::counter("serve.failover.heartbeat_misses", 1);
-                if *missed >= shared.cfg.heartbeat_misses {
-                    failover(&shared, &servers, &ring, r);
+                if *missed >= shared.cfg.heartbeat_misses
+                    && shared.alive[r].swap(false, Ordering::SeqCst)
+                {
+                    // The swap is the claim: exactly one declaration per
+                    // death, even if the worker is still busy elsewhere.
+                    let _ = failover_tx.send(r);
                 }
             }
         }
@@ -245,11 +286,17 @@ fn heartbeat_main(
 }
 
 /// The fence-then-re-place half of the failover protocol (detection
-/// lives in [`heartbeat_main`]).
+/// lives in [`heartbeat_main`]; the dead replica's liveness flag is
+/// already cleared). Runs on the single failover worker thread, which
+/// serializes overlapping failovers. Besides the victim's own tenants it
+/// also retries any tenant stranded unplaced (`usize::MAX`) by an
+/// earlier adoption failure — e.g. one whose chosen survivor died before
+/// being detected.
 fn failover(
     shared: &Arc<RouterShared>,
     servers: &Arc<Mutex<Vec<Option<Server>>>>,
     ring: &Ring,
+    stop: &Arc<AtomicBool>,
     dead: usize,
 ) {
     obs::counter("serve.failover.failovers", 1);
@@ -259,7 +306,6 @@ fn failover(
     if let Some(s) = taken {
         s.kill();
     }
-    shared.alive[dead].store(false, Ordering::SeqCst);
 
     let alive_now: Vec<bool> = shared
         .alive
@@ -268,13 +314,18 @@ fn failover(
         .collect();
     let victims: Vec<usize> = {
         let a = shared.assignment.read().unwrap_or_else(|e| e.into_inner());
-        (0..a.len()).filter(|&i| a[i] == dead).collect()
+        (0..a.len())
+            .filter(|&i| a[i] == dead || a[i] == usize::MAX)
+            .collect()
     };
     for idx in victims {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
         let tenant = &shared.tenant_ids[idx];
         let target = ring.place(tenant, &alive_now);
         let adopted = match target {
-            Some(nr) => adopt_tenant(&shared.replica_addrs[nr], tenant).then_some(nr),
+            Some(nr) => adopt_tenant(&shared.replica_addrs[nr], tenant, stop).then_some(nr),
             None => None,
         };
         let mut a = shared.assignment.write().unwrap_or_else(|e| e.into_inner());
@@ -295,9 +346,14 @@ fn failover(
 /// the adopter may be busy restoring other tenants from the same
 /// failover. The deadline is generous because a restore legitimately
 /// takes a while; failure here strands the tenant (unplaced, typed
-/// `Unavailable`) rather than guessing.
-fn adopt_tenant(addr: &std::net::SocketAddr, tenant: &str) -> bool {
+/// `Unavailable`) rather than guessing — the next failover pass retries
+/// stranded tenants. Gated on `stop` so shutdown is not held hostage by
+/// the retry budget.
+fn adopt_tenant(addr: &std::net::SocketAddr, tenant: &str, stop: &Arc<AtomicBool>) -> bool {
     for _ in 0..3 {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
         let ok = (|| -> Result<(), crate::ClientError> {
             let mut c = ServeClient::connect(addr)?;
             c.set_timeout(Some(Duration::from_secs(30)))?;

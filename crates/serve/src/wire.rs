@@ -223,10 +223,17 @@ pub enum ErrorCode {
     Draining = 5,
     /// Unexpected server-side failure.
     Internal = 6,
-    /// The replica holding this tenant is unreachable or mid-failover.
-    /// The request may or may not have been applied — retry with the same
-    /// sequence id so the reply cache deduplicates it.
+    /// The request was **refused before ingestion** — the tenant is
+    /// mid-failover, not placed on this replica, or its stream-position
+    /// guard did not match. The rows were **not** applied, so retrying
+    /// (even under a fresh sequence id) cannot double-ingest.
     Unavailable = 7,
+    /// The request was **interrupted in flight** and its applied state is
+    /// unknown (a connection to the replica died mid-exchange), or it was
+    /// applied but its cached reply is gone. Retry with the **same**
+    /// sequence id — the replica's dedup resolves the ambiguity; a fresh
+    /// sequence id would bypass it and risk ingesting the rows twice.
+    Interrupted = 8,
 }
 
 impl ErrorCode {
@@ -239,21 +246,37 @@ impl ErrorCode {
             5 => ErrorCode::Draining,
             6 => ErrorCode::Internal,
             7 => ErrorCode::Unavailable,
+            8 => ErrorCode::Interrupted,
             _ => return None,
         })
     }
 
     /// Whether retrying the same request (same sequence id) can succeed.
     /// Mirrors [`imdiff_data::DetectorError::is_retryable`]: transient
-    /// refusals ([`ErrorCode::Overloaded`], [`ErrorCode::Timeout`]) and
+    /// refusals ([`ErrorCode::Overloaded`], [`ErrorCode::Timeout`]),
     /// replica loss ([`ErrorCode::Unavailable`], which clears once
-    /// failover re-places the tenant) are retryable; caller bugs, unknown
+    /// failover re-places the tenant) and in-flight interruptions
+    /// ([`ErrorCode::Interrupted`]) are retryable; caller bugs, unknown
     /// tenants, drains and internal failures are not.
     pub fn is_retryable(self) -> bool {
         matches!(
             self,
-            ErrorCode::Overloaded | ErrorCode::Timeout | ErrorCode::Unavailable
+            ErrorCode::Overloaded
+                | ErrorCode::Timeout
+                | ErrorCode::Unavailable
+                | ErrorCode::Interrupted
         )
+    }
+
+    /// Whether the request **may already have been applied** despite the
+    /// error. `true` only for [`ErrorCode::Interrupted`]: the reply was
+    /// lost, not the refusal decided. Such a request must be replayed
+    /// under its **original** sequence id (so the replica's dedup can
+    /// answer it idempotently) — never re-submitted under a fresh one,
+    /// which would ingest the rows a second time. Every other code is a
+    /// refusal issued *before* ingestion, safe to retry fresh.
+    pub fn may_be_applied(self) -> bool {
+        matches!(self, ErrorCode::Interrupted)
     }
 }
 
@@ -914,6 +937,10 @@ mod tests {
                 code: ErrorCode::Unavailable,
                 message: "replica lost; failover in progress".into(),
             },
+            Response::Error {
+                code: ErrorCode::Interrupted,
+                message: "replica connection lost; retry with the same seq".into(),
+            },
             Response::Health {
                 tenants: vec![TenantHealth {
                     id: "smd-1".into(),
@@ -1051,6 +1078,7 @@ mod tests {
             (ErrorCode::Overloaded, true),
             (ErrorCode::Timeout, true),
             (ErrorCode::Unavailable, true),
+            (ErrorCode::Interrupted, true),
             (ErrorCode::UnknownTenant, false),
             (ErrorCode::BadRequest, false),
             (ErrorCode::Draining, false),
@@ -1058,6 +1086,22 @@ mod tests {
         ] {
             assert_eq!(code.is_retryable(), want, "wrong retryability for {code:?}");
         }
+        // Only Interrupted leaves the applied state ambiguous: every
+        // other code is a refusal issued before ingestion. A wrong `true`
+        // here would make clients burn their budget replaying refusals; a
+        // wrong `false` would let a fresh-seq retry double-ingest.
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::Timeout,
+            ErrorCode::Unavailable,
+            ErrorCode::UnknownTenant,
+            ErrorCode::BadRequest,
+            ErrorCode::Draining,
+            ErrorCode::Internal,
+        ] {
+            assert!(!code.may_be_applied(), "{code:?} wrongly ambiguous");
+        }
+        assert!(ErrorCode::Interrupted.may_be_applied());
     }
 
     #[test]

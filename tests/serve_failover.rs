@@ -164,11 +164,20 @@ fn client_error_retryability_taxonomy() {
     assert!(refusal(ErrorCode::Overloaded).is_retryable());
     assert!(refusal(ErrorCode::Timeout).is_retryable());
     assert!(refusal(ErrorCode::Unavailable).is_retryable());
+    assert!(refusal(ErrorCode::Interrupted).is_retryable());
     assert!(!refusal(ErrorCode::UnknownTenant).is_retryable());
     assert!(!refusal(ErrorCode::BadRequest).is_retryable());
     assert!(!refusal(ErrorCode::Internal).is_retryable());
     assert!(ClientError::Closed.is_retryable());
     assert!(!ClientError::Unexpected("wanted verdicts".into()).is_retryable());
+
+    // The applied-state split: only Interrupted signals "may already be
+    // ingested — replay the SAME seq"; everything else (notably
+    // Unavailable) is a pre-ingestion refusal, safe to resubmit fresh.
+    assert!(ErrorCode::Interrupted.may_be_applied());
+    assert!(!ErrorCode::Unavailable.may_be_applied());
+    assert!(!ErrorCode::Overloaded.may_be_applied());
+    assert!(!ErrorCode::Timeout.may_be_applied());
 }
 
 // ---------------------------------------------------------------------------
@@ -255,6 +264,58 @@ fn position_guard_refuses_misaligned_chunks() {
         .unwrap();
     client.recv_scored().unwrap();
     assert_eq!(rows_seen(&mut client, "pos"), 24);
+    server.drain();
+}
+
+/// Applied sequence ids are tracked exactly, not as a max: a seq that was
+/// *refused* (never ingested) must stay admissible even after a *higher*
+/// seq has been applied. A max-watermark dedup would misread the retried
+/// lower seq as "already applied, reply evicted" and bounce it forever.
+#[test]
+fn refused_seq_below_applied_max_is_readmitted() {
+    let dir = tmp_dir("seqexact");
+    let ckpt = dir.join("tenant.imdf");
+    let (rows, channels) = train_and_save(&ckpt, 9, 32);
+    let server = Server::start(lenient_config(), vec![tenant_spec("sq", &ckpt, 9, channels)])
+        .unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // seq 1 applies; the stream is now at row 8.
+    client
+        .send_score_seq("sq", 1, 0, 0, rows[..8].to_vec())
+        .unwrap();
+    client.recv_scored().unwrap();
+    assert_eq!(rows_seen(&mut client, "sq"), 8);
+
+    // seq 2 claims row 0 → position-refused, NOT applied.
+    client
+        .send_score_seq("sq", 2, 0, 0, rows[8..16].to_vec())
+        .unwrap();
+    assert!(
+        matches!(
+            client.recv_scored(),
+            Err(ClientError::Server { code: ErrorCode::Unavailable, .. })
+        ),
+        "misaligned seq 2 was not refused"
+    );
+
+    // seq 3 applies — the applied *max* is now above the refused seq 2.
+    client
+        .send_score_seq("sq", 3, 8, 0, rows[8..16].to_vec())
+        .unwrap();
+    client.recv_scored().unwrap();
+    assert_eq!(rows_seen(&mut client, "sq"), 16);
+
+    // Corrected seq 2 must be admitted as new work, not bounced as a
+    // stale replay of an evicted reply.
+    client
+        .send_score_seq("sq", 2, 16, 0, rows[16..24].to_vec())
+        .unwrap();
+    client
+        .recv_scored()
+        .expect("refused seq below the applied max was not readmitted");
+    assert_eq!(rows_seen(&mut client, "sq"), 24);
     server.drain();
 }
 

@@ -61,13 +61,14 @@ fn arb_response(seed: u64) -> Response {
                 .collect(),
         },
         1 => Response::Error {
-            code: match rng.gen_range(0..7u32) {
+            code: match rng.gen_range(0..8u32) {
                 0 => ErrorCode::Overloaded,
                 1 => ErrorCode::Timeout,
                 2 => ErrorCode::UnknownTenant,
                 3 => ErrorCode::BadRequest,
                 4 => ErrorCode::Draining,
                 5 => ErrorCode::Unavailable,
+                6 => ErrorCode::Interrupted,
                 _ => ErrorCode::Internal,
             },
             message: format!("error #{}", rng.gen::<u32>()),
