@@ -49,13 +49,19 @@ fn bench_infer(c: &mut Criterion) {
             },
         );
 
-        let width = pool::max_threads();
-        if width > 1 {
-            group.record_threads(width);
+        // Pinned multi-worker rows: on a single-core host these measure
+        // the window-partitioning overhead, on multi-core hosts the
+        // group-parallel scaling curve.
+        for t in [2usize, 4, 8] {
+            group.record_threads(t);
             group.bench_with_input(
-                BenchmarkId::new(&ds.name, format!("t{width}")),
+                BenchmarkId::new(&ds.name, format!("t{t}")),
                 &ds,
-                |b, ds| b.iter(|| black_box(det.detect(&ds.test).expect("detect"))),
+                |b, ds| {
+                    b.iter(|| {
+                        pool::with_threads(t, || black_box(det.detect(&ds.test).expect("detect")))
+                    })
+                },
             );
         }
     }

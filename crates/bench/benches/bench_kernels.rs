@@ -13,6 +13,7 @@ use imdiff_nn::layers::MultiHeadAttention;
 use imdiff_nn::ops::mm_nn;
 use imdiff_nn::pool;
 use imdiff_nn::rng::seeded;
+use imdiff_nn::simd::{self, Tier};
 use imdiff_nn::Tensor;
 use rand::Rng;
 
@@ -73,22 +74,40 @@ fn bench_matmul(c: &mut Criterion) {
             })
         });
     }
-    // Same blocked kernel at the host's full width, for multi-core hosts.
-    let width = pool::max_threads();
-    if width > 1 {
-        group.record_threads(width);
+    // The scalar tier at the same hot shape, so the JSON records the
+    // SIMD-vs-scalar gap on this host alongside the dispatched kernel.
+    {
         let dim = 128usize;
         let a = filled(dim * dim, &mut rng);
         let b = filled(dim * dim, &mut rng);
         let mut out = vec![0.0f32; dim * dim];
         group.throughput(Throughput::Flops((2 * dim * dim * dim) as u64));
-        group.bench_function(format!("{dim}x{dim}x{dim}/blocked/t{width}"), |bch| {
+        group.record_threads(1);
+        group.bench_function(format!("{dim}x{dim}x{dim}/scalar/t1"), |bch| {
             bch.iter(|| {
-                out.fill(0.0);
-                mm_nn(&a, &b, dim, dim, dim, &mut out);
-                black_box(out[0])
+                simd::with_tier(Tier::Scalar, || {
+                    pool::with_threads(1, || {
+                        out.fill(0.0);
+                        mm_nn(&a, &b, dim, dim, dim, &mut out);
+                        black_box(out[0])
+                    })
+                })
             })
         });
+        // Pinned multi-worker rows: on a single-core host these measure
+        // partitioning overhead, on multi-core hosts the scaling curve.
+        for t in [2usize, 4, 8] {
+            group.record_threads(t);
+            group.bench_function(format!("{dim}x{dim}x{dim}/blocked/t{t}"), |bch| {
+                bch.iter(|| {
+                    pool::with_threads(t, || {
+                        out.fill(0.0);
+                        mm_nn(&a, &b, dim, dim, dim, &mut out);
+                        black_box(out[0])
+                    })
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -107,11 +126,12 @@ fn bench_conv(c: &mut Criterion) {
     group.bench_function(format!("{b}x{cin}x{l}/k{k}/t1"), |bch| {
         bch.iter(|| pool::with_threads(1, || black_box(x.conv1d(&w, &bias, 1).to_vec()[0])))
     });
-    let width = pool::max_threads();
-    if width > 1 {
-        group.record_threads(width);
-        group.bench_function(format!("{b}x{cin}x{l}/k{k}/t{width}"), |bch| {
-            bch.iter(|| black_box(x.conv1d(&w, &bias, 1).to_vec()[0]))
+    for t in [2usize, 4, 8] {
+        group.record_threads(t);
+        group.bench_function(format!("{b}x{cin}x{l}/k{k}/t{t}"), |bch| {
+            bch.iter(|| {
+                pool::with_threads(t, || black_box(x.conv1d(&w, &bias, 1).to_vec()[0]))
+            })
         });
     }
     group.finish();
@@ -130,16 +150,23 @@ fn bench_attention(c: &mut Criterion) {
     let flops = (8 * batch * seq * d_model * d_model + 4 * batch * seq * seq * d_model) as u64;
     group.throughput(Throughput::Flops(flops));
     group.record_threads(1);
+    // "fwd" rows measure the inference forward: tape-free, fused sdpa.
     group.bench_function(format!("fwd/{batch}x{seq}x{d_model}/h{heads}/t1"), |bch| {
-        bch.iter(|| pool::with_threads(1, || black_box(attn.forward(&x).to_vec()[0])))
+        bch.iter(|| {
+            pool::with_threads(1, || {
+                imdiff_nn::forward_only(|| black_box(attn.forward(&x).to_vec()[0]))
+            })
+        })
     });
-    let width = pool::max_threads();
-    if width > 1 {
-        group.record_threads(width);
-        group.bench_function(
-            format!("fwd/{batch}x{seq}x{d_model}/h{heads}/t{width}"),
-            |bch| bch.iter(|| black_box(attn.forward(&x).to_vec()[0])),
-        );
+    for t in [2usize, 4, 8] {
+        group.record_threads(t);
+        group.bench_function(format!("fwd/{batch}x{seq}x{d_model}/h{heads}/t{t}"), |bch| {
+            bch.iter(|| {
+                pool::with_threads(t, || {
+                    imdiff_nn::forward_only(|| black_box(attn.forward(&x).to_vec()[0]))
+                })
+            })
+        });
     }
     group.finish();
 }

@@ -121,6 +121,12 @@ pub struct ImTransformer {
     blocks: Vec<ResidualBlock>,
     out_fc1: Linear,
     out_fc2: Linear,
+    /// Inference-only cache of the broadcast side tensor `[1, K, L, d]`,
+    /// keyed by `L` and the generations of the parameters it derives from
+    /// (feature embedding + side projection) — an optimizer step on either
+    /// invalidates it. Side info is input-independent, so the whole
+    /// reverse chain reuses one tensor instead of recomputing per step.
+    side_cache: std::cell::RefCell<Option<(usize, Vec<u64>, Tensor)>>,
 }
 
 impl ImTransformer {
@@ -146,6 +152,7 @@ impl ImTransformer {
                 .collect(),
             out_fc1: Linear::new(&mut rng, d, d),
             out_fc2: Linear::new(&mut rng, d, 1),
+            side_cache: std::cell::RefCell::new(None),
         }
     }
 
@@ -175,6 +182,30 @@ impl ImTransformer {
         let feat_tiled = Tensor::zeros(&[k, l, SIDE_F]).add(&feat.reshape(&[k, 1, SIDE_F]));
         let side = Tensor::concat(&[&feat_tiled, &time_tiled], 2); // [K, L, SF+ST]
         self.side_proj.forward(&side)
+    }
+
+    /// [`Self::side_info`] already reshaped to `[1, K, L, d]`, memoized for
+    /// inference. The cache key carries the source parameters' generation
+    /// counters, so a weight update (fine-tune step, checkpoint reload via
+    /// `set_data`) recomputes instead of serving stale side info.
+    fn side_info_cached(&self, l: usize) -> Tensor {
+        let gens: Vec<u64> = self
+            .feature_embed
+            .params()
+            .iter()
+            .chain(self.side_proj.params().iter())
+            .map(|p| p.generation())
+            .collect();
+        if let Some((cl, cgens, t)) = self.side_cache.borrow().as_ref() {
+            if *cl == l && *cgens == gens {
+                return t.clone();
+            }
+        }
+        let side = self
+            .side_info(l)
+            .reshape(&[1, self.k, l, self.hidden]);
+        *self.side_cache.borrow_mut() = Some((l, gens, side.clone()));
+        side
     }
 
     /// Predicts the noise `ε̂` on the masked region.
@@ -224,8 +255,14 @@ impl ImTransformer {
         let pemb = self.policy_embed.forward(policies).reshape(&[b, 1, 1, d]);
         h = h.add(&pemb);
 
-        // Side information (time/feature) -> broadcast over batch.
-        let side = self.side_info(l).reshape(&[1, k, l, d]);
+        // Side information (time/feature) -> broadcast over batch. The
+        // graph path rebuilds it (gradients must reach the embeddings);
+        // inference serves it from the per-model cache.
+        let side = if imdiff_nn::is_grad_enabled() {
+            self.side_info(l).reshape(&[1, k, l, d])
+        } else {
+            self.side_info_cached(l)
+        };
         h = h.add(&side);
 
         // Residual blocks with skip accumulation.

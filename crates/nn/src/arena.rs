@@ -1,0 +1,145 @@
+//! Thread-local buffer arena backing tape-free forward-only execution.
+//!
+//! Inference spends a large share of its time allocating and freeing the
+//! `Vec<f32>` storage behind short-lived op outputs: every op allocates a
+//! fresh buffer, and under [`crate::no_grad`] the result is dropped one
+//! step later. Inside a [`crate::forward_only`] scope those buffers are
+//! *recycled* instead: when a detached, history-free tensor is dropped,
+//! its storage returns to a per-thread free list, and the next op output
+//! of compatible capacity reuses it (zero-filled, so values are identical
+//! to a fresh allocation bit for bit).
+//!
+//! The arena is purely an allocation cache — it never changes what any op
+//! computes, only where the bytes live. It is thread-local by
+//! construction (tensors are `Rc`-based and never cross threads), and the
+//! free list is dropped when the outermost scope exits so no memory is
+//! held between inference calls.
+
+use std::cell::{Cell, RefCell};
+
+/// Maximum number of buffers parked on one thread's free list.
+const MAX_BUFFERS: usize = 64;
+/// Largest buffer (in elements) worth recycling; bigger ones are freed.
+const MAX_BUFFER_ELEMS: usize = 1 << 22;
+
+thread_local! {
+    /// Nesting depth of active forward-only scopes; 0 = inactive.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether a forward-only scope is active on this thread.
+pub(crate) fn active() -> bool {
+    DEPTH.with(|d| d.get()) > 0
+}
+
+/// Runs `f` with buffer recycling active on this thread. Nesting composes;
+/// the free list is released when the outermost scope exits (including on
+/// panic), so arenas never pin memory across inference calls.
+pub(crate) fn scope<T>(f: impl FnOnce() -> T) -> T {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let depth = DEPTH.with(|d| {
+                let v = d.get() - 1;
+                d.set(v);
+                v
+            });
+            if depth == 0 {
+                FREE.with(|p| p.borrow_mut().clear());
+            }
+        }
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
+/// A zero-filled buffer of exactly `n` elements: recycled when the arena
+/// is active and a parked buffer has the capacity, freshly allocated
+/// otherwise. Identical to `vec![0.0; n]` in every observable way.
+pub(crate) fn zeroed(n: usize) -> Vec<f32> {
+    if active() && n <= MAX_BUFFER_ELEMS {
+        let hit = FREE.with(|p| {
+            let mut free = p.borrow_mut();
+            let slot = free.iter().position(|b| b.capacity() >= n);
+            slot.map(|i| free.swap_remove(i))
+        });
+        if let Some(mut buf) = hit {
+            buf.clear();
+            buf.resize(n, 0.0);
+            return buf;
+        }
+    }
+    vec![0.0f32; n]
+}
+
+/// Parks a no-longer-needed buffer for reuse. No-op when the arena is
+/// inactive or full — the buffer is then freed normally.
+pub(crate) fn recycle(buf: Vec<f32>) {
+    if !active() || buf.capacity() == 0 || buf.capacity() > MAX_BUFFER_ELEMS {
+        return;
+    }
+    FREE.with(|p| {
+        let mut free = p.borrow_mut();
+        if free.len() < MAX_BUFFERS {
+            free.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_outside_scope() {
+        assert!(!active());
+        let v = zeroed(8);
+        assert_eq!(v, vec![0.0; 8]);
+        recycle(v); // must be a no-op
+        FREE.with(|p| assert!(p.borrow().is_empty()));
+    }
+
+    #[test]
+    fn recycles_inside_scope_and_clears_on_exit() {
+        scope(|| {
+            assert!(active());
+            let mut v = zeroed(16);
+            v.iter_mut().for_each(|x| *x = 7.0);
+            let cap = v.capacity();
+            recycle(v);
+            // The recycled buffer comes back zeroed, not with stale data.
+            let w = zeroed(16);
+            assert!(w.capacity() >= 16 && w.iter().all(|&x| x == 0.0));
+            assert_eq!(w.capacity(), cap, "expected buffer reuse");
+            recycle(w);
+        });
+        assert!(!active());
+        FREE.with(|p| assert!(p.borrow().is_empty()));
+    }
+
+    #[test]
+    fn nesting_keeps_arena_alive_until_outermost_exit() {
+        scope(|| {
+            recycle(zeroed(4));
+            scope(|| {
+                assert!(active());
+                recycle(zeroed(4));
+            });
+            // Inner exit must not drain the free list.
+            FREE.with(|p| assert!(!p.borrow().is_empty()));
+        });
+        FREE.with(|p| assert!(p.borrow().is_empty()));
+    }
+
+    #[test]
+    fn oversized_requests_fall_through() {
+        scope(|| {
+            let v = zeroed(MAX_BUFFER_ELEMS + 1);
+            assert_eq!(v.len(), MAX_BUFFER_ELEMS + 1);
+            recycle(v);
+            FREE.with(|p| assert!(p.borrow().is_empty()));
+        });
+    }
+}

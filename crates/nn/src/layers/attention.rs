@@ -38,6 +38,13 @@ impl MultiHeadAttention {
     }
 
     /// Self-attention forward pass over `[B, L, D]`.
+    ///
+    /// Training takes the unfused matmul → scale → softmax → matmul graph
+    /// (each op records its backward closure). With gradient tracking off,
+    /// the fused [`Tensor::sdpa`] kernel runs instead — no score matrix,
+    /// softmax intermediate, or transposed K is materialized. Both tape
+    /// and tape-free inference hit the same fused kernel, so they remain
+    /// bit-identical to each other on a given dispatch tier.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let dims = x.dims();
         assert_eq!(dims.len(), 3, "attention expects [B, L, D]");
@@ -49,11 +56,13 @@ impl MultiHeadAttention {
         let k = self.split_heads(&self.wk.forward(x), b, l);
         let v = self.split_heads(&self.wv.forward(x), b, l);
 
-        let scores = q
-            .matmul(&k.transpose_last2())
-            .scale(1.0 / (dh as f32).sqrt());
-        let attn = scores.softmax_last();
-        let ctx = attn.matmul(&v); // [B*H, L, Dh]
+        let scale = 1.0 / (dh as f32).sqrt();
+        let ctx = if crate::is_grad_enabled() {
+            let scores = q.matmul(&k.transpose_last2()).scale(scale);
+            scores.softmax_last().matmul(&v)
+        } else {
+            Tensor::sdpa(&q, &k, &v, scale)
+        }; // [B*H, L, Dh]
         let merged = ctx
             .reshape(&[b, self.heads, l, dh])
             .permute(&[0, 2, 1, 3])

@@ -3,12 +3,65 @@
 use crate::tensor::Tensor;
 
 fn unary_with(a: &Tensor, fwd: impl Fn(f32) -> f32, dfdx: impl Fn(f32) -> f32 + 'static) -> Tensor {
-    let data: Vec<f32> = a.data().iter().map(|&x| fwd(x)).collect();
+    let _sp = crate::obs::span("nn.unary");
+    let data = {
+        let src = a.data();
+        let mut data = crate::arena::zeroed(src.len());
+        for (o, &x) in data.iter_mut().zip(src.iter()) {
+            *o = fwd(x);
+        }
+        data
+    };
     Tensor::from_op(
         data,
         a.shape().clone(),
         vec![a.clone()],
-        Box::new(move |gout, parents| {
+        move || Box::new(move |gout, parents| {
+            let p = &parents[0];
+            let g: Vec<f32> = {
+                let din = p.data();
+                gout.iter()
+                    .enumerate()
+                    .map(|(i, &go)| dfdx(din[i]) * go)
+                    .collect()
+            };
+            p.accumulate_grad(&g);
+        }),
+    )
+}
+
+/// Unary op with a vectorized forward on the Avx2Fma tier. `batch`
+/// computes the same function as `fwd` within the documented across-tier
+/// tolerance (the polynomial exp vs libm); the backward always recomputes
+/// through the scalar `dfdx`, and on the scalar tier the forward is
+/// exactly the libm `fwd` as before.
+fn unary_tiered(
+    a: &Tensor,
+    batch: unsafe fn(&mut [f32]),
+    fwd: impl Fn(f32) -> f32 + Copy + 'static,
+    dfdx: impl Fn(f32) -> f32 + 'static,
+) -> Tensor {
+    let _sp = crate::obs::span("nn.unary");
+    let data = {
+        let src = a.data();
+        let mut data = crate::arena::zeroed(src.len());
+        if crate::simd::tier() == crate::simd::Tier::Avx2Fma {
+            data.copy_from_slice(&src);
+            // Safety: tier() returns Avx2Fma only when AVX2+FMA are
+            // runtime-detected.
+            unsafe { batch(&mut data) }
+        } else {
+            for (o, &x) in data.iter_mut().zip(src.iter()) {
+                *o = fwd(x);
+            }
+        }
+        data
+    };
+    Tensor::from_op(
+        data,
+        a.shape().clone(),
+        vec![a.clone()],
+        move || Box::new(move |gout, parents| {
             let p = &parents[0];
             let g: Vec<f32> = {
                 let din = p.data();
@@ -43,7 +96,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        unary_with(self, sigmoid_f, |x| {
+        unary_tiered(self, crate::simd::vsigmoid_avx2, sigmoid_f, |x| {
             let s = sigmoid_f(x);
             s * (1.0 - s)
         })
@@ -51,14 +104,17 @@ impl Tensor {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        unary_with(self, |x| x.tanh(), |x| 1.0 - x.tanh() * x.tanh())
+        unary_tiered(self, crate::simd::vtanh_avx2, |x| x.tanh(), |x| {
+            1.0 - x.tanh() * x.tanh()
+        })
     }
 
     /// SiLU / swish: `x * sigmoid(x)` (the activation used by DiffWave/CSDI
     /// denoisers, which ImTransformer follows).
     pub fn silu(&self) -> Tensor {
-        unary_with(
+        unary_tiered(
             self,
+            crate::simd::vsilu_avx2,
             |x| x * sigmoid_f(x),
             |x| {
                 let s = sigmoid_f(x);
@@ -70,8 +126,9 @@ impl Tensor {
     /// GELU with the tanh approximation.
     pub fn gelu(&self) -> Tensor {
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        unary_with(
+        unary_tiered(
             self,
+            crate::simd::vgelu_avx2,
             |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
             |x| {
                 let inner = C * (x + 0.044715 * x * x * x);

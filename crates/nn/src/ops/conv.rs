@@ -1,7 +1,15 @@
 //! 1-D convolution over `[batch, channels, length]` tensors.
+//!
+//! The forward pass lowers each batch to an im2col matrix and runs it
+//! through the packed matmul kernel (`ops::matmul`), so convolution
+//! inherits the SIMD dispatch tiers for free. Structural zero padding is
+//! materialized in the im2col buffer — padded positions multiply real
+//! weights by literal `0.0`, preserving IEEE semantics (a NaN weight
+//! poisons edge outputs exactly as `0 * NaN` requires).
 
 use crate::pool;
 use crate::shape::Shape;
+use crate::simd::{self, Tier};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -24,35 +32,46 @@ impl Tensor {
         assert!(l + 2 * pad >= k, "conv1d kernel larger than padded input");
         let lout = l + 2 * pad - k + 1;
 
-        let mut out = vec![0.0f32; b * cout * lout];
+        let mut out = crate::arena::zeroed(b * cout * lout);
         {
             let x_ref = self.data();
             let w_ref = weight.data();
             let bv_ref = bias.data();
             let (x, w, bv): (&[f32], &[f32], &[f32]) = (&x_ref, &w_ref, &bv_ref);
-            // One work unit per (batch, output-channel) pair — the
-            // pool splits output channels across workers; the dense inner
-            // loop keeps IEEE special values (no zero-weight skip).
-            let flops_per_unit = 2 * cin * k * lout;
+            // One work unit per batch: lower `[C_in, L]` to an im2col
+            // matrix `[C_in·K, L_out]`, then one GEMM against the weight
+            // viewed as `[C_out, C_in·K]` — bias pre-filled because the
+            // kernels accumulate. The scalar tier reduces `p = ci·K + kk`
+            // ascending, the same (ci, kk) order as the old inner loop.
+            let kcols = cin * k;
+            let unit = cout * lout;
+            let flops_per_unit = 2 * cout * kcols * lout;
             let grain = (1usize << 19).div_ceil(flops_per_unit.max(1)).max(1);
-            pool::parallel_slices_mut(&mut out, lout, grain, |u0, run| {
-                for (off, orow) in run.chunks_mut(lout).enumerate() {
-                    let unit = u0 + off;
-                    let (bi, co) = (unit / cout, unit % cout);
-                    orow.fill(bv[co]);
+            let simd_on = simd::tier() == Tier::Avx2Fma;
+            pool::parallel_slices_mut(&mut out, unit, grain, |b0, run| {
+                // The im2col buffer is reused across the batches of this
+                // worker's run; every row is fully rewritten per batch.
+                let mut col = vec![0.0f32; kcols * lout];
+                for (off, ob) in run.chunks_mut(unit).enumerate() {
+                    let bi = b0 + off;
                     for ci in 0..cin {
                         let x_base = (bi * cin + ci) * l;
-                        let w_base = (co * cin + ci) * k;
                         for kk in 0..k {
-                            let wv = w[w_base + kk];
-                            // out[lo] += x[lo + kk - pad] * wv for valid range.
-                            let lo_start = pad.saturating_sub(kk);
-                            let lo_end = lout.min(l + pad - kk);
-                            for (lo, o) in orow[lo_start..lo_end].iter_mut().enumerate() {
-                                *o += x[x_base + lo_start + lo + kk - pad] * wv;
-                            }
+                            let row =
+                                &mut col[(ci * k + kk) * lout..(ci * k + kk + 1) * lout];
+                            let lo_start = pad.saturating_sub(kk).min(lout);
+                            let lo_end = lout.min((l + pad).saturating_sub(kk)).max(lo_start);
+                            row[..lo_start].fill(0.0);
+                            row[lo_end..].fill(0.0);
+                            let src0 = x_base + lo_start + kk - pad;
+                            row[lo_start..lo_end]
+                                .copy_from_slice(&x[src0..src0 + (lo_end - lo_start)]);
                         }
                     }
+                    for (co, orow) in ob.chunks_mut(lout).enumerate() {
+                        orow.fill(bv[co]);
+                    }
+                    super::matmul::mm_block_with(simd_on, w, &col, cout, kcols, lout, ob);
                 }
             });
         }
@@ -61,7 +80,7 @@ impl Tensor {
             out,
             Shape::new(&[b, cout, lout]),
             vec![self.clone(), weight.clone(), bias.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let (px, pw, pb) = (&parents[0], &parents[1], &parents[2]);
                 let mut gx = vec![0.0f32; px.numel()];
                 let mut gw = vec![0.0f32; pw.numel()];

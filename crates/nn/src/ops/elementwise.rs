@@ -3,19 +3,69 @@
 use crate::shape::{for_each_broadcast3, Shape};
 use crate::tensor::Tensor;
 
-/// Local partial derivatives of a binary op, as `(∂out/∂a, ∂out/∂b)`
-/// evaluated at `(a, b)`.
-type Partials = fn(f32, f32) -> (f32, f32);
-
-fn binary_broadcast(a: &Tensor, b: &Tensor, fwd: fn(f32, f32) -> f32, partials: Partials) -> Tensor {
+/// `binary_broadcast` is generic (not `fn` pointers) so the per-element
+/// body monomorphizes and inlines — an indirect call per element defeats
+/// auto-vectorization and costs more than the arithmetic itself on the
+/// small tensors the model runs at.
+fn binary_broadcast(
+    a: &Tensor,
+    b: &Tensor,
+    fwd: impl Fn(f32, f32) -> f32 + Copy + 'static,
+    partials: impl Fn(f32, f32) -> (f32, f32) + Copy + 'static,
+) -> Tensor {
+    let _sp = crate::obs::span("nn.binary");
     let out_shape = Shape::broadcast(a.shape(), b.shape());
-    let mut out = vec![0.0f32; out_shape.numel()];
+    let mut out = crate::arena::zeroed(out_shape.numel());
     {
         let da = a.data();
         let db = b.data();
-        for_each_broadcast3(&out_shape, a.shape(), b.shape(), |o, ia, ib| {
-            out[o] = fwd(da[ia], db[ib]);
-        });
+        if a.shape() == &out_shape && b.shape() == &out_shape {
+            // Dense same-shape case: straight zip, no index arithmetic.
+            for ((o, &x), &y) in out.iter_mut().zip(da.iter()).zip(db.iter()) {
+                *o = fwd(x, y);
+            }
+        } else {
+            let dims = out_shape.dims();
+            let ndim = dims.len();
+            let inner = if ndim > 0 { dims[ndim - 1] } else { 1 };
+            let sa = a.shape().broadcast_strides_to(&out_shape);
+            let sb = b.shape().broadcast_strides_to(&out_shape);
+            if ndim > 0 && sa[ndim - 1] == 1 && sb[ndim - 1] == 1 && inner > 1 {
+                // Neither operand broadcasts along the last dim: process
+                // whole rows, leaving only the outer dims to the generic
+                // multi-index walk.
+                let rows = out_shape.numel() / inner;
+                let out_rows = Shape::new(&dims[..ndim - 1]);
+                let (ra, rb): (Vec<usize>, Vec<usize>) =
+                    (sa[..ndim - 1].to_vec(), sb[..ndim - 1].to_vec());
+                let mut idx = vec![0usize; ndim - 1];
+                let (mut ia, mut ib) = (0usize, 0usize);
+                let row_dims = out_rows.dims().to_vec();
+                for r in 0..rows {
+                    let orow = &mut out[r * inner..(r + 1) * inner];
+                    let arow = &da[ia..ia + inner];
+                    let brow = &db[ib..ib + inner];
+                    for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(brow) {
+                        *o = fwd(x, y);
+                    }
+                    for d in (0..row_dims.len()).rev() {
+                        idx[d] += 1;
+                        ia += ra[d];
+                        ib += rb[d];
+                        if idx[d] < row_dims[d] {
+                            break;
+                        }
+                        ia -= ra[d] * row_dims[d];
+                        ib -= rb[d] * row_dims[d];
+                        idx[d] = 0;
+                    }
+                }
+            } else {
+                for_each_broadcast3(&out_shape, a.shape(), b.shape(), |o, ia, ib| {
+                    out[o] = fwd(da[ia], db[ib]);
+                });
+            }
+        }
     }
     let (sa, sb) = (a.shape().clone(), b.shape().clone());
     let so = out_shape.clone();
@@ -23,7 +73,7 @@ fn binary_broadcast(a: &Tensor, b: &Tensor, fwd: fn(f32, f32) -> f32, partials: 
         out,
         out_shape,
         vec![a.clone(), b.clone()],
-        Box::new(move |gout, parents| {
+        move || Box::new(move |gout, parents| {
             let (pa, pb) = (&parents[0], &parents[1]);
             let mut ga = vec![0.0f32; sa.numel()];
             let mut gb = vec![0.0f32; sb.numel()];
@@ -42,20 +92,34 @@ fn binary_broadcast(a: &Tensor, b: &Tensor, fwd: fn(f32, f32) -> f32, partials: 
     )
 }
 
-fn unary(a: &Tensor, fwd: fn(f32) -> f32, dfdx: fn(f32, f32) -> f32) -> Tensor {
-    let data: Vec<f32> = a.data().iter().map(|&x| fwd(x)).collect();
-    let saved_out = data.clone();
+fn unary(
+    a: &Tensor,
+    fwd: impl Fn(f32) -> f32 + Copy + 'static,
+    dfdx: impl Fn(f32, f32) -> f32 + Copy + 'static,
+) -> Tensor {
+    let data = {
+        let src = a.data();
+        let mut data = crate::arena::zeroed(src.len());
+        for (o, &x) in data.iter_mut().zip(src.iter()) {
+            *o = fwd(x);
+        }
+        data
+    };
     Tensor::from_op(
         data,
         a.shape().clone(),
         vec![a.clone()],
-        Box::new(move |gout, parents| {
+        // The backward recomputes `y = fwd(x)` instead of cloning the
+        // forward output: bit-identical gradients (same pure function on
+        // the same input) without an eager save that forward-only mode
+        // would never use.
+        move || Box::new(move |gout, parents| {
             let p = &parents[0];
             let din = p.data();
             let g: Vec<f32> = gout
                 .iter()
                 .enumerate()
-                .map(|(i, &go)| dfdx(din[i], saved_out[i]) * go)
+                .map(|(i, &go)| dfdx(din[i], fwd(din[i])) * go)
                 .collect();
             drop(din);
             p.accumulate_grad(&g);
@@ -91,12 +155,19 @@ impl Tensor {
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, c: f32) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|&x| x * c).collect();
+        let data = {
+            let src = self.data();
+            let mut data = crate::arena::zeroed(src.len());
+            for (o, &x) in data.iter_mut().zip(src.iter()) {
+                *o = x * c;
+            }
+            data
+        };
         Tensor::from_op(
             data,
             self.shape().clone(),
             vec![self.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let g: Vec<f32> = gout.iter().map(|&go| go * c).collect();
                 parents[0].accumulate_grad(&g);
             }),
@@ -105,12 +176,19 @@ impl Tensor {
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, c: f32) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|&x| x + c).collect();
+        let data = {
+            let src = self.data();
+            let mut data = crate::arena::zeroed(src.len());
+            for (o, &x) in data.iter_mut().zip(src.iter()) {
+                *o = x + c;
+            }
+            data
+        };
         Tensor::from_op(
             data,
             self.shape().clone(),
             vec![self.clone()],
-            Box::new(move |gout, parents| parents[0].accumulate_grad(gout)),
+            move || Box::new(move |gout, parents| parents[0].accumulate_grad(gout)),
         )
     }
 

@@ -9,10 +9,11 @@ impl Tensor {
     /// `self` is the table `[V, D]`; `indices` selects rows; the result is
     /// `[indices.len(), D]`. Panics on out-of-range indices.
     pub fn embedding(&self, indices: &[usize]) -> Tensor {
+    let _sp = crate::obs::span("nn.embedding");
         let dims = self.dims();
         assert_eq!(dims.len(), 2, "embedding table must be [V, D]");
         let (v, d) = (dims[0], dims[1]);
-        let mut out = vec![0.0f32; indices.len() * d];
+        let mut out = crate::arena::zeroed(indices.len() * d);
         {
             let t = self.data();
             for (row, &ix) in indices.iter().enumerate() {
@@ -25,7 +26,7 @@ impl Tensor {
             out,
             Shape::new(&[indices.len(), d]),
             vec![self.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let p = &parents[0];
                 let mut g = vec![0.0f32; p.numel()];
                 for (row, &ix) in idx.iter().enumerate() {

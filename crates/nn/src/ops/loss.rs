@@ -54,7 +54,7 @@ pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> Tensor {
         vec![total],
         crate::Shape::scalar(),
         vec![logits.clone()],
-        Box::new(move |gout, parents| {
+        move || Box::new(move |gout, parents| {
             let p = &parents[0];
             let g: Vec<f32> = {
                 let x = p.data();

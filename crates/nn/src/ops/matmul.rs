@@ -14,8 +14,12 @@
 //! by exactly one worker with the same loop order, so results are
 //! bit-identical at any thread count.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::pool;
 use crate::shape::Shape;
+use crate::simd::{self, Tier};
 use crate::tensor::Tensor;
 
 /// Depth of the `k`-panel kept hot in cache between row tiles.
@@ -111,7 +115,27 @@ pub fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
 /// `out[m,n] += a[m,k] @ b[k,n]`, split across the worker pool by output
 /// rows. IEEE-faithful: every `a` element multiplies every `b` element it
 /// mathematically touches, so NaN/inf in either operand propagate.
+///
+/// Dispatches on [`simd::tier()`]: the AVX2/FMA register-tiled kernel with
+/// a packed-B panel layout when available, the blocked scalar kernel
+/// otherwise. Row sharding across workers is identical in both tiers, so
+/// each tier is bit-deterministic at any thread count.
 pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    mm_nn_dispatch(a, b, None, m, k, n, out);
+}
+
+/// [`mm_nn`] with an optionally prepacked B (`pack_b_panels` layout) from
+/// the packed-panel cache; `b` must still be the raw matrix (the scalar
+/// tier and the debug asserts use it).
+fn mm_nn_dispatch(
+    a: &[f32],
+    b: &[f32],
+    prepacked: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -122,10 +146,107 @@ pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]
         crate::obs::counter("nn.matmul.calls", 1);
         crate::obs::histogram("nn.matmul.flops", 2.0 * m as f64 * k as f64 * n as f64);
     }
-    pool::parallel_slices_mut(out, n, row_grain(k, n), |r0, rows| {
-        let mrows = rows.len() / n;
-        mm_nn_block(&a[r0 * k..(r0 + mrows) * k], b, mrows, k, n, rows);
-    });
+    // Resolve the tier once, on the calling thread (scoped overrides do
+    // not reach pool workers), and branch before fanning out.
+    if simd::tier() == Tier::Avx2Fma {
+        if crate::obs::enabled() {
+            crate::obs::counter("nn.matmul.simd", 1);
+        }
+        let packed_local;
+        let bp: &[f32] = match prepacked {
+            Some(p) => p,
+            None => {
+                packed_local = simd::pack_b_panels(b, k, n);
+                &packed_local
+            }
+        };
+        pool::parallel_slices_mut(out, n, row_grain(k, n), |r0, rows| {
+            let mrows = rows.len() / n;
+            // Safety: tier() == Avx2Fma implies avx2+fma were detected.
+            unsafe { simd::mm_rows_avx2(&a[r0 * k..(r0 + mrows) * k], bp, mrows, k, n, rows) };
+        });
+    } else {
+        pool::parallel_slices_mut(out, n, row_grain(k, n), |r0, rows| {
+            let mrows = rows.len() / n;
+            mm_nn_block(&a[r0 * k..(r0 + mrows) * k], b, mrows, k, n, rows);
+        });
+    }
+}
+
+/// Serial `out += a @ b` on the given tier — the building block for
+/// per-batch and per-unit call sites (batched matmul, conv im2col) that
+/// shard work at a coarser granularity. `simd_on` is resolved by the
+/// caller on the coordinating thread.
+pub(crate) fn mm_block_with(
+    simd_on: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    if simd_on {
+        let bp = simd::pack_b_panels(b, k, n);
+        // Safety: callers set `simd_on` only when the Avx2Fma tier is active.
+        unsafe { simd::mm_rows_avx2(a, &bp, m, k, n, out) };
+    } else {
+        mm_nn_block(a, b, m, k, n, out);
+    }
+}
+
+/// Entries in the thread-local packed-panel cache.
+struct PackEntry {
+    id: u64,
+    generation: u64,
+    k: usize,
+    n: usize,
+    panels: Rc<Vec<f32>>,
+}
+
+/// Packed panels are cached per *parameter*, keyed by `(id, generation)`:
+/// the generation counter bumps on every optimizer step, so a stale pack
+/// can never be served after an update. Thread-local because tensor ids
+/// are thread-local (each inference worker rebuilds its own model).
+const PACK_CACHE_CAP: usize = 16;
+
+thread_local! {
+    static PACK_CACHE: RefCell<Vec<PackEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The packed panels for parameter `t`, packing at most once per
+/// `(id, generation, k, n)` — i.e. once per layer until the optimizer
+/// mutates the weights.
+fn cached_panels(t: &Tensor, b: &[f32], k: usize, n: usize) -> Rc<Vec<f32>> {
+    let (id, generation) = (t.id(), t.generation());
+    PACK_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(pos) = cache
+            .iter()
+            .position(|e| e.id == id && e.k == k && e.n == n)
+        {
+            if cache[pos].generation == generation {
+                let e = cache.remove(pos);
+                let panels = Rc::clone(&e.panels);
+                cache.push(e); // refresh LRU position
+                return panels;
+            }
+            // Parameter mutated since packing: invalidate.
+            cache.remove(pos);
+        }
+        let panels = Rc::new(simd::pack_b_panels(b, k, n));
+        if cache.len() >= PACK_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(PackEntry {
+            id,
+            generation,
+            k,
+            n,
+            panels: Rc::clone(&panels),
+        });
+        panels
+    })
 }
 
 /// `out[m,n] += a[m,k] @ b[n,k]^T`: packs `b`'s transpose once, then runs
@@ -187,25 +308,35 @@ impl Tensor {
         out_dims.push(m);
         out_dims.push(n);
         let out_shape = Shape::new(&out_dims);
-        let mut out = vec![0.0f32; out_shape.numel()];
+        let mut out = crate::arena::zeroed(out_shape.numel());
         {
             let da_ref = self.data();
             let db_ref = other.data();
             // Plain slices: the RefCell guards are not Sync, but the
             // borrowed data is, and the guards outlive the scoped workers.
             let (da, db): (&[f32], &[f32]) = (&da_ref, &db_ref);
+            let simd_on = simd::tier() == Tier::Avx2Fma;
             if shared_rhs {
                 // The batch folds into the row dimension: one GEMM,
-                // row-parallel.
-                mm_nn(da, db, a_batch * m, k, n, &mut out);
+                // row-parallel. A parameter RHS (layer weight) hits the
+                // packed-panel cache — packed once per optimizer step, not
+                // per call.
+                if simd_on && other.requires_grad() {
+                    let bp = cached_panels(other, db, k, n);
+                    mm_nn_dispatch(da, db, Some(&bp), a_batch * m, k, n, &mut out);
+                } else {
+                    mm_nn(da, db, a_batch * m, k, n, &mut out);
+                }
             } else {
                 // Matching batches: shard per batch; each batch runs the
-                // serial blocked kernel on its own output block.
+                // serial kernel (on the pre-resolved tier) on its own
+                // output block.
                 let grain = MIN_PAR_FLOPS.div_ceil((2 * m * k * n).max(1)).max(1);
                 pool::parallel_slices_mut(&mut out, m * n, grain, |b0, blocks| {
                     for (off, ob) in blocks.chunks_mut(m * n).enumerate() {
                         let bi = b0 + off;
-                        mm_nn_block(
+                        mm_block_with(
+                            simd_on,
                             &da[bi * m * k..(bi + 1) * m * k],
                             &db[bi * k * n..(bi + 1) * k * n],
                             m,
@@ -222,7 +353,7 @@ impl Tensor {
             out,
             out_shape,
             vec![self.clone(), other.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let (pa, pb) = (&parents[0], &parents[1]);
                 let mut ga = vec![0.0f32; pa.numel()];
                 let mut gb = vec![0.0f32; pb.numel()];
@@ -238,6 +369,7 @@ impl Tensor {
                         // fold makes it one [k, batch·m] @ [batch·m, n].
                         mm_tn(da, gout, a_batch * m, k, n, &mut gb);
                     } else {
+                        let simd_on = simd::tier() == Tier::Avx2Fma;
                         let grain =
                             MIN_PAR_FLOPS.div_ceil((2 * m * k * n).max(1)).max(1);
                         pool::parallel_slices_mut(&mut ga, m * k, grain, |b0, blocks| {
@@ -245,7 +377,8 @@ impl Tensor {
                                 let bi = b0 + off;
                                 let bt =
                                     pack_transpose(&db[bi * k * n..(bi + 1) * k * n], k, n);
-                                mm_nn_block(
+                                mm_block_with(
+                                    simd_on,
                                     &gout[bi * m * n..(bi + 1) * m * n],
                                     &bt,
                                     m,
@@ -260,7 +393,8 @@ impl Tensor {
                                 let bi = b0 + off;
                                 let at =
                                     pack_transpose(&da[bi * m * k..(bi + 1) * m * k], m, k);
-                                mm_nn_block(
+                                mm_block_with(
+                                    simd_on,
                                     &at,
                                     &gout[bi * m * n..(bi + 1) * m * n],
                                     k,

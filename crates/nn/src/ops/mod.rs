@@ -12,6 +12,7 @@ mod loss;
 mod matmul;
 mod norm;
 mod reduce;
+mod sdpa;
 mod shape_ops;
 
 pub use loss::{bce_with_logits, kl_standard_normal, masked_mse, mse};

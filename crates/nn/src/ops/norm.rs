@@ -5,40 +5,62 @@ use crate::tensor::Tensor;
 impl Tensor {
     /// Numerically stable softmax over the last dimension.
     pub fn softmax_last(&self) -> Tensor {
+    let _sp = crate::obs::span("nn.softmax");
         let dims = self.dims();
         assert!(!dims.is_empty(), "softmax requires >=1-D");
         let d = dims[dims.len() - 1];
         let rows = self.numel() / d;
-        let mut out = vec![0.0f32; self.numel()];
-        {
-            let x = self.data();
+        fn softmax_rows(x: &[f32], out: &mut [f32], rows: usize, d: usize, simd_on: bool) {
             for r in 0..rows {
                 let row = &x[r * d..(r + 1) * d];
+                let orow = &mut out[r * d..(r + 1) * d];
                 let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let mut sum = 0.0f32;
-                for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
-                    let e = (v - max).exp();
-                    *o = e;
-                    sum += e;
+                if simd_on {
+                    // Vectorized exp (elementwise, position-independent);
+                    // the sum keeps the same ascending order as the scalar
+                    // path, so only the exp values differ across tiers.
+                    for (o, &v) in orow.iter_mut().zip(row) {
+                        *o = v - max;
+                    }
+                    // Safety: simd_on is set only under the Avx2Fma tier.
+                    unsafe { crate::simd::vexp_avx2(orow) };
+                    for &e in orow.iter() {
+                        sum += e;
+                    }
+                } else {
+                    for (o, &v) in orow.iter_mut().zip(row) {
+                        let e = (v - max).exp();
+                        *o = e;
+                        sum += e;
+                    }
                 }
                 let inv = 1.0 / sum;
-                for o in &mut out[r * d..(r + 1) * d] {
+                for o in orow.iter_mut() {
                     *o *= inv;
                 }
             }
         }
-        let saved = out.clone();
+        let simd_on = crate::simd::tier() == crate::simd::Tier::Avx2Fma;
+        let mut out = crate::arena::zeroed(self.numel());
+        softmax_rows(&self.data(), &mut out, rows, d, simd_on);
         Tensor::from_op(
             out,
             self.shape().clone(),
             vec![self.clone()],
-            Box::new(move |gout, parents| {
-                let mut g = vec![0.0f32; saved.len()];
+            // Recomputes y = softmax(x) from the parent instead of saving a
+            // clone of the forward output: the same pure function on the
+            // same input gives bit-identical gradients, and forward-only
+            // execution never pays for a save it would not use.
+            move || Box::new(move |gout, parents| {
+                let mut y = vec![0.0f32; gout.len()];
+                softmax_rows(&parents[0].data(), &mut y, rows, d, simd_on);
+                let mut g = vec![0.0f32; y.len()];
                 for r in 0..rows {
-                    let y = &saved[r * d..(r + 1) * d];
+                    let yr = &y[r * d..(r + 1) * d];
                     let go = &gout[r * d..(r + 1) * d];
-                    let dot: f32 = y.iter().zip(go).map(|(&yv, &gv)| yv * gv).sum();
-                    for ((gi, &yv), &gv) in g[r * d..(r + 1) * d].iter_mut().zip(y).zip(go) {
+                    let dot: f32 = yr.iter().zip(go).map(|(&yv, &gv)| yv * gv).sum();
+                    for ((gi, &yv), &gv) in g[r * d..(r + 1) * d].iter_mut().zip(yr).zip(go) {
                         *gi = yv * (gv - dot);
                     }
                 }
@@ -51,28 +73,29 @@ impl Tensor {
     ///
     /// `gamma` and `beta` must be 1-D of the last-dim size.
     pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let _sp = crate::obs::span("nn.layer_norm");
         let dims = self.dims();
         let d = dims[dims.len() - 1];
         assert_eq!(gamma.dims(), &[d], "layer_norm gamma shape");
         assert_eq!(beta.dims(), &[d], "layer_norm beta shape");
         let rows = self.numel() / d;
 
-        let mut out = vec![0.0f32; self.numel()];
-        let mut xhat = vec![0.0f32; self.numel()];
-        let mut inv_std = vec![0.0f32; rows];
+        fn row_stats(row: &[f32], d: usize, eps: f32) -> (f32, f32) {
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 =
+                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            (mean, 1.0 / (var + eps).sqrt())
+        }
+        let mut out = crate::arena::zeroed(self.numel());
         {
             let x = self.data();
             let g = gamma.data();
             let b = beta.data();
             for r in 0..rows {
                 let row = &x[r * d..(r + 1) * d];
-                let mean: f32 = row.iter().sum::<f32>() / d as f32;
-                let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-                let istd = 1.0 / (var + eps).sqrt();
-                inv_std[r] = istd;
+                let (mean, istd) = row_stats(row, d, eps);
                 for i in 0..d {
                     let h = (row[i] - mean) * istd;
-                    xhat[r * d + i] = h;
                     out[r * d + i] = h * g[i] + b[i];
                 }
             }
@@ -81,16 +104,26 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone(), gamma.clone(), beta.clone()],
-            Box::new(move |gout, parents| {
+            // Recomputes the per-row statistics and normalized values from
+            // the parent input (identical arithmetic → bit-identical
+            // gradients) instead of saving them eagerly in the forward.
+            move || Box::new(move |gout, parents| {
                 let (px, pg, pb) = (&parents[0], &parents[1], &parents[2]);
                 let mut gx = vec![0.0f32; px.numel()];
                 let mut gg = vec![0.0f32; d];
                 let mut gb = vec![0.0f32; d];
                 {
+                    let x = px.data();
                     let gamma_d = pg.data();
+                    let mut xh = vec![0.0f32; d];
                     for r in 0..rows {
                         let go = &gout[r * d..(r + 1) * d];
-                        let xh = &xhat[r * d..(r + 1) * d];
+                        let row = &x[r * d..(r + 1) * d];
+                        let (mean, istd) = row_stats(row, d, eps);
+                        for (h, &v) in xh.iter_mut().zip(row) {
+                            *h = (v - mean) * istd;
+                        }
+                        let xh = &xh[..];
                         // Parameter gradients.
                         for i in 0..d {
                             gg[i] += go[i] * xh[i];
@@ -106,7 +139,6 @@ impl Tensor {
                         }
                         mean_dxhat /= d as f32;
                         mean_dxhat_xhat /= d as f32;
-                        let istd = inv_std[r];
                         for i in 0..d {
                             let dxh = go[i] * gamma_d[i];
                             gx[r * d + i] = istd * (dxh - mean_dxhat - xh[i] * mean_dxhat_xhat);

@@ -12,7 +12,7 @@ impl Tensor {
             vec![total],
             Shape::scalar(),
             vec![self.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 parents[0].accumulate_grad(&vec![gout[0]; n]);
             }),
         )
@@ -43,7 +43,7 @@ impl Tensor {
             out_dims.remove(axis);
         }
         let out_shape = Shape::new(&out_dims);
-        let mut out = vec![0.0f32; outer * inner];
+        let mut out = crate::arena::zeroed(outer * inner);
         {
             let d = self.data();
             for o in 0..outer {
@@ -60,7 +60,7 @@ impl Tensor {
             out,
             out_shape,
             vec![self.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let p = &parents[0];
                 let mut g = vec![0.0f32; p.numel()];
                 for o in 0..outer {

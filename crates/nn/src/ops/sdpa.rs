@@ -1,0 +1,199 @@
+//! Fused scaled-dot-product attention (inference only).
+//!
+//! `softmax(scale · Q Kᵀ) V` computed row by row without materializing the
+//! `[L, L]` score matrix, its softmax, or the transposed K — the three
+//! intermediates the unfused `layers::attention` path allocates per head.
+//! One query row's scores live in a single reused `L`-vector; the weighted
+//! V-sum accumulates straight into the output row.
+//!
+//! The op is forward-only by design: training keeps the unfused graph path
+//! (which records per-op backward closures), inference — tape or tape-free,
+//! it is gated on gradient *tracking* being off, not on the arena — always
+//! takes this kernel, so both inference modes see identical arithmetic and
+//! stay bit-identical to each other on a given dispatch tier.
+
+use crate::pool;
+use crate::shape::Shape;
+use crate::simd::{self, Tier};
+use crate::tensor::Tensor;
+
+/// FLOPs below which one `[L, Dh]` block is not worth a worker.
+const MIN_PAR_FLOPS: usize = 1 << 19;
+
+#[inline]
+fn dot(simd_on: bool, x: &[f32], y: &[f32]) -> f32 {
+    if simd_on {
+        // Safety: callers set `simd_on` only under the Avx2Fma tier.
+        unsafe { simd::dot_avx2(x, y) }
+    } else {
+        let mut s = 0.0f32;
+        for (a, b) in x.iter().zip(y) {
+            s += a * b;
+        }
+        s
+    }
+}
+
+#[inline]
+fn axpy(simd_on: bool, alpha: f32, x: &[f32], y: &mut [f32]) {
+    if simd_on {
+        // Safety: callers set `simd_on` only under the Avx2Fma tier.
+        unsafe { simd::axpy_avx2(alpha, x, y) }
+    } else {
+        for (yv, &xv) in y.iter_mut().zip(x) {
+            *yv += alpha * xv;
+        }
+    }
+}
+
+impl Tensor {
+    /// Fused attention over head-major `[BH, L, Dh]` operands:
+    /// `softmax(scale · q kᵀ) v`, sharded across the worker pool by
+    /// `(batch · head)` block. Per-tier bit-deterministic at any thread
+    /// count (each output block is computed by exactly one worker in a
+    /// fixed order).
+    ///
+    /// Panics if gradient tracking is enabled and an operand requires
+    /// gradients — use the unfused matmul/softmax path for training.
+    pub fn sdpa(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+        assert!(
+            !crate::is_grad_enabled()
+                || !(q.requires_grad() || k.requires_grad() || v.requires_grad()),
+            "sdpa is forward-only; use the unfused attention path for training"
+        );
+        let (qd, kd, vd) = (q.dims(), k.dims(), v.dims());
+        assert!(
+            qd.len() == 3 && qd == kd && kd == vd,
+            "sdpa expects matching [BH, L, Dh] operands, got {} {} {}",
+            q.shape(),
+            k.shape(),
+            v.shape()
+        );
+        let (bh, l, dh) = (qd[0], qd[1], qd[2]);
+
+        let _kernel = crate::obs::span("nn.sdpa");
+        let simd_on = simd::tier() == Tier::Avx2Fma;
+        let mut out = crate::arena::zeroed(bh * l * dh);
+        {
+            let (qr, kr, vr) = (q.data(), k.data(), v.data());
+            let (qs, ks, vs): (&[f32], &[f32], &[f32]) = (&qr, &kr, &vr);
+            let block = l * dh;
+            let grain = MIN_PAR_FLOPS.div_ceil((4 * l * block).max(1)).max(1);
+            pool::parallel_slices_mut(&mut out, block, grain, |b0, blocks| {
+                // One score row, reused across every query in the chunk.
+                let mut srow = vec![0.0f32; l];
+                for (off, ob) in blocks.chunks_mut(block).enumerate() {
+                    let base = (b0 + off) * block;
+                    let (qb, kb, vb) = (
+                        &qs[base..base + block],
+                        &ks[base..base + block],
+                        &vs[base..base + block],
+                    );
+                    for i in 0..l {
+                        let qrow = &qb[i * dh..(i + 1) * dh];
+                        for (j, s) in srow.iter_mut().enumerate() {
+                            *s = scale * dot(simd_on, qrow, &kb[j * dh..(j + 1) * dh]);
+                        }
+                        // Same stable-softmax arithmetic as `softmax_last`
+                        // on the matching tier (vectorized exp on Avx2Fma,
+                        // libm on Scalar; sum order is identical in both).
+                        let max = srow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0f32;
+                        if simd_on {
+                            for s in srow.iter_mut() {
+                                *s -= max;
+                            }
+                            // Safety: simd_on holds only under Avx2Fma.
+                            unsafe { simd::vexp_avx2(&mut srow) };
+                            for &e in srow.iter() {
+                                sum += e;
+                            }
+                        } else {
+                            for s in srow.iter_mut() {
+                                let e = (*s - max).exp();
+                                *s = e;
+                                sum += e;
+                            }
+                        }
+                        let inv = 1.0 / sum;
+                        let orow = &mut ob[i * dh..(i + 1) * dh];
+                        for (j, &p) in srow.iter().enumerate() {
+                            axpy(simd_on, p * inv, &vb[j * dh..(j + 1) * dh], orow);
+                        }
+                    }
+                }
+            });
+        }
+        Tensor::leaf(out, Shape::new(&[bh, l, dh]), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::with_threads;
+    use crate::rng::seeded;
+    use crate::{no_grad, simd::with_tier};
+
+    /// Unfused reference: explicit matmul → scale → softmax → matmul.
+    fn reference(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Vec<f32> {
+        no_grad(|| {
+            q.matmul(&k.transpose_last2())
+                .scale(scale)
+                .softmax_last()
+                .matmul(v)
+                .to_vec()
+        })
+    }
+
+    #[test]
+    fn matches_unfused_path_within_tolerance() {
+        let mut rng = seeded(11);
+        for &(bh, l, dh) in &[(1usize, 3usize, 4usize), (8, 16, 8), (4, 31, 16)] {
+            let q = Tensor::randn(&mut rng, &[bh, l, dh]);
+            let k = Tensor::randn(&mut rng, &[bh, l, dh]);
+            let v = Tensor::randn(&mut rng, &[bh, l, dh]);
+            let scale = 1.0 / (dh as f32).sqrt();
+            let want = reference(&q, &k, &v, scale);
+            let got = Tensor::sdpa(&q, &k, &v, scale).to_vec();
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                    "bh={bh} l={l} dh={dh}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts_per_tier() {
+        let mut rng = seeded(12);
+        let q = Tensor::randn(&mut rng, &[6, 24, 8]);
+        let k = Tensor::randn(&mut rng, &[6, 24, 8]);
+        let v = Tensor::randn(&mut rng, &[6, 24, 8]);
+        let mut tiers = vec![Tier::Scalar];
+        if simd::avx2_available() {
+            tiers.push(Tier::Avx2Fma);
+        }
+        for tier in tiers {
+            let reference = with_tier(tier, || {
+                with_threads(1, || Tensor::sdpa(&q, &k, &v, 0.35).to_vec())
+            });
+            for t in [2usize, 4, 8] {
+                let got = with_tier(tier, || {
+                    with_threads(t, || Tensor::sdpa(&q, &k, &v, 0.35).to_vec())
+                });
+                assert_eq!(got, reference, "tier={tier:?} threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-only")]
+    fn rejects_training_operands() {
+        let q = Tensor::param_from_vec(vec![0.0; 8], &[1, 2, 4]).unwrap();
+        let k = q.clone();
+        let v = q.clone();
+        let _ = Tensor::sdpa(&q, &k, &v, 0.5);
+    }
+}

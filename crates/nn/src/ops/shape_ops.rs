@@ -4,12 +4,61 @@ use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Copies `src` (with shape `dims`) into a permuted layout given by `perm`.
+///
+/// Pure data movement — every specialization below is bit-identical to the
+/// generic gather, it only changes the copy order.
 fn permute_copy(src: &[f32], dims: &[usize], perm: &[usize]) -> Vec<f32> {
     let ndim = dims.len();
     let in_strides = Shape::new(dims).strides();
     let out_dims: Vec<usize> = perm.iter().map(|&p| dims[p]).collect();
     let n: usize = out_dims.iter().product();
-    let mut out = vec![0.0f32; n];
+    let mut out = crate::arena::zeroed(n);
+    if n == 0 {
+        return out;
+    }
+    // Fast path: the innermost dim stays innermost — rows of `inner`
+    // contiguous elements move as slices (covers the model's [0,2,1,3]
+    // head-split/merge and spatial/temporal axis swaps).
+    if ndim >= 2 && perm[ndim - 1] == ndim - 1 && dims[ndim - 1] > 1 {
+        let inner = dims[ndim - 1];
+        let rows = n / inner;
+        let mut out_idx = vec![0usize; ndim - 1];
+        let mut src_row = 0usize; // input offset of the current output row
+        let row_strides: Vec<usize> = (0..ndim - 1).map(|j| in_strides[perm[j]]).collect();
+        for r in 0..rows {
+            out[r * inner..(r + 1) * inner].copy_from_slice(&src[src_row..src_row + inner]);
+            for d in (0..ndim - 1).rev() {
+                out_idx[d] += 1;
+                src_row += row_strides[d];
+                if out_idx[d] < out_dims[d] {
+                    break;
+                }
+                src_row -= row_strides[d] * out_dims[d];
+                out_idx[d] = 0;
+            }
+        }
+        return out;
+    }
+    // Fast path: last two dims swapped (`transpose_last2`) — a strided 2-D
+    // transpose per matrix instead of a generic multi-index gather.
+    if ndim >= 2
+        && perm[ndim - 1] == ndim - 2
+        && perm[ndim - 2] == ndim - 1
+        && perm[..ndim - 2].iter().enumerate().all(|(j, &p)| p == j)
+    {
+        let (r, c) = (dims[ndim - 2], dims[ndim - 1]);
+        let mat = r * c;
+        for (b, chunk) in out.chunks_mut(mat).enumerate() {
+            let m = &src[b * mat..(b + 1) * mat];
+            for j in 0..c {
+                let orow = &mut chunk[j * r..(j + 1) * r];
+                for (i, slot) in orow.iter_mut().enumerate() {
+                    *slot = m[i * c + j];
+                }
+            }
+        }
+        return out;
+    }
     let mut out_idx = vec![0usize; ndim];
     for (o, slot) in out.iter_mut().enumerate() {
         // Map the output multi-index back to an input linear offset.
@@ -33,6 +82,7 @@ fn permute_copy(src: &[f32], dims: &[usize], perm: &[usize]) -> Vec<f32> {
 impl Tensor {
     /// Reinterprets the tensor with a new shape of identical element count.
     pub fn reshape(&self, dims: &[usize]) -> Tensor {
+    let _sp = crate::obs::span("nn.reshape");
         let new_shape = Shape::new(dims);
         assert_eq!(
             new_shape.numel(),
@@ -41,16 +91,23 @@ impl Tensor {
             self.shape(),
             new_shape
         );
+        let data = {
+            let src = self.data();
+            let mut data = crate::arena::zeroed(src.len());
+            data.copy_from_slice(&src);
+            data
+        };
         Tensor::from_op(
-            self.to_vec(),
+            data,
             new_shape,
             vec![self.clone()],
-            Box::new(move |gout, parents| parents[0].accumulate_grad(gout)),
+            move || Box::new(move |gout, parents| parents[0].accumulate_grad(gout)),
         )
     }
 
     /// Permutes dimensions: output dim `j` is input dim `perm[j]`.
     pub fn permute(&self, perm: &[usize]) -> Tensor {
+    let _sp = crate::obs::span("nn.permute");
         let dims = self.dims().to_vec();
         assert_eq!(perm.len(), dims.len(), "permute rank mismatch");
         let mut seen = vec![false; dims.len()];
@@ -70,7 +127,7 @@ impl Tensor {
             data,
             Shape::new(&out_dims),
             vec![self.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let g = permute_copy(gout, &out_dims_clone, &inv);
                 parents[0].accumulate_grad(&g);
             }),
@@ -89,6 +146,7 @@ impl Tensor {
     /// Concatenates tensors along `axis`. All inputs must agree on every
     /// other dimension.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+    let _sp = crate::obs::span("nn.concat");
         assert!(!tensors.is_empty(), "concat of zero tensors");
         let first_dims = tensors[0].dims().to_vec();
         assert!(axis < first_dims.len(), "concat axis out of range");
@@ -107,7 +165,7 @@ impl Tensor {
         let outer: usize = first_dims[..axis].iter().product();
         let inner: usize = first_dims[axis + 1..].iter().product();
 
-        let mut out = vec![0.0f32; out_shape.numel()];
+        let mut out = crate::arena::zeroed(out_shape.numel());
         let axis_sizes: Vec<usize> = tensors.iter().map(|t| t.dims()[axis]).collect();
         {
             let mut offset = 0usize;
@@ -126,7 +184,7 @@ impl Tensor {
             out,
             out_shape,
             parents,
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let mut offset = 0usize;
                 for (p, &sz) in parents.iter().zip(&axis_sizes) {
                     let mut g = vec![0.0f32; p.numel()];
@@ -144,6 +202,7 @@ impl Tensor {
 
     /// Slices `len` elements starting at `start` along `axis`.
     pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Tensor {
+    let _sp = crate::obs::span("nn.slice");
         let dims = self.dims().to_vec();
         assert!(axis < dims.len(), "slice axis out of range");
         assert!(
@@ -157,7 +216,7 @@ impl Tensor {
         let mut out_dims = dims.clone();
         out_dims[axis] = len;
         let out_shape = Shape::new(&out_dims);
-        let mut out = vec![0.0f32; out_shape.numel()];
+        let mut out = crate::arena::zeroed(out_shape.numel());
         {
             let d = self.data();
             for o in 0..outer {
@@ -170,7 +229,7 @@ impl Tensor {
             out,
             out_shape,
             vec![self.clone()],
-            Box::new(move |gout, parents| {
+            move || Box::new(move |gout, parents| {
                 let p = &parents[0];
                 let mut g = vec![0.0f32; p.numel()];
                 for o in 0..outer {

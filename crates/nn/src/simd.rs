@@ -1,0 +1,604 @@
+//! Runtime-dispatched SIMD microkernels (x86-64 AVX2/FMA).
+//!
+//! Dispatch tiers, highest first:
+//!
+//! 1. **Avx2Fma** — explicit `std::arch` f32x8 register-tiled kernels
+//!    (4-row × 16-column micro-tiles, FMA accumulation in registers over
+//!    the full reduction dimension).
+//! 2. **Scalar** — the cache-blocked scalar kernels in `ops::matmul`,
+//!    always available.
+//!
+//! The tier is detected once per process via `is_x86_feature_detected!`
+//! and can be forced down with `IMDIFF_SIMD=0` (A/B testing, debugging)
+//! or overridden per scope with [`with_tier`] (tests, benches).
+//!
+//! # Determinism contract
+//!
+//! Every kernel here uses a fixed per-element accumulation order that does
+//! not depend on thread count or call site, so results are **bit-identical
+//! run to run within a tier**. Across tiers only elementwise *tolerance*
+//! holds: FMA contracts multiply-add into one rounding and the vector
+//! kernels reduce in a different association than the scalar loop.
+//! Kernels are IEEE-faithful — no zero-skip shortcuts, so `0 * NaN = NaN`
+//! propagates exactly as in the scalar path.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// A dispatch tier for the dense kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// AVX2 + FMA f32x8 register-tiled kernels.
+    Avx2Fma,
+    /// Cache-blocked scalar kernels (always available).
+    Scalar,
+}
+
+impl Tier {
+    /// Stable lowercase name (used in bench row ids and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Avx2Fma => "avx2fma",
+            Tier::Scalar => "scalar",
+        }
+    }
+}
+
+/// Whether this host can run the AVX2/FMA kernels at all.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn detect() -> Tier {
+    if std::env::var("IMDIFF_SIMD").is_ok_and(|v| v.trim() == "0") {
+        return Tier::Scalar;
+    }
+    if avx2_available() {
+        Tier::Avx2Fma
+    } else {
+        Tier::Scalar
+    }
+}
+
+static ENV_TIER: OnceLock<Tier> = OnceLock::new();
+
+thread_local! {
+    static TIER_OVERRIDE: Cell<Option<Tier>> = const { Cell::new(None) };
+}
+
+/// The dispatch tier in effect on this thread: a [`with_tier`] override if
+/// one is active, otherwise the process-wide detected tier.
+///
+/// Kernels resolve the tier **once per public entry point** on the calling
+/// thread and pass the decision into worker closures — thread-local
+/// overrides do not propagate into pool workers.
+pub fn tier() -> Tier {
+    if let Some(t) = TIER_OVERRIDE.with(|c| c.get()) {
+        return t;
+    }
+    *ENV_TIER.get_or_init(detect)
+}
+
+/// Runs `f` with the dispatch tier forced to `t` on this thread.
+///
+/// Panics when forcing [`Tier::Avx2Fma`] on a host without AVX2/FMA.
+pub fn with_tier<R>(t: Tier, f: impl FnOnce() -> R) -> R {
+    assert!(
+        t != Tier::Avx2Fma || avx2_available(),
+        "with_tier(Avx2Fma) on a host without avx2+fma"
+    );
+    struct Guard(Option<Tier>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            TIER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = TIER_OVERRIDE.with(|c| c.replace(Some(t)));
+    let _guard = Guard(prev);
+    f()
+}
+
+/// Panel width of the packed-B layout: two f32x8 vectors.
+pub(crate) const NR: usize = 16;
+
+/// Packs a row-major `k × n` B matrix into `⌈n/NR⌉` column panels, each
+/// laid out `[p][NR]` (reduction-major), zero-padded on the right edge.
+/// The AVX2 kernel streams one panel linearly per 16 output columns.
+pub(crate) fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    debug_assert!(b.len() >= k * n);
+    let panels = n.div_ceil(NR);
+    let mut out = vec![0.0f32; panels * k * NR];
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let nj = NR.min(n - j0);
+        let dst_panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + nj];
+            dst_panel[p * NR..p * NR + nj].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// `out[m×n] += a[m×k] · B` where `B` was packed by [`pack_b_panels`].
+///
+/// Register-tiled 4×16 micro-kernel: for each tile the full reduction runs
+/// in eight ymm accumulators (one FMA chain per output element, `p`
+/// ascending), then lands in `out` with a single add per element. The
+/// accumulation order is fixed per element regardless of how rows are
+/// sharded across threads.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn mm_rows_avx2(
+    a: &[f32],
+    bp: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+
+    const MR: usize = 4;
+    debug_assert!(a.len() >= m * k);
+    debug_assert!(out.len() >= m * n);
+    let panels = n.div_ceil(NR);
+    debug_assert_eq!(bp.len(), panels * k * NR);
+
+    let mut i = 0;
+    while i < m {
+        let mr = MR.min(m - i);
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let nj = NR.min(n - j0);
+            let panel = bp.as_ptr().add(jp * k * NR);
+
+            // Two f32x8 accumulators per row of the micro-tile.
+            let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+            let mut bptr = panel;
+            for p in 0..k {
+                let b0 = _mm256_loadu_ps(bptr);
+                let b1 = _mm256_loadu_ps(bptr.add(8));
+                for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                    let av = _mm256_set1_ps(*a.get_unchecked((i + r) * k + p));
+                    accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                    accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+                }
+                bptr = bptr.add(NR);
+            }
+
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                let orow = out.as_mut_ptr().add((i + r) * n + j0);
+                if nj == NR {
+                    let o0 = _mm256_loadu_ps(orow);
+                    let o1 = _mm256_loadu_ps(orow.add(8));
+                    _mm256_storeu_ps(orow, _mm256_add_ps(o0, accr[0]));
+                    _mm256_storeu_ps(orow.add(8), _mm256_add_ps(o1, accr[1]));
+                } else {
+                    // Right-edge panel: spill the accumulators and add only
+                    // the valid lanes.
+                    let mut tmp = [0.0f32; NR];
+                    _mm256_storeu_ps(tmp.as_mut_ptr(), accr[0]);
+                    _mm256_storeu_ps(tmp.as_mut_ptr().add(8), accr[1]);
+                    for (j, &t) in tmp.iter().enumerate().take(nj) {
+                        *orow.add(j) += t;
+                    }
+                }
+            }
+        }
+        i += mr;
+    }
+}
+
+/// Fixed-order dot product `Σ x[i]·y[i]` (vector lanes reduced in a fixed
+/// tree, scalar tail folded in last). Deterministic for a given input.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot_avx2(x: &[f32], y: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let chunks = n / 8;
+    let mut acc = _mm256_setzero_ps();
+    for c in 0..chunks {
+        let vx = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+        let vy = _mm256_loadu_ps(y.as_ptr().add(c * 8));
+        acc = _mm256_fmadd_ps(vx, vy, acc);
+    }
+    // Horizontal reduction: lanes (0+4)(1+5)(2+6)(3+7) → pairs → scalar.
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let lo = _mm256_castps256_ps128(acc);
+    let s4 = _mm_add_ps(lo, hi);
+    let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+    let mut sum = _mm_cvtss_f32(s1);
+    for j in chunks * 8..n {
+        sum = x.get_unchecked(j).mul_add(*y.get_unchecked(j), sum);
+    }
+    sum
+}
+
+/// `y[i] += alpha · x[i]`, vectorized with a scalar tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let chunks = n / 8;
+    let va = _mm256_set1_ps(alpha);
+    for c in 0..chunks {
+        let vx = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+        let vy = _mm256_loadu_ps(y.as_ptr().add(c * 8));
+        _mm256_storeu_ps(y.as_mut_ptr().add(c * 8), _mm256_fmadd_ps(va, vx, vy));
+    }
+    for j in chunks * 8..n {
+        *y.get_unchecked_mut(j) = alpha.mul_add(*x.get_unchecked(j), *y.get_unchecked(j));
+    }
+}
+
+/// 8-lane `exp` (Cephes-style degree-5 polynomial with split-constant
+/// range reduction, ~1 ulp over the clamped range). Each lane depends only
+/// on its own input, so results are position- and thread-independent. NaN
+/// propagates (the clamp keeps the input operand in the NaN-passing slot);
+/// inputs beyond ±88.38 saturate instead of overflowing to infinity —
+/// part of the documented across-tier tolerance, like FMA contraction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn exp_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+
+    let hi = _mm256_set1_ps(88.376_26);
+    let lo = _mm256_set1_ps(-88.376_26);
+    // min/max keep the second operand on NaN, so x must sit there.
+    let x = _mm256_min_ps(hi, _mm256_max_ps(lo, x));
+    // n = floor(x·log2e + ½); r = x − n·ln2 via a hi/lo constant split.
+    let fx = _mm256_floor_ps(_mm256_fmadd_ps(
+        x,
+        _mm256_set1_ps(std::f32::consts::LOG2_E),
+        _mm256_set1_ps(0.5),
+    ));
+    let r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693_359_4), x);
+    let r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.121_944_4e-4), r);
+    let mut y = _mm256_set1_ps(1.987_569_1e-4);
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.398_199_9e-3));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(8.333_452e-3));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(4.166_579_6e-2));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.666_666_5e-1));
+    y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(5.000_000_3e-1));
+    y = _mm256_fmadd_ps(y, _mm256_mul_ps(r, r), r);
+    y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+    // 2ⁿ assembled directly in the exponent field (n ∈ [−127, 127]).
+    let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+        _mm256_cvtps_epi32(fx),
+        _mm256_set1_epi32(0x7f),
+    )));
+    _mm256_mul_ps(y, pow2n)
+}
+
+/// tanh via `(e−1)/(e+1)` with `e = exp(2x)`: saturates correctly for
+/// large |x|; for |x| ≲ 1e-4 cancellation costs relative (not absolute)
+/// accuracy — within the across-tier tolerance.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tanh_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let one = _mm256_set1_ps(1.0);
+    let e = exp_ps(_mm256_add_ps(x, x));
+    _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one))
+}
+
+/// Applies the 8-lane kernel `f` to every element of `v` in place. The
+/// tail runs through the same kernel on a zero-padded block, so every
+/// element sees identical arithmetic regardless of its position.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn map_ps(
+    v: &mut [f32],
+    f: unsafe fn(std::arch::x86_64::__m256) -> std::arch::x86_64::__m256,
+) {
+    use std::arch::x86_64::*;
+    let n = v.len();
+    let chunks = n / 8;
+    for c in 0..chunks {
+        let p = v.as_mut_ptr().add(c * 8);
+        _mm256_storeu_ps(p, f(_mm256_loadu_ps(p)));
+    }
+    let rem = n - chunks * 8;
+    if rem > 0 {
+        let mut tmp = [0.0f32; 8];
+        tmp[..rem].copy_from_slice(&v[chunks * 8..]);
+        _mm256_storeu_ps(tmp.as_mut_ptr(), f(_mm256_loadu_ps(tmp.as_ptr())));
+        v[chunks * 8..].copy_from_slice(&tmp[..rem]);
+    }
+}
+
+/// In-place elementwise `exp`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vexp_avx2(v: &mut [f32]) {
+    map_ps(v, exp_ps);
+}
+
+/// In-place elementwise sigmoid `1/(1+exp(−x))`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vsigmoid_avx2(v: &mut [f32]) {
+    use std::arch::x86_64::*;
+    unsafe fn k(x: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let e = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
+        _mm256_div_ps(one, _mm256_add_ps(one, e))
+    }
+    map_ps(v, k);
+}
+
+/// In-place elementwise tanh.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vtanh_avx2(v: &mut [f32]) {
+    map_ps(v, tanh_ps);
+}
+
+/// In-place elementwise SiLU `x·sigmoid(x)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vsilu_avx2(v: &mut [f32]) {
+    use std::arch::x86_64::*;
+    unsafe fn k(x: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let e = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
+        _mm256_div_ps(x, _mm256_add_ps(one, e))
+    }
+    map_ps(v, k);
+}
+
+/// In-place elementwise GELU (tanh approximation, same formula as the
+/// scalar path: `½x·(1 + tanh(√(2/π)(x + 0.044715x³)))`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vgelu_avx2(v: &mut [f32]) {
+    use std::arch::x86_64::*;
+    unsafe fn k(x: __m256) -> __m256 {
+        let c = _mm256_set1_ps(0.797_884_6);
+        let a = _mm256_set1_ps(0.044715);
+        let x3 = _mm256_mul_ps(_mm256_mul_ps(x, x), x);
+        let inner = _mm256_mul_ps(c, _mm256_fmadd_ps(a, x3, x));
+        let t = tanh_ps(inner);
+        _mm256_mul_ps(
+            _mm256_mul_ps(_mm256_set1_ps(0.5), x),
+            _mm256_add_ps(_mm256_set1_ps(1.0), t),
+        )
+    }
+    map_ps(v, k);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn vexp_avx2(_v: &mut [f32]) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn vsigmoid_avx2(_v: &mut [f32]) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn vtanh_avx2(_v: &mut [f32]) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn vsilu_avx2(_v: &mut [f32]) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn vgelu_avx2(_v: &mut [f32]) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+// Non-x86_64 stubs keep the crate compiling everywhere; `tier()` never
+// returns Avx2Fma off x86_64, so these are unreachable at runtime.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn mm_rows_avx2(
+    _a: &[f32],
+    _bp: &[f32],
+    _m: usize,
+    _k: usize,
+    _n: usize,
+    _out: &mut [f32],
+) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn dot_avx2(_x: &[f32], _y: &[f32]) -> f32 {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) unsafe fn axpy_avx2(_alpha: f32, _x: &[f32], _y: &mut [f32]) {
+    unreachable!("avx2 kernel dispatched on non-x86_64");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pack_layout_round_trips() {
+        let k = 3;
+        let n = 20; // one full panel + a 4-wide edge panel
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32).collect();
+        let bp = pack_b_panels(&b, k, n);
+        assert_eq!(bp.len(), 2 * k * NR);
+        for p in 0..k {
+            for j in 0..n {
+                let (jp, j0) = (j / NR, j % NR);
+                assert_eq!(bp[jp * k * NR + p * NR + j0], b[p * n + j]);
+            }
+        }
+        // Edge padding is zero.
+        assert_eq!(bp[k * NR + 4], 0.0);
+    }
+
+    #[test]
+    fn avx2_kernel_matches_reference() {
+        if !avx2_available() {
+            return;
+        }
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / 16777216.0 - 0.5
+        };
+        for &(m, k, n) in &[(1, 1, 1), (4, 8, 16), (5, 7, 17), (13, 31, 33), (8, 64, 48)] {
+            let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+            let bp = pack_b_panels(&b, k, n);
+            let mut out = vec![0.0f32; m * n];
+            unsafe { mm_rows_avx2(&a, &bp, m, k, n, &mut out) };
+            let want = mm_ref(&a, &b, m, k, n);
+            for (got, want) in out.iter().zip(&want) {
+                let tol = 1e-4 * want.abs().max(1.0);
+                assert!((got - want).abs() <= tol, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_match_scalar() {
+        if !avx2_available() {
+            return;
+        }
+        let x: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..37).map(|i| (i as f32 * 0.53).cos()).collect();
+        let want: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let got = unsafe { dot_avx2(&x, &y) };
+        assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0));
+
+        let mut acc = y.clone();
+        unsafe { axpy_avx2(0.7, &x, &mut acc) };
+        for ((a, &xv), &yv) in acc.iter().zip(&x).zip(&y) {
+            let want = 0.7 * xv + yv;
+            assert!((a - want).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn with_tier_overrides_and_restores() {
+        let base = tier();
+        with_tier(Tier::Scalar, || {
+            assert_eq!(tier(), Tier::Scalar);
+            if avx2_available() {
+                with_tier(Tier::Avx2Fma, || assert_eq!(tier(), Tier::Avx2Fma));
+                assert_eq!(tier(), Tier::Scalar);
+            }
+        });
+        assert_eq!(tier(), base);
+    }
+
+    #[test]
+    fn vectorized_exp_family_matches_libm() {
+        if !avx2_available() {
+            return;
+        }
+        // Spans denormal-adjacent, moderate, and clamp-boundary inputs,
+        // plus a non-multiple-of-8 length to exercise the padded tail.
+        let xs: Vec<f32> = (-43..=43).map(|i| i as f32 * 2.07).collect();
+        let mut ve = xs.clone();
+        unsafe { vexp_avx2(&mut ve) };
+        for (&x, &got) in xs.iter().zip(&ve) {
+            let want = x.exp();
+            if want.is_infinite() {
+                // The input clamp saturates overflow at exp(88.376) ≈ 2.4e38
+                // instead of producing inf.
+                assert!(got >= 2.0e38, "exp({x}) saturated to {got}");
+            } else if want < f32::MIN_POSITIVE {
+                // Denormal results flush to zero in the 2^n reconstruction.
+                assert!(got.abs() <= f32::MIN_POSITIVE, "exp({x}) gave {got}");
+            } else {
+                assert!(
+                    (got - want).abs() <= 2e-6 * want.abs().max(f32::MIN_POSITIVE),
+                    "exp({x}): {got} vs {want}"
+                );
+            }
+        }
+
+        let mut vs = xs.clone();
+        let mut vt = xs.clone();
+        let mut vw = xs.clone();
+        let mut vg = xs.clone();
+        unsafe {
+            vsigmoid_avx2(&mut vs);
+            vtanh_avx2(&mut vt);
+            vsilu_avx2(&mut vw);
+            vgelu_avx2(&mut vg);
+        }
+        const C: f32 = 0.797_884_6;
+        for (i, &x) in xs.iter().enumerate() {
+            let sig = 1.0 / (1.0 + (-x).exp());
+            assert!((vs[i] - sig).abs() <= 2e-6, "sigmoid({x}): {} vs {sig}", vs[i]);
+            assert!((vt[i] - x.tanh()).abs() <= 2e-6, "tanh({x}): {} vs {}", vt[i], x.tanh());
+            let rel = (vw[i] - x * sig).abs() / (x * sig).abs().max(1.0);
+            assert!(rel <= 2e-6, "silu({x}): {} vs {}", vw[i], x * sig);
+            let gelu = 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh());
+            let rel = (vg[i] - gelu).abs() / gelu.abs().max(1.0);
+            assert!(rel <= 2e-6, "gelu({x}): {} vs {gelu}", vg[i]);
+        }
+    }
+
+    #[test]
+    fn vectorized_exp_propagates_nan() {
+        if !avx2_available() {
+            return;
+        }
+        let mut v = vec![0.0f32, f32::NAN, 1.0];
+        unsafe { vexp_avx2(&mut v) };
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+        assert!((v[2] - 1.0f32.exp()).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn avx2_kernel_propagates_zero_times_nan() {
+        if !avx2_available() {
+            return;
+        }
+        // IEEE faithfulness: a NaN in B must poison outputs even when the
+        // matching A entry is zero — no zero-skip shortcut.
+        let a = vec![0.0f32, 1.0];
+        let mut b = vec![1.0f32; 2 * NR];
+        b[3] = f32::NAN; // row p=0, column 3
+        let bp = pack_b_panels(&b, 2, NR);
+        let mut out = vec![0.0f32; NR];
+        unsafe { mm_rows_avx2(&a, &bp, 1, 2, NR, &mut out) };
+        assert!(out[3].is_nan());
+        assert_eq!(out[0], 1.0);
+    }
+}

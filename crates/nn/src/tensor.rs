@@ -36,8 +36,23 @@ pub(crate) struct Node {
     data: RefCell<Vec<f32>>,
     grad: RefCell<Option<Vec<f32>>>,
     requires_grad: bool,
+    /// Bumped on every in-place data mutation (`set_data`/`update_data`).
+    /// `(id, generation)` identifies a value snapshot, which the packed-panel
+    /// cache in `ops::matmul` uses for invalidation across optimizer steps.
+    generation: Cell<u64>,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        // Detached history-free leaves are the op outputs of forward-only
+        // execution; hand their storage back to the arena for reuse. Params
+        // and graph nodes keep normal ownership.
+        if !self.requires_grad && self.parents.is_empty() && self.backward.is_none() {
+            crate::arena::recycle(std::mem::take(self.data.get_mut()));
+        }
+    }
 }
 
 /// A dense, row-major `f32` tensor participating in an autodiff graph.
@@ -129,6 +144,7 @@ impl Tensor {
                 data: RefCell::new(self.node.data.borrow().clone()),
                 grad: RefCell::new(None),
                 requires_grad: true,
+                generation: Cell::new(0),
                 parents: Vec::new(),
                 backward: None,
             }),
@@ -144,6 +160,7 @@ impl Tensor {
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
                 requires_grad,
+                generation: Cell::new(0),
                 parents: Vec::new(),
                 backward: None,
             }),
@@ -151,12 +168,14 @@ impl Tensor {
     }
 
     /// Creates an op-output node. When gradient tracking is disabled or no
-    /// parent requires gradients, the result is a detached leaf (no graph).
+    /// parent requires gradients, the result is a detached leaf (no graph)
+    /// and the backward closure is never even constructed — forward-only
+    /// execution pays zero tape cost.
     pub(crate) fn from_op(
         data: Vec<f32>,
         shape: Shape,
         parents: Vec<Tensor>,
-        backward: BackwardFn,
+        backward: impl FnOnce() -> BackwardFn,
     ) -> Self {
         let track = is_grad_enabled() && parents.iter().any(|p| p.requires_grad());
         if !track {
@@ -170,8 +189,9 @@ impl Tensor {
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
                 requires_grad: true,
+                generation: Cell::new(0),
                 parents,
-                backward: Some(backward),
+                backward: Some(backward()),
             }),
         }
     }
@@ -224,6 +244,14 @@ impl Tensor {
         self.node.requires_grad
     }
 
+    /// Mutation counter for the data buffer: 0 at construction, bumped by
+    /// every [`set_data`](Self::set_data)/[`update_data`](Self::update_data)
+    /// (i.e. every optimizer step). `(id, generation)` pins a value
+    /// snapshot for caches layered above the tensor.
+    pub fn generation(&self) -> u64 {
+        self.node.generation.get()
+    }
+
     /// A copy of the accumulated gradient, if any.
     pub fn grad(&self) -> Option<Vec<f32>> {
         self.node.grad.borrow().clone()
@@ -241,12 +269,14 @@ impl Tensor {
         let mut d = self.node.data.borrow_mut();
         assert_eq!(d.len(), new.len(), "set_data length mismatch");
         d.copy_from_slice(new);
+        self.node.generation.set(self.node.generation.get() + 1);
     }
 
     /// Applies `f` to the data buffer in place (used by optimizers).
     pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
         let mut d = self.node.data.borrow_mut();
         f(&mut d);
+        self.node.generation.set(self.node.generation.get() + 1);
     }
 
     /// Returns a detached copy: same values, fresh leaf, no graph history.

@@ -1,0 +1,44 @@
+//! Span-level profile of the ensemble inference hot path.
+//!
+//! Fits a small detector, resets the observability registry so training
+//! spans do not pollute the numbers, runs detection repeatedly, and dumps
+//! the span snapshot. Run with:
+//!
+//!     IMDIFF_OBS=1 cargo run --release --example profile_infer
+//!
+//! Useful when deciding which kernel to optimize next: `self_ns` is time
+//! inside a span but outside every child span.
+
+use imdiffusion_repro::core::{ImDiffusionConfig, ImDiffusionDetector};
+use imdiffusion_repro::data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiffusion_repro::data::Detector;
+use imdiffusion_repro::nn::obs;
+
+fn main() {
+    obs::set_enabled(true);
+    let size = SizeProfile {
+        train_len: 300,
+        test_len: 192,
+    };
+    let ds = generate(Benchmark::Gcp, &size, 1);
+    let cfg = ImDiffusionConfig {
+        train_steps: 20,
+        ddim_steps: Some(4),
+        ..ImDiffusionConfig::quick()
+    };
+    let mut det = ImDiffusionDetector::new(cfg, 1);
+    det.fit(&ds.train).expect("fit");
+
+    obs::reset();
+    let start = std::time::Instant::now();
+    let iters = 5;
+    for _ in 0..iters {
+        let _ = det.detect(&ds.test).expect("detect");
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "detect: {:.1}ms/iter over {iters} iters",
+        elapsed.as_secs_f64() * 1e3 / iters as f64
+    );
+    println!("{}", obs::snapshot_json());
+}
