@@ -72,6 +72,8 @@ fn bench_request_latency(c: &mut Criterion) {
                 seed: 4,
                 channels: ds.train.dim(),
                 hop: HOP,
+                holdout: None,
+                drift_policy: None,
             }],
         )
         .expect("server start");

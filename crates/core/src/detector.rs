@@ -7,6 +7,7 @@ use imdiff_nn::layers::Module;
 use crate::config::ImDiffusionConfig;
 use crate::infer::{ensemble_infer_masked, ensemble_infer_windows, EnsembleOutput};
 use crate::model::ImTransformer;
+use crate::streaming::DriftReference;
 use crate::trainer::{Trainer, TrainerOptions, TrainReport};
 
 /// ImDiffusion as a [`Detector`]: min-max normalization fitted on training
@@ -19,6 +20,9 @@ pub struct ImDiffusionDetector {
     fitted: Option<Fitted>,
     last_output: Option<EnsembleOutput>,
     last_report: Option<TrainReport>,
+    /// Training-time per-channel statistics for streaming drift
+    /// detection; captured by `fit`, persisted with the checkpoint.
+    drift_ref: Option<DriftReference>,
 }
 
 struct Fitted {
@@ -38,12 +42,31 @@ impl ImDiffusionDetector {
             fitted: None,
             last_output: None,
             last_report: None,
+            drift_ref: None,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ImDiffusionConfig {
         &self.cfg
+    }
+
+    /// The construction seed (checkpoint reload must reuse it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Training-time reference statistics for drift detection (`None` on
+    /// detectors fitted before the statistics existed, e.g. restored from
+    /// a legacy checkpoint — drift detection stays unarmed there).
+    pub fn drift_reference(&self) -> Option<&DriftReference> {
+        self.drift_ref.as_ref()
+    }
+
+    /// Overwrites the drift reference (checkpoint loading; fine-tuning,
+    /// which re-baselines "normal" on the corpus it adapted to).
+    pub fn set_drift_reference(&mut self, reference: Option<DriftReference>) {
+        self.drift_ref = reference;
     }
 
     /// The ensemble trace of the most recent [`Detector::detect`] call
@@ -160,6 +183,9 @@ impl ImDiffusionDetector {
             trainer.run(&model, &self.cfg, &schedule, &train_n, seed)?
         };
         self.last_report = Some(report);
+        // Drift baseline over the *raw* series: the live stream is
+        // compared in original units, normalizer-independent.
+        self.drift_ref = Some(DriftReference::from_series(train_data, self.cfg.window));
         self.fitted = Some(Fitted {
             model,
             schedule,
@@ -314,6 +340,7 @@ impl ImDiffusionDetector {
                 params: f.model.params().iter().map(|p| p.to_vec()).collect(),
                 norm_offset: offset,
                 norm_scale: scale,
+                drift_ref: self.drift_ref.clone(),
             }
         })
     }
@@ -336,6 +363,7 @@ pub struct DetectorSpec {
     params: Vec<Vec<f32>>,
     norm_offset: Vec<f32>,
     norm_scale: Vec<f32>,
+    drift_ref: Option<DriftReference>,
 }
 
 impl DetectorSpec {
@@ -346,6 +374,7 @@ impl DetectorSpec {
         let mut det = ImDiffusionDetector::new(self.cfg.clone(), self.seed);
         det.init_untrained(self.channels);
         det.set_normalizer_vectors(&self.norm_offset, &self.norm_scale);
+        det.set_drift_reference(self.drift_ref.clone());
         let fitted = det.fitted.as_mut().expect("just initialised");
         let params = fitted.model.params();
         assert_eq!(params.len(), self.params.len(), "spec arity mismatch");
@@ -368,6 +397,11 @@ impl DetectorSpec {
     /// The construction seed carried by the spec.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The flat parameter snapshot (weight-equality checks, diffing).
+    pub fn weights(&self) -> &[Vec<f32>] {
+        &self.params
     }
 }
 

@@ -40,6 +40,7 @@
 mod ablation;
 mod config;
 mod detector;
+mod finetune;
 mod infer;
 mod model;
 mod persist;
@@ -49,12 +50,13 @@ mod trainer;
 pub use ablation::AblationVariant;
 pub use config::{ImDiffusionConfig, SentinelConfig, TaskMode};
 pub use detector::{DetectorSpec, ImDiffusionDetector};
+pub use finetune::{FineTuneOptions, FineTuneOutcome, FineTuneReport, FineTuner};
 pub use infer::{ensemble_infer_masked, ensemble_infer_windows, EnsembleOutput, StepTrace};
 pub use model::ImTransformer;
 pub use persist::stream_path;
 pub use streaming::{
-    BatchItem, BatchReply, HealthState, MonitorHealth, PointVerdict, StreamingMonitor,
-    ThresholdMode,
+    BatchItem, BatchReply, DriftReference, DriftStatus, HealthState, MonitorHealth,
+    PointVerdict, StreamingMonitor, ThresholdMode,
 };
 pub use trainer::{
     train, train_resume, IncidentKind, TrainIncident, TrainReport, Trainer,

@@ -28,7 +28,8 @@ use imdiff_nn::{NnError, Tensor};
 
 use crate::detector::ImDiffusionDetector;
 use crate::streaming::{
-    ChannelStats, HealthState, StreamingMonitor, ThresholdMode, HISTORY_CAP,
+    ChannelStats, DriftReference, HealthState, StreamingMonitor, ThresholdMode,
+    HISTORY_CAP,
 };
 
 /// Maps an [`NnError`] from the weight-file layer onto the detector error
@@ -56,6 +57,13 @@ impl ImDiffusionDetector {
         let (offset, scale) = normalizer_vectors(normalizer);
         params.push(Tensor::from_vec(offset.clone(), &[offset.len()]).expect("offset"));
         params.push(Tensor::from_vec(scale.clone(), &[scale.len()]).expect("scale"));
+        // Drift reference rides as one trailing `[4, K]` tensor (mean,
+        // std, q25, q75). Readers detect its presence by tensor count, so
+        // legacy checkpoints (without it) keep loading.
+        if let Some(r) = self.drift_reference() {
+            let k = r.channels();
+            params.push(Tensor::from_vec(r.to_flat(), &[4, k]).expect("drift ref"));
+        }
         save_params(path, &params)
             .map_err(|e| DetectorError::Io(format!("cannot write checkpoint: {e}")))
     }
@@ -83,10 +91,45 @@ impl ImDiffusionDetector {
         let scale = Tensor::ones(&[channels]);
         params.push(offset.clone());
         params.push(scale.clone());
+        // One extra trailing tensor = the drift reference; its absence is
+        // a legacy checkpoint, not an error (drift detection stays
+        // unarmed). Any other count mismatch falls through to the strict
+        // loader's architecture check.
+        let drift = if imdf_tensor_count(path)? == params.len() + 1 {
+            let t = Tensor::zeros(&[4, channels]);
+            params.push(t.clone());
+            Some(t)
+        } else {
+            None
+        };
         load_params_into(path, &params).map_err(map_nn)?;
         det.set_normalizer_vectors(&offset.to_vec(), &scale.to_vec());
+        if let Some(t) = drift {
+            det.set_drift_reference(DriftReference::from_flat(&t.to_vec(), channels));
+        }
         Ok(det)
     }
+}
+
+/// Reads only the tensor count from an IMDF header, so [`load`] can tell
+/// a drift-reference-bearing checkpoint from a legacy one before shaping
+/// the parameter list. Integrity is *not* checked here — `load_params_into`
+/// verifies the CRC before any tensor is interpreted.
+///
+/// [`load`]: ImDiffusionDetector::load
+fn imdf_tensor_count(path: &Path) -> Result<usize, DetectorError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| DetectorError::Io(format!("cannot read {}: {e}", path.display())))?;
+    let mut r = Reader::new(&bytes);
+    if r.take(4)? != b"IMDF" {
+        return Err(DetectorError::CorruptCheckpoint(
+            "not an IMDF checkpoint".into(),
+        ));
+    }
+    if r.u32()? >= 2 {
+        r.u32()?; // CRC, verified by the strict loader
+    }
+    Ok(r.u32()? as usize)
 }
 
 /// Extracts the normalizer's per-channel offset/scale.
@@ -99,7 +142,7 @@ fn normalizer_vectors(norm: &imdiff_data::Normalizer) -> (Vec<f32>, Vec<f32>) {
 // ---------------------------------------------------------------------------
 
 const STREAM_MAGIC: &[u8; 4] = b"IMSM";
-const STREAM_VERSION: u32 = 2;
+const STREAM_VERSION: u32 = 3;
 
 /// The sidecar path holding streaming state for a detector checkpoint at
 /// `path` (`<path>.stream`). Public so supervisors and fault-injection
@@ -236,6 +279,35 @@ impl StreamingMonitor {
             b.extend_from_slice(&st.mean.to_le_bytes());
             b.extend_from_slice(&st.m2.to_le_bytes());
         }
+
+        // v3 extension: drift-tracker state (reference excluded — it
+        // lives in the weight file and re-arms the tracker on restore).
+        // v1/v2 readers stop before this block; the payload up to here is
+        // the exact v2 layout.
+        match &self.drift {
+            Some(t) => {
+                b.push(1);
+                b.extend_from_slice(&(t.capacity as u32).to_le_bytes());
+                b.extend_from_slice(&t.threshold.to_le_bytes());
+                b.extend_from_slice(&t.debounce.to_le_bytes());
+                b.extend_from_slice(&t.consecutive.to_le_bytes());
+                b.extend_from_slice(&t.clear_streak.to_le_bytes());
+                b.push(u8::from(t.latched));
+                b.extend_from_slice(&t.evals.to_le_bytes());
+                b.extend_from_slice(&t.trips.to_le_bytes());
+                b.extend_from_slice(&t.last_score.to_le_bytes());
+                b.extend_from_slice(&(t.ring.len() as u32).to_le_bytes());
+                for (row, miss) in &t.ring {
+                    for &v in row {
+                        b.extend_from_slice(&v.to_le_bytes());
+                    }
+                    for &m in miss {
+                        b.push(u8::from(m));
+                    }
+                }
+            }
+            None => b.push(0),
+        }
         b
     }
 
@@ -272,8 +344,9 @@ impl StreamingMonitor {
     /// detector (as for [`ImDiffusionDetector::load`]); everything else —
     /// channel count, hop, buffer, histories, health, counters — comes
     /// from the checkpoint. Subsequent verdicts are identical to the ones
-    /// the saved monitor would have produced. Reads both v2 (CRC-checked)
-    /// and legacy v1 sidecars.
+    /// the saved monitor would have produced. Reads v3 (drift-tracker
+    /// state), v2 (CRC-checked) and legacy v1 sidecars; pre-v3 files
+    /// restore with a freshly armed drift tracker.
     pub fn restore(
         cfg: crate::ImDiffusionConfig,
         seed: u64,
@@ -291,7 +364,7 @@ impl StreamingMonitor {
         let version = r.u32()?;
         match version {
             1 => {}
-            2 => {
+            2 | 3 => {
                 let stored = r.u32()?;
                 let actual = crc32(r.rest());
                 if stored != actual {
@@ -399,6 +472,64 @@ impl StreamingMonitor {
             });
         }
 
+        // v3 drift-tracker block; pre-v3 sidecars restore with whatever
+        // fresh tracker the (possibly drift-bearing) weight file arms.
+        struct DriftState {
+            capacity: usize,
+            threshold: f64,
+            debounce: u32,
+            consecutive: u32,
+            clear_streak: u32,
+            latched: bool,
+            evals: u64,
+            trips: u64,
+            last_score: f64,
+            ring: Vec<(Vec<f32>, Vec<bool>)>,
+        }
+        let drift_state = if version >= 3 && r.u8()? == 1 {
+            let capacity = r.u32()? as usize;
+            let threshold = r.f64()?;
+            let debounce = r.u32()?;
+            let consecutive = r.u32()?;
+            let clear_streak = r.u32()?;
+            let latched = r.u8()? == 1;
+            let evals = r.u64()?;
+            let trips = r.u64()?;
+            let last_score = r.f64()?;
+            let n_ring = r.u32()? as usize;
+            if n_ring > capacity {
+                return Err(DetectorError::CorruptCheckpoint(format!(
+                    "drift ring has {n_ring} rows, capacity is {capacity}"
+                )));
+            }
+            let mut ring = Vec::with_capacity(n_ring);
+            for _ in 0..n_ring {
+                let mut row = Vec::with_capacity(channels);
+                for _ in 0..channels {
+                    row.push(r.f32()?);
+                }
+                let mut miss = Vec::with_capacity(channels);
+                for _ in 0..channels {
+                    miss.push(r.u8()? == 1);
+                }
+                ring.push((row, miss));
+            }
+            Some(DriftState {
+                capacity,
+                threshold,
+                debounce,
+                consecutive,
+                clear_streak,
+                latched,
+                evals,
+                trips,
+                last_score,
+                ring,
+            })
+        } else {
+            None
+        };
+
         let detector = ImDiffusionDetector::load(cfg, seed, channels, path)?;
         let mut monitor = StreamingMonitor::new(detector, channels, hop)?;
         monitor.buffer = buffer;
@@ -421,6 +552,24 @@ impl StreamingMonitor {
         monitor.rewarms = rewarms;
         monitor.degraded_evals = degraded_evals;
         monitor.recoveries = recoveries;
+        // A sidecar drift block means the saved monitor had drift armed:
+        // re-arm against the weight file's reference, then restore the
+        // tracker's mutable state on top. The sidecar carries no reference
+        // of its own — a weight file without one leaves drift unarmed
+        // (that monitor could never have armed it in the first place).
+        if let Some(st) = drift_state {
+            monitor.set_drift_policy(st.threshold, st.debounce);
+            if let Some(tracker) = &mut monitor.drift {
+                tracker.capacity = st.capacity;
+                tracker.consecutive = st.consecutive;
+                tracker.clear_streak = st.clear_streak;
+                tracker.latched = st.latched;
+                tracker.evals = st.evals;
+                tracker.trips = st.trips;
+                tracker.last_score = st.last_score;
+                tracker.ring = st.ring.into_iter().collect();
+            }
+        }
         Ok(monitor)
     }
 }
@@ -473,6 +622,74 @@ mod tests {
             det.save(&tmp("unfitted.ckpt")),
             Err(DetectorError::NotFitted)
         ));
+    }
+
+    #[test]
+    fn drift_reference_roundtrips_and_legacy_weights_stay_unarmed() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 16,
+            },
+            21,
+        );
+        let k = ds.train.dim();
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 13);
+        det.fit(&ds.train).unwrap();
+        let reference = det.drift_reference().cloned().expect("fit computes it");
+
+        let path = tmp("drift-ref.ckpt");
+        det.save(&path).unwrap();
+        let loaded = ImDiffusionDetector::load(tiny_cfg(), 13, k, &path).unwrap();
+        assert_eq!(loaded.drift_reference(), Some(&reference));
+
+        // A checkpoint written without a reference (the pre-drift layout)
+        // loads fine and simply leaves drift detection unarmed.
+        det.set_drift_reference(None);
+        let legacy = tmp("drift-legacy.ckpt");
+        det.save(&legacy).unwrap();
+        let mut old = ImDiffusionDetector::load(tiny_cfg(), 13, k, &legacy).unwrap();
+        assert!(old.drift_reference().is_none());
+        assert!(old.detect(&ds.test).is_ok());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&legacy).ok();
+    }
+
+    #[test]
+    fn armed_drift_tracker_survives_monitor_checkpoint() {
+        use crate::streaming::StreamingMonitor;
+
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 64,
+            },
+            23,
+        );
+        let k = ds.train.dim();
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 17);
+        det.fit(&ds.train).unwrap();
+        let mut monitor = StreamingMonitor::new(det, k, 8).unwrap();
+        assert!(monitor.set_drift_policy(2.5, 2));
+        for l in 0..40 {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        let path = tmp("drift-monitor.ckpt");
+        monitor.checkpoint(&path).unwrap();
+        let mut restored = StreamingMonitor::restore(tiny_cfg(), 17, &path).unwrap();
+        assert_eq!(restored.drift_status(), monitor.drift_status());
+        // The tracker keeps evolving identically after the restore.
+        for l in 40..ds.test.len() {
+            let a = monitor.push(ds.test.row(l)).unwrap();
+            let b = restored.push(ds.test.row(l)).unwrap();
+            assert_eq!(a, b, "verdicts diverged at row {l}");
+        }
+        assert_eq!(restored.drift_status(), monitor.drift_status());
+        assert_eq!(restored.health(), monitor.health());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("ckpt.stream")).ok();
     }
 
     #[test]

@@ -60,6 +60,14 @@ const FALLBACK_MIN_COUNT: u64 = 8;
 /// full inference for that evaluation (too little context to impute).
 const MAX_MISSING_FRACTION: f64 = 0.5;
 
+/// Default drift score above which an evaluation counts toward a trip
+/// (units: training-time standard deviations of the worst channel).
+const DRIFT_DEFAULT_THRESHOLD: f64 = 3.0;
+
+/// Default number of consecutive over-threshold evaluations before the
+/// Drifted signal latches (and of under-threshold ones before it clears).
+const DRIFT_DEFAULT_DEBOUNCE: u32 = 3;
+
 /// How the streaming monitor picks the Eq. (12) baseline threshold τ.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ThresholdMode {
@@ -75,6 +83,276 @@ pub enum ThresholdMode {
         /// Target false-alarm probability per point (e.g. `1e-3`).
         risk: f64,
     },
+}
+
+/// Training-time per-channel reference statistics for distribution-drift
+/// detection. Captured by [`crate::ImDiffusionDetector`] at fit time from
+/// the **raw** (un-normalized) training series and persisted alongside the
+/// weights, so a restored detector keeps the same drift baseline the
+/// training data defined.
+///
+/// Rather than a single global quartile pair, the reference records the
+/// **envelope** of block-level quartiles over the training series: the
+/// lowest and highest lower/upper quartile seen in any sliding block of
+/// the drift ring's length. Seasonal series swing their short-window
+/// quartiles with phase; the envelope calibrates "normal swing" per
+/// channel so the drift score only reacts to excursions the training data
+/// never exhibited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReference {
+    /// Per-channel minimum block-level lower quartile.
+    pub q25_lo: Vec<f32>,
+    /// Per-channel maximum block-level lower quartile.
+    pub q25_hi: Vec<f32>,
+    /// Per-channel minimum block-level upper quartile.
+    pub q75_lo: Vec<f32>,
+    /// Per-channel maximum block-level upper quartile.
+    pub q75_hi: Vec<f32>,
+}
+
+impl DriftReference {
+    /// Computes the block-quartile envelope over a series. `window` is the
+    /// detector window; blocks match the tracker ring length
+    /// ([`DriftTracker::ring_capacity`]) and slide by a quarter-block so
+    /// every seasonal phase contributes. Quartiles are nearest-rank.
+    pub fn from_series(series: &Mts, window: usize) -> Self {
+        let (n, k) = (series.len(), series.dim());
+        let block = DriftTracker::ring_capacity(window).min(n.max(1));
+        let stride = (block / 4).max(1);
+        let mut q25_lo = vec![f32::INFINITY; k];
+        let mut q25_hi = vec![f32::NEG_INFINITY; k];
+        let mut q75_lo = vec![f32::INFINITY; k];
+        let mut q75_hi = vec![f32::NEG_INFINITY; k];
+        let mut start = 0usize;
+        loop {
+            let end = (start + block).min(n);
+            let begin = end.saturating_sub(block);
+            for c in 0..k {
+                let mut vals: Vec<f32> =
+                    (begin..end).map(|l| series.get(l, c)).collect();
+                if vals.is_empty() {
+                    continue;
+                }
+                vals.sort_by(f32::total_cmp);
+                let q = |p: f64| {
+                    vals[((vals.len() - 1) as f64 * p).round() as usize]
+                };
+                let (a, b) = (q(0.25), q(0.75));
+                q25_lo[c] = q25_lo[c].min(a);
+                q25_hi[c] = q25_hi[c].max(a);
+                q75_lo[c] = q75_lo[c].min(b);
+                q75_hi[c] = q75_hi[c].max(b);
+            }
+            if end >= n {
+                break;
+            }
+            start += stride;
+        }
+        for c in 0..k {
+            if !q25_lo[c].is_finite() {
+                q25_lo[c] = 0.0;
+                q25_hi[c] = 0.0;
+                q75_lo[c] = 0.0;
+                q75_hi[c] = 0.0;
+            }
+        }
+        DriftReference {
+            q25_lo,
+            q25_hi,
+            q75_lo,
+            q75_hi,
+        }
+    }
+
+    /// Channel count the reference was computed for.
+    pub fn channels(&self) -> usize {
+        self.q25_lo.len()
+    }
+
+    /// Flattens to `[q25_lo.., q25_hi.., q75_lo.., q75_hi..]` (checkpoint
+    /// layout: one `[4, K]` tensor).
+    pub(crate) fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(4 * self.q25_lo.len());
+        out.extend_from_slice(&self.q25_lo);
+        out.extend_from_slice(&self.q25_hi);
+        out.extend_from_slice(&self.q75_lo);
+        out.extend_from_slice(&self.q75_hi);
+        out
+    }
+
+    /// Inverse of [`Self::to_flat`]; `None` when the length is not `4*k`.
+    pub(crate) fn from_flat(data: &[f32], channels: usize) -> Option<Self> {
+        if data.len() != 4 * channels {
+            return None;
+        }
+        Some(DriftReference {
+            q25_lo: data[..channels].to_vec(),
+            q25_hi: data[channels..2 * channels].to_vec(),
+            q75_lo: data[2 * channels..3 * channels].to_vec(),
+            q75_hi: data[3 * channels..].to_vec(),
+        })
+    }
+}
+
+/// Streaming drift detector: a sliding window of recent rows whose
+/// per-channel statistics are compared against a [`DriftReference`], with
+/// debounce on both edges so one noisy evaluation neither trips nor clears
+/// the latched signal.
+#[derive(Debug, Clone)]
+pub(crate) struct DriftTracker {
+    /// Training-time baseline.
+    pub(crate) reference: DriftReference,
+    /// Recent rows plus their missing flags (missing cells are excluded
+    /// from the live statistics — placeholders must not look like data).
+    pub(crate) ring: VecDeque<(Vec<f32>, Vec<bool>)>,
+    /// Ring capacity in rows; the score is `None` until the ring fills.
+    pub(crate) capacity: usize,
+    /// Score above which an evaluation counts toward a trip.
+    pub(crate) threshold: f64,
+    /// Consecutive over-threshold evaluations required to latch (and
+    /// under-threshold ones to clear).
+    pub(crate) debounce: u32,
+    /// Current over-threshold streak.
+    pub(crate) consecutive: u32,
+    /// Current under-threshold streak while latched.
+    pub(crate) clear_streak: u32,
+    /// The debounced Drifted signal.
+    pub(crate) latched: bool,
+    /// Evaluations that produced a drift score (ring full).
+    pub(crate) evals: u64,
+    /// Times the signal latched.
+    pub(crate) trips: u64,
+    /// Most recent drift score.
+    pub(crate) last_score: f64,
+}
+
+impl DriftTracker {
+    /// Ring length for a detector window: two windows of rows, floor 8.
+    /// [`DriftReference::from_series`] uses the same length for its
+    /// training blocks so live and reference statistics are comparable.
+    pub(crate) fn ring_capacity(window: usize) -> usize {
+        (2 * window).max(8)
+    }
+
+    pub(crate) fn new(reference: DriftReference, window: usize) -> Self {
+        let capacity = Self::ring_capacity(window);
+        DriftTracker {
+            reference,
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            threshold: DRIFT_DEFAULT_THRESHOLD,
+            debounce: DRIFT_DEFAULT_DEBOUNCE,
+            consecutive: 0,
+            clear_streak: 0,
+            latched: false,
+            evals: 0,
+            trips: 0,
+            last_score: 0.0,
+        }
+    }
+
+    /// Folds one ingested row into the sliding window (stream order).
+    pub(crate) fn push_row(&mut self, row: &[f32], miss: &[bool]) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((row.to_vec(), miss.to_vec()));
+    }
+
+    /// The current drift score: over the ring, the worst per-channel
+    /// excursion of the live quartiles **outside** the training-time
+    /// block-quartile envelope, in units of that channel's typical robust
+    /// spread (envelope-midpoint IQR / 1.349). Quartiles are used instead
+    /// of mean/variance on purpose: point anomalies — the thing the
+    /// detector exists to flag — barely move them, so an
+    /// anomalous-but-undrifted stream stays quiet while a level shift or
+    /// scale change pushes a quartile past anything the training data
+    /// exhibited. `None` until the ring fills; channels with too few
+    /// observed cells are skipped.
+    pub(crate) fn score(&self) -> Option<f64> {
+        if self.ring.len() < self.capacity {
+            return None;
+        }
+        let r = &self.reference;
+        let k = r.channels();
+        let min_count = (self.capacity / 2).max(4);
+        let mut worst = 0.0f64;
+        for c in 0..k {
+            let mut vals: Vec<f32> = self
+                .ring
+                .iter()
+                .filter(|(_, miss)| !miss[c])
+                .map(|(row, _)| row[c])
+                .collect();
+            if vals.len() < min_count {
+                continue;
+            }
+            vals.sort_by(f32::total_cmp);
+            let q =
+                |p: f64| vals[((vals.len() - 1) as f64 * p).round() as usize] as f64;
+            let mid_iqr = ((r.q75_hi[c] + r.q75_lo[c]) as f64
+                - (r.q25_hi[c] + r.q25_lo[c]) as f64)
+                / 2.0;
+            let sigma = (mid_iqr / 1.349).max(1e-6);
+            let exceed = |v: f64, lo: f32, hi: f32| {
+                (lo as f64 - v).max(v - hi as f64).max(0.0)
+            };
+            let e25 = exceed(q(0.25), r.q25_lo[c], r.q25_hi[c]) / sigma;
+            let e75 = exceed(q(0.75), r.q75_lo[c], r.q75_hi[c]) / sigma;
+            worst = worst.max(e25).max(e75);
+        }
+        Some(worst)
+    }
+
+    /// Applies one evaluation's drift score (completion order). Returns
+    /// `true` when this observation latched the Drifted signal.
+    pub(crate) fn observe(&mut self, score: f64) -> bool {
+        self.evals += 1;
+        self.last_score = score;
+        if score > self.threshold {
+            self.consecutive += 1;
+            self.clear_streak = 0;
+            if !self.latched && self.consecutive >= self.debounce {
+                self.latched = true;
+                self.trips += 1;
+                return true;
+            }
+        } else {
+            self.consecutive = 0;
+            if self.latched {
+                self.clear_streak += 1;
+                if self.clear_streak >= self.debounce {
+                    self.latched = false;
+                    self.clear_streak = 0;
+                }
+            }
+        }
+        false
+    }
+
+    /// Clears the latched signal and both streaks (detector swap: the new
+    /// model's reference now defines normal). Ring and counters persist.
+    pub(crate) fn reset_signal(&mut self) {
+        self.latched = false;
+        self.consecutive = 0;
+        self.clear_streak = 0;
+    }
+}
+
+/// Read-only snapshot of the drift detector's state (operator surface).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStatus {
+    /// Whether drift detection is armed (the detector carries a
+    /// [`DriftReference`]).
+    pub armed: bool,
+    /// The debounced Drifted signal.
+    pub drifted: bool,
+    /// Most recent drift score (0.0 before the first scored evaluation).
+    pub last_score: f64,
+    /// Evaluations that produced a drift score.
+    pub evals: u64,
+    /// Times the signal latched.
+    pub trips: u64,
 }
 
 /// Health of the streaming monitor's inference path.
@@ -112,6 +390,10 @@ pub struct MonitorHealth {
     pub degraded_evals: u64,
     /// Degraded → Healthy transitions.
     pub recoveries: u64,
+    /// Whether the debounced distribution-drift signal is latched.
+    pub drifted: bool,
+    /// Times the drift signal latched since monitor creation.
+    pub drift_trips: u64,
 }
 
 /// Verdict for one streamed observation.
@@ -175,6 +457,10 @@ struct EvalRequest {
     prepared_tau: Option<f64>,
     /// Set when inference must be skipped (sparse window / load shed).
     skip_reason: Option<String>,
+    /// Drift score at trigger time (`None` when unarmed or the drift ring
+    /// has not filled yet). Captured here — not at completion — so later
+    /// rows in the same batch cannot move the score (bit-fidelity).
+    drift_score: Option<f64>,
     /// Index of the [`BatchItem`] that triggered this evaluation.
     item: usize,
 }
@@ -252,6 +538,15 @@ pub struct StreamingMonitor {
     /// `seen` at the last snapshot, so [`Self::snapshot_due`] measures
     /// progress since the sidecar was last written.
     pub(crate) rows_at_snapshot: u64,
+    /// Distribution-drift detector; armed by [`Self::set_drift_policy`]
+    /// (requires the wrapped detector to carry a [`DriftReference`]).
+    pub(crate) drift: Option<DriftTracker>,
+    /// Capacity (rows) of the healthy-row retrain buffer; 0 = disabled.
+    /// Retrain policy, not stream state: never persisted.
+    pub(crate) retrain_cap: usize,
+    /// Recent verdict-negative, fully-observed rows — the fine-tuning
+    /// corpus. Bounded by `retrain_cap`; never persisted.
+    pub(crate) retrain_rows: VecDeque<Vec<f32>>,
 }
 
 impl StreamingMonitor {
@@ -300,6 +595,9 @@ impl StreamingMonitor {
             recoveries: 0,
             snapshot_every: None,
             rows_at_snapshot: 0,
+            drift: None,
+            retrain_cap: 0,
+            retrain_rows: VecDeque::new(),
         })
     }
 
@@ -401,8 +699,100 @@ impl StreamingMonitor {
             }
         }
         self.detector = replacement;
+        // When drift detection is armed, the new model's training
+        // distribution now defines "normal": the latched Drifted signal
+        // clears (debounced re-evaluation resumes against the
+        // replacement's reference), while the ring and trip counters
+        // survive — history, not policy. A replacement without a reference
+        // disarms; an unarmed monitor stays unarmed.
+        if self.drift.is_some() {
+            match self.detector.drift_reference() {
+                Some(r) if r.channels() == self.channels => {
+                    let t = self.drift.as_mut().expect("checked above");
+                    t.reference = r.clone();
+                    t.reset_signal();
+                }
+                _ => self.drift = None,
+            }
+        }
         obs::counter("stream.detector_swaps", 1);
         Ok(())
+    }
+
+    /// Arms distribution-drift detection with the given trip policy:
+    /// `threshold` is the score (in robust training-time spread units —
+    /// see [`DriftTracker::score`]) above which an evaluation counts
+    /// toward a trip; `debounce` is the consecutive-evaluation count
+    /// required to latch (and to clear) the signal. Returns `false` — and
+    /// stays unarmed — when the wrapped detector carries no
+    /// [`DriftReference`] for this channel count. Re-arming an armed
+    /// monitor just updates the policy; the ring and signal survive.
+    ///
+    /// Drift detection is opt-in: a monitor that never calls this behaves
+    /// exactly as before the drift subsystem existed.
+    pub fn set_drift_policy(&mut self, threshold: f64, debounce: u32) -> bool {
+        if let Some(t) = &mut self.drift {
+            t.threshold = threshold;
+            t.debounce = debounce.max(1);
+            return true;
+        }
+        match self.detector.drift_reference() {
+            Some(r) if r.channels() == self.channels => {
+                let mut t = DriftTracker::new(r.clone(), self.window);
+                t.threshold = threshold;
+                t.debounce = debounce.max(1);
+                self.drift = Some(t);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The drift detector's current state (see [`DriftStatus`]).
+    pub fn drift_status(&self) -> DriftStatus {
+        match &self.drift {
+            Some(t) => DriftStatus {
+                armed: true,
+                drifted: t.latched,
+                last_score: t.last_score,
+                evals: t.evals,
+                trips: t.trips,
+            },
+            None => DriftStatus {
+                armed: false,
+                drifted: false,
+                last_score: 0.0,
+                evals: 0,
+                trips: 0,
+            },
+        }
+    }
+
+    /// Arms the healthy-row retrain buffer: the most recent `rows`
+    /// verdict-negative, fully-observed rows are retained as the
+    /// fine-tuning corpus (0 disables and drops the buffer). Retrain
+    /// policy, not stream state — never persisted.
+    pub fn set_retrain_capacity(&mut self, rows: usize) {
+        self.retrain_cap = rows;
+        while self.retrain_rows.len() > rows {
+            self.retrain_rows.pop_front();
+        }
+    }
+
+    /// Rows currently held in the retrain buffer.
+    pub fn retrain_len(&self) -> usize {
+        self.retrain_rows.len()
+    }
+
+    /// The retrain buffer as a series (`None` while empty) — recent rows
+    /// the ensemble judged non-anomalous, in stream order, for
+    /// [`crate::finetune::FineTuner`].
+    pub fn retrain_series(&self) -> Option<Mts> {
+        if self.retrain_rows.is_empty() {
+            return None;
+        }
+        let flat: Vec<f32> = self.retrain_rows.iter().flatten().copied().collect();
+        Some(Mts::new(flat, self.retrain_rows.len(), self.channels))
     }
 
     /// The current health report (state machine position + counters).
@@ -417,6 +807,8 @@ impl StreamingMonitor {
             rewarms: self.rewarms,
             degraded_evals: self.degraded_evals,
             recoveries: self.recoveries,
+            drifted: self.drift.as_ref().is_some_and(|t| t.latched),
+            drift_trips: self.drift.as_ref().map_or(0, |t| t.trips),
         }
     }
 
@@ -662,6 +1054,9 @@ impl StreamingMonitor {
             self.buffer.pop_front();
             self.missing.pop_front();
         }
+        if let Some(tracker) = &mut self.drift {
+            tracker.push_row(&row, &miss);
+        }
         self.buffer.push_back(row);
         self.missing.push_back(miss);
         self.seen += 1;
@@ -734,6 +1129,7 @@ impl StreamingMonitor {
             fallback_scores,
             prepared_tau,
             skip_reason,
+            drift_score: self.drift.as_ref().and_then(|t| t.score()),
             item,
         }
     }
@@ -813,17 +1209,64 @@ impl StreamingMonitor {
             }
         };
 
-        // Successful full inference: (re)calibrate the fallback threshold
-        // while the ensemble vouches for the stream, and recover if we
-        // were degraded.
-        if self.health == HealthState::Degraded {
-            self.recoveries += 1;
-            obs::counter("stream.recoveries", 1);
+        // Drift bookkeeping resolves now, in completion order, on the
+        // score captured at trigger time — exactly the state a sequential
+        // push-per-row interleaving would have seen (bit-fidelity).
+        if let Some(tracker) = &mut self.drift {
+            if let Some(score) = req.drift_score {
+                obs::counter("stream.drift.evals", 1);
+                obs::histogram("stream.drift.score", score);
+                if tracker.observe(score) {
+                    obs::counter("stream.drift.trips", 1);
+                }
+            }
         }
-        self.set_health(HealthState::Healthy);
-        self.last_degraded_reason = None;
+        let drifted = self.drift.as_ref().is_some_and(|t| t.latched);
+
+        if drifted {
+            // The ensemble still runs and its verdicts are emitted, but
+            // the model no longer matches the stream's distribution, so
+            // the health machine flags the tenant for retraining. The
+            // signal clears on a detector swap (retrain promoted) or a
+            // debounced return below the threshold (transient drift).
+            let t = self.drift.as_ref().expect("latched implies tracker");
+            self.last_degraded_reason = Some(format!(
+                "distribution drift: score {:.3} over threshold {:.3}",
+                t.last_score, t.threshold
+            ));
+            self.set_health(HealthState::Degraded);
+        } else {
+            // Successful full inference with no drift latch: (re)calibrate
+            // the fallback threshold while the ensemble vouches for the
+            // stream, and recover if we were degraded.
+            if self.health == HealthState::Degraded {
+                self.recoveries += 1;
+                obs::counter("stream.recoveries", 1);
+            }
+            self.set_health(HealthState::Healthy);
+            self.last_degraded_reason = None;
+        }
         if let Some(tau) = req.prepared_tau {
             self.fallback_tau = Some(tau);
+        }
+
+        // Harvest verdict-negative, fully-observed rows for the
+        // fine-tuning corpus (drifted rows included deliberately — the
+        // retrain must learn the new distribution; anomalies excluded so
+        // the model never normalizes attack data).
+        if self.retrain_cap > 0 {
+            for i in 0..self.hop {
+                let pos = self.window - self.hop + i;
+                let cells = &req.miss_flat[pos * self.channels..(pos + 1) * self.channels];
+                if labels[pos] || cells.iter().any(|&m| m) {
+                    continue;
+                }
+                if self.retrain_rows.len() == self.retrain_cap {
+                    self.retrain_rows.pop_front();
+                }
+                self.retrain_rows
+                    .push_back(req.window_data.row(pos).to_vec());
+            }
         }
 
         // Emit the newest `hop` positions of the window.
@@ -926,6 +1369,114 @@ mod tests {
         det.fit(&ds.train).unwrap();
         let channels = ds.train.dim();
         (StreamingMonitor::new(det, channels, hop).unwrap(), ds)
+    }
+
+    /// Cuts rows `[from, to)` of a series into an owned `Mts`.
+    fn slice_rows(series: &imdiff_data::Mts, from: usize, to: usize) -> imdiff_data::Mts {
+        let k = series.dim();
+        let mut data = Vec::with_capacity((to - from) * k);
+        for l in from..to {
+            data.extend_from_slice(series.row(l));
+        }
+        imdiff_data::Mts::new(data, to - from, k)
+    }
+
+    #[test]
+    fn drift_latches_on_regime_change_and_degrades() {
+        use imdiff_data::scenario::{drift, ScenarioProfile};
+        let sc = drift(&ScenarioProfile::quick(), 11);
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 4);
+        det.fit(&sc.train).unwrap();
+        let mut monitor = StreamingMonitor::new(det, sc.train.dim(), 8).unwrap();
+        assert!(monitor.set_drift_policy(3.0, 2));
+        // The pre-change stream matches the training distribution.
+        for l in 0..sc.change_start {
+            monitor.push(sc.stream.row(l)).unwrap();
+        }
+        assert!(!monitor.drift_status().drifted, "false positive before the change");
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+        // Past the ramp the signal latches and the health machine degrades.
+        for l in sc.change_start..sc.stream.len() {
+            monitor.push(sc.stream.row(l)).unwrap();
+        }
+        let st = monitor.drift_status();
+        assert!(st.armed && st.drifted && st.trips >= 1, "{st:?}");
+        let health = monitor.health();
+        assert_eq!(health.state, HealthState::Degraded);
+        assert!(health.drifted);
+        assert!(monitor
+            .last_degraded_reason()
+            .is_some_and(|r| r.contains("drift")));
+    }
+
+    #[test]
+    fn detector_swap_rebaselines_drift_and_recovers() {
+        use imdiff_data::scenario::{drift, ScenarioProfile};
+        let sc = drift(&ScenarioProfile::quick(), 11);
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 4);
+        det.fit(&sc.train).unwrap();
+        let mut monitor = StreamingMonitor::new(det, sc.train.dim(), 8).unwrap();
+        assert!(monitor.set_drift_policy(3.0, 2));
+        let half = sc.change_start + (sc.stream.len() - sc.change_start) / 2;
+        for l in 0..half {
+            monitor.push(sc.stream.row(l)).unwrap();
+        }
+        assert!(monitor.drift_status().drifted);
+        // Retrain on the post-change regime and hot-swap: the new
+        // reference defines normal, so the latch clears and stays clear.
+        let tail = slice_rows(&sc.stream, sc.change_start + 200, sc.stream.len());
+        let mut det2 = ImDiffusionDetector::new(tiny_cfg(), 7);
+        det2.fit(&tail).unwrap();
+        monitor.swap_detector(det2).unwrap();
+        assert!(!monitor.drift_status().drifted);
+        for l in half..sc.stream.len() {
+            monitor.push(sc.stream.row(l)).unwrap();
+        }
+        let st = monitor.drift_status();
+        assert!(st.armed && !st.drifted, "{st:?}");
+        assert_eq!(monitor.health().state, HealthState::Healthy);
+        assert!(monitor.health().recoveries >= 1);
+    }
+
+    #[test]
+    fn retrain_buffer_collects_verdict_negative_rows() {
+        let (mut monitor, ds) = fitted_monitor(8);
+        monitor.set_retrain_capacity(24);
+        for l in 0..ds.test.len() {
+            monitor.push(ds.test.row(l)).unwrap();
+        }
+        let n = monitor.retrain_len();
+        assert!(n > 0 && n <= 24, "retrain buffer holds {n} rows");
+        let series = monitor.retrain_series().expect("non-empty buffer");
+        assert_eq!(series.dim(), ds.test.dim());
+        assert_eq!(series.len(), n);
+        // Shrinking the capacity drops the oldest rows; 0 disables.
+        monitor.set_retrain_capacity(4);
+        assert!(monitor.retrain_len() <= 4);
+        monitor.set_retrain_capacity(0);
+        assert_eq!(monitor.retrain_len(), 0);
+        assert!(monitor.retrain_series().is_none());
+    }
+
+    #[test]
+    fn drift_policy_requires_reference() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 80,
+                test_len: 16,
+            },
+            4,
+        );
+        let mut det = ImDiffusionDetector::new(tiny_cfg(), 4);
+        det.fit(&ds.train).unwrap();
+        det.set_drift_reference(None);
+        let mut monitor = StreamingMonitor::new(det, ds.train.dim(), 8).unwrap();
+        assert!(!monitor.set_drift_policy(3.0, 2));
+        assert!(!monitor.drift_status().armed);
+        // And a monitor that never arms the policy reports unarmed too.
+        let (monitor, _) = fitted_monitor(8);
+        assert!(!monitor.drift_status().armed);
     }
 
     #[test]

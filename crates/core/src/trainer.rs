@@ -44,7 +44,7 @@ use crate::model::ImTransformer;
 use crate::persist::Reader;
 
 const TRAIN_MAGIC: &[u8; 4] = b"IMTS";
-const TRAIN_VERSION: u32 = 1;
+const TRAIN_VERSION: u32 = 2;
 
 /// Why a divergence sentinel tripped.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +117,13 @@ pub struct TrainerOptions {
     pub stop_after: Option<usize>,
     /// Divergence-sentinel thresholds and retry policy.
     pub sentinel: SentinelConfig,
+    /// Exponential-moving-average decay for a shadow copy of the weights
+    /// (e.g. `0.99`). When set, the shadow updates after every optimizer
+    /// step, rides the `IMTS` checkpoint (so resume stays bit-exact) and
+    /// replaces the raw weights when the run **completes** — candidate
+    /// evaluation then scores the smoothed model instead of whatever the
+    /// last noisy step produced. `None` (the default) changes nothing.
+    pub ema: Option<f32>,
 }
 
 impl Default for TrainerOptions {
@@ -126,6 +133,7 @@ impl Default for TrainerOptions {
             checkpoint_path: None,
             stop_after: None,
             sentinel: SentinelConfig::default(),
+            ema: None,
         }
     }
 }
@@ -152,6 +160,9 @@ struct LiveState {
     losses: Vec<f32>,
     grad_norms: VecDeque<f32>,
     incidents: Vec<TrainIncident>,
+    /// EMA shadow weights, parallel to the parameter list (present iff
+    /// [`TrainerOptions::ema`] is set).
+    ema: Option<Vec<Vec<f32>>>,
 }
 
 /// A complete copy of the training state at one step boundary — the
@@ -166,6 +177,7 @@ struct Snapshot {
     adam: AdamState,
     losses: Vec<f32>,
     grad_norms: Vec<f32>,
+    ema: Option<Vec<Vec<f32>>>,
 }
 
 impl Snapshot {
@@ -180,6 +192,7 @@ impl Snapshot {
             adam: opt.export_state(),
             losses: st.losses.clone(),
             grad_norms: st.grad_norms.iter().copied().collect(),
+            ema: st.ema.clone(),
         }
     }
 }
@@ -310,11 +323,25 @@ impl Trainer {
             losses: Vec::with_capacity(cfg.train_steps),
             grad_norms: VecDeque::new(),
             incidents: Vec::new(),
+            ema: self
+                .opts
+                .ema
+                .map(|_| params.iter().map(|p| p.to_vec()).collect()),
         };
         let mut resumed_at = None;
         let start_step = match restored {
             Some(snap) => {
                 restore_into(&snap, &params, &mut opt, &mut st)?;
+                // Reconcile the shadow with this run's options: seed it
+                // from the restored weights when the checkpoint predates
+                // the EMA (v1), drop it when EMA is off for this run.
+                match self.opts.ema {
+                    Some(_) if st.ema.is_none() => {
+                        st.ema = Some(params.iter().map(|p| p.to_vec()).collect());
+                    }
+                    None => st.ema = None,
+                    _ => {}
+                }
                 resumed_at = Some(snap.step);
                 snap.step
             }
@@ -441,6 +468,14 @@ impl Trainer {
                 st.grad_norms.pop_front();
             }
             st.grad_norms.push_back(pre_clip);
+            if let (Some(decay), Some(ema)) = (self.opts.ema, &mut st.ema) {
+                for (shadow, p) in ema.iter_mut().zip(&params) {
+                    let live = p.to_vec();
+                    for (s, &w) in shadow.iter_mut().zip(&live) {
+                        *s = decay * *s + (1.0 - decay) * w;
+                    }
+                }
+            }
             obs::counter("trainer.steps", 1);
             step += 1;
 
@@ -452,6 +487,19 @@ impl Trainer {
                     obs::counter("trainer.checkpoints", 1);
                     write_train_state(path, &snap, &st.incidents, cfg, k)?;
                 }
+            }
+        }
+
+        // Only a run that reached its configured horizon hands the smoothed
+        // weights to the caller; an interrupted run (stop_after) leaves the
+        // raw weights in place so a resume continues bit-exactly from the
+        // checkpointed trajectory.
+        if step >= cfg.train_steps && self.opts.ema.is_some() {
+            if let Some(ema) = &st.ema {
+                for (p, shadow) in params.iter().zip(ema) {
+                    p.set_data(shadow);
+                }
+                obs::counter("trainer.ema_applied", 1);
             }
         }
 
@@ -507,6 +555,7 @@ fn trip(
     opt.zero_grad();
     st.losses.truncate(snap.losses.len());
     st.grad_norms = snap.grad_norms.iter().copied().collect();
+    st.ema = snap.ema.clone();
     st.rng = retry_rng(snap.rng_state, st.trips);
     Ok(())
 }
@@ -541,6 +590,7 @@ fn restore_into(
     st.trips = snap.trips;
     st.losses = snap.losses.clone();
     st.grad_norms = snap.grad_norms.iter().copied().collect();
+    st.ema = snap.ema.clone();
     Ok(())
 }
 
@@ -596,6 +646,20 @@ fn write_train_state(
         p.extend_from_slice(&norm.to_le_bytes());
         p.extend_from_slice(&med.to_le_bytes());
     }
+    // v2: optional EMA shadow block. v1 readers never reach here; the v2
+    // reader treats a 0 flag as "EMA off for this run".
+    match &snap.ema {
+        Some(ema) => {
+            p.push(1);
+            for w in ema {
+                p.extend_from_slice(&(w.len() as u32).to_le_bytes());
+                for &x in w {
+                    p.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        None => p.push(0),
+    }
 
     let mut b: Vec<u8> = Vec::with_capacity(p.len() + 12);
     b.extend_from_slice(TRAIN_MAGIC);
@@ -625,7 +689,7 @@ fn read_train_state(
         ));
     }
     let version = r.u32()?;
-    if version != TRAIN_VERSION {
+    if !(1..=TRAIN_VERSION).contains(&version) {
         return Err(DetectorError::CorruptCheckpoint(format!(
             "unsupported training checkpoint version {version}"
         )));
@@ -696,6 +760,28 @@ fn read_train_state(
         r.f32()?;
         r.f32()?;
     }
+    // v1 checkpoints predate the EMA shadow; a resume seeds it from the
+    // restored weights when this run asks for EMA.
+    let ema = if version >= 2 && r.u8()? == 1 {
+        let mut shadow = Vec::with_capacity(n_params);
+        for stored in &params {
+            let len = r.u32()? as usize;
+            if len != stored.len() {
+                return Err(DetectorError::CorruptCheckpoint(format!(
+                    "EMA shadow length {len} does not match parameter length {}",
+                    stored.len()
+                )));
+            }
+            let mut w = Vec::with_capacity(len);
+            for _ in 0..len {
+                w.push(r.f32()?);
+            }
+            shadow.push(w);
+        }
+        Some(shadow)
+    } else {
+        None
+    };
     Ok(Snapshot {
         step,
         rng_state,
@@ -706,6 +792,7 @@ fn read_train_state(
         adam: AdamState { m, v, t },
         losses,
         grad_norms,
+        ema,
     })
 }
 
@@ -1022,6 +1109,143 @@ mod tests {
             let mut r = StdRng::from_state(state);
             (0..8).map(|_| r.gen::<u64>()).collect::<Vec<u64>>()
         });
+    }
+
+    fn weights_of(model: &ImTransformer) -> Vec<Vec<f32>> {
+        model.params().iter().map(|p| p.to_vec()).collect()
+    }
+
+    #[test]
+    fn ema_smooths_weights_deterministically() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 16,
+            },
+            5,
+        );
+        let cfg = tiny_cfg();
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let run = |ema: Option<f32>| {
+            let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
+            Trainer::new(TrainerOptions {
+                ema,
+                ..TrainerOptions::default()
+            })
+            .run(&model, &cfg, &schedule, &ds.train, 7)
+            .unwrap();
+            weights_of(&model)
+        };
+        let raw = run(None);
+        let smoothed = run(Some(0.9));
+        assert_eq!(smoothed, run(Some(0.9)), "EMA run not deterministic");
+        assert_ne!(raw, smoothed, "EMA flag inert");
+    }
+
+    #[test]
+    fn ema_resume_matches_uninterrupted_run() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 16,
+            },
+            5,
+        );
+        let cfg = tiny_cfg();
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let path = std::env::temp_dir().join(format!(
+            "imdiffusion-ema-resume-{}.imts",
+            std::process::id()
+        ));
+
+        let uninterrupted = {
+            let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
+            Trainer::new(TrainerOptions {
+                ema: Some(0.9),
+                ..TrainerOptions::default()
+            })
+            .run(&model, &cfg, &schedule, &ds.train, 7)
+            .unwrap();
+            weights_of(&model)
+        };
+
+        let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
+        Trainer::new(TrainerOptions {
+            ema: Some(0.9),
+            checkpoint_every: 3,
+            checkpoint_path: Some(path.clone()),
+            stop_after: Some(6),
+            ..TrainerOptions::default()
+        })
+        .run(&model, &cfg, &schedule, &ds.train, 7)
+        .unwrap();
+        // The interrupted run leaves *raw* weights so the resume replays
+        // the exact trajectory; only a completed run applies the shadow.
+        assert_ne!(weights_of(&model), uninterrupted);
+        Trainer::new(TrainerOptions {
+            ema: Some(0.9),
+            checkpoint_every: 3,
+            checkpoint_path: Some(path.clone()),
+            ..TrainerOptions::default()
+        })
+        .resume(&model, &cfg, &schedule, &ds.train, 7)
+        .unwrap();
+        assert_eq!(weights_of(&model), uninterrupted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_train_state_resumes_with_fresh_ema() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 64,
+                test_len: 16,
+            },
+            5,
+        );
+        let cfg = tiny_cfg();
+        let schedule = NoiseSchedule::new(cfg.schedule, cfg.diffusion_steps);
+        let path = std::env::temp_dir().join(format!(
+            "imdiffusion-imts-v1-{}.imts",
+            std::process::id()
+        ));
+        let model = ImTransformer::new(&cfg, ds.train.dim(), 3);
+        Trainer::new(TrainerOptions {
+            checkpoint_every: 3,
+            checkpoint_path: Some(path.clone()),
+            stop_after: Some(6),
+            ..TrainerOptions::default()
+        })
+        .run(&model, &cfg, &schedule, &ds.train, 7)
+        .unwrap();
+
+        // Rewrite the checkpoint as a v1 file: strip the trailing EMA flag
+        // byte (the only v2 addition when EMA is off), refresh the CRC and
+        // downgrade the header version.
+        let bytes = std::fs::read(&path).unwrap();
+        let payload = &bytes[12..bytes.len() - 1];
+        let mut v1 = Vec::with_capacity(bytes.len() - 1);
+        v1.extend_from_slice(TRAIN_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&crc32(payload).to_le_bytes());
+        v1.extend_from_slice(payload);
+        std::fs::write(&path, &v1).unwrap();
+
+        // A v1 checkpoint resumes both without EMA and with EMA freshly
+        // seeded from the restored weights.
+        let report = Trainer::new(TrainerOptions {
+            ema: Some(0.9),
+            checkpoint_path: Some(path.clone()),
+            ..TrainerOptions::default()
+        })
+        .resume(&model, &cfg, &schedule, &ds.train, 7)
+        .unwrap();
+        assert_eq!(report.resumed_at, Some(6));
+        assert_eq!(report.losses.len(), cfg.train_steps);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

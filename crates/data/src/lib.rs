@@ -13,6 +13,9 @@
 //! * [`replay`] — a deterministic client-side stream feeder that cuts a
 //!   series into score-request chunks (gaps, NaN cells, jittered sizes)
 //!   for driving the serving layer in tests and benches;
+//! * [`scenario`] — continual-learning scenarios (gradual drift, abrupt
+//!   regime change, variable-rate traffic) with ground truth, for the
+//!   drift→retrain→promote loop tests;
 //! * [`Detector`] — the interface every detector (ImDiffusion and all ten
 //!   baselines) implements so the evaluation harness can drive them
 //!   uniformly.
@@ -24,6 +27,7 @@ pub mod mask;
 mod mts;
 pub mod production;
 pub mod replay;
+pub mod scenario;
 pub mod synthetic;
 
 pub use detector::{Detection, Detector, DetectorError};

@@ -296,6 +296,8 @@ pub fn run_chaos(plan: &ChaosPlan) -> Result<ChaosReport, String> {
             seed,
             channels: ds.test.dim(),
             hop: 2,
+            holdout: None,
+            drift_policy: None,
         });
         tenants.push(TenantState {
             id,

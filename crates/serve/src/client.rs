@@ -23,8 +23,8 @@ use std::time::Duration;
 use imdiff_nn::obs;
 
 use crate::wire::{
-    read_response, write_frame, ErrorCode, Request, Response, TenantHealth, WireError,
-    WireVerdict,
+    read_response, write_frame, ErrorCode, PromotionVerdict, Request, Response,
+    TenantHealth, WireError, WireVerdict,
 };
 
 /// Client-side failures.
@@ -91,6 +91,18 @@ impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
         ClientError::Wire(e)
     }
+}
+
+/// Outcome of a reload request: the tenant's active model generation
+/// after the attempt, plus the last promotion/rollback verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// Model generation currently serving the tenant.
+    pub generation: u64,
+    /// Latest promotion/rollback decision.
+    pub verdict: PromotionVerdict,
+    /// Human-readable explanation (gate scores, rollback cause, ...).
+    pub detail: String,
 }
 
 /// Verdicts for one score request, all produced by a single model
@@ -230,14 +242,31 @@ impl ServeClient {
         }
     }
 
-    /// Forces a checkpoint reload check for `tenant`. `Ok` means the new
-    /// weights were validated and handed to the owning shard; the swap
-    /// lands between batches (watch the generation in the health report).
-    pub fn reload(&mut self, tenant: &str) -> Result<(), ClientError> {
+    /// Forces a checkpoint reload check for `tenant` and reports the
+    /// outcome: the tenant's **active** model generation (the server
+    /// answers after any resulting swap has landed, so a `Promoted`
+    /// outcome's generation is the one now serving) plus the latest
+    /// promotion/rollback verdict and its human-readable detail.
+    pub fn reload(&mut self, tenant: &str) -> Result<ReloadOutcome, ClientError> {
         self.send(&Request::Reload {
             tenant: tenant.into(),
         })?;
-        self.expect_ok()
+        match self.recv()? {
+            Response::ReloadStatus {
+                generation,
+                verdict,
+                detail,
+            } => Ok(ReloadOutcome {
+                generation,
+                verdict,
+                detail,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted reload status, got kind {}",
+                other.kind()
+            ))),
+        }
     }
 
     /// Asks a replica to adopt (activate and load) a registered tenant,

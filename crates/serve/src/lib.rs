@@ -45,10 +45,13 @@ pub mod supervisor;
 pub mod wire;
 
 pub use chaos::{ChaosEvent, ChaosPlan, ChaosReport};
-pub use client::{Backoff, ClientError, ResilientClient, RetryPolicy, Scored, ServeClient};
+pub use client::{
+    Backoff, ClientError, ReloadOutcome, ResilientClient, RetryPolicy, Scored, ServeClient,
+};
 pub use router::{Ring, RouterConfig};
-pub use server::{ServeConfig, ServeError, Server, TenantSpec};
+pub use server::{HoldoutSpec, ServeConfig, ServeError, Server, TenantSpec};
 pub use supervisor::Replicated;
 pub use wire::{
-    ErrorCode, Request, Response, TenantHealth, WireError, WireHealthState, WireVerdict,
+    ErrorCode, PromotionVerdict, Request, Response, TenantHealth, WireError,
+    WireHealthState, WireVerdict,
 };

@@ -57,16 +57,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
 
-use imdiff_data::DetectorError;
+use imdiff_data::{DetectorError, Mts};
 use imdiff_nn::obs;
 use imdiffusion::{
-    BatchItem, DetectorSpec, HealthState, ImDiffusionConfig, ImDiffusionDetector,
-    MonitorHealth, StreamingMonitor,
+    BatchItem, DetectorSpec, EnsembleOutput, HealthState, ImDiffusionConfig,
+    ImDiffusionDetector, MonitorHealth, StreamingMonitor,
 };
 
 use crate::wire::{
-    self, ErrorCode, Request, Response, TenantHealth, WireError, WireHealthState,
-    WireVerdict,
+    self, ErrorCode, PromotionVerdict, Request, Response, TenantHealth, WireError,
+    WireHealthState, WireVerdict,
 };
 
 // ---------------------------------------------------------------------------
@@ -91,6 +91,42 @@ pub struct TenantSpec {
     pub channels: usize,
     /// Evaluation hop of the monitor (rows between evaluations).
     pub hop: usize,
+    /// Validation gate for hot reloads: a candidate checkpoint must beat
+    /// (or tie) the incumbent on this held-out replay slice before it is
+    /// handed to the shard. `None` promotes every loadable candidate
+    /// unconditionally (the pre-gate behavior).
+    pub holdout: Option<HoldoutSpec>,
+    /// Drift policy `(threshold, debounce)` armed on the monitor at load
+    /// time. Arms only when the checkpoint carries a training-time drift
+    /// reference; legacy weight files (and `None`) serve unarmed with
+    /// bit-identical behavior.
+    pub drift_policy: Option<(f64, u32)>,
+}
+
+/// A held-out replay slice for validation-gated promotion.
+///
+/// The gate cuts `rows` into consecutive non-overlapping windows of the
+/// tenant's configured window length (a trailing partial window is
+/// ignored), scores each with both the candidate and the incumbent via
+/// the read-only batched inference path, and promotes only when the
+/// candidate is at least as good:
+///
+/// * with `labels`, point F1 decides and **ties promote** — fresh weights
+///   also re-baseline the drift reference, so an equally-accurate
+///   candidate is strictly preferable;
+/// * without labels there is no ground truth to rank by, so the gate is a
+///   guard-rail instead: the candidate passes while its mean absolute
+///   score deviation from the incumbent stays within `score_tolerance`
+///   (a grossly divergent candidate is rejected).
+#[derive(Debug, Clone)]
+pub struct HoldoutSpec {
+    /// Replay rows in stream order, each `channels` wide.
+    pub rows: Vec<Vec<f32>>,
+    /// Ground-truth point-anomaly labels aligned with `rows`.
+    pub labels: Option<Vec<bool>>,
+    /// Label-free bound on the candidate/incumbent mean absolute score
+    /// deviation (ignored when `labels` is present).
+    pub score_tolerance: f64,
 }
 
 /// Server tuning knobs.
@@ -131,6 +167,19 @@ pub struct ServeConfig {
     /// a typed [`ErrorCode::Interrupted`] (resync, do not re-submit
     /// fresh) instead of being re-ingested.
     pub replay_cache: usize,
+    /// Post-promotion regression sentinel: verdicts observed after a hot
+    /// swap before the promotion is confirmed or rolled back. The
+    /// decision fires on exactly this many post-swap verdicts regardless
+    /// of batch boundaries, so it is deterministic at any thread count.
+    /// `0` disables the sentinel (swaps are final).
+    pub regression_watch: usize,
+    /// Rollback triggers when the post-swap anomaly rate exceeds
+    /// `regression_factor ×` the pre-swap baseline rate.
+    pub regression_factor: f64,
+    /// Anomaly-rate floor for the sentinel: the post-swap rate must also
+    /// exceed this absolute rate to trigger, so a near-zero baseline does
+    /// not turn a single anomalous verdict into a rollback.
+    pub regression_min_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +196,9 @@ impl Default for ServeConfig {
             idle_timeout: None,
             snapshot_every: None,
             replay_cache: 32,
+            regression_watch: 64,
+            regression_factor: 4.0,
+            regression_min_rate: 0.25,
         }
     }
 }
@@ -213,6 +265,16 @@ struct TenantShared {
     /// Last checkpoint stamp examined by reload (watcher or manual), so
     /// one rewrite triggers exactly one reload attempt.
     reload_stamp: Mutex<Option<FileStamp>>,
+    /// Latest promotion/rollback decision, answered on `Reload` requests.
+    promo: Mutex<(PromotionVerdict, String)>,
+    /// Spec of the detector currently serving (what the validation gate
+    /// compares candidates against). Captured at load/adoption and
+    /// refreshed on every swap.
+    incumbent: Mutex<Option<Box<DetectorSpec>>>,
+    /// Pre-promotion incumbent archived for the regression sentinel;
+    /// taken (one-shot) on rollback or once the watch confirms the
+    /// promotion.
+    rollback: Mutex<Option<Box<DetectorSpec>>>,
 }
 
 /// A queued scoring request.
@@ -231,9 +293,12 @@ struct ScoreJob {
 enum ShardCmd {
     /// Swap in reloaded weights for a tenant this shard owns. Boxed:
     /// specs embed full weight tensors and would dominate the enum size.
+    /// `reply` (wire `Reload` requests only) is answered **after** the
+    /// swap lands, so the reported generation is the one now serving.
     Swap {
         tenant: usize,
         spec: Box<DetectorSpec>,
+        reply: Option<mpsc::Sender<Response>>,
     },
     /// Activate a tenant (failover adoption): restore from the IMSM
     /// sidecar when present, fresh-load otherwise. Monitors hold
@@ -304,6 +369,44 @@ impl SeqState {
     }
 }
 
+/// Verdicts remembered for the regression baseline (pre-swap anomaly
+/// rate). Bounds memory; large enough that one noisy batch cannot skew
+/// the rate.
+const REGRESSION_BASELINE_WINDOW: usize = 256;
+
+/// Shard-local post-promotion regression sentinel for one tenant. Fed
+/// the tenant's verdict stream in order, so its decisions depend only on
+/// that stream and the config — deterministic at any thread count or
+/// batch coalescing.
+#[derive(Default)]
+struct PromoState {
+    /// Rolling recent verdicts (`true` = anomalous) while no watch is
+    /// active; their anomaly rate is the baseline a promotion must not
+    /// regress from.
+    recent: VecDeque<bool>,
+    /// Active post-swap watch, armed by a successful promotion.
+    watch: Option<RegressionWatch>,
+}
+
+struct RegressionWatch {
+    /// Pre-swap anomaly rate.
+    baseline: f64,
+    /// Post-swap verdicts observed so far.
+    seen: usize,
+    /// How many of them were anomalous.
+    anomalous: usize,
+}
+
+impl PromoState {
+    fn baseline_rate(&self) -> f64 {
+        if self.recent.is_empty() {
+            0.0
+        } else {
+            self.recent.iter().filter(|&&b| b).count() as f64 / self.recent.len() as f64
+        }
+    }
+}
+
 #[derive(Default)]
 struct ShardQueue {
     jobs: VecDeque<ScoreJob>,
@@ -368,6 +471,8 @@ impl ServerInner {
                     rewarms: h.rewarms,
                     recoveries: h.recoveries,
                     queue_depth: t.queue_depth.load(Ordering::SeqCst),
+                    drifted: h.drifted,
+                    drift_trips: h.drift_trips,
                 }
             })
             .collect();
@@ -375,10 +480,22 @@ impl ServerInner {
         Response::Health { tenants }
     }
 
-    /// Loads `tenant`'s checkpoint and hands the weights to its shard.
-    /// Validation (CRC, shapes) happens here, off the shard thread: a bad
-    /// file never interrupts serving.
-    fn reload_tenant(&self, tenant: usize, new_stamp: Option<FileStamp>) -> Result<(), String> {
+    /// Loads `tenant`'s checkpoint, runs the validation gate when the
+    /// tenant has one, and hands a passing candidate to its shard.
+    /// Validation (CRC, shapes, holdout scoring) happens here, off the
+    /// shard thread: a bad or losing candidate never interrupts serving.
+    ///
+    /// When `reply` is present (wire `Reload` requests) every outcome is
+    /// answered through it with a [`Response::ReloadStatus`] — a rejected
+    /// candidate inline, a promoted one by the shard *after* the swap
+    /// lands. `Err` is returned only for an unplaced tenant, with the
+    /// reply not consumed.
+    fn reload_tenant(
+        &self,
+        tenant: usize,
+        new_stamp: Option<FileStamp>,
+        reply: Option<&mpsc::Sender<Response>>,
+    ) -> Result<(), String> {
         let t = &self.tenants[tenant];
         if !t.active.load(Ordering::SeqCst) {
             return Err(format!(
@@ -390,33 +507,202 @@ impl ServerInner {
             let mut guard = t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner());
             *guard = new_stamp.or_else(|| stamp(&t.spec.checkpoint));
         }
-        let det = ImDiffusionDetector::load(
+        let reject = |verdict: PromotionVerdict, msg: String| {
+            *t.promo.lock().unwrap_or_else(|e| e.into_inner()) = (verdict, msg.clone());
+            if let Some(tx) = reply {
+                let _ = tx.send(Response::ReloadStatus {
+                    generation: t.generation.load(Ordering::SeqCst),
+                    verdict,
+                    detail: msg,
+                });
+            }
+        };
+        let spec = match ImDiffusionDetector::load(
             t.spec.cfg.clone(),
             t.spec.seed,
             t.spec.channels,
             &t.spec.checkpoint,
         )
-        .map_err(|e| {
-            obs::counter("serve.reload_errors", 1);
-            format!("cannot reload {}: {e}", t.spec.id)
-        })?;
-        let spec = det
-            .to_spec()
-            .ok_or_else(|| format!("reloaded detector for {} is unfitted", t.spec.id))?;
+        .map_err(|e| format!("cannot reload {}: {e}", t.spec.id))
+        .and_then(|det| {
+            det.to_spec()
+                .ok_or_else(|| format!("reloaded detector for {} is unfitted", t.spec.id))
+        }) {
+            Ok(spec) => spec,
+            Err(msg) => {
+                // A corrupt rewrite (CRC mismatch, truncation, geometry
+                // drift) is refused here and never reaches the shard —
+                // the incumbent keeps serving without a gap.
+                obs::counter("serve.reload_errors", 1);
+                obs::counter("serve.promotion.rejected_corrupt", 1);
+                reject(PromotionVerdict::RejectedCorrupt, msg);
+                return Ok(());
+            }
+        };
+        if let Some(holdout) = &t.spec.holdout {
+            let incumbent = t.incumbent.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            if let Some(inc) = incumbent {
+                obs::counter("serve.promotion.evaluated", 1);
+                if let Err(msg) = gate_candidate(&spec, &inc, holdout, &t.spec) {
+                    obs::counter("serve.promotion.rejected_gate", 1);
+                    reject(PromotionVerdict::RejectedGate, msg);
+                    return Ok(());
+                }
+            }
+        }
         let shard = &self.shards[t.shard];
         {
             let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
-            // One pending swap per tenant is enough; newest wins.
-            q.cmds.retain(
-                |cmd| !matches!(cmd, ShardCmd::Swap { tenant: i, .. } if *i == tenant),
-            );
+            // One pending swap per tenant is enough; newest wins. A
+            // superseded reload's requester still gets an answer.
+            let mut superseded: Vec<mpsc::Sender<Response>> = Vec::new();
+            q.cmds.retain(|cmd| match cmd {
+                ShardCmd::Swap {
+                    tenant: i, reply, ..
+                } if *i == tenant => {
+                    superseded.extend(reply.clone());
+                    false
+                }
+                _ => true,
+            });
+            for tx in superseded {
+                let verdict = t.promo.lock().unwrap_or_else(|e| e.into_inner()).0;
+                let _ = tx.send(Response::ReloadStatus {
+                    generation: t.generation.load(Ordering::SeqCst),
+                    verdict,
+                    detail: "superseded by a newer reload of the same tenant".into(),
+                });
+            }
             q.cmds.push(ShardCmd::Swap {
                 tenant,
                 spec: Box::new(spec),
+                reply: reply.cloned(),
             });
         }
         shard.cv.notify_all();
         Ok(())
+    }
+}
+
+/// The validation gate: scores the tenant's held-out replay slice with
+/// both the candidate and the incumbent (read-only batched inference —
+/// serving is never paused) and decides the promotion. `Ok(detail)`
+/// promotes, `Err(detail)` keeps the incumbent. Fail-closed: a holdout
+/// too short for one window, mis-shaped rows, or a scoring failure all
+/// reject — loudly, via the reload verdict — rather than promoting an
+/// unvalidated candidate.
+fn gate_candidate(
+    candidate: &DetectorSpec,
+    incumbent: &DetectorSpec,
+    holdout: &HoldoutSpec,
+    spec: &TenantSpec,
+) -> Result<String, String> {
+    let _span = obs::span("serve.promotion.gate");
+    let (w, k) = (spec.cfg.window, spec.channels);
+    if holdout.rows.iter().any(|r| r.len() != k) {
+        return Err(format!("holdout rows must all be {k} channels wide"));
+    }
+    let n_win = holdout.rows.len() / w;
+    if n_win == 0 {
+        return Err(format!(
+            "holdout has {} rows, shorter than one {w}-row window; refusing to \
+             promote unvalidated",
+            holdout.rows.len()
+        ));
+    }
+    let windows: Vec<Mts> = (0..n_win)
+        .map(|i| {
+            let mut data = Vec::with_capacity(w * k);
+            for row in &holdout.rows[i * w..(i + 1) * w] {
+                data.extend_from_slice(row);
+            }
+            Mts::new(data, w, k)
+        })
+        .collect();
+    let refs: Vec<(&Mts, Option<&[bool]>)> = windows.iter().map(|m| (m, None)).collect();
+    let cand_out = candidate
+        .build()
+        .detect_windows(&refs)
+        .map_err(|e| format!("candidate failed holdout scoring: {e}"))?;
+    let inc_out = incumbent
+        .build()
+        .detect_windows(&refs)
+        .map_err(|e| format!("incumbent failed holdout scoring: {e}"))?;
+    match &holdout.labels {
+        Some(labels) => {
+            if labels.len() < n_win * w {
+                return Err(format!(
+                    "holdout labels cover {} of {} scored rows",
+                    labels.len(),
+                    n_win * w
+                ));
+            }
+            let truth = &labels[..n_win * w];
+            let cand_f1 = point_f1(&verdict_flags(&cand_out), truth);
+            let inc_f1 = point_f1(&verdict_flags(&inc_out), truth);
+            // Ties promote: equal accuracy plus a fresh drift baseline
+            // beats equal accuracy alone.
+            if cand_f1 + 1e-12 >= inc_f1 {
+                Ok(format!(
+                    "candidate F1 {cand_f1:.4} vs incumbent {inc_f1:.4} over {n_win} \
+                     holdout windows"
+                ))
+            } else {
+                Err(format!(
+                    "candidate F1 {cand_f1:.4} lost to incumbent {inc_f1:.4} over \
+                     {n_win} holdout windows"
+                ))
+            }
+        }
+        None => {
+            let mut dev = 0.0f64;
+            let mut n = 0usize;
+            for (c, i) in cand_out.iter().zip(&inc_out) {
+                for (a, b) in c.scores.iter().zip(&i.scores) {
+                    dev += (a - b).abs();
+                    n += 1;
+                }
+            }
+            let mean = if n == 0 { 0.0 } else { dev / n as f64 };
+            if mean.is_finite() && mean <= holdout.score_tolerance {
+                Ok(format!(
+                    "candidate score deviation {mean:.4} within tolerance {:.4} over \
+                     {n_win} holdout windows",
+                    holdout.score_tolerance
+                ))
+            } else {
+                Err(format!(
+                    "candidate score deviation {mean:.4} exceeds tolerance {:.4} over \
+                     {n_win} holdout windows",
+                    holdout.score_tolerance
+                ))
+            }
+        }
+    }
+}
+
+/// Concatenated per-point voted labels of a holdout scoring pass.
+fn verdict_flags(outs: &[EnsembleOutput]) -> Vec<bool> {
+    outs.iter().flat_map(|o| o.labels.iter().copied()).collect()
+}
+
+/// Point F1 with the convention that perfect agreement on "no anomalies
+/// anywhere" scores 1.0 (both models may legitimately flag nothing).
+fn point_f1(pred: &[bool], truth: &[bool]) -> f64 {
+    let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let denom = 2 * tp + fp + fn_;
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * tp as f64 / denom as f64
     }
 }
 
@@ -467,6 +753,12 @@ fn load_monitor(
         }
     };
     monitor.set_snapshot_cadence(snapshot_every);
+    if let Some((threshold, debounce)) = spec.drift_policy {
+        // Arms only when the checkpoint carries a training-time drift
+        // reference; legacy weight files keep serving unarmed (and
+        // bit-identically to the pre-drift code).
+        let _ = monitor.set_drift_policy(threshold, debounce);
+    }
     Ok(monitor)
 }
 
@@ -479,8 +771,10 @@ fn shard_main(
 ) {
     let mut monitors: Vec<Option<StreamingMonitor>> = Vec::new();
     let mut seqs: Vec<SeqState> = Vec::new();
+    let mut promos: Vec<PromoState> = Vec::new();
     for t in &inner.tenants {
         seqs.push(SeqState::default());
+        promos.push(PromoState::default());
         if t.shard != shard_idx || !t.active.load(Ordering::SeqCst) {
             monitors.push(None);
             continue;
@@ -488,6 +782,8 @@ fn shard_main(
         match load_monitor(&t.spec, inner.cfg.snapshot_every) {
             Ok(monitor) => {
                 *t.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
+                *t.incumbent.lock().unwrap_or_else(|e| e.into_inner()) =
+                    monitor.detector().to_spec().map(Box::new);
                 monitors.push(Some(monitor));
             }
             Err(source) => {
@@ -510,11 +806,11 @@ fn shard_main(
             // observes two generations.
             Work::Cmds(cmds) => {
                 for cmd in cmds {
-                    apply_cmd(&inner, &mut monitors, &mut seqs, cmd);
+                    apply_cmd(&inner, &mut monitors, &mut seqs, &mut promos, cmd);
                 }
             }
             Work::Batch { tenant, jobs } => {
-                run_batch(&inner, &mut monitors, &mut seqs, tenant, jobs);
+                run_batch(&inner, &mut monitors, &mut seqs, &mut promos, tenant, jobs);
             }
         }
     }
@@ -594,6 +890,7 @@ fn run_batch(
     inner: &ServerInner,
     monitors: &mut [Option<StreamingMonitor>],
     seqs: &mut [SeqState],
+    promos: &mut [PromoState],
     tenant: usize,
     jobs: Vec<ScoreJob>,
 ) {
@@ -739,6 +1036,13 @@ fn run_batch(
     obs::histogram("serve.batch_size", items.len() as f64);
     *shared.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
 
+    // The tenant's verdict stream, in order, for the regression sentinel.
+    let batch_flags: Vec<bool> = replies
+        .iter()
+        .filter(|r| r.error.is_none())
+        .flat_map(|r| r.verdicts.iter().map(|v| v.anomalous))
+        .collect();
+
     for ((sender, reply), seq) in senders.into_iter().zip(replies).zip(admitted_seqs) {
         let resp = match reply.error {
             Some(e) => Response::Error {
@@ -778,6 +1082,10 @@ fn run_batch(
         let _ = sender.send(resp);
     }
     answer_deferred(&seqs[tenant], deferred_dups);
+
+    // Post-promotion regression sentinel: runs after the batch answered,
+    // so a rollback lands between batches exactly like a promotion.
+    observe_promotion(inner, monitor, &mut promos[tenant], shared, &batch_flags);
 
     // Cadenced sidecar snapshot: bounded failover loss. Runs after the
     // batch so the sidecar always captures a between-batches state.
@@ -821,27 +1129,166 @@ fn answer_deferred(st: &SeqState, deferred: Vec<(u64, mpsc::Sender<Response>)>) 
     }
 }
 
+/// Feeds the tenant's post-batch verdict stream to its regression
+/// sentinel. While a watch is active, the decision fires on **exactly**
+/// `regression_watch` post-swap verdicts — mid-batch if need be — so the
+/// outcome is independent of batch coalescing and thread count. A tripped
+/// watch swaps the archived incumbent back in, bumps the generation (the
+/// rollback is itself an atomic between-batches swap: no serving gap) and
+/// records a `RolledBack` verdict for the next `Reload` round-trip.
+fn observe_promotion(
+    inner: &ServerInner,
+    monitor: &mut StreamingMonitor,
+    promo: &mut PromoState,
+    shared: &TenantShared,
+    flags: &[bool],
+) {
+    for &flag in flags {
+        let decided = match &mut promo.watch {
+            None => {
+                promo.recent.push_back(flag);
+                while promo.recent.len() > REGRESSION_BASELINE_WINDOW {
+                    promo.recent.pop_front();
+                }
+                None
+            }
+            Some(w) => {
+                w.seen += 1;
+                w.anomalous += usize::from(flag);
+                (w.seen >= inner.cfg.regression_watch)
+                    .then_some((w.seen, w.anomalous, w.baseline))
+            }
+        };
+        let Some((seen, anomalous, baseline)) = decided else {
+            continue;
+        };
+        promo.watch = None;
+        let rate = anomalous as f64 / seen as f64;
+        let tripwire =
+            (inner.cfg.regression_factor * baseline).max(inner.cfg.regression_min_rate);
+        if rate <= tripwire {
+            // Promotion confirmed: the archive is no longer needed and
+            // the post-swap verdicts seed the next baseline.
+            shared
+                .rollback
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            obs::counter("serve.promotion.confirmed", 1);
+            continue;
+        }
+        let Some(prev) = shared
+            .rollback
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        else {
+            continue;
+        };
+        match monitor.swap_detector(prev.build()) {
+            Ok(()) => {
+                let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+                obs::counter("serve.promotion.rollbacks", 1);
+                let detail = format!(
+                    "post-promotion regression: anomaly rate {rate:.3} over {seen} \
+                     verdicts vs pre-swap baseline {baseline:.3}; archived incumbent \
+                     restored as generation {generation}"
+                );
+                *shared.incumbent.lock().unwrap_or_else(|e| e.into_inner()) = Some(prev);
+                *shared.promo.lock().unwrap_or_else(|e| e.into_inner()) =
+                    (PromotionVerdict::RolledBack, detail);
+                *shared.health.lock().unwrap_or_else(|e| e.into_inner()) =
+                    monitor.health();
+                promo.recent.clear();
+            }
+            Err(_) => obs::counter("serve.reload_errors", 1),
+        }
+    }
+}
+
 fn apply_cmd(
     inner: &ServerInner,
     monitors: &mut [Option<StreamingMonitor>],
     seqs: &mut [SeqState],
+    promos: &mut [PromoState],
     cmd: ShardCmd,
 ) {
     match cmd {
-        ShardCmd::Swap { tenant, spec } => {
+        ShardCmd::Swap {
+            tenant,
+            spec,
+            reply,
+        } => {
             let shared = &inner.tenants[tenant];
             let Some(monitor) = monitors[tenant].as_mut() else {
                 // The tenant was never activated here (or a reload raced
                 // adoption): count and skip, never panic the shard.
                 obs::counter("serve.reload_errors", 1);
+                if let Some(tx) = &reply {
+                    let _ = tx.send(Response::Error {
+                        code: ErrorCode::Unavailable,
+                        message: format!(
+                            "tenant {} has no live monitor on this shard",
+                            shared.spec.id
+                        ),
+                    });
+                }
                 return;
             };
             match monitor.swap_detector(spec.build()) {
                 Ok(()) => {
-                    shared.generation.fetch_add(1, Ordering::SeqCst);
+                    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
                     obs::counter("serve.reloads", 1);
+                    obs::counter("serve.promotion.promoted", 1);
+                    // The candidate is the new incumbent; archive the old
+                    // one and arm the regression watch over its baseline.
+                    let prev = shared
+                        .incumbent
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .replace(spec);
+                    if inner.cfg.regression_watch > 0 {
+                        if let Some(prev) = prev {
+                            promos[tenant].watch = Some(RegressionWatch {
+                                baseline: promos[tenant].baseline_rate(),
+                                seen: 0,
+                                anomalous: 0,
+                            });
+                            promos[tenant].recent.clear();
+                            *shared.rollback.lock().unwrap_or_else(|e| e.into_inner()) =
+                                Some(prev);
+                        }
+                    }
+                    let detail =
+                        format!("promoted candidate is serving as generation {generation}");
+                    *shared.promo.lock().unwrap_or_else(|e| e.into_inner()) =
+                        (PromotionVerdict::Promoted, detail.clone());
+                    // The swap may have re-armed or cleared the drift
+                    // latch; publish the fresh health immediately.
+                    *shared.health.lock().unwrap_or_else(|e| e.into_inner()) =
+                        monitor.health();
+                    if let Some(tx) = &reply {
+                        let _ = tx.send(Response::ReloadStatus {
+                            generation,
+                            verdict: PromotionVerdict::Promoted,
+                            detail,
+                        });
+                    }
                 }
-                Err(_) => obs::counter("serve.reload_errors", 1),
+                Err(e) => {
+                    obs::counter("serve.reload_errors", 1);
+                    obs::counter("serve.promotion.rejected_corrupt", 1);
+                    let msg = format!("swap refused for {}: {e}", shared.spec.id);
+                    *shared.promo.lock().unwrap_or_else(|e| e.into_inner()) =
+                        (PromotionVerdict::RejectedCorrupt, msg.clone());
+                    if let Some(tx) = &reply {
+                        let _ = tx.send(Response::ReloadStatus {
+                            generation: shared.generation.load(Ordering::SeqCst),
+                            verdict: PromotionVerdict::RejectedCorrupt,
+                            detail: msg,
+                        });
+                    }
+                }
             }
         }
         ShardCmd::Adopt { tenant, reply } => {
@@ -859,6 +1306,17 @@ fn apply_cmd(
                         .lock()
                         .unwrap_or_else(|e| e.into_inner()) =
                         stamp(&shared.spec.checkpoint);
+                    // The freshly adopted detector is this replica's
+                    // incumbent; any promotion history belongs to the
+                    // dead replica and is discarded with it.
+                    *shared.incumbent.lock().unwrap_or_else(|e| e.into_inner()) =
+                        monitor.detector().to_spec().map(Box::new);
+                    shared
+                        .rollback
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take();
+                    promos[tenant] = PromoState::default();
                     monitors[tenant] = Some(monitor);
                     seqs[tenant] = SeqState::default();
                     shared.active.store(true, Ordering::SeqCst);
@@ -1022,13 +1480,18 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
                 code: ErrorCode::UnknownTenant,
                 message: format!("no tenant {tenant:?}"),
             }),
-            Some(idx) => match inner.reload_tenant(idx, None) {
-                Ok(()) => inline(Response::Ok),
-                Err(msg) => inline(Response::Error {
-                    code: ErrorCode::Internal,
-                    message: msg,
-                }),
-            },
+            Some(idx) => {
+                // The answer is a ReloadStatus sent by the gate (on
+                // rejection) or by the shard after the swap lands (on
+                // promotion); an inline error only covers the
+                // unplaced-tenant case.
+                if let Err(msg) = inner.reload_tenant(idx, None, Some(tx)) {
+                    inline(Response::Error {
+                        code: ErrorCode::Unavailable,
+                        message: msg,
+                    });
+                }
+            }
         },
         Request::Adopt { tenant } => match inner.tenant_index(&tenant) {
             None => inline(Response::Error {
@@ -1182,7 +1645,7 @@ fn watcher_main(inner: Arc<ServerInner>, poll: Duration) {
                 // Errors are counted inside reload_tenant; the stamp is
                 // recorded either way so one bad rewrite is not retried
                 // in a loop.
-                let _ = inner.reload_tenant(idx, now);
+                let _ = inner.reload_tenant(idx, now, None);
             }
         }
     }
@@ -1269,8 +1732,13 @@ impl Server {
                         rewarms: 0,
                         degraded_evals: 0,
                         recoveries: 0,
+                        drifted: false,
+                        drift_trips: 0,
                     }),
                     reload_stamp: Mutex::new(initial_stamp),
+                    promo: Mutex::new((PromotionVerdict::NoAttempt, String::new())),
+                    incumbent: Mutex::new(None),
+                    rollback: Mutex::new(None),
                 })
             })
             .collect();

@@ -30,9 +30,12 @@ use imdiff_nn::serialize::crc32;
 
 /// Current protocol version byte. v2 added the idempotency sequence id on
 /// score requests and the replication control kinds
-/// ([`kind::ADOPT`]/[`kind::SNAPSHOT`]); v1 peers are refused with
-/// [`WireError::UnsupportedVersion`] rather than mis-parsed.
-pub const WIRE_VERSION: u8 = 2;
+/// ([`kind::ADOPT`]/[`kind::SNAPSHOT`]); v3 added the typed reload answer
+/// ([`kind::RELOAD_STATUS`], carrying the active generation and the last
+/// promotion/rollback verdict) and the drift fields of [`TenantHealth`].
+/// Older peers are refused with [`WireError::UnsupportedVersion`] rather
+/// than mis-parsed.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame magic: "Imdiffusion Wire".
 pub const MAGIC: [u8; 2] = *b"IW";
@@ -74,6 +77,9 @@ pub mod kind {
     pub const OBS_JSON: u8 = 131;
     /// Bare acknowledgement.
     pub const OK: u8 = 132;
+    /// Typed answer to a `RELOAD` request: the tenant's active model
+    /// generation plus the last promotion/rollback verdict.
+    pub const RELOAD_STATUS: u8 = 133;
 }
 
 // ---------------------------------------------------------------------------
@@ -319,6 +325,41 @@ impl WireHealthState {
     }
 }
 
+/// Outcome of a tenant's most recent promotion attempt, as carried by
+/// [`Response::ReloadStatus`]. The server records one per tenant and
+/// overwrites it on every reload attempt or automatic rollback, so a
+/// `Reload` round-trip always reports the *latest* decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PromotionVerdict {
+    /// No reload has been attempted since startup.
+    NoAttempt = 0,
+    /// The candidate passed validation and is now serving.
+    Promoted = 1,
+    /// The candidate loaded but lost to the incumbent on the held-out
+    /// validation slice; the incumbent keeps serving.
+    RejectedGate = 2,
+    /// The candidate checkpoint failed to load or to swap (CRC mismatch,
+    /// truncation, geometry drift); the incumbent keeps serving.
+    RejectedCorrupt = 3,
+    /// A promoted candidate regressed in production and the archived
+    /// incumbent was automatically restored.
+    RolledBack = 4,
+}
+
+impl PromotionVerdict {
+    fn from_u8(b: u8) -> Option<PromotionVerdict> {
+        Some(match b {
+            0 => PromotionVerdict::NoAttempt,
+            1 => PromotionVerdict::Promoted,
+            2 => PromotionVerdict::RejectedGate,
+            3 => PromotionVerdict::RejectedCorrupt,
+            4 => PromotionVerdict::RolledBack,
+            _ => return None,
+        })
+    }
+}
+
 /// Per-tenant entry of a health report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantHealth {
@@ -340,6 +381,11 @@ pub struct TenantHealth {
     pub recoveries: u64,
     /// Score requests currently queued for this tenant.
     pub queue_depth: u32,
+    /// Whether the drift detector is currently latched (the live input
+    /// distribution has left the training-time envelope).
+    pub drifted: bool,
+    /// Debounced drift trips over the monitor's lifetime.
+    pub drift_trips: u64,
 }
 
 /// A server→client message.
@@ -373,6 +419,18 @@ pub enum Response {
     },
     /// Bare acknowledgement.
     Ok,
+    /// Typed answer to a `Reload` request: the tenant's **active** model
+    /// generation (after any swap the reload caused — the server answers
+    /// once the swap has landed, not when it was queued) and the last
+    /// promotion/rollback verdict with its human-readable detail.
+    ReloadStatus {
+        /// Model generation currently serving the tenant.
+        generation: u64,
+        /// Latest promotion/rollback decision.
+        verdict: PromotionVerdict,
+        /// Human-readable explanation (gate scores, rollback cause, ...).
+        detail: String,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -715,6 +773,7 @@ impl Response {
             Response::Health { .. } => kind::HEALTH_REPORT,
             Response::ObsJson { .. } => kind::OBS_JSON,
             Response::Ok => kind::OK,
+            Response::ReloadStatus { .. } => kind::RELOAD_STATUS,
         }
     }
 
@@ -751,10 +810,21 @@ impl Response {
                     out.extend_from_slice(&t.rewarms.to_le_bytes());
                     out.extend_from_slice(&t.recoveries.to_le_bytes());
                     out.extend_from_slice(&t.queue_depth.to_le_bytes());
+                    out.push(u8::from(t.drifted));
+                    out.extend_from_slice(&t.drift_trips.to_le_bytes());
                 }
             }
             Response::ObsJson { json } => put_long_str(&mut out, json),
             Response::Ok => {}
+            Response::ReloadStatus {
+                generation,
+                verdict,
+                detail,
+            } => {
+                out.extend_from_slice(&generation.to_le_bytes());
+                out.push(*verdict as u8);
+                put_long_str(&mut out, detail);
+            }
         }
         out
     }
@@ -820,8 +890,8 @@ impl Response {
             }
             kind::HEALTH_REPORT => {
                 let n = c.u32()? as usize;
-                // Each entry is at least 46 bytes (empty id).
-                if n.checked_mul(46).is_none_or(|min| min > payload.len()) {
+                // Each entry is at least 64 bytes (empty id).
+                if n.checked_mul(64).is_none_or(|min| min > payload.len()) {
                     return Err(WireError::Malformed(
                         "tenant count does not fit payload".into(),
                     ));
@@ -833,16 +903,31 @@ impl Response {
                     let state = WireHealthState::from_u8(state_byte).ok_or_else(|| {
                         WireError::Malformed(format!("unknown health state {state_byte}"))
                     })?;
+                    let generation = c.u64()?;
+                    let rows_seen = c.u64()?;
+                    let rows_rejected = c.u64()?;
+                    let degraded_evals = c.u64()?;
+                    let rewarms = c.u64()?;
+                    let recoveries = c.u64()?;
+                    let queue_depth = c.u32()?;
+                    let drifted_byte = c.u8()?;
+                    if drifted_byte > 1 {
+                        return Err(WireError::Malformed(format!(
+                            "bad drifted flag {drifted_byte}"
+                        )));
+                    }
                     tenants.push(TenantHealth {
                         id,
                         state,
-                        generation: c.u64()?,
-                        rows_seen: c.u64()?,
-                        rows_rejected: c.u64()?,
-                        degraded_evals: c.u64()?,
-                        rewarms: c.u64()?,
-                        recoveries: c.u64()?,
-                        queue_depth: c.u32()?,
+                        generation,
+                        rows_seen,
+                        rows_rejected,
+                        degraded_evals,
+                        rewarms,
+                        recoveries,
+                        queue_depth,
+                        drifted: drifted_byte == 1,
+                        drift_trips: c.u64()?,
                     });
                 }
                 Response::Health { tenants }
@@ -851,6 +936,20 @@ impl Response {
                 json: c.long_str()?,
             },
             kind::OK => Response::Ok,
+            kind::RELOAD_STATUS => {
+                let generation = c.u64()?;
+                let verdict_byte = c.u8()?;
+                let verdict = PromotionVerdict::from_u8(verdict_byte).ok_or_else(|| {
+                    WireError::Malformed(format!(
+                        "unknown promotion verdict {verdict_byte}"
+                    ))
+                })?;
+                Response::ReloadStatus {
+                    generation,
+                    verdict,
+                    detail: c.long_str()?,
+                }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         c.finish()?;
@@ -952,12 +1051,24 @@ mod tests {
                     rewarms: 0,
                     recoveries: 3,
                     queue_depth: 5,
+                    drifted: true,
+                    drift_trips: 2,
                 }],
             },
             Response::ObsJson {
                 json: "{\"schema\": \"imdiff-obs-v1\"}".into(),
             },
             Response::Ok,
+            Response::ReloadStatus {
+                generation: 3,
+                verdict: PromotionVerdict::Promoted,
+                detail: "candidate F1 0.91 vs incumbent 0.74 on 6 holdout windows".into(),
+            },
+            Response::ReloadStatus {
+                generation: 2,
+                verdict: PromotionVerdict::RolledBack,
+                detail: "post-promotion anomaly rate 0.63 vs baseline 0.02".into(),
+            },
         ]
     }
 
@@ -1061,15 +1172,32 @@ mod tests {
     }
 
     #[test]
-    fn v1_frames_refused_not_misparsed() {
-        // The version byte precedes the CRC check, so a v1 peer gets a
+    fn old_version_frames_refused_not_misparsed() {
+        // The version byte precedes the CRC check, so an old peer gets a
         // typed version error instead of a confusing checksum failure.
-        let mut bytes = Request::Ping.to_bytes();
-        bytes[2] = 1;
-        assert_eq!(
-            Request::from_bytes(&bytes),
-            Err(WireError::UnsupportedVersion(1))
-        );
+        for old in [1u8, 2] {
+            let mut bytes = Request::Ping.to_bytes();
+            bytes[2] = old;
+            assert_eq!(
+                Request::from_bytes(&bytes),
+                Err(WireError::UnsupportedVersion(old))
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_promotion_verdict_rejected() {
+        let resp = Response::ReloadStatus {
+            generation: 1,
+            verdict: PromotionVerdict::NoAttempt,
+            detail: String::new(),
+        };
+        let mut payload = resp.encode_payload();
+        payload[8] = 9; // verdict byte past the known range
+        assert!(matches!(
+            Response::decode(kind::RELOAD_STATUS, &payload),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

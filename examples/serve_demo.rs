@@ -63,6 +63,8 @@ fn main() {
             seed,
             channels: ds.train.dim(),
             hop: 4,
+            holdout: None,
+            drift_policy: None,
         });
         datasets.push(ds);
     }

@@ -65,6 +65,8 @@ fn tenant_spec(id: &str, path: &Path, seed: u64, channels: usize, hop: usize) ->
         seed,
         channels,
         hop,
+        holdout: None,
+        drift_policy: None,
     }
 }
 

@@ -75,6 +75,8 @@ fn tenant_spec(id: &str, path: &Path, seed: u64, channels: usize) -> TenantSpec 
         seed,
         channels,
         hop: 2,
+        holdout: None,
+        drift_policy: None,
     }
 }
 

@@ -3,8 +3,8 @@
 //! garbage — ever panics the decoder or slips through undetected.
 
 use imdiffusion_repro::serve::wire::{
-    frame_bytes, read_request, read_response, ErrorCode, Request, Response, TenantHealth,
-    WireHealthState, WireVerdict,
+    frame_bytes, read_request, read_response, ErrorCode, PromotionVerdict, Request,
+    Response, TenantHealth, WireHealthState, WireVerdict,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -47,7 +47,7 @@ fn arb_score(seed: u64) -> Request {
 /// through every variant.
 fn arb_response(seed: u64) -> Response {
     let mut rng = StdRng::seed_from_u64(seed);
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..6u32) {
         0 => Response::Verdicts {
             generation: rng.gen(),
             verdicts: (0..rng.gen_range(0..8usize))
@@ -89,11 +89,24 @@ fn arb_response(seed: u64) -> Response {
                     rewarms: rng.gen(),
                     recoveries: rng.gen(),
                     queue_depth: rng.gen(),
+                    drifted: rng.gen(),
+                    drift_trips: rng.gen(),
                 })
                 .collect(),
         },
         3 => Response::ObsJson {
             json: format!("{{\"schema\": \"imdiff-obs-v1\", \"n\": {}}}", rng.gen::<u32>()),
+        },
+        4 => Response::ReloadStatus {
+            generation: rng.gen(),
+            verdict: match rng.gen_range(0..5u32) {
+                0 => PromotionVerdict::NoAttempt,
+                1 => PromotionVerdict::Promoted,
+                2 => PromotionVerdict::RejectedGate,
+                3 => PromotionVerdict::RejectedCorrupt,
+                _ => PromotionVerdict::RolledBack,
+            },
+            detail: format!("verdict #{}", rng.gen::<u32>()),
         },
         _ => Response::Ok,
     }
