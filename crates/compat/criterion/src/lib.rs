@@ -47,6 +47,11 @@ struct Record {
     /// ran to make a tail meaningful.
     p50_ns: Option<f64>,
     p99_ns: Option<f64>,
+    /// Extra numeric fields (shim extension), emitted verbatim into the
+    /// record's JSON object. Used by externally measured benches (e.g.
+    /// the serve soak run) for metrics the `Bencher` loop cannot
+    /// observe, like shed rates.
+    extras: Vec<(String, f64)>,
 }
 
 /// CLI options recognised by the shim.
@@ -101,6 +106,14 @@ fn span_summary_path(save_json: &str) -> String {
 
 fn matches_filter(id: &str) -> bool {
     cli_args().filter.as_deref().is_none_or(|f| id.contains(f))
+}
+
+/// Whether the CLI filter (if any) selects `id` (shim extension). Lets
+/// benches that measure outside a [`Bencher`] loop — and therefore pay
+/// their full cost before [`record_measurement`] would apply the filter
+/// — skip the expensive run entirely when it is filtered out.
+pub fn filter_matches(id: &str) -> bool {
+    matches_filter(id)
 }
 
 /// Measurement driver passed to bench closures.
@@ -232,6 +245,60 @@ fn report(
         throughput,
         p50_ns: b.last_p50.map(|d| d.as_nanos() as f64),
         p99_ns: b.last_p99.map(|d| d.as_nanos() as f64),
+        extras: Vec::new(),
+    });
+}
+
+/// Reports one externally measured result (shim extension).
+///
+/// Soak-style benches drive many concurrent connections and measure the
+/// latency distribution themselves — a per-iteration [`Bencher`] loop
+/// cannot see individual request latencies inside one round, nor count
+/// typed refusals. This records their numbers alongside `Bencher`-timed
+/// records so they land in the same `--save-json` report: `ns_per_iter`
+/// is the mean per-unit time (per request, for serving soaks), `iters`
+/// the unit count, and `extras` arbitrary extra numeric fields
+/// (e.g. `("shed_rate", 0.02)`).
+#[allow(clippy::too_many_arguments)]
+pub fn record_measurement(
+    id: &str,
+    ns_per_iter: f64,
+    iters: u64,
+    threads: Option<usize>,
+    throughput: Option<Throughput>,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
+    extras: &[(&str, f64)],
+) {
+    if !matches_filter(id) {
+        return;
+    }
+    let mean = Duration::from_nanos(ns_per_iter as u64);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  {:>12.1} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!("  {:>12.1} B/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Flops(n)) if !mean.is_zero() => {
+            format!("  {:>9.3} GFLOP/s", n as f64 / mean.as_secs_f64() / 1e9)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} {mean:>12.3?}/iter{rate}");
+    records().lock().unwrap().push(Record {
+        id: id.to_string(),
+        ns_per_iter,
+        iters,
+        threads,
+        throughput,
+        p50_ns,
+        p99_ns,
+        extras: extras
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
     });
 }
 
@@ -285,6 +352,9 @@ pub fn finalize() {
                 }
             }
             None => {}
+        }
+        for (k, v) in &r.extras {
+            fields.push(format!("\"{}\": {v}", json_escape(k)));
         }
         out.push_str("    {");
         out.push_str(&fields.join(", "));

@@ -205,13 +205,20 @@ impl ImDiffusionConfig {
         match self.ddim_steps {
             None => (1..=t_max).rev().collect(),
             Some(n) => {
-                let mut steps: Vec<usize> = (0..n)
-                    .map(|i| {
-                        let frac = i as f64 / (n - 1) as f64;
-                        (t_max as f64 + frac * (1.0 - t_max as f64)).round() as usize
-                    })
-                    .collect();
-                steps.dedup();
+                // Exactly `n` strictly decreasing steps anchored at T and 1.
+                // Rounding two ideal positions onto the same integer would
+                // silently shrink the chain, so each step is clamped into
+                // the window that keeps the sequence strictly decreasing
+                // while leaving room for the `n - i - 1` steps below it.
+                let mut steps: Vec<usize> = Vec::with_capacity(n);
+                let mut prev = t_max + 1;
+                for i in 0..n {
+                    let frac = i as f64 / (n - 1) as f64;
+                    let raw = (t_max as f64 + frac * (1.0 - t_max as f64)).round() as usize;
+                    let step = raw.min(prev - 1).max(n - i);
+                    steps.push(step);
+                    prev = step;
+                }
                 steps
             }
         }
@@ -225,11 +232,17 @@ impl ImDiffusionConfig {
         if !self.ensemble {
             return vec![last];
         }
-        let span = self.vote_span.min(self.diffusion_steps).max(1);
+        // The span counts *visited* steps, not step values: a sparse DDIM
+        // chain visits few steps, and filtering by value (`s <= span`)
+        // could leave one or two voters while `vote_threshold_frac` still
+        // assumes a full ensemble. For a dense DDPM chain the last `span`
+        // visited steps are exactly the steps with value ≤ span, so this
+        // is bit-identical to the historical behavior there.
+        let span = self.vote_span.min(visited.len()).max(1);
         // Ascending within the span, starting at the final step so the
         // Eq. (12) baseline is always in the vote set; then reversed to
         // match the t = T..1 loop order.
-        let mut within: Vec<usize> = visited.iter().copied().filter(|&s| s <= span).collect();
+        let mut within: Vec<usize> = visited[visited.len() - span..].to_vec();
         within.reverse();
         let mut picked: Vec<usize> = within.into_iter().step_by(self.vote_every.max(1)).collect();
         picked.reverse();
@@ -244,10 +257,18 @@ impl ImDiffusionConfig {
         self.vote_steps_among(&self.reverse_steps())
     }
 
+    /// The absolute vote threshold ξ implied by `vote_threshold_frac`
+    /// over the vote set actually drawn from `visited` — the true
+    /// ensemble size, so a sparse DDIM chain gets a proportionally
+    /// smaller ξ instead of one sized for the full DDPM chain.
+    pub fn vote_threshold_among(&self, visited: &[usize]) -> usize {
+        let n = self.vote_steps_among(visited).len();
+        ((n as f64) * self.vote_threshold_frac).floor() as usize
+    }
+
     /// The absolute vote threshold ξ implied by `vote_threshold_frac`.
     pub fn vote_threshold(&self) -> usize {
-        let n = self.vote_steps().len();
-        ((n as f64) * self.vote_threshold_frac).floor() as usize
+        self.vote_threshold_among(&self.reverse_steps())
     }
 
     /// Validates internal consistency, panicking with a clear message on
@@ -364,6 +385,83 @@ mod tests {
             assert!(steps.contains(v));
         }
         assert_eq!(votes.last(), Some(&1));
+    }
+
+    /// Every legal (T, n) pair yields exactly `n` strictly decreasing
+    /// steps anchored at T and 1 — `dedup()` used to silently return
+    /// fewer than requested whenever rounding collided.
+    #[test]
+    fn ddim_reverse_always_returns_exact_count() {
+        for t in 2..=60usize {
+            for n in 2..=t {
+                let c = ImDiffusionConfig {
+                    diffusion_steps: t,
+                    ddim_steps: Some(n),
+                    ..ImDiffusionConfig::quick()
+                };
+                let steps = c.reverse_steps();
+                assert_eq!(steps.len(), n, "T={t} n={n}: {steps:?}");
+                assert_eq!(steps.first(), Some(&t), "T={t} n={n}");
+                assert_eq!(steps.last(), Some(&1), "T={t} n={n}");
+                for w in steps.windows(2) {
+                    assert!(w[0] > w[1], "T={t} n={n}: not decreasing: {steps:?}");
+                }
+            }
+        }
+    }
+
+    /// The vote span counts visited steps: a sparse DDIM chain keeps a
+    /// full ensemble instead of shrinking to the 1–2 visited steps whose
+    /// *value* happens to fall at or below `vote_span`.
+    #[test]
+    fn ddim_vote_set_spans_visited_steps_not_values() {
+        let c = ImDiffusionConfig {
+            diffusion_steps: 50,
+            ddim_steps: Some(5),
+            vote_span: 30,
+            vote_every: 1,
+            ..ImDiffusionConfig::quick()
+        };
+        let visited = c.reverse_steps();
+        assert_eq!(visited.len(), 5);
+        let votes = c.vote_steps_among(&visited);
+        // All five visited steps vote (span 30 covers the whole chain);
+        // the value filter used to leave only those with value ≤ 30.
+        assert_eq!(votes, visited);
+        // ξ is sized for the true ensemble, not the 30-voter full chain.
+        let xi = c.vote_threshold_among(&visited);
+        assert!(xi < votes.len(), "threshold {xi} unreachable by {} voters", votes.len());
+        assert_eq!(xi, ((votes.len() as f64) * c.vote_threshold_frac) as usize);
+    }
+
+    /// For a full DDPM chain the visited-span semantics reduce to the
+    /// historical value filter, keeping existing verdicts bit-identical.
+    #[test]
+    fn ddpm_vote_set_unchanged_by_visited_span_semantics() {
+        for t in [5usize, 10, 50] {
+            for span in [3usize, 5, 30, 100] {
+                for every in [1usize, 2, 3] {
+                    let c = ImDiffusionConfig {
+                        diffusion_steps: t,
+                        vote_span: span,
+                        vote_every: every,
+                        ..ImDiffusionConfig::quick()
+                    };
+                    let visited = c.reverse_steps();
+                    let eff = span.min(t).max(1);
+                    let legacy: Vec<usize> = {
+                        let mut within: Vec<usize> =
+                            visited.iter().copied().filter(|&s| s <= eff).collect();
+                        within.reverse();
+                        let mut picked: Vec<usize> =
+                            within.into_iter().step_by(every.max(1)).collect();
+                        picked.reverse();
+                        picked
+                    };
+                    assert_eq!(c.vote_steps_among(&visited), legacy, "T={t} span={span} every={every}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -726,7 +726,10 @@ fn finalize(
     };
 
     let xi = if cfg.ensemble {
-        cfg.vote_threshold()
+        // Threshold over the vote set actually run, so a sparse DDIM
+        // chain is judged against its own ensemble size rather than the
+        // full-chain count `vote_threshold()` would assume.
+        ((n_votes as f64) * cfg.vote_threshold_frac).floor() as usize
     } else {
         0
     };

@@ -27,20 +27,88 @@ fn binary_broadcast(
         } else {
             let dims = out_shape.dims();
             let ndim = dims.len();
-            let inner = if ndim > 0 { dims[ndim - 1] } else { 1 };
             let sa = a.shape().broadcast_strides_to(&out_shape);
             let sb = b.shape().broadcast_strides_to(&out_shape);
-            if ndim > 0 && sa[ndim - 1] == 1 && sb[ndim - 1] == 1 && inner > 1 {
-                // Neither operand broadcasts along the last dim: process
-                // whole rows, leaving only the outer dims to the generic
-                // multi-index walk.
-                let rows = out_shape.numel() / inner;
-                let out_rows = Shape::new(&dims[..ndim - 1]);
+            // Coalesce the maximal suffix of dims over which both operands
+            // are contiguous (stride equals the product of the out dims
+            // below; size-1 dims are trivially compatible). A leading-dim
+            // broadcast like [8,19,16,8]+[1,19,16,8] then degenerates to a
+            // handful of dense zips instead of a per-row multi-index walk.
+            let mut inner = 1usize;
+            let mut nd = ndim;
+            while nd > 0 {
+                let d = nd - 1;
+                let ok = |s: usize| s == inner || dims[d] == 1;
+                if !(ok(sa[d]) && ok(sb[d])) {
+                    break;
+                }
+                inner *= dims[d];
+                nd -= 1;
+            }
+            // One-sided extension of the coalesced suffix: one operand
+            // stays contiguous while the other repeats its row (stride 0)
+            // — the `[rows, l, d] + [rows, 1, d]` embedding-bias pattern.
+            // The repeated row then amortizes the outer odometer over
+            // `reps` dense zips instead of paying it per `inner` elements.
+            let extend = |s_run: &[usize], s_zero: &[usize]| {
+                let (mut run, mut ndr) = (inner, nd);
+                while ndr > 0 {
+                    let d = ndr - 1;
+                    let run_ok = s_run[d] == run || dims[d] == 1;
+                    let zero_ok = s_zero[d] == 0 || dims[d] == 1;
+                    if !(run_ok && zero_ok) {
+                        break;
+                    }
+                    run *= dims[d];
+                    ndr -= 1;
+                }
+                (run, ndr)
+            };
+            let (run_a, nd_a) = extend(&sa, &sb);
+            let (run_b, nd_b) = extend(&sb, &sa);
+            if inner > 1 && run_a.max(run_b) > inner {
+                let a_rep = run_a >= run_b;
+                let (run, ndr) = if a_rep { (run_a, nd_a) } else { (run_b, nd_b) };
+                let reps = run / inner;
+                let rows = out_shape.numel() / run;
                 let (ra, rb): (Vec<usize>, Vec<usize>) =
-                    (sa[..ndim - 1].to_vec(), sb[..ndim - 1].to_vec());
-                let mut idx = vec![0usize; ndim - 1];
+                    (sa[..ndr].to_vec(), sb[..ndr].to_vec());
+                let mut idx = vec![0usize; ndr];
                 let (mut ia, mut ib) = (0usize, 0usize);
-                let row_dims = out_rows.dims().to_vec();
+                let row_dims = dims[..ndr].to_vec();
+                for r in 0..rows {
+                    for rep in 0..reps {
+                        let orow = &mut out[r * run + rep * inner..][..inner];
+                        let (arow, brow) = if a_rep {
+                            (&da[ia + rep * inner..][..inner], &db[ib..ib + inner])
+                        } else {
+                            (&da[ia..ia + inner], &db[ib + rep * inner..][..inner])
+                        };
+                        for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(brow) {
+                            *o = fwd(x, y);
+                        }
+                    }
+                    for d in (0..row_dims.len()).rev() {
+                        idx[d] += 1;
+                        ia += ra[d];
+                        ib += rb[d];
+                        if idx[d] < row_dims[d] {
+                            break;
+                        }
+                        ia -= ra[d] * row_dims[d];
+                        ib -= rb[d] * row_dims[d];
+                        idx[d] = 0;
+                    }
+                }
+            } else if inner > 1 {
+                // Whole coalesced rows move as dense zips, leaving only the
+                // outer dims to the generic multi-index walk.
+                let rows = out_shape.numel() / inner;
+                let (ra, rb): (Vec<usize>, Vec<usize>) =
+                    (sa[..nd].to_vec(), sb[..nd].to_vec());
+                let mut idx = vec![0usize; nd];
+                let (mut ia, mut ib) = (0usize, 0usize);
+                let row_dims = dims[..nd].to_vec();
                 for r in 0..rows {
                     let orow = &mut out[r * inner..(r + 1) * inner];
                     let arow = &da[ia..ia + inner];

@@ -16,6 +16,27 @@ fn permute_copy(src: &[f32], dims: &[usize], perm: &[usize]) -> Vec<f32> {
     if n == 0 {
         return out;
     }
+    // Fast path: [0,2,1,3] — the head-split/merge and spatial/temporal
+    // axis swap the model performs on every attention call. Tight nested
+    // loops with incremental offsets instead of the generic per-row
+    // odometer below.
+    if ndim == 4 && perm == [0, 2, 1, 3] {
+        let (d0, d1, d2, inner) = (dims[0], dims[1], dims[2], dims[3]);
+        let (s0, s1) = (in_strides[0], in_strides[1]);
+        let mut dst = 0usize;
+        for b0 in 0..d0 {
+            for j in 0..d2 {
+                // Input row (b0, i, j, :) for ascending i.
+                let mut srow = b0 * s0 + j * inner;
+                for _ in 0..d1 {
+                    out[dst..dst + inner].copy_from_slice(&src[srow..srow + inner]);
+                    dst += inner;
+                    srow += s1;
+                }
+            }
+        }
+        return out;
+    }
     // Fast path: the innermost dim stays innermost — rows of `inner`
     // contiguous elements move as slices (covers the model's [0,2,1,3]
     // head-split/merge and spatial/temporal axis swaps).
@@ -91,6 +112,13 @@ impl Tensor {
             self.shape(),
             new_shape
         );
+        // Row-major reshape never moves data, so outside gradient tracking
+        // it is a metadata-only view on the same storage. Params are
+        // excluded (they are the only tensors mutated in place, by
+        // optimizer steps between forwards).
+        if !crate::is_grad_enabled() && !self.requires_grad() {
+            return self.view_with_shape(new_shape);
+        }
         let data = {
             let src = self.data();
             let mut data = crate::arena::zeroed(src.len());

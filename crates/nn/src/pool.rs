@@ -48,9 +48,16 @@ pub fn max_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    // `available_parallelism` is deliberately uncached by std (it re-reads
+    // cgroup quota files on Linux), which costs ~15us per call — and this
+    // runs on every pooled op dispatch. The machine's parallelism doesn't
+    // change under us, so resolve it once.
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f` with the pool's thread count capped at `n` (min 1).

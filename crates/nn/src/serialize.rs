@@ -44,11 +44,27 @@ const CRC_TABLE: [u32; 256] = {
 /// CRC32 (IEEE) of a byte slice — the integrity check used by every
 /// checkpoint format in the workspace (IMDF v2, IMSM v2, IMTS).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+    crc32_finish(crc32_update(CRC32_INIT, bytes))
+}
+
+/// Initial state for the streaming form of [`crc32`]: feed chunks
+/// through [`crc32_update`] and close with [`crc32_finish`]. Lets
+/// callers checksum logically concatenated buffers (e.g. a frame header
+/// followed by a borrowed payload slice) without materialising the
+/// concatenation.
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Folds `bytes` into a streaming CRC32 `state` (see [`CRC32_INIT`]).
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
     }
-    !c
+    state
+}
+
+/// Finalizes a streaming CRC32 `state` into the checksum value.
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
 }
 
 /// Writes `bytes` to `path` atomically: the payload goes to a sibling

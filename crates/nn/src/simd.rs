@@ -160,6 +160,38 @@ pub(crate) unsafe fn mm_rows_avx2(
             let nj = NR.min(n - j0);
             let panel = bp.as_ptr().add(jp * k * NR);
 
+            if nj <= 8 {
+                // Narrow (right-edge or n<=8) panel: the upper half of the
+                // 4x16 tile is all padding — one accumulator per row, and
+                // a straight vector add into `out` when the 8 lanes are
+                // exactly the row. The per-element FMA chain (`p`
+                // ascending) is identical to the wide tile's.
+                let mut acc = [_mm256_setzero_ps(); MR];
+                let mut bptr = panel;
+                for p in 0..k {
+                    let b0 = _mm256_loadu_ps(bptr);
+                    for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                        let av = _mm256_set1_ps(*a.get_unchecked((i + r) * k + p));
+                        *accr = _mm256_fmadd_ps(av, b0, *accr);
+                    }
+                    bptr = bptr.add(NR);
+                }
+                for (r, accr) in acc.iter().enumerate().take(mr) {
+                    let orow = out.as_mut_ptr().add((i + r) * n + j0);
+                    if nj == 8 {
+                        let o0 = _mm256_loadu_ps(orow);
+                        _mm256_storeu_ps(orow, _mm256_add_ps(o0, *accr));
+                    } else {
+                        let mut tmp = [0.0f32; 8];
+                        _mm256_storeu_ps(tmp.as_mut_ptr(), *accr);
+                        for (j, &t) in tmp.iter().enumerate().take(nj) {
+                            *orow.add(j) += t;
+                        }
+                    }
+                }
+                continue;
+            }
+
             // Two f32x8 accumulators per row of the micro-tile.
             let mut acc = [[_mm256_setzero_ps(); 2]; MR];
             let mut bptr = panel;
@@ -334,6 +366,7 @@ pub(crate) unsafe fn vexp_avx2(v: &mut [f32]) {
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(crate) unsafe fn vsigmoid_avx2(v: &mut [f32]) {
     use std::arch::x86_64::*;
+    #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn k(x: __m256) -> __m256 {
         let one = _mm256_set1_ps(1.0);
         let e = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
@@ -354,6 +387,7 @@ pub(crate) unsafe fn vtanh_avx2(v: &mut [f32]) {
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(crate) unsafe fn vsilu_avx2(v: &mut [f32]) {
     use std::arch::x86_64::*;
+    #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn k(x: __m256) -> __m256 {
         let one = _mm256_set1_ps(1.0);
         let e = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
@@ -368,6 +402,12 @@ pub(crate) unsafe fn vsilu_avx2(v: &mut [f32]) {
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(crate) unsafe fn vgelu_avx2(v: &mut [f32]) {
     use std::arch::x86_64::*;
+    // Without the feature attribute this kernel would be compiled for the
+    // baseline target: its direct `_mm256_fmadd_ps` lowers to per-lane
+    // `fmaf` libcalls behind the `map_ps` function-pointer boundary (the
+    // exp-based kernels dodge that only because their heavy lifting sits
+    // inside the annotated `exp_ps`/`tanh_ps`) — a >10x slowdown.
+    #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn k(x: __m256) -> __m256 {
         let c = _mm256_set1_ps(0.797_884_6);
         let a = _mm256_set1_ps(0.044715);

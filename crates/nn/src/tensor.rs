@@ -33,7 +33,11 @@ pub(crate) type BackwardFn = Box<dyn Fn(&[f32], &[Tensor])>;
 pub(crate) struct Node {
     id: u64,
     shape: Shape,
-    data: RefCell<Vec<f32>>,
+    /// Reference-counted so that metadata-only ops (reshape in forward-only
+    /// mode) can alias the buffer instead of copying it. Aliased storage is
+    /// never mutated: `set_data`/`update_data` are only applied to params,
+    /// and params are never created by (or eligible for) storage sharing.
+    data: Rc<RefCell<Vec<f32>>>,
     grad: RefCell<Option<Vec<f32>>>,
     requires_grad: bool,
     /// Bumped on every in-place data mutation (`set_data`/`update_data`).
@@ -48,9 +52,13 @@ impl Drop for Node {
     fn drop(&mut self) {
         // Detached history-free leaves are the op outputs of forward-only
         // execution; hand their storage back to the arena for reuse. Params
-        // and graph nodes keep normal ownership.
+        // and graph nodes keep normal ownership. Storage aliased by a live
+        // view stays alive (`try_unwrap` fails) and is recycled when the
+        // last handle drops.
         if !self.requires_grad && self.parents.is_empty() && self.backward.is_none() {
-            crate::arena::recycle(std::mem::take(self.data.get_mut()));
+            if let Ok(cell) = Rc::try_unwrap(std::mem::take(&mut self.data)) {
+                crate::arena::recycle(cell.into_inner());
+            }
         }
     }
 }
@@ -141,7 +149,7 @@ impl Tensor {
             node: Rc::new(Node {
                 id: next_id(),
                 shape: self.node.shape.clone(),
-                data: RefCell::new(self.node.data.borrow().clone()),
+                data: Rc::new(RefCell::new(self.node.data.borrow().clone())),
                 grad: RefCell::new(None),
                 requires_grad: true,
                 generation: Cell::new(0),
@@ -157,9 +165,33 @@ impl Tensor {
             node: Rc::new(Node {
                 id: next_id(),
                 shape,
-                data: RefCell::new(data),
+                data: Rc::new(RefCell::new(data)),
                 grad: RefCell::new(None),
                 requires_grad,
+                generation: Cell::new(0),
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// A detached leaf that *aliases* this tensor's storage under a new
+    /// shape — a metadata-only view, no copy.
+    ///
+    /// Only sound when the storage cannot be mutated while both handles
+    /// are alive: callers must restrict this to non-param tensors outside
+    /// gradient tracking (op outputs are immutable once produced, and
+    /// `set_data`/`update_data` only ever target params).
+    pub(crate) fn view_with_shape(&self, shape: Shape) -> Self {
+        debug_assert_eq!(self.numel(), shape.numel());
+        debug_assert!(!self.requires_grad());
+        Tensor {
+            node: Rc::new(Node {
+                id: next_id(),
+                shape,
+                data: Rc::clone(&self.node.data),
+                grad: RefCell::new(None),
+                requires_grad: false,
                 generation: Cell::new(0),
                 parents: Vec::new(),
                 backward: None,
@@ -186,7 +218,7 @@ impl Tensor {
             node: Rc::new(Node {
                 id: next_id(),
                 shape,
-                data: RefCell::new(data),
+                data: Rc::new(RefCell::new(data)),
                 grad: RefCell::new(None),
                 requires_grad: true,
                 generation: Cell::new(0),

@@ -39,6 +39,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod mux;
 pub mod router;
 pub mod server;
 pub mod supervisor;
@@ -48,7 +49,7 @@ pub use chaos::{ChaosEvent, ChaosPlan, ChaosReport};
 pub use client::{
     Backoff, ClientError, ReloadOutcome, ResilientClient, RetryPolicy, Scored, ServeClient,
 };
-pub use router::{Ring, RouterConfig};
+pub use router::{ReplicationCfg, Ring, RouterConfig};
 pub use server::{HoldoutSpec, ServeConfig, ServeError, Server, TenantSpec};
 pub use supervisor::Replicated;
 pub use wire::{

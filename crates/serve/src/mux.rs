@@ -1,0 +1,618 @@
+//! Readiness-multiplexing primitives for the serving data plane.
+//!
+//! The server and router used to burn two OS threads per connection
+//! (reader + writer); this module supplies the pieces that replace them
+//! with a single event loop per listener:
+//!
+//! * **[`sys`]** — a minimal `poll(2)` shim over `std::net` raw fds. No
+//!   external crates: `std` already links libc on unix, so a one-line
+//!   `extern "C"` declaration is all the platform glue required.
+//! * **[`Waker`]** — a self-pipe (non-blocking `UnixStream` pair) whose
+//!   read end sits in the poll set, so shard threads can interrupt a
+//!   sleeping loop the instant a verdict is ready.
+//! * **[`Completions`]** + **[`ReplyTx`]** — the bridge between the
+//!   synchronous shard workers and the loop: a worker answers a request
+//!   by posting `(conn, slot, response)` and waking the loop. A
+//!   [`ReplyTx`] that is dropped unanswered posts a typed `Internal`
+//!   error instead, so no request can strand a client slot.
+//! * **[`Conn`]** — the per-connection frame state machine: an append
+//!   read buffer scanned zero-copy by [`wire::scan_frame`], slot-ordered
+//!   pending replies (responses may complete out of order across shards;
+//!   clients see strict FIFO), and a bounded write buffer with
+//!   high/low-water backpressure — a connection over its write watermark
+//!   stops being polled for reads until the peer drains it.
+//!
+//! Correctness invariants: every accepted request is assigned exactly
+//! one slot and every slot is answered exactly once (send-or-drop on
+//! `ReplyTx`); replies are flushed strictly in slot order per
+//! connection; a frame in progress must make progress — the loop closes
+//! connections that sit mid-frame past the configured deadline
+//! (slowloris defense), which plain idle timeouts cannot see.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::wire::{self, ErrorCode, Response};
+
+/// Minimal readiness shim over `poll(2)`.
+#[cfg(unix)]
+pub mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+    pub use std::os::unix::io::{AsRawFd, RawFd};
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// Mirrors `struct pollfd`; layout is identical on every unix libc.
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: RawFd, events: i16) -> PollFd {
+            PollFd { fd, events, revents: 0 }
+        }
+
+        pub fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        pub fn writable(&self) -> bool {
+            self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Blocks until some registered fd is ready or `timeout_ms` elapses.
+    /// `EINTR` is folded into `Ok(0)` — callers run a tick loop anyway.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}
+
+/// Degraded portable fallback: every registered fd is reported ready and
+/// the caller's non-blocking reads/writes absorb the spurious readiness
+/// as `WouldBlock`. Correct but busier than real `poll(2)`; production
+/// targets are unix.
+#[cfg(not(unix))]
+pub mod sys {
+    use std::io;
+
+    pub type RawFd = i64;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: RawFd, events: i16) -> PollFd {
+            PollFd { fd, events, revents: 0 }
+        }
+
+        pub fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        pub fn writable(&self) -> bool {
+            self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        for f in fds.iter_mut() {
+            f.revents = f.events;
+        }
+        if !fds.is_empty() || timeout_ms != 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                (timeout_ms.max(0) as u64).min(2),
+            ));
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Raw fd of a pollable object.
+#[cfg(unix)]
+pub fn raw_fd<T: sys::AsRawFd>(t: &T) -> sys::RawFd {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+pub fn raw_fd<T>(_t: &T) -> sys::RawFd {
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Waker (self-pipe)
+// ---------------------------------------------------------------------------
+
+/// Wakes a loop blocked in [`sys::poll_fds`] from another thread: a
+/// non-blocking socket pair whose read end is registered `POLLIN`.
+/// Writes and drains both saturate silently — a full pipe already has a
+/// wake pending, which is all that matters.
+pub struct Waker {
+    #[cfg(unix)]
+    tx: Mutex<std::os::unix::net::UnixStream>,
+    #[cfg(unix)]
+    rx: std::os::unix::net::UnixStream,
+    #[cfg(not(unix))]
+    _nothing: (),
+}
+
+impl Waker {
+    pub fn new() -> std::io::Result<Waker> {
+        #[cfg(unix)]
+        {
+            let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok(Waker { tx: Mutex::new(tx), rx })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(Waker { _nothing: () })
+        }
+    }
+
+    /// Fd to register `POLLIN` in the poll set.
+    pub fn poll_fd(&self) -> sys::RawFd {
+        #[cfg(unix)]
+        {
+            raw_fd(&self.rx)
+        }
+        #[cfg(not(unix))]
+        {
+            0
+        }
+    }
+
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            let tx = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = (&*tx).write(&[1u8]);
+        }
+    }
+
+    /// Drains pending wake bytes so the next poll can sleep.
+    pub fn drain(&self) {
+        #[cfg(unix)]
+        {
+            let mut buf = [0u8; 64];
+            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completions + ReplyTx
+// ---------------------------------------------------------------------------
+
+/// One answered request: connection id, slot within that connection's
+/// FIFO, and the response to flush.
+pub struct Completion {
+    pub conn: u64,
+    pub slot: u64,
+    pub resp: Response,
+}
+
+/// Queue of answered requests posted by worker threads, drained by the
+/// event loop. Posting wakes the loop through the embedded [`Waker`].
+pub struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    pub fn new() -> std::io::Result<Arc<Completions>> {
+        Ok(Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        }))
+    }
+
+    pub fn post(&self, conn: u64, slot: u64, resp: Response) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Completion { conn, slot, resp });
+        self.waker.wake();
+    }
+
+    /// Takes everything posted so far and resets the waker.
+    pub fn drain(&self) -> Vec<Completion> {
+        self.waker.drain();
+        std::mem::take(&mut *self.queue.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Wakes the loop without posting (drain/kill signalling).
+    pub fn wake(&self) {
+        self.waker.wake();
+    }
+
+    /// Fd of the embedded waker, for the loop's poll set.
+    pub fn poll_fd(&self) -> sys::RawFd {
+        self.waker.poll_fd()
+    }
+}
+
+enum ReplyInner {
+    /// Answer a connection slot owned by an event loop.
+    Slot { q: Arc<Completions>, conn: u64, slot: u64 },
+    /// Answer an in-process caller (supervisor adoption, unit tests).
+    Chan(std::sync::mpsc::Sender<Response>),
+}
+
+/// Single-use reply handle carried by every dispatched request. Exactly
+/// one of: [`ReplyTx::send`] consumes it with the real response, or its
+/// `Drop` posts a typed `Internal` error — so a worker that dies or a
+/// code path that forgets to answer can never strand a client slot
+/// (the event loop would otherwise hold that connection's reply FIFO
+/// open forever).
+pub struct ReplyTx(Option<ReplyInner>);
+
+impl ReplyTx {
+    pub fn slot(q: &Arc<Completions>, conn: u64, slot: u64) -> ReplyTx {
+        ReplyTx(Some(ReplyInner::Slot { q: Arc::clone(q), conn, slot }))
+    }
+
+    pub fn chan(tx: std::sync::mpsc::Sender<Response>) -> ReplyTx {
+        ReplyTx(Some(ReplyInner::Chan(tx)))
+    }
+
+    pub fn send(mut self, resp: Response) {
+        if let Some(inner) = self.0.take() {
+            deliver(inner, resp);
+        }
+    }
+}
+
+impl Drop for ReplyTx {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            deliver(
+                inner,
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "reply lost: worker dropped the request without answering"
+                        .into(),
+                },
+            );
+        }
+    }
+}
+
+fn deliver(inner: ReplyInner, resp: Response) {
+    match inner {
+        ReplyInner::Slot { q, conn, slot } => q.post(conn, slot, resp),
+        ReplyInner::Chan(tx) => {
+            let _ = tx.send(resp);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------------
+
+/// Pause reads once this many reply bytes are buffered unflushed — the
+/// peer is not draining its receive side, so stop ingesting new work
+/// from it (backpressure instead of unbounded buffering).
+pub const WBUF_HIGH_WATER: usize = 1 << 20;
+
+/// A read buffer may hold at most one maximum frame plus the next
+/// header before reads pause; bounds per-connection memory while never
+/// stalling a legal frame.
+pub const RBUF_PAUSE: usize = wire::MAX_PAYLOAD as usize + 2 * wire::HEADER_LEN;
+
+const READ_CHUNK: usize = 64 << 10;
+const COMPACT_AT: usize = 256 << 10;
+
+/// What [`Conn::fill`] observed on the socket.
+pub enum FillOutcome {
+    /// Socket still open; any arrived bytes are in the read buffer.
+    Open,
+    /// Peer closed its write half (or the socket died): stop reading,
+    /// flush what is pending, then drop the connection.
+    Eof,
+}
+
+/// A complete frame scanned out of the read buffer, by offset — borrow
+/// `payload()` against the buffer, then `consume(total)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ScannedFrame {
+    pub kind: u8,
+    /// Payload range within [`Conn::rbuf_slice`].
+    pub payload_start: usize,
+    pub payload_end: usize,
+    /// Whole-frame length, for [`Conn::consume`] / raw forwarding.
+    pub total: usize,
+}
+
+/// Per-connection state for the event loop: frame reassembly in, slot
+/// ordering + write buffering out.
+pub struct Conn {
+    pub stream: TcpStream,
+    pub id: u64,
+    pub peer: Option<SocketAddr>,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    next_slot: u64,
+    next_flush: u64,
+    ready: BTreeMap<u64, Response>,
+    /// Last instant a complete frame was consumed (idle accounting).
+    pub last_frame: Instant,
+    /// Set while a partial frame sits in the buffer (progress deadline).
+    pub frame_started: Option<Instant>,
+    /// Peer closed / fatal read error: no more reads.
+    pub eof: bool,
+    /// Flush pending replies, then close (protocol error, drain).
+    pub closing: bool,
+    /// Socket write failed: drop immediately, nothing can be flushed.
+    pub dead: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted stream: non-blocking, Nagle off.
+    pub fn new(stream: TcpStream, id: u64) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr().ok();
+        Ok(Conn {
+            stream,
+            id,
+            peer,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_slot: 0,
+            next_flush: 0,
+            ready: BTreeMap::new(),
+            last_frame: Instant::now(),
+            frame_started: None,
+            eof: false,
+            closing: false,
+            dead: false,
+        })
+    }
+
+    /// Whether the loop should poll this connection for reads.
+    pub fn wants_read(&self) -> bool {
+        !self.eof
+            && !self.closing
+            && self.wbuf.len() - self.wpos < WBUF_HIGH_WATER
+            && self.rbuf.len() - self.rpos < RBUF_PAUSE
+    }
+
+    /// Whether unflushed reply bytes are pending.
+    pub fn wants_write(&self) -> bool {
+        self.wbuf.len() > self.wpos
+    }
+
+    /// Every assigned slot answered and flushed — safe to close without
+    /// losing a reply.
+    pub fn fully_flushed(&self) -> bool {
+        self.next_flush == self.next_slot && !self.wants_write()
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the pause watermarks trip.
+    pub fn fill(&mut self) -> FillOutcome {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if !self.wants_read() {
+                return FillOutcome::Open;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return FillOutcome::Eof;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    if self.frame_started.is_none() && self.rbuf.len() > self.rpos {
+                        self.frame_started = Some(Instant::now());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return FillOutcome::Open;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.eof = true;
+                    return FillOutcome::Eof;
+                }
+            }
+        }
+    }
+
+    /// Scans for the next complete frame at the head of the read buffer.
+    pub fn scan(&self) -> Result<Option<ScannedFrame>, wire::WireError> {
+        match wire::scan_frame(&self.rbuf[self.rpos..])? {
+            None => Ok(None),
+            Some((kind, total)) => Ok(Some(ScannedFrame {
+                kind,
+                payload_start: self.rpos + wire::HEADER_LEN,
+                payload_end: self.rpos + total,
+                total,
+            })),
+        }
+    }
+
+    /// Borrows bytes out of the read buffer (frame payloads; raw frame
+    /// bytes for forwarding).
+    pub fn rbuf_slice(&self, start: usize, end: usize) -> &[u8] {
+        &self.rbuf[start..end]
+    }
+
+    /// Raw bytes of a scanned frame (header + payload), for zero-copy
+    /// forwarding.
+    pub fn frame_bytes(&self, frame: &ScannedFrame) -> &[u8] {
+        &self.rbuf[self.rpos..self.rpos + frame.total]
+    }
+
+    /// Consumes one scanned frame and resets the progress clock.
+    pub fn consume(&mut self, total: usize) {
+        self.rpos += total;
+        self.last_frame = Instant::now();
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos > COMPACT_AT {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        self.frame_started =
+            if self.rbuf.len() > self.rpos { Some(Instant::now()) } else { None };
+    }
+
+    /// Assigns the next request slot (replies flush in slot order).
+    pub fn assign_slot(&mut self) -> u64 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+
+    /// Files a completed response under its slot and promotes every
+    /// now-contiguous reply into the write buffer.
+    pub fn push_response(&mut self, slot: u64, resp: Response) {
+        self.ready.insert(slot, resp);
+        while let Some(resp) = self.ready.remove(&self.next_flush) {
+            wire::append_frame(&mut self.wbuf, resp.kind(), &resp.encode_payload());
+            self.next_flush += 1;
+        }
+    }
+
+    /// Enqueues a response on the *next incoming* slot — for inline
+    /// protocol errors that pre-empt dispatch.
+    pub fn push_inline(&mut self, resp: Response) {
+        let slot = self.assign_slot();
+        self.push_response(slot, resp);
+    }
+
+    /// Writes buffered replies until `WouldBlock` or empty. `Err` means
+    /// the socket is dead and the connection should be dropped.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer closed",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > COMPACT_AT {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_wakes_poll() {
+        let w = Waker::new().expect("waker");
+        let mut fds = [sys::PollFd::new(w.poll_fd(), sys::POLLIN)];
+        // Nothing pending: poll times out promptly.
+        let n = sys::poll_fds(&mut fds, 0).expect("poll");
+        #[cfg(unix)]
+        assert_eq!(n, 0);
+        let _ = n;
+        w.wake();
+        let mut fds = [sys::PollFd::new(w.poll_fd(), sys::POLLIN)];
+        let n = sys::poll_fds(&mut fds, 1000).expect("poll");
+        assert!(n >= 1);
+        assert!(fds[0].readable());
+        w.drain();
+        let mut fds = [sys::PollFd::new(w.poll_fd(), sys::POLLIN)];
+        let n = sys::poll_fds(&mut fds, 0).expect("poll");
+        #[cfg(unix)]
+        assert_eq!(n, 0);
+        let _ = n;
+    }
+
+    #[test]
+    fn reply_tx_drop_posts_internal_error() {
+        let q = Completions::new().expect("completions");
+        {
+            let tx = ReplyTx::slot(&q, 7, 3);
+            drop(tx);
+        }
+        let drained = q.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].conn, 7);
+        assert_eq!(drained[0].slot, 3);
+        match &drained[0].resp {
+            Response::Error { code, message } => {
+                assert_eq!(*code, ErrorCode::Internal);
+                assert!(message.contains("reply lost"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_tx_send_wins_over_drop() {
+        let q = Completions::new().expect("completions");
+        ReplyTx::slot(&q, 1, 0).send(Response::Ok);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(matches!(drained[0].resp, Response::Ok));
+    }
+
+    #[test]
+    fn completions_post_is_pollable() {
+        let q = Completions::new().expect("completions");
+        q.post(1, 0, Response::Ok);
+        let mut fds = [sys::PollFd::new(q.poll_fd(), sys::POLLIN)];
+        let n = sys::poll_fds(&mut fds, 1000).expect("poll");
+        assert!(n >= 1);
+        assert_eq!(q.drain().len(), 1);
+    }
+}

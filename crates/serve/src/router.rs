@@ -9,6 +9,20 @@
 //! `ObsSnapshot`, `Drain`) answer locally; `Health` fans out to every
 //! live replica and merges the per-tenant reports.
 //!
+//! # Data plane
+//!
+//! All client connections are served by **one readiness event loop**
+//! (see [`crate::mux`]); forwarding is **zero-copy** — a frame is
+//! validated in place ([`wire::peek_tenant`] structurally checks the
+//! whole payload while borrowing the tenant id out of the read buffer)
+//! and its raw bytes are written to the owner replica verbatim, never
+//! re-encoded. Each replica gets **one** shared upstream connection for
+//! the whole router (not one per client); replies correlate by FIFO
+//! order and fan back out to client slots through the loop's completion
+//! queue. Router thread count is constant in the number of clients:
+//! the loop, one upstream reader per replica, and short-lived `Health`
+//! fan-out helpers.
+//!
 //! # Failure semantics
 //!
 //! A replica connection that dies mid-flight fails every request queued
@@ -36,17 +50,18 @@
 //! pass matters because raw FNV-1a clusters short sequential keys (see
 //! [`place_hash`]).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use imdiff_nn::obs;
 
+use crate::mux::{self, sys, Completions, Conn, ReplyTx};
 use crate::server::{ServeConfig, ServeError};
-use crate::wire::{self, ErrorCode, Request, Response, TenantHealth, WireError};
+use crate::wire::{self, kind, ErrorCode, Response, TenantHealth, WireError};
 use crate::ServeClient;
 
 // ---------------------------------------------------------------------------
@@ -75,9 +90,26 @@ pub struct RouterConfig {
     /// Idle-connection budget for the router's client connections
     /// (`None` = never close a silent client).
     pub idle_timeout: Option<Duration>,
+    /// Ahead-of-failure checkpoint replication: `Some` makes the
+    /// supervisor copy every tenant's IMDF checkpoint + IMSM sidecar
+    /// into a standby directory on a cadence, and restore from that
+    /// standby during failover when the canonical files were lost with
+    /// the dead replica. `None` (the default) preserves the
+    /// shared-disk-only behavior.
+    pub replication: Option<ReplicationCfg>,
     /// Template for each replica's [`ServeConfig`]; `addr` is overridden
     /// with an ephemeral port per replica.
     pub replica: ServeConfig,
+}
+
+/// Where and how often the supervisor replicates checkpoints ahead of
+/// failure (see [`RouterConfig::replication`]).
+#[derive(Debug, Clone)]
+pub struct ReplicationCfg {
+    /// Standby directory receiving the copies (created if absent).
+    pub dir: std::path::PathBuf,
+    /// Replication cadence.
+    pub every: Duration,
 }
 
 impl Default for RouterConfig {
@@ -90,6 +122,7 @@ impl Default for RouterConfig {
             heartbeat_timeout: Duration::from_millis(250),
             heartbeat_misses: 3,
             idle_timeout: None,
+            replication: None,
             replica: ServeConfig::default(),
         }
     }
@@ -210,15 +243,17 @@ impl RouterShared {
 // Upstream (router -> replica) connections
 // ---------------------------------------------------------------------------
 
-/// One forwarding connection from a client connection to one replica.
-/// Replies come back in request order, so a FIFO of reply senders is the
-/// whole correlation state. The reader thread owns the receive half; on
-/// any loss it marks the upstream dead *then* drains the FIFO under the
+/// One **shared** forwarding connection from the router to one replica,
+/// used by every client connection (forwards happen only on the event
+/// loop thread, so writes never interleave). Replies come back in
+/// request order, so a FIFO of [`ReplyTx`] handles is the whole
+/// correlation state. The reader thread owns the receive half; on any
+/// loss it marks the upstream dead *then* drains the FIFO under the
 /// same lock that guards enqueueing — a new request can never slip into
 /// a queue that is being failed, so none is silently dropped.
 struct Upstream {
     writer: TcpStream,
-    pending: Arc<Mutex<VecDeque<mpsc::Sender<Response>>>>,
+    pending: Arc<Mutex<VecDeque<ReplyTx>>>,
     dead: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
 }
@@ -236,7 +271,7 @@ impl Upstream {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let writer = stream.try_clone().map_err(|e| WireError::Io(e.to_string()))?;
-        let pending: Arc<Mutex<VecDeque<mpsc::Sender<Response>>>> = Arc::default();
+        let pending: Arc<Mutex<VecDeque<ReplyTx>>> = Arc::default();
         let dead = Arc::new(AtomicBool::new(false));
         let reader = {
             let shared = Arc::clone(shared);
@@ -252,7 +287,7 @@ impl Upstream {
                                 .unwrap_or_else(|e| e.into_inner())
                                 .pop_front();
                             if let Some(tx) = tx {
-                                let _ = tx.send(resp);
+                                tx.send(resp);
                             }
                         }
                         Ok(None) => break, // replica closed
@@ -274,7 +309,7 @@ impl Upstream {
                     q.drain(..).collect()
                 };
                 for tx in drained {
-                    let _ = tx.send(Response::Error {
+                    tx.send(Response::Error {
                         code: ErrorCode::Interrupted,
                         message: "replica connection lost; request may or may not \
                                   have been applied — retry with the same sequence id"
@@ -291,18 +326,23 @@ impl Upstream {
         })
     }
 
-    /// Forwards one request, registering `tx` for its reply.
-    fn forward(&mut self, req: &Request, tx: mpsc::Sender<Response>) -> ForwardOutcome {
+    /// Forwards one pre-validated frame **verbatim** (zero-copy: `raw`
+    /// is borrowed straight out of the client connection's read
+    /// buffer), registering `tx` for its reply. Must only be called
+    /// from the event loop thread — the enqueue/write pair is not
+    /// atomic against concurrent forwarders.
+    fn forward(&mut self, raw: &[u8], tx: ReplyTx) -> ForwardOutcome {
         {
             let mut q = self.pending.lock().unwrap_or_else(|e| e.into_inner());
             if self.dead.load(Ordering::SeqCst) {
-                return ForwardOutcome::NotEnqueued;
+                return ForwardOutcome::NotEnqueued(tx);
             }
             q.push_back(tx);
         }
         // A write failure after enqueueing is fine: the socket is broken,
         // so the reader is about to drain the queue with typed errors.
-        if wire::write_frame(&mut self.writer, req.kind(), &req.encode_payload()).is_ok() {
+        use std::io::Write;
+        if self.writer.write_all(raw).and_then(|()| self.writer.flush()).is_ok() {
             ForwardOutcome::Sent
         } else {
             ForwardOutcome::EnqueuedButBroken
@@ -310,15 +350,16 @@ impl Upstream {
     }
 }
 
-/// What became of a forwarded request's reply sender.
+/// What became of a forwarded request's reply handle.
 enum ForwardOutcome {
-    /// Request on the wire; the reader will answer `tx`.
+    /// Request on the wire; the reader will answer the handle.
     Sent,
-    /// Upstream was already dead; `tx` was never enqueued — safe to
-    /// retry on a fresh connection.
-    NotEnqueued,
+    /// Upstream was already dead; the handle was never enqueued — safe
+    /// to retry on a fresh connection (returned to the caller).
+    NotEnqueued(ReplyTx),
     /// The write failed after enqueueing; the reader's drain will answer
-    /// `tx` with a typed error. Do NOT retry — that would double-answer.
+    /// the handle with a typed error. Do NOT retry — that would
+    /// double-answer.
     EnqueuedButBroken,
 }
 
@@ -335,158 +376,282 @@ impl Drop for Upstream {
 // Client-facing connections
 // ---------------------------------------------------------------------------
 
-/// Serves one client connection on the router. Mirrors the replica
-/// server's design: the reader dispatches each frame and queues a
-/// one-shot reply receiver; a writer thread sends replies back in strict
-/// request order.
-fn router_connection_main(shared: Arc<RouterShared>, stream: TcpStream) {
-    obs::counter("serve.router.connections", 1);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
+/// Poll tick for the router loop, mirroring the server's.
+const POLL_TICK_MS: i32 = 25;
 
-    let (pending_tx, pending_rx) = mpsc::channel::<mpsc::Receiver<Response>>();
-    let reply_budget = shared.cfg.replica.deadline * 2 + Duration::from_secs(5);
-    let writer = std::thread::spawn(move || {
-        let mut w = std::io::BufWriter::new(write_half);
-        while let Ok(rx) = pending_rx.recv() {
-            let resp = rx.recv_timeout(reply_budget).unwrap_or(Response::Error {
-                code: ErrorCode::Interrupted,
-                message: "reply lost in the routing tier; request may or may not \
-                          have been applied — retry with the same sequence id"
-                    .into(),
-            });
-            if wire::write_frame(&mut w, resp.kind(), &resp.encode_payload()).is_err() {
-                break;
-            }
-        }
-    });
-
-    // Upstreams are lazily dialed per replica and retired when they die
-    // or when the replica is declared dead.
+/// The router's data plane: one thread multiplexing the client-facing
+/// listener and every client connection, with one shared [`Upstream`]
+/// per replica. Frames are validated in place and forwarded verbatim;
+/// replies fan back in through the completion queue and flush to each
+/// client in strict request order.
+fn router_loop_main(
+    shared: Arc<RouterShared>,
+    completions: Arc<Completions>,
+    listener: TcpListener,
+) {
+    let _ = listener.set_nonblocking(true);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
     let mut upstreams: Vec<Option<Upstream>> = Vec::new();
     upstreams.resize_with(shared.replica_addrs.len(), || None);
+    let mut fds: Vec<sys::PollFd> = Vec::new();
+    let mut fd_ids: Vec<u64> = Vec::new();
 
-    let mut reader = stream;
-    let mut last_frame = Instant::now();
     loop {
-        let req = match wire::read_request(&mut reader) {
-            Ok(Some(req)) => {
-                last_frame = Instant::now();
-                req
+        let draining = shared.draining.load(Ordering::SeqCst);
+        if draining {
+            for c in conns.values_mut() {
+                c.closing = true;
             }
-            Ok(None) => break,
-            Err(WireError::Idle) => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Some(budget) = shared.cfg.idle_timeout {
-                    if last_frame.elapsed() >= budget {
-                        obs::counter("serve.idle_closed", 1);
-                        break;
+        }
+
+        fds.clear();
+        fd_ids.clear();
+        fds.push(sys::PollFd::new(completions.poll_fd(), sys::POLLIN));
+        let accepting = !draining;
+        if accepting {
+            fds.push(sys::PollFd::new(mux::raw_fd(&listener), sys::POLLIN));
+        }
+        let base = fds.len();
+        for c in conns.values() {
+            let mut ev = 0i16;
+            if c.wants_read() {
+                ev |= sys::POLLIN;
+            }
+            if c.wants_write() {
+                ev |= sys::POLLOUT;
+            }
+            fds.push(sys::PollFd::new(mux::raw_fd(&c.stream), ev));
+            fd_ids.push(c.id);
+        }
+        if sys::poll_fds(&mut fds, POLL_TICK_MS).is_err() {
+            continue;
+        }
+
+        for comp in completions.drain() {
+            if let Some(c) = conns.get_mut(&comp.conn) {
+                c.push_response(comp.slot, comp.resp);
+            }
+        }
+
+        if accepting && fds[base - 1].readable() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        obs::counter("serve.router.connections", 1);
+                        if let Ok(conn) = Conn::new(stream, next_id) {
+                            conns.insert(next_id, conn);
+                            next_id += 1;
+                        }
                     }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
                 }
+            }
+        }
+
+        for (i, fd) in fds[base..].iter().enumerate() {
+            if !fd.readable() {
                 continue;
             }
+            let Some(c) = conns.get_mut(&fd_ids[i]) else {
+                continue;
+            };
+            let _ = c.fill();
+            route_conn_frames(&shared, &completions, &mut upstreams, c);
+        }
+
+        for comp in completions.drain() {
+            if let Some(c) = conns.get_mut(&comp.conn) {
+                c.push_response(comp.slot, comp.resp);
+            }
+        }
+
+        for c in conns.values_mut() {
+            if c.wants_write() && c.flush().is_err() {
+                c.dead = true;
+            }
+        }
+
+        for c in conns.values_mut() {
+            if c.dead || c.closing || c.eof {
+                continue;
+            }
+            match c.frame_started {
+                None => {
+                    if let Some(budget) = shared.cfg.idle_timeout {
+                        if c.last_frame.elapsed() >= budget {
+                            obs::counter("serve.idle_closed", 1);
+                            c.closing = true;
+                        }
+                    }
+                }
+                Some(started) => {
+                    if let Some(budget) = shared.cfg.replica.frame_deadline {
+                        if started.elapsed() >= budget {
+                            obs::counter("serve.frame_stalled_closed", 1);
+                            c.eof = true;
+                            c.closing = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let done: Vec<u64> = conns
+            .values()
+            .filter(|c| c.dead || ((c.eof || c.closing) && c.fully_flushed()))
+            .map(|c| c.id)
+            .collect();
+        for id in done {
+            if let Some(c) = conns.remove(&id) {
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+
+        if draining && conns.is_empty() {
+            // Dropping the upstreams shuts them down and joins their
+            // readers, which fail any still-pending replies.
+            return;
+        }
+    }
+}
+
+/// Routes every complete frame at the head of `c`'s read buffer.
+fn route_conn_frames(
+    shared: &Arc<RouterShared>,
+    completions: &Arc<Completions>,
+    upstreams: &mut [Option<Upstream>],
+    c: &mut Conn,
+) {
+    loop {
+        if c.closing {
+            return;
+        }
+        match c.scan() {
+            Ok(None) => return,
+            Ok(Some(frame)) => {
+                obs::counter("serve.router.requests", 1);
+                let slot = c.assign_slot();
+                let tx = ReplyTx::slot(completions, c.id, slot);
+                let raw = c.frame_bytes(&frame);
+                let payload = &raw[wire::HEADER_LEN..];
+                match route_frame(shared, upstreams, frame.kind, payload, raw, tx) {
+                    Ok(()) => c.consume(frame.total),
+                    Err(err) => {
+                        // The slot was already assigned; its ReplyTx
+                        // answers it (send or drop), so only mark the
+                        // stream unreliable here.
+                        let _ = err;
+                        c.eof = true;
+                        c.closing = true;
+                        return;
+                    }
+                }
+            }
             Err(err) => {
-                let (tx, rx) = mpsc::channel();
-                let _ = tx.send(Response::Error {
+                c.push_inline(Response::Error {
                     code: ErrorCode::BadRequest,
                     message: err.to_string(),
                 });
-                let _ = pending_tx.send(rx);
-                break;
+                c.eof = true;
+                c.closing = true;
+                return;
             }
-        };
-        obs::counter("serve.router.requests", 1);
-        let (tx, rx) = mpsc::channel();
-        route(&shared, &mut upstreams, req, &tx);
-        if pending_tx.send(rx).is_err() {
-            break;
         }
     }
-    drop(pending_tx);
-    let _ = writer.join();
 }
 
-/// Dispatches one client request: answer locally, fan out, or forward to
-/// the tenant's owner replica.
-fn route(
+/// Dispatches one validated-or-about-to-be-validated client frame:
+/// answer locally, fan out, or forward the raw bytes to the tenant's
+/// owner replica. `Err` means the frame was malformed (the reply handle
+/// still answers its slot with `BadRequest`) and the connection should
+/// close.
+fn route_frame(
     shared: &Arc<RouterShared>,
     upstreams: &mut [Option<Upstream>],
-    req: Request,
-    tx: &mpsc::Sender<Response>,
-) {
-    let inline = |resp: Response| {
-        let _ = tx.send(resp);
-    };
-    let tenant_of = |req: &Request| -> Option<String> {
-        match req {
-            Request::Score { tenant, .. }
-            | Request::Reload { tenant }
-            | Request::Snapshot { tenant } => Some(tenant.clone()),
-            _ => None,
+    kind_byte: u8,
+    payload: &[u8],
+    raw: &[u8],
+    tx: ReplyTx,
+) -> Result<(), WireError> {
+    // Structural validation + zero-copy tenant peek. A frame that
+    // passes cannot fail decode at the replica — required before
+    // forwarding on a *shared* upstream, where a poison frame would
+    // sever every client's in-flight requests at once.
+    let tenant = match wire::peek_tenant(kind_byte, payload) {
+        Ok(t) => t,
+        Err(err) => {
+            tx.send(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: err.to_string(),
+            });
+            return Err(err);
         }
     };
-    match &req {
-        Request::Ping => inline(Response::Ok),
+    match kind_byte {
+        kind::PING => tx.send(Response::Ok),
         // Draining shuts the whole tier's front door for every tenant —
         // an operator decision (`Replicated::shutdown`), not something
         // any connected client may trigger. Honoring it here would let a
         // single misbehaving client take down serving for everyone.
-        Request::Drain => inline(Response::Error {
+        kind::DRAIN => tx.send(Response::Error {
             code: ErrorCode::BadRequest,
             message: "Drain is an operator operation; the router does not \
                       accept it from clients"
                 .into(),
         }),
-        Request::ObsSnapshot => inline(Response::ObsJson {
+        kind::OBS_SNAPSHOT => tx.send(Response::ObsJson {
             json: obs::snapshot_json(),
         }),
-        Request::Adopt { .. } => inline(Response::Error {
+        kind::ADOPT => tx.send(Response::Error {
             code: ErrorCode::BadRequest,
             message: "Adopt is an internal supervisor operation".into(),
         }),
-        Request::Health => inline(merged_health(shared)),
+        kind::HEALTH => {
+            // Fans out over blocking client connections with multi-second
+            // budgets — far too slow for the loop; answer off-thread
+            // through the completion queue.
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || tx.send(merged_health(&shared)));
+        }
         _ => {
-            let Some(tenant) = tenant_of(&req) else {
-                return inline(Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: "request kind not routable".into(),
-                });
-            };
-            let Some(idx) = shared.tenant_index(&tenant) else {
-                return inline(Response::Error {
+            let tenant = tenant.expect("peek_tenant yields a tenant for routable kinds");
+            let Some(idx) = shared.tenant_index(tenant) else {
+                tx.send(Response::Error {
                     code: ErrorCode::UnknownTenant,
                     message: format!("no tenant {tenant:?}"),
                 });
+                return Ok(());
             };
             let owner = shared.assignment.read().unwrap_or_else(|e| e.into_inner())[idx];
             if owner == usize::MAX || !shared.alive[owner].load(Ordering::SeqCst) {
-                return inline(Response::Error {
+                tx.send(Response::Error {
                     code: ErrorCode::Unavailable,
                     message: format!("tenant {tenant:?}: failover in progress"),
                 });
+                return Ok(());
             }
-            forward_to(shared, upstreams, owner, &req, tx);
+            forward_to(shared, upstreams, owner, raw, tx);
         }
     }
+    Ok(())
 }
 
-/// Forwards `req` to `replica` over this connection's upstream, dialing
-/// or re-dialing it as needed. At most one re-dial per request: a second
-/// failure means the replica is really gone and the client gets the
-/// typed `Unavailable` now rather than a blocking retry loop inside the
-/// router.
+/// Forwards raw frame bytes to `replica` over the shared upstream,
+/// dialing or re-dialing it as needed. At most one re-dial per request:
+/// a second failure means the replica is really gone and the client
+/// gets the typed `Unavailable` now rather than a blocking retry loop
+/// inside the router. (Dialing is blocking but loopback-fast: a dead
+/// replica refuses the connection immediately.)
 fn forward_to(
     shared: &Arc<RouterShared>,
     upstreams: &mut [Option<Upstream>],
     replica: usize,
-    req: &Request,
-    tx: &mpsc::Sender<Response>,
+    raw: &[u8],
+    tx: ReplyTx,
 ) {
+    let mut tx = tx;
     for _attempt in 0..2 {
         if upstreams[replica]
             .as_ref()
@@ -500,13 +665,16 @@ fn forward_to(
             }
         }
         let up = upstreams[replica].as_mut().expect("just ensured");
-        match up.forward(req, tx.clone()) {
+        match up.forward(raw, tx) {
             ForwardOutcome::Sent => return,
             ForwardOutcome::EnqueuedButBroken => return, // reader answers tx
-            ForwardOutcome::NotEnqueued => upstreams[replica] = None,
+            ForwardOutcome::NotEnqueued(back) => {
+                tx = back;
+                upstreams[replica] = None;
+            }
         }
     }
-    let _ = tx.send(Response::Error {
+    tx.send(Response::Error {
         code: ErrorCode::Unavailable,
         message: "replica unreachable; request was not sent — safe to retry".into(),
     });
@@ -539,48 +707,35 @@ fn merged_health(shared: &Arc<RouterShared>) -> Response {
 // Router lifecycle
 // ---------------------------------------------------------------------------
 
-/// The router's accept loop + handle. Owned by the supervisor's
+/// The router's event loop + handle. Owned by the supervisor's
 /// [`Replicated`](crate::supervisor::Replicated) tier.
 pub(crate) struct RouterHandle {
     pub(crate) shared: Arc<RouterShared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    completions: Arc<Completions>,
+    loop_thread: Option<JoinHandle<()>>,
 }
 
 impl RouterHandle {
-    /// Binds the client-facing listener and starts accepting.
+    /// Binds the client-facing listener and starts the event loop.
     pub(crate) fn start(shared: Arc<RouterShared>) -> Result<RouterHandle, ServeError> {
         let listener = TcpListener::bind(&shared.cfg.addr)
             .map_err(|e| ServeError::Io(e.to_string()))?;
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
-        let acceptor = {
+        let completions =
+            Completions::new().map_err(|e| ServeError::Io(e.to_string()))?;
+        let loop_thread = {
             let shared = Arc::clone(&shared);
-            let connections = Arc::clone(&connections);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.draining.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let shared = Arc::clone(&shared);
-                    let handle =
-                        std::thread::spawn(move || router_connection_main(shared, stream));
-                    connections
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(handle);
-                }
-            })
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || router_loop_main(shared, completions, listener))
         };
         Ok(RouterHandle {
             shared,
             addr,
-            acceptor: Some(acceptor),
-            connections,
+            completions,
+            loop_thread: Some(loop_thread),
         })
     }
 
@@ -588,19 +743,14 @@ impl RouterHandle {
         self.addr
     }
 
-    /// Stops accepting and joins every connection thread. The draining
-    /// flag must already be set (the supervisor does).
+    /// Stops accepting, flushes in-flight replies and joins the loop
+    /// (which drops the shared upstreams, failing anything still
+    /// pending with a typed error).
     pub(crate) fn stop(mut self) {
         self.shared.draining.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        let handles = std::mem::take(
-            &mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()),
-        );
-        for h in handles {
-            let _ = h.join();
+        self.completions.wake();
+        if let Some(l) = self.loop_thread.take() {
+            let _ = l.join();
         }
     }
 }
@@ -664,10 +814,25 @@ mod tests {
             draining: AtomicBool::new(false),
         });
         let mut upstreams: Vec<Option<Upstream>> = Vec::new();
+        let send = |req: &crate::wire::Request,
+                    upstreams: &mut [Option<Upstream>]|
+         -> Response {
+            let frame = req.to_bytes();
+            let (tx, rx) = std::sync::mpsc::channel();
+            route_frame(
+                &shared,
+                upstreams,
+                frame[3],
+                &frame[wire::HEADER_LEN..],
+                &frame,
+                ReplyTx::chan(tx),
+            )
+            .expect("well-formed frame");
+            rx.recv().expect("answered inline")
+        };
+        use crate::wire::Request;
         for req in [Request::Drain, Request::Adopt { tenant: "t0".into() }] {
-            let (tx, rx) = mpsc::channel();
-            route(&shared, &mut upstreams, req, &tx);
-            match rx.recv().expect("refusal answered inline") {
+            match send(&req, &mut upstreams) {
                 Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
                 other => panic!("privileged request was honored: {other:?}"),
             }
@@ -677,9 +842,7 @@ mod tests {
             "a client Drain flipped the tier-wide draining flag"
         );
         // Harmless control requests still answer.
-        let (tx, rx) = mpsc::channel();
-        route(&shared, &mut upstreams, Request::Ping, &tx);
-        assert_eq!(rx.recv().expect("ping answered"), Response::Ok);
+        assert_eq!(send(&Request::Ping, &mut upstreams), Response::Ok);
     }
 
     #[test]

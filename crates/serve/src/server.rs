@@ -3,20 +3,30 @@
 //! # Architecture
 //!
 //! ```text
-//!            accept loop                 shard workers (own the monitors)
-//!  client ──► connection reader ──┐     ┌───────────────────────────────┐
-//!  client ──► connection reader ──┼──►  │ shard 0: tenants {a, c, ...}  │
-//!              │        ▲         │     │ shard 1: tenants {b, d, ...}  │
-//!              ▼        │ replies └──►  └───────────────────────────────┘
-//!            connection writer                 ▲ swap commands
-//!                                        checkpoint watcher
+//!             event loop (one thread)       shard workers (own the monitors)
+//!  client ──► ┌─────────────────────┐      ┌───────────────────────────────┐
+//!  client ──► │ poll: accept, read, │ ──►  │ shard 0: tenants {a, c, ...}  │
+//!  client ──► │ frame, dispatch,    │      │ shard 1: tenants {b, d, ...}  │
+//!      ...    │ flush slot-ordered  │ ◄──  └───────────────────────────────┘
+//!  client ──► │ replies, backpress. │  completions  ▲ swap commands
+//!             └─────────────────────┘        checkpoint watcher
 //! ```
+//!
+//! The data plane is a single readiness-multiplexed event loop (see
+//! [`crate::mux`]): non-blocking accept/read/write driven by `poll(2)`,
+//! per-connection frame state machines with zero-copy payload decode,
+//! and bounded write buffering with watermark backpressure. Thread count
+//! is `1 (loop) + shards + watcher` regardless of connection count —
+//! the old design burned two OS threads per connection.
 //!
 //! [`imdiffusion::StreamingMonitor`] holds `Rc`-based tensors and is not
 //! `Send`, so every monitor is **created and mutated on exactly one shard
 //! thread**. Everything that crosses threads is plain data: score jobs
-//! (rows + a reply channel), [`DetectorSpec`] weight snapshots for hot
-//! reloads, and atomically-updated health/generation counters.
+//! (rows + a single-use [`ReplyTx`]), [`DetectorSpec`] weight snapshots
+//! for hot reloads, and atomically-updated health/generation counters.
+//! Shards answer by posting `(connection, slot, response)` completions
+//! that wake the loop; the loop flushes each connection's replies in
+//! strict request order however completions interleave.
 //!
 //! # Batching and fidelity
 //!
@@ -48,7 +58,7 @@
 //! corrupt or mismatched checkpoint is counted and skipped — serving
 //! continues on the previous generation.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -64,9 +74,10 @@ use imdiffusion::{
     ImDiffusionDetector, MonitorHealth, StreamingMonitor,
 };
 
+use crate::mux::{self, sys, Completions, Conn, FillOutcome, ReplyTx};
 use crate::wire::{
-    self, ErrorCode, PromotionVerdict, Request, Response, TenantHealth, WireError,
-    WireHealthState, WireVerdict,
+    ErrorCode, PromotionVerdict, Request, Response, TenantHealth, WireHealthState,
+    WireVerdict,
 };
 
 // ---------------------------------------------------------------------------
@@ -153,10 +164,16 @@ pub struct ServeConfig {
     /// watcher (wire `Reload` requests still work).
     pub reload_poll: Option<Duration>,
     /// Closes a connection whose peer has been silent this long (no
-    /// complete frame). `None` lets a connected-but-silent client pin its
-    /// reader thread forever — fine for trusted loopback tests, wrong for
+    /// complete frame, no bytes in flight). `None` keeps silent
+    /// connections forever — fine for trusted loopback tests, wrong for
     /// anything reachable by a stalled or half-open peer.
     pub idle_timeout: Option<Duration>,
+    /// Per-frame progress deadline: a peer that *starts* a frame must
+    /// complete it this fast or the connection is closed. Catches the
+    /// slowloris case `idle_timeout` cannot see — a peer dripping one
+    /// byte at a time is never "silent" but still holds a frame open
+    /// indefinitely. `None` disables the check.
+    pub frame_deadline: Option<Duration>,
     /// Rows between automatic IMSM sidecar snapshots per tenant; `None`
     /// disables cadenced snapshots (explicit `Snapshot` requests still
     /// work). Snapshots bound how much stream progress a failover can
@@ -194,6 +211,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(2),
             reload_poll: Some(Duration::from_millis(200)),
             idle_timeout: None,
+            frame_deadline: Some(Duration::from_secs(30)),
             snapshot_every: None,
             replay_cache: 32,
             regression_watch: 64,
@@ -286,7 +304,7 @@ struct ScoreJob {
     start_row: u64,
     item: BatchItem,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplyTx,
 }
 
 /// Out-of-band command applied by a shard between batches.
@@ -298,20 +316,20 @@ enum ShardCmd {
     Swap {
         tenant: usize,
         spec: Box<DetectorSpec>,
-        reply: Option<mpsc::Sender<Response>>,
+        reply: Option<ReplyTx>,
     },
     /// Activate a tenant (failover adoption): restore from the IMSM
     /// sidecar when present, fresh-load otherwise. Monitors hold
     /// non-`Send` tensors, so creation must happen on the shard thread.
     Adopt {
         tenant: usize,
-        reply: mpsc::Sender<Response>,
+        reply: ReplyTx,
     },
     /// Write the tenant's IMSM sidecar now (deterministic recovery
     /// point).
     Snapshot {
         tenant: usize,
-        reply: mpsc::Sender<Response>,
+        reply: ReplyTx,
     },
 }
 
@@ -433,8 +451,11 @@ struct ServerInner {
     /// but every connection is severed and new ones are refused.
     isolated: AtomicBool,
     /// Clones of accepted connection streams, so kill/isolate can sever
-    /// them from outside the connection threads.
+    /// them from outside the event loop.
     conn_streams: Mutex<Vec<TcpStream>>,
+    /// Shard → event loop completion queue (also the loop's waker for
+    /// drain/kill signalling).
+    completions: Arc<Completions>,
 }
 
 impl ServerInner {
@@ -448,6 +469,7 @@ impl ServerInner {
             let _g = shard.q.lock().unwrap_or_else(|e| e.into_inner());
             shard.cv.notify_all();
         }
+        self.completions.wake();
     }
 
     fn health_report(&self) -> Response {
@@ -486,31 +508,35 @@ impl ServerInner {
     /// shard thread: a bad or losing candidate never interrupts serving.
     ///
     /// When `reply` is present (wire `Reload` requests) every outcome is
-    /// answered through it with a [`Response::ReloadStatus`] — a rejected
-    /// candidate inline, a promoted one by the shard *after* the swap
-    /// lands. `Err` is returned only for an unplaced tenant, with the
-    /// reply not consumed.
+    /// answered through it — an unplaced tenant or a rejected candidate
+    /// inline, a promoted one by the shard *after* the swap lands.
     fn reload_tenant(
         &self,
         tenant: usize,
         new_stamp: Option<FileStamp>,
-        reply: Option<&mpsc::Sender<Response>>,
-    ) -> Result<(), String> {
+        reply: Option<ReplyTx>,
+    ) {
         let t = &self.tenants[tenant];
         if !t.active.load(Ordering::SeqCst) {
-            return Err(format!(
-                "tenant {} is not placed on this replica",
-                t.spec.id
-            ));
+            if let Some(tx) = reply {
+                tx.send(Response::Error {
+                    code: ErrorCode::Unavailable,
+                    message: format!(
+                        "tenant {} is not placed on this replica",
+                        t.spec.id
+                    ),
+                });
+            }
+            return;
         }
         {
             let mut guard = t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner());
             *guard = new_stamp.or_else(|| stamp(&t.spec.checkpoint));
         }
-        let reject = |verdict: PromotionVerdict, msg: String| {
+        let reject = |reply: Option<ReplyTx>, verdict: PromotionVerdict, msg: String| {
             *t.promo.lock().unwrap_or_else(|e| e.into_inner()) = (verdict, msg.clone());
             if let Some(tx) = reply {
-                let _ = tx.send(Response::ReloadStatus {
+                tx.send(Response::ReloadStatus {
                     generation: t.generation.load(Ordering::SeqCst),
                     verdict,
                     detail: msg,
@@ -535,8 +561,8 @@ impl ServerInner {
                 // the incumbent keeps serving without a gap.
                 obs::counter("serve.reload_errors", 1);
                 obs::counter("serve.promotion.rejected_corrupt", 1);
-                reject(PromotionVerdict::RejectedCorrupt, msg);
-                return Ok(());
+                reject(reply, PromotionVerdict::RejectedCorrupt, msg);
+                return;
             }
         };
         if let Some(holdout) = &t.spec.holdout {
@@ -545,8 +571,8 @@ impl ServerInner {
                 obs::counter("serve.promotion.evaluated", 1);
                 if let Err(msg) = gate_candidate(&spec, &inc, holdout, &t.spec) {
                     obs::counter("serve.promotion.rejected_gate", 1);
-                    reject(PromotionVerdict::RejectedGate, msg);
-                    return Ok(());
+                    reject(reply, PromotionVerdict::RejectedGate, msg);
+                    return;
                 }
             }
         }
@@ -555,19 +581,19 @@ impl ServerInner {
             let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
             // One pending swap per tenant is enough; newest wins. A
             // superseded reload's requester still gets an answer.
-            let mut superseded: Vec<mpsc::Sender<Response>> = Vec::new();
-            q.cmds.retain(|cmd| match cmd {
+            let mut superseded: Vec<ReplyTx> = Vec::new();
+            q.cmds.retain_mut(|cmd| match cmd {
                 ShardCmd::Swap {
                     tenant: i, reply, ..
                 } if *i == tenant => {
-                    superseded.extend(reply.clone());
+                    superseded.extend(reply.take());
                     false
                 }
                 _ => true,
             });
             for tx in superseded {
                 let verdict = t.promo.lock().unwrap_or_else(|e| e.into_inner()).0;
-                let _ = tx.send(Response::ReloadStatus {
+                tx.send(Response::ReloadStatus {
                     generation: t.generation.load(Ordering::SeqCst),
                     verdict,
                     detail: "superseded by a newer reload of the same tenant".into(),
@@ -576,11 +602,10 @@ impl ServerInner {
             q.cmds.push(ShardCmd::Swap {
                 tenant,
                 spec: Box::new(spec),
-                reply: reply.cloned(),
+                reply,
             });
         }
         shard.cv.notify_all();
-        Ok(())
     }
 }
 
@@ -830,8 +855,16 @@ enum Work {
 }
 
 /// Blocks until the shard has commands, a flushable batch, or is fully
-/// drained. A batch flushes when `max_batch` jobs for the head tenant are
-/// queued, the oldest has waited `max_wait`, or the server is draining.
+/// drained. A batch flushes when `max_batch` jobs for **some** tenant
+/// are queued, the oldest job of some tenant has waited `max_wait`, or
+/// the server is draining.
+///
+/// Every queued tenant is considered, not just the head of the FIFO:
+/// the old head-only heuristic head-of-line blocked a full batch for
+/// tenant B behind tenant A's still-filling batching window, which is
+/// how the micro-batching throughput curve went non-monotonic. Per
+/// tenant, jobs still flush strictly in arrival order, so verdict
+/// streams are unchanged — only cross-tenant scheduling differs.
 fn next_work(inner: &ServerInner, shard: &Shard) -> Work {
     let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
     loop {
@@ -845,42 +878,63 @@ fn next_work(inner: &ServerInner, shard: &Shard) -> Work {
             return Work::Cmds(std::mem::take(&mut q.cmds));
         }
         let draining = inner.draining.load(Ordering::SeqCst);
-        match q.jobs.front() {
-            None if draining => return Work::Exit,
-            None => {
-                let (guard, _) = shard
-                    .cv
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .unwrap_or_else(|e| e.into_inner());
-                q = guard;
+        if q.jobs.is_empty() {
+            if draining {
+                return Work::Exit;
             }
-            Some(head) => {
-                let tenant = head.tenant;
-                let age = head.enqueued.elapsed();
-                let pending = q.jobs.iter().filter(|j| j.tenant == tenant).count();
-                if pending < inner.cfg.max_batch && age < inner.cfg.max_wait && !draining
-                {
-                    // Wait out the batching window (or a wake-up).
-                    let (guard, _) = shard
-                        .cv
-                        .wait_timeout(q, inner.cfg.max_wait - age)
-                        .unwrap_or_else(|e| e.into_inner());
-                    q = guard;
-                    continue;
-                }
-                let mut jobs = Vec::with_capacity(pending.min(inner.cfg.max_batch));
-                let mut kept = VecDeque::with_capacity(q.jobs.len());
-                for job in q.jobs.drain(..) {
-                    if job.tenant == tenant && jobs.len() < inner.cfg.max_batch {
-                        jobs.push(job);
-                    } else {
-                        kept.push_back(job);
-                    }
-                }
-                q.jobs = kept;
-                return Work::Batch { tenant, jobs };
+            let (guard, _) = shard
+                .cv
+                .wait_timeout(q, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            continue;
+        }
+        // Per-tenant (count, head arrival). BTreeMap keyed by tenant
+        // index + strict comparisons make tie-breaks deterministic.
+        let mut per_tenant: BTreeMap<usize, (usize, Instant)> = BTreeMap::new();
+        for job in &q.jobs {
+            per_tenant
+                .entry(job.tenant)
+                .and_modify(|e| e.0 += 1)
+                .or_insert((1, job.enqueued));
+        }
+        let mut full: Option<(usize, Instant)> = None;
+        let mut oldest: Option<(usize, Instant)> = None;
+        for (&tenant, &(count, head)) in &per_tenant {
+            if count >= inner.cfg.max_batch
+                && full.is_none_or(|(_, h)| head < h)
+            {
+                full = Some((tenant, head));
+            }
+            if oldest.is_none_or(|(_, h)| head < h) {
+                oldest = Some((tenant, head));
             }
         }
+        // A full batch is ready now; otherwise the tenant whose head has
+        // waited longest decides whether to flush or sleep the residue
+        // of its batching window.
+        let (tenant, head) = full.or(oldest).expect("jobs is non-empty");
+        let age = head.elapsed();
+        if full.is_none() && !draining && age < inner.cfg.max_wait {
+            let (guard, _) = shard
+                .cv
+                .wait_timeout(q, inner.cfg.max_wait - age)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            continue;
+        }
+        let pending = per_tenant[&tenant].0;
+        let mut jobs = Vec::with_capacity(pending.min(inner.cfg.max_batch));
+        let mut kept = VecDeque::with_capacity(q.jobs.len());
+        for job in q.jobs.drain(..) {
+            if job.tenant == tenant && jobs.len() < inner.cfg.max_batch {
+                jobs.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        q.jobs = kept;
+        return Work::Batch { tenant, jobs };
     }
 }
 
@@ -910,7 +964,7 @@ fn run_batch(
     let mut admitted_seqs = Vec::with_capacity(jobs.len());
     let mut admitted_starts = Vec::with_capacity(jobs.len());
     let mut items = Vec::with_capacity(jobs.len());
-    let mut deferred_dups: Vec<(u64, mpsc::Sender<Response>)> = Vec::new();
+    let mut deferred_dups: Vec<(u64, ReplyTx)> = Vec::new();
     for job in jobs {
         if job.seq != 0 && seqs[tenant].is_applied(job.seq) {
             obs::counter("serve.failover.replay_hits", 1);
@@ -923,7 +977,7 @@ fn run_batch(
             // so the client must not re-submit them under a fresh id —
             // only resync. (A same-id retry just gets this answer again,
             // bounded by the client's budget.)
-            let _ = job.reply.send(cached.unwrap_or_else(|| Response::Error {
+            job.reply.send(cached.unwrap_or_else(|| Response::Error {
                 code: ErrorCode::Interrupted,
                 message: format!(
                     "sequence id {} was already applied but its reply left the \
@@ -944,7 +998,7 @@ fn run_batch(
             obs::counter("serve.timeouts", 1);
             // Not ingested and not applied: a retry with the same
             // sequence id is admitted as new work.
-            let _ = job.reply.send(Response::Error {
+            job.reply.send(Response::Error {
                 code: ErrorCode::Timeout,
                 message: DetectorError::Timeout {
                     waited_ms: waited.as_millis() as u64,
@@ -1004,7 +1058,7 @@ fn run_batch(
                         kept_senders.push(sender);
                     }
                     Some(at) => {
-                        let _ = sender.send(Response::Error {
+                        sender.send(Response::Error {
                             code: ErrorCode::Unavailable,
                             message: format!(
                                 "stream position mismatch for {}: request claims \
@@ -1079,7 +1133,7 @@ fn run_batch(
                 st.cache.pop_front();
             }
         }
-        let _ = sender.send(resp);
+        sender.send(resp);
     }
     answer_deferred(&seqs[tenant], deferred_dups);
 
@@ -1112,14 +1166,14 @@ fn run_batch(
 /// and the applied-then-evicted cases are indistinguishable, and a
 /// same-sequence-id retry is the one response that is correct for both
 /// (admitted fresh if refused, answered by dedup if applied).
-fn answer_deferred(st: &SeqState, deferred: Vec<(u64, mpsc::Sender<Response>)>) {
+fn answer_deferred(st: &SeqState, deferred: Vec<(u64, ReplyTx)>) {
     for (seq, sender) in deferred {
         let cached = st
             .cache
             .iter()
             .find(|(s, _)| *s == seq)
             .map(|(_, resp)| resp.clone());
-        let _ = sender.send(cached.unwrap_or_else(|| Response::Error {
+        sender.send(cached.unwrap_or_else(|| Response::Error {
             code: ErrorCode::Interrupted,
             message: format!(
                 "duplicate of in-flight sequence id {seq} could not be answered \
@@ -1224,8 +1278,8 @@ fn apply_cmd(
                 // The tenant was never activated here (or a reload raced
                 // adoption): count and skip, never panic the shard.
                 obs::counter("serve.reload_errors", 1);
-                if let Some(tx) = &reply {
-                    let _ = tx.send(Response::Error {
+                if let Some(tx) = reply {
+                    tx.send(Response::Error {
                         code: ErrorCode::Unavailable,
                         message: format!(
                             "tenant {} has no live monitor on this shard",
@@ -1267,8 +1321,8 @@ fn apply_cmd(
                     // latch; publish the fresh health immediately.
                     *shared.health.lock().unwrap_or_else(|e| e.into_inner()) =
                         monitor.health();
-                    if let Some(tx) = &reply {
-                        let _ = tx.send(Response::ReloadStatus {
+                    if let Some(tx) = reply {
+                        tx.send(Response::ReloadStatus {
                             generation,
                             verdict: PromotionVerdict::Promoted,
                             detail,
@@ -1281,8 +1335,8 @@ fn apply_cmd(
                     let msg = format!("swap refused for {}: {e}", shared.spec.id);
                     *shared.promo.lock().unwrap_or_else(|e| e.into_inner()) =
                         (PromotionVerdict::RejectedCorrupt, msg.clone());
-                    if let Some(tx) = &reply {
-                        let _ = tx.send(Response::ReloadStatus {
+                    if let Some(tx) = reply {
+                        tx.send(Response::ReloadStatus {
                             generation: shared.generation.load(Ordering::SeqCst),
                             verdict: PromotionVerdict::RejectedCorrupt,
                             detail: msg,
@@ -1294,7 +1348,7 @@ fn apply_cmd(
         ShardCmd::Adopt { tenant, reply } => {
             let shared = &inner.tenants[tenant];
             if monitors[tenant].is_some() {
-                let _ = reply.send(Response::Ok); // idempotent
+                reply.send(Response::Ok); // idempotent
                 return;
             }
             match load_monitor(&shared.spec, inner.cfg.snapshot_every) {
@@ -1321,10 +1375,10 @@ fn apply_cmd(
                     seqs[tenant] = SeqState::default();
                     shared.active.store(true, Ordering::SeqCst);
                     obs::counter("serve.failover.adoptions", 1);
-                    let _ = reply.send(Response::Ok);
+                    reply.send(Response::Ok);
                 }
                 Err(e) => {
-                    let _ = reply.send(Response::Error {
+                    reply.send(Response::Error {
                         code: ErrorCode::Internal,
                         message: format!("adoption of {} failed: {e}", shared.spec.id),
                     });
@@ -1334,7 +1388,7 @@ fn apply_cmd(
         ShardCmd::Snapshot { tenant, reply } => {
             let shared = &inner.tenants[tenant];
             let Some(monitor) = monitors[tenant].as_mut() else {
-                let _ = reply.send(Response::Error {
+                reply.send(Response::Error {
                     code: ErrorCode::Unavailable,
                     message: format!(
                         "tenant {} is not active on this replica",
@@ -1352,10 +1406,10 @@ fn apply_cmd(
                         "serve.failover.sidecar_write_ms",
                         t0.elapsed().as_secs_f64() * 1e3,
                     );
-                    let _ = reply.send(Response::Ok);
+                    reply.send(Response::Ok);
                 }
                 Err(e) => {
-                    let _ = reply.send(Response::Error {
+                    reply.send(Response::Error {
                         code: ErrorCode::Internal,
                         message: format!("snapshot of {} failed: {e}", shared.spec.id),
                     });
@@ -1366,89 +1420,238 @@ fn apply_cmd(
 }
 
 // ---------------------------------------------------------------------------
-// Connection handling
+// Connection handling (readiness event loop)
 // ---------------------------------------------------------------------------
 
-/// Serves one connection. Requests pipeline: the reader dispatches each
-/// frame immediately and queues a one-shot reply receiver; the writer
-/// sends responses back **in request order**, so a client may stack many
-/// score requests (filling server-side batches) and read replies later.
-fn connection_main(inner: Arc<ServerInner>, stream: TcpStream) {
-    obs::counter("serve.connections", 1);
-    let peer = stream.peer_addr().ok();
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
+/// Poll tick: the upper bound on how stale the idle / frame-progress
+/// deadline checks can run. Wake-ups for completions, readable sockets
+/// and accepts interrupt the sleep immediately.
+const POLL_TICK_MS: i32 = 25;
 
-    let (pending_tx, pending_rx) = mpsc::channel::<mpsc::Receiver<Response>>();
-    let reply_budget = inner.cfg.deadline * 2 + Duration::from_secs(5);
-    let writer = std::thread::spawn(move || {
-        let mut w = std::io::BufWriter::new(write_half);
-        while let Ok(rx) = pending_rx.recv() {
-            let resp = rx.recv_timeout(reply_budget).unwrap_or(Response::Error {
-                code: ErrorCode::Internal,
-                message: "reply lost: worker gave no response in time".into(),
-            });
-            if wire::write_frame(&mut w, resp.kind(), &resp.encode_payload()).is_err() {
-                break;
+/// The server's data plane: one thread multiplexing the listener and
+/// every client connection over `poll(2)`.
+///
+/// Per iteration: drain shard completions into per-connection
+/// slot-ordered reply queues, accept, read + frame + dispatch, flush,
+/// then enforce the idle and per-frame-progress deadlines. A connection
+/// whose write buffer is over the high-water mark stops being polled
+/// for reads (backpressure); one that dies or misbehaves is closed with
+/// its `conn_streams` clone cleaned up, exactly like the old
+/// per-connection threads did.
+///
+/// Exit: `kill` severs everything immediately; `drain` stops accepting,
+/// flushes every outstanding reply, then closes connections and
+/// returns.
+fn event_loop_main(inner: Arc<ServerInner>, listener: TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    let completions = Arc::clone(&inner.completions);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
+    // Reused each iteration: poll set + the conn id each slot refers to.
+    let mut fds: Vec<sys::PollFd> = Vec::new();
+    let mut fd_ids: Vec<u64> = Vec::new();
+
+    loop {
+        if inner.killed.load(Ordering::SeqCst) {
+            for (_, c) in conns.drain() {
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+            }
+            return;
+        }
+        let draining = inner.draining.load(Ordering::SeqCst);
+        if draining {
+            for c in conns.values_mut() {
+                c.closing = true;
             }
         }
-    });
 
-    let mut reader = stream;
-    let mut last_frame = Instant::now();
-    loop {
-        let req = match wire::read_request(&mut reader) {
-            Ok(Some(req)) => {
-                last_frame = Instant::now();
-                req
+        fds.clear();
+        fd_ids.clear();
+        fds.push(sys::PollFd::new(completions.poll_fd(), sys::POLLIN));
+        let accepting = !draining;
+        if accepting {
+            fds.push(sys::PollFd::new(mux::raw_fd(&listener), sys::POLLIN));
+        }
+        let base = fds.len();
+        for c in conns.values() {
+            let mut ev = 0i16;
+            if c.wants_read() {
+                ev |= sys::POLLIN;
             }
-            Ok(None) => break, // clean close
-            Err(WireError::Idle) => {
-                if inner.draining.load(Ordering::SeqCst)
-                    || inner.killed.load(Ordering::SeqCst)
-                {
-                    break;
-                }
-                // A connected-but-silent peer must not pin this thread
-                // forever: past the configured idle budget the connection
-                // is closed (the peer sees EOF and reconnects).
-                if let Some(budget) = inner.cfg.idle_timeout {
-                    if last_frame.elapsed() >= budget {
-                        obs::counter("serve.idle_closed", 1);
-                        break;
+            if c.wants_write() {
+                ev |= sys::POLLOUT;
+            }
+            fds.push(sys::PollFd::new(mux::raw_fd(&c.stream), ev));
+            fd_ids.push(c.id);
+        }
+        if sys::poll_fds(&mut fds, POLL_TICK_MS).is_err() {
+            // EBADF and friends only happen mid-shutdown races; the flag
+            // checks at the top of the loop decide what to do.
+            continue;
+        }
+
+        // Completions first: frees write buffers before new reads.
+        for comp in completions.drain() {
+            if let Some(c) = conns.get_mut(&comp.conn) {
+                c.push_response(comp.slot, comp.resp);
+            }
+        }
+
+        if accepting && fds[base - 1].readable() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if inner.isolated.load(Ordering::SeqCst) {
+                            // Partitioned: accept then drop, so peers see
+                            // an immediate EOF rather than a served reply.
+                            drop(stream);
+                            continue;
+                        }
+                        obs::counter("serve.connections", 1);
+                        if let Ok(clone) = stream.try_clone() {
+                            inner
+                                .conn_streams
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(clone);
+                        }
+                        if let Ok(conn) = Conn::new(stream, next_id) {
+                            conns.insert(next_id, conn);
+                            next_id += 1;
+                        }
                     }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
                 }
+            }
+        }
+
+        for (i, fd) in fds[base..].iter().enumerate() {
+            if !fd.readable() {
                 continue;
             }
+            let Some(c) = conns.get_mut(&fd_ids[i]) else {
+                continue;
+            };
+            if let FillOutcome::Eof = c.fill() {
+                // Half-close: stop reading but still flush every pending
+                // reply before dropping the connection.
+            }
+            process_frames(&inner, &completions, c);
+        }
+
+        // Inline dispatches (ping, health, refusals) post completions
+        // synchronously; fold them in before flushing.
+        for comp in completions.drain() {
+            if let Some(c) = conns.get_mut(&comp.conn) {
+                c.push_response(comp.slot, comp.resp);
+            }
+        }
+
+        for c in conns.values_mut() {
+            if c.wants_write() && c.flush().is_err() {
+                c.dead = true;
+            }
+        }
+
+        // Deadline ticks: idle (no frame activity at all) and per-frame
+        // progress (slowloris: a started frame must finish in time).
+        for c in conns.values_mut() {
+            if c.dead || c.closing || c.eof {
+                continue;
+            }
+            match c.frame_started {
+                None => {
+                    if let Some(budget) = inner.cfg.idle_timeout {
+                        if c.last_frame.elapsed() >= budget {
+                            obs::counter("serve.idle_closed", 1);
+                            c.closing = true;
+                        }
+                    }
+                }
+                Some(started) => {
+                    if let Some(budget) = inner.cfg.frame_deadline {
+                        if started.elapsed() >= budget {
+                            obs::counter("serve.frame_stalled_closed", 1);
+                            c.eof = true;
+                            c.closing = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let done: Vec<u64> = conns
+            .values()
+            .filter(|c| c.dead || ((c.eof || c.closing) && c.fully_flushed()))
+            .map(|c| c.id)
+            .collect();
+        for id in done {
+            if let Some(c) = conns.remove(&id) {
+                close_conn(&inner, c);
+            }
+        }
+
+        if draining && conns.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Scans every complete frame out of `c`'s read buffer, decoding
+/// payloads zero-copy (borrowed straight from the buffer) and
+/// dispatching each request under the connection's next reply slot. A
+/// framing or decode error answers `BadRequest` on the slot and marks
+/// the connection closing — the stream is unreliable past that point.
+fn process_frames(inner: &Arc<ServerInner>, completions: &Arc<Completions>, c: &mut Conn) {
+    loop {
+        if c.closing {
+            return;
+        }
+        match c.scan() {
+            Ok(None) => return,
+            Ok(Some(frame)) => {
+                let decoded = Request::decode(
+                    frame.kind,
+                    c.rbuf_slice(frame.payload_start, frame.payload_end),
+                );
+                match decoded {
+                    Ok(req) => {
+                        c.consume(frame.total);
+                        obs::counter("serve.requests", 1);
+                        let slot = c.assign_slot();
+                        dispatch(inner, req, ReplyTx::slot(completions, c.id, slot));
+                    }
+                    Err(err) => {
+                        c.push_inline(Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: err.to_string(),
+                        });
+                        c.eof = true;
+                        c.closing = true;
+                        return;
+                    }
+                }
+            }
             Err(err) => {
-                // The stream is unreliable past a framing error: answer
-                // (best effort) and close.
-                let (tx, rx) = mpsc::channel();
-                let _ = tx.send(Response::Error {
+                c.push_inline(Response::Error {
                     code: ErrorCode::BadRequest,
                     message: err.to_string(),
                 });
-                let _ = pending_tx.send(rx);
-                break;
+                c.eof = true;
+                c.closing = true;
+                return;
             }
-        };
-        obs::counter("serve.requests", 1);
-        let (tx, rx) = mpsc::channel();
-        dispatch(&inner, req, &tx);
-        if pending_tx.send(rx).is_err() {
-            break; // writer died (peer went away)
         }
     }
-    drop(pending_tx);
-    let _ = writer.join();
-    // A clone of this stream sits in `conn_streams` (so kill/isolate can
-    // sever it); dropping our descriptors alone would leave the socket
-    // open through that clone and the peer would never see EOF. Shutdown
-    // acts on the socket itself, across every clone.
-    let _ = reader.shutdown(std::net::Shutdown::Both);
+}
+
+/// Drops one connection: shutdown acts on the socket across every clone
+/// (the peer sees EOF even though `conn_streams` holds a duplicate),
+/// then the clone is retired.
+fn close_conn(inner: &ServerInner, c: Conn) {
+    let _ = c.stream.shutdown(std::net::Shutdown::Both);
+    let peer = c.peer;
     inner
         .conn_streams
         .lock()
@@ -1459,72 +1662,65 @@ fn connection_main(inner: Arc<ServerInner>, stream: TcpStream) {
         });
 }
 
-/// Routes one request. Inline requests answer into `tx` immediately; the
-/// score path clones `tx` into a queued job and the shard answers later.
-fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>) {
-    let inline = |resp: Response| {
-        let _ = tx.send(resp);
-    };
+/// Routes one request. Cheap requests answer through `reply` inline
+/// (which posts a completion); the score path moves `reply` into a
+/// queued job and the shard answers later. Heavy control work (reload
+/// validation) runs on a short-lived thread so the event loop never
+/// stalls behind it.
+fn dispatch(inner: &Arc<ServerInner>, req: Request, reply: ReplyTx) {
     match req {
-        Request::Ping => inline(Response::Ok),
-        Request::Health => inline(inner.health_report()),
-        Request::ObsSnapshot => inline(Response::ObsJson {
+        Request::Ping => reply.send(Response::Ok),
+        Request::Health => reply.send(inner.health_report()),
+        Request::ObsSnapshot => reply.send(Response::ObsJson {
             json: obs::snapshot_json(),
         }),
         Request::Drain => {
             inner.begin_drain();
-            inline(Response::Ok)
+            reply.send(Response::Ok)
         }
         Request::Reload { tenant } => match inner.tenant_index(&tenant) {
-            None => inline(Response::Error {
+            None => reply.send(Response::Error {
                 code: ErrorCode::UnknownTenant,
                 message: format!("no tenant {tenant:?}"),
             }),
             Some(idx) => {
-                // The answer is a ReloadStatus sent by the gate (on
-                // rejection) or by the shard after the swap lands (on
-                // promotion); an inline error only covers the
-                // unplaced-tenant case.
-                if let Err(msg) = inner.reload_tenant(idx, None, Some(tx)) {
-                    inline(Response::Error {
-                        code: ErrorCode::Unavailable,
-                        message: msg,
-                    });
-                }
+                // Checkpoint load + holdout gating are far too heavy for
+                // the event loop; validate off-thread. The answer is a
+                // ReloadStatus sent by the gate (on rejection) or by the
+                // shard after the swap lands (on promotion).
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || inner.reload_tenant(idx, None, Some(reply)));
             }
         },
         Request::Adopt { tenant } => match inner.tenant_index(&tenant) {
-            None => inline(Response::Error {
+            None => reply.send(Response::Error {
                 code: ErrorCode::UnknownTenant,
                 message: format!("no tenant {tenant:?}"),
             }),
             Some(idx) => {
                 let shared = &inner.tenants[idx];
                 if shared.active.load(Ordering::SeqCst) {
-                    return inline(Response::Ok); // idempotent
+                    return reply.send(Response::Ok); // idempotent
                 }
                 // Monitor creation must happen on the owning shard
-                // thread; the shard answers through `tx` when done.
+                // thread; the shard answers through `reply` when done.
                 let shard = &inner.shards[shared.shard];
                 {
                     let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
-                    q.cmds.push(ShardCmd::Adopt {
-                        tenant: idx,
-                        reply: tx.clone(),
-                    });
+                    q.cmds.push(ShardCmd::Adopt { tenant: idx, reply });
                 }
                 shard.cv.notify_all();
             }
         },
         Request::Snapshot { tenant } => match inner.tenant_index(&tenant) {
-            None => inline(Response::Error {
+            None => reply.send(Response::Error {
                 code: ErrorCode::UnknownTenant,
                 message: format!("no tenant {tenant:?}"),
             }),
             Some(idx) => {
                 let shared = &inner.tenants[idx];
                 if !shared.active.load(Ordering::SeqCst) {
-                    return inline(Response::Error {
+                    return reply.send(Response::Error {
                         code: ErrorCode::Unavailable,
                         message: format!(
                             "tenant {tenant:?} is not placed on this replica"
@@ -1534,10 +1730,7 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
                 let shard = &inner.shards[shared.shard];
                 {
                     let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
-                    q.cmds.push(ShardCmd::Snapshot {
-                        tenant: idx,
-                        reply: tx.clone(),
-                    });
+                    q.cmds.push(ShardCmd::Snapshot { tenant: idx, reply });
                 }
                 shard.cv.notify_all();
             }
@@ -1551,21 +1744,21 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
         } => {
             obs::counter("serve.score_requests", 1);
             let Some(idx) = inner.tenant_index(&tenant) else {
-                return inline(Response::Error {
+                return reply.send(Response::Error {
                     code: ErrorCode::UnknownTenant,
                     message: format!("no tenant {tenant:?}"),
                 });
             };
             let shared = &inner.tenants[idx];
             if !shared.active.load(Ordering::SeqCst) {
-                return inline(Response::Error {
+                return reply.send(Response::Error {
                     code: ErrorCode::Unavailable,
                     message: format!("tenant {tenant:?} is not placed on this replica"),
                 });
             }
             let channels = shared.spec.channels;
             if let Some(bad) = rows.iter().find(|r| r.len() != channels) {
-                return inline(Response::Error {
+                return reply.send(Response::Error {
                     code: ErrorCode::BadRequest,
                     message: format!(
                         "row has {} channels, tenant {tenant:?} expects {channels}",
@@ -1575,7 +1768,7 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
             }
             // Admission control, cheapest checks first.
             if inner.draining.load(Ordering::SeqCst) {
-                return inline(Response::Error {
+                return reply.send(Response::Error {
                     code: ErrorCode::Draining,
                     message: "server is draining; no new scoring work".into(),
                 });
@@ -1584,7 +1777,7 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
             if queued >= inner.cfg.max_queue {
                 inner.queued.fetch_sub(1, Ordering::SeqCst);
                 obs::counter("serve.overloaded", 1);
-                return inline(Response::Error {
+                return reply.send(Response::Error {
                     code: ErrorCode::Overloaded,
                     message: DetectorError::Overloaded {
                         queued,
@@ -1603,7 +1796,7 @@ fn dispatch(inner: &Arc<ServerInner>, req: Request, tx: &mpsc::Sender<Response>)
                     shed: false,
                 },
                 enqueued: Instant::now(),
-                reply: tx.clone(),
+                reply,
             };
             shared.queue_depth.fetch_add(1, Ordering::SeqCst);
             let shard = &inner.shards[shared.shard];
@@ -1645,7 +1838,7 @@ fn watcher_main(inner: Arc<ServerInner>, poll: Duration) {
                 // Errors are counted inside reload_tenant; the stamp is
                 // recorded either way so one bad rewrite is not retried
                 // in a loop.
-                let _ = inner.reload_tenant(idx, now, None);
+                inner.reload_tenant(idx, now, None);
             }
         }
     }
@@ -1661,10 +1854,12 @@ fn watcher_main(inner: Arc<ServerInner>, poll: Duration) {
 pub struct Server {
     inner: Arc<ServerInner>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    /// The readiness event loop: listener + every client connection on
+    /// one thread. Total server threads = 1 loop + shards + watcher,
+    /// independent of connection count.
+    loop_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -1742,6 +1937,8 @@ impl Server {
                 })
             })
             .collect();
+        let completions =
+            Completions::new().map_err(|e| ServeError::Io(e.to_string()))?;
         let inner = Arc::new(ServerInner {
             cfg,
             tenants: shared,
@@ -1751,6 +1948,7 @@ impl Server {
             killed: AtomicBool::new(false),
             isolated: AtomicBool::new(false),
             conn_streams: Mutex::new(Vec::new()),
+            completions,
         });
 
         // Shards load their monitors on their own threads (tensors are
@@ -1785,44 +1983,9 @@ impl Server {
             return Err(e);
         }
 
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
-        let acceptor = {
+        let loop_thread = {
             let inner = Arc::clone(&inner);
-            let connections = Arc::clone(&connections);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    // Kill/drain are checked before the partition flag so
-                    // the shutdown nudge-connect always terminates the
-                    // acceptor, even on an isolated replica.
-                    if inner.killed.load(Ordering::SeqCst)
-                        || inner.draining.load(Ordering::SeqCst)
-                    {
-                        return;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    if inner.isolated.load(Ordering::SeqCst) {
-                        // Partitioned: the process is alive but the
-                        // network "loses" it — accept then drop, so peers
-                        // see an immediate EOF rather than a served reply.
-                        drop(stream);
-                        continue;
-                    }
-                    if let Ok(clone) = stream.try_clone() {
-                        inner
-                            .conn_streams
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push(clone);
-                    }
-                    let inner = Arc::clone(&inner);
-                    let handle =
-                        std::thread::spawn(move || connection_main(inner, stream));
-                    connections
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(handle);
-                }
-            })
+            std::thread::spawn(move || event_loop_main(inner, listener))
         };
         let watcher = inner.cfg.reload_poll.map(|poll| {
             let inner = Arc::clone(&inner);
@@ -1832,10 +1995,9 @@ impl Server {
         Ok(Server {
             inner,
             addr,
-            acceptor: Some(acceptor),
+            loop_thread: Some(loop_thread),
             shard_threads,
             watcher,
-            connections,
         })
     }
 
@@ -1855,18 +2017,13 @@ impl Server {
     /// every queued request, join all threads. Queued requests still get
     /// real replies — drain never silently drops work.
     pub fn drain(mut self) {
+        // begin_drain wakes the event loop through the completions
+        // waker; the loop marks every connection closing, flushes all
+        // outstanding replies (shards drain their queues before
+        // exiting, and every ReplyTx is send-or-drop), then returns.
         self.inner.begin_drain();
-        // Unblock the acceptor's blocking accept with a throwaway
-        // connection; it checks the drain flag first thing.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        let handles = std::mem::take(
-            &mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()),
-        );
-        for h in handles {
-            let _ = h.join();
+        if let Some(l) = self.loop_thread.take() {
+            let _ = l.join();
         }
         for t in std::mem::take(&mut self.shard_threads) {
             let _ = t.join();
@@ -1899,10 +2056,11 @@ impl Server {
         for s in streams {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
-        // Unblock the acceptor; it checks the kill flag first thing.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        // Wake the event loop; it checks the kill flag first thing and
+        // severs whatever connections remain.
+        self.inner.completions.wake();
+        if let Some(l) = self.loop_thread.take() {
+            let _ = l.join();
         }
         for t in std::mem::take(&mut self.shard_threads) {
             let _ = t.join();

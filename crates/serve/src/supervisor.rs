@@ -32,15 +32,34 @@
 //! 4. **Expose** — only after an adoption acks does the router's
 //!    assignment table flip; in the window between death and adoption,
 //!    clients get typed `Unavailable` errors, never hangs.
+//!
+//! # Replication ahead of failure
+//!
+//! Adoption reads the tenant's IMDF checkpoint and IMSM sidecar from
+//! their canonical paths — historically a **shared-disk** assumption:
+//! if those files die with the replica's machine, the sidecar-resume
+//! path is gone. With [`RouterConfig::replication`] set, a replication
+//! thread copies every tenant's checkpoint + sidecar into a standby
+//! directory on a cadence (and [`Replicated::replicate_now`] forces a
+//! pass, for deterministic tests). During failover, any canonical file
+//! found missing is restored from the standby *before* the survivor
+//! adopts — so recovery proceeds from the last replicated state instead
+//! of falling all the way back to a cold re-warm. Canonical files that
+//! still exist always win: the standby is only a fallback, never an
+//! overwrite, so enabling replication cannot perturb a
+//! shared-disk-healthy failover.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use imdiff_nn::obs;
+use imdiff_nn::serialize::atomic_write;
+use imdiffusion::stream_path;
 
-use crate::router::{Ring, RouterConfig, RouterHandle, RouterShared};
+use crate::router::{ReplicationCfg, Ring, RouterConfig, RouterHandle, RouterShared};
 use crate::server::{ServeConfig, ServeError, Server, TenantSpec};
 use crate::ServeClient;
 
@@ -58,7 +77,73 @@ pub struct Replicated {
     /// the heartbeat thread joins) to let the worker exit.
     failover_tx: Option<mpsc::Sender<usize>>,
     failover_worker: Option<JoinHandle<()>>,
+    /// Ahead-of-failure replication state (`None` when not configured).
+    repl: Arc<Option<ReplState>>,
+    replicator: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
+}
+
+/// Everything the replication pass and the failover-time restore need:
+/// the configured standby directory/cadence plus each tenant's canonical
+/// checkpoint path (index-aligned with the tenant roster).
+pub(crate) struct ReplState {
+    cfg: ReplicationCfg,
+    checkpoints: Vec<PathBuf>,
+}
+
+impl ReplState {
+    /// Standby copy of tenant `idx`'s checkpoint. Index-keyed (not
+    /// id-keyed) so arbitrary tenant ids can never escape the standby
+    /// directory or collide after sanitization.
+    fn standby_checkpoint(&self, idx: usize) -> PathBuf {
+        self.cfg.dir.join(format!("t{idx}.imdf"))
+    }
+}
+
+/// Copies `src` over `dst` atomically. Missing/unreadable sources are
+/// skipped silently — a tenant that has never snapshotted simply has no
+/// sidecar yet.
+fn copy_file(src: &Path, dst: &Path) -> bool {
+    match std::fs::read(src) {
+        Ok(bytes) => atomic_write(dst, &bytes).is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// One replication pass: checkpoint + IMSM sidecar of every tenant into
+/// the standby directory. Sources are written atomically by their
+/// owners, so each copy observes a consistent file.
+fn replicate_once(repl: &ReplState) {
+    let _ = std::fs::create_dir_all(&repl.cfg.dir);
+    for (idx, src) in repl.checkpoints.iter().enumerate() {
+        let dst = repl.standby_checkpoint(idx);
+        if copy_file(src, &dst) {
+            obs::counter("serve.replication.copies", 1);
+        }
+        if copy_file(&stream_path(src), &stream_path(&dst)) {
+            obs::counter("serve.replication.copies", 1);
+        }
+    }
+}
+
+/// Failover-time restore: put back any canonical file of tenant `idx`
+/// that is missing, from its standby copy. Existing canonical files are
+/// never overwritten — the standby may be older.
+fn restore_from_standby(repl: &ReplState, idx: usize) {
+    let canonical = &repl.checkpoints[idx];
+    let standby = repl.standby_checkpoint(idx);
+    let mut restored = false;
+    if !canonical.exists() && copy_file(&standby, canonical) {
+        restored = true;
+    }
+    let canonical_stream = stream_path(canonical);
+    if !canonical_stream.exists() && copy_file(&stream_path(&standby), &canonical_stream)
+    {
+        restored = true;
+    }
+    if restored {
+        obs::counter("serve.failover.standby_restores", 1);
+    }
 }
 
 impl Replicated {
@@ -77,6 +162,12 @@ impl Replicated {
         }
         let ring = Ring::new(cfg.replicas, cfg.vnodes);
         let tenant_ids: Vec<String> = tenants.iter().map(|t| t.id.clone()).collect();
+        let repl: Arc<Option<ReplState>> = Arc::new(cfg.replication.clone().map(|rc| {
+            ReplState {
+                cfg: rc,
+                checkpoints: tenants.iter().map(|t| t.checkpoint.clone()).collect(),
+            }
+        }));
         let all_alive = vec![true; cfg.replicas];
         let assignment: Vec<usize> = tenant_ids
             .iter()
@@ -120,12 +211,31 @@ impl Replicated {
             let servers = Arc::clone(&servers);
             let stop = Arc::clone(&stop);
             let ring = ring.clone();
+            let repl = Arc::clone(&repl);
             std::thread::spawn(move || {
                 while let Ok(dead) = failover_rx.recv() {
-                    failover(&shared, &servers, &ring, &stop, dead);
+                    failover(&shared, &servers, &ring, &stop, &repl, dead);
                 }
             })
         };
+        let replicator = repl.as_ref().as_ref().map(|_| {
+            let repl = Arc::clone(&repl);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let state = repl.as_ref().as_ref().expect("spawned only when Some");
+                while !stop.load(Ordering::SeqCst) {
+                    replicate_once(state);
+                    // Sleep in short slices so shutdown never waits a
+                    // full replication period.
+                    let mut left = state.cfg.every;
+                    while !left.is_zero() && !stop.load(Ordering::SeqCst) {
+                        let nap = left.min(Duration::from_millis(25));
+                        std::thread::sleep(nap);
+                        left = left.saturating_sub(nap);
+                    }
+                }
+            })
+        });
         let heartbeat = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
@@ -142,8 +252,21 @@ impl Replicated {
             heartbeat: Some(heartbeat),
             failover_tx: Some(failover_tx),
             failover_worker: Some(failover_worker),
+            repl,
+            replicator,
             stop,
         })
+    }
+
+    /// Forces one synchronous replication pass (checkpoints + sidecars
+    /// into the standby directory). No-op unless
+    /// [`RouterConfig::replication`] was configured. Public so tests and
+    /// operators can pin the standby to a known state deterministically
+    /// instead of racing the cadence thread.
+    pub fn replicate_now(&self) {
+        if let Some(state) = self.repl.as_ref() {
+            replicate_once(state);
+        }
     }
 
     /// The client-facing address.
@@ -206,6 +329,9 @@ impl Replicated {
         // failover finishes.
         drop(self.failover_tx.take());
         if let Some(h) = self.failover_worker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.replicator.take() {
             let _ = h.join();
         }
         self.shared.draining.store(true, Ordering::SeqCst);
@@ -297,6 +423,7 @@ fn failover(
     servers: &Arc<Mutex<Vec<Option<Server>>>>,
     ring: &Ring,
     stop: &Arc<AtomicBool>,
+    repl: &Arc<Option<ReplState>>,
     dead: usize,
 ) {
     obs::counter("serve.failover.failovers", 1);
@@ -323,6 +450,13 @@ fn failover(
             return;
         }
         let tenant = &shared.tenant_ids[idx];
+        // With replication configured, put back any canonical file the
+        // dead replica took with it before the survivor tries to adopt.
+        // Runs after the fence: the dead replica can no longer write the
+        // canonical paths, so the restore cannot race it.
+        if let Some(state) = repl.as_ref() {
+            restore_from_standby(state, idx);
+        }
         let target = ring.place(tenant, &alive_now);
         let adopted = match target {
             Some(nr) => adopt_tenant(&shared.replica_addrs[nr], tenant, stop).then_some(nr),

@@ -26,7 +26,7 @@
 use std::fmt;
 use std::io::{Read, Write};
 
-use imdiff_nn::serialize::crc32;
+use imdiff_nn::serialize::{crc32_finish, crc32_update, CRC32_INIT};
 
 /// Current protocol version byte. v2 added the idempotency sequence id on
 /// score requests and the replication control kinds
@@ -46,6 +46,11 @@ pub const MAX_PAYLOAD: u32 = 16 << 20;
 
 /// Frame header size in bytes (magic + version + kind + len + crc).
 pub const HEADER_LEN: usize = 12;
+
+/// Largest single allocation step while reading an unverified payload:
+/// the buffer grows with the bytes the peer actually delivers instead of
+/// trusting the length prefix up front.
+pub const PAYLOAD_READ_CHUNK: usize = 64 << 10;
 
 /// Message kind bytes. Requests are `< 128`, responses `>= 128`.
 pub mod kind {
@@ -438,24 +443,140 @@ pub enum Response {
 // ---------------------------------------------------------------------------
 
 fn frame_crc(version: u8, kind: u8, payload: &[u8]) -> u32 {
-    let mut covered = Vec::with_capacity(payload.len() + 2);
-    covered.push(version);
-    covered.push(kind);
-    covered.extend_from_slice(payload);
-    crc32(&covered)
+    // Streamed over header bytes then payload: no concatenation copy.
+    let state = crc32_update(CRC32_INIT, &[version, kind]);
+    crc32_finish(crc32_update(state, payload))
 }
 
 /// Assembles a complete frame for `kind` around `payload`.
 pub fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() as u64 <= MAX_PAYLOAD as u64, "payload over cap");
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    append_frame(&mut out, kind, payload);
+    out
+}
+
+/// Appends a complete frame for `kind` to `out` — [`frame_bytes`]
+/// without the intermediate allocation, for write-buffered event loops.
+pub fn append_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    assert!(payload.len() as u64 <= MAX_PAYLOAD as u64, "payload over cap");
     out.extend_from_slice(&MAGIC);
     out.push(WIRE_VERSION);
     out.push(kind);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&frame_crc(WIRE_VERSION, kind, payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
+}
+
+/// Incrementally scans for one frame at the head of `buf`, which may
+/// hold a partial frame or several frames back to back (a connection's
+/// read buffer). Returns `Ok(None)` when the buffer ends mid-frame —
+/// read more and rescan — and `Ok(Some((kind, total)))` once a whole
+/// CRC-checked frame is present, where `total` is the frame length
+/// including the header: the payload is `&buf[HEADER_LEN..total]`,
+/// borrowed straight from the read buffer with no per-frame allocation.
+/// Header fields are validated as soon as the 12 header bytes exist, so
+/// a hostile magic/version/length prefix is rejected before any payload
+/// accumulates.
+pub fn scan_frame(buf: &[u8]) -> Result<Option<(u8, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..2] != MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1]]));
+    }
+    let version = buf[2];
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = buf[3];
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::TooLarge(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let stored = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let actual = frame_crc(version, kind, &buf[HEADER_LEN..total]);
+    if stored != actual {
+        return Err(WireError::CrcMismatch { stored, actual });
+    }
+    Ok(Some((kind, total)))
+}
+
+/// Routing peek: the tenant id of a tenant-addressed request, borrowed
+/// straight from the payload — no row materialization, no allocation.
+/// `Ok(None)` for request kinds that carry no tenant; `Err` for unknown
+/// kinds and malformed payloads.
+///
+/// This is also a **complete structural validation** of the payload (it
+/// checks everything [`Request::decode`] would reject: string bounds,
+/// field sizes, the score row grid — `f32` decoding itself is
+/// infallible), so a frame that passes `peek_tenant` can be forwarded
+/// verbatim to a replica with no risk of a decode error there. The
+/// router depends on this: a shared upstream connection must never be
+/// poisoned by one client's malformed frame.
+pub fn peek_tenant(kind_byte: u8, payload: &[u8]) -> Result<Option<&str>, WireError> {
+    let early = || WireError::Malformed("payload ended early".into());
+    let short_str = |payload: &[u8]| -> Result<(usize, usize), WireError> {
+        if payload.len() < 2 {
+            return Err(early());
+        }
+        let n = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+        if payload.len() < 2 + n {
+            return Err(early());
+        }
+        Ok((2, 2 + n))
+    };
+    match kind_byte {
+        kind::SCORE => {
+            let (start, end) = short_str(payload)?;
+            let tenant = std::str::from_utf8(&payload[start..end])
+                .map_err(|_| WireError::Malformed("string is not UTF-8".into()))?;
+            // tenant ‖ seq:u64 ‖ start_row:u64 ‖ gap:u32 ‖ n:u32 ‖ c:u32 ‖ cells
+            let fixed = end.checked_add(8 + 8 + 4 + 4 + 4).ok_or_else(early)?;
+            if payload.len() < fixed {
+                return Err(early());
+            }
+            let grid = &payload[fixed - 8..fixed];
+            let n_rows = u32::from_le_bytes(grid[0..4].try_into().expect("4 bytes")) as usize;
+            let channels = u32::from_le_bytes(grid[4..8].try_into().expect("4 bytes")) as usize;
+            let ok = n_rows
+                .checked_mul(channels)
+                .and_then(|cells| cells.checked_mul(4))
+                .map(|bytes| bytes == payload.len() - fixed)
+                .unwrap_or(false);
+            if !ok {
+                return Err(WireError::Malformed(
+                    "row grid does not match payload size".into(),
+                ));
+            }
+            Ok(Some(tenant))
+        }
+        kind::RELOAD | kind::ADOPT | kind::SNAPSHOT => {
+            let (start, end) = short_str(payload)?;
+            if end != payload.len() {
+                return Err(WireError::Malformed(format!(
+                    "{} unexpected bytes after payload",
+                    payload.len() - end
+                )));
+            }
+            std::str::from_utf8(&payload[start..end])
+                .map(Some)
+                .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+        }
+        kind::HEALTH | kind::OBS_SNAPSHOT | kind::DRAIN | kind::PING => {
+            if !payload.is_empty() {
+                return Err(WireError::Malformed(format!(
+                    "{} unexpected bytes after payload",
+                    payload.len()
+                )));
+            }
+            Ok(None)
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
 }
 
 /// Parses one frame from `buf`, requiring the buffer to contain exactly
@@ -530,14 +651,24 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError
         return Err(WireError::TooLarge(len));
     }
     let stored = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            WireError::Truncated
-        } else {
-            WireError::Io(e.to_string())
+    // The length prefix is untrusted until the CRC passes: grow the
+    // payload buffer only as bytes actually arrive, in bounded chunks,
+    // so a garbage header claiming the 16 MiB cap cannot force a
+    // cap-sized allocation from a peer that never delivers the bytes.
+    let len = len as usize;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut filled = 0usize;
+    while filled < len {
+        let want = (len - filled).min(PAYLOAD_READ_CHUNK);
+        payload.resize(filled + want, 0);
+        match r.read(&mut payload[filled..filled + want]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
         }
-    })?;
+    }
+    payload.truncate(len);
     let actual = frame_crc(version, kind, &payload);
     if stored != actual {
         return Err(WireError::CrcMismatch { stored, actual });
@@ -976,6 +1107,126 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<Option<Response>, WireError> 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `scan_frame` finds whole frames at every split point: for any
+    /// prefix short of the full frame it reports "incomplete" (never an
+    /// error, never a frame), and at the exact boundary it yields the
+    /// same kind/payload as the strict parser.
+    #[test]
+    fn scan_frame_handles_every_split_point() {
+        for req in sample_requests() {
+            let bytes = req.to_bytes();
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    scan_frame(&bytes[..cut]).expect("prefix never errors"),
+                    None,
+                    "cut={cut}"
+                );
+            }
+            let (kind, total) = scan_frame(&bytes).expect("scan").expect("complete");
+            assert_eq!(total, bytes.len());
+            let (pkind, payload) = parse_frame(&bytes).expect("parse");
+            assert_eq!(kind, pkind);
+            assert_eq!(&bytes[HEADER_LEN..total], payload);
+        }
+    }
+
+    /// `scan_frame` tolerates trailing bytes (the next pipelined frame)
+    /// and reports the first frame's exact extent so the caller can
+    /// consume and rescan.
+    #[test]
+    fn scan_frame_tolerates_pipelined_frames() {
+        let a = Request::Ping.to_bytes();
+        let b = Request::Health.to_bytes();
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let (kind, total) = scan_frame(&buf).expect("scan").expect("first frame");
+        assert_eq!(kind, kind::PING);
+        assert_eq!(total, a.len());
+        let (kind2, total2) = scan_frame(&buf[total..]).expect("scan").expect("second");
+        assert_eq!(kind2, kind::HEALTH);
+        assert_eq!(total2, b.len());
+    }
+
+    /// Hostile headers are rejected as soon as the 12 header bytes are
+    /// present — bad magic, unknown version, oversized length — without
+    /// waiting for (or allocating) the claimed payload.
+    #[test]
+    fn scan_frame_rejects_hostile_headers_early() {
+        let mut bad_magic = Request::Ping.to_bytes();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            scan_frame(&bad_magic[..HEADER_LEN]),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad_version = Request::Ping.to_bytes();
+        bad_version[2] = 99;
+        assert!(matches!(
+            scan_frame(&bad_version[..HEADER_LEN]),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&MAGIC);
+        huge.push(WIRE_VERSION);
+        huge.push(kind::SCORE);
+        huge.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(scan_frame(&huge), Err(WireError::TooLarge(_))));
+
+        // Ping has no payload; flip a CRC byte.
+        let mut flipped = Request::Ping.to_bytes();
+        flipped[HEADER_LEN - 1] ^= 0x40;
+        assert!(matches!(
+            scan_frame(&flipped),
+            Err(WireError::CrcMismatch { .. })
+        ));
+    }
+
+    /// `peek_tenant` must agree with the full decoder in both
+    /// directions: same tenant on every well-formed request, and a
+    /// rejection wherever `Request::decode` would reject — a frame the
+    /// router forwards on the strength of a successful peek must never
+    /// fail decode at the replica.
+    #[test]
+    fn peek_tenant_matches_full_decode() {
+        for req in sample_requests() {
+            let payload = req.encode_payload();
+            let expected = match &req {
+                Request::Score { tenant, .. }
+                | Request::Reload { tenant }
+                | Request::Adopt { tenant }
+                | Request::Snapshot { tenant } => Some(tenant.as_str()),
+                _ => None,
+            };
+            assert_eq!(
+                peek_tenant(req.kind(), &payload).expect("well-formed"),
+                expected
+            );
+        }
+        // Truncations and trailing garbage reject exactly like decode.
+        for req in sample_requests() {
+            let payload = req.encode_payload();
+            for cut in 0..payload.len() {
+                let truncated = &payload[..cut];
+                assert_eq!(
+                    peek_tenant(req.kind(), truncated).is_err(),
+                    Request::decode(req.kind(), truncated).is_err(),
+                    "kind {} cut at {cut}",
+                    req.kind()
+                );
+            }
+            let mut padded = payload.clone();
+            padded.push(0);
+            assert!(peek_tenant(req.kind(), &padded).is_err());
+            assert!(Request::decode(req.kind(), &padded).is_err());
+        }
+        assert!(matches!(
+            peek_tenant(kind::VERDICTS, &[]),
+            Err(WireError::UnknownKind(_))
+        ));
+    }
 
     fn sample_requests() -> Vec<Request> {
         vec![

@@ -492,3 +492,112 @@ fn obs_toggle_does_not_perturb_verdicts() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Replication ahead of failure
+// ---------------------------------------------------------------------------
+
+/// With `RouterConfig::replication` configured, the supervisor keeps
+/// standby copies of every tenant's checkpoint + IMSM sidecar — so when
+/// the canonical sidecar is lost *with* the dead replica (no shared
+/// disk), failover restores it from the standby and the survivor still
+/// resumes mid-stream instead of going dark or silently re-warming.
+#[test]
+fn failover_restores_from_standby_when_canonical_sidecar_is_lost() {
+    use imdiffusion_repro::core::stream_path;
+    use imdiffusion_repro::serve::{Replicated, ReplicationCfg, RouterConfig};
+
+    let _guard = OBS_LOCK.lock().unwrap();
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+
+    let dir = tmp_dir("standby");
+    let ckpt = dir.join("solo.imdf");
+    let (rows, channels) = train_and_save(&ckpt, 7, 48);
+    let standby = dir.join("standby");
+    let _ = std::fs::remove_dir_all(&standby);
+
+    let tier = Replicated::start(
+        RouterConfig {
+            replicas: 2,
+            heartbeat_every: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(100),
+            heartbeat_misses: 2,
+            // A cadence long enough that only replicate_now() copies —
+            // the test stays deterministic about *what* the standby holds.
+            replication: Some(ReplicationCfg {
+                dir: standby.clone(),
+                every: Duration::from_secs(3600),
+            }),
+            replica: lenient_config(),
+            ..RouterConfig::default()
+        },
+        vec![tenant_spec("solo", &ckpt, 7, channels)],
+    )
+    .expect("start tier");
+    let addr = tier.addr();
+
+    // Feed half the stream, snapshot (sidecar now holds mid-stream
+    // state), then pin the standby to exactly that state.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let fed: usize = {
+        let mut fed = 0;
+        for chunk in rows.chunks(4).take(4) {
+            client.score("solo", 0, chunk.to_vec()).expect("score chunk");
+            fed += chunk.len();
+        }
+        fed
+    };
+    client.snapshot("solo").expect("snapshot");
+    tier.replicate_now();
+    assert!(
+        stream_path(&standby.join("t0.imdf")).exists(),
+        "replicate_now did not copy the sidecar into the standby dir"
+    );
+
+    // Shared disk "fails": the canonical sidecar is gone. Then the
+    // owner dies.
+    std::fs::remove_file(stream_path(&ckpt)).expect("remove canonical sidecar");
+    let owner = tier.replica_of("solo").expect("placed");
+    tier.kill_replica(owner);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if tier.replica_of("solo").map(|r| r != owner).unwrap_or(false) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        tier.replica_of("solo").map(|r| r != owner).unwrap_or(false),
+        "failover did not re-place the tenant"
+    );
+    assert!(
+        stream_path(&ckpt).exists(),
+        "failover did not restore the canonical sidecar from the standby"
+    );
+    let snapshot = obs::snapshot_json();
+    assert!(
+        snapshot.contains("serve.failover.standby_restores"),
+        "standby restore did not tick its counter: {snapshot}"
+    );
+
+    // The survivor resumed from the replicated snapshot: it reports the
+    // snapshotted stream position, and scoring continues from there.
+    let mut client = ServeClient::connect(addr).expect("reconnect");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    assert_eq!(
+        rows_seen(&mut client, "solo") as usize,
+        fed,
+        "survivor did not resume at the replicated sidecar's position"
+    );
+    for chunk in rows[fed..].chunks(4).take(2) {
+        client
+            .score("solo", 0, chunk.to_vec())
+            .expect("score after standby-restored failover");
+    }
+
+    obs::set_enabled(was_enabled);
+    tier.shutdown();
+}

@@ -4,7 +4,8 @@
 
 use imdiffusion_repro::serve::wire::{
     frame_bytes, read_request, read_response, ErrorCode, PromotionVerdict, Request,
-    Response, TenantHealth, WireHealthState, WireVerdict,
+    Response, TenantHealth, WireHealthState, WireVerdict, HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    PAYLOAD_READ_CHUNK, WIRE_VERSION,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -226,6 +227,47 @@ proptest! {
         let _ = read_request(&mut cursor);
         let mut cursor = std::io::Cursor::new(bytes);
         let _ = read_response(&mut cursor);
+    }
+
+    /// A garbage frame claiming an arbitrary payload length — up to the
+    /// full 16 MiB cap — while delivering only a few bytes must fail as
+    /// `Truncated` without ever asking the stream (and hence the
+    /// allocator) for more than one bounded chunk beyond what arrived.
+    #[test]
+    fn huge_claimed_length_never_allocates_up_front(
+        claimed in 1u32..=MAX_PAYLOAD,
+        delivered in proptest::collection::vec(0u8..=255u8, 0..64usize),
+    ) {
+        prop_assume!((delivered.len() as u32) < claimed);
+        let mut bytes = Vec::with_capacity(HEADER_LEN + delivered.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.push(1); // SCORE
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // CRC never checked: truncation first
+        bytes.extend_from_slice(&delivered);
+
+        /// Wraps a cursor and records the largest read() the decoder asks for.
+        struct MaxReq<R> {
+            inner: R,
+            max: usize,
+        }
+        impl<R: std::io::Read> std::io::Read for MaxReq<R> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.max = self.max.max(buf.len());
+                self.inner.read(buf)
+            }
+        }
+
+        let mut r = MaxReq { inner: std::io::Cursor::new(bytes), max: 0 };
+        if let Ok(got) = read_request(&mut r) {
+            prop_assert!(false, "truncated frame decoded: {got:?}");
+        }
+        prop_assert!(
+            r.max <= PAYLOAD_READ_CHUNK,
+            "decoder requested {} bytes at once for a frame claiming {claimed}",
+            r.max
+        );
     }
 
     /// Garbage wrapped in a *valid* frame (real magic, version and CRC)
