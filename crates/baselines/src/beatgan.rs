@@ -11,7 +11,8 @@ use imdiff_nn::optim::{Adam, Optimizer};
 use imdiff_nn::{backward, no_grad, Tensor};
 
 use crate::common::{
-    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PointScores,
+    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PayloadReader,
+    PayloadWriter, PointScores,
 };
 
 const WINDOW: usize = 24;
@@ -34,6 +35,23 @@ impl AutoEncoder {
         let z = self.enc2.forward(&self.enc1.forward(flat).relu()).tanh();
         self.dec2.forward(&self.dec1.forward(&z).relu())
     }
+
+    fn new(rng: &mut rand::rngs::StdRng, flat_dim: usize) -> Self {
+        AutoEncoder {
+            enc1: Linear::new(rng, flat_dim, HIDDEN),
+            enc2: Linear::new(rng, HIDDEN, LATENT),
+            dec1: Linear::new(rng, LATENT, HIDDEN),
+            dec2: Linear::new(rng, HIDDEN, flat_dim),
+        }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.enc1.params();
+        p.extend(self.enc2.params());
+        p.extend(self.dec1.params());
+        p.extend(self.dec2.params());
+        p
+    }
 }
 
 /// BeatGAN: adversarially regularized window autoencoder.
@@ -52,6 +70,61 @@ impl BeatGan {
     pub fn new(seed: u64) -> Self {
         BeatGan { seed, state: None }
     }
+
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
+        require_len(&test_n, WINDOW)?;
+        let k = test_n.dim();
+        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
+        let mut ps = PointScores::new(test_n.len());
+        for chunk in starts.chunks(32) {
+            let x = batch_windows(&test_n, chunk, WINDOW).reshape(&[chunk.len(), WINDOW * k]);
+            let recon = no_grad(|| st.ae.forward(&x));
+            let (xd, rd) = (x.data(), recon.data());
+            for (bi, &s) in chunk.iter().enumerate() {
+                for l in 0..WINDOW {
+                    let mut err = 0.0f64;
+                    for c in 0..k {
+                        let idx = bi * WINDOW * k + l * k + c;
+                        err += ((xd[idx] - rd[idx]) as f64).powi(2);
+                    }
+                    ps.add(s + l, err / k as f64);
+                }
+            }
+        }
+        Ok(ps.finish())
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.ae.params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    /// The module skeleton is reconstructed from seed + channel count and
+    /// the stored weights overwrite the fresh initialization.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let mut rng = rng_for(seed, 0xbea7);
+        let ae = AutoEncoder::new(&mut rng, WINDOW * norm.channels);
+        r.tensors_into(&ae.params())?;
+        r.expect_end()?;
+        Ok(BeatGan {
+            seed,
+            state: Some(Fitted { norm, ae }),
+        })
+    }
 }
 
 impl Detector for BeatGan {
@@ -66,20 +139,12 @@ impl Detector for BeatGan {
         let flat_dim = WINDOW * k;
         let mut rng = rng_for(self.seed, 0xbea7);
 
-        let ae = AutoEncoder {
-            enc1: Linear::new(&mut rng, flat_dim, HIDDEN),
-            enc2: Linear::new(&mut rng, HIDDEN, LATENT),
-            dec1: Linear::new(&mut rng, LATENT, HIDDEN),
-            dec2: Linear::new(&mut rng, HIDDEN, flat_dim),
-        };
+        let ae = AutoEncoder::new(&mut rng, flat_dim);
         // Discriminator: window -> real/fake logit.
         let d1 = Linear::new(&mut rng, flat_dim, HIDDEN / 2);
         let d2 = Linear::new(&mut rng, HIDDEN / 2, 1);
 
-        let mut g_params = ae.enc1.params();
-        g_params.extend(ae.enc2.params());
-        g_params.extend(ae.dec1.params());
-        g_params.extend(ae.dec2.params());
+        let g_params = ae.params();
         let mut d_params = d1.params();
         d_params.extend(d2.params());
         let mut g_opt = Adam::new(g_params, 2e-3);
@@ -122,28 +187,7 @@ impl Detector for BeatGan {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
-        require_len(&test_n, WINDOW)?;
-        let k = test_n.dim();
-        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
-        let mut ps = PointScores::new(test_n.len());
-        for chunk in starts.chunks(32) {
-            let x = batch_windows(&test_n, chunk, WINDOW).reshape(&[chunk.len(), WINDOW * k]);
-            let recon = no_grad(|| st.ae.forward(&x));
-            let (xd, rd) = (x.data(), recon.data());
-            for (bi, &s) in chunk.iter().enumerate() {
-                for l in 0..WINDOW {
-                    let mut err = 0.0f64;
-                    for c in 0..k {
-                        let idx = bi * WINDOW * k + l * k + c;
-                        err += ((xd[idx] - rd[idx]) as f64).powi(2);
-                    }
-                    ps.add(s + l, err / k as f64);
-                }
-            }
-        }
-        Ok(Detection::from_scores(ps.finish()))
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -167,6 +211,26 @@ mod tests {
         let anom: f64 = d.scores[150..154].iter().cloned().fold(0.0, f64::max);
         let norm: f64 = d.scores[..140].iter().cloned().fold(0.0, f64::max);
         assert!(anom > norm, "anomaly {anom} vs normal {norm}");
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Psm,
+            &SizeProfile {
+                train_len: 120,
+                test_len: 60,
+            },
+            3,
+        );
+        let mut det = BeatGan::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = BeatGan::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

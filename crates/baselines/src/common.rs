@@ -21,6 +21,20 @@ impl NormState {
                 "empty training series".into(),
             ));
         }
+        // Finiteness boundary: a NaN/∞ would silently poison the min/max
+        // statistics here and then every distance, split threshold and
+        // gradient downstream — several families (IForest's `gen_range`
+        // on NaN bounds, GDN's correlation sort) would outright panic.
+        for l in 0..train.len() {
+            for c in 0..train.dim() {
+                if !train.get(l, c).is_finite() {
+                    return Err(DetectorError::NonFiniteInput {
+                        index: l,
+                        channel: c,
+                    });
+                }
+            }
+        }
         let normalizer = Normalizer::fit(train, NormMethod::MinMax);
         let train_n = normalizer.transform(train);
         Ok((
@@ -32,14 +46,244 @@ impl NormState {
         ))
     }
 
-    pub(crate) fn check_and_transform(&self, test: &Mts) -> Result<Mts, DetectorError> {
+    /// Mask-aware ingestion boundary shared by every baseline's scoring
+    /// path: validates geometry, rejects non-finite values outside
+    /// declared-missing cells with a typed error (the mask is row-major
+    /// `[L, K]`, `true` = value absent — the convention of
+    /// `imdiff_data::mask` and the streaming monitor), fills declared
+    /// cells deterministically (carry-forward → backfill → channel
+    /// mid-range), and normalizes. The baselines have no native notion of
+    /// imputation, so a placeholder value keeps their arithmetic finite
+    /// while staying inside the training data's value envelope.
+    pub(crate) fn transform_masked(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Mts, DetectorError> {
         if test.dim() != self.channels {
             return Err(DetectorError::DimensionMismatch {
                 expected: self.channels,
                 actual: test.dim(),
             });
         }
-        Ok(self.normalizer.transform(test))
+        let (len, k) = (test.len(), test.dim());
+        if let Some(m) = missing {
+            if m.len() != len * k {
+                return Err(DetectorError::InvalidTrainingData(format!(
+                    "missing mask has {} cells, series has {}",
+                    m.len(),
+                    len * k
+                )));
+            }
+        }
+        let declared = |l: usize, c: usize| missing.is_some_and(|m| m[l * k + c]);
+        for l in 0..len {
+            for c in 0..k {
+                if !test.get(l, c).is_finite() && !declared(l, c) {
+                    return Err(DetectorError::NonFiniteInput {
+                        index: l,
+                        channel: c,
+                    });
+                }
+            }
+        }
+        if missing.is_none_or(|m| m.iter().all(|&b| !b)) {
+            return Ok(self.normalizer.transform(test));
+        }
+        let missing = missing.expect("checked above");
+        let (offset, scale) = self.normalizer.stats();
+        let mut filled = test.clone();
+        for c in 0..k {
+            // Carry-forward within the channel; leading holes backfill
+            // from the first observation; a fully-missing channel sits at
+            // the training mid-range (offset + scale/2 under min-max).
+            let first_obs = (0..len).find(|&l| !missing[l * k + c]);
+            let mut last: Option<f32> = None;
+            for l in 0..len {
+                if missing[l * k + c] {
+                    let v = last
+                        .or_else(|| first_obs.map(|f| test.get(f, c)))
+                        .unwrap_or(offset[c] + 0.5 * scale[c]);
+                    filled.set(l, c, v);
+                } else {
+                    last = Some(test.get(l, c));
+                }
+            }
+        }
+        Ok(self.normalizer.transform(&filled))
+    }
+
+    /// Serializes the normalization state (registry snapshot payloads).
+    pub(crate) fn encode(&self, w: &mut PayloadWriter) {
+        let (offset, scale) = self.normalizer.stats();
+        w.u32(self.channels as u32);
+        w.f32s(&offset);
+        w.f32s(&scale);
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub(crate) fn decode(r: &mut PayloadReader) -> Result<Self, DetectorError> {
+        let channels = r.u32()? as usize;
+        let offset = r.f32s()?;
+        let scale = r.f32s()?;
+        if channels == 0 || offset.len() != channels || scale.len() != channels {
+            return Err(corrupt("normalizer state shape mismatch"));
+        }
+        Ok(NormState {
+            normalizer: Normalizer::from_stats(NormMethod::MinMax, offset, scale),
+            channels,
+        })
+    }
+}
+
+/// Typed corruption error for snapshot payload decoding.
+pub(crate) fn corrupt(msg: &str) -> DetectorError {
+    DetectorError::CorruptCheckpoint(format!("baseline payload: {msg}"))
+}
+
+/// Little-endian byte writer for baseline snapshot payloads (the
+/// family-native body wrapped by the registry's CRC-checked envelope).
+pub(crate) struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub(crate) fn new() -> Self {
+        PayloadWriter { buf: Vec::new() }
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed `f32` slice.
+    pub(crate) fn f32s(&mut self, vs: &[f32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+
+    /// Length-prefixed `f64` slice.
+    pub(crate) fn f64s(&mut self, vs: &[f64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Module parameters in `params()` order: count, then each tensor as
+    /// a length-prefixed value blob. Shapes are *not* stored — the reader
+    /// rebuilds the module skeleton from seed + config and only checks
+    /// element counts, exactly like the IMDF loader's arity check.
+    pub(crate) fn tensors(&mut self, params: &[Tensor]) {
+        self.u32(params.len() as u32);
+        for p in params {
+            self.f32s(&p.to_vec());
+        }
+    }
+}
+
+/// Little-endian cursor over a snapshot payload; running off the end or
+/// any shape mismatch is a typed corruption, never a panic.
+pub(crate) struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DetectorError> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt("truncated payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, DetectorError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DetectorError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, DetectorError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, DetectorError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f32s(&mut self) -> Result<Vec<f32>, DetectorError> {
+        let n = self.u32()? as usize;
+        if self.pos + n.saturating_mul(4) > self.buf.len() {
+            return Err(corrupt("truncated f32 slice"));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, DetectorError> {
+        let n = self.u32()? as usize;
+        if self.pos + n.saturating_mul(8) > self.buf.len() {
+            return Err(corrupt("truncated f64 slice"));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Loads tensors written by [`PayloadWriter::tensors`] into a freshly
+    /// constructed skeleton's parameter list, checking arity and element
+    /// counts.
+    pub(crate) fn tensors_into(&mut self, params: &[Tensor]) -> Result<(), DetectorError> {
+        let n = self.u32()? as usize;
+        if n != params.len() {
+            return Err(corrupt(&format!(
+                "payload has {n} tensors, model expects {}",
+                params.len()
+            )));
+        }
+        for p in params {
+            let data = self.f32s()?;
+            let want: usize = p.dims().iter().product();
+            if data.len() != want {
+                return Err(corrupt(&format!(
+                    "tensor has {} values, model expects {want}",
+                    data.len()
+                )));
+            }
+            p.set_data(&data);
+        }
+        Ok(())
+    }
+
+    /// Rejects trailing garbage after a fully parsed payload.
+    pub(crate) fn expect_end(&self) -> Result<(), DetectorError> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+        Ok(())
     }
 }
 
@@ -195,7 +439,117 @@ mod tests {
         let train = Mts::new(vec![0.0, 10.0, 1.0, 20.0], 2, 2);
         let (ns, train_n) = NormState::fit(&train).unwrap();
         assert_eq!(train_n.dim(), 2);
-        assert!(ns.check_and_transform(&Mts::zeros(3, 3)).is_err());
-        assert!(ns.check_and_transform(&Mts::zeros(3, 2)).is_ok());
+        assert!(ns.transform_masked(&Mts::zeros(3, 3), None).is_err());
+        assert!(ns.transform_masked(&Mts::zeros(3, 2), None).is_ok());
+    }
+
+    #[test]
+    fn fit_rejects_non_finite_training_data() {
+        let train = Mts::new(vec![0.0, 1.0, f32::INFINITY, 2.0], 2, 2);
+        assert!(matches!(
+            NormState::fit(&train),
+            Err(DetectorError::NonFiniteInput {
+                index: 1,
+                channel: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn transform_masked_rejects_undeclared_nan_and_fills_declared() {
+        let train = Mts::new(vec![0.0, 0.0, 10.0, 10.0, 5.0, 5.0], 3, 2);
+        let (ns, _) = NormState::fit(&train).unwrap();
+
+        // Undeclared NaN is a typed error naming the cell.
+        let mut test = Mts::new(vec![1.0; 8], 4, 2);
+        test.set(2, 1, f32::NAN);
+        assert!(matches!(
+            ns.transform_masked(&test, None),
+            Err(DetectorError::NonFiniteInput {
+                index: 2,
+                channel: 1
+            })
+        ));
+
+        // Declared missing: carry-forward fills the hole, so the filled
+        // series transforms exactly like the series without the hole.
+        let mut mask = vec![false; 8];
+        mask[2 * 2 + 1] = true;
+        let filled = ns.transform_masked(&test, Some(&mask)).unwrap();
+        let mut reference = test.clone();
+        reference.set(2, 1, reference.get(1, 1));
+        let expected = ns.transform_masked(&reference, None).unwrap();
+        for l in 0..4 {
+            for c in 0..2 {
+                assert_eq!(filled.get(l, c), expected.get(l, c));
+            }
+        }
+
+        // Leading hole backfills from the first observation.
+        let mut lead = Mts::new(vec![f32::NAN, 1.0, 3.0, 1.0], 2, 2);
+        let mut lead_mask = vec![false; 4];
+        lead_mask[0] = true;
+        let out = ns.transform_masked(&lead, Some(&lead_mask)).unwrap();
+        lead.set(0, 0, 3.0);
+        let expect = ns.transform_masked(&lead, None).unwrap();
+        assert_eq!(out.get(0, 0), expect.get(0, 0));
+
+        // A mask of the wrong geometry is rejected.
+        let short_mask = vec![false; 3];
+        assert!(ns.transform_masked(&test, Some(&short_mask)).is_err());
+    }
+
+    #[test]
+    fn payload_codec_roundtrip_and_corruption() {
+        let mut w = PayloadWriter::new();
+        w.u8(7);
+        w.u32(42);
+        w.f32(1.5);
+        w.f64(-2.25);
+        w.f32s(&[1.0, 2.0]);
+        w.f64s(&[3.0]);
+        let bytes = w.finish();
+
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert_eq!(r.f32s().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(r.f64s().unwrap(), vec![3.0]);
+        assert!(r.expect_end().is_ok());
+
+        // Truncation is a typed corruption, not a panic.
+        let mut r = PayloadReader::new(&bytes[..bytes.len() - 1]);
+        r.u8().unwrap();
+        r.u32().unwrap();
+        r.f32().unwrap();
+        r.f64().unwrap();
+        r.f32s().unwrap();
+        assert!(matches!(
+            r.f64s(),
+            Err(DetectorError::CorruptCheckpoint(_))
+        ));
+
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let mut r = PayloadReader::new(&padded);
+        r.u8().unwrap();
+        r.u32().unwrap();
+        r.f32().unwrap();
+        r.f64().unwrap();
+        r.f32s().unwrap();
+        r.f64s().unwrap();
+        assert!(matches!(
+            r.expect_end(),
+            Err(DetectorError::CorruptCheckpoint(_))
+        ));
+
+        // An absurd length prefix fails fast instead of allocating.
+        let mut huge = PayloadWriter::new();
+        huge.u32(u32::MAX);
+        let hb = huge.finish();
+        assert!(PayloadReader::new(&hb).f32s().is_err());
     }
 }

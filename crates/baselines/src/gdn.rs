@@ -12,7 +12,10 @@ use imdiff_nn::ops::mse;
 use imdiff_nn::optim::Adam;
 use imdiff_nn::{init, no_grad, Tensor};
 
-use crate::common::{batch_windows, require_len, rng_for, run_training, sample_starts, NormState};
+use crate::common::{
+    batch_windows, corrupt, require_len, rng_for, run_training, sample_starts, NormState,
+    PayloadReader, PayloadWriter,
+};
 
 const WINDOW: usize = 12;
 const EMBED: usize = 16;
@@ -34,6 +37,17 @@ struct Model {
 }
 
 impl Model {
+    fn new(rng: &mut rand::rngs::StdRng, k: usize, neighbours: Vec<Vec<usize>>) -> Self {
+        Model {
+            embed: init::normal_init(rng, &[k, EMBED], 0.1),
+            history_proj: Linear::new(rng, WINDOW, EMBED),
+            out1: Linear::new(rng, 3 * EMBED, EMBED),
+            out2: Linear::new(rng, EMBED, 1),
+            neighbours,
+            k,
+        }
+    }
+
     fn params(&self) -> Vec<Tensor> {
         let mut p = vec![self.embed.clone()];
         p.extend(self.history_proj.params());
@@ -124,6 +138,93 @@ impl Gdn {
     pub fn new(seed: u64) -> Self {
         Gdn { seed, state: None }
     }
+
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
+        require_len(&test_n, WINDOW + 1)?;
+        let k = test_n.dim();
+        let mut scores = vec![0.0f64; test_n.len()];
+        let positions: Vec<usize> = (0..test_n.len() - WINDOW).collect();
+        for chunk in positions.chunks(64) {
+            let x = batch_windows(&test_n, chunk, WINDOW);
+            let pred = no_grad(|| st.model.forward(&x));
+            let pd = pred.data();
+            for (bi, &s) in chunk.iter().enumerate() {
+                let truth = test_n.row(s + WINDOW);
+                // GDN scoring: max over sensors of normalized deviation.
+                let dev = (0..k)
+                    .map(|c| ((truth[c] - pd[bi * k + c]) as f64).abs() / st.err_scale[c])
+                    .fold(0.0f64, f64::max);
+                scores[s + WINDOW] = dev;
+            }
+        }
+        let first = scores[WINDOW];
+        for s in scores.iter_mut().take(WINDOW) {
+            *s = first;
+        }
+        Ok(scores)
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    /// The neighbour graph and robust error scales are data-derived, so
+    /// both must travel with the weights.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.model.params());
+        w.u32(st.model.neighbours.len() as u32);
+        for ns in &st.model.neighbours {
+            for &n in ns {
+                w.u32(n as u32);
+            }
+        }
+        w.f64s(&st.err_scale);
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let k = norm.channels;
+        let mut rng = rng_for(seed, 0x6d4);
+        let model = Model::new(&mut rng, k, vec![vec![0; TOP_K]; k]);
+        r.tensors_into(&model.params())?;
+        let mut model = model;
+        let n_sensors = r.u32()? as usize;
+        if n_sensors != k {
+            return Err(corrupt("neighbour graph sensor count mismatch"));
+        }
+        for ns in model.neighbours.iter_mut() {
+            for slot in ns.iter_mut() {
+                let n = r.u32()? as usize;
+                if n >= k {
+                    return Err(corrupt("neighbour index out of range"));
+                }
+                *slot = n;
+            }
+        }
+        let err_scale = r.f64s()?;
+        if err_scale.len() != k || err_scale.iter().any(|&e| !e.is_finite() || e <= 0.0) {
+            return Err(corrupt("invalid error scales"));
+        }
+        r.expect_end()?;
+        Ok(Gdn {
+            seed,
+            state: Some(Fitted {
+                norm,
+                model,
+                err_scale,
+            }),
+        })
+    }
 }
 
 fn build_neighbours(train: &Mts, k: usize) -> Vec<Vec<usize>> {
@@ -181,14 +282,7 @@ impl Detector for Gdn {
         require_len(&train_n, WINDOW + 2)?;
         let k = train_n.dim();
         let mut rng = rng_for(self.seed, 0x6d4);
-        let model = Model {
-            embed: init::normal_init(&mut rng, &[k, EMBED], 0.1),
-            history_proj: Linear::new(&mut rng, WINDOW, EMBED),
-            out1: Linear::new(&mut rng, 3 * EMBED, EMBED),
-            out2: Linear::new(&mut rng, EMBED, 1),
-            neighbours: build_neighbours(&train_n, k),
-            k,
-        };
+        let model = Model::new(&mut rng, k, build_neighbours(&train_n, k));
         let mut opt = Adam::new(model.params(), 2e-3);
         run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
             let starts = sample_starts(&mut rng, train_n.len() - 1, WINDOW, BATCH);
@@ -233,30 +327,7 @@ impl Detector for Gdn {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
-        require_len(&test_n, WINDOW + 1)?;
-        let k = test_n.dim();
-        let mut scores = vec![0.0f64; test_n.len()];
-        let positions: Vec<usize> = (0..test_n.len() - WINDOW).collect();
-        for chunk in positions.chunks(64) {
-            let x = batch_windows(&test_n, chunk, WINDOW);
-            let pred = no_grad(|| st.model.forward(&x));
-            let pd = pred.data();
-            for (bi, &s) in chunk.iter().enumerate() {
-                let truth = test_n.row(s + WINDOW);
-                // GDN scoring: max over sensors of normalized deviation.
-                let dev = (0..k)
-                    .map(|c| ((truth[c] - pd[bi * k + c]) as f64).abs() / st.err_scale[c])
-                    .fold(0.0f64, f64::max);
-                scores[s + WINDOW] = dev;
-            }
-        }
-        let first = scores[WINDOW];
-        for s in scores.iter_mut().take(WINDOW) {
-            *s = first;
-        }
-        Ok(Detection::from_scores(scores))
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -280,6 +351,26 @@ mod tests {
         let ns = build_neighbours(&m, 3);
         assert_eq!(ns[0][0], 1);
         assert_eq!(ns[1][0], 0);
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 150,
+                test_len: 70,
+            },
+            5,
+        );
+        let mut det = Gdn::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = Gdn::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

@@ -10,7 +10,11 @@ use imdiff_data::{Detection, Detector, DetectorError, Mts};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::common::{rng_for, NormState};
+use crate::common::{corrupt, rng_for, NormState, PayloadReader, PayloadWriter};
+
+/// Decode recursion guard: real trees are ≤ log2(ψ)=8 deep, so anything
+/// past this is corrupt data, not a stack to unwind.
+const MAX_DECODE_DEPTH: usize = 64;
 
 enum Node {
     Leaf {
@@ -59,6 +63,56 @@ fn grow(points: &[&[f32]], depth: usize, max_depth: usize, rng: &mut StdRng) -> 
         }
     }
     Node::Leaf { size: points.len() }
+}
+
+/// Preorder tree encoding: tag byte, then leaf size or split payload.
+fn encode_node(node: &Node, w: &mut PayloadWriter) {
+    match node {
+        Node::Leaf { size } => {
+            w.u8(0);
+            w.u32(*size as u32);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            w.u8(1);
+            w.u32(*feature as u32);
+            w.f32(*threshold);
+            encode_node(left, w);
+            encode_node(right, w);
+        }
+    }
+}
+
+fn decode_node(r: &mut PayloadReader, dim: usize, depth: usize) -> Result<Node, DetectorError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(corrupt("isolation tree deeper than any valid forest"));
+    }
+    match r.u8()? {
+        0 => Ok(Node::Leaf {
+            size: r.u32()? as usize,
+        }),
+        1 => {
+            let feature = r.u32()? as usize;
+            if feature >= dim {
+                return Err(corrupt("split feature out of range"));
+            }
+            let threshold = r.f32()?;
+            if !threshold.is_finite() {
+                return Err(corrupt("non-finite split threshold"));
+            }
+            Ok(Node::Split {
+                feature,
+                threshold,
+                left: Box::new(decode_node(r, dim, depth + 1)?),
+                right: Box::new(decode_node(r, dim, depth + 1)?),
+            })
+        }
+        _ => Err(corrupt("unknown tree node tag")),
+    }
 }
 
 /// Average path length of an unsuccessful search in a BST of `n` nodes.
@@ -112,6 +166,67 @@ impl IsolationForest {
             state: None,
         }
     }
+
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
+        Ok((0..test_n.len())
+            .map(|l| {
+                let x = test_n.row(l);
+                let mean_path: f64 = st
+                    .trees
+                    .iter()
+                    .map(|t| path_length(t, x, 0.0))
+                    .sum::<f64>()
+                    / st.trees.len() as f64;
+                (2.0f64).powf(-mean_path / st.c_psi.max(1e-9))
+            })
+            .collect())
+    }
+
+    /// Serializes the fitted forest as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.u32(self.subsample as u32);
+        w.f64(st.c_psi);
+        w.u32(st.trees.len() as u32);
+        for t in &st.trees {
+            encode_node(t, &mut w);
+        }
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let subsample = r.u32()? as usize;
+        let c_psi = r.f64()?;
+        if !c_psi.is_finite() || c_psi < 0.0 {
+            return Err(corrupt("invalid c(ψ) factor"));
+        }
+        let n_trees = r.u32()? as usize;
+        if n_trees == 0 || n_trees > 10_000 {
+            return Err(corrupt("implausible tree count"));
+        }
+        let trees = (0..n_trees)
+            .map(|_| decode_node(&mut r, norm.channels, 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        r.expect_end()?;
+        Ok(IsolationForest {
+            seed,
+            n_trees,
+            subsample,
+            state: Some(Fitted { norm, trees, c_psi }),
+        })
+    }
 }
 
 impl Detector for IsolationForest {
@@ -142,21 +257,7 @@ impl Detector for IsolationForest {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
-        let scores = (0..test_n.len())
-            .map(|l| {
-                let x = test_n.row(l);
-                let mean_path: f64 = st
-                    .trees
-                    .iter()
-                    .map(|t| path_length(t, x, 0.0))
-                    .sum::<f64>()
-                    / st.trees.len() as f64;
-                (2.0f64).powf(-mean_path / st.c_psi.max(1e-9))
-            })
-            .collect();
-        Ok(Detection::from_scores(scores))
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -226,6 +327,20 @@ mod tests {
     fn c_factor_monotone() {
         assert_eq!(c_factor(1), 0.0);
         assert!(c_factor(100) > c_factor(10));
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let train = gaussian_cloud(200, 5);
+        let test = gaussian_cloud(40, 6);
+        let mut f = IsolationForest::new(7);
+        f.fit(&train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || f.score_series(&test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || f.score_series(&test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = f.snapshot_payload().unwrap();
+        let restored = IsolationForest::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&test, None).unwrap());
     }
 
     #[test]

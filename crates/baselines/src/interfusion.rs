@@ -15,7 +15,7 @@ use imdiff_nn::{no_grad, Tensor};
 
 use crate::common::{
     batch_windows, coverage_starts, require_len, rng_for, run_training, sample_starts, NormState,
-    PointScores,
+    PayloadReader, PayloadWriter, PointScores,
 };
 
 const WINDOW: usize = 24;
@@ -41,6 +41,19 @@ struct Model {
 }
 
 impl Model {
+    fn new(rng: &mut rand::rngs::StdRng, k: usize) -> Self {
+        Model {
+            metric_enc: Linear::new(rng, k, HIDDEN),
+            metric_mu: Linear::new(rng, HIDDEN, Z_METRIC),
+            metric_logvar: Linear::new(rng, HIDDEN, Z_METRIC),
+            temporal_gru: Gru::new(rng, k, HIDDEN),
+            temporal_mu: Linear::new(rng, HIDDEN, Z_TEMPORAL),
+            temporal_logvar: Linear::new(rng, HIDDEN, Z_TEMPORAL),
+            dec1: Linear::new(rng, Z_METRIC + Z_TEMPORAL, HIDDEN),
+            dec2: Linear::new(rng, HIDDEN, k),
+        }
+    }
+
     fn params(&self) -> Vec<Tensor> {
         let mut p = self.metric_enc.params();
         p.extend(self.metric_mu.params());
@@ -108,6 +121,59 @@ impl InterFusion {
     pub fn new(seed: u64) -> Self {
         InterFusion { seed, state: None }
     }
+
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
+        require_len(&test_n, WINDOW)?;
+        let k = test_n.dim();
+        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
+        let mut ps = PointScores::new(test_n.len());
+        for chunk in starts.chunks(32) {
+            let x = batch_windows(&test_n, chunk, WINDOW);
+            let recon = no_grad(|| st.model.forward(&x, None, None).0);
+            let (xd, rd) = (x.data(), recon.data());
+            for (bi, &s) in chunk.iter().enumerate() {
+                for l in 0..WINDOW {
+                    let mut err = 0.0f64;
+                    for c in 0..k {
+                        let idx = bi * WINDOW * k + l * k + c;
+                        err += ((xd[idx] - rd[idx]) as f64).powi(2);
+                    }
+                    ps.add(s + l, err / k as f64);
+                }
+            }
+        }
+        Ok(ps.finish())
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.model.params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let mut rng = rng_for(seed, 0x1f05);
+        let model = Model::new(&mut rng, norm.channels);
+        r.tensors_into(&model.params())?;
+        r.expect_end()?;
+        Ok(InterFusion {
+            seed,
+            state: Some(Fitted { norm, model }),
+        })
+    }
 }
 
 impl Detector for InterFusion {
@@ -120,16 +186,7 @@ impl Detector for InterFusion {
         require_len(&train_n, WINDOW + 1)?;
         let k = train_n.dim();
         let mut rng = rng_for(self.seed, 0x1f05);
-        let model = Model {
-            metric_enc: Linear::new(&mut rng, k, HIDDEN),
-            metric_mu: Linear::new(&mut rng, HIDDEN, Z_METRIC),
-            metric_logvar: Linear::new(&mut rng, HIDDEN, Z_METRIC),
-            temporal_gru: Gru::new(&mut rng, k, HIDDEN),
-            temporal_mu: Linear::new(&mut rng, HIDDEN, Z_TEMPORAL),
-            temporal_logvar: Linear::new(&mut rng, HIDDEN, Z_TEMPORAL),
-            dec1: Linear::new(&mut rng, Z_METRIC + Z_TEMPORAL, HIDDEN),
-            dec2: Linear::new(&mut rng, HIDDEN, k),
-        };
+        let model = Model::new(&mut rng, k);
         let mut opt = Adam::new(model.params(), 2e-3);
         run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
             let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
@@ -153,28 +210,7 @@ impl Detector for InterFusion {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
-        require_len(&test_n, WINDOW)?;
-        let k = test_n.dim();
-        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
-        let mut ps = PointScores::new(test_n.len());
-        for chunk in starts.chunks(32) {
-            let x = batch_windows(&test_n, chunk, WINDOW);
-            let recon = no_grad(|| st.model.forward(&x, None, None).0);
-            let (xd, rd) = (x.data(), recon.data());
-            for (bi, &s) in chunk.iter().enumerate() {
-                for l in 0..WINDOW {
-                    let mut err = 0.0f64;
-                    for c in 0..k {
-                        let idx = bi * WINDOW * k + l * k + c;
-                        err += ((xd[idx] - rd[idx]) as f64).powi(2);
-                    }
-                    ps.add(s + l, err / k as f64);
-                }
-            }
-        }
-        Ok(Detection::from_scores(ps.finish()))
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -207,6 +243,26 @@ mod tests {
         let anom: f64 = d.scores[185..215].iter().sum::<f64>() / 30.0;
         let norm: f64 = d.scores[..150].iter().sum::<f64>() / 150.0;
         assert!(anom > 1.5 * norm, "anomaly {anom} vs normal {norm}");
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Msl,
+            &SizeProfile {
+                train_len: 120,
+                test_len: 60,
+            },
+            3,
+        );
+        let mut det = InterFusion::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = InterFusion::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! | [`MtadGat`] | hybrid | feature + temporal attention, joint objectives |
 //! | [`Mscred`] | reconstruction | signature correlation matrices + conv AE |
 //! | [`TranAd`] | reconstruction | two-phase adversarial transformer |
+//!
+//! [`ZScoreDetector`] is an extra statistical family (not part of the
+//! paper's table): the cheapest rung of the serving layer's escalation
+//! ladder.
+//!
+//! Every family additionally exposes `score_series` (read-only, mask-aware
+//! scoring) and `snapshot_payload`/`restore_from_payload` (the family's
+//! native byte payload inside the registry's checkpoint envelope).
 
 mod beatgan;
 mod common;
@@ -32,6 +40,7 @@ mod mscred;
 mod mtad_gat;
 mod omni;
 mod tranad;
+mod zscore;
 
 pub use beatgan::BeatGan;
 pub use gdn::Gdn;
@@ -43,6 +52,7 @@ pub use mscred::Mscred;
 pub use mtad_gat::MtadGat;
 pub use omni::OmniAnomaly;
 pub use tranad::TranAd;
+pub use zscore::ZScoreDetector;
 
 use imdiff_data::Detector;
 
@@ -75,5 +85,28 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn non_finite_training_data_is_a_typed_error_for_every_family() {
+        use imdiff_data::{DetectorError, Mts};
+        let mut data: Vec<f32> = (0..200).map(|t| (t as f32 * 0.1).sin()).collect();
+        data[41] = f32::NAN;
+        let train = Mts::new(data, 100, 2);
+        let mut families = all_baselines(1);
+        families.push(Box::new(ZScoreDetector::new(1)));
+        for mut det in families {
+            let name = det.name();
+            assert!(
+                matches!(
+                    det.fit(&train),
+                    Err(DetectorError::NonFiniteInput {
+                        index: 20,
+                        channel: 1
+                    })
+                ),
+                "{name} must reject NaN training input with NonFiniteInput"
+            );
+        }
     }
 }

@@ -10,7 +10,10 @@ use imdiff_nn::layers::{Linear, Lstm, Module};
 use imdiff_nn::optim::Adam;
 use imdiff_nn::{no_grad, ops, Tensor};
 
-use crate::common::{batch_windows, require_len, rng_for, run_training, sample_starts, NormState};
+use crate::common::{
+    batch_windows, require_len, rng_for, run_training, sample_starts, NormState, PayloadReader,
+    PayloadWriter,
+};
 
 /// Context length fed to the LSTM.
 const WINDOW: usize = 16;
@@ -30,10 +33,86 @@ struct Fitted {
     head: Linear,
 }
 
+impl Fitted {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.lstm.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
 impl LstmAd {
     /// Creates the detector.
     pub fn new(seed: u64) -> Self {
         LstmAd { seed, state: None }
+    }
+
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
+        if test_n.len() <= WINDOW {
+            return Err(DetectorError::InvalidTrainingData(
+                "test series shorter than the context window".into(),
+            ));
+        }
+        let k = test_n.dim();
+        let mut scores = vec![0.0f64; test_n.len()];
+        // Batched prediction over all forecastable positions.
+        let positions: Vec<usize> = (0..test_n.len() - WINDOW).collect();
+        for chunk in positions.chunks(64) {
+            let x = batch_windows(&test_n, chunk, WINDOW);
+            let pred = no_grad(|| st.head.forward(&st.lstm.forward_last(&x)));
+            let pd = pred.data();
+            for (bi, &s) in chunk.iter().enumerate() {
+                let truth = test_n.row(s + WINDOW);
+                let err: f64 = truth
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &t)| ((t - pd[bi * k + c]) as f64).powi(2))
+                    .sum::<f64>()
+                    / k as f64;
+                scores[s + WINDOW] = err;
+            }
+        }
+        // Warm-up positions inherit the first computed score.
+        let first = scores[WINDOW];
+        for s in scores.iter_mut().take(WINDOW) {
+            *s = first;
+        }
+        Ok(scores)
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let k = norm.channels;
+        let mut rng = rng_for(seed, 0x15a);
+        let st = Fitted {
+            norm,
+            lstm: Lstm::new(&mut rng, k, HIDDEN),
+            head: Linear::new(&mut rng, HIDDEN, k),
+        };
+        r.tensors_into(&st.params())?;
+        r.expect_end()?;
+        Ok(LstmAd {
+            seed,
+            state: Some(st),
+        })
     }
 }
 
@@ -68,38 +147,7 @@ impl Detector for LstmAd {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
-        if test_n.len() <= WINDOW {
-            return Err(DetectorError::InvalidTrainingData(
-                "test series shorter than the context window".into(),
-            ));
-        }
-        let k = test_n.dim();
-        let mut scores = vec![0.0f64; test_n.len()];
-        // Batched prediction over all forecastable positions.
-        let positions: Vec<usize> = (0..test_n.len() - WINDOW).collect();
-        for chunk in positions.chunks(64) {
-            let x = batch_windows(&test_n, chunk, WINDOW);
-            let pred = no_grad(|| st.head.forward(&st.lstm.forward_last(&x)));
-            let pd = pred.data();
-            for (bi, &s) in chunk.iter().enumerate() {
-                let truth = test_n.row(s + WINDOW);
-                let err: f64 = truth
-                    .iter()
-                    .enumerate()
-                    .map(|(c, &t)| ((t - pd[bi * k + c]) as f64).powi(2))
-                    .sum::<f64>()
-                    / k as f64;
-                scores[s + WINDOW] = err;
-            }
-        }
-        // Warm-up positions inherit the first computed score.
-        let first = scores[WINDOW];
-        for s in scores.iter_mut().take(WINDOW) {
-            *s = first;
-        }
-        Ok(Detection::from_scores(scores))
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -152,6 +200,26 @@ mod tests {
         let d = det.detect(&ds.test).unwrap();
         assert_eq!(d.scores.len(), 120);
         assert!(d.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 150,
+                test_len: 70,
+            },
+            2,
+        );
+        let mut det = LstmAd::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = LstmAd::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use imdiff_nn::rng::normal_vec;
 use imdiff_nn::{backward, no_grad, Tensor};
 
 use crate::common::{
-    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PointScores,
+    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PayloadReader,
+    PayloadWriter, PointScores,
 };
 
 const WINDOW: usize = 16;
@@ -87,71 +88,36 @@ struct Fitted {
     disc: Discriminator,
 }
 
+fn build_models(rng: &mut rand::rngs::StdRng, k: usize) -> (Generator, Discriminator) {
+    let gen = Generator {
+        proj: Linear::new(rng, LATENT, HIDDEN),
+        gru: Gru::new(rng, HIDDEN, HIDDEN),
+        head: Linear::new(rng, HIDDEN, k),
+        k,
+    };
+    let disc = Discriminator {
+        gru: Gru::new(rng, k, HIDDEN),
+        head: Linear::new(rng, HIDDEN, 1),
+    };
+    (gen, disc)
+}
+
 impl MadGan {
     /// Creates the detector.
     pub fn new(seed: u64) -> Self {
         MadGan { seed, state: None }
     }
-}
 
-impl Detector for MadGan {
-    fn name(&self) -> &'static str {
-        "MAD-GAN"
-    }
-
-    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
-        let (norm, train_n) = NormState::fit(train)?;
-        require_len(&train_n, WINDOW + 1)?;
-        let k = train_n.dim();
-        let mut rng = rng_for(self.seed, 0x6a2d);
-        let gen = Generator {
-            proj: Linear::new(&mut rng, LATENT, HIDDEN),
-            gru: Gru::new(&mut rng, HIDDEN, HIDDEN),
-            head: Linear::new(&mut rng, HIDDEN, k),
-            k,
-        };
-        let disc = Discriminator {
-            gru: Gru::new(&mut rng, k, HIDDEN),
-            head: Linear::new(&mut rng, HIDDEN, 1),
-        };
-        let mut g_opt = Adam::new(gen.params(), 2e-3);
-        let mut d_opt = Adam::new(disc.params(), 1e-3);
-        let ones = Tensor::ones(&[BATCH, 1]);
-        let zeros = Tensor::zeros(&[BATCH, 1]);
-
-        for _ in 0..TRAIN_STEPS {
-            // Discriminator update.
-            let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
-            let real = batch_windows(&train_n, &starts, WINDOW);
-            let z = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
-                .expect("z shape");
-            let fake = no_grad(|| gen.forward(&z));
-            let d_loss = bce_with_logits(&disc.forward(&real), &ones)
-                .add(&bce_with_logits(&disc.forward(&fake), &zeros))
-                .scale(0.5);
-            backward(&d_loss);
-            d_opt.clip_grad_norm(1.0);
-            d_opt.step();
-            d_opt.zero_grad();
-
-            // Generator update: fool the discriminator.
-            let z2 = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
-                .expect("z2 shape");
-            let fake2 = gen.forward(&z2);
-            let g_loss = bce_with_logits(&disc.forward(&fake2), &ones);
-            backward(&g_loss);
-            g_opt.clip_grad_norm(1.0);
-            g_opt.step();
-            g_opt.zero_grad();
-            d_opt.zero_grad();
-        }
-        self.state = Some(Fitted { norm, gen, disc });
-        Ok(())
-    }
-
-    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+    /// Read-only scoring with an optional declared-missing mask. The
+    /// latent inversion mutates only a fresh per-call `z` tensor, so the
+    /// fitted weights stay untouched.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
         let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
         require_len(&test_n, WINDOW)?;
         let k = st.gen.out_dim();
         let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
@@ -198,7 +164,85 @@ impl Detector for MadGan {
                 }
             }
         }
-        Ok(Detection::from_scores(ps.finish()))
+        Ok(ps.finish())
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        let mut params = st.gen.params();
+        params.extend(st.disc.params());
+        w.tensors(&params);
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let mut rng = rng_for(seed, 0x6a2d);
+        let (gen, disc) = build_models(&mut rng, norm.channels);
+        let mut params = gen.params();
+        params.extend(disc.params());
+        r.tensors_into(&params)?;
+        r.expect_end()?;
+        Ok(MadGan {
+            seed,
+            state: Some(Fitted { norm, gen, disc }),
+        })
+    }
+}
+
+impl Detector for MadGan {
+    fn name(&self) -> &'static str {
+        "MAD-GAN"
+    }
+
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+        let (norm, train_n) = NormState::fit(train)?;
+        require_len(&train_n, WINDOW + 1)?;
+        let k = train_n.dim();
+        let mut rng = rng_for(self.seed, 0x6a2d);
+        let (gen, disc) = build_models(&mut rng, k);
+        let mut g_opt = Adam::new(gen.params(), 2e-3);
+        let mut d_opt = Adam::new(disc.params(), 1e-3);
+        let ones = Tensor::ones(&[BATCH, 1]);
+        let zeros = Tensor::zeros(&[BATCH, 1]);
+
+        for _ in 0..TRAIN_STEPS {
+            // Discriminator update.
+            let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
+            let real = batch_windows(&train_n, &starts, WINDOW);
+            let z = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
+                .expect("z shape");
+            let fake = no_grad(|| gen.forward(&z));
+            let d_loss = bce_with_logits(&disc.forward(&real), &ones)
+                .add(&bce_with_logits(&disc.forward(&fake), &zeros))
+                .scale(0.5);
+            backward(&d_loss);
+            d_opt.clip_grad_norm(1.0);
+            d_opt.step();
+            d_opt.zero_grad();
+
+            // Generator update: fool the discriminator.
+            let z2 = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
+                .expect("z2 shape");
+            let fake2 = gen.forward(&z2);
+            let g_loss = bce_with_logits(&disc.forward(&fake2), &ones);
+            backward(&g_loss);
+            g_opt.clip_grad_norm(1.0);
+            g_opt.step();
+            g_opt.zero_grad();
+            d_opt.zero_grad();
+        }
+        self.state = Some(Fitted { norm, gen, disc });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -222,6 +266,26 @@ mod tests {
         let d = det.detect(&ds.test).unwrap();
         assert_eq!(d.scores.len(), 80);
         assert!(d.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Smap,
+            &SizeProfile {
+                train_len: 120,
+                test_len: 60,
+            },
+            4,
+        );
+        let mut det = MadGan::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = MadGan::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

@@ -17,7 +17,9 @@ use imdiff_nn::rng::normal_vec;
 use imdiff_nn::{no_grad, Tensor};
 use rand::rngs::StdRng;
 
-use crate::common::{require_len, rng_for, run_training, NormState};
+use crate::common::{
+    corrupt, require_len, rng_for, run_training, NormState, PayloadReader, PayloadWriter,
+};
 use rand::Rng;
 
 /// Segment lengths of the three signature scales.
@@ -90,6 +92,16 @@ struct AutoEncoder {
 }
 
 impl AutoEncoder {
+    fn new(rng: &mut StdRng) -> Self {
+        let feat_dim = SCALES.len() * PROJ;
+        AutoEncoder {
+            conv: Conv1d::new(rng, SCALES.len(), SCALES.len(), 3, 1),
+            enc: Linear::new(rng, feat_dim, HIDDEN),
+            dec1: Linear::new(rng, HIDDEN, HIDDEN),
+            dec2: Linear::new(rng, HIDDEN, feat_dim),
+        }
+    }
+
     /// `[B, 3*PROJ]` -> reconstruction of the same shape.
     fn forward(&self, x: &Tensor) -> Tensor {
         let b = x.dims()[0];
@@ -126,51 +138,15 @@ impl Mscred {
     pub fn new(seed: u64) -> Self {
         Mscred { seed, state: None }
     }
-}
 
-impl Detector for Mscred {
-    fn name(&self) -> &'static str {
-        "MSCRED"
-    }
-
-    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
-        let (norm, train_n) = NormState::fit(train)?;
-        let max_scale = *SCALES.iter().max().expect("scales non-empty");
-        require_len(&train_n, max_scale + 2)?;
-        let mut rng = rng_for(self.seed, 0x35c7ed);
-        let extractor = SignatureExtractor::new(train_n.dim(), &mut rng);
-        let feat_dim = SCALES.len() * PROJ;
-        let ae = AutoEncoder {
-            conv: Conv1d::new(&mut rng, SCALES.len(), SCALES.len(), 3, 1),
-            enc: Linear::new(&mut rng, feat_dim, HIDDEN),
-            dec1: Linear::new(&mut rng, HIDDEN, HIDDEN),
-            dec2: Linear::new(&mut rng, HIDDEN, feat_dim),
-        };
-        // Precompute training features on a stride-2 grid.
-        let positions: Vec<usize> = (max_scale..train_n.len()).step_by(2).collect();
-        let feats: Vec<Vec<f32>> = positions
-            .iter()
-            .map(|&t| extractor.features(&train_n, t))
-            .collect();
-        let mut opt = Adam::new(ae.params(), 2e-3);
-        run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
-            let batch: Vec<f32> = (0..BATCH)
-                .flat_map(|_| feats[rng.gen_range(0..feats.len())].clone())
-                .collect();
-            let x = Tensor::from_vec(batch, &[BATCH, feat_dim]).expect("batch shape");
-            mse(&ae.forward(&x), &x)
-        });
-        self.state = Some(Fitted {
-            norm,
-            extractor,
-            ae,
-        });
-        Ok(())
-    }
-
-    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
         let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
         let max_scale = *SCALES.iter().max().expect("scales non-empty");
         require_len(&test_n, max_scale + 1)?;
         let feat_dim = SCALES.len() * PROJ;
@@ -197,7 +173,95 @@ impl Detector for Mscred {
         for s in scores.iter_mut().take(max_scale - 1) {
             *s = first;
         }
-        Ok(Detection::from_scores(scores))
+        Ok(scores)
+    }
+
+    /// Serializes the fitted state as the family's registry payload. The
+    /// random projections are stored explicitly so a restored detector is
+    /// independent of the RNG draw order at fit time.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.u32(st.extractor.projections.len() as u32);
+        for p in &st.extractor.projections {
+            w.f32s(p);
+        }
+        w.tensors(&st.ae.params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let k = norm.channels;
+        let n_scales = r.u32()? as usize;
+        if n_scales != SCALES.len() {
+            return Err(corrupt("signature scale count mismatch"));
+        }
+        let n_pairs = k * (k + 1) / 2;
+        let mut projections = Vec::with_capacity(n_scales);
+        for _ in 0..n_scales {
+            let p = r.f32s()?;
+            if p.len() != n_pairs * PROJ {
+                return Err(corrupt("projection matrix shape mismatch"));
+            }
+            projections.push(p);
+        }
+        let extractor = SignatureExtractor { projections, k };
+        let mut rng = rng_for(seed, 0x35c7ed);
+        let ae = AutoEncoder::new(&mut rng);
+        r.tensors_into(&ae.params())?;
+        r.expect_end()?;
+        Ok(Mscred {
+            seed,
+            state: Some(Fitted {
+                norm,
+                extractor,
+                ae,
+            }),
+        })
+    }
+}
+
+impl Detector for Mscred {
+    fn name(&self) -> &'static str {
+        "MSCRED"
+    }
+
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+        let (norm, train_n) = NormState::fit(train)?;
+        let max_scale = *SCALES.iter().max().expect("scales non-empty");
+        require_len(&train_n, max_scale + 2)?;
+        let mut rng = rng_for(self.seed, 0x35c7ed);
+        let extractor = SignatureExtractor::new(train_n.dim(), &mut rng);
+        let feat_dim = SCALES.len() * PROJ;
+        let ae = AutoEncoder::new(&mut rng);
+        // Precompute training features on a stride-2 grid.
+        let positions: Vec<usize> = (max_scale..train_n.len()).step_by(2).collect();
+        let feats: Vec<Vec<f32>> = positions
+            .iter()
+            .map(|&t| extractor.features(&train_n, t))
+            .collect();
+        let mut opt = Adam::new(ae.params(), 2e-3);
+        run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
+            let batch: Vec<f32> = (0..BATCH)
+                .flat_map(|_| feats[rng.gen_range(0..feats.len())].clone())
+                .collect();
+            let x = Tensor::from_vec(batch, &[BATCH, feat_dim]).expect("batch shape");
+            mse(&ae.forward(&x), &x)
+        });
+        self.state = Some(Fitted {
+            norm,
+            extractor,
+            ae,
+        });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -236,6 +300,26 @@ mod tests {
         let anom: f64 = d.scores[260..295].iter().sum::<f64>() / 35.0;
         let norm: f64 = d.scores[50..240].iter().sum::<f64>() / 190.0;
         assert!(anom > norm, "anomaly {anom} vs normal {norm}");
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Gcp,
+            &SizeProfile {
+                train_len: 150,
+                test_len: 80,
+            },
+            4,
+        );
+        let mut det = Mscred::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = Mscred::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

@@ -12,7 +12,10 @@ use imdiff_nn::ops::mse;
 use imdiff_nn::optim::Adam;
 use imdiff_nn::{no_grad, Tensor};
 
-use crate::common::{batch_windows, require_len, rng_for, run_training, sample_starts, NormState};
+use crate::common::{
+    batch_windows, require_len, rng_for, run_training, sample_starts, NormState, PayloadReader,
+    PayloadWriter,
+};
 
 const WINDOW: usize = 16;
 const HIDDEN: usize = 32;
@@ -32,6 +35,18 @@ struct Model {
 }
 
 impl Model {
+    fn new(rng: &mut rand::rngs::StdRng, k: usize) -> Self {
+        Model {
+            in_proj: Linear::new(rng, k, HIDDEN),
+            feature_attn: MultiHeadAttention::new(rng, HIDDEN, 4),
+            temporal_attn: MultiHeadAttention::new(rng, HIDDEN, 4),
+            gru: Gru::new(rng, HIDDEN, HIDDEN),
+            forecast_head: Linear::new(rng, HIDDEN, k),
+            recon_head: Linear::new(rng, HIDDEN, k),
+            k,
+        }
+    }
+
     fn params(&self) -> Vec<Tensor> {
         let mut p = self.in_proj.params();
         p.extend(self.feature_attn.params());
@@ -89,46 +104,15 @@ impl MtadGat {
     pub fn new(seed: u64) -> Self {
         MtadGat { seed, state: None }
     }
-}
 
-impl Detector for MtadGat {
-    fn name(&self) -> &'static str {
-        "MTAD-GAT"
-    }
-
-    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
-        let (norm, train_n) = NormState::fit(train)?;
-        require_len(&train_n, WINDOW + 2)?;
-        let k = train_n.dim();
-        let mut rng = rng_for(self.seed, 0x3a7);
-        let model = Model {
-            in_proj: Linear::new(&mut rng, k, HIDDEN),
-            feature_attn: MultiHeadAttention::new(&mut rng, HIDDEN, 4),
-            temporal_attn: MultiHeadAttention::new(&mut rng, HIDDEN, 4),
-            gru: Gru::new(&mut rng, HIDDEN, HIDDEN),
-            forecast_head: Linear::new(&mut rng, HIDDEN, k),
-            recon_head: Linear::new(&mut rng, HIDDEN, k),
-            k,
-        };
-        let mut opt = Adam::new(model.params(), 2e-3);
-        run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
-            let starts = sample_starts(&mut rng, train_n.len() - 1, WINDOW, BATCH);
-            let x = batch_windows(&train_n, &starts, WINDOW);
-            let target_rows: Vec<f32> = starts
-                .iter()
-                .flat_map(|&s| train_n.row(s + WINDOW).to_vec())
-                .collect();
-            let target = Tensor::from_vec(target_rows, &[BATCH, k]).expect("target");
-            let (forecast, recon) = model.forward(&x);
-            mse(&forecast, &target).add(&mse(&recon, &x))
-        });
-        self.state = Some(Fitted { norm, model });
-        Ok(())
-    }
-
-    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
         let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
         require_len(&test_n, WINDOW + 1)?;
         let k = st.model.k;
         let mut scores = vec![0.0f64; test_n.len()];
@@ -158,7 +142,62 @@ impl Detector for MtadGat {
         for s in scores.iter_mut().take(WINDOW) {
             *s = first;
         }
-        Ok(Detection::from_scores(scores))
+        Ok(scores)
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.model.params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let mut rng = rng_for(seed, 0x3a7);
+        let model = Model::new(&mut rng, norm.channels);
+        r.tensors_into(&model.params())?;
+        r.expect_end()?;
+        Ok(MtadGat {
+            seed,
+            state: Some(Fitted { norm, model }),
+        })
+    }
+}
+
+impl Detector for MtadGat {
+    fn name(&self) -> &'static str {
+        "MTAD-GAT"
+    }
+
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+        let (norm, train_n) = NormState::fit(train)?;
+        require_len(&train_n, WINDOW + 2)?;
+        let k = train_n.dim();
+        let mut rng = rng_for(self.seed, 0x3a7);
+        let model = Model::new(&mut rng, k);
+        let mut opt = Adam::new(model.params(), 2e-3);
+        run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
+            let starts = sample_starts(&mut rng, train_n.len() - 1, WINDOW, BATCH);
+            let x = batch_windows(&train_n, &starts, WINDOW);
+            let target_rows: Vec<f32> = starts
+                .iter()
+                .flat_map(|&s| train_n.row(s + WINDOW).to_vec())
+                .collect();
+            let target = Tensor::from_vec(target_rows, &[BATCH, k]).expect("target");
+            let (forecast, recon) = model.forward(&x);
+            mse(&forecast, &target).add(&mse(&recon, &x))
+        });
+        self.state = Some(Fitted { norm, model });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -182,6 +221,26 @@ mod tests {
         let d = det.detect(&ds.test).unwrap();
         assert_eq!(d.scores.len(), 80);
         assert!(d.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Psm,
+            &SizeProfile {
+                train_len: 120,
+                test_len: 60,
+            },
+            6,
+        );
+        let mut det = MtadGat::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = MtadGat::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

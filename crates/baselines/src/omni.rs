@@ -14,7 +14,7 @@ use imdiff_nn::{no_grad, Tensor};
 
 use crate::common::{
     batch_windows, coverage_starts, require_len, rng_for, run_training, sample_starts, NormState,
-    PointScores,
+    PayloadReader, PayloadWriter, PointScores,
 };
 
 const WINDOW: usize = 24;
@@ -33,6 +33,16 @@ struct Vae {
 }
 
 impl Vae {
+    fn new(rng: &mut rand::rngs::StdRng, k: usize) -> Self {
+        Vae {
+            gru: Gru::new(rng, k, HIDDEN),
+            mu_head: Linear::new(rng, HIDDEN, LATENT),
+            logvar_head: Linear::new(rng, HIDDEN, LATENT),
+            dec1: Linear::new(rng, LATENT, HIDDEN),
+            dec2: Linear::new(rng, HIDDEN, WINDOW * k),
+        }
+    }
+
     /// Encodes a `[B, W, K]` batch; returns `(mu, logvar)` each `[B, Z]`.
     fn encode(&self, x: &Tensor) -> (Tensor, Tensor) {
         let h = self.gru.forward_last(x);
@@ -70,46 +80,15 @@ impl OmniAnomaly {
     pub fn new(seed: u64) -> Self {
         OmniAnomaly { seed, state: None }
     }
-}
 
-impl Detector for OmniAnomaly {
-    fn name(&self) -> &'static str {
-        "OmniAnomaly"
-    }
-
-    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
-        let (norm, train_n) = NormState::fit(train)?;
-        require_len(&train_n, WINDOW + 1)?;
-        let k = train_n.dim();
-        let mut rng = rng_for(self.seed, 0x0a21);
-        let vae = Vae {
-            gru: Gru::new(&mut rng, k, HIDDEN),
-            mu_head: Linear::new(&mut rng, HIDDEN, LATENT),
-            logvar_head: Linear::new(&mut rng, HIDDEN, LATENT),
-            dec1: Linear::new(&mut rng, LATENT, HIDDEN),
-            dec2: Linear::new(&mut rng, HIDDEN, WINDOW * k),
-
-        };
-        let mut opt = Adam::new(vae.params(), 2e-3);
-        run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
-            let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
-            let x = batch_windows(&train_n, &starts, WINDOW);
-            let flat = x.reshape(&[BATCH, WINDOW * k]);
-            let (mu, logvar) = vae.encode(&x);
-            // Reparameterization trick.
-            let eps = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
-                .expect("eps shape");
-            let z = mu.add(&logvar.scale(0.5).exp().mul(&eps));
-            let recon = vae.decode(&z);
-            mse(&recon, &flat).add(&kl_standard_normal(&mu, &logvar).scale(KL_WEIGHT))
-        });
-        self.state = Some(Fitted { norm, vae });
-        Ok(())
-    }
-
-    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
         let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
         require_len(&test_n, WINDOW)?;
         let k = test_n.dim();
         let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
@@ -134,7 +113,63 @@ impl Detector for OmniAnomaly {
                 }
             }
         }
-        Ok(Detection::from_scores(ps.finish()))
+        Ok(ps.finish())
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.vae.params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let mut rng = rng_for(seed, 0x0a21);
+        let vae = Vae::new(&mut rng, norm.channels);
+        r.tensors_into(&vae.params())?;
+        r.expect_end()?;
+        Ok(OmniAnomaly {
+            seed,
+            state: Some(Fitted { norm, vae }),
+        })
+    }
+}
+
+impl Detector for OmniAnomaly {
+    fn name(&self) -> &'static str {
+        "OmniAnomaly"
+    }
+
+    fn fit(&mut self, train: &Mts) -> Result<(), DetectorError> {
+        let (norm, train_n) = NormState::fit(train)?;
+        require_len(&train_n, WINDOW + 1)?;
+        let k = train_n.dim();
+        let mut rng = rng_for(self.seed, 0x0a21);
+        let vae = Vae::new(&mut rng, k);
+        let mut opt = Adam::new(vae.params(), 2e-3);
+        run_training(&mut opt, TRAIN_STEPS, 1.0, |_| {
+            let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
+            let x = batch_windows(&train_n, &starts, WINDOW);
+            let flat = x.reshape(&[BATCH, WINDOW * k]);
+            let (mu, logvar) = vae.encode(&x);
+            // Reparameterization trick.
+            let eps = Tensor::from_vec(normal_vec(&mut rng, BATCH * LATENT), &[BATCH, LATENT])
+                .expect("eps shape");
+            let z = mu.add(&logvar.scale(0.5).exp().mul(&eps));
+            let recon = vae.decode(&z);
+            mse(&recon, &flat).add(&kl_standard_normal(&mu, &logvar).scale(KL_WEIGHT))
+        });
+        self.state = Some(Fitted { norm, vae });
+        Ok(())
+    }
+
+    fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -160,6 +195,26 @@ mod tests {
             d.scores[185..215].iter().sum::<f64>() / 30.0;
         let norm: f64 = d.scores[..150].iter().sum::<f64>() / 150.0;
         assert!(anom > 2.0 * norm, "anomaly {anom} vs normal {norm}");
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Smd,
+            &SizeProfile {
+                train_len: 120,
+                test_len: 60,
+            },
+            5,
+        );
+        let mut det = OmniAnomaly::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = OmniAnomaly::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

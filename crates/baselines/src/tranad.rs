@@ -13,7 +13,8 @@ use imdiff_nn::optim::{Adam, Optimizer};
 use imdiff_nn::{backward, no_grad, Tensor};
 
 use crate::common::{
-    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PointScores,
+    batch_windows, coverage_starts, require_len, rng_for, sample_starts, NormState, PayloadReader,
+    PayloadWriter, PointScores,
 };
 
 const WINDOW: usize = 16;
@@ -29,6 +30,22 @@ struct Model {
 }
 
 impl Model {
+    fn new(rng: &mut rand::rngs::StdRng, k: usize) -> Self {
+        Model {
+            in_proj: Linear::new(rng, 2 * k, HIDDEN),
+            encoder: TransformerEncoderLayer::new(rng, HIDDEN, 4, 2 * HIDDEN),
+            dec1: Linear::new(rng, HIDDEN, k),
+            dec2: Linear::new(rng, HIDDEN, k),
+        }
+    }
+
+    fn all_params(&self) -> Vec<Tensor> {
+        let mut p = self.enc_params();
+        p.extend(self.dec1.params());
+        p.extend(self.dec2.params());
+        p
+    }
+
     /// Encodes `[B, W, 2K]` (window ++ focus) and decodes with both heads.
     fn forward(&self, x: &Tensor, focus: &Tensor) -> (Tensor, Tensor) {
         let joint = Tensor::concat(&[x, focus], 2);
@@ -59,6 +76,67 @@ impl TranAd {
     pub fn new(seed: u64) -> Self {
         TranAd { seed, state: None }
     }
+
+    /// Read-only scoring with an optional declared-missing mask.
+    pub fn score_series(
+        &self,
+        test: &Mts,
+        missing: Option<&[bool]>,
+    ) -> Result<Vec<f64>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let test_n = st.norm.transform_masked(test, missing)?;
+        require_len(&test_n, WINDOW)?;
+        let k = test_n.dim();
+        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
+        let mut ps = PointScores::new(test_n.len());
+        for chunk in starts.chunks(32) {
+            let x = batch_windows(&test_n, chunk, WINDOW);
+            let zero_focus = Tensor::zeros(&[chunk.len(), WINDOW, k]);
+            let (o1, o2) = no_grad(|| {
+                let (o1, _) = st.model.forward(&x, &zero_focus);
+                let focus = o1.sub(&x).square();
+                let (_, o2) = st.model.forward(&x, &focus);
+                (o1, o2)
+            });
+            let (xd, o1d, o2d) = (x.data(), o1.data(), o2.data());
+            for (bi, &s) in chunk.iter().enumerate() {
+                for l in 0..WINDOW {
+                    let mut err = 0.0f64;
+                    for c in 0..k {
+                        let idx = bi * WINDOW * k + l * k + c;
+                        let d1 = (xd[idx] - o1d[idx]) as f64;
+                        let d2 = (xd[idx] - o2d[idx]) as f64;
+                        err += 0.5 * d1 * d1 + 0.5 * d2 * d2;
+                    }
+                    ps.add(s + l, err / k as f64);
+                }
+            }
+        }
+        Ok(ps.finish())
+    }
+
+    /// Serializes the fitted state as the family's registry payload.
+    pub fn snapshot_payload(&self) -> Result<Vec<u8>, DetectorError> {
+        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
+        let mut w = PayloadWriter::new();
+        st.norm.encode(&mut w);
+        w.tensors(&st.model.all_params());
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a fitted detector from [`Self::snapshot_payload`] bytes.
+    pub fn restore_from_payload(seed: u64, bytes: &[u8]) -> Result<Self, DetectorError> {
+        let mut r = PayloadReader::new(bytes);
+        let norm = NormState::decode(&mut r)?;
+        let mut rng = rng_for(seed, 0x72a4);
+        let model = Model::new(&mut rng, norm.channels);
+        r.tensors_into(&model.all_params())?;
+        r.expect_end()?;
+        Ok(TranAd {
+            seed,
+            state: Some(Fitted { norm, model }),
+        })
+    }
 }
 
 impl Detector for TranAd {
@@ -71,16 +149,8 @@ impl Detector for TranAd {
         require_len(&train_n, WINDOW + 1)?;
         let k = train_n.dim();
         let mut rng = rng_for(self.seed, 0x72a4);
-        let model = Model {
-            in_proj: Linear::new(&mut rng, 2 * k, HIDDEN),
-            encoder: TransformerEncoderLayer::new(&mut rng, HIDDEN, 4, 2 * HIDDEN),
-            dec1: Linear::new(&mut rng, HIDDEN, k),
-            dec2: Linear::new(&mut rng, HIDDEN, k),
-        };
-        let mut params = model.enc_params();
-        params.extend(model.dec1.params());
-        params.extend(model.dec2.params());
-        let mut opt = Adam::new(params, 2e-3);
+        let model = Model::new(&mut rng, k);
+        let mut opt = Adam::new(model.all_params(), 2e-3);
 
         for step in 0..TRAIN_STEPS {
             let starts = sample_starts(&mut rng, train_n.len(), WINDOW, BATCH);
@@ -110,36 +180,7 @@ impl Detector for TranAd {
     }
 
     fn detect(&mut self, test: &Mts) -> Result<Detection, DetectorError> {
-        let st = self.state.as_ref().ok_or(DetectorError::NotFitted)?;
-        let test_n = st.norm.check_and_transform(test)?;
-        require_len(&test_n, WINDOW)?;
-        let k = test_n.dim();
-        let starts = coverage_starts(test_n.len(), WINDOW, WINDOW / 2);
-        let mut ps = PointScores::new(test_n.len());
-        for chunk in starts.chunks(32) {
-            let x = batch_windows(&test_n, chunk, WINDOW);
-            let zero_focus = Tensor::zeros(&[chunk.len(), WINDOW, k]);
-            let (o1, o2) = no_grad(|| {
-                let (o1, _) = st.model.forward(&x, &zero_focus);
-                let focus = o1.sub(&x).square();
-                let (_, o2) = st.model.forward(&x, &focus);
-                (o1, o2)
-            });
-            let (xd, o1d, o2d) = (x.data(), o1.data(), o2.data());
-            for (bi, &s) in chunk.iter().enumerate() {
-                for l in 0..WINDOW {
-                    let mut err = 0.0f64;
-                    for c in 0..k {
-                        let idx = bi * WINDOW * k + l * k + c;
-                        let d1 = (xd[idx] - o1d[idx]) as f64;
-                        let d2 = (xd[idx] - o2d[idx]) as f64;
-                        err += 0.5 * d1 * d1 + 0.5 * d2 * d2;
-                    }
-                    ps.add(s + l, err / k as f64);
-                }
-            }
-        }
-        Ok(Detection::from_scores(ps.finish()))
+        Ok(Detection::from_scores(self.score_series(test, None)?))
     }
 }
 
@@ -169,6 +210,26 @@ mod tests {
         let anom: f64 = d.scores[165..195].iter().sum::<f64>() / 30.0;
         let norm: f64 = d.scores[..150].iter().sum::<f64>() / 150.0;
         assert!(anom > 2.0 * norm, "anomaly {anom} vs normal {norm}");
+    }
+
+    #[test]
+    fn determinism_and_snapshot_roundtrip() {
+        let ds = generate(
+            Benchmark::Swat,
+            &SizeProfile {
+                train_len: 120,
+                test_len: 60,
+            },
+            6,
+        );
+        let mut det = TranAd::new(7);
+        det.fit(&ds.train).unwrap();
+        let s1 = imdiff_nn::pool::with_threads(1, || det.score_series(&ds.test, None).unwrap());
+        let s4 = imdiff_nn::pool::with_threads(4, || det.score_series(&ds.test, None).unwrap());
+        assert_eq!(s1, s4, "scores must be bit-identical across thread counts");
+        let bytes = det.snapshot_payload().unwrap();
+        let restored = TranAd::restore_from_payload(7, &bytes).unwrap();
+        assert_eq!(s1, restored.score_series(&ds.test, None).unwrap());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Per-family serving-cost registry: µs/row for every detector family,
+//! measured through the same read-only [`AnyDetector::score_series`]
+//! path the escalation evaluator replays labeled holdouts through. One
+//! *fixed* serving window for every family — `cfg.window` is set to the
+//! largest [`DetectorKind::min_serving_window`] in the registry so no
+//! family gets clamped to a different geometry — which makes the rows
+//! directly comparable: this is the cost axis the cost-aware router
+//! trades against point-F1 when it pins a ladder rung.
+//!
+//! ```sh
+//! cargo bench -p imdiff-bench --bench bench_detectors -- --save-json BENCH_detectors.json
+//! ```
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use imdiff_data::synthetic::{generate, Benchmark, SizeProfile};
+use imdiff_data::Detector;
+use imdiff_registry::{AnyDetector, DetectorKind};
+use imdiffusion::{ImDiffusionConfig, WindowScorer};
+
+/// The shared serving window: the registry-wide maximum of the family
+/// minimums, so every row below measures the *same* window geometry.
+fn fixed_window() -> usize {
+    DetectorKind::ALL
+        .iter()
+        .map(|k| k.min_serving_window())
+        .max()
+        .expect("registry is not empty")
+}
+
+fn bench_cfg(window: usize) -> ImDiffusionConfig {
+    ImDiffusionConfig {
+        window,
+        train_stride: 8,
+        hidden: 8,
+        heads: 2,
+        residual_blocks: 1,
+        diffusion_steps: 5,
+        train_steps: 10,
+        batch_size: 2,
+        vote_span: 5,
+        vote_every: 2,
+        ..ImDiffusionConfig::quick()
+    }
+}
+
+fn bench_detector_cost(_c: &mut Criterion) {
+    const REPS: usize = 5;
+    let window = fixed_window();
+    let ds = generate(
+        Benchmark::Gcp,
+        &SizeProfile {
+            train_len: 150,
+            test_len: 128,
+        },
+        4,
+    );
+    let rows = ds.test.len() as u64;
+
+    for kind in DetectorKind::ALL {
+        let id = format!("detector_cost/{}", kind.name());
+        if !criterion::filter_matches(&id) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let mut det = AnyDetector::new(kind, bench_cfg(window), 4);
+        det.fit(&ds.train).expect("fit");
+        let fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(det.window(), window, "{kind}: clamped away from the fixed window");
+
+        // One warmup pass (page in lazily allocated buffers), then REPS
+        // timed passes over the full test series.
+        det.score_series(&ds.test, None).expect("warmup score");
+        let mut per_row_ns: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                det.score_series(&ds.test, None).expect("score");
+                t0.elapsed().as_nanos() as f64 / rows as f64
+            })
+            .collect();
+        per_row_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean = per_row_ns.iter().sum::<f64>() / REPS as f64;
+        criterion::record_measurement(
+            &id,
+            mean,
+            rows * REPS as u64,
+            None,
+            Some(Throughput::Elements(1)),
+            Some(per_row_ns[REPS / 2]),
+            Some(per_row_ns[REPS - 1]),
+            &[
+                ("us_per_row", mean / 1e3),
+                ("window", window as f64),
+                ("rows", rows as f64),
+                ("fit_ms", fit_ms),
+            ],
+        );
+    }
+}
+
+criterion_group!(benches, bench_detector_cost);
+criterion_main!(benches);

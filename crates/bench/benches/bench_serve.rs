@@ -78,6 +78,8 @@ fn bench_request_latency(c: &mut Criterion) {
                 hop: HOP,
                 holdout: None,
                 drift_policy: None,
+                family: imdiff_registry::DetectorKind::ImDiffusion,
+                escalation: None,
             }],
         )
         .expect("server start");
@@ -198,6 +200,8 @@ fn bench_soak(_c: &mut Criterion) {
                 hop: HOP,
                 holdout: None,
                 drift_policy: None,
+                family: imdiff_registry::DetectorKind::ImDiffusion,
+                escalation: None,
             })
             .collect(),
     )

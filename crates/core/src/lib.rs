@@ -44,6 +44,7 @@ mod finetune;
 mod infer;
 mod model;
 mod persist;
+mod scorer;
 mod streaming;
 mod trainer;
 
@@ -54,6 +55,7 @@ pub use finetune::{FineTuneOptions, FineTuneOutcome, FineTuneReport, FineTuner};
 pub use infer::{ensemble_infer_masked, ensemble_infer_windows, EnsembleOutput, StepTrace};
 pub use model::ImTransformer;
 pub use persist::stream_path;
+pub use scorer::WindowScorer;
 pub use streaming::{
     BatchItem, BatchReply, DriftReference, DriftStatus, HealthState, MonitorHealth,
     PointVerdict, StreamingMonitor, ThresholdMode,

@@ -23,10 +23,13 @@ use std::path::{Path, PathBuf};
 
 use imdiff_data::DetectorError;
 use imdiff_nn::layers::Module;
-use imdiff_nn::serialize::{atomic_write, crc32, load_params_into, save_params};
+use imdiff_nn::serialize::{
+    atomic_write, crc32, load_params_from_bytes, write_params,
+};
 use imdiff_nn::{NnError, Tensor};
 
 use crate::detector::ImDiffusionDetector;
+use crate::scorer::WindowScorer;
 use crate::streaming::{
     ChannelStats, DriftReference, HealthState, StreamingMonitor, ThresholdMode,
     HISTORY_CAP,
@@ -50,6 +53,15 @@ impl ImDiffusionDetector {
     /// Returns [`DetectorError::NotFitted`] when called before
     /// [`Detector::fit`].
     pub fn save(&self, path: &Path) -> Result<(), DetectorError> {
+        let bytes = self.save_bytes()?;
+        atomic_write(path, &bytes)
+            .map_err(|e| DetectorError::Io(format!("cannot write checkpoint: {e}")))
+    }
+
+    /// The full IMDF checkpoint image as an in-memory byte buffer —
+    /// exactly what [`Self::save`] would write to disk. This is the
+    /// ImDiffusion payload of the detector-registry envelope.
+    pub fn save_bytes(&self) -> Result<Vec<u8>, DetectorError> {
         let (model, normalizer) = self
             .fitted_parts()
             .ok_or(DetectorError::NotFitted)?;
@@ -64,8 +76,10 @@ impl ImDiffusionDetector {
             let k = r.channels();
             params.push(Tensor::from_vec(r.to_flat(), &[4, k]).expect("drift ref"));
         }
-        save_params(path, &params)
-            .map_err(|e| DetectorError::Io(format!("cannot write checkpoint: {e}")))
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params)
+            .map_err(|e| DetectorError::Io(format!("cannot encode checkpoint: {e}")))?;
+        Ok(buf)
     }
 
     /// Restores a detector from a checkpoint written by [`Self::save`].
@@ -81,6 +95,19 @@ impl ImDiffusionDetector {
         channels: usize,
         path: &Path,
     ) -> Result<Self, DetectorError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| DetectorError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Self::load_bytes(cfg, seed, channels, &bytes)
+    }
+
+    /// Byte-buffer form of [`Self::load`] (the registry envelope carries
+    /// IMDF images in memory). Identical validation and error taxonomy.
+    pub fn load_bytes(
+        cfg: crate::ImDiffusionConfig,
+        seed: u64,
+        channels: usize,
+        bytes: &[u8],
+    ) -> Result<Self, DetectorError> {
         let mut det = ImDiffusionDetector::new(cfg, seed);
         // Build an architecture-matching skeleton by "fitting" statistics
         // placeholders, then overwrite everything from the checkpoint.
@@ -95,14 +122,14 @@ impl ImDiffusionDetector {
         // a legacy checkpoint, not an error (drift detection stays
         // unarmed). Any other count mismatch falls through to the strict
         // loader's architecture check.
-        let drift = if imdf_tensor_count(path)? == params.len() + 1 {
+        let drift = if imdf_tensor_count(bytes)? == params.len() + 1 {
             let t = Tensor::zeros(&[4, channels]);
             params.push(t.clone());
             Some(t)
         } else {
             None
         };
-        load_params_into(path, &params).map_err(map_nn)?;
+        load_params_from_bytes(bytes, &params).map_err(map_nn)?;
         det.set_normalizer_vectors(&offset.to_vec(), &scale.to_vec());
         if let Some(t) = drift {
             det.set_drift_reference(DriftReference::from_flat(&t.to_vec(), channels));
@@ -113,14 +140,13 @@ impl ImDiffusionDetector {
 
 /// Reads only the tensor count from an IMDF header, so [`load`] can tell
 /// a drift-reference-bearing checkpoint from a legacy one before shaping
-/// the parameter list. Integrity is *not* checked here — `load_params_into`
-/// verifies the CRC before any tensor is interpreted.
+/// the parameter list. Integrity is *not* checked here —
+/// `load_params_from_bytes` verifies the CRC before any tensor is
+/// interpreted.
 ///
 /// [`load`]: ImDiffusionDetector::load
-fn imdf_tensor_count(path: &Path) -> Result<usize, DetectorError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| DetectorError::Io(format!("cannot read {}: {e}", path.display())))?;
-    let mut r = Reader::new(&bytes);
+fn imdf_tensor_count(bytes: &[u8]) -> Result<usize, DetectorError> {
+    let mut r = Reader::new(bytes);
     if r.take(4)? != b"IMDF" {
         return Err(DetectorError::CorruptCheckpoint(
             "not an IMDF checkpoint".into(),
@@ -204,7 +230,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-impl StreamingMonitor {
+impl<D: WindowScorer> StreamingMonitor<D> {
     /// Serializes the streaming state (everything after the format
     /// header) — the v2 payload, identical to the v1 body so old readers'
     /// field layout is preserved.
@@ -311,16 +337,6 @@ impl StreamingMonitor {
         b
     }
 
-    /// Checkpoints the monitor: model weights + normalizer at `path`
-    /// (readable by [`ImDiffusionDetector::load`]) and the complete
-    /// streaming state — buffer, missing flags, histories, health state,
-    /// counters, thresholds — at `<path>.stream` (IMSM v2: CRC32 header,
-    /// atomic write).
-    pub fn checkpoint(&self, path: &Path) -> Result<(), DetectorError> {
-        self.detector.save(path)?;
-        self.checkpoint_stream(path)
-    }
-
     /// Writes **only** the IMSM streaming-state sidecar at
     /// `<path>.stream`, leaving the weight file untouched. This is the
     /// periodic-snapshot path of the serving layer: weights change only on
@@ -339,6 +355,83 @@ impl StreamingMonitor {
             .map_err(|e| DetectorError::Io(format!("cannot write stream checkpoint: {e}")))
     }
 
+    /// Restores a monitor around an **already loaded** detector from the
+    /// IMSM sidecar at `<path>.stream` — the family-agnostic restore path
+    /// used by the detector registry and the serving layer's failover
+    /// adoption. The detector must be fitted and match the sidecar's
+    /// window/channel geometry; everything else — hop, buffer, histories,
+    /// health, counters, drift tracker — comes from the sidecar.
+    pub fn restore_with(detector: D, path: &Path) -> Result<Self, DetectorError> {
+        let bytes = std::fs::read(stream_path(path)).map_err(|e| {
+            DetectorError::Io(format!("cannot read stream checkpoint: {e}"))
+        })?;
+        let st = parse_stream_sidecar(&bytes)?;
+        if detector.window() != st.window {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "checkpoint window {} != detector window {}",
+                st.window,
+                detector.window()
+            )));
+        }
+        Self::attach_state(detector, st)
+    }
+
+    /// Builds a monitor from a fitted detector plus parsed sidecar state.
+    fn attach_state(detector: D, st: StreamState) -> Result<Self, DetectorError> {
+        let mut monitor = StreamingMonitor::new(detector, st.channels, st.hop)?;
+        monitor.buffer = st.buffer;
+        monitor.missing = st.missing;
+        monitor.seen = st.seen;
+        monitor.since_eval = st.since_eval;
+        monitor.threshold_mode = st.threshold_mode;
+        monitor.error_history = st.error_history;
+        monitor.health = st.health;
+        monitor.pending_gap = st.pending_gap;
+        monitor.max_bridge = st.max_bridge;
+        monitor.fallback_stats = st.fallback_stats;
+        monitor.fallback_history = st.fallback_history;
+        monitor.fallback_tau = st.fallback_tau;
+        monitor.last_degraded_reason = st.last_degraded_reason;
+        monitor.rows_rejected = st.rows_rejected;
+        monitor.cells_imputed = st.cells_imputed;
+        monitor.gaps_bridged = st.gaps_bridged;
+        monitor.rows_bridged = st.rows_bridged;
+        monitor.rewarms = st.rewarms;
+        monitor.degraded_evals = st.degraded_evals;
+        monitor.recoveries = st.recoveries;
+        // A sidecar drift block means the saved monitor had drift armed:
+        // re-arm against the weight file's reference, then restore the
+        // tracker's mutable state on top. The sidecar carries no reference
+        // of its own — a weight file without one leaves drift unarmed
+        // (that monitor could never have armed it in the first place).
+        if let Some(ds) = st.drift {
+            monitor.set_drift_policy(ds.threshold, ds.debounce);
+            if let Some(tracker) = &mut monitor.drift {
+                tracker.capacity = ds.capacity;
+                tracker.consecutive = ds.consecutive;
+                tracker.clear_streak = ds.clear_streak;
+                tracker.latched = ds.latched;
+                tracker.evals = ds.evals;
+                tracker.trips = ds.trips;
+                tracker.last_score = ds.last_score;
+                tracker.ring = ds.ring.into_iter().collect();
+            }
+        }
+        Ok(monitor)
+    }
+}
+
+impl StreamingMonitor {
+    /// Checkpoints the monitor: model weights + normalizer at `path`
+    /// (readable by [`ImDiffusionDetector::load`]) and the complete
+    /// streaming state — buffer, missing flags, histories, health state,
+    /// counters, thresholds — at `<path>.stream` (IMSM v2: CRC32 header,
+    /// atomic write).
+    pub fn checkpoint(&self, path: &Path) -> Result<(), DetectorError> {
+        self.detector.save(path)?;
+        self.checkpoint_stream(path)
+    }
+
     /// Restores a monitor from a checkpoint written by
     /// [`Self::checkpoint`]. `cfg` and `seed` must match the saving
     /// detector (as for [`ImDiffusionDetector::load`]); everything else —
@@ -355,93 +448,196 @@ impl StreamingMonitor {
         let bytes = std::fs::read(stream_path(path)).map_err(|e| {
             DetectorError::Io(format!("cannot read stream checkpoint: {e}"))
         })?;
-        let mut r = Reader::new(&bytes);
-        if r.take(4)? != STREAM_MAGIC {
-            return Err(DetectorError::CorruptCheckpoint(
-                "not an IMSM stream checkpoint".into(),
-            ));
-        }
-        let version = r.u32()?;
-        match version {
-            1 => {}
-            2 | 3 => {
-                let stored = r.u32()?;
-                let actual = crc32(r.rest());
-                if stored != actual {
-                    return Err(DetectorError::CorruptCheckpoint(format!(
-                        "stream checkpoint CRC mismatch: header {stored:#010x}, \
-                         payload {actual:#010x}"
-                    )));
-                }
-            }
-            v => {
-                return Err(DetectorError::CorruptCheckpoint(format!(
-                    "unsupported stream checkpoint version {v}"
-                )))
-            }
-        }
-        let window = r.u32()? as usize;
-        let hop = r.u32()? as usize;
-        let channels = r.u32()? as usize;
-        if window != cfg.window {
+        let st = parse_stream_sidecar(&bytes)?;
+        if st.window != cfg.window {
             return Err(DetectorError::InvalidTrainingData(format!(
-                "checkpoint window {window} != config window {}",
-                cfg.window
+                "checkpoint window {} != config window {}",
+                st.window, cfg.window
             )));
         }
-        let threshold_mode = match r.u8()? {
-            0 => {
-                r.f64()?;
-                ThresholdMode::Native
-            }
-            1 => ThresholdMode::PotDynamic { risk: r.f64()? },
-            t => {
-                return Err(DetectorError::CorruptCheckpoint(format!(
-                    "unknown threshold mode tag {t}"
-                )))
-            }
-        };
-        let seen = r.u64()?;
-        let since_eval = r.u32()? as usize;
-        let health = match r.u8()? {
-            0 => HealthState::Healthy,
-            1 => HealthState::Degraded,
-            2 => HealthState::Warming,
-            t => {
-                return Err(DetectorError::CorruptCheckpoint(format!(
-                    "unknown health state tag {t}"
-                )))
-            }
-        };
-        let pending_gap = r.u32()? as usize;
-        let max_bridge = r.u32()? as usize;
-        let rows_rejected = r.u64()?;
-        let cells_imputed = r.u64()?;
-        let gaps_bridged = r.u64()?;
-        let rows_bridged = r.u64()?;
-        let rewarms = r.u64()?;
-        let degraded_evals = r.u64()?;
-        let recoveries = r.u64()?;
-        let fallback_tau = {
-            let has = r.u8()? == 1;
-            let tau = r.f64()?;
-            has.then_some(tau)
-        };
-        let reason_len = r.u32()? as usize;
-        let reason = String::from_utf8(r.take(reason_len)?.to_vec()).map_err(|_| {
-            DetectorError::CorruptCheckpoint("corrupt degraded-reason string".into())
-        })?;
-        let last_degraded_reason = (!reason.is_empty()).then_some(reason);
+        let detector = ImDiffusionDetector::load(cfg, seed, st.channels, path)?;
+        Self::attach_state(detector, st)
+    }
+}
 
-        let n_rows = r.u32()? as usize;
-        if n_rows > window {
+/// Fully parsed IMSM sidecar state, detector-independent: everything
+/// [`StreamingMonitor`] persists besides the model weights.
+struct StreamState {
+    window: usize,
+    hop: usize,
+    channels: usize,
+    threshold_mode: ThresholdMode,
+    seen: u64,
+    since_eval: usize,
+    health: HealthState,
+    pending_gap: usize,
+    max_bridge: usize,
+    rows_rejected: u64,
+    cells_imputed: u64,
+    gaps_bridged: u64,
+    rows_bridged: u64,
+    rewarms: u64,
+    degraded_evals: u64,
+    recoveries: u64,
+    fallback_tau: Option<f64>,
+    last_degraded_reason: Option<String>,
+    buffer: VecDeque<Vec<f32>>,
+    missing: VecDeque<Vec<bool>>,
+    error_history: VecDeque<f64>,
+    fallback_history: VecDeque<f64>,
+    fallback_stats: Vec<ChannelStats>,
+    drift: Option<DriftState>,
+}
+
+/// The v3 drift-tracker block of a sidecar.
+struct DriftState {
+    capacity: usize,
+    threshold: f64,
+    debounce: u32,
+    consecutive: u32,
+    clear_streak: u32,
+    latched: bool,
+    evals: u64,
+    trips: u64,
+    last_score: f64,
+    ring: Vec<(Vec<f32>, Vec<bool>)>,
+}
+
+/// Parses an IMSM sidecar image (any supported version) into
+/// [`StreamState`]. Validation mirrors the writer: magic, version, CRC
+/// (v2+), and structural bounds on the buffer and drift ring.
+fn parse_stream_sidecar(bytes: &[u8]) -> Result<StreamState, DetectorError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != STREAM_MAGIC {
+        return Err(DetectorError::CorruptCheckpoint(
+            "not an IMSM stream checkpoint".into(),
+        ));
+    }
+    let version = r.u32()?;
+    match version {
+        1 => {}
+        2 | 3 => {
+            let stored = r.u32()?;
+            let actual = crc32(r.rest());
+            if stored != actual {
+                return Err(DetectorError::CorruptCheckpoint(format!(
+                    "stream checkpoint CRC mismatch: header {stored:#010x}, \
+                     payload {actual:#010x}"
+                )));
+            }
+        }
+        v => {
             return Err(DetectorError::CorruptCheckpoint(format!(
-                "checkpoint buffer has {n_rows} rows, window is {window}"
+                "unsupported stream checkpoint version {v}"
+            )))
+        }
+    }
+    let window = r.u32()? as usize;
+    let hop = r.u32()? as usize;
+    let channels = r.u32()? as usize;
+    let threshold_mode = match r.u8()? {
+        0 => {
+            r.f64()?;
+            ThresholdMode::Native
+        }
+        1 => ThresholdMode::PotDynamic { risk: r.f64()? },
+        t => {
+            return Err(DetectorError::CorruptCheckpoint(format!(
+                "unknown threshold mode tag {t}"
+            )))
+        }
+    };
+    let seen = r.u64()?;
+    let since_eval = r.u32()? as usize;
+    let health = match r.u8()? {
+        0 => HealthState::Healthy,
+        1 => HealthState::Degraded,
+        2 => HealthState::Warming,
+        t => {
+            return Err(DetectorError::CorruptCheckpoint(format!(
+                "unknown health state tag {t}"
+            )))
+        }
+    };
+    let pending_gap = r.u32()? as usize;
+    let max_bridge = r.u32()? as usize;
+    let rows_rejected = r.u64()?;
+    let cells_imputed = r.u64()?;
+    let gaps_bridged = r.u64()?;
+    let rows_bridged = r.u64()?;
+    let rewarms = r.u64()?;
+    let degraded_evals = r.u64()?;
+    let recoveries = r.u64()?;
+    let fallback_tau = {
+        let has = r.u8()? == 1;
+        let tau = r.f64()?;
+        has.then_some(tau)
+    };
+    let reason_len = r.u32()? as usize;
+    let reason = String::from_utf8(r.take(reason_len)?.to_vec()).map_err(|_| {
+        DetectorError::CorruptCheckpoint("corrupt degraded-reason string".into())
+    })?;
+    let last_degraded_reason = (!reason.is_empty()).then_some(reason);
+
+    let n_rows = r.u32()? as usize;
+    if n_rows > window {
+        return Err(DetectorError::CorruptCheckpoint(format!(
+            "checkpoint buffer has {n_rows} rows, window is {window}"
+        )));
+    }
+    let mut buffer = VecDeque::with_capacity(window);
+    let mut missing = VecDeque::with_capacity(window);
+    for _ in 0..n_rows {
+        let mut row = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            row.push(r.f32()?);
+        }
+        let mut miss = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            miss.push(r.u8()? == 1);
+        }
+        buffer.push_back(row);
+        missing.push_back(miss);
+    }
+    let n_err = r.u32()? as usize;
+    let mut error_history = VecDeque::with_capacity(HISTORY_CAP);
+    for _ in 0..n_err {
+        error_history.push_back(r.f64()?);
+    }
+    let n_fb = r.u32()? as usize;
+    let mut fallback_history = VecDeque::with_capacity(HISTORY_CAP);
+    for _ in 0..n_fb {
+        fallback_history.push_back(r.f64()?);
+    }
+    let mut fallback_stats = Vec::with_capacity(channels);
+    for _ in 0..channels {
+        fallback_stats.push(ChannelStats {
+            count: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+        });
+    }
+
+    // v3 drift-tracker block; pre-v3 sidecars restore with whatever
+    // fresh tracker the (possibly drift-bearing) weight file arms.
+    let drift_state = if version >= 3 && r.u8()? == 1 {
+        let capacity = r.u32()? as usize;
+        let threshold = r.f64()?;
+        let debounce = r.u32()?;
+        let consecutive = r.u32()?;
+        let clear_streak = r.u32()?;
+        let latched = r.u8()? == 1;
+        let evals = r.u64()?;
+        let trips = r.u64()?;
+        let last_score = r.f64()?;
+        let n_ring = r.u32()? as usize;
+        if n_ring > capacity {
+            return Err(DetectorError::CorruptCheckpoint(format!(
+                "drift ring has {n_ring} rows, capacity is {capacity}"
             )));
         }
-        let mut buffer = VecDeque::with_capacity(window);
-        let mut missing = VecDeque::with_capacity(window);
-        for _ in 0..n_rows {
+        let mut ring = Vec::with_capacity(n_ring);
+        for _ in 0..n_ring {
             let mut row = Vec::with_capacity(channels);
             for _ in 0..channels {
                 row.push(r.f32()?);
@@ -450,128 +646,50 @@ impl StreamingMonitor {
             for _ in 0..channels {
                 miss.push(r.u8()? == 1);
             }
-            buffer.push_back(row);
-            missing.push_back(miss);
+            ring.push((row, miss));
         }
-        let n_err = r.u32()? as usize;
-        let mut error_history = VecDeque::with_capacity(HISTORY_CAP);
-        for _ in 0..n_err {
-            error_history.push_back(r.f64()?);
-        }
-        let n_fb = r.u32()? as usize;
-        let mut fallback_history = VecDeque::with_capacity(HISTORY_CAP);
-        for _ in 0..n_fb {
-            fallback_history.push_back(r.f64()?);
-        }
-        let mut fallback_stats = Vec::with_capacity(channels);
-        for _ in 0..channels {
-            fallback_stats.push(ChannelStats {
-                count: r.u64()?,
-                mean: r.f64()?,
-                m2: r.f64()?,
-            });
-        }
+        Some(DriftState {
+            capacity,
+            threshold,
+            debounce,
+            consecutive,
+            clear_streak,
+            latched,
+            evals,
+            trips,
+            last_score,
+            ring,
+        })
+    } else {
+        None
+    };
 
-        // v3 drift-tracker block; pre-v3 sidecars restore with whatever
-        // fresh tracker the (possibly drift-bearing) weight file arms.
-        struct DriftState {
-            capacity: usize,
-            threshold: f64,
-            debounce: u32,
-            consecutive: u32,
-            clear_streak: u32,
-            latched: bool,
-            evals: u64,
-            trips: u64,
-            last_score: f64,
-            ring: Vec<(Vec<f32>, Vec<bool>)>,
-        }
-        let drift_state = if version >= 3 && r.u8()? == 1 {
-            let capacity = r.u32()? as usize;
-            let threshold = r.f64()?;
-            let debounce = r.u32()?;
-            let consecutive = r.u32()?;
-            let clear_streak = r.u32()?;
-            let latched = r.u8()? == 1;
-            let evals = r.u64()?;
-            let trips = r.u64()?;
-            let last_score = r.f64()?;
-            let n_ring = r.u32()? as usize;
-            if n_ring > capacity {
-                return Err(DetectorError::CorruptCheckpoint(format!(
-                    "drift ring has {n_ring} rows, capacity is {capacity}"
-                )));
-            }
-            let mut ring = Vec::with_capacity(n_ring);
-            for _ in 0..n_ring {
-                let mut row = Vec::with_capacity(channels);
-                for _ in 0..channels {
-                    row.push(r.f32()?);
-                }
-                let mut miss = Vec::with_capacity(channels);
-                for _ in 0..channels {
-                    miss.push(r.u8()? == 1);
-                }
-                ring.push((row, miss));
-            }
-            Some(DriftState {
-                capacity,
-                threshold,
-                debounce,
-                consecutive,
-                clear_streak,
-                latched,
-                evals,
-                trips,
-                last_score,
-                ring,
-            })
-        } else {
-            None
-        };
-
-        let detector = ImDiffusionDetector::load(cfg, seed, channels, path)?;
-        let mut monitor = StreamingMonitor::new(detector, channels, hop)?;
-        monitor.buffer = buffer;
-        monitor.missing = missing;
-        monitor.seen = seen;
-        monitor.since_eval = since_eval;
-        monitor.threshold_mode = threshold_mode;
-        monitor.error_history = error_history;
-        monitor.health = health;
-        monitor.pending_gap = pending_gap;
-        monitor.max_bridge = max_bridge;
-        monitor.fallback_stats = fallback_stats;
-        monitor.fallback_history = fallback_history;
-        monitor.fallback_tau = fallback_tau;
-        monitor.last_degraded_reason = last_degraded_reason;
-        monitor.rows_rejected = rows_rejected;
-        monitor.cells_imputed = cells_imputed;
-        monitor.gaps_bridged = gaps_bridged;
-        monitor.rows_bridged = rows_bridged;
-        monitor.rewarms = rewarms;
-        monitor.degraded_evals = degraded_evals;
-        monitor.recoveries = recoveries;
-        // A sidecar drift block means the saved monitor had drift armed:
-        // re-arm against the weight file's reference, then restore the
-        // tracker's mutable state on top. The sidecar carries no reference
-        // of its own — a weight file without one leaves drift unarmed
-        // (that monitor could never have armed it in the first place).
-        if let Some(st) = drift_state {
-            monitor.set_drift_policy(st.threshold, st.debounce);
-            if let Some(tracker) = &mut monitor.drift {
-                tracker.capacity = st.capacity;
-                tracker.consecutive = st.consecutive;
-                tracker.clear_streak = st.clear_streak;
-                tracker.latched = st.latched;
-                tracker.evals = st.evals;
-                tracker.trips = st.trips;
-                tracker.last_score = st.last_score;
-                tracker.ring = st.ring.into_iter().collect();
-            }
-        }
-        Ok(monitor)
-    }
+    Ok(StreamState {
+        window,
+        hop,
+        channels,
+        threshold_mode,
+        seen,
+        since_eval,
+        health,
+        pending_gap,
+        max_bridge,
+        rows_rejected,
+        cells_imputed,
+        gaps_bridged,
+        rows_bridged,
+        rewarms,
+        degraded_evals,
+        recoveries,
+        fallback_tau,
+        last_degraded_reason,
+        buffer,
+        missing,
+        error_history,
+        fallback_history,
+        fallback_stats,
+        drift: drift_state,
+    })
 }
 
 /// A `fit`-free smoke check used in tests: a checkpoint roundtrip must

@@ -1,0 +1,82 @@
+//! The window-scoring contract between detectors and the streaming
+//! monitor.
+//!
+//! [`StreamingMonitor`](crate::StreamingMonitor) needs surprisingly
+//! little from the model it wraps: a fixed evaluation window, batched
+//! read-only scoring of buffered windows, and (optionally) a
+//! training-time [`DriftReference`] so distribution drift can be
+//! detected. [`WindowScorer`] captures exactly that surface, so the
+//! monitor — and everything stacked on it: sidecar checkpoints, the
+//! serving shards, hot reload, failover — works identically for
+//! ImDiffusion and for every baseline family wrapped by the detector
+//! registry.
+
+use imdiff_data::{DetectorError, Mts};
+
+use crate::detector::ImDiffusionDetector;
+use crate::infer::EnsembleOutput;
+use crate::streaming::DriftReference;
+
+/// A fitted model that can score fixed-length windows of a stream.
+///
+/// Implementations must be **deterministic**: the same window bytes must
+/// produce the same [`EnsembleOutput`] at any thread count (the serving
+/// determinism contract hangs off this). Scoring takes `&self` so shards
+/// can share the detector between evaluation and health inspection.
+pub trait WindowScorer {
+    /// Short family name (`"ImDiffusion"`, `"IForest"`, …) surfaced by
+    /// health endpoints and the registry envelope.
+    fn family(&self) -> &'static str;
+
+    /// Whether the scorer holds a usable model (fit or restore done).
+    fn is_fitted(&self) -> bool;
+
+    /// The evaluation window length, in rows. The monitor buffers
+    /// exactly this many rows per evaluation.
+    fn window(&self) -> usize;
+
+    /// Channel count of the fitted model (`None` before fit/restore).
+    fn channels(&self) -> Option<usize>;
+
+    /// Training-time reference statistics for drift detection (`None`
+    /// leaves the monitor's drift subsystem unarmed).
+    fn drift_reference(&self) -> Option<&DriftReference>;
+
+    /// Scores a batch of independent single-window requests. Each window
+    /// is exactly [`Self::window`] rows; its optional mask is row-major
+    /// `[W, K]` (`true` = value absent). Must be bit-identical to scoring
+    /// each window alone — the monitor's micro-batching relies on it.
+    fn score_windows(
+        &self,
+        windows: &[(&Mts, Option<&[bool]>)],
+    ) -> Result<Vec<EnsembleOutput>, DetectorError>;
+}
+
+impl WindowScorer for ImDiffusionDetector {
+    fn family(&self) -> &'static str {
+        "ImDiffusion"
+    }
+
+    fn is_fitted(&self) -> bool {
+        ImDiffusionDetector::is_fitted(self)
+    }
+
+    fn window(&self) -> usize {
+        self.config().window
+    }
+
+    fn channels(&self) -> Option<usize> {
+        ImDiffusionDetector::channels(self)
+    }
+
+    fn drift_reference(&self) -> Option<&DriftReference> {
+        ImDiffusionDetector::drift_reference(self)
+    }
+
+    fn score_windows(
+        &self,
+        windows: &[(&Mts, Option<&[bool]>)],
+    ) -> Result<Vec<EnsembleOutput>, DetectorError> {
+        self.detect_windows(windows)
+    }
+}

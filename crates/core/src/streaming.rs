@@ -42,6 +42,7 @@ use imdiff_nn::pool;
 
 use crate::detector::ImDiffusionDetector;
 use crate::infer::EnsembleOutput;
+use crate::scorer::WindowScorer;
 
 /// Maximum error-history length kept for dynamic thresholding. Shared
 /// with the checkpoint reader in `persist.rs` so the restore pre-sizing
@@ -170,8 +171,8 @@ impl DriftReference {
     }
 
     /// Flattens to `[q25_lo.., q25_hi.., q75_lo.., q75_hi..]` (checkpoint
-    /// layout: one `[4, K]` tensor).
-    pub(crate) fn to_flat(&self) -> Vec<f32> {
+    /// layout: one `[4, K]` tensor; also the registry envelope layout).
+    pub fn to_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(4 * self.q25_lo.len());
         out.extend_from_slice(&self.q25_lo);
         out.extend_from_slice(&self.q25_hi);
@@ -181,7 +182,7 @@ impl DriftReference {
     }
 
     /// Inverse of [`Self::to_flat`]; `None` when the length is not `4*k`.
-    pub(crate) fn from_flat(data: &[f32], channels: usize) -> Option<Self> {
+    pub fn from_flat(data: &[f32], channels: usize) -> Option<Self> {
         if data.len() != 4 * channels {
             return None;
         }
@@ -499,8 +500,13 @@ impl ChannelStats {
 }
 
 /// A rolling-window online anomaly monitor.
-pub struct StreamingMonitor {
-    pub(crate) detector: ImDiffusionDetector,
+///
+/// Generic over the wrapped model: any [`WindowScorer`] — ImDiffusion or
+/// a registry-wrapped baseline — gets the same buffering, gap handling,
+/// fallback, drift detection and checkpointing. The default type keeps
+/// the original concrete `StreamingMonitor` spelling working unchanged.
+pub struct StreamingMonitor<D = ImDiffusionDetector> {
+    pub(crate) detector: D,
     pub(crate) buffer: VecDeque<Vec<f32>>,
     /// Per-row missing flags, parallel to `buffer`.
     pub(crate) missing: VecDeque<Vec<bool>>,
@@ -549,20 +555,20 @@ pub struct StreamingMonitor {
     pub(crate) retrain_rows: VecDeque<Vec<f32>>,
 }
 
-impl StreamingMonitor {
+impl<D: WindowScorer> StreamingMonitor<D> {
     /// Wraps a **fitted** detector (trained in-process or restored from a
     /// checkpoint). `hop` controls how often inference re-runs (1 = every
     /// point, `window` = non-overlapping batches); smaller hops reduce
     /// detection delay at proportional compute cost.
     pub fn new(
-        detector: ImDiffusionDetector,
+        detector: D,
         channels: usize,
         hop: usize,
     ) -> Result<Self, DetectorError> {
         if !detector.is_fitted() {
             return Err(DetectorError::NotFitted);
         }
-        let window = detector.config().window;
+        let window = detector.window();
         if hop == 0 || hop > window {
             return Err(DetectorError::InvalidTrainingData(format!(
                 "hop must be in 1..={window}"
@@ -666,8 +672,8 @@ impl StreamingMonitor {
 
     /// Read-only access to the wrapped detector (spec extraction, health
     /// endpoints). Scoring through the monitor never needs `&mut` access
-    /// to the detector — see [`ImDiffusionDetector::detect_windows`].
-    pub fn detector(&self) -> &ImDiffusionDetector {
+    /// to the detector — see [`WindowScorer::score_windows`].
+    pub fn detector(&self) -> &D {
         &self.detector
     }
 
@@ -677,17 +683,15 @@ impl StreamingMonitor {
     /// counters. The stream does not re-warm — the next evaluation simply
     /// scores through the new weights. The replacement must be fitted and
     /// match the monitor's window/channel geometry.
-    pub fn swap_detector(
-        &mut self,
-        replacement: ImDiffusionDetector,
-    ) -> Result<(), DetectorError> {
+    pub fn swap_detector(&mut self, replacement: D) -> Result<(), DetectorError> {
         if !replacement.is_fitted() {
             return Err(DetectorError::NotFitted);
         }
-        if replacement.config().window != self.window {
+        if replacement.window() != self.window {
             return Err(DetectorError::InvalidTrainingData(format!(
                 "replacement detector window {} != monitor window {}",
-                replacement.config().window, self.window
+                replacement.window(),
+                self.window
             )));
         }
         if let Some(k) = replacement.channels() {
@@ -905,10 +909,8 @@ impl StreamingMonitor {
     }
 
     /// Scores and completes every prepared evaluation, in order. All
-    /// non-shed, non-skipped windows share one [`detect_windows`] call —
-    /// this is where batching pays.
-    ///
-    /// [`detect_windows`]: ImDiffusionDetector::detect_windows
+    /// non-shed, non-skipped windows share one
+    /// [`WindowScorer::score_windows`] call — this is where batching pays.
     fn flush_due(&mut self, due: &mut Vec<EvalRequest>, replies: &mut [BatchReply]) {
         if due.is_empty() {
             return;
@@ -922,7 +924,7 @@ impl StreamingMonitor {
         let mut outs: VecDeque<Result<EnsembleOutput, String>> = if reqs.is_empty() {
             VecDeque::new()
         } else {
-            match self.detector.detect_windows(&reqs) {
+            match self.detector.score_windows(&reqs) {
                 Ok(v) => v.into_iter().map(Ok).collect(),
                 Err(e) => (0..reqs.len())
                     .map(|_| Err(format!("inference error: {e}")))
@@ -1151,12 +1153,12 @@ impl StreamingMonitor {
         // batched serving path widens with its own batch size instead.
         let inference_windows = self
             .window
-            .div_ceil(self.detector.config().window.max(1))
+            .div_ceil(self.detector.window().max(1))
             .max(1);
         let pool_width = pool::max_threads().min(inference_windows);
         match pool::with_threads(pool_width, || {
             self.detector
-                .detect_windows(&[(&req.window_data, Some(req.miss_flat.as_slice()))])
+                .score_windows(&[(&req.window_data, Some(req.miss_flat.as_slice()))])
         }) {
             Ok(mut outs) => Ok(outs.remove(0)),
             Err(e) => Err(format!("inference error: {e}")),

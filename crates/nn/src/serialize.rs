@@ -141,7 +141,15 @@ fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
 pub fn load_params_into(path: &Path, params: &[Tensor]) -> Result<()> {
     let bytes = fs::read(path)
         .map_err(|e| NnError::Io(format!("cannot read {}: {e}", path.display())))?;
-    let mut r: &[u8] = &bytes;
+    load_params_from_bytes(&bytes, params)
+}
+
+/// Byte-buffer form of [`load_params_into`], for checkpoints that travel
+/// inside another container (the detector-registry envelope wraps a full
+/// IMDF image as its ImDiffusion payload) rather than as a standalone
+/// file. Identical validation and error taxonomy.
+pub fn load_params_from_bytes(bytes: &[u8], params: &[Tensor]) -> Result<()> {
+    let mut r: &[u8] = bytes;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)
         .map_err(|_| NnError::Corrupt("truncated checkpoint header".into()))?;

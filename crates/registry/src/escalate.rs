@@ -1,0 +1,137 @@
+//! Cost-aware escalation: pick the cheapest rung that is accurate enough.
+//!
+//! A tenant's escalation ladder is an ordered list of detectors, cheapest
+//! first (canonically z-score → IForest → ImDiffusion). The evaluator
+//! replays a labeled holdout slice through every rung, measures each
+//! rung's best point-F1 and its wall-clock cost, and pins the tenant to
+//! the **first** rung whose F1 is within a tolerance of the ladder's
+//! best.
+//!
+//! Determinism contract: the decision depends *only* on the ladder order
+//! and the F1 numbers — never on the measured µs/row, which varies run to
+//! run and is recorded purely as evidence. A local mirror replaying the
+//! same ladder over the same holdout therefore reproduces the rung choice
+//! bit-exactly, which is what the end-to-end serving test asserts.
+
+use std::time::Instant;
+
+use imdiff_data::{DetectorError, Mts};
+use imdiff_metrics::best_f1_threshold;
+
+use crate::any::AnyDetector;
+use crate::kind::DetectorKind;
+
+/// One rung's holdout-replay measurement.
+#[derive(Debug, Clone)]
+pub struct RungOutcome {
+    /// The rung's family.
+    pub kind: DetectorKind,
+    /// Best point-F1 of the rung's scores on the labeled holdout.
+    pub f1: f64,
+    /// Measured scoring cost in microseconds per holdout row. **Evidence
+    /// only** — never an input to the rung decision.
+    pub us_per_row: f64,
+}
+
+/// The evaluator's verdict over a full ladder.
+#[derive(Debug, Clone)]
+pub struct LadderDecision {
+    /// Index into the ladder of the pinned rung.
+    pub chosen: usize,
+    /// Per-rung measurements, in ladder order.
+    pub outcomes: Vec<RungOutcome>,
+}
+
+/// Picks the first (cheapest, by ladder-order convention) rung whose F1
+/// is within `f1_tolerance` of the best rung's F1.
+///
+/// Pure and deterministic; panics on an empty ladder (a configuration
+/// error the spec layer rejects earlier).
+pub fn choose_rung(outcomes: &[RungOutcome], f1_tolerance: f64) -> usize {
+    assert!(!outcomes.is_empty(), "escalation ladder must be non-empty");
+    let best = outcomes.iter().map(|o| o.f1).fold(f64::NEG_INFINITY, f64::max);
+    outcomes
+        .iter()
+        .position(|o| o.f1 >= best - f1_tolerance)
+        .unwrap_or(outcomes.len() - 1)
+}
+
+/// Replays the labeled holdout through every rung and decides the pin.
+///
+/// `labels[i]` is the ground-truth anomaly flag of holdout row `i`. Each
+/// rung scores the full slice read-only ([`AnyDetector::score_series`]);
+/// its F1 is the best achievable over all thresholds
+/// ([`best_f1_threshold`]) so the comparison measures the *ranking*
+/// quality of each family, not a particular calibration.
+pub fn evaluate_ladder(
+    rungs: &[&AnyDetector],
+    holdout: &Mts,
+    labels: &[bool],
+    f1_tolerance: f64,
+) -> Result<LadderDecision, DetectorError> {
+    if rungs.is_empty() {
+        return Err(DetectorError::InvalidTrainingData(
+            "escalation ladder must have at least one rung".into(),
+        ));
+    }
+    if labels.len() != holdout.len() {
+        return Err(DetectorError::InvalidTrainingData(format!(
+            "holdout has {} rows but {} labels",
+            holdout.len(),
+            labels.len()
+        )));
+    }
+    let mut outcomes = Vec::with_capacity(rungs.len());
+    for det in rungs {
+        let started = Instant::now();
+        let scores = det.score_series(holdout, None)?;
+        let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+        let (_, prf1) = best_f1_threshold(&scores, labels);
+        outcomes.push(RungOutcome {
+            kind: det.kind(),
+            f1: prf1.f1,
+            us_per_row: elapsed_us / holdout.len().max(1) as f64,
+        });
+    }
+    let chosen = choose_rung(&outcomes, f1_tolerance);
+    Ok(LadderDecision { chosen, outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(kind: DetectorKind, f1: f64) -> RungOutcome {
+        RungOutcome {
+            kind,
+            f1,
+            us_per_row: 1.0,
+        }
+    }
+
+    #[test]
+    fn cheapest_rung_within_tolerance_wins() {
+        let ladder = vec![
+            outcome(DetectorKind::ZScore, 0.78),
+            outcome(DetectorKind::IForest, 0.80),
+            outcome(DetectorKind::ImDiffusion, 0.82),
+        ];
+        // Tolerance 0.05: z-score (0.78 ≥ 0.82 − 0.05) is good enough.
+        assert_eq!(choose_rung(&ladder, 0.05), 0);
+        // Tolerance 0.03: IForest is the first rung within reach.
+        assert_eq!(choose_rung(&ladder, 0.03), 1);
+        // Zero tolerance: only the best rung qualifies.
+        assert_eq!(choose_rung(&ladder, 0.0), 2);
+    }
+
+    #[test]
+    fn cost_never_influences_the_decision() {
+        let mut ladder = vec![
+            outcome(DetectorKind::ZScore, 0.50),
+            outcome(DetectorKind::ImDiffusion, 0.90),
+        ];
+        let with_cheap_apex = choose_rung(&ladder, 0.1);
+        ladder[1].us_per_row = 1e9;
+        assert_eq!(choose_rung(&ladder, 0.1), with_cheap_apex);
+    }
+}

@@ -298,6 +298,8 @@ pub fn run_chaos(plan: &ChaosPlan) -> Result<ChaosReport, String> {
             hop: 2,
             holdout: None,
             drift_policy: None,
+            family: imdiff_registry::DetectorKind::ImDiffusion,
+            escalation: None,
         });
         tenants.push(TenantState {
             id,

@@ -103,6 +103,8 @@ pub struct ReloadOutcome {
     pub verdict: PromotionVerdict,
     /// Human-readable explanation (gate scores, rollback cause, ...).
     pub detail: String,
+    /// Detector family currently serving the tenant.
+    pub family: String,
 }
 
 /// Verdicts for one score request, all produced by a single model
@@ -256,10 +258,12 @@ impl ServeClient {
                 generation,
                 verdict,
                 detail,
+                family,
             } => Ok(ReloadOutcome {
                 generation,
                 verdict,
                 detail,
+                family,
             }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Unexpected(format!(

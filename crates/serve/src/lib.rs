@@ -50,7 +50,9 @@ pub use client::{
     Backoff, ClientError, ReloadOutcome, ResilientClient, RetryPolicy, Scored, ServeClient,
 };
 pub use router::{ReplicationCfg, Ring, RouterConfig};
-pub use server::{HoldoutSpec, ServeConfig, ServeError, Server, TenantSpec};
+pub use server::{
+    EscalationSpec, HoldoutSpec, RungSpec, ServeConfig, ServeError, Server, TenantSpec,
+};
 pub use supervisor::Replicated;
 pub use wire::{
     ErrorCode, PromotionVerdict, Request, Response, TenantHealth, WireError,

@@ -22,7 +22,7 @@
 //! [`imdiffusion::StreamingMonitor`] holds `Rc`-based tensors and is not
 //! `Send`, so every monitor is **created and mutated on exactly one shard
 //! thread**. Everything that crosses threads is plain data: score jobs
-//! (rows + a single-use [`ReplyTx`]), [`DetectorSpec`] weight snapshots
+//! (rows + a single-use [`ReplyTx`]), [`AnySpec`] envelope snapshots
 //! for hot reloads, and atomically-updated health/generation counters.
 //! Shards answer by posting `(connection, slot, response)` completions
 //! that wake the loop; the loop flushes each connection's replies in
@@ -51,12 +51,30 @@
 //!
 //! The watcher polls each tenant's checkpoint file; when its (mtime, len)
 //! stamp changes, the new weights are loaded and validated *off* the shard
-//! thread, converted to a [`DetectorSpec`], and handed to the owning shard,
+//! thread, converted to an [`AnySpec`], and handed to the owning shard,
 //! which swaps them in **between batches** and bumps the tenant's
 //! generation. In-flight batches finish on the old weights; every response
 //! reports the single generation that produced all of its verdicts. A
 //! corrupt or mismatched checkpoint is counted and skipped — serving
 //! continues on the previous generation.
+//!
+//! # Detector families and escalation
+//!
+//! Shards hold [`AnyDetector`]s, not ImDiffusion specifically: a tenant's
+//! checkpoint is an IMDE registry envelope (legacy raw IMDF images load
+//! as ImDiffusion), its [`TenantSpec::family`] names the expected family,
+//! and health/reload answers report the family actually serving. A tenant
+//! may also carry an [`EscalationSpec`] — an ordered cost ladder of rung
+//! checkpoints (canonically z-score → IForest → ImDiffusion). When the
+//! canonical checkpoint is missing at activation, the ladder is evaluated
+//! on its labeled holdout and the cheapest rung within `f1_tolerance` of
+//! the best is pinned (and persisted as the canonical envelope, so
+//! failover restores the same pin). After that the router is
+//! edge-triggered on the monitor's debounced drift latch: a trip swaps in
+//! the ladder apex (a regime change earns the expensive model), a clear
+//! re-runs the holdout evaluation so the tenant can settle back onto a
+//! cheaper rung. Every repin persists the envelope and bumps the
+//! generation, exactly like a hot reload.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,9 +87,10 @@ use std::time::{Duration, Instant, SystemTime};
 
 use imdiff_data::{DetectorError, Mts};
 use imdiff_nn::obs;
+use imdiff_registry::{evaluate_ladder, AnyDetector, AnySpec, DetectorKind};
 use imdiffusion::{
-    BatchItem, DetectorSpec, EnsembleOutput, HealthState, ImDiffusionConfig,
-    ImDiffusionDetector, MonitorHealth, StreamingMonitor,
+    BatchItem, EnsembleOutput, HealthState, ImDiffusionConfig, MonitorHealth,
+    StreamingMonitor, WindowScorer,
 };
 
 use crate::mux::{self, sys, Completions, Conn, FillOutcome, ReplyTx};
@@ -85,14 +104,15 @@ use crate::wire::{
 // ---------------------------------------------------------------------------
 
 /// One stream to serve: where its fitted checkpoint lives and how to
-/// rebuild the detector around it (the IMDF format stores weights only;
-/// the architecture comes from `cfg`/`seed`, as for
-/// [`ImDiffusionDetector::load`]).
+/// rebuild the detector around it (envelopes and legacy IMDF images
+/// store weights only; the architecture comes from `cfg`/`seed`, as for
+/// [`AnyDetector::load`]).
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Stream id used on the wire.
     pub id: String,
-    /// Path of the IMDF checkpoint (also the hot-reload watch target).
+    /// Path of the detector checkpoint — an IMDE registry envelope or a
+    /// legacy raw IMDF image (also the hot-reload watch target).
     pub checkpoint: PathBuf,
     /// Detector configuration matching the checkpoint.
     pub cfg: ImDiffusionConfig,
@@ -112,6 +132,58 @@ pub struct TenantSpec {
     /// reference; legacy weight files (and `None`) serve unarmed with
     /// bit-identical behavior.
     pub drift_policy: Option<(f64, u32)>,
+    /// Detector family this tenant is configured to serve. The canonical
+    /// checkpoint must carry this family — or, with an escalation ladder,
+    /// any rung family — or loads and reloads are refused as corrupt.
+    pub family: DetectorKind,
+    /// Cost-aware escalation ladder; `None` pins the tenant to `family`
+    /// forever (the pre-registry behavior).
+    pub escalation: Option<EscalationSpec>,
+}
+
+impl TenantSpec {
+    /// May a checkpoint of `kind` serve this tenant?
+    fn allows_family(&self, kind: DetectorKind) -> bool {
+        kind == self.family
+            || self
+                .escalation
+                .as_ref()
+                .is_some_and(|e| e.rungs.iter().any(|r| r.kind == kind))
+    }
+}
+
+/// A cost-aware escalation ladder: ordered rungs (cheapest first,
+/// canonically z-score → IForest → ImDiffusion) plus the labeled holdout
+/// slice the evaluator replays to pick a pin. Rung kinds must be
+/// distinct and every rung checkpoint must share one serving window —
+/// repins are in-place detector swaps on a live monitor.
+///
+/// The decision rule lives in [`imdiff_registry::choose_rung`]: the
+/// first rung whose best point-F1 on the holdout is within
+/// `f1_tolerance` of the ladder's best wins. Measured cost is recorded
+/// as evidence but never decides, so a mirror replaying the same ladder
+/// reproduces every pin bit-exactly.
+#[derive(Debug, Clone)]
+pub struct EscalationSpec {
+    /// The ladder, cheapest first. The last rung is the apex a drift trip
+    /// escalates to.
+    pub rungs: Vec<RungSpec>,
+    /// How much holdout F1 a cheaper rung may give up and still win.
+    pub f1_tolerance: f64,
+    /// Labeled holdout rows replayed through every rung, each
+    /// `channels` wide.
+    pub holdout_rows: Vec<Vec<f32>>,
+    /// Ground-truth anomaly flags aligned with `holdout_rows`.
+    pub holdout_labels: Vec<bool>,
+}
+
+/// One rung of an escalation ladder.
+#[derive(Debug, Clone)]
+pub struct RungSpec {
+    /// The rung's family (checked against its checkpoint's envelope tag).
+    pub kind: DetectorKind,
+    /// Path of the rung's fitted IMDE envelope.
+    pub checkpoint: PathBuf,
 }
 
 /// A held-out replay slice for validation-gated promotion.
@@ -263,6 +335,10 @@ fn stamp(path: &std::path::Path) -> Option<FileStamp> {
     Some((meta.modified().ok(), meta.len()))
 }
 
+/// The monitor type shards own: a streaming monitor over *any* registry
+/// family.
+type ServeMonitor = StreamingMonitor<AnyDetector>;
+
 /// Cross-thread view of one tenant. The monitor itself lives on the
 /// owning shard thread; this is everything other threads may read.
 struct TenantShared {
@@ -288,11 +364,24 @@ struct TenantShared {
     /// Spec of the detector currently serving (what the validation gate
     /// compares candidates against). Captured at load/adoption and
     /// refreshed on every swap.
-    incumbent: Mutex<Option<Box<DetectorSpec>>>,
+    incumbent: Mutex<Option<Box<AnySpec>>>,
     /// Pre-promotion incumbent archived for the regression sentinel;
     /// taken (one-shot) on rollback or once the watch confirms the
     /// promotion.
-    rollback: Mutex<Option<Box<DetectorSpec>>>,
+    rollback: Mutex<Option<Box<AnySpec>>>,
+    /// Family actually serving right now. Starts as the configured
+    /// [`TenantSpec::family`], then tracks every load, swap and
+    /// escalation repin; reported on health and reload answers.
+    family: Mutex<DetectorKind>,
+}
+
+/// The family currently serving `t`, as a wire string.
+fn family_name(t: &TenantShared) -> String {
+    t.family
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .name()
+        .to_string()
 }
 
 /// A queued scoring request.
@@ -315,7 +404,7 @@ enum ShardCmd {
     /// swap lands, so the reported generation is the one now serving.
     Swap {
         tenant: usize,
-        spec: Box<DetectorSpec>,
+        spec: Box<AnySpec>,
         reply: Option<ReplyTx>,
     },
     /// Activate a tenant (failover adoption): restore from the IMSM
@@ -425,6 +514,14 @@ impl PromoState {
     }
 }
 
+/// Shard-local escalation-router state for one tenant: the drift latch
+/// as of the previous batch, for edge detection. (Which rung is pinned
+/// is not duplicated here — the monitor's detector family is the truth.)
+#[derive(Default)]
+struct EscState {
+    was_drifted: bool,
+}
+
 #[derive(Default)]
 struct ShardQueue {
     jobs: VecDeque<ScoreJob>,
@@ -495,6 +592,7 @@ impl ServerInner {
                     queue_depth: t.queue_depth.load(Ordering::SeqCst),
                     drifted: h.drifted,
                     drift_trips: h.drift_trips,
+                    family: family_name(t),
                 }
             })
             .collect();
@@ -540,19 +638,32 @@ impl ServerInner {
                     generation: t.generation.load(Ordering::SeqCst),
                     verdict,
                     detail: msg,
+                    family: family_name(t),
                 });
             }
         };
-        let spec = match ImDiffusionDetector::load(
-            t.spec.cfg.clone(),
+        let spec = match AnyDetector::load(
+            &t.spec.cfg,
             t.spec.seed,
             t.spec.channels,
             &t.spec.checkpoint,
         )
         .map_err(|e| format!("cannot reload {}: {e}", t.spec.id))
         .and_then(|det| {
+            // A rewrite may legitimately change the family (an escalation
+            // repin, a mirrored pin from another replica) — but only to a
+            // family this tenant is configured for.
+            if !t.spec.allows_family(det.kind()) {
+                return Err(format!(
+                    "checkpoint family {} is not allowed for tenant {} (expected {} \
+                     or an escalation rung)",
+                    det.kind(),
+                    t.spec.id,
+                    t.spec.family
+                ));
+            }
             det.to_spec()
-                .ok_or_else(|| format!("reloaded detector for {} is unfitted", t.spec.id))
+                .map_err(|e| format!("reloaded detector for {}: {e}", t.spec.id))
         }) {
             Ok(spec) => spec,
             Err(msg) => {
@@ -597,6 +708,7 @@ impl ServerInner {
                     generation: t.generation.load(Ordering::SeqCst),
                     verdict,
                     detail: "superseded by a newer reload of the same tenant".into(),
+                    family: family_name(t),
                 });
             }
             q.cmds.push(ShardCmd::Swap {
@@ -617,13 +729,28 @@ impl ServerInner {
 /// reject — loudly, via the reload verdict — rather than promoting an
 /// unvalidated candidate.
 fn gate_candidate(
-    candidate: &DetectorSpec,
-    incumbent: &DetectorSpec,
+    candidate: &AnySpec,
+    incumbent: &AnySpec,
     holdout: &HoldoutSpec,
     spec: &TenantSpec,
 ) -> Result<String, String> {
     let _span = obs::span("serve.promotion.gate");
-    let (w, k) = (spec.cfg.window, spec.channels);
+    let cand = candidate
+        .build()
+        .map_err(|e| format!("candidate failed to rebuild: {e}"))?;
+    let inc = incumbent
+        .build()
+        .map_err(|e| format!("incumbent failed to rebuild: {e}"))?;
+    // Holdout windows must fit both scorers: families may serve windows
+    // wider than the configured one, so the *built* detectors decide.
+    let (w, k) = (cand.window(), spec.channels);
+    if inc.window() != w {
+        return Err(format!(
+            "candidate serving window {w} != incumbent window {}; cannot compare \
+             on one holdout slicing",
+            inc.window()
+        ));
+    }
     if holdout.rows.iter().any(|r| r.len() != k) {
         return Err(format!("holdout rows must all be {k} channels wide"));
     }
@@ -645,13 +772,11 @@ fn gate_candidate(
         })
         .collect();
     let refs: Vec<(&Mts, Option<&[bool]>)> = windows.iter().map(|m| (m, None)).collect();
-    let cand_out = candidate
-        .build()
-        .detect_windows(&refs)
+    let cand_out = cand
+        .score_windows(&refs)
         .map_err(|e| format!("candidate failed holdout scoring: {e}"))?;
-    let inc_out = incumbent
-        .build()
-        .detect_windows(&refs)
+    let inc_out = inc
+        .score_windows(&refs)
         .map_err(|e| format!("incumbent failed holdout scoring: {e}"))?;
     match &holdout.labels {
         Some(labels) => {
@@ -735,6 +860,110 @@ fn point_f1(pred: &[bool], truth: &[bool]) -> f64 {
 // Shard worker
 // ---------------------------------------------------------------------------
 
+/// Builds every rung of an escalation ladder from its envelope
+/// checkpoint, verifying the configured family and that all rungs share
+/// one serving window (repins are in-place swaps on a live monitor).
+fn build_rungs(
+    esc: &EscalationSpec,
+    spec: &TenantSpec,
+) -> Result<Vec<AnyDetector>, DetectorError> {
+    if esc.rungs.is_empty() {
+        return Err(DetectorError::InvalidTrainingData(format!(
+            "tenant {} has an empty escalation ladder",
+            spec.id
+        )));
+    }
+    let mut dets = Vec::with_capacity(esc.rungs.len());
+    for rung in &esc.rungs {
+        let det = AnyDetector::load(&spec.cfg, spec.seed, spec.channels, &rung.checkpoint)?;
+        if det.kind() != rung.kind {
+            return Err(DetectorError::CorruptCheckpoint(format!(
+                "rung checkpoint {} carries family {}, ladder declares {}",
+                rung.checkpoint.display(),
+                det.kind(),
+                rung.kind
+            )));
+        }
+        if dets
+            .iter()
+            .any(|d: &AnyDetector| d.kind() == det.kind() || d.window() != det.window())
+        {
+            return Err(DetectorError::InvalidTrainingData(format!(
+                "escalation rungs for {} must have distinct families and one shared \
+                 serving window",
+                spec.id
+            )));
+        }
+        dets.push(det);
+    }
+    Ok(dets)
+}
+
+/// Packs escalation holdout rows into a series.
+fn holdout_mts(rows: &[Vec<f32>], channels: usize) -> Result<Mts, DetectorError> {
+    if rows.is_empty() || rows.iter().any(|r| r.len() != channels) {
+        return Err(DetectorError::InvalidTrainingData(format!(
+            "escalation holdout must be non-empty rows of {channels} channels"
+        )));
+    }
+    let mut flat = Vec::with_capacity(rows.len() * channels);
+    for row in rows {
+        flat.extend_from_slice(row);
+    }
+    Ok(Mts::new(flat, rows.len(), channels))
+}
+
+/// Evaluates the full ladder on its labeled holdout and returns the
+/// chosen rung's detector. Deterministic: ladder order + F1 only.
+fn evaluate_and_choose(
+    esc: &EscalationSpec,
+    spec: &TenantSpec,
+) -> Result<AnyDetector, DetectorError> {
+    let _span = obs::span("serve.escalation.evaluate");
+    let rungs = build_rungs(esc, spec)?;
+    let holdout = holdout_mts(&esc.holdout_rows, spec.channels)?;
+    let refs: Vec<&AnyDetector> = rungs.iter().collect();
+    let decision = evaluate_ladder(&refs, &holdout, &esc.holdout_labels, esc.f1_tolerance)?;
+    obs::counter("serve.escalation.evaluations", 1);
+    let chosen = decision.chosen;
+    Ok(rungs
+        .into_iter()
+        .nth(chosen)
+        .expect("chosen index is in ladder range"))
+}
+
+/// Loads the tenant's detector from its canonical checkpoint. When the
+/// checkpoint exists, its envelope family **is** the pinned rung — this
+/// is what lets a failover or restart resume the exact pin the dead
+/// replica persisted. When it is missing (or unreadable) and an
+/// escalation ladder is configured, the ladder is evaluated instead and
+/// the winner is persisted as the new canonical envelope before serving.
+fn load_or_escalate(spec: &TenantSpec) -> Result<AnyDetector, DetectorError> {
+    match AnyDetector::load(&spec.cfg, spec.seed, spec.channels, &spec.checkpoint) {
+        Ok(det) => {
+            if !spec.allows_family(det.kind()) {
+                return Err(DetectorError::CorruptCheckpoint(format!(
+                    "checkpoint family {} is not allowed for tenant {} (expected {} \
+                     or an escalation rung)",
+                    det.kind(),
+                    spec.id,
+                    spec.family
+                )));
+            }
+            Ok(det)
+        }
+        Err(e) => {
+            let Some(esc) = &spec.escalation else {
+                return Err(e);
+            };
+            let winner = evaluate_and_choose(esc, spec)?;
+            obs::counter("serve.escalation.initial_pins", 1);
+            winner.save(&spec.checkpoint)?;
+            Ok(winner)
+        }
+    }
+}
+
 /// Builds the serving monitor for one tenant: restore from the IMSM
 /// sidecar when one exists (failover adoption, replica restart) so the
 /// verdict stream resumes without re-warming; fall back to a fresh
@@ -746,13 +975,10 @@ fn point_f1(pred: &[bool], truth: &[bool]) -> f64 {
 fn load_monitor(
     spec: &TenantSpec,
     snapshot_every: Option<u64>,
-) -> Result<StreamingMonitor, DetectorError> {
+) -> Result<ServeMonitor, DetectorError> {
     let t0 = Instant::now();
-    let mut monitor = match StreamingMonitor::restore(
-        spec.cfg.clone(),
-        spec.seed,
-        &spec.checkpoint,
-    ) {
+    let det = load_or_escalate(spec)?;
+    let mut monitor = match StreamingMonitor::restore_with(det, &spec.checkpoint) {
         Ok(m) => {
             obs::counter("serve.failover.sidecar_restores", 1);
             obs::histogram(
@@ -765,16 +991,14 @@ fn load_monitor(
             if !matches!(e, DetectorError::Io(_)) {
                 // Sidecar present but unusable (CRC mismatch, bad tag,
                 // geometry drift): surface the typed corruption, then
-                // re-warm from weights alone.
+                // re-warm from weights alone. `restore_with` consumed the
+                // detector, so reload it — the canonical checkpoint is
+                // guaranteed present now (load_or_escalate persisted any
+                // fresh pin).
                 obs::counter("serve.failover.sidecar_corrupt", 1);
             }
-            ImDiffusionDetector::load(
-                spec.cfg.clone(),
-                spec.seed,
-                spec.channels,
-                &spec.checkpoint,
-            )
-            .and_then(|det| StreamingMonitor::new(det, spec.channels, spec.hop))?
+            let det = load_or_escalate(spec)?;
+            StreamingMonitor::new(det, spec.channels, spec.hop)?
         }
     };
     monitor.set_snapshot_cadence(snapshot_every);
@@ -794,12 +1018,14 @@ fn shard_main(
     shard_idx: usize,
     ready: mpsc::Sender<Result<(), ServeError>>,
 ) {
-    let mut monitors: Vec<Option<StreamingMonitor>> = Vec::new();
+    let mut monitors: Vec<Option<ServeMonitor>> = Vec::new();
     let mut seqs: Vec<SeqState> = Vec::new();
     let mut promos: Vec<PromoState> = Vec::new();
+    let mut escs: Vec<EscState> = Vec::new();
     for t in &inner.tenants {
         seqs.push(SeqState::default());
         promos.push(PromoState::default());
+        escs.push(EscState::default());
         if t.shard != shard_idx || !t.active.load(Ordering::SeqCst) {
             monitors.push(None);
             continue;
@@ -808,7 +1034,16 @@ fn shard_main(
             Ok(monitor) => {
                 *t.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
                 *t.incumbent.lock().unwrap_or_else(|e| e.into_inner()) =
-                    monitor.detector().to_spec().map(Box::new);
+                    monitor.detector().to_spec().ok().map(Box::new);
+                *t.family.lock().unwrap_or_else(|e| e.into_inner()) =
+                    monitor.detector().kind();
+                // An escalation pin may have just rewritten the canonical
+                // checkpoint; refresh the stamp so the watcher does not
+                // reload what this shard just loaded.
+                *t.reload_stamp.lock().unwrap_or_else(|e| e.into_inner()) =
+                    stamp(&t.spec.checkpoint);
+                escs.last_mut().expect("just pushed").was_drifted =
+                    monitor.drift_status().drifted;
                 monitors.push(Some(monitor));
             }
             Err(source) => {
@@ -831,11 +1066,26 @@ fn shard_main(
             // observes two generations.
             Work::Cmds(cmds) => {
                 for cmd in cmds {
-                    apply_cmd(&inner, &mut monitors, &mut seqs, &mut promos, cmd);
+                    apply_cmd(
+                        &inner,
+                        &mut monitors,
+                        &mut seqs,
+                        &mut promos,
+                        &mut escs,
+                        cmd,
+                    );
                 }
             }
             Work::Batch { tenant, jobs } => {
-                run_batch(&inner, &mut monitors, &mut seqs, &mut promos, tenant, jobs);
+                run_batch(
+                    &inner,
+                    &mut monitors,
+                    &mut seqs,
+                    &mut promos,
+                    &mut escs,
+                    tenant,
+                    jobs,
+                );
             }
         }
     }
@@ -942,9 +1192,10 @@ fn next_work(inner: &ServerInner, shard: &Shard) -> Work {
 /// runs one coalesced `push_batch`, and answers every job.
 fn run_batch(
     inner: &ServerInner,
-    monitors: &mut [Option<StreamingMonitor>],
+    monitors: &mut [Option<ServeMonitor>],
     seqs: &mut [SeqState],
     promos: &mut [PromoState],
+    escs: &mut [EscState],
     tenant: usize,
     jobs: Vec<ScoreJob>,
 ) {
@@ -1141,6 +1392,10 @@ fn run_batch(
     // so a rollback lands between batches exactly like a promotion.
     observe_promotion(inner, monitor, &mut promos[tenant], shared, &batch_flags);
 
+    // Escalation routing: edge-triggered on the drift latch, applied
+    // between batches like every other swap.
+    route_escalation(monitor, &mut promos[tenant], &mut escs[tenant], shared);
+
     // Cadenced sidecar snapshot: bounded failover loss. Runs after the
     // batch so the sidecar always captures a between-batches state.
     if monitor.snapshot_due() {
@@ -1192,7 +1447,7 @@ fn answer_deferred(st: &SeqState, deferred: Vec<(u64, ReplyTx)>) {
 /// records a `RolledBack` verdict for the next `Reload` round-trip.
 fn observe_promotion(
     inner: &ServerInner,
-    monitor: &mut StreamingMonitor,
+    monitor: &mut ServeMonitor,
     promo: &mut PromoState,
     shared: &TenantShared,
     flags: &[bool],
@@ -1239,7 +1494,7 @@ fn observe_promotion(
         else {
             continue;
         };
-        match monitor.swap_detector(prev.build()) {
+        match prev.build().and_then(|det| monitor.swap_detector(det)) {
             Ok(()) => {
                 let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
                 obs::counter("serve.promotion.rollbacks", 1);
@@ -1248,6 +1503,8 @@ fn observe_promotion(
                      verdicts vs pre-swap baseline {baseline:.3}; archived incumbent \
                      restored as generation {generation}"
                 );
+                *shared.family.lock().unwrap_or_else(|e| e.into_inner()) =
+                    prev.kind().unwrap_or(shared.spec.family);
                 *shared.incumbent.lock().unwrap_or_else(|e| e.into_inner()) = Some(prev);
                 *shared.promo.lock().unwrap_or_else(|e| e.into_inner()) =
                     (PromotionVerdict::RolledBack, detail);
@@ -1260,11 +1517,109 @@ fn observe_promotion(
     }
 }
 
+/// The escalation router: runs after every batch, edge-triggered on the
+/// monitor's debounced drift latch. A **trip** (the live distribution
+/// left the pinned rung's training envelope) swaps in the ladder apex —
+/// a regime change is exactly when the expensive model earns its cost. A
+/// **clear** re-runs the holdout evaluation so a tenant whose regime
+/// settled can de-escalate back to the cheapest adequate rung. Both
+/// repins persist the new rung's envelope as the canonical checkpoint
+/// (failover restores the pin) and bump the generation like any swap.
+///
+/// `swap_detector` resets the latch against the replacement's own drift
+/// reference, so `was_drifted` is resynced from the monitor after every
+/// repin rather than assumed.
+fn route_escalation(
+    monitor: &mut ServeMonitor,
+    promo: &mut PromoState,
+    esc: &mut EscState,
+    shared: &TenantShared,
+) {
+    let Some(ladder) = &shared.spec.escalation else {
+        return;
+    };
+    let drifted = monitor.drift_status().drifted;
+    let (was, now) = (esc.was_drifted, drifted);
+    esc.was_drifted = now;
+    if was == now {
+        return;
+    }
+    let serving = monitor.detector().kind();
+    if now {
+        let apex = ladder.rungs.last().expect("ladder validated non-empty");
+        if serving == apex.kind {
+            return;
+        }
+        obs::counter("serve.escalation.drift_escalations", 1);
+        match AnyDetector::load(
+            &shared.spec.cfg,
+            shared.spec.seed,
+            shared.spec.channels,
+            &apex.checkpoint,
+        ) {
+            Ok(det) => repin(monitor, promo, esc, shared, det),
+            Err(_) => obs::counter("serve.escalation.errors", 1),
+        }
+    } else {
+        match evaluate_and_choose(ladder, &shared.spec) {
+            Ok(det) if det.kind() != serving => {
+                obs::counter("serve.escalation.deescalations", 1);
+                repin(monitor, promo, esc, shared, det);
+            }
+            Ok(_) => {}
+            Err(_) => obs::counter("serve.escalation.errors", 1),
+        }
+    }
+}
+
+/// Swaps `det` in as the tenant's pinned rung: between-batches swap,
+/// generation bump, canonical-envelope persist (+ watcher stamp refresh
+/// so the rewrite is not reloaded), family/incumbent updates, and a
+/// sentinel reset — a family change invalidates both the regression
+/// baseline and any archived rollback target.
+fn repin(
+    monitor: &mut ServeMonitor,
+    promo: &mut PromoState,
+    esc: &mut EscState,
+    shared: &TenantShared,
+    det: AnyDetector,
+) {
+    let kind = det.kind();
+    match monitor.swap_detector(det) {
+        Ok(()) => {
+            shared.generation.fetch_add(1, Ordering::SeqCst);
+            obs::counter("serve.escalation.repins", 1);
+            match monitor.detector().save(&shared.spec.checkpoint) {
+                Ok(()) => {
+                    *shared.reload_stamp.lock().unwrap_or_else(|e| e.into_inner()) =
+                        stamp(&shared.spec.checkpoint);
+                }
+                // Serving continues on the new rung either way; only the
+                // failover pin is stale until the next successful write.
+                Err(_) => obs::counter("serve.escalation.persist_errors", 1),
+            }
+            *shared.family.lock().unwrap_or_else(|e| e.into_inner()) = kind;
+            *shared.incumbent.lock().unwrap_or_else(|e| e.into_inner()) =
+                monitor.detector().to_spec().ok().map(Box::new);
+            shared
+                .rollback
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            *promo = PromoState::default();
+            *shared.health.lock().unwrap_or_else(|e| e.into_inner()) = monitor.health();
+            esc.was_drifted = monitor.drift_status().drifted;
+        }
+        Err(_) => obs::counter("serve.escalation.errors", 1),
+    }
+}
+
 fn apply_cmd(
     inner: &ServerInner,
-    monitors: &mut [Option<StreamingMonitor>],
+    monitors: &mut [Option<ServeMonitor>],
     seqs: &mut [SeqState],
     promos: &mut [PromoState],
+    escs: &mut [EscState],
     cmd: ShardCmd,
 ) {
     match cmd {
@@ -1289,11 +1644,14 @@ fn apply_cmd(
                 }
                 return;
             };
-            match monitor.swap_detector(spec.build()) {
+            let kind = spec.kind();
+            match spec.build().and_then(|det| monitor.swap_detector(det)) {
                 Ok(()) => {
                     let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
                     obs::counter("serve.reloads", 1);
                     obs::counter("serve.promotion.promoted", 1);
+                    *shared.family.lock().unwrap_or_else(|e| e.into_inner()) =
+                        kind.unwrap_or(shared.spec.family);
                     // The candidate is the new incumbent; archive the old
                     // one and arm the regression watch over its baseline.
                     let prev = shared
@@ -1318,14 +1676,17 @@ fn apply_cmd(
                     *shared.promo.lock().unwrap_or_else(|e| e.into_inner()) =
                         (PromotionVerdict::Promoted, detail.clone());
                     // The swap may have re-armed or cleared the drift
-                    // latch; publish the fresh health immediately.
+                    // latch; publish the fresh health immediately, and
+                    // resync the escalation router's edge detector.
                     *shared.health.lock().unwrap_or_else(|e| e.into_inner()) =
                         monitor.health();
+                    escs[tenant].was_drifted = monitor.drift_status().drifted;
                     if let Some(tx) = reply {
                         tx.send(Response::ReloadStatus {
                             generation,
                             verdict: PromotionVerdict::Promoted,
                             detail,
+                            family: family_name(shared),
                         });
                     }
                 }
@@ -1340,6 +1701,7 @@ fn apply_cmd(
                             generation: shared.generation.load(Ordering::SeqCst),
                             verdict: PromotionVerdict::RejectedCorrupt,
                             detail: msg,
+                            family: family_name(shared),
                         });
                     }
                 }
@@ -1364,13 +1726,18 @@ fn apply_cmd(
                     // incumbent; any promotion history belongs to the
                     // dead replica and is discarded with it.
                     *shared.incumbent.lock().unwrap_or_else(|e| e.into_inner()) =
-                        monitor.detector().to_spec().map(Box::new);
+                        monitor.detector().to_spec().ok().map(Box::new);
+                    *shared.family.lock().unwrap_or_else(|e| e.into_inner()) =
+                        monitor.detector().kind();
                     shared
                         .rollback
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .take();
                     promos[tenant] = PromoState::default();
+                    escs[tenant] = EscState {
+                        was_drifted: monitor.drift_status().drifted,
+                    };
                     monitors[tenant] = Some(monitor);
                     seqs[tenant] = SeqState::default();
                     shared.active.store(true, Ordering::SeqCst);
@@ -1911,6 +2278,7 @@ impl Server {
             .enumerate()
             .map(|(i, spec)| {
                 let initial_stamp = stamp(&spec.checkpoint);
+                let family = spec.family;
                 Arc::new(TenantShared {
                     spec,
                     shard: i % n_shards,
@@ -1934,6 +2302,7 @@ impl Server {
                     promo: Mutex::new((PromotionVerdict::NoAttempt, String::new())),
                     incumbent: Mutex::new(None),
                     rollback: Mutex::new(None),
+                    family: Mutex::new(family),
                 })
             })
             .collect();

@@ -32,10 +32,13 @@ use imdiff_nn::serialize::{crc32_finish, crc32_update, CRC32_INIT};
 /// score requests and the replication control kinds
 /// ([`kind::ADOPT`]/[`kind::SNAPSHOT`]); v3 added the typed reload answer
 /// ([`kind::RELOAD_STATUS`], carrying the active generation and the last
-/// promotion/rollback verdict) and the drift fields of [`TenantHealth`].
+/// promotion/rollback verdict) and the drift fields of [`TenantHealth`];
+/// v4 added the active detector-family name to [`TenantHealth`] and
+/// [`Response::ReloadStatus`], so clients can observe which registry
+/// family (z-score, IForest, ImDiffusion, ...) is serving a tenant.
 /// Older peers are refused with [`WireError::UnsupportedVersion`] rather
 /// than mis-parsed.
-pub const WIRE_VERSION: u8 = 3;
+pub const WIRE_VERSION: u8 = 4;
 
 /// Frame magic: "Imdiffusion Wire".
 pub const MAGIC: [u8; 2] = *b"IW";
@@ -391,6 +394,10 @@ pub struct TenantHealth {
     pub drifted: bool,
     /// Debounced drift trips over the monitor's lifetime.
     pub drift_trips: u64,
+    /// Name of the detector family currently serving the tenant
+    /// (`"ZScore"`, `"IForest"`, `"ImDiffusion"`, ...). Changes when the
+    /// escalation router moves the tenant to a different rung.
+    pub family: String,
 }
 
 /// A server→client message.
@@ -435,6 +442,8 @@ pub enum Response {
         verdict: PromotionVerdict,
         /// Human-readable explanation (gate scores, rollback cause, ...).
         detail: String,
+        /// Name of the detector family currently serving the tenant.
+        family: String,
     },
 }
 
@@ -943,6 +952,7 @@ impl Response {
                     out.extend_from_slice(&t.queue_depth.to_le_bytes());
                     out.push(u8::from(t.drifted));
                     out.extend_from_slice(&t.drift_trips.to_le_bytes());
+                    put_short_str(&mut out, &t.family);
                 }
             }
             Response::ObsJson { json } => put_long_str(&mut out, json),
@@ -951,10 +961,12 @@ impl Response {
                 generation,
                 verdict,
                 detail,
+                family,
             } => {
                 out.extend_from_slice(&generation.to_le_bytes());
                 out.push(*verdict as u8);
                 put_long_str(&mut out, detail);
+                put_short_str(&mut out, family);
             }
         }
         out
@@ -1059,6 +1071,7 @@ impl Response {
                         queue_depth,
                         drifted: drifted_byte == 1,
                         drift_trips: c.u64()?,
+                        family: c.short_str()?,
                     });
                 }
                 Response::Health { tenants }
@@ -1079,6 +1092,7 @@ impl Response {
                     generation,
                     verdict,
                     detail: c.long_str()?,
+                    family: c.short_str()?,
                 }
             }
             other => return Err(WireError::UnknownKind(other)),
@@ -1304,6 +1318,7 @@ mod tests {
                     queue_depth: 5,
                     drifted: true,
                     drift_trips: 2,
+                    family: "ImDiffusion".into(),
                 }],
             },
             Response::ObsJson {
@@ -1314,11 +1329,13 @@ mod tests {
                 generation: 3,
                 verdict: PromotionVerdict::Promoted,
                 detail: "candidate F1 0.91 vs incumbent 0.74 on 6 holdout windows".into(),
+                family: "ImDiffusion".into(),
             },
             Response::ReloadStatus {
                 generation: 2,
                 verdict: PromotionVerdict::RolledBack,
                 detail: "post-promotion anomaly rate 0.63 vs baseline 0.02".into(),
+                family: "IForest".into(),
             },
         ]
     }
@@ -1426,7 +1443,7 @@ mod tests {
     fn old_version_frames_refused_not_misparsed() {
         // The version byte precedes the CRC check, so an old peer gets a
         // typed version error instead of a confusing checksum failure.
-        for old in [1u8, 2] {
+        for old in [1u8, 2, 3] {
             let mut bytes = Request::Ping.to_bytes();
             bytes[2] = old;
             assert_eq!(
@@ -1442,6 +1459,7 @@ mod tests {
             generation: 1,
             verdict: PromotionVerdict::NoAttempt,
             detail: String::new(),
+            family: String::new(),
         };
         let mut payload = resp.encode_payload();
         payload[8] = 9; // verdict byte past the known range

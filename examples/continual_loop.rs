@@ -92,6 +92,8 @@ fn main() {
                 score_tolerance: 0.0,
             }),
             drift_policy: Some((3.0, 2)),
+            family: imdiffusion_repro::registry::DetectorKind::ImDiffusion,
+            escalation: None,
         }],
     )
     .expect("server start");

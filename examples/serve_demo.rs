@@ -65,6 +65,8 @@ fn main() {
             hop: 4,
             holdout: None,
             drift_policy: None,
+            family: imdiffusion_repro::registry::DetectorKind::ImDiffusion,
+            escalation: None,
         });
         datasets.push(ds);
     }

@@ -10,5 +10,6 @@ pub use imdiff_data as data;
 pub use imdiff_diffusion as diffusion;
 pub use imdiff_metrics as metrics;
 pub use imdiff_nn as nn;
+pub use imdiff_registry as registry;
 pub use imdiff_serve as serve;
 pub use imdiffusion as core;

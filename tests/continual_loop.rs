@@ -85,6 +85,8 @@ fn drifting_stream_degrades_retrains_and_recovers_bit_identically() {
         hop: 8,
         holdout: Some(holdout),
         drift_policy: Some((3.0, 2)),
+        family: imdiffusion_repro::registry::DetectorKind::ImDiffusion,
+        escalation: None,
     };
     let cfg = ServeConfig {
         shards: 1,

@@ -67,6 +67,8 @@ fn tenant_spec(id: &str, path: &Path, seed: u64, channels: usize, hop: usize) ->
         hop,
         holdout: None,
         drift_policy: None,
+        family: imdiffusion_repro::registry::DetectorKind::ImDiffusion,
+        escalation: None,
     }
 }
 

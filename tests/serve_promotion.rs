@@ -64,6 +64,8 @@ fn tenant_spec(id: &str, path: &Path, seed: u64, channels: usize) -> TenantSpec 
         hop: 2,
         holdout: None,
         drift_policy: None,
+        family: imdiffusion_repro::registry::DetectorKind::ImDiffusion,
+        escalation: None,
     }
 }
 

@@ -92,6 +92,7 @@ fn arb_response(seed: u64) -> Response {
                     queue_depth: rng.gen(),
                     drifted: rng.gen(),
                     drift_trips: rng.gen(),
+                    family: format!("family-{}", rng.gen::<u32>() % 16),
                 })
                 .collect(),
         },
@@ -108,6 +109,7 @@ fn arb_response(seed: u64) -> Response {
                 _ => PromotionVerdict::RolledBack,
             },
             detail: format!("verdict #{}", rng.gen::<u32>()),
+            family: format!("family-{}", rng.gen::<u32>() % 16),
         },
         _ => Response::Ok,
     }

@@ -28,6 +28,8 @@ fn spec(id: &str) -> TenantSpec {
         hop: 4,
         holdout: None,
         drift_policy: None,
+        family: imdiffusion_repro::registry::DetectorKind::ImDiffusion,
+        escalation: None,
     }
 }
 
